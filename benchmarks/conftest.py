@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artifact at full scale and prints the
+table the paper reports, so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the whole evaluation section. Results are deterministic; the
+benchmark timer measures how long the simulation itself takes.
+
+Environment knobs (for constrained machines):
+
+* ``REPRO_BENCH_SCALE`` — workload scale factor (default 1.0);
+* ``REPRO_BENCH_ITERATIONS`` — iterations per app (default 16).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "16"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Workload scale shared by every figure benchmark."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_iterations() -> int:
+    """Iteration count shared by every figure benchmark."""
+    return BENCH_ITERATIONS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,99 @@
+"""Microbenchmarks of the hardware-structure models themselves.
+
+Unlike the figure benchmarks (deterministic one-shot experiments), these
+use pytest-benchmark's repeated timing to track the simulator's own
+throughput: the write queue, the L2 model, trace expansion, and the DES
+engine are the inner loops everything else pays for.
+"""
+
+import numpy as np
+
+import repro
+from repro.cache.cache import Cache
+from repro.config import GPSConfig
+from repro.core.write_queue import RemoteWriteQueue
+from repro.gpu.sm_coalescer import sm_coalesce
+from repro.sim.engine import Engine
+from repro.trace.expand import LineStream, expand_range
+from repro.trace.records import AccessRange, MemOp, PatternKind, PatternSpec
+
+N_EVENTS = 50_000
+
+
+def _reuse_stream(n=N_EVENTS):
+    rng = np.random.default_rng(7)
+    lines = rng.integers(0, 4096, size=n, dtype=np.int64)
+    payload = np.full(n, 64, dtype=np.int32)
+    return LineStream(lines, payload)
+
+
+def test_write_queue_throughput(benchmark):
+    stream = _reuse_stream()
+
+    def run():
+        queue = RemoteWriteQueue(GPSConfig())
+        queue.process_stream(stream.lines, stream.bytes_per_txn)
+        queue.flush()
+        return queue.stats.stores_seen
+
+    assert benchmark(run) == N_EVENTS
+
+
+def test_l2_cache_throughput(benchmark):
+    stream = _reuse_stream()
+
+    def run():
+        cache = Cache(6 * 1024 * 1024, 128, 16)
+        stats = cache.simulate_stream(stream.lines)
+        return stats.accesses
+
+    assert benchmark(run) == N_EVENTS
+
+
+def test_sm_coalescer_throughput(benchmark):
+    stream = _reuse_stream()
+
+    def run():
+        return len(sm_coalesce(stream))
+
+    assert benchmark(run) > 0
+
+
+def test_trace_expansion_throughput(benchmark):
+    access = AccessRange(
+        "b",
+        0,
+        8 * 1024 * 1024,
+        MemOp.WRITE,
+        PatternSpec(PatternKind.REUSE, revisit_prob=0.4, revisit_window=300),
+    )
+
+    def run():
+        return len(expand_range(access, 1 << 20))
+
+    assert benchmark(run) > 60_000
+
+
+def test_des_engine_throughput(benchmark):
+    def run():
+        engine = Engine()
+        resources = [engine.resource(f"r{i}") for i in range(8)]
+        prev = None
+        for i in range(2000):
+            prev = engine.task(
+                f"t{i}", 1e-6, resources[i % 8], deps=[prev] if prev else []
+            )
+        return engine.run()
+
+    assert benchmark(run) > 0
+
+
+def test_full_simulation_throughput(benchmark):
+    """End-to-end: one small GPS simulation per round."""
+    config = repro.default_system(4)
+    program = repro.get_workload("jacobi").build(4, scale=0.1, iterations=2)
+
+    def run():
+        return repro.simulate(program, "gps", config).total_time
+
+    assert benchmark(run) > 0

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Sweep interconnects and GPU counts: where does each paradigm pay off?
+
+Reproduces the flavour of the paper's Figures 12 and 13 on a configurable
+subset: every PCIe generation plus NVLink, for 4 and (optionally) 16 GPUs.
+
+Run:  python examples/interconnect_comparison.py [--sixteen]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro.harness.report import format_table, geomean
+
+APPS = ("jacobi", "pagerank", "ct")
+PARADIGMS = ("memcpy", "rdl", "gps", "infinite")
+LINKS = ("pcie3", "pcie4", "pcie5", "pcie6", "nvlink2")
+
+
+def sweep(num_gpus: int, scale: float, iterations: int) -> None:
+    """Print the geomean speedup matrix for one GPU count."""
+    rows = []
+    for link_name in LINKS:
+        link = repro.LINKS_BY_NAME[link_name]
+        config = repro.default_system(num_gpus, link)
+        row = [link.name]
+        for paradigm in PARADIGMS:
+            speedups = []
+            for app in APPS:
+                workload = repro.get_workload(app)
+                speedup, _, _ = repro.speedup_over_single_gpu(
+                    lambda n: workload.build(n, scale=scale, iterations=iterations),
+                    paradigm,
+                    config,
+                )
+                speedups.append(speedup)
+            row.append(geomean(speedups))
+        rows.append(row)
+    print(
+        format_table(
+            ["interconnect"] + [repro.LABELS[p] for p in PARADIGMS],
+            rows,
+            title=f"Geomean speedup over 1 GPU ({num_gpus} GPUs, {', '.join(APPS)})",
+        )
+    )
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sixteen", action="store_true", help="also sweep a 16-GPU system"
+    )
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--iterations", type=int, default=8)
+    args = parser.parse_args()
+
+    sweep(4, args.scale, args.iterations)
+    if args.sixteen:
+        sweep(16, args.scale, args.iterations)
+    print("Note how only GPS converts added bandwidth into scaling —")
+    print("the paper's Figure 13 observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The paper's Listing 1 application, end to end.
+
+Listing 1 of the paper shows the *entire* code change GPS asks of a
+programmer: allocate with ``cudaMallocGPS`` and bracket iteration 0 with
+``cuGPSTrackingStart()``/``cuGPSTrackingStop()``. This example runs the
+same iterative matrix-vector multiply through the simulator and narrates
+what GPS does under the hood at each step.
+
+Run:  python examples/listing1_mvmul.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.harness.report import format_table
+from repro.units import fmt_bytes, fmt_time
+
+
+def main() -> None:
+    config = repro.default_system(4)
+    workload = repro.get_workload("mvmul")
+    program = workload.build(4, scale=1.0, iterations=10)
+
+    print("Listing 1 structure:")
+    print("  cudaMallocGPS(mat);  cudaMallocGPS(vec1);  cudaMallocGPS(vec2);")
+    print("  iter 0: cuGPSTrackingStart();  mvmul x2;  cuGPSTrackingStop();")
+    print("  iters 1..N: mvmul(mat, vec1, vec2); mvmul(mat, vec2, vec1);")
+    print()
+
+    result = repro.simulate(program, "gps", config)
+    tracking = result.extras["tracking"]
+    print("What the profiling phase discovered:")
+    print(f"  GPS pages under management : {tracking['pages']}")
+    print(f"  unsubscriptions performed  : {tracking['unsubscribed']}")
+    print(f"  pages demoted (1 sub)      : {tracking['demoted']}  <- the matrix rows")
+    print(f"  still-replicated pages     : {sum(result.subscriber_histogram.values())}"
+          f"  <- the vectors, all-to-all {dict(result.subscriber_histogram)}")
+    print()
+
+    rows = []
+    single = repro.simulate(
+        workload.build(1, scale=1.0, iterations=10), "memcpy", repro.default_system(1)
+    )
+    for paradigm in repro.FIGURE8_ORDER:
+        multi = repro.simulate(program, paradigm, config)
+        rows.append(
+            [
+                repro.LABELS[paradigm],
+                fmt_time(multi.total_time),
+                single.total_time / multi.total_time,
+                fmt_bytes(multi.interconnect_bytes),
+            ]
+        )
+    print(
+        format_table(
+            ["paradigm", "time", "speedup", "interconnect"],
+            rows,
+            title="Listing 1 mvmul on 4 GPUs (10 iterations)",
+        )
+    )
+    print()
+    print("GPS broadcasts only the small output-vector slices each iteration;")
+    print("the matrix — the bulk of the data — was demoted to conventional")
+    print("pages after profiling and never touches the interconnect.")
+
+
+if __name__ == "__main__":
+    main()

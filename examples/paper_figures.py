@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure/table in one run.
+
+A thin front-end over :mod:`repro.harness.experiments` for people who want
+the whole evaluation section without pytest. At the default reduced scale
+this takes a few minutes; pass ``--full`` for benchmark-grade settings.
+
+Run:  python examples/paper_figures.py [--full] [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.harness import experiments
+from repro.harness.ascii_plot import line_plot
+from repro.harness.export import to_json
+from repro.harness.report import format_speedup_matrix, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="benchmark-grade scale")
+    parser.add_argument("--out", type=Path, help="directory for JSON exports")
+    args = parser.parse_args()
+
+    scale = 1.0 if args.full else 0.4
+    iterations = 16 if args.full else 6
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    def emit(name: str, result: dict, rendered: str) -> None:
+        print()
+        print("=" * 72)
+        print(rendered)
+        if args.out:
+            to_json(result, path=args.out / f"{name}.json")
+
+    result = experiments.table2_applications()
+    emit(
+        "table2",
+        result,
+        format_table(
+            ["name", "description", "comm_pattern"],
+            [[r["name"], r["description"], r["comm_pattern"]] for r in result["rows"]],
+            title="Table 2: applications",
+        ),
+    )
+
+    result = experiments.fig3_bandwidth_gap()
+    emit(
+        "fig3",
+        result,
+        format_table(
+            ["platform", "local GB/s", "remote GB/s", "gap"],
+            [[r["platform"], r["local_gb_s"], r["remote_gb_s"], r["gap"]] for r in result["rows"]],
+            title="Figure 3: bandwidth gap",
+        ),
+    )
+
+    result = experiments.fig1_motivation(scale=scale, iterations=iterations)
+    emit("fig1", result, format_speedup_matrix(
+        {
+            "paradigms": result["interconnects"],
+            "speedups": result["speedups"],
+            "geomean": result["geomean"],
+        },
+        title="Figure 1: strong scaling under pre-GPS best practice",
+    ))
+
+    result = experiments.fig8_end_to_end(scale=scale, iterations=iterations)
+    emit("fig8", result, format_speedup_matrix(result, title="Figure 8: 4-GPU speedups"))
+
+    result = experiments.fig9_subscriber_distribution(scale=scale, iterations=2)
+    rows = [
+        [w, d.get(2, 0.0), d.get(3, 0.0), d.get(4, 0.0)]
+        for w, d in result["percent_by_subscribers"].items()
+    ]
+    emit("fig9", result, format_table(
+        ["app", "2 subs %", "3 subs %", "4 subs %"], rows, title="Figure 9"
+    ))
+
+    result = experiments.fig10_interconnect_traffic(scale=scale, iterations=iterations)
+    rows = [
+        [w] + [result["normalized_to_memcpy"][w][p] for p in result["paradigms"]]
+        for w in result["workloads"]
+    ]
+    emit("fig10", result, format_table(
+        ["app"] + result["paradigms"], rows, title="Figure 10: traffic vs memcpy"
+    ))
+
+    result = experiments.fig11_subscription_benefit(scale=scale, iterations=iterations)
+    emit("fig11", result, format_speedup_matrix(result, title="Figure 11"))
+
+    result = experiments.fig13_bandwidth_sensitivity(scale=scale, iterations=iterations)
+    rows = [
+        [link] + [result["geomean"][link][p] for p in result["paradigms"]]
+        for link in result["links"]
+    ]
+    emit("fig13", result, format_table(
+        ["link"] + list(result["paradigms"]), rows, title="Figure 13"
+    ))
+
+    result = experiments.fig14_write_queue_hit_rate(scale=scale)
+    series = {
+        w: [(s, 100 * result["hit_rate"][w][s]) for s in result["queue_sizes"]]
+        for w in ("ct", "eqwp", "diffusion", "hit")
+    }
+    emit("fig14", result, line_plot(
+        series, title="Figure 14: write-queue hit rate (%) vs size"
+    ))
+
+    result = experiments.gps_tlb_sensitivity(scale=scale)
+    rows = [
+        [w] + [100 * result["hit_rate"][w][s] for s in result["tlb_sizes"]]
+        for w in result["workloads"]
+    ]
+    emit("gps-tlb", result, format_table(
+        ["app"] + [str(s) for s in result["tlb_sizes"]],
+        rows,
+        title="GPS-TLB hit rate (%) vs entries",
+    ))
+
+    if args.full:
+        result = experiments.fig12_sixteen_gpus(scale=scale)
+        emit("fig12", result, format_speedup_matrix(result, title="Figure 12: 16 GPUs"))
+        result = experiments.page_size_sensitivity(scale=scale)
+        rows = [[ps, result["slowdown_vs_64k"][ps]] for ps in result["page_sizes"]]
+        emit("page-size", result, format_table(
+            ["page size", "slowdown vs 64 KiB"], rows, title="Page-size sensitivity"
+        ))
+
+    print()
+    print("Done. (Figures 12 and the page-size study run with --full.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload under every paradigm.
+
+Builds the paper's Jacobi trace for a 4-GPU PCIe 6.0 system, runs it under
+all six memory-management paradigms, and prints the strong-scaling speedup
+and interconnect traffic of each — a one-screen tour of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.harness.report import format_table
+from repro.units import fmt_bytes, fmt_time
+
+
+def main() -> None:
+    workload = repro.get_workload("jacobi")
+    config = repro.default_system(num_gpus=4, link=repro.PCIE6)
+
+    # The single-GPU baseline: same total problem on one GPU.
+    single = repro.simulate(
+        workload.build(1, scale=0.5, iterations=8),
+        "memcpy",
+        repro.default_system(1),
+    )
+    print(f"single-GPU time: {fmt_time(single.total_time)}")
+
+    program = workload.build(4, scale=0.5, iterations=8)
+    rows = []
+    for paradigm in repro.FIGURE8_ORDER:
+        result = repro.simulate(program, paradigm, config)
+        rows.append(
+            [
+                repro.LABELS[paradigm],
+                fmt_time(result.total_time),
+                single.total_time / result.total_time,
+                fmt_bytes(result.interconnect_bytes),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["paradigm", "time", "speedup vs 1 GPU", "interconnect bytes"],
+            rows,
+            title="Jacobi on 4x GV100 over PCIe 6.0",
+        )
+    )
+
+    # Peek inside GPS: subscription state and write-queue behaviour.
+    gps = repro.simulate(program, "gps", config)
+    print()
+    print(f"GPS profiling: {gps.extras['tracking']}")
+    print(f"subscriber histogram (shared pages): {gps.subscriber_histogram}")
+    queue = gps.write_queue_stats[0]
+    print(
+        f"GPU0 write queue: {queue.stores_seen} stores, "
+        f"{100 * queue.hit_rate:.1f}% coalesced, "
+        f"{100 * queue.bandwidth_reduction:.1f}% bandwidth saved"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Drive the GPS remote write queue directly on synthetic store streams.
+
+A hardware-architect's playground for the coalescing structure of paper
+section 5.2: vary temporal locality, payload sparsity, and atomics mix,
+and watch hit rate and interconnect bytes respond — the mechanics behind
+Figure 14.
+
+Run:  python examples/write_queue_explorer.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.config import GPSConfig
+from repro.core.write_queue import RemoteWriteQueue
+from repro.gpu.sm_coalescer import sm_coalesce
+from repro.harness.report import format_table
+from repro.trace.expand import expand_range
+from repro.trace.records import AccessRange, MemOp, PatternKind, PatternSpec
+from repro.units import MiB, fmt_bytes
+
+BASE = 1 << 24  # any line-aligned address
+RANGE = 4 * MiB
+
+
+def run_stream(name: str, pattern: PatternSpec, atomic: bool = False) -> list:
+    """Push one expanded stream through a fresh 512-entry queue."""
+    op = MemOp.ATOMIC if atomic else MemOp.WRITE
+    stream = sm_coalesce(expand_range(AccessRange("buf", 0, RANGE, op, pattern), BASE))
+    queue = RemoteWriteQueue(GPSConfig())
+    queue.process_stream(stream.lines, stream.bytes_per_txn, atomic=atomic)
+    queue.flush()
+    stats = queue.stats
+    return [
+        name,
+        stats.stores_seen,
+        100 * stats.hit_rate,
+        fmt_bytes(stats.bytes_in),
+        fmt_bytes(stats.bytes_out),
+        100 * stats.bandwidth_reduction,
+    ]
+
+
+def main() -> None:
+    rows = [
+        run_stream(
+            "dense sequential (jacobi-like)",
+            PatternSpec(PatternKind.SEQUENTIAL, bytes_per_txn=128),
+        ),
+        run_stream(
+            "reuse p=0.25 w=400 (diffusion-like)",
+            PatternSpec(PatternKind.REUSE, revisit_prob=0.25, revisit_window=400),
+        ),
+        run_stream(
+            "reuse p=0.45 w=350 (ct-like)",
+            PatternSpec(PatternKind.REUSE, revisit_prob=0.45, revisit_window=350),
+        ),
+        run_stream(
+            "reuse p=0.55 w=120 (hit-like)",
+            PatternSpec(PatternKind.REUSE, revisit_prob=0.55, revisit_window=120),
+        ),
+        run_stream(
+            "reuse beyond queue reach (w=4000)",
+            PatternSpec(PatternKind.REUSE, revisit_prob=0.45, revisit_window=4000),
+        ),
+        run_stream(
+            "sparse atomics (pagerank-like)",
+            PatternSpec(PatternKind.RANDOM, touch_fraction=0.5, bytes_per_txn=16),
+            atomic=True,
+        ),
+    ]
+    print(
+        format_table(
+            ["stream", "stores", "hit %", "bytes in", "bytes out", "saved %"],
+            rows,
+            title="GPS remote write queue (512 entries, watermark 511)",
+        )
+    )
+    print()
+    print("Observations (cf. paper section 7.4 / Figure 14):")
+    print(" * sequential streams coalesce in the SM, not the queue -> 0% hits;")
+    print(" * temporal revisits within the queue's reach coalesce away;")
+    print(" * revisits beyond ~512 distinct lines arrive after the drain;")
+    print(" * atomics bypass coalescing entirely.")
+
+
+if __name__ == "__main__":
+    main()

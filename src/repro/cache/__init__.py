@@ -1,0 +1,12 @@
+"""Cache substrate: a set-associative cache model with pluggable replacement.
+
+Used for the per-GPU L2 (6 MB on GV100). The L2 model matters for the
+end-to-end results: the paper attributes EQWP's super-linear 4-GPU speedup to
+the L2 hit rate rising from 55% to 68% as the per-GPU working set shrinks
+(section 7.1) — an effect that only appears with a real capacity model.
+"""
+
+from .cache import Cache, CacheStats
+from .replacement import FIFOPolicy, LRUPolicy, ReplacementPolicy
+
+__all__ = ["Cache", "CacheStats", "ReplacementPolicy", "LRUPolicy", "FIFOPolicy"]

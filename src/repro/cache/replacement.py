@@ -1,0 +1,96 @@
+"""Replacement policies for the set-associative cache model.
+
+A policy manages one associativity set's stack of tags. LRU is the default
+(and what GV100's L2 approximates); FIFO exists for ablations and to keep
+the policy interface honest with a second implementation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Optional
+
+
+class ReplacementPolicy(ABC):
+    """Per-set tag store with a replacement decision.
+
+    Implementations hold at most ``capacity`` tags and choose a victim when
+    a fill would overflow the set.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    @abstractmethod
+    def touch(self, tag: int) -> bool:
+        """Record an access to ``tag``. Returns True if it was present (hit)."""
+
+    @abstractmethod
+    def fill(self, tag: int) -> Optional[int]:
+        """Insert ``tag`` after a miss. Returns the evicted tag, if any."""
+
+    @abstractmethod
+    def invalidate(self, tag: int) -> bool:
+        """Remove ``tag`` if present. Returns True if it was."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of resident tags."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement via an ordered dict."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._tags: "OrderedDict[int, None]" = OrderedDict()
+
+    def touch(self, tag: int) -> bool:
+        if tag in self._tags:
+            self._tags.move_to_end(tag)
+            return True
+        return False
+
+    def fill(self, tag: int) -> Optional[int]:
+        victim = None
+        if len(self._tags) >= self.capacity:
+            victim, _ = self._tags.popitem(last=False)
+        self._tags[tag] = None
+        return victim
+
+    def invalidate(self, tag: int) -> bool:
+        if tag in self._tags:
+            del self._tags[tag]
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out replacement: hits do not refresh recency."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._tags: "OrderedDict[int, None]" = OrderedDict()
+
+    def touch(self, tag: int) -> bool:
+        return tag in self._tags
+
+    def fill(self, tag: int) -> Optional[int]:
+        victim = None
+        if len(self._tags) >= self.capacity:
+            victim, _ = self._tags.popitem(last=False)
+        self._tags[tag] = None
+        return victim
+
+    def invalidate(self, tag: int) -> bool:
+        if tag in self._tags:
+            del self._tags[tag]
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._tags)

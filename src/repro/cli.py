@@ -1,0 +1,242 @@
+"""Command-line interface: run simulations and regenerate paper artifacts.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro run jacobi --paradigm gps --gpus 4 --link pcie6
+    python -m repro compare ct --gpus 4 --scale 0.5
+    python -m repro figure fig8 --scale 0.5 --iterations 8 --json out.json
+    python -m repro list
+
+Everything the CLI does goes through the same public API the examples use;
+it exists so that a reproduction run is one shell command per figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    FIGURE8_ORDER,
+    LABELS,
+    LINKS_BY_NAME,
+    PARADIGMS,
+    default_system,
+    get_workload,
+    simulate,
+    speedup_over_single_gpu,
+    workload_names,
+)
+from .harness import experiments
+from .harness.ascii_plot import bar_chart
+from .harness.export import to_json
+from .harness.report import format_speedup_matrix, format_table
+from .units import fmt_bytes, fmt_time
+
+#: CLI figure name -> (driver, accepts scale/iterations).
+FIGURES = {
+    "fig1": (experiments.fig1_motivation, True),
+    "fig3": (experiments.fig3_bandwidth_gap, False),
+    "fig8": (experiments.fig8_end_to_end, True),
+    "fig9": (experiments.fig9_subscriber_distribution, True),
+    "fig10": (experiments.fig10_interconnect_traffic, True),
+    "fig11": (experiments.fig11_subscription_benefit, True),
+    "fig12": (experiments.fig12_sixteen_gpus, True),
+    "fig13": (experiments.fig13_bandwidth_sensitivity, True),
+    "fig14": (experiments.fig14_write_queue_hit_rate, False),
+    "gps-tlb": (experiments.gps_tlb_sensitivity, False),
+    "page-size": (experiments.page_size_sensitivity, True),
+    "table1": (experiments.table1_simulation_settings, False),
+    "table2": (experiments.table2_applications, False),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPS multi-GPU memory management — trace-driven reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload under one paradigm")
+    run.add_argument("workload", choices=workload_names())
+    run.add_argument("--paradigm", default="gps", choices=sorted(PARADIGMS))
+    run.add_argument("--gpus", type=int, default=4)
+    run.add_argument("--link", default="pcie6", choices=sorted(LINKS_BY_NAME))
+    run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--iterations", type=int, default=8)
+
+    compare = sub.add_parser("compare", help="all six paradigms on one workload")
+    compare.add_argument("workload", choices=workload_names())
+    compare.add_argument("--gpus", type=int, default=4)
+    compare.add_argument("--link", default="pcie6", choices=sorted(LINKS_BY_NAME))
+    compare.add_argument("--scale", type=float, default=0.5)
+    compare.add_argument("--iterations", type=int, default=8)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure/table")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--scale", type=float, default=1.0)
+    figure.add_argument("--iterations", type=int, default=16)
+    figure.add_argument("--json", metavar="PATH", help="also write the result as JSON")
+
+    sub.add_parser("list", help="list workloads, paradigms, and interconnects")
+
+    trace = sub.add_parser("trace", help="export a workload trace to JSON")
+    trace.add_argument("workload")
+    trace.add_argument("path", help="output JSON file")
+    trace.add_argument("--gpus", type=int, default=4)
+    trace.add_argument("--scale", type=float, default=0.5)
+    trace.add_argument("--iterations", type=int, default=8)
+
+    run_trace = sub.add_parser("run-trace", help="simulate a saved trace file")
+    run_trace.add_argument("path")
+    run_trace.add_argument("--paradigm", default="gps", choices=sorted(PARADIGMS))
+    run_trace.add_argument("--link", default="pcie6", choices=sorted(LINKS_BY_NAME))
+
+    lint = sub.add_parser("lint", help="lint a saved trace file for suspicious patterns")
+    lint.add_argument("path")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    config = default_system(args.gpus, LINKS_BY_NAME[args.link])
+    workload = get_workload(args.workload)
+    program = workload.build(args.gpus, scale=args.scale, iterations=args.iterations)
+    result = simulate(program, args.paradigm, config)
+    speedup, _, single = speedup_over_single_gpu(
+        lambda n: workload.build(n, scale=args.scale, iterations=args.iterations),
+        args.paradigm,
+        config,
+    )
+    print(f"workload      : {args.workload} ({workload.info.comm_pattern})")
+    print(f"paradigm      : {LABELS[args.paradigm]}")
+    print(f"system        : {args.gpus}x {config.gpu.name} over {config.link.name}")
+    print(f"simulated time: {fmt_time(result.total_time)}")
+    print(f"1-GPU baseline: {fmt_time(single.total_time)}  -> speedup {speedup:.2f}x")
+    print(f"interconnect  : {fmt_bytes(result.interconnect_bytes)}")
+    if result.fault_count:
+        print(f"faults        : {result.fault_count} ({result.pages_migrated} pages migrated)")
+    if result.subscriber_histogram:
+        print(f"subscribers   : {dict(sorted(result.subscriber_histogram.items()))}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    config = default_system(args.gpus, LINKS_BY_NAME[args.link])
+    workload = get_workload(args.workload)
+    speedups = {}
+    for paradigm in FIGURE8_ORDER:
+        speedup, multi, _ = speedup_over_single_gpu(
+            lambda n: workload.build(n, scale=args.scale, iterations=args.iterations),
+            paradigm,
+            config,
+        )
+        speedups[LABELS[paradigm]] = speedup
+    print(
+        bar_chart(
+            speedups,
+            title=(
+                f"{args.workload} on {args.gpus} GPUs over {config.link.name} "
+                f"(speedup vs 1 GPU)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    driver, takes_knobs = FIGURES[args.name]
+    kwargs = {}
+    if takes_knobs:
+        kwargs = {"scale": args.scale, "iterations": args.iterations}
+        if args.name in ("fig9",):
+            kwargs["iterations"] = min(args.iterations, 4)
+    result = driver(**kwargs)
+    if "speedups" in result and "paradigms" in result:
+        print(format_speedup_matrix(result, title=args.name))
+    elif "rows" in result:
+        rows = result["rows"]
+        headers = list(rows[0].keys())
+        print(
+            format_table(headers, [[r[h] for h in headers] for r in rows], title=args.name)
+        )
+    else:
+        print(to_json(result))
+    if args.json:
+        to_json(result, path=args.json)
+        print(f"(wrote {args.json})")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .trace.io import save_program
+
+    program = get_workload(args.workload).build(
+        args.gpus, scale=args.scale, iterations=args.iterations
+    )
+    save_program(program, args.path)
+    print(
+        f"wrote {args.path}: {len(program.phases)} phases, "
+        f"{sum(1 for _ in program.iter_kernels())} kernels, "
+        f"{len(program.buffers)} buffers"
+    )
+    return 0
+
+
+def _cmd_run_trace(args) -> int:
+    from .system.validate import lint_program
+    from .trace.io import load_program
+
+    program = load_program(args.path)
+    for diagnostic in lint_program(program):
+        print(diagnostic)
+    config = default_system(program.num_gpus, LINKS_BY_NAME[args.link])
+    result = simulate(program, args.paradigm, config)
+    print(f"program       : {program.name} ({program.num_gpus} GPUs)")
+    print(f"paradigm      : {LABELS[args.paradigm]}")
+    print(f"simulated time: {fmt_time(result.total_time)}")
+    print(f"interconnect  : {fmt_bytes(result.interconnect_bytes)}")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from .system.validate import lint_program
+    from .trace.io import load_program
+
+    diagnostics = lint_program(load_program(args.path))
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    if not diagnostics:
+        print("clean: no findings")
+    return 1 if any(d.severity == "warning" for d in diagnostics) else 0
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        [name, get_workload(name).info.comm_pattern, get_workload(name).info.description]
+        for name in workload_names()
+    ]
+    print(format_table(["workload", "pattern", "description"], rows, title="Workloads"))
+    print()
+    print("Paradigms     :", ", ".join(sorted(PARADIGMS)))
+    print("Interconnects :", ", ".join(sorted(LINKS_BY_NAME)))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figure": _cmd_figure,
+        "list": _cmd_list,
+        "trace": _cmd_trace,
+        "run-trace": _cmd_run_trace,
+        "lint": _cmd_lint,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

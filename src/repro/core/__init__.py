@@ -1,0 +1,42 @@
+"""GPS core: the paper's contribution.
+
+* :mod:`~repro.core.write_queue` — the remote write queue (coalescing).
+* :mod:`~repro.core.gps_page_table` / :mod:`~repro.core.gps_tlb` — the wide
+  secondary page table and its TLB.
+* :mod:`~repro.core.access_tracker` — the DRAM-bitmap access tracking unit.
+* :mod:`~repro.core.subscription` — subscription sets and their invariants.
+* :mod:`~repro.core.gps_unit` — the per-GPU hardware datapath.
+* :mod:`~repro.core.runtime` — the driver/API layer (``cudaMallocGPS`` etc.).
+* :mod:`~repro.core.consistency` — memory-model rules and checkers.
+"""
+
+from .access_tracker import AccessTrackingUnit
+from .consistency import StoreEvent, SyncKind, check_point_to_point_order, check_same_address_order, may_coalesce
+from .gps_page_table import GPSPageTable, GPSPTE
+from .gps_tlb import GPSTLB
+from .gps_unit import GPSUnit, OutboundWindow
+from .runtime import GPSRuntime, LoadResolution, MemAdvise
+from .subscription import SubscriptionManager, SubscriptionStats
+from .write_queue import DrainedEntry, RemoteWriteQueue, WriteQueueStats
+
+__all__ = [
+    "AccessTrackingUnit",
+    "StoreEvent",
+    "SyncKind",
+    "check_point_to_point_order",
+    "check_same_address_order",
+    "may_coalesce",
+    "GPSPageTable",
+    "GPSPTE",
+    "GPSTLB",
+    "GPSUnit",
+    "OutboundWindow",
+    "GPSRuntime",
+    "LoadResolution",
+    "MemAdvise",
+    "SubscriptionManager",
+    "SubscriptionStats",
+    "DrainedEntry",
+    "RemoteWriteQueue",
+    "WriteQueueStats",
+]

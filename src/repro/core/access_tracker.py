@@ -1,0 +1,87 @@
+"""The access tracking unit: per-GPU DRAM bitmap of touched GPS pages.
+
+Paper section 5.2: during the profiling phase, misses at the GPU's
+last-level conventional TLB to GPS-space pages are forwarded to the access
+tracking unit, which sets one bit per page in a DRAM-resident bitmap
+(64 KiB covers a 32 GiB range at 64 KiB pages). TLB misses are rare but
+cover every page the GPU touches, so the bitmap converges to the page-level
+access set at negligible bandwidth. The driver reads the bitmap at
+``tracking_stop()`` and unsubscribes the GPU from untouched pages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import GPSConfig
+from ..errors import ConfigError
+
+
+class AccessTrackingUnit:
+    """One GPU's access-tracking bitmap over the GPS virtual address range.
+
+    ``base_vpn`` anchors the bitmap at the start of the GPS heap so bit
+    index 0 is the first GPS page.
+    """
+
+    def __init__(self, gpu_id: int, config: GPSConfig, base_vpn: int) -> None:
+        self.gpu_id = gpu_id
+        self.base_vpn = base_vpn
+        self.num_pages = config.tracking_range_bytes // config.page_size
+        if self.num_pages <= 0:
+            raise ConfigError("tracking range smaller than one page")
+        self._bitmap = np.zeros(self.num_pages, dtype=bool)
+        self.enabled = False
+        self.updates = 0
+
+    @property
+    def bitmap_bytes(self) -> int:
+        """DRAM footprint of the bitmap (one bit per page)."""
+        return max(1, self.num_pages // 8)
+
+    def start(self) -> None:
+        """Begin a profiling phase with a clean bitmap."""
+        self._bitmap[:] = False
+        self.enabled = True
+        self.updates = 0
+
+    def stop(self) -> None:
+        """End the profiling phase; the bitmap stays readable."""
+        self.enabled = False
+
+    def record_tlb_miss(self, vpn: int) -> None:
+        """Path T1 of Figure 7: one last-level TLB miss to a GPS page."""
+        if not self.enabled:
+            return
+        index = vpn - self.base_vpn
+        if 0 <= index < self.num_pages:
+            if not self._bitmap[index]:
+                self.updates += 1
+            self._bitmap[index] = True
+
+    def record_pages(self, vpns: np.ndarray) -> None:
+        """Bulk path for trace replay: mark many pages at once.
+
+        Trace expansion hands the tracking unit the page projection of a
+        kernel's access stream; because the conventional TLB misses at least
+        once per distinct page, marking every distinct page is exactly what
+        the hardware bitmap converges to.
+        """
+        if not self.enabled or vpns.size == 0:
+            return
+        index = vpns.astype(np.int64) - self.base_vpn
+        index = index[(index >= 0) & (index < self.num_pages)]
+        before = int(self._bitmap[index].sum())
+        self._bitmap[index] = True
+        self.updates += int(index.size) - before
+
+    def touched(self, vpn: int) -> bool:
+        """Whether this GPU touched the page during profiling."""
+        index = vpn - self.base_vpn
+        if not 0 <= index < self.num_pages:
+            return False
+        return bool(self._bitmap[index])
+
+    def touched_pages(self) -> np.ndarray:
+        """All touched VPNs (absolute), sorted — what the driver reads."""
+        return np.flatnonzero(self._bitmap) + self.base_vpn

@@ -1,0 +1,108 @@
+"""GPU memory-consistency rules GPS must respect (paper sections 2.3, 3.3).
+
+GPS's coalescing is legal because the NVIDIA GPU memory model only requires
+weak stores to become visible to other GPUs at sys-scoped synchronisation.
+This module encodes the rules as executable predicates plus a checker used
+by the property-based tests:
+
+* weak stores may be coalesced and reordered unless they are to the same
+  address from the same GPU (same-address program order) or separated by a
+  sys-scoped fence;
+* sys-scoped accesses are never coalesced and go to a single point of
+  coherence;
+* the write queue must fully drain at sys-scoped synchronisation, including
+  the implicit release at the end of every grid.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..trace.records import Scope
+
+
+class SyncKind(enum.Enum):
+    """Synchronisation events that force write-queue drains."""
+
+    SYS_FENCE = "sys_fence"
+    GRID_END = "grid_end"
+
+
+@dataclass(frozen=True)
+class StoreEvent:
+    """A store as seen by the coalescing legality checker."""
+
+    gpu: int
+    address: int
+    scope: Scope
+    #: Position in the issuing GPU's program order.
+    seq: int
+
+
+def may_coalesce(a: StoreEvent, b: StoreEvent, fence_between: bool) -> bool:
+    """Whether stores ``a`` then ``b`` may merge into one interconnect write.
+
+    Encodes section 3.3: weak stores to the same cache line coalesce freely
+    — they need not be consecutive — unless a sys-scoped synchronisation
+    separates them, and sys-scoped stores never coalesce. Same-GPU
+    same-address pairs may still merge (the merged write carries the newest
+    value, preserving same-address order at every observer).
+    """
+    if a.scope is Scope.SYS or b.scope is Scope.SYS:
+        return False
+    if fence_between:
+        return False
+    return a.gpu == b.gpu
+
+
+def check_same_address_order(
+    issued: Sequence[StoreEvent], delivered: Sequence[StoreEvent]
+) -> bool:
+    """Verify same-GPU, same-address program order survives delivery.
+
+    ``issued`` is one GPU's store sequence in program order; ``delivered``
+    is the order some subscriber observed. The memory model requires that
+    for any two stores by the same GPU to the same address, every observer
+    sees them in program order (coalesced stores count as delivery of the
+    newest).
+    """
+    positions: dict[tuple[int, int, int], int] = {}
+    for idx, event in enumerate(delivered):
+        positions[(event.gpu, event.address, event.seq)] = idx
+    last_seen: dict[tuple[int, int], int] = {}
+    for event in issued:
+        key = (event.gpu, event.address, event.seq)
+        if key not in positions:
+            continue  # coalesced away: legal for weak stores
+        pos = positions[key]
+        addr_key = (event.gpu, event.address)
+        if addr_key in last_seen and pos < last_seen[addr_key]:
+            return False
+        last_seen[addr_key] = pos
+    return True
+
+
+def check_point_to_point_order(
+    delivered_per_subscriber: Sequence[Sequence[StoreEvent]],
+) -> bool:
+    """Verify all subscribers see one producer's same-address stores alike.
+
+    Section 3.3: with proper synchronisation, weak writes to one address
+    come from one GPU at a time, and point-to-point ordering makes all
+    consumers observe them in the same order. This checks that the relative
+    order of any (gpu, address) pair's surviving stores matches across
+    subscribers.
+    """
+    reference: dict[tuple[int, int], list[int]] = {}
+    for delivered in delivered_per_subscriber:
+        seen: dict[tuple[int, int], list[int]] = {}
+        for event in delivered:
+            seen.setdefault((event.gpu, event.address), []).append(event.seq)
+        for key, seqs in seen.items():
+            if key not in reference:
+                reference[key] = seqs
+            elif reference[key] != seqs:
+                return False
+    return True

@@ -1,0 +1,103 @@
+"""The GPS page table: one wide PTE per GPS page, all subscriber replicas.
+
+Paper section 5.2: a secondary page table tracks the multiple physical
+mappings that coexist for a GPS virtual page — one physical frame per
+subscribing GPU. It sits off the critical path (only drained remote writes
+consult it) and its leaf entries are sized at init from the GPU count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..config import GPSConfig
+from ..errors import TranslationError
+
+
+@dataclass
+class GPSPTE:
+    """One wide GPS page-table entry: VPN -> {subscriber GPU: frame}."""
+
+    vpn: int
+    replicas: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def subscribers(self) -> frozenset[int]:
+        """GPUs holding a replica of this page."""
+        return frozenset(self.replicas)
+
+    def remote_subscribers(self, from_gpu: int) -> list[int]:
+        """Subscribers other than ``from_gpu``, ascending."""
+        return sorted(g for g in self.replicas if g != from_gpu)
+
+
+class GPSPageTable:
+    """System-wide GPS page table, shared by all GPUs' translation units.
+
+    There is one logical GPS page table per system (each GPU's GPS address
+    translation unit caches it through its GPS-TLB). The driver installs and
+    removes replica mappings as subscriptions change.
+    """
+
+    def __init__(self, config: GPSConfig, num_gpus: int) -> None:
+        self.config = config
+        self.num_gpus = num_gpus
+        self._entries: dict[int, GPSPTE] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    @property
+    def pte_bits(self) -> int:
+        """Width of one leaf PTE for this system size (paper quotes 126 bits
+        for 4 GPUs with 64 KiB pages)."""
+        return self.config.gps_pte_bits(self.num_gpus)
+
+    def install_replica(self, vpn: int, gpu: int, frame: int) -> GPSPTE:
+        """Record that ``gpu`` holds ``vpn``'s replica in ``frame``."""
+        if not 0 <= gpu < self.num_gpus:
+            raise TranslationError(f"GPU {gpu} out of range installing VPN {vpn:#x}")
+        entry = self._entries.setdefault(vpn, GPSPTE(vpn=vpn))
+        entry.replicas[gpu] = frame
+        return entry
+
+    def remove_replica(self, vpn: int, gpu: int) -> int:
+        """Drop ``gpu``'s replica; returns the freed frame."""
+        entry = self.lookup(vpn)
+        try:
+            return entry.replicas.pop(gpu)
+        except KeyError:
+            raise TranslationError(
+                f"GPU {gpu} holds no replica of VPN {vpn:#x}"
+            ) from None
+
+    def remove_page(self, vpn: int) -> GPSPTE:
+        """Remove the whole entry (page demoted to conventional or freed)."""
+        try:
+            return self._entries.pop(vpn)
+        except KeyError:
+            raise TranslationError(f"no GPS-PTE for VPN {vpn:#x}") from None
+
+    def lookup(self, vpn: int) -> GPSPTE:
+        """Fetch the wide PTE for a page-walk; raises on a miss."""
+        try:
+            return self._entries[vpn]
+        except KeyError:
+            raise TranslationError(f"no GPS-PTE for VPN {vpn:#x}") from None
+
+    def subscribers(self, vpn: int) -> frozenset[int]:
+        """Subscriber set of one page (empty if the page is unknown)."""
+        entry = self._entries.get(vpn)
+        return entry.subscribers if entry is not None else frozenset()
+
+    def entries(self) -> Iterator[GPSPTE]:
+        """All wide PTEs (driver bulk operations)."""
+        return iter(self._entries.values())
+
+    def pages_with_multiple_subscribers(self) -> list[int]:
+        """VPNs genuinely replicated — the pages GPS keeps the GPS bit on."""
+        return [vpn for vpn, e in self._entries.items() if len(e.replicas) > 1]

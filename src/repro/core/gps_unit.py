@@ -1,0 +1,98 @@
+"""The per-GPU GPS unit: write queue -> GPS-TLB -> replica fan-out.
+
+This is the hardware datapath of Figure 7 (W4, W5, W6): weak stores to GPS
+pages arrive from the SMs (already passed through the intra-SM coalescer),
+coalesce in the remote write queue, and drained entries are translated by
+the GPS address translation unit, producing one interconnect write per
+remote subscriber. The unit accumulates per-destination byte counts that
+the paradigm executor turns into timed transfers and traffic-matrix
+entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import CACHE_BLOCK, GPSConfig
+from ..trace.expand import LineStream
+from .gps_page_table import GPSPageTable
+from .gps_tlb import GPSTLB
+from .write_queue import DrainedEntry, RemoteWriteQueue
+
+
+@dataclass
+class OutboundWindow:
+    """Traffic produced by one GPU's GPS unit within one sync window."""
+
+    bytes_to: dict = field(default_factory=dict)  # dst gpu -> payload bytes
+    writes_to: dict = field(default_factory=dict)  # dst gpu -> write count
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes across all destinations."""
+        return sum(self.bytes_to.values())
+
+    def add(self, dst: int, payload: int) -> None:
+        """Record one replica write."""
+        self.bytes_to[dst] = self.bytes_to.get(dst, 0) + payload
+        self.writes_to[dst] = self.writes_to.get(dst, 0) + 1
+
+
+class GPSUnit:
+    """One GPU's GPS hardware: remote write queue plus translation."""
+
+    def __init__(self, gpu_id: int, config: GPSConfig, page_table: GPSPageTable) -> None:
+        self.gpu_id = gpu_id
+        self.config = config
+        self.write_queue = RemoteWriteQueue(config)
+        self.tlb = GPSTLB(config, page_table)
+        self._page_table = page_table
+        self._lines_per_page = config.page_size // CACHE_BLOCK
+        self._window = OutboundWindow()
+
+    def process_stores(self, stream: LineStream, atomic: bool = False) -> None:
+        """Push a GPS-page store stream through the queue; route any drains.
+
+        The caller guarantees the stream only contains stores to pages whose
+        GPS bit is set (the conventional TLB filters in hardware, the
+        paradigm executor filters here).
+        """
+        drained = self.write_queue.process_stream(
+            stream.lines, stream.bytes_per_txn, atomic=atomic
+        )
+        for entry in drained:
+            self._route(entry)
+
+    def sync(self) -> OutboundWindow:
+        """Drain at a synchronisation boundary; return and reset the window.
+
+        Models the implicit release at grid end / sys-scoped fences: the
+        remote write queue and the translation unit both drain fully.
+        """
+        for entry in self.write_queue.flush():
+            self._route(entry)
+        window = self._window
+        self._window = OutboundWindow()
+        return window
+
+    def _route(self, entry: DrainedEntry) -> None:
+        vpn = entry.line // self._lines_per_page
+        pte = self.tlb.translate(vpn)
+        for dst in pte.remote_subscribers(self.gpu_id):
+            self._window.add(dst, entry.payload_bytes)
+
+    def invalidate_page(self, vpn: int) -> None:
+        """GPS-TLB shootdown for one page (subscription change)."""
+        self.tlb.invalidate(vpn)
+
+    @staticmethod
+    def sm_coalesce(stream: LineStream) -> LineStream:
+        """The intra-SM coalescer stage in front of the write queue.
+
+        Delegates to :func:`repro.gpu.sm_coalescer.sm_coalesce`; exposed
+        here because architecturally the SM coalescer is the first stage of
+        the GPS store path (Figure 7, W1-W3).
+        """
+        from ..gpu.sm_coalescer import sm_coalesce
+
+        return sm_coalesce(stream)

@@ -1,0 +1,182 @@
+"""Litmus-test framework: check GPS's delivery behaviour against the model.
+
+Section 3.3 argues GPS's coalescing is legal under the NVIDIA GPU memory
+model. This module makes that argument executable: a :class:`LitmusTest`
+describes per-GPU store sequences (with scopes and fence points), runs them
+through a real :class:`~repro.core.write_queue.RemoteWriteQueue` per GPU,
+fans drained entries out to subscribers in order, and checks the delivered
+sequences with the predicates in :mod:`repro.core.consistency`:
+
+* same-GPU same-address program order survives at every subscriber;
+* all subscribers observe one producer's same-address stores alike
+  (point-to-point ordering);
+* nothing issued after a fence is merged into anything before it.
+
+The property-based tests drive this with random programs; a few classic
+shapes (message passing, store buffering) are provided as named tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import CACHE_BLOCK, GPSConfig
+from .consistency import StoreEvent, check_point_to_point_order, check_same_address_order
+from .write_queue import RemoteWriteQueue
+from ..trace.records import Scope
+
+
+@dataclass(frozen=True)
+class LitmusOp:
+    """One instruction of a litmus program: a store or a fence."""
+
+    kind: str  # "store" | "fence"
+    address: int = 0
+    scope: Scope = Scope.WEAK
+
+    @staticmethod
+    def store(address: int, scope: Scope = Scope.WEAK) -> "LitmusOp":
+        """A store of a fresh value to ``address``."""
+        return LitmusOp("store", address, scope)
+
+    @staticmethod
+    def fence() -> "LitmusOp":
+        """A sys-scoped fence: the write queue must fully drain."""
+        return LitmusOp("fence")
+
+
+@dataclass
+class LitmusResult:
+    """Outcome of one litmus run."""
+
+    delivered: dict  # subscriber -> [StoreEvent] in arrival order
+    same_address_ok: bool
+    point_to_point_ok: bool
+    fence_ok: bool
+
+    @property
+    def ok(self) -> bool:
+        """All memory-model checks passed."""
+        return self.same_address_ok and self.point_to_point_ok and self.fence_ok
+
+
+class LitmusTest:
+    """Executable litmus test over the GPS store-forwarding datapath."""
+
+    def __init__(self, num_gpus: int = 2, queue_entries: int = 8) -> None:
+        self.num_gpus = num_gpus
+        self.config = GPSConfig(write_queue_entries=queue_entries)
+        self._programs: dict[int, list[LitmusOp]] = {}
+
+    def program(self, gpu: int, ops: "list[LitmusOp]") -> "LitmusTest":
+        """Set one GPU's instruction sequence; returns self for chaining."""
+        self._programs[gpu] = list(ops)
+        return self
+
+    def run(self) -> LitmusResult:
+        """Execute every program and verify delivery at all subscribers.
+
+        All stores go to one all-to-all-subscribed GPS page; each producer
+        has its own remote write queue, and drained entries are delivered
+        to every other GPU in drain order (point-to-point ordering on the
+        interconnect, as section 3.3 assumes).
+        """
+        delivered: dict[int, list[StoreEvent]] = {g: [] for g in range(self.num_gpus)}
+        issued: dict[int, list[StoreEvent]] = {}
+        fence_violations = 0
+
+        for gpu, ops in self._programs.items():
+            queue = RemoteWriteQueue(self.config)
+            issued[gpu] = []
+            # line -> seq of the newest store merged into the buffered entry
+            newest_in_entry: dict[int, int] = {}
+            # seqs already drained (before the most recent fence)
+            drained_before_fence: set[int] = set()
+            seq = 0
+            out_events: list[StoreEvent] = []
+
+            def drain(entries) -> None:
+                for entry in entries:
+                    out_events.append(
+                        StoreEvent(
+                            gpu=gpu,
+                            address=entry.line,
+                            scope=Scope.WEAK,
+                            seq=newest_in_entry.pop(entry.line),
+                        )
+                    )
+
+            for op in ops:
+                if op.kind == "fence":
+                    drain(queue.flush())
+                    drained_before_fence = {e.seq for e in out_events}
+                    continue
+                event = StoreEvent(gpu=gpu, address=op.address, scope=op.scope, seq=seq)
+                issued[gpu].append(event)
+                if op.scope is Scope.SYS:
+                    # Sys-scoped stores bypass coalescing entirely: flush
+                    # then deliver immediately (single point of coherence).
+                    drain(queue.flush())
+                    out_events.append(event)
+                else:
+                    line = op.address
+                    if line in newest_in_entry:
+                        # Coalesced: merged entry now carries the newest seq.
+                        if seq in drained_before_fence:
+                            fence_violations += 1
+                        newest_in_entry[line] = seq
+                        queue.push_store(line, CACHE_BLOCK)
+                    else:
+                        newest_in_entry[line] = seq
+                        drain(queue.push_store(line, CACHE_BLOCK))
+                seq += 1
+            drain(queue.flush())
+
+            for subscriber in range(self.num_gpus):
+                if subscriber != gpu:
+                    delivered[subscriber].extend(out_events)
+
+        same_address = all(
+            check_same_address_order(issued[gpu], delivered[sub])
+            for gpu in issued
+            for sub in delivered
+            if sub != gpu
+        )
+        p2p = check_point_to_point_order(
+            [events for sub, events in sorted(delivered.items())]
+        )
+        return LitmusResult(
+            delivered=delivered,
+            same_address_ok=same_address,
+            point_to_point_ok=p2p,
+            fence_ok=fence_violations == 0,
+        )
+
+
+def message_passing() -> LitmusResult:
+    """Classic MP: data store, fence, flag store — flag must not pass data."""
+    test = LitmusTest(num_gpus=2)
+    test.program(
+        0,
+        [
+            LitmusOp.store(address=0),  # data
+            LitmusOp.fence(),
+            LitmusOp.store(address=1),  # flag
+        ],
+    )
+    return test.run()
+
+
+def store_buffering() -> LitmusResult:
+    """SB shape: two GPUs store to different addresses; any order is legal."""
+    test = LitmusTest(num_gpus=2)
+    test.program(0, [LitmusOp.store(address=0)])
+    test.program(1, [LitmusOp.store(address=1)])
+    return test.run()
+
+
+def coalescing_chain(length: int = 20) -> LitmusResult:
+    """Repeated same-address weak stores: survivors must stay ordered."""
+    test = LitmusTest(num_gpus=2)
+    test.program(0, [LitmusOp.store(address=i % 3) for i in range(length)])
+    return test.run()

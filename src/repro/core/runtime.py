@@ -1,0 +1,308 @@
+"""The GPS runtime/driver: the paper's programming interface (section 4).
+
+Python equivalents of the CUDA-level API:
+
+===============================  ==============================================
+Paper API                        Here
+===============================  ==============================================
+``cudaMallocGPS(ptr, size)``     :meth:`GPSRuntime.malloc_gps`
+``cudaMalloc`` / pinned          :meth:`GPSRuntime.malloc_pinned`
+``cudaMallocManaged``            :meth:`GPSRuntime.malloc_managed`
+``cudaFree``                     :meth:`GPSRuntime.free`
+``cuMemAdvise(..., SUBSCRIBE)``  :meth:`GPSRuntime.mem_advise` with
+                                 :attr:`MemAdvise.GPS_SUBSCRIBE`
+``cuGPSTrackingStart()``         :meth:`GPSRuntime.tracking_start`
+``cuGPSTrackingStop()``          :meth:`GPSRuntime.tracking_stop`
+===============================  ==============================================
+
+The runtime keeps the conventional page tables, the GPS page table, the
+subscription manager, and physical allocators mutually consistent: that
+bookkeeping is exactly what the paper assigns to "driver support".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import AllocationError, SubscriptionError
+from ..memory.address_space import AddressSpace, AllocKind, Allocation
+from ..memory.allocator import PhysicalMemory
+from ..memory.page_table import PageTable
+from .access_tracker import AccessTrackingUnit
+from .gps_page_table import GPSPageTable
+from .gps_unit import GPSUnit
+from .subscription import SubscriptionManager
+
+
+class MemAdvise(enum.Enum):
+    """The two new ``cuMemAdvise`` flags GPS adds (section 4)."""
+
+    GPS_SUBSCRIBE = "gps_subscribe"
+    GPS_UNSUBSCRIBE = "gps_unsubscribe"
+
+
+@dataclass(frozen=True)
+class LoadResolution:
+    """Where a load to a GPS page is serviced from."""
+
+    local: bool
+    source_gpu: int
+
+
+class GPSRuntime:
+    """Driver state for one multi-GPU system."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        page_size = config.page_size
+        self.address_space = AddressSpace(page_size, config.gps.virtual_address_bits)
+        self.memories = [
+            PhysicalMemory(g, config.gpu.dram_bytes, page_size) for g in range(config.num_gpus)
+        ]
+        self.page_tables = [PageTable(g, page_size) for g in range(config.num_gpus)]
+        self.gps_page_table = GPSPageTable(config.gps, config.num_gpus)
+        self.subscriptions = SubscriptionManager(config.num_gpus)
+        base_vpn = AddressSpace.HEAP_BASE // page_size
+        self.trackers = [
+            AccessTrackingUnit(g, config.gps, base_vpn) for g in range(config.num_gpus)
+        ]
+        self.gps_units = [GPSUnit(g, config.gps, self.gps_page_table) for g in range(config.num_gpus)]
+        self.tracking_active = False
+
+    # -- allocation ----------------------------------------------------------
+
+    def malloc_gps(self, name: str, size: int, manual: bool = False) -> Allocation:
+        """Allocate in the GPS address space, replicated on every GPU.
+
+        Subscribed-by-default (section 5.2): all GPUs start subscribed to
+        every page, each backed by a local frame, and the GPS bit is set in
+        every conventional page table.
+        """
+        alloc = self.address_space.allocate(
+            name, size, AllocKind.GPS, manual_subscription=manual
+        )
+        pages = list(alloc.pages(self.config.page_size))
+        self.subscriptions.register_all_to_all(pages)
+        for gpu in range(self.config.num_gpus):
+            frames = self.memories[gpu].allocate_frames(len(pages))
+            for vpn, frame in zip(pages, frames):
+                self.gps_page_table.install_replica(vpn, gpu, frame)
+                self.page_tables[gpu].map(vpn, resident_gpu=gpu, frame=frame, gps=True)
+        return alloc
+
+    def malloc_pinned(self, name: str, size: int, gpu: int = 0) -> Allocation:
+        """``cudaMalloc``-style allocation resident on one GPU.
+
+        Every GPU maps the pages (peer access), but only ``gpu`` holds them.
+        """
+        alloc = self.address_space.allocate(name, size, AllocKind.PINNED, home_gpu=gpu)
+        pages = list(alloc.pages(self.config.page_size))
+        frames = self.memories[gpu].allocate_frames(len(pages))
+        for vpn, frame in zip(pages, frames):
+            for viewer in range(self.config.num_gpus):
+                self.page_tables[viewer].map(vpn, resident_gpu=gpu, frame=frame, gps=False)
+        return alloc
+
+    def malloc_managed(self, name: str, size: int, home_gpu: int = 0) -> Allocation:
+        """``cudaMallocManaged``-style allocation; pages populate on first touch.
+
+        No mappings are installed here — the UM paradigm executor models
+        fault-driven population and migration.
+        """
+        return self.address_space.allocate(name, size, AllocKind.MANAGED, home_gpu=home_gpu)
+
+    def free(self, name: str) -> None:
+        """Release an allocation and all of its physical backing."""
+        alloc = self.address_space.free(name)
+        pages = list(alloc.pages(self.config.page_size))
+        if alloc.kind is AllocKind.GPS:
+            for vpn in pages:
+                for gpu in sorted(self.gps_page_table.subscribers(vpn)):
+                    frame = self.gps_page_table.remove_replica(vpn, gpu)
+                    self.memories[gpu].free_frame(frame)
+                    if vpn in self.page_tables[gpu]:
+                        self.page_tables[gpu].unmap(vpn)
+                    self.gps_units[gpu].invalidate_page(vpn)
+                self.gps_page_table.remove_page(vpn)
+                self.subscriptions.drop_page(vpn)
+        elif alloc.kind is AllocKind.PINNED:
+            for vpn in pages:
+                pte = self.page_tables[alloc.home_gpu].lookup(vpn)
+                self.memories[pte.resident_gpu].free_frame(pte.frame)
+                for gpu in range(self.config.num_gpus):
+                    if vpn in self.page_tables[gpu]:
+                        self.page_tables[gpu].unmap(vpn)
+        # MANAGED pages were never backed by this runtime.
+
+    # -- subscription management ----------------------------------------------
+
+    def mem_advise(self, gpu: int, name: str, advice: MemAdvise) -> int:
+        """Apply a subscription hint over a whole allocation.
+
+        Returns the number of pages whose state changed. Unsubscribing the
+        last subscriber of any page raises, leaving that page intact, per
+        the paper's API contract.
+        """
+        alloc = self.address_space.get(name)
+        if alloc.kind is not AllocKind.GPS:
+            raise SubscriptionError(f"allocation {name!r} is not in the GPS address space")
+        changed = 0
+        for vpn in alloc.pages(self.config.page_size):
+            if advice is MemAdvise.GPS_SUBSCRIBE:
+                changed += self._subscribe_page(gpu, vpn)
+            else:
+                changed += self._unsubscribe_page(gpu, vpn)
+        return changed
+
+    def _subscribe_page(self, gpu: int, vpn: int) -> int:
+        if self.subscriptions.is_subscriber(gpu, vpn):
+            return 0
+        self.subscriptions.subscribe(gpu, vpn)
+        frame = self.memories[gpu].allocate_frame()
+        self.gps_page_table.install_replica(vpn, gpu, frame)
+        self.page_tables[gpu].map(vpn, resident_gpu=gpu, frame=frame, gps=True)
+        self._refresh_gps_bit(vpn)
+        self._shootdown(vpn)
+        return 1
+
+    def _unsubscribe_page(self, gpu: int, vpn: int) -> int:
+        if not self.subscriptions.is_subscriber(gpu, vpn):
+            return 0
+        self.subscriptions.unsubscribe(gpu, vpn)  # raises if last subscriber
+        frame = self.gps_page_table.remove_replica(vpn, gpu)
+        self.memories[gpu].free_frame(frame)
+        if vpn in self.page_tables[gpu]:
+            self.page_tables[gpu].unmap(vpn)
+        self._refresh_gps_bit(vpn)
+        self._shootdown(vpn)
+        return 1
+
+    def _refresh_gps_bit(self, vpn: int) -> None:
+        """Keep the conventional-PTE GPS bit consistent with subscriber count.
+
+        Single-subscriber pages are conventional (no write duplication);
+        multi-subscriber pages carry the GPS bit (section 5.2).
+        """
+        subs = self.gps_page_table.subscribers(vpn)
+        gps_bit = len(subs) > 1
+        for gpu in subs:
+            pte = self.page_tables[gpu].try_lookup(vpn)
+            if pte is not None:
+                pte.gps = gps_bit
+        if gps_bit:
+            self._undemote(vpn)
+
+    def _undemote(self, vpn: int) -> None:
+        """Re-promotion happens inside ``SubscriptionManager.subscribe``;
+        kept as a named hook so the promotion path is greppable."""
+
+    def _shootdown(self, vpn: int) -> None:
+        for unit in self.gps_units:
+            unit.invalidate_page(vpn)
+
+    # -- automatic profiling ----------------------------------------------------
+
+    def tracking_start(self) -> None:
+        """``cuGPSTrackingStart()``: begin the access-profiling phase."""
+        for tracker in self.trackers:
+            tracker.start()
+        self.tracking_active = True
+
+    def record_accesses(self, gpu: int, vpns: np.ndarray) -> None:
+        """Feed one kernel's page-level access set to the tracking unit."""
+        self.trackers[gpu].record_pages(vpns)
+
+    def tracking_stop(self) -> dict:
+        """``cuGPSTrackingStop()``: read bitmaps, trim subscriptions, demote.
+
+        Returns a summary: pages profiled, unsubscriptions performed,
+        demotions to conventional pages.
+        """
+        for tracker in self.trackers:
+            tracker.stop()
+        self.tracking_active = False
+        touched_by = {
+            gpu: set(self.trackers[gpu].touched_pages().tolist())
+            for gpu in range(self.config.num_gpus)
+        }
+        # Unsubscribe via the driver path so frames are freed and page
+        # tables stay consistent (SubscriptionManager.apply_profile alone
+        # would leak replica frames).
+        removed = 0
+        for vpn in self.subscriptions.pages():
+            subs = sorted(self.subscriptions.subscribers(vpn))
+            keep = [g for g in subs if vpn in touched_by.get(g, ())]
+            if not keep:
+                keep = [subs[0]]
+            for gpu in subs:
+                if gpu not in keep and len(self.subscriptions.subscribers(vpn)) > 1:
+                    removed += self._unsubscribe_page(gpu, vpn)
+        demoted = self.subscriptions.demote_single_subscriber_pages()
+        for vpn in demoted:
+            self._refresh_gps_bit(vpn)
+        return {
+            "pages": len(self.subscriptions.pages()),
+            "unsubscribed": removed,
+            "demoted": len(demoted),
+        }
+
+    # -- access paths -------------------------------------------------------------
+
+    def resolve_load(self, gpu: int, vpn: int) -> LoadResolution:
+        """Figure 7 read path: local replica if subscribed, else remote.
+
+        Subscriptions are hints — a non-subscriber load never faults, it is
+        issued remotely to one of the subscribers (section 3.2).
+        """
+        if self.subscriptions.is_subscriber(gpu, vpn):
+            return LoadResolution(local=True, source_gpu=gpu)
+        src = self.subscriptions.remote_source(gpu, vpn)
+        return LoadResolution(local=False, source_gpu=src)
+
+    def handle_oversubscription(self, gpu: int, vpns: "list[int]") -> int:
+        """Section 5.3: the driver swapped pages out of one GPU's memory.
+
+        "If the GPU driver swaps out a page from a subscriber due to
+        oversubscription, that GPU will be unsubscribed and will access
+        that page remotely." Last-subscriber pages cannot be evicted (the
+        sole replica must survive); those are skipped. Returns the number
+        of pages actually evicted.
+        """
+        evicted = 0
+        for vpn in vpns:
+            if not self.subscriptions.is_subscriber(gpu, vpn):
+                continue
+            if len(self.subscriptions.subscribers(vpn)) == 1:
+                continue  # sole replica: not evictable
+            evicted += self._unsubscribe_page(gpu, vpn)
+        return evicted
+
+    def collapse_on_sys_store(self, gpu: int, vpn: int) -> int:
+        """Section 5.3: a sys-scoped store collapses a GPS page.
+
+        The page demotes to a single conventional copy on the storing GPU;
+        all other replicas are freed. Returns the number of replicas freed.
+        """
+        subs = sorted(self.gps_page_table.subscribers(vpn))
+        if gpu not in subs:
+            # The storing GPU takes ownership; keep the lowest subscriber's
+            # frame as the surviving copy instead.
+            gpu = subs[0]
+        freed = 0
+        for other in subs:
+            if other == gpu:
+                continue
+            self.subscriptions.unsubscribe(other, vpn)
+            frame = self.gps_page_table.remove_replica(vpn, other)
+            self.memories[other].free_frame(frame)
+            if vpn in self.page_tables[other]:
+                self.page_tables[other].unmap(vpn)
+            freed += 1
+        self.subscriptions.demote_single_subscriber_pages()
+        self._refresh_gps_bit(vpn)
+        self._shootdown(vpn)
+        return freed

@@ -1,0 +1,186 @@
+"""Subscription management: who receives each GPS page's updates.
+
+Paper sections 3.2 and 4. Subscriptions are per-page sets of GPUs. The
+invariants enforced here:
+
+* every GPS page always has **at least one** subscriber — unsubscribing the
+  last one raises :class:`~repro.errors.SubscriptionError` (the paper's API
+  returns an error and leaves the allocation in place);
+* subscriptions are hints, not correctness requirements: a non-subscriber
+  load is serviced remotely from any subscriber (the manager answers
+  ``remote_source`` for that path);
+* pages left with exactly one subscriber after profiling are *demoted* to
+  conventional pages (GPS bit cleared) since replicating writes to a single
+  subscriber is pure waste (section 5.2).
+
+The manager also produces the Figure 9 metric: the distribution of
+subscriber counts over shared pages at the start of the execution phase.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import SubscriptionError
+
+
+@dataclass
+class SubscriptionStats:
+    """Bookkeeping for subscription-change activity."""
+
+    subscribes: int = 0
+    unsubscribes: int = 0
+    demotions: int = 0
+
+
+class SubscriptionManager:
+    """System-wide page -> subscriber-set map with GPS invariants."""
+
+    def __init__(self, num_gpus: int) -> None:
+        self.num_gpus = num_gpus
+        self._subs: dict[int, set[int]] = {}
+        #: Pages demoted to conventional after profiling (single subscriber).
+        self._demoted: set[int] = set()
+        self.stats = SubscriptionStats()
+
+    def _bounds_check(self, gpus: "set[int]", vpn: int) -> None:
+        for gpu in gpus:
+            if not 0 <= gpu < self.num_gpus:
+                raise SubscriptionError(
+                    f"GPU {gpu} out of range for page {vpn:#x} "
+                    f"in a {self.num_gpus}-GPU system"
+                )
+
+    def register_page(self, vpn: int, initial_subscribers: "set[int] | frozenset[int]") -> None:
+        """Create subscription state for a new GPS page."""
+        if vpn in self._subs:
+            raise SubscriptionError(f"page {vpn:#x} already registered")
+        subs = set(initial_subscribers)
+        if not subs:
+            raise SubscriptionError(f"page {vpn:#x} needs at least one initial subscriber")
+        self._bounds_check(subs, vpn)
+        self._subs[vpn] = subs
+
+    def register_all_to_all(self, vpns: "list[int] | range") -> None:
+        """Subscribed-by-default profiling: everyone subscribes to everything."""
+        everyone = set(range(self.num_gpus))
+        for vpn in vpns:
+            if vpn not in self._subs:
+                self._subs[vpn] = set(everyone)
+
+    def drop_page(self, vpn: int) -> None:
+        """Remove all state for a freed page."""
+        self._subs.pop(vpn, None)
+        self._demoted.discard(vpn)
+
+    def is_registered(self, vpn: int) -> bool:
+        """Whether the page is under GPS management."""
+        return vpn in self._subs
+
+    def is_demoted(self, vpn: int) -> bool:
+        """Whether the page was demoted to a conventional page."""
+        return vpn in self._demoted
+
+    def subscribers(self, vpn: int) -> frozenset[int]:
+        """Current subscriber set (empty for unknown pages)."""
+        return frozenset(self._subs.get(vpn, ()))
+
+    def is_subscriber(self, gpu: int, vpn: int) -> bool:
+        """Whether ``gpu`` holds a replica of ``vpn``."""
+        return gpu in self._subs.get(vpn, ())
+
+    def subscribe(self, gpu: int, vpn: int) -> bool:
+        """Add ``gpu`` to a page's subscribers. Returns True if it was new."""
+        self._bounds_check({gpu}, vpn)
+        subs = self._subs.get(vpn)
+        if subs is None:
+            raise SubscriptionError(f"subscribe to unregistered page {vpn:#x}")
+        if gpu in subs:
+            return False
+        subs.add(gpu)
+        self._demoted.discard(vpn)  # a second subscriber re-promotes the page
+        self.stats.subscribes += 1
+        return True
+
+    def unsubscribe(self, gpu: int, vpn: int) -> bool:
+        """Remove ``gpu`` from a page's subscribers.
+
+        Raises :class:`SubscriptionError` when ``gpu`` is the last
+        subscriber; returns False when it was not subscribed at all.
+        """
+        subs = self._subs.get(vpn)
+        if subs is None:
+            raise SubscriptionError(f"unsubscribe from unregistered page {vpn:#x}")
+        if gpu not in subs:
+            return False
+        if len(subs) == 1:
+            raise SubscriptionError(
+                f"GPU {gpu} is the last subscriber of page {vpn:#x}; "
+                "GPS keeps at least one replica"
+            )
+        subs.remove(gpu)
+        self.stats.unsubscribes += 1
+        return True
+
+    def remote_source(self, gpu: int, vpn: int) -> int:
+        """Pick the subscriber a non-subscriber load is serviced from.
+
+        Deterministic: the lowest-numbered subscriber, skipping the
+        requester itself if somehow present.
+        """
+        subs = self._subs.get(vpn)
+        if not subs:
+            raise SubscriptionError(f"no subscribers for page {vpn:#x}")
+        for candidate in sorted(subs):
+            if candidate != gpu:
+                return candidate
+        raise SubscriptionError(f"page {vpn:#x} has no subscriber other than GPU {gpu}")
+
+    def apply_profile(self, touched_by: "dict[int, set[int]]") -> int:
+        """Apply profiling results: unsubscribe GPUs from untouched pages.
+
+        ``touched_by`` maps gpu -> set of VPNs the access tracker saw it
+        touch. A GPU remains subscribed iff it touched the page — except
+        that the last subscriber is never removed (if *nobody* touched a
+        page, the lowest-numbered current subscriber keeps it alive).
+        Returns the number of unsubscriptions performed.
+        """
+        removed = 0
+        for vpn, subs in self._subs.items():
+            keep = {g for g in subs if vpn in touched_by.get(g, ())}
+            if not keep:
+                keep = {min(subs)}
+            for gpu in sorted(subs - keep):
+                if len(self._subs[vpn]) > 1:
+                    self.unsubscribe(gpu, vpn)
+                    removed += 1
+        return removed
+
+    def demote_single_subscriber_pages(self) -> list[int]:
+        """Mark single-subscriber pages conventional; returns their VPNs."""
+        demoted = []
+        for vpn, subs in self._subs.items():
+            if len(subs) == 1 and vpn not in self._demoted:
+                self._demoted.add(vpn)
+                self.stats.demotions += 1
+                demoted.append(vpn)
+        return demoted
+
+    def subscriber_histogram(self, only_shared: bool = True) -> "Counter[int]":
+        """Figure 9: distribution of subscriber counts across pages.
+
+        With ``only_shared`` (the figure's definition) pages with a single
+        subscriber are excluded.
+        """
+        hist: Counter[int] = Counter()
+        for subs in self._subs.values():
+            count = len(subs)
+            if only_shared and count < 2:
+                continue
+            hist[count] += 1
+        return hist
+
+    def pages(self) -> list[int]:
+        """All registered VPNs."""
+        return list(self._subs)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the GPS reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class AllocationError(ReproError):
+    """Physical or virtual memory could not be allocated."""
+
+
+class TranslationError(ReproError):
+    """A virtual address has no mapping in the relevant page table."""
+
+
+class SubscriptionError(ReproError):
+    """An illegal subscription operation was attempted.
+
+    The canonical case, from paper section 4: unsubscribing the *last*
+    subscriber of a GPS region is an error — GPS guarantees at least one
+    physical replica exists.
+    """
+
+
+class TraceError(ReproError):
+    """A trace program or access range is malformed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class ParadigmError(ReproError):
+    """A memory-management paradigm was misused or misconfigured."""

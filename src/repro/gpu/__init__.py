@@ -1,0 +1,13 @@
+"""GPU substrate: kernel roofline timing, DRAM efficiency, SM coalescer.
+
+The timing model is deliberately analytic — the paper's NVAS replays SASS
+instruction-by-instruction, but the quantities GPS's evaluation turns on are
+kernel-granularity: how long a kernel occupies its GPU (compute vs local
+bandwidth roofline) and how much remote traffic rides the links meanwhile.
+"""
+
+from .dram import DRAMModel
+from .kernel_timing import KernelTiming, KernelTimingModel
+from .sm_coalescer import sm_coalesce
+
+__all__ = ["DRAMModel", "KernelTiming", "KernelTimingModel", "sm_coalesce"]

@@ -1,0 +1,51 @@
+"""DRAM efficiency model: achieved bandwidth depends on access pattern.
+
+HBM2 delivers its peak only to well-behaved streams; random single-line
+accesses pay row activation on most requests. The model maps the trace
+pattern kinds onto achieved-bandwidth fractions calibrated against public
+GPU STREAM/pointer-chase measurements.
+"""
+
+from __future__ import annotations
+
+from ..config import GPUConfig
+from ..trace.records import PatternKind
+
+#: Fraction of peak DRAM bandwidth each pattern achieves.
+_EFFICIENCY = {
+    PatternKind.SEQUENTIAL: 0.92,
+    PatternKind.STRIDED: 0.80,
+    PatternKind.RANDOM: 0.42,
+    PatternKind.REUSE: 0.78,
+}
+
+
+class DRAMModel:
+    """Per-GPU DRAM: peak bandwidth modulated by pattern efficiency."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+
+    def efficiency(self, kind: PatternKind) -> float:
+        """Achieved fraction of peak for one pattern kind."""
+        return _EFFICIENCY[kind]
+
+    def achieved_bandwidth(self, kind: PatternKind) -> float:
+        """Achieved DRAM bandwidth for one pattern kind, bytes/second."""
+        return self.config.dram_bandwidth * self.efficiency(kind)
+
+    def blended_bandwidth(self, bytes_by_kind: "dict[PatternKind, int]") -> float:
+        """Harmonic blend over a byte mix: total_bytes / sum(bytes_i / bw_i).
+
+        The harmonic mean is the physically right combination — each byte
+        class occupies the DRAM for ``bytes / bw`` seconds.
+        """
+        total = sum(bytes_by_kind.values())
+        if total == 0:
+            return self.config.dram_bandwidth
+        denom = sum(
+            nbytes / self.achieved_bandwidth(kind)
+            for kind, nbytes in bytes_by_kind.items()
+            if nbytes > 0
+        )
+        return total / denom

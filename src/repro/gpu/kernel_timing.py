@@ -1,0 +1,121 @@
+"""Kernel roofline timing.
+
+A kernel's GPU-occupancy time is the max of its compute time and its local
+memory time (the classic roofline), plus any *exposed* remote-access term
+the paradigm puts on the critical path. The L2 is modelled explicitly: the
+caller supplies the kernel's L2 hit rate (from a real set-associative
+simulation of its read stream) and local bytes split by pattern kind for
+the DRAM efficiency blend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GPUConfig, LinkConfig
+from ..trace.records import PatternKind
+from .dram import DRAMModel
+
+#: Remote transactions a GPU keeps in flight per kernel; bounds how much
+#: remote latency multithreading can hide (used by the RDL paradigm).
+DEFAULT_REMOTE_MLP = 1024
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Breakdown of one kernel's modelled duration."""
+
+    compute_time: float
+    local_mem_time: float
+    remote_bw_time: float
+    remote_latency_time: float
+    launch_overhead: float
+
+    @property
+    def base(self) -> float:
+        """Roofline time without remote exposure."""
+        return max(self.compute_time, self.local_mem_time)
+
+    @property
+    def total(self) -> float:
+        """Full kernel duration as seen by the GPU's compute resource.
+
+        Remote demand traffic extends the kernel beyond its roofline when
+        it is the bottleneck (bandwidth term) and adds dependent-load stall
+        time the warp scheduler could not hide (latency term).
+        """
+        return (
+            max(self.base, self.remote_bw_time)
+            + self.remote_latency_time
+            + self.launch_overhead
+        )
+
+
+class KernelTimingModel:
+    """Maps kernel aggregates onto durations for one GPU configuration."""
+
+    def __init__(self, gpu: GPUConfig, ops_per_cycle_fraction: float = 0.55) -> None:
+        self.gpu = gpu
+        self.dram = DRAMModel(gpu)
+        #: Achieved fraction of peak issue rate; real kernels never sustain
+        #: one useful scalar op per core per cycle.
+        self.ops_per_cycle_fraction = ops_per_cycle_fraction
+
+    @property
+    def achieved_throughput(self) -> float:
+        """Sustained scalar ops/second."""
+        return self.gpu.throughput_ops * self.ops_per_cycle_fraction
+
+    def local_memory_time(
+        self,
+        bytes_by_kind: "dict[PatternKind, int]",
+        l2_hit_rate: float,
+    ) -> float:
+        """Time to move the kernel's local bytes through L2 + DRAM.
+
+        L2 hits stream at L2 bandwidth; misses at pattern-blended DRAM
+        bandwidth. Bandwidths combine harmonically over the byte split.
+        """
+        total = sum(bytes_by_kind.values())
+        if total == 0:
+            return 0.0
+        l2_hit_rate = min(max(l2_hit_rate, 0.0), 1.0)
+        dram_bw = self.dram.blended_bandwidth(bytes_by_kind)
+        hit_bytes = total * l2_hit_rate
+        miss_bytes = total - hit_bytes
+        return hit_bytes / self.gpu.l2_bandwidth + miss_bytes / dram_bw
+
+    def time_kernel(
+        self,
+        compute_ops: float,
+        local_bytes_by_kind: "dict[PatternKind, int]",
+        l2_hit_rate: float,
+        launch_overhead: float = 5e-6,
+        remote_read_bytes: int = 0,
+        remote_read_txns: int = 0,
+        link: "LinkConfig | None" = None,
+        latency_hiding: float = 0.0,
+        remote_mlp: int = DEFAULT_REMOTE_MLP,
+    ) -> KernelTiming:
+        """Produce the full timing breakdown for one kernel.
+
+        ``remote_*`` parameters describe demand accesses the paradigm left
+        on the critical path (RDL loads, UM remote mappings); paradigms with
+        no demand remote traffic (GPS, memcpy) leave them zero.
+        """
+        compute_time = compute_ops / self.achieved_throughput if compute_ops else 0.0
+        local_time = self.local_memory_time(local_bytes_by_kind, l2_hit_rate)
+        remote_bw_time = 0.0
+        remote_latency_time = 0.0
+        if remote_read_bytes > 0 and link is not None:
+            remote_bw_time = remote_read_bytes / link.effective_bandwidth
+            if remote_read_txns > 0:
+                serial_latency = remote_read_txns * link.latency / max(1, remote_mlp)
+                remote_latency_time = serial_latency * (1.0 - latency_hiding)
+        return KernelTiming(
+            compute_time=compute_time,
+            local_mem_time=local_time,
+            remote_bw_time=remote_bw_time,
+            remote_latency_time=remote_latency_time,
+            launch_overhead=launch_overhead,
+        )

@@ -1,0 +1,46 @@
+"""Evaluation harness: one driver per paper table/figure.
+
+Each ``fig*``/``table*`` function in :mod:`repro.harness.experiments`
+regenerates the corresponding artifact of the paper and returns structured
+rows; :mod:`repro.harness.report` renders them as aligned text tables. The
+benchmark suite under ``benchmarks/`` is a thin wrapper over these drivers.
+"""
+
+from .experiments import (
+    fig1_motivation,
+    fig3_bandwidth_gap,
+    fig8_end_to_end,
+    fig9_subscriber_distribution,
+    fig10_interconnect_traffic,
+    fig11_subscription_benefit,
+    fig12_sixteen_gpus,
+    fig13_bandwidth_sensitivity,
+    fig14_write_queue_hit_rate,
+    gps_tlb_sensitivity,
+    page_size_sensitivity,
+    table1_simulation_settings,
+    table2_applications,
+)
+from .report import format_table, geomean
+from .runner import run_simulation, run_speedup, clear_run_cache
+
+__all__ = [
+    "fig1_motivation",
+    "fig3_bandwidth_gap",
+    "fig8_end_to_end",
+    "fig9_subscriber_distribution",
+    "fig10_interconnect_traffic",
+    "fig11_subscription_benefit",
+    "fig12_sixteen_gpus",
+    "fig13_bandwidth_sensitivity",
+    "fig14_write_queue_hit_rate",
+    "gps_tlb_sensitivity",
+    "page_size_sensitivity",
+    "table1_simulation_settings",
+    "table2_applications",
+    "format_table",
+    "geomean",
+    "run_simulation",
+    "run_speedup",
+    "clear_run_cache",
+]

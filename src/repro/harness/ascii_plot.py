@@ -1,0 +1,105 @@
+"""Terminal plotting for experiment results: bar charts and line series.
+
+The paper's figures are bar/line charts; these helpers render the same
+series in a terminal so the CLI and benchmark logs can show shape at a
+glance without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Default drawable width of the value area, in character cells.
+DEFAULT_WIDTH = 50
+
+
+def bar_chart(
+    values: "Mapping[str, float]",
+    title: str = "",
+    width: int = DEFAULT_WIDTH,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart of label -> value.
+
+    Bars scale to the maximum value; zero and negative values render as
+    empty bars (the chart is for magnitudes).
+    """
+    if not values:
+        return title
+    peak = max(max(values.values()), 1e-12)
+    label_width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        filled = int(round(width * max(value, 0.0) / peak))
+        bar = "#" * filled
+        lines.append(f"{str(label):>{label_width}} | {bar:<{width}} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: "Mapping[str, Mapping[str, float]]",
+    title: str = "",
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """Bar chart with one sub-bar per series inside each group.
+
+    ``groups`` maps group label (e.g. workload) to {series: value}
+    (e.g. paradigm speedups) — the shape of Figure 8.
+    """
+    if not groups:
+        return title
+    peak = max(
+        (value for series in groups.values() for value in series.values()),
+        default=0.0,
+    )
+    peak = max(peak, 1e-12)
+    series_width = max(
+        (len(str(s)) for series in groups.values() for s in series), default=1
+    )
+    lines = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            filled = int(round(width * max(value, 0.0) / peak))
+            lines.append(
+                f"  {str(name):>{series_width}} | {'#' * filled:<{width}} {value:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: "Mapping[str, Sequence[tuple]]",
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Scatter/line plot of named (x, y) series on one shared canvas.
+
+    Each series gets a distinct marker; x and y scale linearly to the data
+    range. Intended for the Figure 14-style sensitivity curves.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for (name, pts), marker in zip(series.items(), markers):
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = marker
+    lines = [title] if title else []
+    lines.append(f"y: {y_lo:.3g} .. {y_hi:.3g}")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_lo:.3g} .. {x_hi:.3g}    {'  '.join(legend)}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Export experiment results to JSON and CSV.
+
+Every ``fig*``/``table*`` driver returns a plain dict; these helpers
+serialise that dict for downstream analysis (plotting notebooks,
+regression tracking across simulator versions).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/containers and odd keys into JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy array or scalar
+        return value.tolist()
+    if hasattr(value, "item"):  # other 0-d array-likes
+        return value.item()
+    return value
+
+
+def to_json(result: dict, path: "str | Path | None" = None, indent: int = 2) -> str:
+    """Serialise one experiment result to JSON; optionally write a file."""
+    text = json.dumps(_jsonable(result), indent=indent, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+def speedups_to_csv(result: dict, path: "str | Path | None" = None) -> str:
+    """Flatten a speedup-matrix result ({workload: {paradigm: v}}) to CSV."""
+    if "speedups" not in result or "paradigms" not in result:
+        raise ValueError("result does not look like a speedup-matrix experiment")
+    paradigms = list(result["paradigms"])
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["workload"] + paradigms)
+    for workload, row in result["speedups"].items():
+        writer.writerow([workload] + [f"{row[p]:.6g}" for p in paradigms])
+    if "geomean" in result:
+        writer.writerow(["geomean"] + [f"{result['geomean'][p]:.6g}" for p in paradigms])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def series_to_csv(
+    result: dict,
+    series_key: str,
+    x_label: str,
+    path: "str | Path | None" = None,
+) -> str:
+    """Flatten a {workload: {x: y}} sensitivity result to long-form CSV.
+
+    Works for Figure 14 (``series_key='hit_rate'``, x = queue size) and the
+    GPS-TLB study (x = TLB entries).
+    """
+    if series_key not in result:
+        raise ValueError(f"result has no series {series_key!r}")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["workload", x_label, series_key])
+    for workload, series in result[series_key].items():
+        for x, y in series.items():
+            writer.writerow([workload, x, f"{y:.6g}"])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

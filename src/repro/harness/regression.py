@@ -1,0 +1,94 @@
+"""Experiment-result snapshots for regression tracking.
+
+Simulations are deterministic, so any change to the model shows up as a
+numeric diff against a stored baseline. ``snapshot`` flattens an experiment
+result into {metric-path: number}; ``compare`` reports every metric whose
+relative change exceeds a tolerance. The benchmark suite can persist
+baselines with :func:`save_baseline` and CI can fail on drift.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+
+def snapshot(result: dict, prefix: str = "") -> dict:
+    """Flatten nested dicts of numbers into {dotted.path: float}.
+
+    Non-numeric leaves (names, lists of labels) are skipped — a snapshot
+    captures the *numbers* an experiment produced, not its metadata.
+    """
+    out: dict[str, float] = {}
+    for key, value in result.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(snapshot(value, path))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric that moved beyond tolerance."""
+
+    path: str
+    baseline: "float | None"
+    current: "float | None"
+
+    @property
+    def relative_change(self) -> float:
+        """|current - baseline| / max(|baseline|, eps); inf for add/remove."""
+        if self.baseline is None or self.current is None:
+            return float("inf")
+        denom = max(abs(self.baseline), 1e-12)
+        return abs(self.current - self.baseline) / denom
+
+    def __str__(self) -> str:
+        if self.baseline is None:
+            return f"{self.path}: new metric = {self.current}"
+        if self.current is None:
+            return f"{self.path}: metric disappeared (was {self.baseline})"
+        return (
+            f"{self.path}: {self.baseline:.6g} -> {self.current:.6g} "
+            f"({100 * self.relative_change:.1f}%)"
+        )
+
+
+def compare(baseline: dict, current: dict, rel_tol: float = 0.05) -> list:
+    """Drifted metrics between two snapshots (empty list = no regression)."""
+    drifts: list[Drift] = []
+    for path in sorted(set(baseline) | set(current)):
+        b = baseline.get(path)
+        c = current.get(path)
+        drift = Drift(path, b, c)
+        if b is None or c is None or drift.relative_change > rel_tol:
+            drifts.append(drift)
+    return drifts
+
+
+def save_baseline(result: dict, path: "str | Path") -> dict:
+    """Snapshot a result and write it as the stored baseline."""
+    snap = snapshot(result)
+    Path(path).write_text(json.dumps(snap, indent=1, sort_keys=True) + "\n")
+    return snap
+
+
+def check_against_baseline(
+    result: dict, path: "str | Path", rel_tol: float = 0.05
+) -> list:
+    """Compare a fresh result against a stored baseline file.
+
+    A missing baseline file is created (first run) and reported as no
+    drift — the bootstrap behaviour CI wants.
+    """
+    path = Path(path)
+    if not path.exists():
+        save_baseline(result, path)
+        return []
+    baseline = json.loads(path.read_text())
+    return compare(baseline, snapshot(result), rel_tol=rel_tol)

@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geomean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are shown with two decimals; everything else via ``str``.
+    """
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_matrix(result: dict, title: str = "") -> str:
+    """Render a {workload: {paradigm: speedup}} experiment result."""
+    paradigms = result["paradigms"]
+    headers = ["app"] + list(paradigms)
+    rows = []
+    for workload, per_paradigm in result["speedups"].items():
+        rows.append([workload] + [per_paradigm[p] for p in paradigms])
+    if "geomean" in result:
+        rows.append(["geomean"] + [result["geomean"][p] for p in paradigms])
+    return format_table(headers, rows, title=title)

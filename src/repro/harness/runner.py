@@ -1,0 +1,78 @@
+"""Memoised simulation runner shared by all experiments.
+
+Simulations are deterministic, so (workload, system, paradigm) triples are
+cached for the lifetime of the process: Figure 8's single-GPU baselines are
+Figure 13's too, and the benchmark suite runs every figure in one process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..config import LINKS_BY_NAME, LinkConfig, SystemConfig, default_system
+from ..system.executor import simulate
+from ..system.results import SimulationResult
+from ..workloads.registry import get_workload
+
+_RESULT_CACHE: dict = {}
+
+
+def _link_by_name(link: "str | LinkConfig") -> LinkConfig:
+    if isinstance(link, LinkConfig):
+        return link
+    return LINKS_BY_NAME[link]
+
+
+def _config_key(config: SystemConfig) -> tuple:
+    return (
+        config.num_gpus,
+        config.link.name,
+        config.link.bandwidth,
+        config.gps.page_size,
+        config.gps.write_queue_entries,
+        config.gps.gps_tlb_entries,
+        config.gpu.l2_bytes,
+    )
+
+
+def run_simulation(
+    workload: str,
+    paradigm: str,
+    num_gpus: int,
+    link: "str | LinkConfig" = "pcie6",
+    scale: float = 1.0,
+    iterations: int = 16,
+    config: "SystemConfig | None" = None,
+) -> SimulationResult:
+    """Run (and memoise) one simulation."""
+    if config is None:
+        config = default_system(num_gpus, _link_by_name(link))
+    else:
+        config = dataclasses.replace(
+            config, num_gpus=num_gpus, link=_link_by_name(link)
+        )
+    key = (workload, paradigm, scale, iterations, _config_key(config))
+    if key not in _RESULT_CACHE:
+        program = get_workload(workload).build(num_gpus, scale=scale, iterations=iterations)
+        _RESULT_CACHE[key] = simulate(program, paradigm, config)
+    return _RESULT_CACHE[key]
+
+
+def run_speedup(
+    workload: str,
+    paradigm: str,
+    num_gpus: int,
+    link: "str | LinkConfig" = "pcie6",
+    scale: float = 1.0,
+    iterations: int = 16,
+    config: "SystemConfig | None" = None,
+) -> float:
+    """Strong-scaling speedup over the single-GPU baseline (memoised)."""
+    single = run_simulation(workload, "memcpy", 1, link, scale, iterations, config)
+    multi = run_simulation(workload, paradigm, num_gpus, link, scale, iterations, config)
+    return single.total_time / multi.total_time
+
+
+def clear_run_cache() -> None:
+    """Drop memoised results (tests that mutate global knobs use this)."""
+    _RESULT_CACHE.clear()

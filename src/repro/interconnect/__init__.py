@@ -1,0 +1,25 @@
+"""Interconnect substrate: links, topologies, traffic accounting, platforms.
+
+Models the inter-GPU fabric the paper sweeps (PCIe 3.0 through projected
+PCIe 6.0, NVLink generations, and an infinite-bandwidth ideal). The key
+quantity every paradigm competes over is per-GPU egress/ingress bandwidth;
+the topology decides how point-to-point transfers and GPS broadcasts share
+it.
+"""
+
+from .link import Link
+from .platforms import PLATFORMS, Platform
+from .topology import CrossbarTopology, Topology
+from .traffic import TrafficMatrix
+from .variants import RingTopology, SwitchTopology
+
+__all__ = [
+    "Link",
+    "Platform",
+    "PLATFORMS",
+    "Topology",
+    "CrossbarTopology",
+    "RingTopology",
+    "SwitchTopology",
+    "TrafficMatrix",
+]

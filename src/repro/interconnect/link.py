@@ -1,0 +1,59 @@
+"""A directed link between two endpoints with bandwidth, latency, and counters."""
+
+from __future__ import annotations
+
+import math
+
+from ..config import LinkConfig
+
+
+class Link:
+    """One direction of an inter-GPU connection.
+
+    Wraps the static :class:`~repro.config.LinkConfig` with runtime byte
+    accounting. Transfer-time arithmetic lives here so every paradigm charges
+    communication identically: ``latency + bytes / effective_bandwidth``.
+    """
+
+    def __init__(self, src: int, dst: int, config: LinkConfig) -> None:
+        self.src = src
+        self.dst = dst
+        self.config = config
+        self.bytes_transferred = 0
+        self.transfer_count = 0
+
+    @property
+    def bandwidth(self) -> float:
+        """Payload bandwidth in bytes/second."""
+        return self.config.effective_bandwidth
+
+    @property
+    def latency(self) -> float:
+        """One-way latency in seconds."""
+        return self.config.latency
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Wall time to move ``num_bytes`` as one message."""
+        if num_bytes <= 0:
+            return 0.0
+        if math.isinf(self.bandwidth):
+            return self.latency
+        return self.latency + num_bytes / self.bandwidth
+
+    def record(self, num_bytes: int) -> None:
+        """Account for a completed transfer."""
+        if num_bytes < 0:
+            raise ValueError(f"negative transfer of {num_bytes} bytes")
+        self.bytes_transferred += num_bytes
+        self.transfer_count += 1
+
+    def reset(self) -> None:
+        """Zero the counters (between experiments)."""
+        self.bytes_transferred = 0
+        self.transfer_count = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.src}->{self.dst}, {self.config.name}, "
+            f"{self.bytes_transferred} B in {self.transfer_count} transfers)"
+        )

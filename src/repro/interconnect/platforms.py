@@ -1,0 +1,54 @@
+"""Historical GPU platform bandwidths, reproducing Figure 3 of the paper.
+
+Figure 3 plots local (HBM/GDDR) versus remote (interconnect) bandwidth for
+five generations of NVIDIA multi-GPU platforms and observes that a roughly
+3x gap persists even as both improve. The values below are the public
+figures for each platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import GB_S
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One hardware generation's local and remote bandwidth."""
+
+    name: str
+    gpu: str
+    interconnect: str
+    local_bandwidth: float  # bytes/s, per GPU
+    remote_bandwidth: float  # bytes/s, per GPU aggregate
+
+    @property
+    def gap(self) -> float:
+        """Local-to-remote bandwidth ratio."""
+        return self.local_bandwidth / self.remote_bandwidth
+
+
+#: The five platforms of Figure 3, oldest first.
+PLATFORMS: tuple[Platform, ...] = (
+    Platform("Discrete", "Kepler", "PCIe 3.0", 288 * GB_S, 16 * GB_S),
+    Platform("DGX-1", "Pascal", "NVLink 1", 732 * GB_S, 80 * GB_S),
+    Platform("DGX-1V", "Volta", "NVLink 2", 900 * GB_S, 150 * GB_S),
+    Platform("DGX-2", "Volta", "NVLink 2 + NVSwitch", 900 * GB_S, 300 * GB_S),
+    Platform("DGX-A100", "Ampere", "NVLink 3 + NVSwitch", 1555 * GB_S, 600 * GB_S),
+)
+
+
+def bandwidth_gap_summary() -> list[dict]:
+    """Rows for the Figure 3 reproduction: name, local, remote, gap."""
+    return [
+        {
+            "platform": p.name,
+            "gpu": p.gpu,
+            "interconnect": p.interconnect,
+            "local_gb_s": p.local_bandwidth / GB_S,
+            "remote_gb_s": p.remote_bandwidth / GB_S,
+            "gap": p.gap,
+        }
+        for p in PLATFORMS
+    ]

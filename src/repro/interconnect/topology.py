@@ -1,0 +1,95 @@
+"""Interconnect topologies: how GPU pairs share fabric bandwidth.
+
+The evaluation systems attach every GPU to a shared fabric (PCIe switch
+hierarchy or NVSwitch) through one port. The binding constraint on every
+paradigm is per-GPU *port* bandwidth: a GPU broadcasting to N-1 subscribers
+pushes each replica through its own egress port, and a GPU being flooded by
+peers is bounded by its ingress port. :class:`CrossbarTopology` models
+exactly that — full bisection inside the fabric, finite per-port bandwidth
+at the edges — which matches both PCIe switch trees (upper-bounded) and
+NVSwitch (accurately).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..config import LinkConfig
+from ..errors import ConfigError
+from .link import Link
+
+
+class Topology(ABC):
+    """Abstract fabric: produces links and answers path-time queries."""
+
+    def __init__(self, num_gpus: int, link_config: LinkConfig) -> None:
+        if num_gpus < 1:
+            raise ConfigError("topology needs at least one GPU")
+        self.num_gpus = num_gpus
+        self.link_config = link_config
+
+    @abstractmethod
+    def egress_link(self, gpu: int) -> Link:
+        """The egress port of ``gpu`` into the fabric."""
+
+    @abstractmethod
+    def ingress_link(self, gpu: int) -> Link:
+        """The ingress port of ``gpu`` out of the fabric."""
+
+    def path_latency(self, src: int, dst: int) -> float:
+        """One-way latency from ``src`` to ``dst``."""
+        if src == dst:
+            return 0.0
+        return self.link_config.latency
+
+    def transfer_time(self, src: int, dst: int, num_bytes: int) -> float:
+        """Uncontended wall time for one point-to-point message."""
+        if src == dst or num_bytes <= 0:
+            return 0.0
+        return self.egress_link(src).transfer_time(num_bytes)
+
+    def record_transfer(self, src: int, dst: int, num_bytes: int) -> None:
+        """Account a completed transfer on both ports."""
+        if src == dst:
+            return
+        self.egress_link(src).record(num_bytes)
+        self.ingress_link(dst).record(num_bytes)
+
+    def reset(self) -> None:
+        """Zero all port counters."""
+        for gpu in range(self.num_gpus):
+            self.egress_link(gpu).reset()
+            self.ingress_link(gpu).reset()
+
+
+class CrossbarTopology(Topology):
+    """Full-bisection fabric with per-GPU port bandwidth limits.
+
+    Each GPU has one egress and one ingress :class:`Link` at the configured
+    link bandwidth. Any pair can talk concurrently; contention arises only
+    at ports, which the discrete-event engine models by serialising jobs on
+    each port's bandwidth resource.
+    """
+
+    def __init__(self, num_gpus: int, link_config: LinkConfig) -> None:
+        super().__init__(num_gpus, link_config)
+        self._egress = [Link(g, -1, link_config) for g in range(num_gpus)]
+        self._ingress = [Link(-1, g, link_config) for g in range(num_gpus)]
+
+    def egress_link(self, gpu: int) -> Link:
+        return self._egress[gpu]
+
+    def ingress_link(self, gpu: int) -> Link:
+        return self._ingress[gpu]
+
+    def broadcast_time(self, src: int, dsts: "list[int]", num_bytes: int) -> float:
+        """Uncontended time to push one payload to each destination.
+
+        Replicas share the source's egress port, so time scales with the
+        number of *remote* destinations — the cost GPS's subscription
+        tracking exists to cut (paper section 3.2).
+        """
+        remote = [d for d in dsts if d != src]
+        if not remote or num_bytes <= 0:
+            return 0.0
+        return self._egress[src].transfer_time(num_bytes * len(remote))

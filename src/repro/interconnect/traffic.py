@@ -1,0 +1,71 @@
+"""Inter-GPU traffic accounting as a source x destination byte matrix.
+
+Figure 10 of the paper compares "total data moved over the interconnect"
+across paradigms; this matrix is what every paradigm writes into so the
+comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class TrafficMatrix:
+    """A ``num_gpus x num_gpus`` matrix of bytes sent from row to column.
+
+    The diagonal stays zero — local accesses never touch the interconnect.
+    Host (CPU) staging is modelled as GPU-to-GPU traffic because all the
+    evaluated paradigms use peer DMA or peer stores.
+    """
+
+    def __init__(self, num_gpus: int) -> None:
+        if num_gpus < 1:
+            raise ConfigError("traffic matrix needs at least one GPU")
+        self.num_gpus = num_gpus
+        self._bytes = np.zeros((num_gpus, num_gpus), dtype=np.int64)
+
+    def add(self, src: int, dst: int, num_bytes: int) -> None:
+        """Record ``num_bytes`` moving from ``src`` to ``dst``."""
+        if src == dst:
+            raise ConfigError(f"GPU {src}: local traffic does not cross the interconnect")
+        if num_bytes < 0:
+            raise ConfigError(f"negative traffic {num_bytes}")
+        self._bytes[src, dst] += num_bytes
+
+    def add_broadcast(self, src: int, dsts: "list[int] | set[int]", num_bytes: int) -> None:
+        """Record one payload replicated to several destinations."""
+        for dst in dsts:
+            if dst != src:
+                self.add(src, dst, num_bytes)
+
+    def total_bytes(self) -> int:
+        """All bytes that crossed the interconnect."""
+        return int(self._bytes.sum())
+
+    def egress_bytes(self, gpu: int) -> int:
+        """Bytes sent by one GPU."""
+        return int(self._bytes[gpu, :].sum())
+
+    def ingress_bytes(self, gpu: int) -> int:
+        """Bytes received by one GPU."""
+        return int(self._bytes[:, gpu].sum())
+
+    def pair_bytes(self, src: int, dst: int) -> int:
+        """Bytes on one directed pair."""
+        return int(self._bytes[src, dst])
+
+    def as_array(self) -> np.ndarray:
+        """A copy of the underlying matrix."""
+        return self._bytes.copy()
+
+    def merge(self, other: "TrafficMatrix") -> None:
+        """Accumulate another matrix into this one."""
+        if other.num_gpus != self.num_gpus:
+            raise ConfigError("cannot merge traffic matrices of different sizes")
+        self._bytes += other._bytes
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._bytes[:] = 0

@@ -1,0 +1,153 @@
+"""Topology variants beyond the crossbar: switch trees and rings.
+
+The evaluation's default :class:`~repro.interconnect.topology.CrossbarTopology`
+models per-port limits with full bisection (NVSwitch-like). Real systems
+also come as:
+
+* **switch trees** (PCIe): several GPUs share an upstream link, so the
+  fabric has an *aggregate* bandwidth cap below the sum of the ports;
+* **rings** (DGX-1-style NVLink meshes reduced to their worst path):
+  a transfer consumes bandwidth on every hop between source and
+  destination, so distance matters.
+
+These variants answer "how much does GPS's subscription trimming matter on
+a worse fabric" — the traffic GPS saves is multiplied by hop count on a
+ring and contends in the root of a tree.
+"""
+
+from __future__ import annotations
+
+from ..config import LinkConfig
+from ..errors import ConfigError
+from .link import Link
+from .topology import CrossbarTopology, Topology
+
+
+class SwitchTopology(CrossbarTopology):
+    """PCIe-style switch tree: per-port limits plus a fabric aggregate cap.
+
+    ``oversubscription`` is the ratio of total port bandwidth to fabric
+    core bandwidth (2.0 means the root carries half the sum of the leaves
+    — a typical two-level PCIe tree).
+    """
+
+    def __init__(
+        self,
+        num_gpus: int,
+        link_config: LinkConfig,
+        oversubscription: float = 2.0,
+    ) -> None:
+        super().__init__(num_gpus, link_config)
+        if oversubscription < 1.0:
+            raise ConfigError("oversubscription must be >= 1.0")
+        self.oversubscription = oversubscription
+        core_bandwidth = num_gpus * link_config.effective_bandwidth / oversubscription
+        self._core = Link(
+            -1,
+            -1,
+            LinkConfig(
+                name=f"{link_config.name} core",
+                bandwidth=core_bandwidth,
+                latency=link_config.latency,
+            ),
+        )
+
+    @property
+    def core_link(self) -> Link:
+        """The shared fabric core every inter-GPU byte crosses."""
+        return self._core
+
+    def transfer_time(self, src: int, dst: int, num_bytes: int) -> float:
+        """Point-to-point time: the slower of the port and its core share."""
+        if src == dst or num_bytes <= 0:
+            return 0.0
+        port_time = super().transfer_time(src, dst, num_bytes)
+        core_time = self._core.transfer_time(num_bytes)
+        return max(port_time, core_time)
+
+    def record_transfer(self, src: int, dst: int, num_bytes: int) -> None:
+        super().record_transfer(src, dst, num_bytes)
+        if src != dst:
+            self._core.record(num_bytes)
+
+    def core_utilisation(self, wall_time: float) -> float:
+        """Mean fraction of core bandwidth used over ``wall_time``."""
+        if wall_time <= 0:
+            return 0.0
+        return self._core.bytes_transferred / wall_time / self._core.bandwidth
+
+    def reset(self) -> None:
+        super().reset()
+        self._core.reset()
+
+
+class RingTopology(Topology):
+    """Bidirectional ring: transfers traverse min-hop paths.
+
+    Each adjacent GPU pair is joined by one directed link per direction. A
+    transfer from ``src`` to ``dst`` takes the shorter ring direction and
+    occupies every directed link along it — so effective bandwidth between
+    distant GPUs divides by hop count, and latency accumulates per hop.
+    The per-GPU "port" view (egress/ingress) maps to the GPU's clockwise
+    links, which is what the DES serialises on.
+    """
+
+    def __init__(self, num_gpus: int, link_config: LinkConfig) -> None:
+        super().__init__(num_gpus, link_config)
+        if num_gpus < 2:
+            raise ConfigError("a ring needs at least two GPUs")
+        #: Clockwise directed links: cw[i] carries i -> i+1.
+        self._cw = [Link(g, (g + 1) % num_gpus, link_config) for g in range(num_gpus)]
+        #: Counter-clockwise directed links: ccw[i] carries i -> i-1.
+        self._ccw = [Link(g, (g - 1) % num_gpus, link_config) for g in range(num_gpus)]
+
+    def egress_link(self, gpu: int) -> Link:
+        return self._cw[gpu]
+
+    def ingress_link(self, gpu: int) -> Link:
+        return self._cw[(gpu - 1) % self.num_gpus]
+
+    def hops(self, src: int, dst: int) -> int:
+        """Min-hop distance along the ring."""
+        if src == dst:
+            return 0
+        clockwise = (dst - src) % self.num_gpus
+        return min(clockwise, self.num_gpus - clockwise)
+
+    def path(self, src: int, dst: int) -> list:
+        """Directed links of the min-hop path (clockwise wins ties)."""
+        if src == dst:
+            return []
+        clockwise = (dst - src) % self.num_gpus
+        links = []
+        node = src
+        if clockwise <= self.num_gpus - clockwise:
+            for _ in range(clockwise):
+                links.append(self._cw[node])
+                node = (node + 1) % self.num_gpus
+        else:
+            for _ in range(self.num_gpus - clockwise):
+                links.append(self._ccw[node])
+                node = (node - 1) % self.num_gpus
+        return links
+
+    def path_latency(self, src: int, dst: int) -> float:
+        """Latency accumulates per hop."""
+        return self.hops(src, dst) * self.link_config.latency
+
+    def transfer_time(self, src: int, dst: int, num_bytes: int) -> float:
+        """Serialisation on every hop plus per-hop latency."""
+        hops = self.hops(src, dst)
+        if hops == 0 or num_bytes <= 0:
+            return 0.0
+        serialisation = hops * num_bytes / self.link_config.effective_bandwidth
+        return self.path_latency(src, dst) + serialisation
+
+    def record_transfer(self, src: int, dst: int, num_bytes: int) -> None:
+        """Charge every directed link on the min-hop path."""
+        for link in self.path(src, dst):
+            link.record(num_bytes)
+
+    def reset(self) -> None:
+        for link in self._cw + self._ccw:
+            link.reset()

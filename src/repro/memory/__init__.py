@@ -1,0 +1,28 @@
+"""Virtual-memory substrate: addresses, page tables, TLBs, allocators.
+
+This package models the conventional GPU virtual memory system that GPS
+extends (paper section 5): a shared multi-GPU virtual address space, per-GPU
+physical memories with bump-pointer page allocators, a hierarchical page
+table with a GPS bit per PTE, and set-associative TLBs.
+"""
+
+from .address import PAGE_OFFSET_MASK, VirtualRange, page_number, page_offset, page_range
+from .allocator import PhysicalMemory
+from .page_table import PageTable, PTE
+from .address_space import AddressSpace, Allocation
+from .tlb import TLB, TLBStats
+
+__all__ = [
+    "PAGE_OFFSET_MASK",
+    "VirtualRange",
+    "page_number",
+    "page_offset",
+    "page_range",
+    "PhysicalMemory",
+    "PageTable",
+    "PTE",
+    "AddressSpace",
+    "Allocation",
+    "TLB",
+    "TLBStats",
+]

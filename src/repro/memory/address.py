@@ -1,0 +1,96 @@
+"""Address arithmetic: virtual ranges, page numbers, and page walks.
+
+Addresses are plain ``int`` bytes within a 49-bit virtual address space
+(paper Table 1). Helpers here centralise the page arithmetic so page-size
+sensitivity studies (section 7.4) only change one parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import TraceError
+from ..units import is_power_of_two
+
+#: Mask helper kept for documentation value: offsets within a 64 KiB page.
+PAGE_OFFSET_MASK = 0xFFFF
+
+
+def page_number(address: int, page_size: int) -> int:
+    """Virtual or physical page number containing ``address``."""
+    return address // page_size
+
+
+def page_offset(address: int, page_size: int) -> int:
+    """Byte offset of ``address`` within its page."""
+    return address % page_size
+
+
+def page_range(start: int, length: int, page_size: int) -> range:
+    """Page numbers touched by the byte range ``[start, start+length)``."""
+    if length <= 0:
+        return range(0)
+    first = page_number(start, page_size)
+    last = page_number(start + length - 1, page_size)
+    return range(first, last + 1)
+
+
+@dataclass(frozen=True)
+class VirtualRange:
+    """A contiguous virtual byte range ``[start, start + length)``."""
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length < 0:
+            raise TraceError(f"negative virtual range ({self.start}, {self.length})")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the range."""
+        return self.start + self.length
+
+    def pages(self, page_size: int) -> range:
+        """Page numbers this range touches."""
+        return page_range(self.start, self.length, page_size)
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` lies in the range."""
+        return self.start <= address < self.end
+
+    def overlaps(self, other: "VirtualRange") -> bool:
+        """Whether two ranges share at least one byte."""
+        return self.start < other.end and other.start < self.end
+
+    def aligned(self, alignment: int) -> "VirtualRange":
+        """The smallest ``alignment``-aligned range covering this one."""
+        if not is_power_of_two(alignment):
+            raise TraceError(f"alignment must be a power of two, got {alignment}")
+        start = self.start & ~(alignment - 1)
+        end = (self.end + alignment - 1) & ~(alignment - 1)
+        return VirtualRange(start, end - start)
+
+    def blocks(self, block_size: int) -> Iterator[int]:
+        """Yield the block numbers (e.g. 128 B cache lines) this range touches."""
+        for block in page_range(self.start, self.length, block_size):
+            yield block
+
+    def split_evenly(self, parts: int) -> list["VirtualRange"]:
+        """Split into ``parts`` contiguous near-equal sub-ranges.
+
+        Used by workload generators to shard a buffer across GPUs the same
+        way the original CUDA applications partition their domains.
+        """
+        if parts <= 0:
+            raise TraceError("cannot split a range into zero parts")
+        base = self.length // parts
+        remainder = self.length % parts
+        out = []
+        cursor = self.start
+        for i in range(parts):
+            size = base + (1 if i < remainder else 0)
+            out.append(VirtualRange(cursor, size))
+            cursor += size
+        return out

@@ -1,0 +1,146 @@
+"""The shared multi-GPU virtual address space and its allocations.
+
+All GPUs in a system share one virtual address space (as under CUDA unified
+virtual addressing). Allocations come in three flavours matching the
+allocation APIs the paper contrasts:
+
+* ``PINNED`` — ``cudaMalloc``-style, resident on one GPU, peers access it
+  remotely (the paradigm decides whether that ever happens);
+* ``MANAGED`` — ``cudaMallocManaged``-style Unified Memory, migrated on
+  fault or hint;
+* ``GPS`` — ``cudaMallocGPS``-style, replicated on all subscribers
+  (paper section 3.1).
+
+The address space is a bump allocator over the 49-bit VA range; allocations
+are page-aligned so that page-granular mechanisms (subscription, migration)
+never split an allocation mid-page.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import AllocationError
+from .address import VirtualRange
+
+
+class AllocKind(enum.Enum):
+    """Which allocation API produced a region."""
+
+    PINNED = "pinned"
+    MANAGED = "managed"
+    GPS = "gps"
+
+
+@dataclass
+class Allocation:
+    """One named allocation in the shared VA space."""
+
+    name: str
+    vrange: VirtualRange
+    kind: AllocKind
+    #: GPU whose memory initially backs the region (home node).
+    home_gpu: int = 0
+    #: For GPS allocations: True when the programmer manages subscriptions
+    #: explicitly (the optional ``manual`` flag of ``cudaMallocGPS``).
+    manual_subscription: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def start(self) -> int:
+        """First virtual byte of the region."""
+        return self.vrange.start
+
+    @property
+    def size(self) -> int:
+        """Region length in bytes."""
+        return self.vrange.length
+
+    @property
+    def end(self) -> int:
+        """One past the last virtual byte."""
+        return self.vrange.end
+
+    def pages(self, page_size: int) -> range:
+        """Page numbers the region covers."""
+        return self.vrange.pages(page_size)
+
+
+class AddressSpace:
+    """Bump allocator over the shared virtual address space.
+
+    The base is offset away from zero so that address arithmetic bugs that
+    produce small integers fault loudly rather than aliasing allocation 0.
+    """
+
+    #: Start allocating at 256 MiB, mimicking a typical UVA heap base.
+    HEAP_BASE = 256 * 1024 * 1024
+
+    def __init__(self, page_size: int, va_bits: int = 49) -> None:
+        self.page_size = page_size
+        self.va_limit = 1 << va_bits
+        self._cursor = self.HEAP_BASE
+        self._allocations: dict[str, Allocation] = {}
+
+    def allocate(
+        self,
+        name: str,
+        size: int,
+        kind: AllocKind,
+        home_gpu: int = 0,
+        manual_subscription: bool = False,
+    ) -> Allocation:
+        """Reserve ``size`` bytes (page-aligned up) under a unique name."""
+        if size <= 0:
+            raise AllocationError(f"allocation {name!r} must have positive size, got {size}")
+        if name in self._allocations:
+            raise AllocationError(f"allocation name {name!r} already in use")
+        aligned = -(-size // self.page_size) * self.page_size
+        if self._cursor + aligned > self.va_limit:
+            raise AllocationError("virtual address space exhausted")
+        alloc = Allocation(
+            name=name,
+            vrange=VirtualRange(self._cursor, size),
+            kind=kind,
+            home_gpu=home_gpu,
+            manual_subscription=manual_subscription,
+        )
+        self._cursor += aligned
+        self._allocations[name] = alloc
+        return alloc
+
+    def free(self, name: str) -> Allocation:
+        """Release an allocation by name (VA is not recycled; names are)."""
+        try:
+            return self._allocations.pop(name)
+        except KeyError:
+            raise AllocationError(f"free of unknown allocation {name!r}") from None
+
+    def get(self, name: str) -> Allocation:
+        """Fetch an allocation by name."""
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise AllocationError(f"unknown allocation {name!r}") from None
+
+    def find_containing(self, address: int) -> Optional[Allocation]:
+        """The allocation containing ``address``, or None."""
+        for alloc in self._allocations.values():
+            if alloc.vrange.contains(address):
+                return alloc
+        return None
+
+    def allocations(self) -> list[Allocation]:
+        """All live allocations, in allocation order."""
+        return list(self._allocations.values())
+
+    def gps_allocations(self) -> list[Allocation]:
+        """Live allocations made through the GPS allocator."""
+        return [a for a in self._allocations.values() if a.kind is AllocKind.GPS]
+
+    @property
+    def bytes_reserved(self) -> int:
+        """Total VA bytes handed out (page-aligned)."""
+        return self._cursor - self.HEAP_BASE

@@ -1,0 +1,81 @@
+"""Per-GPU physical memory with a page-granular allocator.
+
+Each GPU owns a :class:`PhysicalMemory` representing its local DRAM. GPS
+replication consumes physical pages on every subscribing GPU, so the
+allocator also tracks a free list to support unsubscription freeing the
+replica (paper section 4: "GPS ... frees the corresponding physical memory").
+"""
+
+from __future__ import annotations
+
+from ..errors import AllocationError
+
+
+class PhysicalMemory:
+    """Physical page frames of one GPU's local DRAM.
+
+    Frames are identified by physical page number (PPN). Allocation is
+    bump-pointer with a free list, which is enough fidelity for a functional
+    simulator: what matters is capacity accounting and unique frame identity.
+    """
+
+    def __init__(self, gpu_id: int, capacity_bytes: int, page_size: int) -> None:
+        if capacity_bytes < page_size:
+            raise AllocationError(
+                f"GPU {gpu_id}: capacity {capacity_bytes} smaller than one page"
+            )
+        self.gpu_id = gpu_id
+        self.page_size = page_size
+        self.total_frames = capacity_bytes // page_size
+        self._next_frame = 0
+        self._free_frames: list[int] = []
+        self._allocated: set[int] = set()
+
+    @property
+    def frames_in_use(self) -> int:
+        """Number of currently allocated frames."""
+        return len(self._allocated)
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Bytes of DRAM currently allocated."""
+        return self.frames_in_use * self.page_size
+
+    @property
+    def frames_free(self) -> int:
+        """Number of frames still available."""
+        return self.total_frames - self.frames_in_use
+
+    def allocate_frame(self) -> int:
+        """Allocate one frame, preferring recycled frames; return its PPN."""
+        if self._free_frames:
+            frame = self._free_frames.pop()
+        elif self._next_frame < self.total_frames:
+            frame = self._next_frame
+            self._next_frame += 1
+        else:
+            raise AllocationError(
+                f"GPU {self.gpu_id} out of memory "
+                f"({self.total_frames} frames of {self.page_size} B in use)"
+            )
+        self._allocated.add(frame)
+        return frame
+
+    def allocate_frames(self, count: int) -> list[int]:
+        """Allocate ``count`` frames atomically: all or none."""
+        if count > self.frames_free:
+            raise AllocationError(
+                f"GPU {self.gpu_id}: requested {count} frames, only {self.frames_free} free"
+            )
+        return [self.allocate_frame() for _ in range(count)]
+
+    def free_frame(self, frame: int) -> None:
+        """Return a frame to the free list."""
+        if frame not in self._allocated:
+            raise AllocationError(f"GPU {self.gpu_id}: double free of frame {frame}")
+        self._allocated.remove(frame)
+        self._free_frames.append(frame)
+
+    def is_allocated(self, frame: int) -> bool:
+        """Whether the frame is currently allocated."""
+        return frame in self._allocated

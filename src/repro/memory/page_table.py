@@ -1,0 +1,103 @@
+"""The conventional GPU page table, extended with the GPS bit.
+
+Paper section 5.2: GPS re-purposes one unused PTE bit (the *GPS bit*) to mark
+pages whose stores must be forwarded to the GPS unit. Everything else about
+the conventional page table is unchanged. Each GPU has its own page table
+over the shared virtual address space; a VPN maps to a (gpu, frame) physical
+location, which may be local or remote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..errors import TranslationError
+
+
+@dataclass
+class PTE:
+    """One page table entry: physical location plus permission/GPS flags.
+
+    ``resident_gpu`` identifies which GPU's DRAM holds the frame — in a
+    multi-GPU shared VA space a mapping may point at a peer's memory
+    (that is exactly what a peer-to-peer access is).
+    """
+
+    vpn: int
+    resident_gpu: int
+    frame: int
+    gps: bool = False
+    readable: bool = True
+    writable: bool = True
+    #: Set by UM's read-mostly duplication; cleared on collapse.
+    read_duplicated: bool = False
+    metadata: dict = field(default_factory=dict)
+
+
+class PageTable:
+    """Per-GPU page table: VPN -> :class:`PTE`.
+
+    A real GV100 walks a 5-level radix tree; functionally a dict is
+    equivalent and the walk cost is charged by the TLB model, so the radix
+    structure is not materialised. The interface mirrors what the GPS driver
+    needs: map/unmap, GPS-bit updates, and bulk queries.
+    """
+
+    def __init__(self, gpu_id: int, page_size: int) -> None:
+        self.gpu_id = gpu_id
+        self.page_size = page_size
+        self._entries: dict[int, PTE] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def map(
+        self,
+        vpn: int,
+        resident_gpu: int,
+        frame: int,
+        gps: bool = False,
+        writable: bool = True,
+    ) -> PTE:
+        """Install (or replace) the mapping for ``vpn``."""
+        entry = PTE(vpn=vpn, resident_gpu=resident_gpu, frame=frame, gps=gps, writable=writable)
+        self._entries[vpn] = entry
+        return entry
+
+    def unmap(self, vpn: int) -> PTE:
+        """Remove and return the mapping for ``vpn``."""
+        try:
+            return self._entries.pop(vpn)
+        except KeyError:
+            raise TranslationError(f"GPU {self.gpu_id}: unmap of unmapped VPN {vpn:#x}") from None
+
+    def lookup(self, vpn: int) -> PTE:
+        """Translate ``vpn``; raises :class:`TranslationError` on a miss."""
+        try:
+            return self._entries[vpn]
+        except KeyError:
+            raise TranslationError(f"GPU {self.gpu_id}: no mapping for VPN {vpn:#x}") from None
+
+    def try_lookup(self, vpn: int) -> Optional[PTE]:
+        """Translate ``vpn``, returning None instead of raising on a miss."""
+        return self._entries.get(vpn)
+
+    def set_gps_bit(self, vpn: int, value: bool) -> None:
+        """Set or clear the GPS bit; used on promotion/demotion of pages."""
+        self.lookup(vpn).gps = value
+
+    def is_local(self, vpn: int) -> bool:
+        """Whether the mapping points at this GPU's own DRAM."""
+        return self.lookup(vpn).resident_gpu == self.gpu_id
+
+    def entries(self) -> Iterator[PTE]:
+        """Iterate over all installed entries (driver-side bulk operations)."""
+        return iter(self._entries.values())
+
+    def gps_pages(self) -> list[int]:
+        """All VPNs currently marked as GPS pages."""
+        return [vpn for vpn, pte in self._entries.items() if pte.gps]

@@ -1,0 +1,108 @@
+"""Set-associative TLB model with LRU replacement.
+
+Used in three places:
+
+* the conventional last-level GPU TLB, whose *misses* feed the GPS access
+  tracking unit (paper section 5.2, path T1 in Figure 7);
+* the GPS-TLB inside the GPS address translation unit (32 entries, 8-way in
+  the paper's final configuration);
+* the page-size sensitivity study, where TLB pressure is what penalises
+  4 KiB pages (section 7.4).
+
+The model tracks hits and misses only; translation *content* lives in the
+page tables, so the TLB stores bare tags.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+
+@dataclass
+class TLBStats:
+    """Hit/miss counters for one TLB."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit; 0.0 when no lookups happened."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def merge(self, other: "TLBStats") -> "TLBStats":
+        """Combine two stat blocks (e.g. across kernels)."""
+        return TLBStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+
+@dataclass
+class _TLBSet:
+    """One associativity set: an LRU-ordered tag store."""
+
+    capacity: int
+    tags: "OrderedDict[int, None]" = field(default_factory=OrderedDict)
+
+
+class TLB:
+    """A set-associative, LRU TLB over page numbers.
+
+    ``entries`` must be divisible by ``assoc``; the set index is the VPN
+    modulo the number of sets, matching a physically indexed tag array.
+    """
+
+    def __init__(self, entries: int, assoc: int) -> None:
+        if entries <= 0 or assoc <= 0:
+            raise ConfigError("TLB entries and associativity must be positive")
+        if entries % assoc != 0:
+            raise ConfigError(f"{entries} entries not divisible by associativity {assoc}")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self._sets = [_TLBSet(assoc) for _ in range(self.num_sets)]
+        self.stats = TLBStats()
+
+    def access(self, vpn: int) -> bool:
+        """Look up ``vpn``; install it on a miss. Returns True on a hit."""
+        tlb_set = self._sets[vpn % self.num_sets]
+        if vpn in tlb_set.tags:
+            tlb_set.tags.move_to_end(vpn)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(tlb_set.tags) >= tlb_set.capacity:
+            tlb_set.tags.popitem(last=False)
+            self.stats.evictions += 1
+        tlb_set.tags[vpn] = None
+        return False
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop ``vpn`` if cached (TLB shootdown). Returns True if present."""
+        tlb_set = self._sets[vpn % self.num_sets]
+        if vpn in tlb_set.tags:
+            del tlb_set.tags[vpn]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Invalidate every entry (full shootdown)."""
+        for tlb_set in self._sets:
+            tlb_set.tags.clear()
+
+    def resident(self, vpn: int) -> bool:
+        """Whether ``vpn`` is currently cached, without touching LRU/stats."""
+        return vpn in self._sets[vpn % self.num_sets].tags

@@ -1,0 +1,36 @@
+"""Multi-GPU memory-management paradigms (paper section 6).
+
+Each executor runs a trace program on a system under one data-placement
+discipline:
+
+* :class:`~repro.paradigms.um.UMExecutor` — fault-based Unified Memory;
+* :class:`~repro.paradigms.um_hints.UMHintsExecutor` — UM with
+  preferred-location / accessed-by / prefetch hints;
+* :class:`~repro.paradigms.rdl.RDLExecutor` — remote demand loads;
+* :class:`~repro.paradigms.memcpy.MemcpyExecutor` — bulk-synchronous
+  broadcast at barriers;
+* :class:`~repro.paradigms.gps.GPSExecutor` — the paper's contribution;
+* :class:`~repro.paradigms.infinite.InfiniteBWExecutor` — the
+  infinite-bandwidth upper bound.
+"""
+
+from .base import ParadigmExecutor
+from .gps import GPSExecutor
+from .infinite import InfiniteBWExecutor
+from .memcpy import MemcpyExecutor
+from .rdl import RDLExecutor
+from .registry import PARADIGMS, make_executor
+from .um import UMExecutor
+from .um_hints import UMHintsExecutor
+
+__all__ = [
+    "ParadigmExecutor",
+    "GPSExecutor",
+    "InfiniteBWExecutor",
+    "MemcpyExecutor",
+    "RDLExecutor",
+    "UMExecutor",
+    "UMHintsExecutor",
+    "PARADIGMS",
+    "make_executor",
+]

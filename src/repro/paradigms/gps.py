@@ -1,0 +1,180 @@
+"""The GPS paradigm: publish-subscribe replication with proactive stores.
+
+Execution model (paper sections 3-5):
+
+* every allocation goes through ``cudaMallocGPS`` (automatic subscription),
+  so all GPUs start subscribed to all pages — subscribed-by-default;
+* iteration 0 is the profiling phase: the access tracking units observe the
+  page-level access sets, and ``tracking_stop()`` unsubscribes GPUs from
+  pages they never touched and demotes single-subscriber pages;
+* every weak store to a (multi-subscriber) GPS page flows through the SM
+  coalescer, the remote write queue, and the GPS address translation unit,
+  producing one interconnect write per remote subscriber — concurrent with
+  the kernel, drained fully at the phase barrier;
+* loads are always local (a subscriber reads its own replica at full DRAM
+  bandwidth); atomics are forwarded uncoalesced.
+
+Because iterative programs repeat their kernels, the store-stream replay is
+performed once per (kernel, subscription epoch) and its outbound window
+reused across iterations — identical traffic, a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.runtime import GPSRuntime
+from ..errors import ParadigmError
+from .base import ParadigmExecutor
+
+
+class GPSExecutor(ParadigmExecutor):
+    """GPS with automatic (default) or disabled subscription management."""
+
+    name = "gps"
+
+    def __init__(
+        self,
+        program,
+        config,
+        auto_subscription: bool = True,
+        coalescing: bool = True,
+        profile_iteration: int = 0,
+    ) -> None:
+        super().__init__(program, config)
+        self.auto_subscription = auto_subscription
+        self.coalescing = coalescing
+        self.profile_iteration = profile_iteration
+        self.runtime = GPSRuntime(config)
+        for buf in program.buffers:
+            alloc = self.runtime.malloc_gps(buf.name, buf.size)
+            expected = self.analysis.buffer_base(buf.name)
+            if alloc.start != expected:
+                raise ParadigmError(
+                    f"allocation layout diverged for {buf.name!r}: "
+                    f"{alloc.start:#x} != {expected:#x}"
+                )
+        self._lines_per_page = config.page_size // 128
+        self._tracking = False
+        self._profiled = False
+        self._profile_phases_total = len(program.phases_in_iteration(profile_iteration))
+        self._profile_phases_seen = 0
+        #: (kernel, steady_epoch) -> OutboundWindow
+        self._window_cache: dict = {}
+        self.tracking_summary: dict = {}
+
+    # -- profiling window ------------------------------------------------------
+
+    def before_phase(self, phase) -> None:
+        if not self.auto_subscription or self._profiled:
+            return
+        if phase.iteration == self.profile_iteration and not self._tracking:
+            self.runtime.tracking_start()
+            self._tracking = True
+
+    def after_phase(self, phase) -> None:
+        if not self._tracking or phase.iteration != self.profile_iteration:
+            return
+        self._profile_phases_seen += 1
+        if self._profile_phases_seen == self._profile_phases_total:
+            self.tracking_summary = self.runtime.tracking_stop()
+            self._tracking = False
+            self._profiled = True
+
+    # -- per-kernel GPS processing -------------------------------------------------
+
+    def _outbound_window(self, kernel):
+        """Outbound traffic of one kernel under the current epoch (cached)."""
+        key = (kernel, self._profiled)
+        if key in self._window_cache:
+            return self._window_cache[key]
+        unit = self.runtime.gps_units[kernel.gpu]
+        subs = self.runtime.subscriptions
+        for fp, stream, atomic in self.analysis.store_streams(kernel):
+            if fp.is_sys_scoped:
+                continue  # handled by the collapse path, never forwarded
+            if self._profiled:
+                multi = np.array(
+                    [
+                        vpn
+                        for vpn in fp.pages.tolist()
+                        if len(subs.subscribers(vpn)) > 1 and not subs.is_demoted(vpn)
+                    ],
+                    dtype=np.int64,
+                )
+                if multi.size == 0:
+                    continue
+                if multi.size < fp.pages.size:
+                    mask = np.isin(stream.lines // self._lines_per_page, multi)
+                    stream = type(stream)(stream.lines[mask], stream.bytes_per_txn[mask])
+                    if len(stream) == 0:
+                        continue
+            unit.process_stores(stream, atomic=atomic or not self.coalescing)
+        window = unit.sync()
+        self._window_cache[key] = window
+        return window
+
+    def execute_phase(self, phase, after):
+        out_tasks = []
+        for kernel in phase.kernels:
+            footprint = self.analysis.footprint(kernel)
+            if self._tracking:
+                self.runtime.record_accesses(kernel.gpu, footprint.all_pages)
+            # Loads are local replicas; stores hit the local replica too.
+            duration = self.roofline(footprint)
+            out_tasks.append(
+                self.engine.task(
+                    f"{phase.name}/{kernel.name}@gpu{kernel.gpu}",
+                    duration,
+                    self.gpu_resource(kernel.gpu),
+                    after,
+                )
+            )
+            # Proactive publication: concurrent with the kernel, joined at
+            # the barrier (remote write queue drains at grid end). Setup
+            # phases initialise each replica locally and publish nothing.
+            if self.is_setup_phase(phase):
+                continue
+            window = self._outbound_window(kernel)
+            for dst, nbytes in sorted(window.bytes_to.items()):
+                out_tasks.extend(
+                    self.add_transfer(
+                        f"{phase.name}/gps-pub", kernel.gpu, dst, nbytes, deps=after
+                    )
+                )
+        return out_tasks
+
+    # -- results ---------------------------------------------------------------
+
+    def build_result(self, total_time):
+        result = super().build_result(total_time)
+        result.write_queue_stats = [u.write_queue.stats for u in self.runtime.gps_units]
+        result.gps_tlb_stats = [u.tlb.stats for u in self.runtime.gps_units]
+        result.subscriber_histogram = dict(
+            self.runtime.subscriptions.subscriber_histogram(only_shared=True)
+        )
+        result.extras["tracking"] = self.tracking_summary
+        result.extras["auto_subscription"] = self.auto_subscription
+        return result
+
+
+class GPSNoSubscriptionExecutor(GPSExecutor):
+    """GPS with subscription tracking disabled: permanent all-to-all.
+
+    The Figure 11 comparison point — every store broadcasts to every GPU
+    for the whole run.
+    """
+
+    name = "gps_nosub"
+
+    def __init__(self, program, config) -> None:
+        super().__init__(program, config, auto_subscription=False)
+
+
+class GPSNoCoalescingExecutor(GPSExecutor):
+    """Ablation: the remote write queue forwards every store uncombined."""
+
+    name = "gps_nocoalesce"
+
+    def __init__(self, program, config) -> None:
+        super().__init__(program, config, coalescing=False)

@@ -1,0 +1,20 @@
+"""The infinite-bandwidth upper bound.
+
+Paper section 6: "We obtain this comparison by eliding the data transfer
+time from the memcpy variant." Identical dataflow and byte accounting to
+:class:`~repro.paradigms.memcpy.MemcpyExecutor`, but transfers take zero
+time — every byte is always local, and what remains is pure computation,
+launch overheads, and barrier costs. This is the 3.2x (4 GPUs) / ~10x
+(16 GPUs) ceiling the paper measures GPS against.
+"""
+
+from __future__ import annotations
+
+from .memcpy import MemcpyExecutor
+
+
+class InfiniteBWExecutor(MemcpyExecutor):
+    """memcpy dataflow with transfer time elided."""
+
+    name = "infinite"
+    zero_transfer_time = True

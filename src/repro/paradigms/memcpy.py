@@ -1,0 +1,65 @@
+"""The memcpy paradigm: bulk-synchronous broadcast at phase barriers.
+
+Paper section 6: every shared data structure is duplicated on every GPU;
+after each phase, each producer broadcasts its written region to all peers
+via ``cudaMemcpy``. Kernels then run fully local, but transfers never
+overlap compute — the defining weakness the paper's Figure 8 exposes ("on
+average does not achieve any improvement over a well-optimized single GPU
+implementation").
+
+Transfers move the written *extent* of each shared buffer, not the written
+payload: a DMA copy cannot skip clean bytes inside the region, which is why
+sparse writers pay heavily under this paradigm (and why Figure 10
+normalises everyone else's traffic to memcpy's).
+"""
+
+from __future__ import annotations
+
+from .base import ParadigmExecutor
+
+
+class MemcpyExecutor(ParadigmExecutor):
+    """Bulk-synchronous replication with host-initiated DMA."""
+
+    name = "memcpy"
+    #: Subclass knob: the infinite-bandwidth variant elides transfer time.
+    zero_transfer_time = False
+
+    def execute_phase(self, phase, after):
+        kernel_tasks = []
+        for kernel in phase.kernels:
+            footprint = self.analysis.footprint(kernel)
+            duration = self.roofline(footprint)
+            kernel_tasks.append(
+                self.engine.task(
+                    f"{phase.name}/{kernel.name}@gpu{kernel.gpu}",
+                    duration,
+                    self.gpu_resource(kernel.gpu),
+                    after,
+                )
+            )
+        # Bulk-synchronous broadcasts: dependent on *all* kernels (the host
+        # drains the phase before issuing DMA), serialised on port resources.
+        # Setup phases initialise every replica locally — no broadcast.
+        if self.is_setup_phase(phase):
+            return kernel_tasks
+        transfer_tasks = []
+        others = range(self.config.num_gpus)
+        for kernel in phase.kernels:
+            extent = self.analysis.written_extent_bytes(kernel, shared_only=True)
+            if extent <= 0:
+                continue
+            for dst in others:
+                if dst == kernel.gpu or dst >= self.program.num_gpus:
+                    continue
+                transfer_tasks.extend(
+                    self.add_transfer(
+                        f"{phase.name}/memcpy",
+                        kernel.gpu,
+                        dst,
+                        extent,
+                        deps=kernel_tasks,
+                        zero_time=self.zero_transfer_time,
+                    )
+                )
+        return kernel_tasks + transfer_tasks

@@ -1,0 +1,51 @@
+"""Name -> executor registry for the evaluation harness."""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..errors import ParadigmError
+from ..trace.program import TraceProgram
+from .base import ParadigmExecutor
+from .gps import GPSExecutor, GPSNoCoalescingExecutor, GPSNoSubscriptionExecutor
+from .infinite import InfiniteBWExecutor
+from .memcpy import MemcpyExecutor
+from .rdl import RDLExecutor
+from .um import UMExecutor
+from .um_hints import UMHintsExecutor
+
+#: Paradigm name -> executor class. The first six are the paper's Figure 8
+#: comparison set; the rest are ablation variants.
+PARADIGMS: dict = {
+    "um": UMExecutor,
+    "um_hints": UMHintsExecutor,
+    "rdl": RDLExecutor,
+    "memcpy": MemcpyExecutor,
+    "gps": GPSExecutor,
+    "infinite": InfiniteBWExecutor,
+    "gps_nosub": GPSNoSubscriptionExecutor,
+    "gps_nocoalesce": GPSNoCoalescingExecutor,
+}
+
+#: Display order and labels matching the paper's figures.
+FIGURE8_ORDER = ("um", "um_hints", "rdl", "memcpy", "gps", "infinite")
+LABELS = {
+    "um": "UM",
+    "um_hints": "UM+hints",
+    "rdl": "RDL",
+    "memcpy": "Memcpy",
+    "gps": "GPS",
+    "infinite": "Infinite BW",
+    "gps_nosub": "GPS w/o subscription",
+    "gps_nocoalesce": "GPS w/o coalescing",
+}
+
+
+def make_executor(name: str, program: TraceProgram, config: SystemConfig) -> ParadigmExecutor:
+    """Instantiate the named paradigm executor."""
+    try:
+        cls = PARADIGMS[name]
+    except KeyError:
+        raise ParadigmError(
+            f"unknown paradigm {name!r}; available: {sorted(PARADIGMS)}"
+        ) from None
+    return cls(program, config)

@@ -1,0 +1,112 @@
+"""Fault-based Unified Memory (no hints).
+
+Paper section 6: shared regions come from ``cudaMallocManaged``; the first
+GPU to touch a page gets it, and every subsequent peer access page-faults,
+stalls the accessing warp group, and migrates the page. Pages shared by
+several GPUs in one phase thrash back and forth every iteration — the
+mechanism behind UM's sub-1x speedups in Figure 8 and its traffic blow-up
+in Figure 10.
+
+Model: page residency is tracked exactly; within a phase, accessors are
+served in GPU order and each non-resident access migrates the page (fault
+latency, batched, on the faulting kernel's critical path; page bytes on the
+link ports).
+"""
+
+from __future__ import annotations
+
+from .base import ParadigmExecutor
+
+
+class UMExecutor(ParadigmExecutor):
+    """Unified Memory with fault-driven page migration."""
+
+    name = "um"
+
+    def __init__(self, program, config) -> None:
+        super().__init__(program, config)
+        #: vpn -> gpu currently holding the (single) copy.
+        self._residence: dict[int, int] = {}
+        self.fault_count = 0
+        self.pages_migrated = 0
+        #: First-touch faults (populate, no migration traffic).
+        self.populate_faults = 0
+
+    def execute_phase(self, phase, after):
+        page_size = self.config.page_size
+        um = self.config.um
+        tasks = []
+        # Deterministic service order: ascending GPU id within the phase.
+        kernels = sorted(phase.kernels, key=lambda k: k.gpu)
+        migrate_bytes_in: dict[int, int] = {}
+        migrate_bytes_out: dict[int, int] = {}
+        kernel_tasks = []
+        for kernel in kernels:
+            footprint = self.analysis.footprint(kernel)
+            gpu = kernel.gpu
+            faults = 0
+            populate = 0
+            migrated = 0
+            for vpn in footprint.all_pages.tolist():
+                holder = self._residence.get(vpn)
+                if holder is None:
+                    self._residence[vpn] = gpu
+                    populate += 1
+                elif holder != gpu:
+                    faults += 1
+                    migrated += 1
+                    self.traffic.add(holder, gpu, page_size)
+                    migrate_bytes_out[holder] = migrate_bytes_out.get(holder, 0) + page_size
+                    migrate_bytes_in[gpu] = migrate_bytes_in.get(gpu, 0) + page_size
+                    self._residence[vpn] = gpu
+            self.fault_count += faults + populate
+            self.pages_migrated += migrated
+            self.populate_faults += populate
+            # Faults stall the kernel: the driver pipelines concurrent
+            # faults, so the serial stall saturates for storms, plus the
+            # time to pull the migrated pages over the link at (inefficient,
+            # page-granular) migration DMA bandwidth — all exposed, since
+            # demand migration serialises with the access that triggered it.
+            sat = um.fault_storm_saturation
+            stall = um.fault_latency * faults / (1.0 + faults / sat)
+            stall += um.fault_latency * 0.5 * populate / (1.0 + populate / sat)
+            stall += self.transfer_duration(
+                int(migrated * page_size / um.migration_efficiency)
+            )
+            duration = self.roofline(footprint, extra_stall=stall)
+            kernel_tasks.append(
+                self.engine.task(
+                    f"{phase.name}/{kernel.name}@gpu{gpu}",
+                    duration,
+                    self.gpu_resource(gpu),
+                    after,
+                )
+            )
+        # Port occupancy for the migration traffic (concurrent with the
+        # kernels, since migrations happen during execution).
+        for gpu, nbytes in migrate_bytes_out.items():
+            tasks.append(
+                self.engine.task(
+                    f"{phase.name}/um-mig-eg{gpu}",
+                    self.transfer_duration(nbytes),
+                    self.egress(gpu),
+                    after,
+                )
+            )
+        for gpu, nbytes in migrate_bytes_in.items():
+            tasks.append(
+                self.engine.task(
+                    f"{phase.name}/um-mig-in{gpu}",
+                    self.transfer_duration(nbytes),
+                    self.ingress(gpu),
+                    after,
+                )
+            )
+        return kernel_tasks + tasks
+
+    def build_result(self, total_time):
+        result = super().build_result(total_time)
+        result.fault_count = self.fault_count
+        result.pages_migrated = self.pages_migrated
+        result.extras["populate_faults"] = self.populate_faults
+        return result

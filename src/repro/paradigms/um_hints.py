@@ -1,0 +1,193 @@
+"""Unified Memory with expert hints.
+
+Paper section 6: each region's *preferred location* is the GPU that writes
+it (producers are also consumers in the evaluated applications); readers
+get *accessed-by* mappings; and before each kernel the runtime prefetches
+the remote regions the kernel will read.
+
+The crucial limitation (section 2.1): UM **cannot replicate pages that
+have a writer** — read duplication only exists for read-only pages, and
+the suite has none. A prefetch therefore *migrates* the page to the
+reader. The consequences this model charges, which are exactly the paper's
+"thrashing page migrations and expensive faults and TLB shootdowns":
+
+* prefetch traffic is page-granular (over-fetch, the Figure 10 Diffusion
+  observation) and only partially overlaps compute;
+* a page prefetched by several readers in one phase can live in only one
+  of them — the losers take demand faults and pull the data at cacheline
+  wire granularity;
+* the producer's next write to a page that was prefetched away faults,
+  migrates the page home, and pays a TLB shootdown.
+
+Writes to pages whose preferred location is elsewhere become remote peer
+stores: no stall, but link traffic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from .base import ParadigmExecutor
+
+
+class UMHintsExecutor(ParadigmExecutor):
+    """UM with preferred-location, accessed-by, and prefetch hints."""
+
+    name = "um_hints"
+
+    def __init__(self, program, config) -> None:
+        super().__init__(program, config)
+        self._preferred = self._derive_preferred_locations()
+        #: Pages currently resident away from their preferred location
+        #: (prefetched to a reader): vpn -> holder GPU.
+        self._drifted: dict[int, int] = {}
+        self.prefetched_pages = 0
+        self.writeback_faults = 0
+        self.contended_faults = 0
+
+    def _derive_preferred_locations(self) -> dict:
+        """vpn -> preferred GPU: the page's most frequent writer.
+
+        Mirrors the methodology: "we set the GPU that issues writes to a
+        given memory region as its preferred location". Pages never written
+        fall back to their buffer's home GPU.
+        """
+        tallies: dict[int, Counter] = {}
+        for kernel in self.program.iter_kernels():
+            footprint = self.analysis.footprint(kernel)
+            for vpn in footprint.store_pages.tolist():
+                tallies.setdefault(vpn, Counter())[kernel.gpu] += 1
+        preferred = {}
+        for vpn, tally in tallies.items():
+            best = max(tally.items(), key=lambda item: (item[1], -item[0]))
+            preferred[vpn] = best[0]
+        return preferred
+
+    def _preferred_of(self, vpn: int) -> int:
+        if vpn in self._preferred:
+            return self._preferred[vpn]
+        buf = self.analysis.buffer_of_page(vpn)
+        return buf.home_gpu if buf is not None else 0
+
+    def _holder_of(self, vpn: int) -> int:
+        return self._drifted.get(vpn, self._preferred_of(vpn))
+
+    def execute_phase(self, phase, after):
+        um = self.config.um
+        page_size = self.config.page_size
+        sat = um.fault_storm_saturation
+        readers_by_page = self.analysis.phase_page_readers(phase)
+
+        out_tasks = []
+        setup = self.is_setup_phase(phase)
+        for kernel in phase.kernels:
+            footprint = self.analysis.footprint(kernel)
+            gpu = kernel.gpu
+            prefetch_from: dict[int, int] = {}
+            demand_from: dict[int, int] = {}
+            demand_txns = 0
+            writeback_faults = 0
+            contended_faults = 0
+
+            if not setup:
+                # Reads of pages held elsewhere: prefetch-migrate. Contended
+                # pages (several readers this phase) land at the lowest
+                # reader; the rest demand-fault and pull lines.
+                for fp in footprint.reads:
+                    for vpn in fp.pages.tolist():
+                        holder = self._holder_of(vpn)
+                        if holder == gpu:
+                            continue
+                        phase_readers = readers_by_page.get(vpn, [gpu])
+                        winner = min(phase_readers)
+                        if winner == gpu:
+                            prefetch_from[holder] = (
+                                prefetch_from.get(holder, 0) + page_size
+                            )
+                            self._drifted[vpn] = gpu
+                            self.prefetched_pages += 1
+                        else:
+                            contended_faults += 1
+                            lines = max(1, fp.txns // max(1, len(fp.pages)))
+                            demand_from[winner] = (
+                                demand_from.get(winner, 0) + lines * 128
+                            )
+                            demand_txns += lines
+
+                # Writes to pages that drifted away: fault them home with a
+                # shootdown each. Writes to pages preferred elsewhere: peer
+                # stores (no stall, traffic only).
+                peer_store_to: dict[int, int] = {}
+                for fp in footprint.stores:
+                    for vpn in fp.pages.tolist():
+                        pref = self._preferred_of(vpn)
+                        holder = self._holder_of(vpn)
+                        if pref == gpu and holder != gpu:
+                            writeback_faults += 1
+                            prefetch_from[holder] = (
+                                prefetch_from.get(holder, 0) + page_size
+                            )
+                            self._drifted.pop(vpn, None)
+                        elif pref != gpu:
+                            share = fp.payload_bytes // max(1, len(fp.pages))
+                            peer_store_to[pref] = peer_store_to.get(pref, 0) + share
+                for dst, nbytes in peer_store_to.items():
+                    out_tasks.extend(
+                        self.add_transfer(
+                            f"{phase.name}/peer-store", gpu, dst, nbytes, deps=after
+                        )
+                    )
+
+            prefetch_exposed = 0.0
+            for src, nbytes in prefetch_from.items():
+                out_tasks.extend(
+                    self.add_transfer(f"{phase.name}/prefetch", src, gpu, nbytes, deps=after)
+                )
+                prefetch_exposed += self.transfer_duration(nbytes) * (
+                    1.0 - um.prefetch_overlap
+                )
+            demand_time = 0.0
+            for src, nbytes in demand_from.items():
+                out_tasks.extend(
+                    self.add_transfer(f"{phase.name}/demand", src, gpu, nbytes, deps=after)
+                )
+                demand_time += self.transfer_duration(nbytes)
+
+            # Hint-path faults resolve cheaper than blind UM faults (the
+            # driver already holds placement metadata for hinted ranges),
+            # and alternating prefetch hints return roughly half the
+            # drifted pages before the producer writes them — only the
+            # remainder fault.
+            eff_writeback = (writeback_faults + 1) // 2
+            eff_contended = (contended_faults + 1) // 2
+            faults = eff_writeback + eff_contended
+            hint_fault_latency = um.fault_latency * 0.5
+            stall = hint_fault_latency * faults / (1.0 + faults / sat) if faults else 0.0
+            stall += um.shootdown_latency * eff_writeback / (1.0 + eff_writeback / sat)
+            self.writeback_faults += writeback_faults
+            self.contended_faults += contended_faults
+
+            duration = (
+                self.roofline(footprint, extra_stall=stall + demand_time)
+                + prefetch_exposed
+            )
+            out_tasks.append(
+                self.engine.task(
+                    f"{phase.name}/{kernel.name}@gpu{gpu}",
+                    duration,
+                    self.gpu_resource(gpu),
+                    after,
+                )
+            )
+        return out_tasks
+
+    def build_result(self, total_time):
+        result = super().build_result(total_time)
+        result.fault_count = self.writeback_faults + self.contended_faults
+        result.pages_migrated = self.prefetched_pages + self.writeback_faults
+        result.extras["prefetched_pages"] = self.prefetched_pages
+        result.extras["writeback_faults"] = self.writeback_faults
+        result.extras["contended_faults"] = self.contended_faults
+        return result

@@ -1,0 +1,12 @@
+"""Discrete-event timing engine.
+
+Paradigm executors translate a trace program into a task graph — kernels on
+GPU compute resources, transfers on link port resources, faults on fault
+handlers — and this engine schedules it: a task starts when its dependencies
+finish and its resource is free; resources serialise. The program makespan
+is the simulated execution time.
+"""
+
+from .engine import Engine, Resource, Task
+
+__all__ = ["Engine", "Resource", "Task"]

@@ -1,0 +1,101 @@
+"""Derived metrics over simulation results.
+
+The raw :class:`~repro.system.results.SimulationResult` carries time and
+bytes; these helpers compute the quantities architects actually discuss:
+communication-to-computation ratio, achieved link utilisation, per-GPU
+traffic balance, and effective interconnect bandwidth demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from .results import SimulationResult
+
+
+@dataclass(frozen=True)
+class CommunicationMetrics:
+    """Communication-centric view of one run."""
+
+    total_time: float
+    interconnect_bytes: int
+    #: Mean bytes/second the busiest egress port sustained over the run.
+    peak_egress_demand: float
+    #: Fraction of one link's bandwidth the busiest port's average demand
+    #: represents (>1.0 means the run was interconnect-bound somewhere).
+    peak_link_utilisation: float
+    #: max/min egress bytes across GPUs (1.0 = perfectly balanced).
+    egress_imbalance: float
+    #: Exposed communication time as a fraction of total (from phases).
+    exposed_comm_fraction: float
+
+
+def communication_metrics(
+    result: SimulationResult, config: SystemConfig
+) -> CommunicationMetrics:
+    """Compute the communication profile of one finished run."""
+    if result.total_time <= 0:
+        raise ValueError("result has non-positive total time")
+    egress = [result.traffic.egress_bytes(g) for g in range(result.num_gpus)]
+    busiest = max(egress) if egress else 0
+    demand = busiest / result.total_time
+    bandwidth = config.link.effective_bandwidth
+    utilisation = demand / bandwidth if bandwidth > 0 else 0.0
+    positive = [e for e in egress if e > 0]
+    imbalance = (max(positive) / min(positive)) if len(positive) > 1 else 1.0
+    exposed = sum(p.exposed_transfer_time for p in result.phases)
+    return CommunicationMetrics(
+        total_time=result.total_time,
+        interconnect_bytes=result.interconnect_bytes,
+        peak_egress_demand=demand,
+        peak_link_utilisation=utilisation,
+        egress_imbalance=imbalance,
+        exposed_comm_fraction=min(1.0, exposed / result.total_time),
+    )
+
+
+@dataclass(frozen=True)
+class ScalingMetrics:
+    """Strong-scaling quality of a multi-GPU run vs its baseline."""
+
+    speedup: float
+    efficiency: float
+    #: Speedup as a fraction of the infinite-bandwidth speedup (the paper's
+    #: "opportunity captured").
+    opportunity_captured: float
+
+
+def scaling_metrics(
+    single: SimulationResult,
+    multi: SimulationResult,
+    infinite: SimulationResult,
+) -> ScalingMetrics:
+    """Compute speedup/efficiency/opportunity from three runs."""
+    if multi.total_time <= 0 or infinite.total_time <= 0:
+        raise ValueError("runs must have positive time")
+    speedup = single.total_time / multi.total_time
+    ceiling = single.total_time / infinite.total_time
+    return ScalingMetrics(
+        speedup=speedup,
+        efficiency=speedup / multi.num_gpus,
+        opportunity_captured=speedup / ceiling if ceiling > 0 else 0.0,
+    )
+
+
+def traffic_by_distance(result: SimulationResult) -> dict:
+    """Bytes binned by GPU-index distance |src - dst|.
+
+    Halo-exchange workloads concentrate at distance 1; all-to-all spreads
+    across distances — a quick fingerprint of the communication pattern.
+    """
+    bins: dict[int, int] = {}
+    matrix = result.traffic.as_array()
+    n = result.num_gpus
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            distance = abs(src - dst)
+            bins[distance] = bins.get(distance, 0) + int(matrix[src, dst])
+    return dict(sorted(bins.items()))

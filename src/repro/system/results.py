@@ -1,0 +1,67 @@
+"""Result containers produced by paradigm executors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interconnect.traffic import TrafficMatrix
+
+
+@dataclass
+class PhaseBreakdown:
+    """Timing contributions of one phase (post-DES, max over GPUs)."""
+
+    name: str
+    start: float
+    end: float
+    kernel_time: float
+    exposed_transfer_time: float
+
+    @property
+    def duration(self) -> float:
+        """Wall time of the phase including exposed communication."""
+        return self.end - self.start
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produces.
+
+    ``total_time`` is the end-to-end makespan; ``traffic`` is the
+    interconnect byte matrix (the Figure 10 metric); the remaining fields
+    carry paradigm-specific detail for the sensitivity studies.
+    """
+
+    program_name: str
+    paradigm: str
+    num_gpus: int
+    total_time: float
+    traffic: TrafficMatrix
+    phases: list = field(default_factory=list)
+    #: Per-GPU write-queue stats (GPS runs only).
+    write_queue_stats: list = field(default_factory=list)
+    #: Per-GPU GPS-TLB stats (GPS runs only).
+    gps_tlb_stats: list = field(default_factory=list)
+    #: Figure 9 histogram {subscriber_count: pages} (GPS runs only).
+    subscriber_histogram: dict = field(default_factory=dict)
+    #: UM runs: page faults taken and pages migrated.
+    fault_count: int = 0
+    pages_migrated: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def interconnect_bytes(self) -> int:
+        """Total bytes that crossed the interconnect."""
+        return self.traffic.total_bytes()
+
+    def summary(self) -> dict:
+        """Flat dict for reports and benchmark extra_info."""
+        return {
+            "program": self.program_name,
+            "paradigm": self.paradigm,
+            "num_gpus": self.num_gpus,
+            "total_time_s": self.total_time,
+            "interconnect_bytes": self.interconnect_bytes,
+            "fault_count": self.fault_count,
+            "pages_migrated": self.pages_migrated,
+        }

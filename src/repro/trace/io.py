@@ -1,0 +1,157 @@
+"""Trace program serialization: save/load programs as JSON.
+
+Lets workload traces be captured once and shared (the moral equivalent of
+shipping NVBit trace files), and makes custom programs editable as data.
+The format is versioned; loading validates through the same constructors
+as the builder API, so a hand-edited file cannot produce an inconsistent
+program silently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import TraceError
+from .program import BufferSpec, KernelSpec, Phase, TraceProgram
+from .records import AccessRange, MemOp, PatternKind, PatternSpec, Scope
+
+FORMAT_VERSION = 1
+
+
+def _pattern_to_dict(pattern: PatternSpec) -> dict:
+    return {
+        "kind": pattern.kind.value,
+        "stride": pattern.stride,
+        "touch_fraction": pattern.touch_fraction,
+        "revisit_prob": pattern.revisit_prob,
+        "revisit_window": pattern.revisit_window,
+        "bytes_per_txn": pattern.bytes_per_txn,
+        "seed": pattern.seed,
+    }
+
+
+def _pattern_from_dict(data: dict) -> PatternSpec:
+    return PatternSpec(
+        kind=PatternKind(data["kind"]),
+        stride=data.get("stride", 1),
+        touch_fraction=data.get("touch_fraction", 1.0),
+        revisit_prob=data.get("revisit_prob", 0.0),
+        revisit_window=data.get("revisit_window", 64),
+        bytes_per_txn=data.get("bytes_per_txn", 128),
+        seed=data.get("seed", 0),
+    )
+
+
+def _access_to_dict(access: AccessRange) -> dict:
+    return {
+        "buffer": access.buffer,
+        "offset": access.offset,
+        "length": access.length,
+        "op": access.op.value,
+        "scope": access.scope.value,
+        "repeat": access.repeat,
+        "pattern": _pattern_to_dict(access.pattern),
+    }
+
+
+def _access_from_dict(data: dict) -> AccessRange:
+    return AccessRange(
+        buffer=data["buffer"],
+        offset=data["offset"],
+        length=data["length"],
+        op=MemOp(data["op"]),
+        pattern=_pattern_from_dict(data.get("pattern", {"kind": "sequential"})),
+        scope=Scope(data.get("scope", "weak")),
+        repeat=data.get("repeat", 1),
+    )
+
+
+def program_to_dict(program: TraceProgram) -> dict:
+    """Serialise a program to a JSON-safe dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": program.name,
+        "num_gpus": program.num_gpus,
+        "metadata": dict(program.metadata),
+        "buffers": [
+            {
+                "name": b.name,
+                "size": b.size,
+                "home_gpu": b.home_gpu,
+                "sync": b.sync,
+            }
+            for b in program.buffers
+        ],
+        "phases": [
+            {
+                "name": phase.name,
+                "iteration": phase.iteration,
+                "kernels": [
+                    {
+                        "name": k.name,
+                        "gpu": k.gpu,
+                        "compute_ops": k.compute_ops,
+                        "launch_overhead": k.launch_overhead,
+                        "accesses": [_access_to_dict(a) for a in k.accesses],
+                    }
+                    for k in phase.kernels
+                ],
+            }
+            for phase in program.phases
+        ],
+    }
+
+
+def program_from_dict(data: dict) -> TraceProgram:
+    """Reconstruct (and re-validate) a program from its dict form."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    buffers = tuple(
+        BufferSpec(
+            name=b["name"],
+            size=b["size"],
+            home_gpu=b.get("home_gpu", 0),
+            sync=b.get("sync", False),
+        )
+        for b in data["buffers"]
+    )
+    phases = []
+    for phase_data in data["phases"]:
+        kernels = tuple(
+            KernelSpec(
+                name=k["name"],
+                gpu=k["gpu"],
+                compute_ops=k["compute_ops"],
+                accesses=tuple(_access_from_dict(a) for a in k["accesses"]),
+                launch_overhead=k.get("launch_overhead", 5e-6),
+            )
+            for k in phase_data["kernels"]
+        )
+        phases.append(
+            Phase(phase_data["name"], kernels, iteration=phase_data.get("iteration", 0))
+        )
+    return TraceProgram(
+        name=data["name"],
+        num_gpus=data["num_gpus"],
+        buffers=buffers,
+        phases=tuple(phases),
+        metadata=data.get("metadata", {}),
+    )
+
+
+def save_program(program: TraceProgram, path: "str | Path") -> None:
+    """Write a program to a JSON file."""
+    Path(path).write_text(json.dumps(program_to_dict(program), indent=1) + "\n")
+
+
+def load_program(path: "str | Path") -> TraceProgram:
+    """Read a program back from a JSON file (validating on construction)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as err:
+        raise TraceError(f"malformed trace file {path}: {err}") from err
+    return program_from_dict(data)

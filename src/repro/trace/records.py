@@ -1,0 +1,137 @@
+"""Access descriptors: the vocabulary trace programs are written in.
+
+An :class:`AccessRange` says "this kernel performs ``op`` accesses over
+``[offset, offset+length)`` of ``buffer`` with spatial/temporal structure
+``pattern`` at consistency ``scope``". Workload generators compose these;
+:mod:`repro.trace.expand` lowers them to event streams.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import TraceError
+
+
+class MemOp(enum.Enum):
+    """Kind of memory operation."""
+
+    READ = "read"
+    WRITE = "write"
+    #: Read-modify-write. GPS forwards atomics like stores (section 5.1) but
+    #: the remote write queue does not coalesce them (section 7.4: Pagerank,
+    #: ALS, SSSP show 0% write-queue hit rate because they issue atomics).
+    ATOMIC = "atomic"
+
+    @property
+    def is_store(self) -> bool:
+        """Whether the op dirties memory (WRITE or ATOMIC)."""
+        return self is not MemOp.READ
+
+
+class Scope(enum.Enum):
+    """Memory-model scope of an access (paper section 2.3).
+
+    WEAK accesses need only become visible to other GPUs at the next
+    sys-scoped synchronisation; SYS accesses are strong and must go to a
+    single point of coherence uncoalesced.
+    """
+
+    WEAK = "weak"
+    SYS = "sys"
+
+
+class PatternKind(enum.Enum):
+    """Spatial/temporal access structure within a range."""
+
+    #: Every line in the range, ascending, contiguous full-line transactions.
+    SEQUENTIAL = "sequential"
+    #: Every ``stride``-th line, ascending — halo planes, matrix columns.
+    STRIDED = "strided"
+    #: Uniformly random lines — graph gather/scatter.
+    RANDOM = "random"
+    #: Mostly-new lines with probabilistic revisits to a recent working set —
+    #: stencils and transforms with temporal locality (CT, EQWP, HIT).
+    REUSE = "reuse"
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """Parameters refining a :class:`PatternKind`.
+
+    ``bytes_per_txn`` models how much of each 128 B line a transaction
+    actually dirties after the intra-SM coalescer: contiguous float stores
+    fill whole lines (128), scattered graph updates dirty 4-32 bytes
+    (section 7.5 discusses exactly this partial-line waste).
+    """
+
+    kind: PatternKind = PatternKind.SEQUENTIAL
+    stride: int = 1
+    #: Fraction of the range's lines the kernel touches (sparsity).
+    touch_fraction: float = 1.0
+    #: REUSE only: probability a given event revisits a recently used line.
+    revisit_prob: float = 0.0
+    #: REUSE only: how many distinct recent lines form the revisit pool.
+    revisit_window: int = 64
+    bytes_per_txn: int = 128
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise TraceError(f"stride must be >= 1, got {self.stride}")
+        if not 0.0 < self.touch_fraction <= 1.0:
+            raise TraceError(f"touch_fraction must be in (0, 1], got {self.touch_fraction}")
+        if not 0.0 <= self.revisit_prob < 1.0:
+            raise TraceError(f"revisit_prob must be in [0, 1), got {self.revisit_prob}")
+        if self.revisit_window < 1:
+            raise TraceError(f"revisit_window must be >= 1, got {self.revisit_window}")
+        if not 1 <= self.bytes_per_txn <= 128:
+            raise TraceError(f"bytes_per_txn must be in [1, 128], got {self.bytes_per_txn}")
+
+
+#: Convenience singleton: dense sequential full-line sweep.
+SEQUENTIAL = PatternSpec(PatternKind.SEQUENTIAL)
+
+
+@dataclass(frozen=True)
+class AccessRange:
+    """One kernel's accesses to one slice of one buffer."""
+
+    buffer: str
+    offset: int
+    length: int
+    op: MemOp
+    pattern: PatternSpec = SEQUENTIAL
+    scope: Scope = Scope.WEAK
+    #: Number of times the kernel sweeps the range (temporal reuse knob for
+    #: the L2 model; also multiplies bytes moved for demand paradigms).
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise TraceError(f"negative offset {self.offset}")
+        if self.length <= 0:
+            raise TraceError(f"access range must have positive length, got {self.length}")
+        if self.repeat < 1:
+            raise TraceError(f"repeat must be >= 1, got {self.repeat}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the range (buffer-relative)."""
+        return self.offset + self.length
+
+    def total_bytes(self) -> int:
+        """Bytes of payload the kernel moves for this range (all sweeps).
+
+        This is transaction bytes, not lines-touched x 128: sparse patterns
+        move fewer bytes than the footprint they touch.
+        """
+        lines = -(-self.length // 128)
+        reachable = max(1, lines // self.pattern.stride)
+        touched = max(1, int(reachable * self.pattern.touch_fraction))
+        return touched * self.pattern.bytes_per_txn * self.repeat
+
+    def footprint_bytes(self) -> int:
+        """Distinct bytes the range can touch (capacity footprint)."""
+        return self.length

@@ -1,0 +1,80 @@
+"""Size, time, and bandwidth units.
+
+Conventions used throughout the library:
+
+* sizes are **bytes** held in ``int``,
+* times are **seconds** held in ``float``,
+* bandwidths are **bytes per second** held in ``float``,
+* frequencies are **hertz** held in ``float``.
+
+The constants here make configuration literals readable
+(``16 * GiB`` instead of ``17179869184``) and the helpers format values for
+reports.
+"""
+
+from __future__ import annotations
+
+# -- sizes (binary prefixes; memory structures are power-of-two sized) -------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# -- bandwidths (decimal prefixes; link specs are quoted in GB/s) ------------
+KB_S = 1e3
+MB_S = 1e6
+GB_S = 1e9
+TB_S = 1e12
+
+# -- times --------------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# -- frequencies --------------------------------------------------------------
+MHZ = 1e6
+GHZ = 1e9
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``fmt_bytes(65536) == '64.0 KiB'``."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_bandwidth(bps: float) -> str:
+    """Format a bandwidth in decimal units, e.g. ``fmt_bandwidth(16e9) == '16.0 GB/s'``."""
+    value = float(bps)
+    for suffix in ("B/s", "KB/s", "MB/s", "GB/s", "TB/s"):
+        if abs(value) < 1000.0 or suffix == "TB/s":
+            return f"{value:.1f} {suffix}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit, e.g. ``fmt_time(3.2e-5) == '32.00 us'``."""
+    if seconds == 0:
+        return "0 s"
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.3f} s"
+    if magnitude >= MS:
+        return f"{seconds / MS:.2f} ms"
+    if magnitude >= US:
+        return f"{seconds / US:.2f} us"
+    return f"{seconds / NS:.1f} ns"
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    return -(-a // b)

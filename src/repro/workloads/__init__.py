@@ -1,0 +1,13 @@
+"""Workload trace generators for the paper's application suite (Table 2).
+
+Each workload synthesises a :class:`~repro.trace.program.TraceProgram` with
+the buffer data-flow, sharing pattern, spatial/temporal locality, and
+atomics mix of the corresponding CUDA application. These are the trace
+substitutes for the paper's NVBit captures — see DESIGN.md section 5 for
+the substitution argument.
+"""
+
+from .base import Workload, WorkloadInfo
+from .registry import WORKLOADS, get_workload, workload_names
+
+__all__ = ["Workload", "WorkloadInfo", "WORKLOADS", "get_workload", "workload_names"]

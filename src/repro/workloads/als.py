@@ -1,0 +1,130 @@
+"""ALS: alternating least squares matrix factorization.
+
+The all-to-all application (Table 2): updating the user factors requires
+reading the *entire* item factor matrix and vice versa, so every factor
+page is consumed by every GPU and subscription tracking cannot trim
+anything (Figures 9 and 11: ALS shared pages are ~all 4-subscriber, and GPS
+with/without subscription coincide).
+
+Two more trace features reproduce the paper's ALS results:
+
+* factor updates are *atomics* (per-entry accumulation across rating
+  blocks), so the write queue never coalesces them — 0% hit rate in
+  Figure 14;
+* the gather of the opposite factor matrix has no temporal locality
+  (``repeat=2`` sweeps of a random stream), so RDL refetches the same
+  cachelines over the interconnect and is the one paradigm that moves
+  *more* data than memcpy in Figure 10.
+"""
+
+from __future__ import annotations
+
+from ..trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
+from ..trace.records import AccessRange, MemOp, PatternKind, PatternSpec
+from ..units import MiB
+from .base import Workload, WorkloadInfo, scaled_size, setup_phase, shard_bounds
+
+
+class ALSWorkload(Workload):
+    """Alternating updates of user/item factor matrices."""
+
+    info = WorkloadInfo(
+        "als",
+        "Matrix factorization by alternating least squares",
+        "All-to-all",
+    )
+    arithmetic_intensity = 34.0
+    remote_mlp = 512
+
+    def __init__(
+        self,
+        user_bytes: int = 12 * MiB,
+        item_bytes: int = 12 * MiB,
+        ratings_bytes: int = 36 * MiB,
+        gather_repeat: int = 2,
+        seed: int = 67,
+    ) -> None:
+        self.user_bytes = user_bytes
+        self.item_bytes = item_bytes
+        self.ratings_bytes = ratings_bytes
+        self.gather_repeat = gather_repeat
+        self.seed = seed
+
+    def _half_step(
+        self,
+        it: int,
+        label: str,
+        num_gpus: int,
+        update_buf: str,
+        update_size: int,
+        gather_buf: str,
+        gather_size: int,
+        ratings: int,
+    ) -> Phase:
+        seq = PatternSpec(PatternKind.SEQUENTIAL, bytes_per_txn=128, seed=self.seed)
+        gather = PatternSpec(
+            PatternKind.RANDOM, bytes_per_txn=64, seed=self.seed + it + hash(label) % 97
+        )
+        atomic_update = PatternSpec(
+            PatternKind.RANDOM, touch_fraction=1.0, bytes_per_txn=128, seed=self.seed + 3
+        )
+        kernels = []
+        for gpu in range(num_gpus):
+            u_start, u_end = shard_bounds(update_size, num_gpus, gpu)
+            r_start, r_end = shard_bounds(ratings, num_gpus, gpu)
+            accesses = (
+                AccessRange("ratings", r_start, r_end - r_start, MemOp.READ, seq),
+                AccessRange(
+                    gather_buf, 0, gather_size, MemOp.READ, gather,
+                    repeat=self.gather_repeat,
+                ),
+                AccessRange(update_buf, u_start, u_end - u_start, MemOp.ATOMIC, atomic_update),
+            )
+            # Compute scales with the partitioned ratings sweep (the
+            # per-GPU solve work), not with the unpartitioned gather.
+            kernels.append(
+                KernelSpec(
+                    name=label,
+                    gpu=gpu,
+                    compute_ops=self.compute_ops(r_end - r_start),
+                    accesses=accesses,
+                    launch_overhead=3e-6,
+                )
+            )
+        return Phase(f"it{it}/{label}", tuple(kernels), iteration=it)
+
+    def build(self, num_gpus: int, scale: float = 1.0, iterations: int = 5) -> TraceProgram:
+        users = scaled_size(self.user_bytes, scale)
+        items = scaled_size(self.item_bytes, scale)
+        ratings = scaled_size(self.ratings_bytes, scale)
+        buffers = (
+            BufferSpec("users", users),
+            BufferSpec("items", items),
+            BufferSpec("ratings", ratings),
+        )
+        phases = [
+            setup_phase(
+                [("users", users), ("items", items), ("ratings", ratings)],
+                num_gpus,
+                self.seed,
+            )
+        ]
+        for it in range(iterations):
+            phases.append(
+                self._half_step(it, "update_users", num_gpus, "users", users, "items", items, ratings)
+            )
+            phases.append(
+                self._half_step(it, "update_items", num_gpus, "items", items, "users", users, ratings)
+            )
+        return TraceProgram(
+            name=self.info.name,
+            num_gpus=num_gpus,
+            buffers=buffers,
+            phases=tuple(phases),
+            metadata=self._common_metadata(scale),
+        )
+
+
+def make_als() -> ALSWorkload:
+    """The evaluation's ALS configuration."""
+    return ALSWorkload()

@@ -1,0 +1,118 @@
+"""Workload base class and shared partitioning helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..config import PAGE_64K
+from ..errors import TraceError
+from ..trace.program import TraceProgram
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Table 2 row: name, description, predominant communication pattern."""
+
+    name: str
+    description: str
+    comm_pattern: str
+
+
+class Workload(ABC):
+    """A synthetic trace generator for one application.
+
+    ``build(num_gpus, scale, iterations)`` produces a strong-scaling trace:
+    the *total* problem size is fixed by ``scale`` and partitioned across
+    ``num_gpus`` — more GPUs means less work per GPU, the regime the paper
+    evaluates.
+    """
+
+    info: WorkloadInfo
+
+    #: Arithmetic intensity: compute ops per byte of local payload. The
+    #: calibration knob standing in for each real application's FLOP mix.
+    arithmetic_intensity: float = 4.0
+
+    #: Remote memory-level parallelism under demand loads (RDL); dependent
+    #: access chains (graph traversals) get low values.
+    remote_mlp: int = 1024
+
+    @abstractmethod
+    def build(self, num_gpus: int, scale: float = 1.0, iterations: int = 5) -> TraceProgram:
+        """Generate the trace program for one system size."""
+
+    @property
+    def name(self) -> str:
+        """Workload short name."""
+        return self.info.name
+
+    def compute_ops(self, payload_bytes: int) -> float:
+        """Ops for a kernel that moves ``payload_bytes`` locally."""
+        return self.arithmetic_intensity * payload_bytes
+
+    def _common_metadata(self, scale: float) -> dict:
+        return {
+            "workload": self.info.name,
+            "comm_pattern": self.info.comm_pattern,
+            "remote_mlp": self.remote_mlp,
+            "scale": scale,
+        }
+
+
+def setup_phase(
+    buffers: "list[tuple[str, int]]",
+    num_gpus: int,
+    seed: int = 0,
+) -> "Phase":
+    """An initialisation phase: each GPU writes its shard of every buffer.
+
+    Real applications initialise their data (memset, input load, RNG fill)
+    before iterating; modelling it matters because it establishes first
+    touch (UM page placement) and last-writer state (RDL read routing) the
+    way the original codes do. Tagged ``iteration=-1`` so GPS profiling
+    (iteration 0) does not include it.
+    """
+    from ..trace.program import KernelSpec, Phase
+    from ..trace.records import AccessRange, MemOp, PatternKind, PatternSpec
+
+    pattern = PatternSpec(PatternKind.SEQUENTIAL, bytes_per_txn=128, seed=seed)
+    kernels = []
+    for gpu in range(num_gpus):
+        accesses = []
+        for name, size in buffers:
+            start, end = shard_bounds(size, num_gpus, gpu)
+            accesses.append(AccessRange(name, start, end - start, MemOp.WRITE, pattern))
+        payload = sum(a.total_bytes() for a in accesses)
+        kernels.append(
+            KernelSpec(
+                name="init",
+                gpu=gpu,
+                compute_ops=0.5 * payload,
+                accesses=tuple(accesses),
+                launch_overhead=3e-6,
+            )
+        )
+    return Phase("setup/init", tuple(kernels), iteration=-1)
+
+
+def scaled_size(base_bytes: int, scale: float, granule: int = PAGE_64K) -> int:
+    """Scale a buffer size, rounding up to ``granule`` (>= one granule)."""
+    if scale <= 0:
+        raise TraceError(f"scale must be positive, got {scale}")
+    size = int(base_bytes * scale)
+    return max(granule, -(-size // granule) * granule)
+
+
+def shard_bounds(total: int, parts: int, index: int, granule: int = 128) -> tuple:
+    """Byte range [start, end) of shard ``index`` of ``parts``.
+
+    Boundaries are aligned down to ``granule`` (cache lines) so access
+    ranges stay line-aligned; the final shard absorbs the remainder.
+    """
+    if not 0 <= index < parts:
+        raise TraceError(f"shard {index} out of range for {parts} parts")
+    per = total // parts
+    start = (per * index) // granule * granule
+    end = total if index == parts - 1 else (per * (index + 1)) // granule * granule
+    return start, end

@@ -1,0 +1,122 @@
+"""CT: model-based iterative reconstruction.
+
+Alternates forward projection (read the whole image volume, accumulate
+into the local sinogram partition) and back projection (read the whole
+sinogram, update the local image slab). Every page of both arrays is read
+by every GPU — the second all-to-all application (Table 2).
+
+CT is the application where *memcpy* shines in the paper's Figure 8:
+projections are arithmetic-heavy (high intensity), writes are dense over
+the whole written extent, and all consumers genuinely need all the data —
+exactly the regime bulk broadcast was built for. GPS still wins by
+overlapping the same transfers with compute.
+
+The write streams carry strong medium-range temporal revisits (rays hit
+neighbouring detector bins repeatedly), giving CT its Figure 14 write-queue
+hit-rate curve.
+"""
+
+from __future__ import annotations
+
+from ..trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
+from ..trace.records import AccessRange, MemOp, PatternKind, PatternSpec
+from ..units import MiB
+from .base import Workload, WorkloadInfo, scaled_size, setup_phase, shard_bounds
+
+
+class CTWorkload(Workload):
+    """Model-based iterative CT reconstruction."""
+
+    info = WorkloadInfo(
+        "ct",
+        "Model-based iterative reconstruction for CT imaging",
+        "All-to-all",
+    )
+    arithmetic_intensity = 150.0
+    remote_mlp = 512
+
+    def __init__(
+        self,
+        image_bytes: int = 20 * MiB,
+        sino_bytes: int = 14 * MiB,
+        write_revisit_prob: float = 0.45,
+        write_revisit_window: int = 350,
+        seed: int = 71,
+    ) -> None:
+        self.image_bytes = image_bytes
+        self.sino_bytes = sino_bytes
+        self.write_revisit_prob = write_revisit_prob
+        self.write_revisit_window = write_revisit_window
+        self.seed = seed
+
+    def _projection_phase(
+        self,
+        it: int,
+        label: str,
+        num_gpus: int,
+        read_buf: str,
+        read_size: int,
+        write_buf: str,
+        write_size: int,
+    ) -> Phase:
+        read_pat = PatternSpec(
+            PatternKind.REUSE,
+            revisit_prob=0.35,
+            revisit_window=1200,
+            bytes_per_txn=128,
+            seed=self.seed + it,
+        )
+        write_pat = PatternSpec(
+            PatternKind.REUSE,
+            revisit_prob=self.write_revisit_prob,
+            revisit_window=self.write_revisit_window,
+            bytes_per_txn=128,
+            seed=self.seed + 13,
+        )
+        kernels = []
+        for gpu in range(num_gpus):
+            w_start, w_end = shard_bounds(write_size, num_gpus, gpu)
+            accesses = (
+                AccessRange(read_buf, 0, read_size, MemOp.READ, read_pat),
+                AccessRange(write_buf, w_start, w_end - w_start, MemOp.WRITE, write_pat),
+            )
+            # Ray work scales with the GPU's projection shard (the
+            # partitioned dimension), not with the shared volume it reads.
+            kernels.append(
+                KernelSpec(
+                    name=label,
+                    gpu=gpu,
+                    compute_ops=self.compute_ops(w_end - w_start),
+                    accesses=accesses,
+                    launch_overhead=3e-6,
+                )
+            )
+        return Phase(f"it{it}/{label}", tuple(kernels), iteration=it)
+
+    def build(self, num_gpus: int, scale: float = 1.0, iterations: int = 5) -> TraceProgram:
+        image = scaled_size(self.image_bytes, scale)
+        sino = scaled_size(self.sino_bytes, scale)
+        buffers = (
+            BufferSpec("image", image),
+            BufferSpec("sino", sino),
+        )
+        phases = [setup_phase([("image", image), ("sino", sino)], num_gpus, self.seed)]
+        for it in range(iterations):
+            phases.append(
+                self._projection_phase(it, "forward", num_gpus, "image", image, "sino", sino)
+            )
+            phases.append(
+                self._projection_phase(it, "backward", num_gpus, "sino", sino, "image", image)
+            )
+        return TraceProgram(
+            name=self.info.name,
+            num_gpus=num_gpus,
+            buffers=buffers,
+            phases=tuple(phases),
+            metadata=self._common_metadata(scale),
+        )
+
+
+def make_ct() -> CTWorkload:
+    """The evaluation's CT configuration."""
+    return CTWorkload()

@@ -1,0 +1,211 @@
+"""Graph workloads: Pagerank and SSSP.
+
+Both are vertex-partitioned push-style graph algorithms: each GPU sweeps
+its edge slice and scatters *atomic* updates to destination vertices. The
+atomics are the defining trace feature — the GPS remote write queue does
+not coalesce them, giving these applications their 0% write-queue hit rate
+(paper section 7.4), and their scattered partial-line payloads are the
+bandwidth-waste case GPS's Figure 10 traffic accounting exposes.
+
+Edge locality is modelled with community structure: most updates land in
+the GPU's own partition, a band lands in the adjacent partitions, and a
+tail hits a small *hub region* (high-degree vertices) that every GPU
+updates — yielding the mixed 2/3/4-subscriber page distribution of
+Figure 9.
+
+Each iteration is one fused kernel per GPU (gather + scatter + apply), as
+in the push-style CUDA implementations: the heavy communication (atomic
+scatter, rank refresh) is produced *during* the long edge sweep, which is
+exactly the overlap opportunity GPS exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
+from ..trace.records import AccessRange, MemOp, PatternKind, PatternSpec
+from ..units import KiB, MiB
+from .base import Workload, WorkloadInfo, scaled_size, setup_phase, shard_bounds
+
+
+@dataclass(frozen=True)
+class GraphParams:
+    """Shape parameters for one graph application."""
+
+    #: Bytes of one per-vertex value array at scale 1.0.
+    vertex_bytes: int
+    #: Bytes of the edge list at scale 1.0 (partitioned, effectively private).
+    edge_bytes: int
+    #: Bytes of the hub region (high-degree vertices everyone updates).
+    hub_bytes: int
+    #: Fraction of destination vertices in the own partition hit per sweep.
+    own_touch: float
+    #: Fraction of each adjacent partition hit per sweep.
+    neighbor_touch: float
+    #: Fraction of the hub region hit per sweep.
+    hub_touch: float
+    #: Payload bytes per atomic update (partial cache lines).
+    atomic_bytes: int
+    #: Payload bytes per gather read.
+    gather_bytes: int
+
+
+class GraphWorkload(Workload):
+    """Generic push-style vertex-partitioned graph algorithm."""
+
+    def __init__(
+        self,
+        info: WorkloadInfo,
+        params: GraphParams,
+        arithmetic_intensity: float,
+        remote_mlp: int,
+        seed: int,
+    ) -> None:
+        self.info = info
+        self.params = params
+        self.arithmetic_intensity = arithmetic_intensity
+        self.remote_mlp = remote_mlp
+        self.seed = seed
+
+    def _scatter_accesses(self, gpu: int, num_gpus: int, vertex: int) -> list:
+        """Atomic scatter into ``updates``: own + neighbours + hub tail."""
+        p = self.params
+
+        def atomic(start: int, length: int, touch: float, salt: int) -> AccessRange:
+            return AccessRange(
+                "updates",
+                start,
+                length,
+                MemOp.ATOMIC,
+                PatternSpec(
+                    PatternKind.RANDOM,
+                    touch_fraction=touch,
+                    bytes_per_txn=p.atomic_bytes,
+                    seed=self.seed + salt,
+                ),
+            )
+
+        own = shard_bounds(vertex, num_gpus, gpu)
+        out = [atomic(own[0], own[1] - own[0], p.own_touch, 1 + gpu)]
+        if num_gpus > 1:
+            left = shard_bounds(vertex, num_gpus, (gpu - 1) % num_gpus)
+            out.append(atomic(left[0], left[1] - left[0], p.neighbor_touch, 101 + gpu))
+            right = shard_bounds(vertex, num_gpus, (gpu + 1) % num_gpus)
+            if right != left:
+                out.append(atomic(right[0], right[1] - right[0], p.neighbor_touch, 201 + gpu))
+            if p.hub_touch > 0:
+                hub = min(p.hub_bytes, vertex)
+                out.append(atomic(0, hub, p.hub_touch, 301 + gpu))
+        return out
+
+    def build(self, num_gpus: int, scale: float = 1.0, iterations: int = 5) -> TraceProgram:
+        p = self.params
+        vertex = scaled_size(p.vertex_bytes, scale)
+        edges = scaled_size(p.edge_bytes, scale)
+        buffers = (
+            BufferSpec("values", vertex),
+            BufferSpec("updates", vertex),
+            BufferSpec("edges", edges),
+        )
+        seq = PatternSpec(PatternKind.SEQUENTIAL, bytes_per_txn=128, seed=self.seed)
+        gather = PatternSpec(
+            PatternKind.RANDOM, bytes_per_txn=p.gather_bytes, seed=self.seed + 7
+        )
+
+        phases = [
+            setup_phase(
+                [("values", vertex), ("updates", vertex), ("edges", edges)],
+                num_gpus,
+                self.seed,
+            )
+        ]
+        for it in range(iterations):
+            # One fused kernel per GPU: sweep the edge slice, gather source
+            # values, push atomic updates, fold last iteration's updates
+            # into the owned values shard, reset owned updates.
+            kernels = []
+            for gpu in range(num_gpus):
+                e_start, e_end = shard_bounds(edges, num_gpus, gpu)
+                v_start, v_end = shard_bounds(vertex, num_gpus, gpu)
+                accesses = [
+                    AccessRange("edges", e_start, e_end - e_start, MemOp.READ, seq),
+                    AccessRange("values", 0, vertex, MemOp.READ, gather),
+                    AccessRange("updates", v_start, v_end - v_start, MemOp.READ, seq),
+                    AccessRange("values", v_start, v_end - v_start, MemOp.WRITE, seq),
+                    AccessRange("updates", v_start, v_end - v_start, MemOp.WRITE, seq),
+                ]
+                accesses.extend(self._scatter_accesses(gpu, num_gpus, vertex))
+                # Compute scales with the partitioned edge sweep — the part
+                # of the work that strong-scales.
+                edge_payload = e_end - e_start
+                kernels.append(
+                    KernelSpec(
+                        name="sweep",
+                        gpu=gpu,
+                        compute_ops=self.compute_ops(edge_payload),
+                        accesses=tuple(accesses),
+                        launch_overhead=3e-6,
+                    )
+                )
+            phases.append(Phase(f"it{it}/sweep", tuple(kernels), iteration=it))
+        return TraceProgram(
+            name=self.info.name,
+            num_gpus=num_gpus,
+            buffers=buffers,
+            phases=tuple(phases),
+            metadata=self._common_metadata(scale),
+        )
+
+
+def make_pagerank() -> GraphWorkload:
+    """Pagerank: rank propagation with community-local edge structure."""
+    return GraphWorkload(
+        WorkloadInfo(
+            "pagerank",
+            "Google's web-page ranking algorithm",
+            "Peer-to-Peer",
+        ),
+        GraphParams(
+            vertex_bytes=4 * MiB,
+            edge_bytes=48 * MiB,
+            hub_bytes=512 * KiB,
+            own_touch=0.55,
+            neighbor_touch=0.22,
+            hub_touch=0.6,
+            atomic_bytes=16,
+            gather_bytes=32,
+        ),
+        arithmetic_intensity=20.0,
+        remote_mlp=256,
+        seed=53,
+    )
+
+
+def make_sssp() -> GraphWorkload:
+    """SSSP: relaxation sweeps; sparser updates, dependent access chains.
+
+    The low ``remote_mlp`` captures the dependency structure of path
+    relaxation — remote demand loads stall, making RDL's latency exposure
+    the dominant cost (Table 2 classifies SSSP as many-to-many).
+    """
+    return GraphWorkload(
+        WorkloadInfo(
+            "sssp",
+            "Shortest paths between vertex pairs of a graph",
+            "Many-to-many",
+        ),
+        GraphParams(
+            vertex_bytes=4 * MiB,
+            edge_bytes=40 * MiB,
+            hub_bytes=1 * MiB,
+            own_touch=0.40,
+            neighbor_touch=0.18,
+            hub_touch=0.5,
+            atomic_bytes=12,
+            gather_bytes=24,
+        ),
+        arithmetic_intensity=16.0,
+        remote_mlp=160,
+        seed=59,
+    )

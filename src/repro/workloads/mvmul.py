@@ -1,0 +1,88 @@
+"""The paper's Listing 1 sample application: iterative matrix-vector multiply.
+
+Listing 1 allocates a matrix and two vectors with ``cudaMallocGPS``, starts
+tracking on iteration 0, and alternates ``mvmul(mat, vec1, vec2)`` /
+``mvmul(mat, vec2, vec1)`` across all GPUs. Each GPU owns a row slab of the
+matrix and produces the matching slice of the output vector while reading
+the *entire* input vector — so the vectors are all-to-all shared (small)
+while the matrix pages are single-GPU and get demoted to conventional pages
+at ``tracking_stop``.
+
+Not part of the Table 2 evaluation suite; exposed for the Listing 1 example
+and the runtime-behaviour tests.
+"""
+
+from __future__ import annotations
+
+from ..trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
+from ..trace.records import AccessRange, MemOp, PatternKind, PatternSpec
+from ..units import KiB, MiB
+from .base import Workload, WorkloadInfo, scaled_size, setup_phase, shard_bounds
+
+
+class MvMulWorkload(Workload):
+    """Iterative dense mat-vec, double-buffered vectors (paper Listing 1)."""
+
+    info = WorkloadInfo(
+        "mvmul",
+        "Listing 1: iterative matrix-vector multiplication",
+        "All-to-all (vectors only)",
+    )
+    arithmetic_intensity = 2.0  # one FMA per matrix element loaded
+    remote_mlp = 1024
+
+    def __init__(self, matrix_bytes: int = 32 * MiB, vector_bytes: int = 256 * KiB) -> None:
+        self.matrix_bytes = matrix_bytes
+        self.vector_bytes = vector_bytes
+
+    def build(self, num_gpus: int, scale: float = 1.0, iterations: int = 5) -> TraceProgram:
+        matrix = scaled_size(self.matrix_bytes, scale)
+        vector = scaled_size(self.vector_bytes, max(scale, 0.25))
+        buffers = (
+            BufferSpec("mat", matrix),
+            BufferSpec("vec1", vector),
+            BufferSpec("vec2", vector),
+        )
+        seq = PatternSpec(PatternKind.SEQUENTIAL, bytes_per_txn=128)
+        phases = [
+            setup_phase(
+                [("mat", matrix), ("vec1", vector), ("vec2", vector)], num_gpus
+            )
+        ]
+        names = ("vec1", "vec2")
+        for it in range(iterations):
+            # Listing 1 launches mvmul twice per iteration: vec1 -> vec2,
+            # then vec2 -> vec1.
+            for sub in range(2):
+                invec, outvec = names[sub % 2], names[(sub + 1) % 2]
+                kernels = []
+                for gpu in range(num_gpus):
+                    m_start, m_end = shard_bounds(matrix, num_gpus, gpu)
+                    v_start, v_end = shard_bounds(vector, num_gpus, gpu)
+                    accesses = (
+                        AccessRange("mat", m_start, m_end - m_start, MemOp.READ, seq),
+                        AccessRange(invec, 0, vector, MemOp.READ, seq),
+                        AccessRange(outvec, v_start, v_end - v_start, MemOp.WRITE, seq),
+                    )
+                    kernels.append(
+                        KernelSpec(
+                            name="mvmul",
+                            gpu=gpu,
+                            compute_ops=self.compute_ops(m_end - m_start),
+                            accesses=accesses,
+                            launch_overhead=3e-6,
+                        )
+                    )
+                phases.append(Phase(f"it{it}/mvmul{sub}", tuple(kernels), iteration=it))
+        return TraceProgram(
+            name=self.info.name,
+            num_gpus=num_gpus,
+            buffers=buffers,
+            phases=tuple(phases),
+            metadata=self._common_metadata(scale),
+        )
+
+
+def make_mvmul() -> MvMulWorkload:
+    """The Listing 1 configuration."""
+    return MvMulWorkload()

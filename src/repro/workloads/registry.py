@@ -1,0 +1,43 @@
+"""Workload registry: the Table 2 application suite by name."""
+
+from __future__ import annotations
+
+from ..errors import TraceError
+from .als import make_als
+from .base import Workload
+from .ct import make_ct
+from .graph import make_pagerank, make_sssp
+from .mvmul import make_mvmul
+from .stencil import make_diffusion, make_eqwp, make_hit, make_jacobi
+
+#: Table 2 order.
+WORKLOADS: dict = {
+    "jacobi": make_jacobi(),
+    "pagerank": make_pagerank(),
+    "sssp": make_sssp(),
+    "als": make_als(),
+    "ct": make_ct(),
+    "eqwp": make_eqwp(),
+    "diffusion": make_diffusion(),
+    "hit": make_hit(),
+}
+
+#: Additional workloads outside the Table 2 evaluation suite.
+EXTRA_WORKLOADS: dict = {
+    "mvmul": make_mvmul(),
+}
+
+
+def workload_names() -> list:
+    """The Table 2 evaluation suite, in table order."""
+    return list(WORKLOADS)
+
+
+def get_workload(name: str) -> Workload:
+    """Fetch a workload by name (Table 2 suite plus extras like mvmul)."""
+    if name in WORKLOADS:
+        return WORKLOADS[name]
+    if name in EXTRA_WORKLOADS:
+        return EXTRA_WORKLOADS[name]
+    available = workload_names() + list(EXTRA_WORKLOADS)
+    raise TraceError(f"unknown workload {name!r}; available: {available}")

@@ -1,0 +1,115 @@
+"""Unit tests for the set-associative cache model."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import Cache, CacheStats
+from repro.cache.replacement import FIFOPolicy
+from repro.errors import ConfigError
+
+
+def make_cache(size=1024 * 128, block=128, assoc=4, **kw):
+    return Cache(size, block, assoc, **kw)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cache = make_cache(size=128 * 16, assoc=4)
+        assert cache.num_sets == 4
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ConfigError):
+            Cache(128 * 10, 128, 4)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigError):
+            Cache(1000, 100, 2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            Cache(0, 128, 1)
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(7)
+        assert cache.access(7)
+
+    def test_capacity_eviction(self):
+        cache = Cache(128 * 2, 128, 2)  # 2 lines, 1 set
+        cache.access(0)
+        cache.access(1)
+        cache.access(2)  # evicts 0 (LRU)
+        assert not cache.access(0)
+        assert cache.stats.evictions >= 1
+
+    def test_working_set_within_capacity_all_hits_warm(self):
+        cache = Cache(128 * 64, 128, 8)
+        lines = list(range(64))
+        cache.simulate_stream(lines)
+        warm = cache.simulate_stream(lines)
+        assert warm.hit_rate == 1.0
+
+    def test_cyclic_thrash_beyond_capacity(self):
+        # Classic LRU pathology: cyclic sweep of N+1 lines through an
+        # N-line fully associative cache never hits.
+        cache = Cache(128 * 8, 128, 8)
+        lines = list(range(9)) * 3
+        stats = cache.simulate_stream(lines)
+        assert stats.hits == 0
+
+
+class TestSimulateStream:
+    def test_accepts_numpy(self):
+        cache = make_cache()
+        stats = cache.simulate_stream(np.array([1, 2, 1, 2], dtype=np.int64))
+        assert stats.hits == 2
+        assert stats.misses == 2
+
+    def test_returns_delta_not_total(self):
+        cache = make_cache()
+        cache.simulate_stream([1, 2, 3])
+        delta = cache.simulate_stream([1, 2, 3])
+        assert delta.hits == 3
+        assert delta.misses == 0
+        assert cache.stats.misses == 3
+
+    def test_empty_stream(self):
+        cache = make_cache()
+        stats = cache.simulate_stream([])
+        assert stats.accesses == 0
+
+
+class TestMaintenance:
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.access(5)
+        assert cache.invalidate(5)
+        assert not cache.access(5)  # miss again
+
+    def test_invalidate_absent(self):
+        assert not make_cache().invalidate(5)
+
+    def test_flush(self):
+        cache = make_cache()
+        for line in range(10):
+            cache.access(line)
+        cache.flush()
+        assert cache.resident_lines() == 0
+
+    def test_flush_preserves_policy_type(self):
+        cache = make_cache(policy_factory=FIFOPolicy)
+        cache.access(1)
+        cache.flush()
+        cache.access(1)
+        assert cache.resident_lines() == 1
+
+
+class TestStats:
+    def test_hit_rate_empty(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_merge(self):
+        merged = CacheStats(1, 2, 0).merge(CacheStats(3, 4, 5))
+        assert (merged.hits, merged.misses, merged.evictions) == (4, 6, 5)

@@ -1,0 +1,54 @@
+"""Unit tests for replacement policies."""
+
+from repro.cache.replacement import FIFOPolicy, LRUPolicy
+
+
+class TestLRU:
+    def test_touch_absent(self):
+        assert not LRUPolicy(2).touch(1)
+
+    def test_fill_then_touch(self):
+        policy = LRUPolicy(2)
+        assert policy.fill(1) is None
+        assert policy.touch(1)
+
+    def test_eviction_order_respects_recency(self):
+        policy = LRUPolicy(2)
+        policy.fill(1)
+        policy.fill(2)
+        policy.touch(1)  # 2 is now LRU
+        assert policy.fill(3) == 2
+
+    def test_eviction_without_touch_is_fifo(self):
+        policy = LRUPolicy(2)
+        policy.fill(1)
+        policy.fill(2)
+        assert policy.fill(3) == 1
+
+    def test_invalidate(self):
+        policy = LRUPolicy(2)
+        policy.fill(1)
+        assert policy.invalidate(1)
+        assert not policy.invalidate(1)
+        assert len(policy) == 0
+
+
+class TestFIFO:
+    def test_touch_does_not_refresh(self):
+        policy = FIFOPolicy(2)
+        policy.fill(1)
+        policy.fill(2)
+        policy.touch(1)  # recency ignored
+        assert policy.fill(3) == 1
+
+    def test_touch_reports_presence(self):
+        policy = FIFOPolicy(2)
+        policy.fill(7)
+        assert policy.touch(7)
+        assert not policy.touch(8)
+
+    def test_len(self):
+        policy = FIFOPolicy(4)
+        policy.fill(1)
+        policy.fill(2)
+        assert len(policy) == 2

@@ -1,0 +1,70 @@
+"""Shared fixtures: small systems and tiny workload scales.
+
+Tests run the same machinery as the benchmarks but at reduced scale —
+small buffers, few iterations — so the whole suite stays fast while still
+exercising every code path end-to-end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.config import GPSConfig, GPUConfig, PCIE6, SystemConfig, UMConfig
+
+#: Workload scale used across tests: big enough for multi-page shards,
+#: small enough to expand in milliseconds.
+TINY = 0.1
+
+
+@pytest.fixture
+def system4() -> SystemConfig:
+    """The paper's default 4-GPU PCIe 6.0 evaluation system."""
+    return repro.default_system(4, PCIE6)
+
+
+@pytest.fixture
+def system2() -> SystemConfig:
+    """A 2-GPU system for pairwise subscription corner cases."""
+    return repro.default_system(2, PCIE6)
+
+
+@pytest.fixture
+def system1() -> SystemConfig:
+    """Single-GPU baseline system."""
+    return repro.default_system(1, PCIE6)
+
+
+@pytest.fixture
+def gps_config() -> GPSConfig:
+    """Default GPS structure parameters (Table 1)."""
+    return GPSConfig()
+
+
+@pytest.fixture
+def gpu_config() -> GPUConfig:
+    """Default GV100 parameters (Table 1)."""
+    return GPUConfig()
+
+
+@pytest.fixture
+def um_config() -> UMConfig:
+    """Default Unified Memory cost parameters."""
+    return UMConfig()
+
+
+@pytest.fixture
+def jacobi_program():
+    """A tiny 4-GPU Jacobi trace (setup + 2 iterations)."""
+    return repro.get_workload("jacobi").build(4, scale=TINY, iterations=2)
+
+
+@pytest.fixture
+def pagerank_program():
+    """A tiny 4-GPU Pagerank trace (setup + 2 iterations)."""
+    return repro.get_workload("pagerank").build(4, scale=TINY, iterations=2)
+
+
+def build(workload: str, num_gpus: int = 4, scale: float = TINY, iterations: int = 2):
+    """Convenience builder used throughout the suite."""
+    return repro.get_workload(workload).build(num_gpus, scale=scale, iterations=iterations)

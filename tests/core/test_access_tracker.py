@@ -1,0 +1,76 @@
+"""Unit tests for the access tracking unit."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPSConfig
+from repro.core.access_tracker import AccessTrackingUnit
+
+BASE = 4096  # base VPN of the GPS heap
+
+
+@pytest.fixture
+def tracker():
+    return AccessTrackingUnit(gpu_id=0, config=GPSConfig(), base_vpn=BASE)
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self, tracker):
+        tracker.record_tlb_miss(BASE + 1)
+        assert not tracker.touched(BASE + 1)
+
+    def test_start_enables(self, tracker):
+        tracker.start()
+        tracker.record_tlb_miss(BASE + 1)
+        assert tracker.touched(BASE + 1)
+
+    def test_stop_freezes_but_keeps_readable(self, tracker):
+        tracker.start()
+        tracker.record_tlb_miss(BASE + 1)
+        tracker.stop()
+        tracker.record_tlb_miss(BASE + 2)
+        assert tracker.touched(BASE + 1)
+        assert not tracker.touched(BASE + 2)
+
+    def test_restart_clears(self, tracker):
+        tracker.start()
+        tracker.record_tlb_miss(BASE + 1)
+        tracker.stop()
+        tracker.start()
+        assert not tracker.touched(BASE + 1)
+        assert tracker.updates == 0
+
+
+class TestRecording:
+    def test_bulk_record(self, tracker):
+        tracker.start()
+        tracker.record_pages(np.array([BASE, BASE + 5, BASE + 9]))
+        assert tracker.touched_pages().tolist() == [BASE, BASE + 5, BASE + 9]
+
+    def test_bulk_ignores_out_of_range(self, tracker):
+        tracker.start()
+        tracker.record_pages(np.array([BASE - 1, BASE]))
+        assert tracker.touched_pages().tolist() == [BASE]
+
+    def test_updates_count_distinct_pages(self, tracker):
+        tracker.start()
+        tracker.record_pages(np.array([BASE, BASE + 1]))
+        tracker.record_pages(np.array([BASE, BASE + 2]))
+        assert tracker.updates == 3
+
+    def test_scalar_out_of_range_ignored(self, tracker):
+        tracker.start()
+        tracker.record_tlb_miss(BASE - 1)
+        tracker.record_tlb_miss(BASE + tracker.num_pages)
+        assert tracker.touched_pages().size == 0
+
+    def test_empty_bulk(self, tracker):
+        tracker.start()
+        tracker.record_pages(np.array([], dtype=np.int64))
+        assert tracker.updates == 0
+
+
+class TestFootprint:
+    def test_bitmap_is_64kib_for_default_range(self, tracker):
+        # Section 5.2: 32 GiB at 64 KiB pages needs 64 KiB of DRAM.
+        assert tracker.bitmap_bytes == 64 * 1024

@@ -1,0 +1,77 @@
+"""Unit tests for the memory-consistency rules and checkers."""
+
+from repro.core.consistency import (
+    StoreEvent,
+    check_point_to_point_order,
+    check_same_address_order,
+    may_coalesce,
+)
+from repro.trace.records import Scope
+
+
+def weak(gpu, addr, seq):
+    return StoreEvent(gpu=gpu, address=addr, scope=Scope.WEAK, seq=seq)
+
+
+def sys_store(gpu, addr, seq):
+    return StoreEvent(gpu=gpu, address=addr, scope=Scope.SYS, seq=seq)
+
+
+class TestMayCoalesce:
+    def test_weak_same_gpu_coalesces(self):
+        assert may_coalesce(weak(0, 1, 0), weak(0, 1, 1), fence_between=False)
+
+    def test_weak_different_addresses_coalesce(self):
+        # Section 3.3: stores need not be consecutive or same-address.
+        assert may_coalesce(weak(0, 1, 0), weak(0, 2, 1), fence_between=False)
+
+    def test_sys_scope_never_coalesces(self):
+        assert not may_coalesce(sys_store(0, 1, 0), weak(0, 1, 1), False)
+        assert not may_coalesce(weak(0, 1, 0), sys_store(0, 1, 1), False)
+
+    def test_fence_blocks_coalescing(self):
+        assert not may_coalesce(weak(0, 1, 0), weak(0, 1, 1), fence_between=True)
+
+    def test_cross_gpu_stores_do_not_merge(self):
+        assert not may_coalesce(weak(0, 1, 0), weak(1, 1, 1), False)
+
+
+class TestSameAddressOrder:
+    def test_in_order_delivery_ok(self):
+        issued = [weak(0, 1, 0), weak(0, 1, 1)]
+        assert check_same_address_order(issued, issued)
+
+    def test_reordered_same_address_violates(self):
+        issued = [weak(0, 1, 0), weak(0, 1, 1)]
+        assert not check_same_address_order(issued, list(reversed(issued)))
+
+    def test_coalesced_away_store_is_legal(self):
+        issued = [weak(0, 1, 0), weak(0, 1, 1)]
+        delivered = [issued[1]]  # older store merged into newer
+        assert check_same_address_order(issued, delivered)
+
+    def test_different_addresses_may_reorder(self):
+        issued = [weak(0, 1, 0), weak(0, 2, 1)]
+        delivered = [issued[1], issued[0]]
+        assert check_same_address_order(issued, delivered)
+
+
+class TestPointToPointOrder:
+    def test_matching_orders_ok(self):
+        a = [weak(0, 1, 0), weak(0, 1, 1)]
+        assert check_point_to_point_order([a, list(a)])
+
+    def test_divergent_orders_violate(self):
+        a = [weak(0, 1, 0), weak(0, 1, 1)]
+        b = [weak(0, 1, 1), weak(0, 1, 0)]
+        assert not check_point_to_point_order([a, b])
+
+    def test_racy_cross_gpu_orders_allowed(self):
+        # Stores from *different* GPUs to one address may arrive in
+        # different orders at different consumers (section 3.3).
+        a = [weak(0, 1, 0), weak(1, 1, 0)]
+        b = [weak(1, 1, 0), weak(0, 1, 0)]
+        assert check_point_to_point_order([a, b])
+
+    def test_empty_subscribers(self):
+        assert check_point_to_point_order([])

@@ -1,0 +1,74 @@
+"""Unit tests for the GPS (wide) page table."""
+
+import pytest
+
+from repro.config import GPSConfig
+from repro.core.gps_page_table import GPSPageTable
+from repro.errors import TranslationError
+
+
+@pytest.fixture
+def table():
+    return GPSPageTable(GPSConfig(), num_gpus=4)
+
+
+class TestReplicas:
+    def test_install_and_lookup(self, table):
+        table.install_replica(5, gpu=0, frame=10)
+        table.install_replica(5, gpu=2, frame=20)
+        pte = table.lookup(5)
+        assert pte.replicas == {0: 10, 2: 20}
+        assert pte.subscribers == frozenset({0, 2})
+
+    def test_remote_subscribers_excludes_self(self, table):
+        for gpu in range(4):
+            table.install_replica(5, gpu, gpu * 10)
+        assert table.lookup(5).remote_subscribers(1) == [0, 2, 3]
+
+    def test_install_out_of_range_gpu(self, table):
+        with pytest.raises(TranslationError):
+            table.install_replica(5, gpu=4, frame=0)
+
+    def test_remove_replica_returns_frame(self, table):
+        table.install_replica(5, 0, 42)
+        assert table.remove_replica(5, 0) == 42
+        assert table.subscribers(5) == frozenset()
+
+    def test_remove_missing_replica(self, table):
+        table.install_replica(5, 0, 42)
+        with pytest.raises(TranslationError):
+            table.remove_replica(5, 1)
+
+    def test_lookup_missing(self, table):
+        with pytest.raises(TranslationError):
+            table.lookup(99)
+
+    def test_subscribers_of_unknown_page_empty(self, table):
+        assert table.subscribers(99) == frozenset()
+
+    def test_remove_page(self, table):
+        table.install_replica(5, 0, 1)
+        table.remove_page(5)
+        assert 5 not in table
+
+    def test_remove_missing_page(self, table):
+        with pytest.raises(TranslationError):
+            table.remove_page(5)
+
+
+class TestQueries:
+    def test_multi_subscriber_filter(self, table):
+        table.install_replica(1, 0, 0)
+        table.install_replica(2, 0, 1)
+        table.install_replica(2, 1, 2)
+        assert table.pages_with_multiple_subscribers() == [2]
+
+    def test_len_and_entries(self, table):
+        table.install_replica(1, 0, 0)
+        table.install_replica(2, 0, 1)
+        assert len(table) == 2
+        assert len(list(table.entries())) == 2
+
+    def test_pte_bits_matches_paper(self, table):
+        # 126 bits for 4 GPUs at 64 KiB pages (section 5.2).
+        assert table.pte_bits == 126

@@ -1,0 +1,76 @@
+"""Unit tests for the GPS-TLB."""
+
+import pytest
+
+from repro.config import GPSConfig
+from repro.core.gps_page_table import GPSPageTable
+from repro.core.gps_tlb import GPSTLB
+from repro.errors import TranslationError
+
+
+@pytest.fixture
+def setup():
+    config = GPSConfig()
+    table = GPSPageTable(config, num_gpus=4)
+    for vpn in range(64):
+        for gpu in range(4):
+            table.install_replica(vpn, gpu, vpn * 4 + gpu)
+    return GPSTLB(config, table), table
+
+
+class TestTranslate:
+    def test_returns_wide_pte(self, setup):
+        tlb, table = setup
+        pte = tlb.translate(5)
+        assert pte.replicas[2] == 22
+
+    def test_miss_walks_then_hits(self, setup):
+        tlb, _ = setup
+        tlb.translate(5)
+        assert tlb.walks == 1
+        tlb.translate(5)
+        assert tlb.walks == 1
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_unknown_page_raises(self, setup):
+        tlb, _ = setup
+        with pytest.raises(TranslationError):
+            tlb.translate(999)
+
+    def test_capacity_pressure(self, setup):
+        tlb, _ = setup
+        # Sweep more pages than the 32-entry TLB holds, twice; the second
+        # sweep of a cyclic pattern through LRU sets still misses.
+        for _ in range(2):
+            for vpn in range(64):
+                tlb.translate(vpn)
+        assert tlb.stats.hit_rate < 0.5
+
+
+class TestInvalidate:
+    def test_invalidate_forces_rewalk(self, setup):
+        tlb, _ = setup
+        tlb.translate(5)
+        assert tlb.invalidate(5)
+        tlb.translate(5)
+        assert tlb.walks == 2
+
+    def test_invalidate_absent(self, setup):
+        tlb, _ = setup
+        assert not tlb.invalidate(5)
+
+    def test_flush(self, setup):
+        tlb, _ = setup
+        for vpn in range(8):
+            tlb.translate(vpn)
+        tlb.flush()
+        tlb.translate(0)
+        assert tlb.stats.misses == 9
+
+    def test_subscription_change_visible_after_invalidate(self, setup):
+        tlb, table = setup
+        tlb.translate(5)
+        table.remove_replica(5, 3)
+        tlb.invalidate(5)
+        assert 3 not in tlb.translate(5).subscribers

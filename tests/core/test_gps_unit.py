@@ -1,0 +1,118 @@
+"""Unit tests for the GPS unit datapath (queue -> TLB -> fan-out)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPSConfig
+from repro.core.gps_page_table import GPSPageTable
+from repro.core.gps_unit import GPSUnit
+from repro.trace.expand import LineStream
+
+LINES_PER_PAGE = GPSConfig().page_size // 128
+
+
+def stream(lines, payload=128):
+    lines = np.asarray(lines, dtype=np.int64)
+    return LineStream(lines, np.full(len(lines), payload, dtype=np.int32))
+
+
+@pytest.fixture
+def setup():
+    config = GPSConfig(write_queue_entries=8)
+    table = GPSPageTable(config, num_gpus=4)
+    # Page 0 subscribed by all; page 1 by {0, 2}; page 2 by {0} only.
+    for gpu in range(4):
+        table.install_replica(0, gpu, gpu)
+    table.install_replica(1, 0, 10)
+    table.install_replica(1, 2, 12)
+    table.install_replica(2, 0, 20)
+    unit = GPSUnit(0, config, table)
+    return unit, table
+
+
+class TestFanOut:
+    def test_broadcast_to_remote_subscribers_only(self, setup):
+        unit, _ = setup
+        unit.process_stores(stream([0]))  # line 0 -> page 0
+        window = unit.sync()
+        assert set(window.bytes_to) == {1, 2, 3}
+        assert window.total_bytes == 3 * 128
+
+    def test_partial_subscription_fans_less(self, setup):
+        unit, _ = setup
+        unit.process_stores(stream([LINES_PER_PAGE]))  # page 1: {0, 2}
+        window = unit.sync()
+        assert set(window.bytes_to) == {2}
+
+    def test_single_subscriber_page_no_traffic(self, setup):
+        unit, _ = setup
+        unit.process_stores(stream([2 * LINES_PER_PAGE]))  # page 2: {0}
+        window = unit.sync()
+        assert window.total_bytes == 0
+
+    def test_coalescing_reduces_fanout_bytes(self, setup):
+        unit, _ = setup
+        unit.process_stores(stream([0] * 10))
+        window = unit.sync()
+        # Ten stores to one line = one 128 B write per remote subscriber.
+        assert window.bytes_to[1] == 128
+
+    def test_atomics_fan_out_uncoalesced(self, setup):
+        unit, _ = setup
+        unit.process_stores(stream([0] * 3, payload=16), atomic=True)
+        window = unit.sync()
+        assert window.bytes_to[1] == 48
+        assert window.writes_to[1] == 3
+
+
+class TestSync:
+    def test_sync_resets_window(self, setup):
+        unit, _ = setup
+        unit.process_stores(stream([0]))
+        first = unit.sync()
+        second = unit.sync()
+        assert first.total_bytes > 0
+        assert second.total_bytes == 0
+
+    def test_sync_drains_queue(self, setup):
+        unit, _ = setup
+        unit.process_stores(stream([0, 1, 2]))
+        assert unit.write_queue.occupancy > 0
+        unit.sync()
+        assert unit.write_queue.occupancy == 0
+
+    def test_watermark_drains_route_midstream(self, setup):
+        unit, _ = setup
+        # 8-entry queue (watermark 7): 20 distinct lines force mid-kernel
+        # drains that must route through the TLB immediately.
+        unit.process_stores(stream(list(range(20))))
+        assert unit.tlb.stats.accesses > 0
+
+
+class TestTLBIntegration:
+    def test_invalidate_page_forces_rewalk(self, setup):
+        unit, table = setup
+        unit.process_stores(stream([0]))
+        unit.sync()
+        walks_before = unit.tlb.walks
+        unit.invalidate_page(0)
+        unit.process_stores(stream([0]))
+        unit.sync()
+        assert unit.tlb.walks == walks_before + 1
+
+    def test_subscription_change_respected_after_shootdown(self, setup):
+        unit, table = setup
+        unit.process_stores(stream([0]))
+        unit.sync()
+        table.remove_replica(0, 3)
+        unit.invalidate_page(0)
+        unit.process_stores(stream([0]))
+        window = unit.sync()
+        assert 3 not in window.bytes_to
+
+
+class TestSMCoalesceHook:
+    def test_delegates_to_gpu_coalescer(self, setup):
+        unit, _ = setup
+        out = unit.sm_coalesce(stream([5, 5, 6], payload=64))
+        assert out.lines.tolist() == [5, 6]

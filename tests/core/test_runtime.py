@@ -1,0 +1,201 @@
+"""Unit tests for the GPS runtime/driver API (paper section 4)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.runtime import GPSRuntime, MemAdvise
+from repro.errors import SubscriptionError
+
+PAGE = 65536
+
+
+@pytest.fixture
+def runtime():
+    return GPSRuntime(repro.default_system(4))
+
+
+class TestMallocGPS:
+    def test_replicates_on_all_gpus(self, runtime):
+        alloc = runtime.malloc_gps("x", 4 * PAGE)
+        for vpn in alloc.pages(PAGE):
+            assert runtime.subscriptions.subscribers(vpn) == frozenset(range(4))
+            assert runtime.gps_page_table.subscribers(vpn) == frozenset(range(4))
+
+    def test_gps_bit_set_everywhere(self, runtime):
+        alloc = runtime.malloc_gps("x", PAGE)
+        vpn = next(iter(alloc.pages(PAGE)))
+        for gpu in range(4):
+            assert runtime.page_tables[gpu].lookup(vpn).gps
+
+    def test_consumes_physical_memory_on_every_gpu(self, runtime):
+        runtime.malloc_gps("x", 4 * PAGE)
+        for memory in runtime.memories:
+            assert memory.frames_in_use == 4
+
+    def test_loads_resolve_local(self, runtime):
+        alloc = runtime.malloc_gps("x", PAGE)
+        vpn = next(iter(alloc.pages(PAGE)))
+        for gpu in range(4):
+            resolution = runtime.resolve_load(gpu, vpn)
+            assert resolution.local
+
+
+class TestMallocPinned:
+    def test_resident_on_home_only(self, runtime):
+        alloc = runtime.malloc_pinned("x", 2 * PAGE, gpu=2)
+        assert runtime.memories[2].frames_in_use == 2
+        assert runtime.memories[0].frames_in_use == 0
+        vpn = next(iter(alloc.pages(PAGE)))
+        assert runtime.page_tables[0].lookup(vpn).resident_gpu == 2
+        assert not runtime.page_tables[0].lookup(vpn).gps
+
+
+class TestFree:
+    def test_free_gps_releases_everything(self, runtime):
+        runtime.malloc_gps("x", 4 * PAGE)
+        runtime.free("x")
+        for memory in runtime.memories:
+            assert memory.frames_in_use == 0
+        assert len(runtime.gps_page_table) == 0
+
+    def test_free_pinned(self, runtime):
+        runtime.malloc_pinned("x", PAGE, gpu=1)
+        runtime.free("x")
+        assert runtime.memories[1].frames_in_use == 0
+
+    def test_free_managed_is_noop_on_memory(self, runtime):
+        runtime.malloc_managed("x", PAGE)
+        runtime.free("x")
+
+
+class TestMemAdvise:
+    def test_unsubscribe_frees_replica(self, runtime):
+        runtime.malloc_gps("x", 2 * PAGE)
+        changed = runtime.mem_advise(3, "x", MemAdvise.GPS_UNSUBSCRIBE)
+        assert changed == 2
+        assert runtime.memories[3].frames_in_use == 0
+        vpn = next(iter(runtime.address_space.get("x").pages(PAGE)))
+        assert 3 not in runtime.subscriptions.subscribers(vpn)
+
+    def test_resubscribe_backs_with_memory(self, runtime):
+        runtime.malloc_gps("x", PAGE)
+        runtime.mem_advise(3, "x", MemAdvise.GPS_UNSUBSCRIBE)
+        changed = runtime.mem_advise(3, "x", MemAdvise.GPS_SUBSCRIBE)
+        assert changed == 1
+        assert runtime.memories[3].frames_in_use == 1
+
+    def test_advise_idempotent(self, runtime):
+        runtime.malloc_gps("x", PAGE)
+        assert runtime.mem_advise(0, "x", MemAdvise.GPS_SUBSCRIBE) == 0
+
+    def test_last_subscriber_protected(self, runtime):
+        runtime.malloc_gps("x", PAGE)
+        for gpu in (1, 2, 3):
+            runtime.mem_advise(gpu, "x", MemAdvise.GPS_UNSUBSCRIBE)
+        with pytest.raises(SubscriptionError):
+            runtime.mem_advise(0, "x", MemAdvise.GPS_UNSUBSCRIBE)
+
+    def test_advise_on_non_gps_rejected(self, runtime):
+        runtime.malloc_pinned("x", PAGE)
+        with pytest.raises(SubscriptionError):
+            runtime.mem_advise(0, "x", MemAdvise.GPS_UNSUBSCRIBE)
+
+    def test_single_subscriber_clears_gps_bit(self, runtime):
+        runtime.malloc_gps("x", PAGE)
+        vpn = next(iter(runtime.address_space.get("x").pages(PAGE)))
+        for gpu in (1, 2, 3):
+            runtime.mem_advise(gpu, "x", MemAdvise.GPS_UNSUBSCRIBE)
+        assert not runtime.page_tables[0].lookup(vpn).gps
+
+
+class TestNonSubscriberLoad:
+    def test_remote_resolution(self, runtime):
+        runtime.malloc_gps("x", PAGE)
+        runtime.mem_advise(2, "x", MemAdvise.GPS_UNSUBSCRIBE)
+        vpn = next(iter(runtime.address_space.get("x").pages(PAGE)))
+        resolution = runtime.resolve_load(2, vpn)
+        assert not resolution.local
+        assert resolution.source_gpu == 0  # lowest remaining subscriber
+
+
+class TestTracking:
+    def test_tracking_stop_unsubscribes_untouched(self, runtime):
+        alloc = runtime.malloc_gps("x", 4 * PAGE)
+        pages = np.array(list(alloc.pages(PAGE)))
+        runtime.tracking_start()
+        runtime.record_accesses(0, pages)       # GPU0 touches all
+        runtime.record_accesses(1, pages[:2])   # GPU1 touches half
+        summary = runtime.tracking_stop()
+        assert summary["unsubscribed"] > 0
+        assert runtime.subscriptions.subscribers(pages[0]) == frozenset({0, 1})
+        assert runtime.subscriptions.subscribers(pages[3]) == frozenset({0})
+
+    def test_tracking_frees_unsubscribed_frames(self, runtime):
+        alloc = runtime.malloc_gps("x", 4 * PAGE)
+        pages = np.array(list(alloc.pages(PAGE)))
+        runtime.tracking_start()
+        runtime.record_accesses(0, pages)
+        runtime.tracking_stop()
+        for gpu in (1, 2, 3):
+            assert runtime.memories[gpu].frames_in_use == 0
+
+    def test_untouched_pages_keep_one_replica(self, runtime):
+        alloc = runtime.malloc_gps("x", PAGE)
+        runtime.tracking_start()
+        runtime.tracking_stop()
+        vpn = next(iter(alloc.pages(PAGE)))
+        assert len(runtime.subscriptions.subscribers(vpn)) == 1
+
+    def test_single_subscriber_pages_demoted(self, runtime):
+        alloc = runtime.malloc_gps("x", PAGE)
+        pages = np.array(list(alloc.pages(PAGE)))
+        runtime.tracking_start()
+        runtime.record_accesses(2, pages)
+        summary = runtime.tracking_stop()
+        assert summary["demoted"] == 1
+        assert runtime.subscriptions.is_demoted(pages[0])
+
+
+class TestOversubscription:
+    def test_evicted_gpu_unsubscribes_and_reads_remotely(self, runtime):
+        alloc = runtime.malloc_gps("x", 2 * PAGE)
+        pages = list(alloc.pages(PAGE))
+        evicted = runtime.handle_oversubscription(3, pages)
+        assert evicted == 2
+        assert runtime.memories[3].frames_in_use == 0
+        resolution = runtime.resolve_load(3, pages[0])
+        assert not resolution.local
+
+    def test_sole_replica_never_evicted(self, runtime):
+        alloc = runtime.malloc_gps("x", PAGE)
+        vpn = next(iter(alloc.pages(PAGE)))
+        for gpu in (1, 2, 3):
+            runtime.mem_advise(gpu, "x", MemAdvise.GPS_UNSUBSCRIBE)
+        assert runtime.handle_oversubscription(0, [vpn]) == 0
+        assert runtime.subscriptions.is_subscriber(0, vpn)
+
+    def test_non_subscriber_eviction_noop(self, runtime):
+        alloc = runtime.malloc_gps("x", PAGE)
+        vpn = next(iter(alloc.pages(PAGE)))
+        runtime.mem_advise(2, "x", MemAdvise.GPS_UNSUBSCRIBE)
+        assert runtime.handle_oversubscription(2, [vpn]) == 0
+
+
+class TestSysScopeCollapse:
+    def test_collapse_to_writer(self, runtime):
+        alloc = runtime.malloc_gps("x", PAGE)
+        vpn = next(iter(alloc.pages(PAGE)))
+        freed = runtime.collapse_on_sys_store(1, vpn)
+        assert freed == 3
+        assert runtime.subscriptions.subscribers(vpn) == frozenset({1})
+        assert runtime.subscriptions.is_demoted(vpn)
+        # Only the surviving GPU holds memory for the page.
+        assert runtime.memories[1].frames_in_use == 1
+        assert runtime.memories[0].frames_in_use == 0
+
+    def test_collapse_clears_gps_bit(self, runtime):
+        alloc = runtime.malloc_gps("x", PAGE)
+        vpn = next(iter(alloc.pages(PAGE)))
+        runtime.collapse_on_sys_store(2, vpn)
+        assert not runtime.page_tables[2].lookup(vpn).gps

@@ -1,0 +1,136 @@
+"""Unit tests for the subscription manager and its invariants."""
+
+import pytest
+
+from repro.core.subscription import SubscriptionManager
+from repro.errors import SubscriptionError
+
+
+@pytest.fixture
+def manager():
+    mgr = SubscriptionManager(num_gpus=4)
+    mgr.register_all_to_all(range(10))
+    return mgr
+
+
+class TestRegistration:
+    def test_all_to_all(self, manager):
+        assert manager.subscribers(0) == frozenset({0, 1, 2, 3})
+
+    def test_register_specific(self):
+        mgr = SubscriptionManager(4)
+        mgr.register_page(7, {1, 2})
+        assert mgr.subscribers(7) == frozenset({1, 2})
+
+    def test_register_empty_rejected(self):
+        mgr = SubscriptionManager(4)
+        with pytest.raises(SubscriptionError):
+            mgr.register_page(7, set())
+
+    def test_double_register_rejected(self):
+        mgr = SubscriptionManager(4)
+        mgr.register_page(7, {0})
+        with pytest.raises(SubscriptionError):
+            mgr.register_page(7, {1})
+
+    def test_register_all_to_all_idempotent(self, manager):
+        manager.unsubscribe(3, 0)
+        manager.register_all_to_all(range(10))  # must not resubscribe
+        assert 3 not in manager.subscribers(0)
+
+    def test_drop_page(self, manager):
+        manager.drop_page(0)
+        assert not manager.is_registered(0)
+
+
+class TestSubscribeUnsubscribe:
+    def test_unsubscribe(self, manager):
+        assert manager.unsubscribe(2, 0)
+        assert manager.subscribers(0) == frozenset({0, 1, 3})
+        assert manager.stats.unsubscribes == 1
+
+    def test_unsubscribe_not_subscribed_returns_false(self, manager):
+        manager.unsubscribe(2, 0)
+        assert not manager.unsubscribe(2, 0)
+
+    def test_last_subscriber_protected(self, manager):
+        # Paper section 4: GPS returns an error on attempts to unsubscribe
+        # the last subscriber, leaving the allocation in place.
+        for gpu in (1, 2, 3):
+            manager.unsubscribe(gpu, 0)
+        with pytest.raises(SubscriptionError):
+            manager.unsubscribe(0, 0)
+        assert manager.subscribers(0) == frozenset({0})
+
+    def test_subscribe_new(self, manager):
+        manager.unsubscribe(2, 0)
+        assert manager.subscribe(2, 0)
+        assert manager.is_subscriber(2, 0)
+
+    def test_subscribe_existing_returns_false(self, manager):
+        assert not manager.subscribe(2, 0)
+
+    def test_subscribe_unregistered_page_rejected(self, manager):
+        with pytest.raises(SubscriptionError):
+            manager.subscribe(0, 999)
+
+    def test_unsubscribe_unregistered_page_rejected(self, manager):
+        with pytest.raises(SubscriptionError):
+            manager.unsubscribe(0, 999)
+
+
+class TestRemoteSource:
+    def test_lowest_other_subscriber(self, manager):
+        manager.unsubscribe(0, 5)
+        assert manager.remote_source(0, 5) == 1
+
+    def test_skips_requester(self, manager):
+        assert manager.remote_source(0, 5) == 1
+
+    def test_no_subscribers_raises(self):
+        mgr = SubscriptionManager(4)
+        with pytest.raises(SubscriptionError):
+            mgr.remote_source(0, 5)
+
+
+class TestProfiling:
+    def test_apply_profile_trims_untouched(self, manager):
+        touched = {0: {0, 1}, 1: {0}, 2: set(), 3: set()}
+        removed = manager.apply_profile(touched)
+        assert manager.subscribers(0) == frozenset({0, 1})
+        assert removed > 0
+
+    def test_untouched_page_keeps_one_subscriber(self, manager):
+        removed = manager.apply_profile({g: set() for g in range(4)})
+        for vpn in range(10):
+            assert len(manager.subscribers(vpn)) == 1
+        assert removed == 30
+
+    def test_demote_single_subscriber_pages(self, manager):
+        manager.apply_profile({0: {0}, 1: set(), 2: set(), 3: set()})
+        demoted = manager.demote_single_subscriber_pages()
+        assert 0 in demoted
+        assert manager.is_demoted(0)
+        assert manager.stats.demotions == len(demoted)
+
+    def test_resubscribe_repromotes(self, manager):
+        manager.apply_profile({g: set() for g in range(4)})
+        manager.demote_single_subscriber_pages()
+        manager.subscribe(2, 0)
+        assert not manager.is_demoted(0)
+
+
+class TestHistogram:
+    def test_all_to_all_histogram(self, manager):
+        hist = manager.subscriber_histogram()
+        assert hist == {4: 10}
+
+    def test_shared_only_excludes_singletons(self, manager):
+        manager.apply_profile({0: {0, 1}, 1: {0}, 2: set(), 3: set()})
+        hist = manager.subscriber_histogram(only_shared=True)
+        assert hist == {2: 1}
+
+    def test_include_singletons(self, manager):
+        manager.apply_profile({0: {0, 1}, 1: {0}, 2: set(), 3: set()})
+        hist = manager.subscriber_histogram(only_shared=False)
+        assert hist == {2: 1, 1: 9}

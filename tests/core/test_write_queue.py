@@ -1,0 +1,166 @@
+"""Unit tests for the GPS remote write queue."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPSConfig
+from repro.core.write_queue import RemoteWriteQueue
+
+
+def queue(entries=8, watermark=None):
+    return RemoteWriteQueue(GPSConfig(write_queue_entries=entries, high_watermark=watermark))
+
+
+class TestCoalescing:
+    def test_first_store_inserts(self):
+        q = queue()
+        assert q.push_store(1, 64) == []
+        assert q.occupancy == 1
+        assert q.stats.inserts == 1
+
+    def test_same_line_coalesces(self):
+        q = queue()
+        q.push_store(1, 64)
+        q.push_store(1, 64)
+        assert q.occupancy == 1
+        assert q.stats.coalesced_hits == 1
+        assert q.stats.hit_rate == 0.5
+
+    def test_payload_accumulates_capped(self):
+        q = queue()
+        q.push_store(1, 100)
+        q.push_store(1, 100)
+        drained = q.flush()
+        assert drained[0].payload_bytes == 128  # capped at the block size
+        assert drained[0].merged_stores == 2
+
+    def test_non_consecutive_stores_still_coalesce(self):
+        # Section 3.3: stores need not be consecutive to be coalesced.
+        q = queue()
+        q.push_store(1, 64)
+        q.push_store(2, 64)
+        q.push_store(1, 64)
+        assert q.stats.coalesced_hits == 1
+
+    def test_bandwidth_reduction(self):
+        q = queue()
+        for _ in range(4):
+            q.push_store(1, 128)
+        q.flush()
+        assert q.stats.bytes_in == 512
+        assert q.stats.bytes_out == 128
+        assert q.stats.bandwidth_reduction == pytest.approx(0.75)
+
+
+class TestWatermarkDrain:
+    def test_drains_least_recently_added(self):
+        q = queue(entries=4, watermark=3)
+        q.push_store(10, 64)
+        q.push_store(11, 64)
+        q.push_store(12, 64)
+        drained = q.push_store(13, 64)  # occupancy would hit 4 > 3
+        assert [e.line for e in drained] == [10]
+        assert q.occupancy == 3
+
+    def test_insertion_order_not_access_order(self):
+        # Paper: "drain the least recently added entry" — coalescing hits
+        # must NOT refresh drain order.
+        q = queue(entries=4, watermark=3)
+        q.push_store(10, 64)
+        q.push_store(11, 64)
+        q.push_store(12, 64)
+        q.push_store(10, 64)  # hit on the oldest entry
+        drained = q.push_store(13, 64)
+        assert [e.line for e in drained] == [10]
+
+    def test_default_watermark_is_capacity_minus_one(self):
+        q = queue(entries=8)
+        for line in range(8):
+            drained = q.push_store(line, 64)
+        assert len(drained) == 1
+        assert q.occupancy == 7
+
+    def test_watermark_drain_counted(self):
+        q = queue(entries=2, watermark=1)
+        q.push_store(1, 64)
+        q.push_store(2, 64)
+        assert q.stats.watermark_drains == 1
+
+
+class TestFlush:
+    def test_flush_returns_everything_in_order(self):
+        q = queue()
+        for line in (5, 3, 9):
+            q.push_store(line, 64)
+        drained = q.flush()
+        assert [e.line for e in drained] == [5, 3, 9]
+        assert q.occupancy == 0
+
+    def test_flush_counted_separately(self):
+        q = queue()
+        q.push_store(1, 64)
+        q.flush()
+        assert q.stats.flush_drains == 1
+        assert q.stats.watermark_drains == 0
+
+    def test_flush_empty(self):
+        assert queue().flush() == []
+
+
+class TestAtomics:
+    def test_atomic_bypasses_queue(self):
+        q = queue()
+        entry = q.push_atomic(1, 16)
+        assert entry.payload_bytes == 16
+        assert q.occupancy == 0
+
+    def test_atomics_never_coalesce(self):
+        # Section 7.4: Pagerank/ALS/SSSP hit 0% because they issue atomics.
+        q = queue()
+        for _ in range(10):
+            q.push_atomic(1, 16)
+        assert q.stats.coalesced_hits == 0
+        assert q.stats.hit_rate == 0.0
+        assert q.stats.atomics_bypassed == 10
+
+    def test_atomic_does_not_merge_with_buffered_store(self):
+        q = queue()
+        q.push_store(1, 64)
+        q.push_atomic(1, 16)
+        assert q.occupancy == 1  # store still buffered, atomic went through
+
+
+class TestStreamProcessing:
+    def test_stream_equivalent_to_pushes(self):
+        lines = np.array([1, 2, 1, 3, 2, 1], dtype=np.int64)
+        payload = np.full(6, 64, dtype=np.int32)
+        a = queue()
+        a.process_stream(lines, payload)
+        b = queue()
+        for line in lines.tolist():
+            b.push_store(line, 64)
+        assert a.stats.coalesced_hits == b.stats.coalesced_hits
+        assert a.occupancy == b.occupancy
+
+    def test_stream_atomic_mode(self):
+        lines = np.array([1, 1, 1], dtype=np.int64)
+        payload = np.full(3, 16, dtype=np.int32)
+        q = queue()
+        drained = q.process_stream(lines, payload, atomic=True)
+        assert len(drained) == 3
+        assert q.stats.hit_rate == 0.0
+
+    def test_stream_drains_at_watermark(self):
+        q = queue(entries=4, watermark=3)
+        lines = np.arange(10, dtype=np.int64)
+        drained = q.process_stream(lines, np.full(10, 64, dtype=np.int32))
+        assert len(drained) == 7
+        assert q.occupancy == 3
+
+    def test_conservation_of_entries(self):
+        q = queue(entries=16)
+        lines = np.array([1, 2, 3, 1, 2, 4] * 10, dtype=np.int64)
+        drained = q.process_stream(lines, np.full(60, 64, dtype=np.int32))
+        drained += q.flush()
+        assert len(drained) == q.stats.inserts
+        assert {e.line for e in drained} == {1, 2, 3, 4}

@@ -1,0 +1,52 @@
+"""Unit tests for the DRAM efficiency model."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.gpu.dram import DRAMModel
+from repro.trace.records import PatternKind
+
+
+@pytest.fixture
+def dram():
+    return DRAMModel(GPUConfig())
+
+
+class TestEfficiency:
+    def test_sequential_fastest(self, dram):
+        kinds = list(PatternKind)
+        sequential = dram.efficiency(PatternKind.SEQUENTIAL)
+        assert all(sequential >= dram.efficiency(k) for k in kinds)
+
+    def test_random_slowest(self, dram):
+        kinds = list(PatternKind)
+        random = dram.efficiency(PatternKind.RANDOM)
+        assert all(random <= dram.efficiency(k) for k in kinds)
+
+    def test_achieved_below_peak(self, dram):
+        for kind in PatternKind:
+            assert dram.achieved_bandwidth(kind) < GPUConfig().dram_bandwidth
+
+
+class TestBlended:
+    def test_empty_mix_returns_peak(self, dram):
+        assert dram.blended_bandwidth({}) == GPUConfig().dram_bandwidth
+
+    def test_single_kind_equals_achieved(self, dram):
+        blended = dram.blended_bandwidth({PatternKind.RANDOM: 1000})
+        assert blended == pytest.approx(dram.achieved_bandwidth(PatternKind.RANDOM))
+
+    def test_harmonic_between_components(self, dram):
+        mix = {PatternKind.SEQUENTIAL: 1000, PatternKind.RANDOM: 1000}
+        blended = dram.blended_bandwidth(mix)
+        assert dram.achieved_bandwidth(PatternKind.RANDOM) < blended
+        assert blended < dram.achieved_bandwidth(PatternKind.SEQUENTIAL)
+
+    def test_weights_matter(self, dram):
+        mostly_seq = dram.blended_bandwidth(
+            {PatternKind.SEQUENTIAL: 10_000, PatternKind.RANDOM: 100}
+        )
+        mostly_rand = dram.blended_bandwidth(
+            {PatternKind.SEQUENTIAL: 100, PatternKind.RANDOM: 10_000}
+        )
+        assert mostly_seq > mostly_rand

@@ -1,0 +1,113 @@
+"""Unit tests for the kernel roofline timing model."""
+
+import pytest
+
+from repro.config import GPUConfig, PCIE6
+from repro.gpu.kernel_timing import KernelTiming, KernelTimingModel
+from repro.trace.records import PatternKind
+
+
+@pytest.fixture
+def model():
+    return KernelTimingModel(GPUConfig())
+
+
+class TestLocalMemoryTime:
+    def test_empty_is_zero(self, model):
+        assert model.local_memory_time({}, 0.5) == 0.0
+
+    def test_l2_hits_faster(self, model):
+        mix = {PatternKind.SEQUENTIAL: 10_000_000}
+        cold = model.local_memory_time(mix, 0.0)
+        warm = model.local_memory_time(mix, 1.0)
+        assert warm < cold
+
+    def test_hit_rate_clamped(self, model):
+        mix = {PatternKind.SEQUENTIAL: 1_000_000}
+        assert model.local_memory_time(mix, 2.0) == model.local_memory_time(mix, 1.0)
+        assert model.local_memory_time(mix, -1.0) == model.local_memory_time(mix, 0.0)
+
+    def test_random_slower_than_sequential(self, model):
+        seq = model.local_memory_time({PatternKind.SEQUENTIAL: 10**7}, 0.0)
+        rnd = model.local_memory_time({PatternKind.RANDOM: 10**7}, 0.0)
+        assert rnd > seq
+
+
+class TestTimeKernel:
+    def test_compute_bound(self, model):
+        timing = model.time_kernel(
+            compute_ops=1e9, local_bytes_by_kind={PatternKind.SEQUENTIAL: 1000}, l2_hit_rate=0
+        )
+        assert timing.total == pytest.approx(
+            timing.compute_time + timing.launch_overhead
+        )
+
+    def test_memory_bound(self, model):
+        timing = model.time_kernel(
+            compute_ops=10,
+            local_bytes_by_kind={PatternKind.SEQUENTIAL: 10**8},
+            l2_hit_rate=0,
+        )
+        assert timing.base == timing.local_mem_time
+
+    def test_remote_bw_extends_when_bottleneck(self, model):
+        timing = model.time_kernel(
+            compute_ops=10,
+            local_bytes_by_kind={},
+            l2_hit_rate=0,
+            remote_read_bytes=10**8,
+            link=PCIE6,
+        )
+        assert timing.total > timing.base
+        assert timing.remote_bw_time == pytest.approx(10**8 / PCIE6.effective_bandwidth)
+
+    def test_remote_latency_reduced_by_hiding(self, model):
+        kw = dict(
+            compute_ops=10,
+            local_bytes_by_kind={},
+            l2_hit_rate=0,
+            remote_read_bytes=1000,
+            remote_read_txns=10_000,
+            link=PCIE6,
+        )
+        exposed = model.time_kernel(latency_hiding=0.0, **kw)
+        hidden = model.time_kernel(latency_hiding=0.9, **kw)
+        assert hidden.remote_latency_time < exposed.remote_latency_time
+
+    def test_mlp_divides_latency(self, model):
+        kw = dict(
+            compute_ops=10,
+            local_bytes_by_kind={},
+            l2_hit_rate=0,
+            remote_read_bytes=1000,
+            remote_read_txns=10_000,
+            link=PCIE6,
+        )
+        low = model.time_kernel(remote_mlp=8, **kw)
+        high = model.time_kernel(remote_mlp=1024, **kw)
+        assert low.remote_latency_time > high.remote_latency_time
+
+    def test_launch_overhead_always_charged(self, model):
+        timing = model.time_kernel(0, {}, 0, launch_overhead=7e-6)
+        assert timing.total == 7e-6
+
+
+class TestKernelTiming:
+    def test_base_is_roofline_max(self):
+        timing = KernelTiming(2.0, 3.0, 0.0, 0.0, 0.0)
+        assert timing.base == 3.0
+
+    def test_total_composition(self):
+        timing = KernelTiming(
+            compute_time=1.0,
+            local_mem_time=2.0,
+            remote_bw_time=5.0,
+            remote_latency_time=0.5,
+            launch_overhead=0.1,
+        )
+        assert timing.total == pytest.approx(5.6)
+
+    def test_achieved_throughput_fraction(self):
+        gpu = GPUConfig()
+        model = KernelTimingModel(gpu, ops_per_cycle_fraction=0.5)
+        assert model.achieved_throughput == pytest.approx(0.5 * gpu.throughput_ops)

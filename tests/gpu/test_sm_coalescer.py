@@ -1,0 +1,43 @@
+"""Unit tests for the intra-SM coalescer."""
+
+import numpy as np
+
+from repro.gpu.sm_coalescer import sm_coalesce
+from repro.trace.expand import LineStream
+
+
+def stream(lines, payload=32):
+    lines = np.asarray(lines, dtype=np.int64)
+    return LineStream(lines, np.full(len(lines), payload, dtype=np.int32))
+
+
+class TestSMCoalesce:
+    def test_empty(self):
+        assert len(sm_coalesce(stream([]))) == 0
+
+    def test_adjacent_duplicates_merge(self):
+        out = sm_coalesce(stream([5, 5, 5, 6]))
+        assert out.lines.tolist() == [5, 6]
+
+    def test_payload_sums_capped_at_line(self):
+        out = sm_coalesce(stream([5] * 10, payload=32))
+        assert out.bytes_per_txn.tolist() == [128]  # 320 capped at 128
+
+    def test_payload_sums_below_cap(self):
+        out = sm_coalesce(stream([5, 5], payload=32))
+        assert out.bytes_per_txn.tolist() == [64]
+
+    def test_non_adjacent_duplicates_not_merged(self):
+        # The SM coalescer only sees a warp window; temporally distant
+        # revisits survive to the remote write queue.
+        out = sm_coalesce(stream([5, 6, 5]))
+        assert out.lines.tolist() == [5, 6, 5]
+
+    def test_sequential_stream_unchanged(self):
+        out = sm_coalesce(stream([1, 2, 3, 4]))
+        assert out.lines.tolist() == [1, 2, 3, 4]
+
+    def test_total_payload_preserved_when_uncapped(self):
+        before = stream([1, 1, 2, 2, 3], payload=16)
+        after = sm_coalesce(before)
+        assert after.total_bytes == before.total_bytes

@@ -1,0 +1,74 @@
+"""Tests for terminal plotting."""
+
+from repro.harness.ascii_plot import bar_chart, grouped_bar_chart, line_plot
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="T").startswith("T\n")
+
+    def test_empty(self):
+        assert bar_chart({}, title="T") == "T"
+
+    def test_values_rendered(self):
+        assert "2.00" in bar_chart({"a": 2.0})
+
+    def test_negative_values_render_empty(self):
+        chart = bar_chart({"a": -5.0, "b": 1.0}, width=10)
+        assert chart.splitlines()[0].count("#") == 0
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        chart = grouped_bar_chart(
+            {"jacobi": {"um": 0.4, "gps": 3.0}, "ct": {"um": 0.5, "gps": 3.5}},
+            width=10,
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "jacobi:"
+        assert any("gps" in line and "#" * 8 in line for line in lines)
+
+    def test_shared_scale_across_groups(self):
+        chart = grouped_bar_chart(
+            {"g1": {"s": 1.0}, "g2": {"s": 4.0}},
+            width=8,
+        )
+        lines = [l for l in chart.splitlines() if "#" in l]
+        assert lines[0].count("#") == 2
+        assert lines[1].count("#") == 8
+
+    def test_empty(self):
+        assert grouped_bar_chart({}, title="x") == "x"
+
+
+class TestLinePlot:
+    def test_dimensions(self):
+        plot = line_plot({"s": [(0, 0), (10, 1)]}, width=20, height=5)
+        rows = [l for l in plot.splitlines() if l.startswith("|")]
+        assert len(rows) == 5
+        assert all(len(r) == 21 for r in rows)
+
+    def test_markers_distinct_per_series(self):
+        plot = line_plot({"a": [(0, 0)], "b": [(1, 1)]}, width=10, height=4)
+        assert "o=a" in plot
+        assert "x=b" in plot
+
+    def test_extremes_plotted(self):
+        plot = line_plot({"s": [(0, 0), (1, 1)]}, width=10, height=4)
+        rows = [l for l in plot.splitlines() if l.startswith("|")]
+        assert rows[0][10] == "o"  # max x, max y at top-right
+        assert rows[-1][1] == "o"  # min at bottom-left
+
+    def test_empty(self):
+        assert line_plot({}, title="t") == "t"
+
+    def test_axis_labels(self):
+        plot = line_plot({"s": [(2, 5), (8, 9)]})
+        assert "x: 2 .. 8" in plot
+        assert "y: 5 .. 9" in plot

@@ -1,0 +1,67 @@
+"""Tests for result export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.export import series_to_csv, speedups_to_csv, to_json
+
+MATRIX = {
+    "paradigms": ["um", "gps"],
+    "speedups": {"jacobi": {"um": 0.4, "gps": 3.0}},
+    "geomean": {"um": 0.4, "gps": 3.0},
+}
+
+
+class TestToJson:
+    def test_round_trips(self):
+        text = to_json(MATRIX)
+        assert json.loads(text)["speedups"]["jacobi"]["gps"] == 3.0
+
+    def test_numpy_values_coerced(self):
+        result = {"value": np.float64(1.5), "arr": np.array([1, 2])}
+        data = json.loads(to_json(result))
+        assert data["value"] == 1.5
+        assert data["arr"] == [1, 2]
+
+    def test_int_keys_coerced(self):
+        data = json.loads(to_json({"hist": {2: 10, 4: 90}}))
+        assert data["hist"] == {"2": 10, "4": 90}
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        to_json(MATRIX, path=path)
+        assert json.loads(path.read_text())["paradigms"] == ["um", "gps"]
+
+
+class TestSpeedupsCsv:
+    def test_layout(self):
+        text = speedups_to_csv(MATRIX)
+        lines = text.strip().splitlines()
+        assert lines[0] == "workload,um,gps"
+        assert lines[1] == "jacobi,0.4,3"
+        assert lines[2].startswith("geomean,")
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            speedups_to_csv({"rows": []})
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        speedups_to_csv(MATRIX, path=path)
+        assert path.read_text().startswith("workload,")
+
+
+class TestSeriesCsv:
+    def test_long_form(self):
+        result = {"hit_rate": {"ct": {64: 0.1, 512: 0.35}}}
+        text = series_to_csv(result, "hit_rate", "queue_size")
+        lines = text.strip().splitlines()
+        assert lines[0] == "workload,queue_size,hit_rate"
+        assert "ct,64,0.1" in lines
+        assert "ct,512,0.35" in lines
+
+    def test_missing_series_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv({}, "hit_rate", "x")

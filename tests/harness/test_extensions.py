@@ -1,0 +1,51 @@
+"""Tests for harness extensions (weak scaling, fig1 best-available)."""
+
+import pytest
+
+from repro.harness.experiments import fig1_motivation, weak_scaling
+
+
+class TestWeakScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return weak_scaling(
+            workload="jacobi",
+            gpu_counts=(1, 2, 4),
+            scale_per_gpu=0.1,
+            iterations=2,
+        )
+
+    def test_structure(self, result):
+        assert result["gpu_counts"] == [1, 2, 4]
+        for paradigm in result["paradigms"]:
+            assert set(result["efficiency"][paradigm]) == {1, 2, 4}
+
+    def test_baseline_efficiency_is_one(self, result):
+        for paradigm in result["paradigms"]:
+            assert result["efficiency"][paradigm][1] == pytest.approx(1.0)
+
+    def test_gps_beats_memcpy(self, result):
+        for n in (2, 4):
+            assert result["efficiency"]["gps"][n] > result["efficiency"]["memcpy"][n]
+
+    def test_efficiency_at_most_superlinear_bound(self, result):
+        for paradigm in result["paradigms"]:
+            for n, eff in result["efficiency"][paradigm].items():
+                assert eff <= 1.5  # weak scaling cannot beat flat by much
+
+
+class TestFig1BestAvailable:
+    def test_best_paradigm_recorded(self):
+        result = fig1_motivation(scale=0.1, iterations=2, workloads=["jacobi"])
+        best = result["best_paradigm"]["jacobi"]
+        assert set(best) == {"pcie3", "pcie6", "infinite"}
+        assert best["infinite"] == "infinite"
+        assert best["pcie6"] in ("um_hints", "rdl", "memcpy")
+
+    def test_best_at_least_each_candidate(self):
+        from repro.harness.runner import run_speedup
+
+        result = fig1_motivation(scale=0.1, iterations=2, workloads=["jacobi"])
+        for paradigm in ("um_hints", "rdl", "memcpy"):
+            candidate = run_speedup("jacobi", paradigm, 4, "pcie6", 0.1, 2)
+            assert result["speedups"]["jacobi"]["pcie6"] >= candidate - 1e-12

@@ -1,0 +1,71 @@
+"""Tests for regression snapshots."""
+
+import pytest
+
+from repro.harness import fig9_subscriber_distribution
+from repro.harness.regression import (
+    check_against_baseline,
+    compare,
+    save_baseline,
+    snapshot,
+)
+
+
+class TestSnapshot:
+    def test_flattens_numbers(self):
+        snap = snapshot({"a": 1, "b": {"c": 2.5, "d": {"e": 3}}})
+        assert snap == {"a": 1.0, "b.c": 2.5, "b.d.e": 3.0}
+
+    def test_skips_non_numeric(self):
+        snap = snapshot({"name": "fig8", "values": [1, 2], "x": 1, "flag": True})
+        assert snap == {"x": 1.0}
+
+    def test_integer_keys_stringify(self):
+        snap = snapshot({"hist": {2: 10, 4: 90}})
+        assert snap == {"hist.2": 10.0, "hist.4": 90.0}
+
+
+class TestCompare:
+    def test_no_drift_within_tolerance(self):
+        base = {"x": 100.0}
+        assert compare(base, {"x": 102.0}, rel_tol=0.05) == []
+
+    def test_drift_beyond_tolerance(self):
+        drifts = compare({"x": 100.0}, {"x": 120.0}, rel_tol=0.05)
+        assert len(drifts) == 1
+        assert drifts[0].relative_change == pytest.approx(0.2)
+        assert "20.0%" in str(drifts[0])
+
+    def test_added_and_removed_metrics_always_reported(self):
+        drifts = compare({"old": 1.0}, {"new": 1.0})
+        assert {d.path for d in drifts} == {"old", "new"}
+        assert all(d.relative_change == float("inf") for d in drifts)
+
+    def test_zero_baseline_handled(self):
+        drifts = compare({"x": 0.0}, {"x": 1e-13}, rel_tol=0.5)
+        assert drifts == []
+
+
+class TestBaselineFiles:
+    def test_bootstrap_creates_baseline(self, tmp_path):
+        path = tmp_path / "base.json"
+        result = {"geomean": {"gps": 3.0}}
+        assert check_against_baseline(result, path) == []
+        assert path.exists()
+
+    def test_detects_drift_on_second_run(self, tmp_path):
+        path = tmp_path / "base.json"
+        check_against_baseline({"geomean": {"gps": 3.0}}, path)
+        drifts = check_against_baseline({"geomean": {"gps": 2.0}}, path)
+        assert len(drifts) == 1
+        assert drifts[0].path == "geomean.gps"
+
+    def test_identical_experiment_runs_have_no_drift(self, tmp_path):
+        # End-to-end: the simulator is deterministic, so two runs of the
+        # same experiment snapshot identically.
+        path = tmp_path / "fig9.json"
+        kwargs = dict(scale=0.1, iterations=2, workloads=["jacobi"])
+        first = fig9_subscriber_distribution(**kwargs)
+        save_baseline(first, path)
+        second = fig9_subscriber_distribution(**kwargs)
+        assert check_against_baseline(second, path, rel_tol=1e-9) == []

@@ -1,0 +1,51 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.harness.report import format_speedup_matrix, format_table, geomean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [[1.5, "x"], [22.25, "yy"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+        assert "1.50" in table
+        assert "22.25" in table
+
+    def test_title(self):
+        assert format_table(["a"], [[1]], title="T").startswith("T\n")
+
+    def test_empty_rows(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+
+class TestSpeedupMatrix:
+    def test_renders_geomean_row(self):
+        result = {
+            "paradigms": ["um", "gps"],
+            "speedups": {"jacobi": {"um": 0.4, "gps": 3.0}},
+            "geomean": {"um": 0.4, "gps": 3.0},
+        }
+        rendered = format_speedup_matrix(result, title="fig8")
+        assert "jacobi" in rendered
+        assert "geomean" in rendered
+        assert "3.00" in rendered

@@ -1,0 +1,46 @@
+"""Tests for the memoised runner."""
+
+import pytest
+
+from repro.config import PCIE3
+from repro.harness.runner import clear_run_cache, run_simulation, run_speedup
+
+
+class TestMemoisation:
+    def test_same_args_same_object(self):
+        clear_run_cache()
+        a = run_simulation("jacobi", "memcpy", 2, scale=0.1, iterations=2)
+        b = run_simulation("jacobi", "memcpy", 2, scale=0.1, iterations=2)
+        assert a is b
+
+    def test_different_link_not_shared(self):
+        clear_run_cache()
+        a = run_simulation("jacobi", "memcpy", 2, "pcie6", scale=0.1, iterations=2)
+        b = run_simulation("jacobi", "memcpy", 2, "pcie3", scale=0.1, iterations=2)
+        assert a is not b
+        assert a.total_time < b.total_time
+
+    def test_link_accepts_config_object(self):
+        clear_run_cache()
+        result = run_simulation("jacobi", "memcpy", 2, PCIE3, scale=0.1, iterations=2)
+        assert result.total_time > 0
+
+    def test_clear(self):
+        clear_run_cache()
+        a = run_simulation("jacobi", "memcpy", 2, scale=0.1, iterations=2)
+        clear_run_cache()
+        b = run_simulation("jacobi", "memcpy", 2, scale=0.1, iterations=2)
+        assert a is not b
+        assert a.total_time == b.total_time  # deterministic
+
+
+class TestSpeedup:
+    def test_infinite_speedup_above_one(self):
+        clear_run_cache()
+        assert run_speedup("jacobi", "infinite", 4, scale=0.1, iterations=2) > 1.0
+
+    def test_speedup_deterministic(self):
+        clear_run_cache()
+        a = run_speedup("jacobi", "gps", 4, scale=0.1, iterations=2)
+        b = run_speedup("jacobi", "gps", 4, scale=0.1, iterations=2)
+        assert a == b

@@ -1,0 +1,82 @@
+"""Cross-module integration tests: full simulations at moderate scale."""
+
+import pytest
+
+import repro
+from tests.conftest import build
+
+
+class TestAllWorkloadsAllParadigms:
+    @pytest.mark.parametrize("workload", repro.workload_names())
+    def test_six_paradigms_complete(self, workload, system4):
+        program = build(workload, iterations=2)
+        times = {}
+        for paradigm in repro.FIGURE8_ORDER:
+            result = repro.simulate(program, paradigm, system4)
+            assert result.total_time > 0, (workload, paradigm)
+            times[paradigm] = result.total_time
+        # Infinite bandwidth is the floor for every app.
+        assert times["infinite"] == min(times.values())
+
+    @pytest.mark.parametrize("workload", repro.workload_names())
+    def test_gps_is_best_real_paradigm(self, workload, system4):
+        program = build(workload, iterations=3)
+        gps = repro.simulate(program, "gps", system4).total_time
+        for paradigm in ("um", "um_hints", "rdl", "memcpy"):
+            other = repro.simulate(program, paradigm, system4).total_time
+            assert gps <= other, (workload, paradigm)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self, system4):
+        program = build("ct", iterations=2)
+        a = repro.simulate(program, "gps", system4)
+        b = repro.simulate(program, "gps", system4)
+        assert a.total_time == b.total_time
+        assert a.interconnect_bytes == b.interconnect_bytes
+
+    def test_rebuilt_program_identical(self, system4):
+        a = repro.simulate(build("hit", iterations=2), "gps", system4)
+        b = repro.simulate(build("hit", iterations=2), "gps", system4)
+        assert a.total_time == b.total_time
+
+
+class TestScaling:
+    def test_more_gpus_helps_under_infinite_bw(self):
+        wl = repro.get_workload("jacobi")
+        times = {}
+        for n in (1, 2, 4):
+            config = repro.default_system(n)
+            program = wl.build(n, scale=0.2, iterations=3)
+            times[n] = repro.simulate(program, "infinite", config).total_time
+        assert times[4] < times[2] < times[1]
+
+    def test_bigger_scale_takes_longer(self, system4):
+        wl = repro.get_workload("diffusion")
+        small = repro.simulate(wl.build(4, scale=0.1, iterations=2), "gps", system4)
+        large = repro.simulate(wl.build(4, scale=0.3, iterations=2), "gps", system4)
+        assert large.total_time > small.total_time
+
+    def test_interconnect_bandwidth_helps_memcpy(self):
+        wl = repro.get_workload("jacobi")
+        program = wl.build(4, scale=0.2, iterations=3)
+        slow = repro.simulate(program, "memcpy", repro.default_system(4, repro.PCIE3))
+        fast = repro.simulate(program, "memcpy", repro.default_system(4, repro.PCIE6))
+        assert fast.total_time < slow.total_time
+
+
+class TestPhaseBreakdowns:
+    def test_phases_cover_total(self, system4):
+        program = build("jacobi", iterations=2)
+        result = repro.simulate(program, "gps", system4)
+        assert len(result.phases) == len(program.phases)
+        assert result.phases[-1].end == pytest.approx(result.total_time)
+        for prev, cur in zip(result.phases, result.phases[1:]):
+            assert cur.end >= prev.end
+
+    def test_summary_fields(self, system4):
+        result = repro.simulate(build("jacobi", iterations=2), "um", system4)
+        summary = result.summary()
+        assert summary["paradigm"] == "um"
+        assert summary["fault_count"] == result.fault_count
+        assert summary["total_time_s"] > 0

@@ -1,0 +1,144 @@
+"""Paper-shape assertions at moderate scale.
+
+These run the real harness at reduced (but not tiny) scale and assert the
+*qualitative* claims of the paper's evaluation — orderings, crossovers,
+zero/nonzero structure — not absolute numbers. The benchmark suite runs the
+same drivers at full scale and records paper-vs-measured in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.harness import (
+    fig8_end_to_end,
+    fig9_subscriber_distribution,
+    fig10_interconnect_traffic,
+    fig11_subscription_benefit,
+    fig13_bandwidth_sensitivity,
+    fig14_write_queue_hit_rate,
+)
+
+SCALE = 0.5
+ITER = 6
+APPS = ["jacobi", "pagerank", "als", "ct", "eqwp", "hit"]
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return fig8_end_to_end(scale=SCALE, iterations=ITER, workloads=APPS)
+
+
+class TestFig8Claims:
+    def test_um_slowest_and_below_one(self, fig8):
+        assert fig8["geomean"]["um"] < 1.0
+        assert fig8["geomean"]["um"] == min(fig8["geomean"].values())
+
+    def test_memcpy_near_one(self, fig8):
+        assert 0.5 < fig8["geomean"]["memcpy"] < 1.8
+
+    def test_ct_is_memcpys_best_app(self, fig8):
+        memcpy = {w: fig8["speedups"][w]["memcpy"] for w in APPS}
+        assert max(memcpy, key=memcpy.get) == "ct"
+
+    def test_gps_speedup_band(self, fig8):
+        # Paper: 3.0x mean; profiling overhead at reduced iteration count
+        # puts the harness a little lower.
+        assert fig8["geomean"]["gps"] > 2.0
+
+    def test_gps_captures_most_of_opportunity(self, fig8):
+        # Paper: 93.7% of infinite-bandwidth opportunity.
+        assert fig8["opportunity_captured"] > 0.7
+
+    def test_gps_beats_next_best_everywhere(self, fig8):
+        for workload, row in fig8["speedups"].items():
+            best_real = max(v for k, v in row.items() if k not in ("gps", "infinite"))
+            assert row["gps"] >= best_real, workload
+
+    def test_gps_vs_next_best_factor(self, fig8):
+        # Paper: 2.3x over the next best paradigm on average.
+        assert fig8["gps_vs_next_best"] > 1.3
+
+
+class TestFig9Claims:
+    def test_jacobi_mostly_pairs_als_all_to_all(self):
+        result = fig9_subscriber_distribution(
+            scale=SCALE, iterations=2, workloads=["jacobi", "als"]
+        )
+        jacobi = result["percent_by_subscribers"]["jacobi"]
+        als = result["percent_by_subscribers"]["als"]
+        assert jacobi.get(2, 0) > 50.0
+        assert als.get(4, 0) > 85.0
+
+
+class TestFig10Claims:
+    def test_gps_saves_bandwidth_for_stencils(self):
+        result = fig10_interconnect_traffic(
+            scale=SCALE, iterations=ITER, workloads=["jacobi", "eqwp"]
+        )
+        for workload in ("jacobi", "eqwp"):
+            assert result["normalized_to_memcpy"][workload]["gps"] < 0.6
+
+    def test_rdl_exceeds_memcpy_for_als(self):
+        result = fig10_interconnect_traffic(
+            scale=SCALE, iterations=ITER, workloads=["als"]
+        )
+        assert result["normalized_to_memcpy"]["als"]["rdl"] > 1.0
+
+    def test_um_traffic_exceeds_memcpy_for_als(self):
+        # Figure 10's worst case: UM thrashes ALS's factor matrices back
+        # and forth (paper reports 4.4x the memcpy traffic).
+        result = fig10_interconnect_traffic(
+            scale=SCALE, iterations=ITER, workloads=["als"]
+        )
+        assert result["normalized_to_memcpy"]["als"]["um"] > 1.0
+
+    def test_um_traffic_below_memcpy_for_jacobi(self):
+        # One of the paper's stated exceptions: memcpy needlessly copies
+        # whole shards to GPUs that only touch halos, so UM moves less for
+        # Jacobi. (The paper also lists CT; in this reproduction CT's
+        # read-everything phases thrash under UM — see EXPERIMENTS.md.)
+        result = fig10_interconnect_traffic(
+            scale=SCALE, iterations=ITER, workloads=["jacobi"]
+        )
+        assert result["normalized_to_memcpy"]["jacobi"]["um"] < 1.0
+
+
+class TestFig11Claims:
+    def test_subscription_drives_stencil_performance(self):
+        result = fig11_subscription_benefit(
+            scale=SCALE, iterations=ITER, workloads=["jacobi", "als"]
+        )
+        jacobi = result["speedups"]["jacobi"]
+        als = result["speedups"]["als"]
+        # Jacobi: subscription tracking is the primary factor.
+        assert jacobi["gps"] > 1.3 * jacobi["gps_nosub"]
+        # ALS: all-to-all anyway; subscription cannot help much.
+        assert als["gps"] < 1.15 * als["gps_nosub"]
+
+
+class TestFig13Claims:
+    def test_gps_gains_most_from_bandwidth(self):
+        result = fig13_bandwidth_sensitivity(
+            scale=SCALE, iterations=ITER, workloads=["jacobi", "ct"]
+        )
+        gps_gain = result["geomean"]["pcie6"]["gps"] / result["geomean"]["pcie3"]["gps"]
+        um_gain = result["geomean"]["pcie6"]["um"] / result["geomean"]["pcie3"]["um"]
+        assert gps_gain > um_gain
+
+    def test_strong_scaling_hard_even_at_pcie6(self):
+        result = fig13_bandwidth_sensitivity(
+            scale=SCALE, iterations=ITER, workloads=["jacobi", "ct"]
+        )
+        for paradigm in ("um", "memcpy"):
+            assert result["geomean"]["pcie6"][paradigm] < 2.5
+
+
+class TestFig14Claims:
+    def test_paper_hit_rate_structure(self):
+        result = fig14_write_queue_hit_rate(scale=SCALE, queue_sizes=(512,))
+        rates = result["hit_rate"]
+        # Section 7.4: Jacobi 0% (coalescer captures spatial locality);
+        # Pagerank/ALS/SSSP 0% (atomics); the other four are positive.
+        for workload in ("jacobi", "pagerank", "sssp", "als"):
+            assert rates[workload][512] == 0.0
+        for workload in ("ct", "eqwp", "diffusion", "hit"):
+            assert rates[workload][512] > 0.1

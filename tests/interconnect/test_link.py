@@ -1,0 +1,48 @@
+"""Unit tests for links."""
+
+import pytest
+
+from repro.config import INFINITE_LINK, LinkConfig, PCIE6
+from repro.interconnect.link import Link
+
+
+@pytest.fixture
+def link():
+    return Link(0, 1, LinkConfig("t", bandwidth=100e9, latency=1e-6, efficiency=0.9))
+
+
+class TestTransferTime:
+    def test_zero_bytes(self, link):
+        assert link.transfer_time(0) == 0.0
+
+    def test_latency_plus_serialisation(self, link):
+        # 90 GB/s effective; 90 KB payload = 1 us + 1 us latency.
+        assert link.transfer_time(90_000) == pytest.approx(2e-6)
+
+    def test_infinite_link_costs_latency_only(self):
+        link = Link(0, 1, INFINITE_LINK)
+        assert link.transfer_time(10**12) == 0.0
+
+    def test_effective_bandwidth(self, link):
+        assert link.bandwidth == pytest.approx(90e9)
+
+
+class TestAccounting:
+    def test_record(self, link):
+        link.record(1000)
+        link.record(500)
+        assert link.bytes_transferred == 1500
+        assert link.transfer_count == 2
+
+    def test_negative_rejected(self, link):
+        with pytest.raises(ValueError):
+            link.record(-1)
+
+    def test_reset(self, link):
+        link.record(1000)
+        link.reset()
+        assert link.bytes_transferred == 0
+        assert link.transfer_count == 0
+
+    def test_repr_mentions_endpoints(self):
+        assert "0->1" in repr(Link(0, 1, PCIE6))

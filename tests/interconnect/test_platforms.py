@@ -1,0 +1,32 @@
+"""Unit tests for the Figure 3 platform data."""
+
+from repro.interconnect.platforms import PLATFORMS, bandwidth_gap_summary
+
+
+class TestPlatforms:
+    def test_five_generations(self):
+        assert len(PLATFORMS) == 5
+
+    def test_chronological_improvement(self):
+        locals_ = [p.local_bandwidth for p in PLATFORMS]
+        remotes = [p.remote_bandwidth for p in PLATFORMS]
+        assert locals_ == sorted(locals_)
+        assert remotes == sorted(remotes)
+
+    def test_gap_persists(self):
+        # Figure 3's claim: despite a ~38x remote-bandwidth improvement,
+        # remote stays >= ~2.6x slower than local on every platform.
+        for platform in PLATFORMS:
+            assert platform.gap >= 2.5
+
+    def test_remote_improvement_38x(self):
+        improvement = PLATFORMS[-1].remote_bandwidth / PLATFORMS[0].remote_bandwidth
+        assert improvement == 37.5  # "improved 38x" (section 2)
+
+    def test_summary_rows(self):
+        rows = bandwidth_gap_summary()
+        assert len(rows) == 5
+        assert rows[0]["platform"] == "Discrete"
+        assert rows[-1]["interconnect"].startswith("NVLink 3")
+        for row in rows:
+            assert row["local_gb_s"] > row["remote_gb_s"]

@@ -1,0 +1,70 @@
+"""Unit tests for the crossbar topology."""
+
+import pytest
+
+from repro.config import LinkConfig
+from repro.errors import ConfigError
+from repro.interconnect.topology import CrossbarTopology
+
+LINK = LinkConfig("t", bandwidth=100e9, latency=1e-6, efficiency=1.0)
+
+
+@pytest.fixture
+def topo():
+    return CrossbarTopology(4, LINK)
+
+
+class TestPorts:
+    def test_each_gpu_has_distinct_ports(self, topo):
+        egresses = {id(topo.egress_link(g)) for g in range(4)}
+        ingresses = {id(topo.ingress_link(g)) for g in range(4)}
+        assert len(egresses) == 4
+        assert len(ingresses) == 4
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ConfigError):
+            CrossbarTopology(0, LINK)
+
+
+class TestTransfers:
+    def test_transfer_time_point_to_point(self, topo):
+        assert topo.transfer_time(0, 1, 100_000) == pytest.approx(2e-6)
+
+    def test_local_transfer_is_free(self, topo):
+        assert topo.transfer_time(2, 2, 100_000) == 0.0
+
+    def test_record_touches_both_ports(self, topo):
+        topo.record_transfer(0, 1, 1000)
+        assert topo.egress_link(0).bytes_transferred == 1000
+        assert topo.ingress_link(1).bytes_transferred == 1000
+        assert topo.egress_link(1).bytes_transferred == 0
+
+    def test_record_local_is_noop(self, topo):
+        topo.record_transfer(2, 2, 1000)
+        assert topo.egress_link(2).bytes_transferred == 0
+
+    def test_path_latency(self, topo):
+        assert topo.path_latency(0, 1) == 1e-6
+        assert topo.path_latency(0, 0) == 0.0
+
+    def test_reset(self, topo):
+        topo.record_transfer(0, 1, 1000)
+        topo.reset()
+        assert topo.egress_link(0).bytes_transferred == 0
+
+
+class TestBroadcast:
+    def test_broadcast_scales_with_remote_count(self, topo):
+        one = topo.broadcast_time(0, [1], 100_000)
+        three = topo.broadcast_time(0, [1, 2, 3], 100_000)
+        assert three > one
+        # Replicas share the egress port: 3x payload through one port.
+        assert three == pytest.approx(1e-6 + 3e-6)
+
+    def test_broadcast_skips_self(self, topo):
+        with_self = topo.broadcast_time(0, [0, 1], 100_000)
+        without = topo.broadcast_time(0, [1], 100_000)
+        assert with_self == without
+
+    def test_broadcast_empty(self, topo):
+        assert topo.broadcast_time(0, [0], 100_000) == 0.0

@@ -1,0 +1,66 @@
+"""Unit tests for the traffic matrix."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.interconnect.traffic import TrafficMatrix
+
+
+@pytest.fixture
+def traffic():
+    return TrafficMatrix(4)
+
+
+class TestAdd:
+    def test_basic_accounting(self, traffic):
+        traffic.add(0, 1, 100)
+        traffic.add(0, 2, 50)
+        traffic.add(3, 0, 25)
+        assert traffic.total_bytes() == 175
+        assert traffic.egress_bytes(0) == 150
+        assert traffic.ingress_bytes(0) == 25
+        assert traffic.pair_bytes(0, 1) == 100
+
+    def test_diagonal_rejected(self, traffic):
+        with pytest.raises(ConfigError):
+            traffic.add(1, 1, 100)
+
+    def test_negative_rejected(self, traffic):
+        with pytest.raises(ConfigError):
+            traffic.add(0, 1, -5)
+
+    def test_broadcast(self, traffic):
+        traffic.add_broadcast(0, [0, 1, 2, 3], 100)
+        assert traffic.total_bytes() == 300
+        assert traffic.egress_bytes(0) == 300
+        assert traffic.pair_bytes(0, 0) == 0
+
+
+class TestOps:
+    def test_as_array_is_copy(self, traffic):
+        traffic.add(0, 1, 10)
+        arr = traffic.as_array()
+        arr[0, 1] = 999
+        assert traffic.pair_bytes(0, 1) == 10
+
+    def test_merge(self, traffic):
+        other = TrafficMatrix(4)
+        traffic.add(0, 1, 10)
+        other.add(0, 1, 5)
+        other.add(2, 3, 7)
+        traffic.merge(other)
+        assert traffic.pair_bytes(0, 1) == 15
+        assert traffic.pair_bytes(2, 3) == 7
+
+    def test_merge_size_mismatch(self, traffic):
+        with pytest.raises(ConfigError):
+            traffic.merge(TrafficMatrix(2))
+
+    def test_reset(self, traffic):
+        traffic.add(0, 1, 10)
+        traffic.reset()
+        assert traffic.total_bytes() == 0
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ConfigError):
+            TrafficMatrix(0)

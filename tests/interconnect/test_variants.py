@@ -1,0 +1,102 @@
+"""Tests for switch-tree and ring topologies."""
+
+import pytest
+
+from repro.config import LinkConfig
+from repro.errors import ConfigError
+from repro.interconnect.variants import RingTopology, SwitchTopology
+
+LINK = LinkConfig("t", bandwidth=100e9, latency=1e-6, efficiency=1.0)
+
+
+class TestSwitchTopology:
+    def test_core_bandwidth_from_oversubscription(self):
+        topo = SwitchTopology(4, LINK, oversubscription=2.0)
+        assert topo.core_link.bandwidth == pytest.approx(200e9)
+
+    def test_small_transfer_port_bound(self):
+        topo = SwitchTopology(4, LINK, oversubscription=2.0)
+        # Core is faster than a single port, so one transfer is port-bound.
+        assert topo.transfer_time(0, 1, 100_000) == pytest.approx(2e-6)
+
+    def test_heavy_oversubscription_core_bound(self):
+        topo = SwitchTopology(4, LINK, oversubscription=8.0)
+        # Core at 50 GB/s is slower than the 100 GB/s port.
+        assert topo.transfer_time(0, 1, 100_000) == pytest.approx(1e-6 + 2e-6)
+
+    def test_core_accounting(self):
+        topo = SwitchTopology(4, LINK)
+        topo.record_transfer(0, 1, 1000)
+        topo.record_transfer(2, 3, 500)
+        assert topo.core_link.bytes_transferred == 1500
+        assert topo.egress_link(0).bytes_transferred == 1000
+
+    def test_core_utilisation(self):
+        topo = SwitchTopology(4, LINK, oversubscription=2.0)
+        topo.record_transfer(0, 1, 200_000)
+        assert topo.core_utilisation(1e-3) == pytest.approx(0.001)
+        assert topo.core_utilisation(0.0) == 0.0
+
+    def test_reset_clears_core(self):
+        topo = SwitchTopology(4, LINK)
+        topo.record_transfer(0, 1, 1000)
+        topo.reset()
+        assert topo.core_link.bytes_transferred == 0
+
+    def test_rejects_undersubscription(self):
+        with pytest.raises(ConfigError):
+            SwitchTopology(4, LINK, oversubscription=0.5)
+
+
+class TestRingTopology:
+    def test_hops_min_direction(self):
+        ring = RingTopology(8, LINK)
+        assert ring.hops(0, 1) == 1
+        assert ring.hops(0, 7) == 1  # wraps the other way
+        assert ring.hops(0, 4) == 4
+        assert ring.hops(3, 3) == 0
+
+    def test_transfer_time_scales_with_hops(self):
+        ring = RingTopology(8, LINK)
+        near = ring.transfer_time(0, 1, 100_000)
+        far = ring.transfer_time(0, 4, 100_000)
+        assert far == pytest.approx(4 * near)
+
+    def test_latency_accumulates(self):
+        ring = RingTopology(8, LINK)
+        assert ring.path_latency(0, 3) == pytest.approx(3e-6)
+
+    def test_path_direction_choice(self):
+        ring = RingTopology(6, LINK)
+        clockwise = ring.path(0, 2)
+        assert [link.src for link in clockwise] == [0, 1]
+        counter = ring.path(0, 5)
+        assert [link.src for link in counter] == [0]
+        assert counter[0].dst == 5
+
+    def test_record_charges_every_hop(self):
+        ring = RingTopology(6, LINK)
+        ring.record_transfer(0, 2, 1000)
+        assert ring.egress_link(0).bytes_transferred == 1000
+        assert ring.egress_link(1).bytes_transferred == 1000
+        assert ring.egress_link(2).bytes_transferred == 0
+
+    def test_local_transfer_free(self):
+        ring = RingTopology(4, LINK)
+        assert ring.transfer_time(2, 2, 1000) == 0.0
+        ring.record_transfer(2, 2, 1000)
+        assert ring.egress_link(2).bytes_transferred == 0
+
+    def test_ingress_is_neighbors_clockwise_link(self):
+        ring = RingTopology(4, LINK)
+        assert ring.ingress_link(1) is ring.egress_link(0)
+
+    def test_reset(self):
+        ring = RingTopology(4, LINK)
+        ring.record_transfer(0, 2, 1000)
+        ring.reset()
+        assert ring.egress_link(0).bytes_transferred == 0
+
+    def test_two_gpus_minimum(self):
+        with pytest.raises(ConfigError):
+            RingTopology(1, LINK)

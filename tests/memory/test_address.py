@@ -1,0 +1,90 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.memory.address import VirtualRange, page_number, page_offset, page_range
+
+
+class TestPageArithmetic:
+    def test_page_number(self):
+        assert page_number(0, 65536) == 0
+        assert page_number(65535, 65536) == 0
+        assert page_number(65536, 65536) == 1
+
+    def test_page_offset(self):
+        assert page_offset(65536 + 17, 65536) == 17
+
+    def test_page_range_spans_boundary(self):
+        assert list(page_range(65000, 2000, 65536)) == [0, 1]
+
+    def test_page_range_single_page(self):
+        assert list(page_range(0, 100, 65536)) == [0]
+
+    def test_page_range_empty(self):
+        assert list(page_range(100, 0, 65536)) == []
+
+
+class TestVirtualRange:
+    def test_end(self):
+        assert VirtualRange(100, 50).end == 150
+
+    def test_contains(self):
+        r = VirtualRange(100, 50)
+        assert r.contains(100)
+        assert r.contains(149)
+        assert not r.contains(150)
+        assert not r.contains(99)
+
+    def test_overlaps(self):
+        a = VirtualRange(0, 100)
+        assert a.overlaps(VirtualRange(50, 100))
+        assert a.overlaps(VirtualRange(99, 1))
+        assert not a.overlaps(VirtualRange(100, 10))
+
+    def test_rejects_negative(self):
+        with pytest.raises(TraceError):
+            VirtualRange(-1, 10)
+        with pytest.raises(TraceError):
+            VirtualRange(0, -10)
+
+    def test_aligned_expands_both_ends(self):
+        r = VirtualRange(100, 50).aligned(64)
+        assert r.start == 64
+        assert r.end == 192
+
+    def test_aligned_noop_when_aligned(self):
+        r = VirtualRange(128, 128).aligned(64)
+        assert (r.start, r.length) == (128, 128)
+
+    def test_aligned_rejects_non_power_of_two(self):
+        with pytest.raises(TraceError):
+            VirtualRange(0, 10).aligned(48)
+
+    def test_pages(self):
+        r = VirtualRange(0, 3 * 65536)
+        assert list(r.pages(65536)) == [0, 1, 2]
+
+    def test_blocks(self):
+        r = VirtualRange(0, 256)
+        assert list(r.blocks(128)) == [0, 1]
+
+    def test_split_evenly_exact(self):
+        parts = VirtualRange(0, 400).split_evenly(4)
+        assert [p.length for p in parts] == [100] * 4
+        assert parts[0].start == 0
+        assert parts[3].end == 400
+
+    def test_split_evenly_remainder_spreads(self):
+        parts = VirtualRange(0, 10).split_evenly(3)
+        assert sum(p.length for p in parts) == 10
+        assert [p.length for p in parts] == [4, 3, 3]
+
+    def test_split_contiguous(self):
+        parts = VirtualRange(7, 100).split_evenly(3)
+        for a, b in zip(parts, parts[1:]):
+            assert a.end == b.start
+
+    def test_split_zero_parts(self):
+        with pytest.raises(TraceError):
+            VirtualRange(0, 10).split_evenly(0)

@@ -1,0 +1,92 @@
+"""Unit tests for the shared virtual address space."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory.address_space import AddressSpace, AllocKind
+
+PAGE = 65536
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(page_size=PAGE)
+
+
+class TestAllocate:
+    def test_base_is_heap_base(self, space):
+        alloc = space.allocate("a", 100, AllocKind.GPS)
+        assert alloc.start == AddressSpace.HEAP_BASE
+
+    def test_allocations_page_aligned(self, space):
+        space.allocate("a", 100, AllocKind.GPS)
+        b = space.allocate("b", 100, AllocKind.GPS)
+        assert b.start == AddressSpace.HEAP_BASE + PAGE
+        assert b.start % PAGE == 0
+
+    def test_duplicate_name_rejected(self, space):
+        space.allocate("a", 100, AllocKind.GPS)
+        with pytest.raises(AllocationError):
+            space.allocate("a", 100, AllocKind.GPS)
+
+    def test_zero_size_rejected(self, space):
+        with pytest.raises(AllocationError):
+            space.allocate("a", 0, AllocKind.GPS)
+
+    def test_va_exhaustion(self):
+        space = AddressSpace(page_size=PAGE, va_bits=29)  # 512 MiB space
+        with pytest.raises(AllocationError):
+            space.allocate("big", 1 << 30, AllocKind.GPS)
+
+    def test_kinds_recorded(self, space):
+        gps = space.allocate("g", 100, AllocKind.GPS)
+        pinned = space.allocate("p", 100, AllocKind.PINNED, home_gpu=2)
+        assert gps.kind is AllocKind.GPS
+        assert pinned.kind is AllocKind.PINNED
+        assert pinned.home_gpu == 2
+
+    def test_bytes_reserved(self, space):
+        space.allocate("a", 100, AllocKind.GPS)
+        space.allocate("b", PAGE + 1, AllocKind.GPS)
+        assert space.bytes_reserved == 3 * PAGE
+
+
+class TestLookup:
+    def test_get(self, space):
+        space.allocate("a", 100, AllocKind.MANAGED)
+        assert space.get("a").name == "a"
+
+    def test_get_unknown(self, space):
+        with pytest.raises(AllocationError):
+            space.get("zzz")
+
+    def test_find_containing(self, space):
+        a = space.allocate("a", PAGE, AllocKind.GPS)
+        assert space.find_containing(a.start + 10).name == "a"
+        assert space.find_containing(a.start - 1) is None
+
+    def test_gps_allocations_filter(self, space):
+        space.allocate("g", 100, AllocKind.GPS)
+        space.allocate("m", 100, AllocKind.MANAGED)
+        assert [a.name for a in space.gps_allocations()] == ["g"]
+
+    def test_pages(self, space):
+        alloc = space.allocate("a", 3 * PAGE, AllocKind.GPS)
+        assert len(list(alloc.pages(PAGE))) == 3
+
+
+class TestFree:
+    def test_free_removes(self, space):
+        space.allocate("a", 100, AllocKind.GPS)
+        space.free("a")
+        with pytest.raises(AllocationError):
+            space.get("a")
+
+    def test_free_unknown(self, space):
+        with pytest.raises(AllocationError):
+            space.free("a")
+
+    def test_name_reusable_after_free(self, space):
+        space.allocate("a", 100, AllocKind.GPS)
+        space.free("a")
+        space.allocate("a", 100, AllocKind.GPS)  # no error

@@ -1,0 +1,70 @@
+"""Unit tests for per-GPU physical memory."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.memory.allocator import PhysicalMemory
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(gpu_id=0, capacity_bytes=10 * 65536, page_size=65536)
+
+
+class TestAllocation:
+    def test_frames_are_unique(self, memory):
+        frames = memory.allocate_frames(10)
+        assert len(set(frames)) == 10
+
+    def test_accounting(self, memory):
+        memory.allocate_frames(3)
+        assert memory.frames_in_use == 3
+        assert memory.bytes_in_use == 3 * 65536
+        assert memory.frames_free == 7
+
+    def test_exhaustion_raises(self, memory):
+        memory.allocate_frames(10)
+        with pytest.raises(AllocationError):
+            memory.allocate_frame()
+
+    def test_bulk_exhaustion_all_or_nothing(self, memory):
+        memory.allocate_frames(8)
+        with pytest.raises(AllocationError):
+            memory.allocate_frames(3)
+        # Nothing further was allocated.
+        assert memory.frames_in_use == 8
+
+    def test_capacity_below_one_page_rejected(self):
+        with pytest.raises(AllocationError):
+            PhysicalMemory(0, capacity_bytes=100, page_size=65536)
+
+
+class TestFree:
+    def test_free_recycles(self, memory):
+        frame = memory.allocate_frame()
+        memory.free_frame(frame)
+        assert memory.frames_in_use == 0
+        assert memory.allocate_frame() == frame  # recycled first
+
+    def test_double_free_raises(self, memory):
+        frame = memory.allocate_frame()
+        memory.free_frame(frame)
+        with pytest.raises(AllocationError):
+            memory.free_frame(frame)
+
+    def test_free_unallocated_raises(self, memory):
+        with pytest.raises(AllocationError):
+            memory.free_frame(5)
+
+    def test_is_allocated(self, memory):
+        frame = memory.allocate_frame()
+        assert memory.is_allocated(frame)
+        memory.free_frame(frame)
+        assert not memory.is_allocated(frame)
+
+    def test_full_cycle_restores_capacity(self, memory):
+        frames = memory.allocate_frames(10)
+        for frame in frames:
+            memory.free_frame(frame)
+        assert memory.frames_free == 10
+        assert len(memory.allocate_frames(10)) == 10

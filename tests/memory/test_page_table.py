@@ -1,0 +1,83 @@
+"""Unit tests for the conventional page table with the GPS bit."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.memory.page_table import PageTable
+
+
+@pytest.fixture
+def table():
+    return PageTable(gpu_id=0, page_size=65536)
+
+
+class TestMapping:
+    def test_map_and_lookup(self, table):
+        table.map(5, resident_gpu=1, frame=42)
+        pte = table.lookup(5)
+        assert pte.resident_gpu == 1
+        assert pte.frame == 42
+        assert not pte.gps
+
+    def test_map_with_gps_bit(self, table):
+        table.map(5, resident_gpu=0, frame=1, gps=True)
+        assert table.lookup(5).gps
+
+    def test_lookup_miss_raises(self, table):
+        with pytest.raises(TranslationError):
+            table.lookup(99)
+
+    def test_try_lookup_returns_none(self, table):
+        assert table.try_lookup(99) is None
+
+    def test_remap_replaces(self, table):
+        table.map(5, resident_gpu=0, frame=1)
+        table.map(5, resident_gpu=2, frame=7)
+        assert table.lookup(5).resident_gpu == 2
+
+    def test_contains_and_len(self, table):
+        table.map(1, 0, 0)
+        table.map(2, 0, 1)
+        assert 1 in table
+        assert 3 not in table
+        assert len(table) == 2
+
+
+class TestUnmap:
+    def test_unmap_returns_entry(self, table):
+        table.map(5, resident_gpu=0, frame=9)
+        pte = table.unmap(5)
+        assert pte.frame == 9
+        assert 5 not in table
+
+    def test_unmap_missing_raises(self, table):
+        with pytest.raises(TranslationError):
+            table.unmap(5)
+
+
+class TestGPSBit:
+    def test_set_and_clear(self, table):
+        table.map(5, 0, 0)
+        table.set_gps_bit(5, True)
+        assert table.lookup(5).gps
+        table.set_gps_bit(5, False)
+        assert not table.lookup(5).gps
+
+    def test_gps_pages_lists_only_marked(self, table):
+        table.map(1, 0, 0, gps=True)
+        table.map(2, 0, 1, gps=False)
+        table.map(3, 0, 2, gps=True)
+        assert sorted(table.gps_pages()) == [1, 3]
+
+
+class TestLocality:
+    def test_is_local(self, table):
+        table.map(1, resident_gpu=0, frame=0)
+        table.map(2, resident_gpu=3, frame=0)
+        assert table.is_local(1)
+        assert not table.is_local(2)
+
+    def test_entries_iterates_all(self, table):
+        for vpn in range(5):
+            table.map(vpn, 0, vpn)
+        assert len(list(table.entries())) == 5

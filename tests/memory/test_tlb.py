@@ -1,0 +1,91 @@
+"""Unit tests for the set-associative TLB."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.tlb import TLB, TLBStats
+
+
+class TestGeometry:
+    def test_rejects_indivisible(self):
+        with pytest.raises(ConfigError):
+            TLB(entries=30, assoc=8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            TLB(entries=0, assoc=1)
+
+    def test_num_sets(self):
+        assert TLB(entries=32, assoc=8).num_sets == 4
+
+
+class TestAccess:
+    def test_first_access_misses(self):
+        tlb = TLB(entries=8, assoc=2)
+        assert not tlb.access(0)
+        assert tlb.access(0)
+
+    def test_fills_install(self):
+        tlb = TLB(entries=8, assoc=2)
+        tlb.access(7)
+        assert tlb.resident(7)
+
+    def test_lru_eviction_within_set(self):
+        tlb = TLB(entries=2, assoc=2)  # one set
+        tlb.access(0)
+        tlb.access(1)
+        tlb.access(0)  # refresh 0; 1 becomes LRU
+        tlb.access(2)  # evicts 1
+        assert tlb.resident(0)
+        assert not tlb.resident(1)
+
+    def test_different_sets_do_not_interfere(self):
+        tlb = TLB(entries=4, assoc=1)  # 4 sets, direct mapped
+        for vpn in range(4):
+            tlb.access(vpn)
+        assert all(tlb.resident(v) for v in range(4))
+
+    def test_stats_counting(self):
+        tlb = TLB(entries=8, assoc=8)
+        for _ in range(3):
+            tlb.access(1)
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 2
+        assert tlb.stats.accesses == 3
+        assert tlb.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_eviction_counted(self):
+        tlb = TLB(entries=1, assoc=1)
+        tlb.access(0)
+        tlb.access(1)
+        assert tlb.stats.evictions == 1
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        tlb = TLB(entries=8, assoc=8)
+        tlb.access(3)
+        assert tlb.invalidate(3)
+        assert not tlb.resident(3)
+
+    def test_invalidate_absent(self):
+        tlb = TLB(entries=8, assoc=8)
+        assert not tlb.invalidate(3)
+
+    def test_flush_clears_everything(self):
+        tlb = TLB(entries=8, assoc=2)
+        for vpn in range(8):
+            tlb.access(vpn)
+        tlb.flush()
+        assert not any(tlb.resident(v) for v in range(8))
+
+
+class TestStats:
+    def test_empty_hit_rate_zero(self):
+        assert TLBStats().hit_rate == 0.0
+
+    def test_merge(self):
+        merged = TLBStats(hits=1, misses=2).merge(TLBStats(hits=3, misses=4, evictions=1))
+        assert merged.hits == 4
+        assert merged.misses == 6
+        assert merged.evictions == 1

@@ -1,0 +1,95 @@
+"""Tests for shared paradigm-executor machinery."""
+
+import math
+
+import pytest
+
+import repro
+from repro.config import INFINITE_LINK
+from repro.paradigms.memcpy import MemcpyExecutor
+from repro.trace.program import Phase
+from tests.conftest import build
+
+
+@pytest.fixture
+def executor(system4):
+    return MemcpyExecutor(build("jacobi", iterations=2), system4)
+
+
+class TestResources:
+    def test_distinct_per_gpu(self, executor):
+        assert executor.gpu_resource(0) is not executor.gpu_resource(1)
+        assert executor.egress(0) is not executor.ingress(0)
+
+    def test_stable_identity(self, executor):
+        assert executor.gpu_resource(2) is executor.gpu_resource(2)
+
+
+class TestTransferDuration:
+    def test_matches_link_math(self, executor, system4):
+        link = system4.link
+        expected = link.latency + 1_000_000 / link.effective_bandwidth
+        assert executor.transfer_duration(1_000_000) == pytest.approx(expected)
+
+    def test_zero_bytes_free(self, executor):
+        assert executor.transfer_duration(0) == 0.0
+
+    def test_infinite_link_free(self):
+        config = repro.default_system(4, INFINITE_LINK)
+        executor = MemcpyExecutor(build("jacobi", iterations=1), config)
+        assert executor.transfer_duration(10**9) == 0.0
+
+
+class TestAddTransfer:
+    def test_records_traffic_and_occupies_ports(self, executor):
+        tasks = executor.add_transfer("t", 0, 1, 1000, deps=[])
+        assert len(tasks) == 2
+        assert executor.traffic.pair_bytes(0, 1) == 1000
+
+    def test_self_transfer_noop(self, executor):
+        assert executor.add_transfer("t", 2, 2, 1000, deps=[]) == []
+        assert executor.traffic.total_bytes() == 0
+
+    def test_zero_time_keeps_bytes(self, executor):
+        tasks = executor.add_transfer("t", 0, 1, 1000, deps=[], zero_time=True)
+        assert all(t.duration == 0.0 for t in tasks)
+        assert executor.traffic.pair_bytes(0, 1) == 1000
+
+    def test_record_false_skips_accounting(self, executor):
+        executor.add_transfer("t", 0, 1, 1000, deps=[], record=False)
+        assert executor.traffic.total_bytes() == 0
+
+
+class TestSetupDetection:
+    def test_setup_phase_flag(self, executor):
+        program = executor.program
+        assert executor.is_setup_phase(program.phases[0])
+        assert not executor.is_setup_phase(program.phases[1])
+
+
+class TestRoofline:
+    def test_positive_duration(self, executor):
+        kernel = executor.program.phases[1].kernels[0]
+        footprint = executor.analysis.footprint(kernel)
+        assert executor.roofline(footprint) > 0
+
+    def test_extra_stall_adds(self, executor):
+        kernel = executor.program.phases[1].kernels[0]
+        footprint = executor.analysis.footprint(kernel)
+        base = executor.roofline(footprint)
+        assert executor.roofline(footprint, extra_stall=1e-3) == pytest.approx(
+            base + 1e-3
+        )
+
+    def test_remote_bw_extends_only_past_roofline(self, executor):
+        kernel = executor.program.phases[1].kernels[0]
+        footprint = executor.analysis.footprint(kernel)
+        base = executor.roofline(footprint)
+        small = executor.roofline(footprint, remote_bw_time=1e-9)
+        assert small == pytest.approx(base)
+        large = executor.roofline(footprint, remote_bw_time=base)
+        assert large > base
+
+    def test_mismatched_system_rejected(self, system2):
+        with pytest.raises(ValueError):
+            MemcpyExecutor(build("jacobi", num_gpus=4), system2)

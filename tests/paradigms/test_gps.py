@@ -1,0 +1,102 @@
+"""Tests for the GPS paradigm executor."""
+
+import pytest
+
+import repro
+from repro.paradigms.gps import GPSExecutor, GPSNoSubscriptionExecutor
+from tests.conftest import TINY, build
+
+
+@pytest.fixture
+def result(system4):
+    return repro.simulate(build("jacobi", iterations=3), "gps", system4)
+
+
+class TestExecution:
+    def test_positive_time(self, result):
+        assert result.total_time > 0
+
+    def test_paradigm_name(self, result):
+        assert result.paradigm == "gps"
+
+    def test_profiling_summary_present(self, result):
+        assert result.extras["tracking"]["pages"] > 0
+
+    def test_write_queue_stats_per_gpu(self, result):
+        assert len(result.write_queue_stats) == 4
+        assert any(s.stores_seen > 0 for s in result.write_queue_stats)
+
+    def test_gps_tlb_high_hit_rate(self, result):
+        merged_hits = sum(s.hits for s in result.gps_tlb_stats)
+        merged = sum(s.accesses for s in result.gps_tlb_stats)
+        assert merged_hits / merged > 0.9
+
+
+class TestSubscriptionEffects:
+    def test_jacobi_steady_pages_few_subscribers(self, result):
+        # Figure 9: Jacobi's shared pages have two subscribers (halo
+        # pairs); at test scale the halo covers most of a shard, so a few
+        # pages reach three, but never all-to-all.
+        hist = result.subscriber_histogram
+        assert set(hist) <= {2, 3}
+        assert hist.get(2, 0) >= hist.get(3, 0)
+
+    def test_unsubscription_happened(self, result):
+        assert result.extras["tracking"]["unsubscribed"] > 0
+        assert result.extras["tracking"]["demoted"] > 0
+
+    def test_traffic_far_below_memcpy(self, system4):
+        # After profiling trims subscriptions, Jacobi publishes only halo
+        # pages; the all-to-all profiling iteration is the bulk of what
+        # remains (Figure 10 shows GPS << memcpy for Jacobi).
+        program = build("jacobi", scale=0.3, iterations=4)
+        gps = repro.simulate(program, "gps", system4)
+        memcpy = repro.simulate(program, "memcpy", system4)
+        assert gps.interconnect_bytes < 0.6 * memcpy.interconnect_bytes
+
+    def test_nosub_moves_more_data(self, system4):
+        program = build("jacobi", iterations=3)
+        gps = repro.simulate(program, "gps", system4)
+        nosub = repro.simulate(program, "gps_nosub", system4)
+        assert nosub.interconnect_bytes > gps.interconnect_bytes
+        assert nosub.subscriber_histogram == {4: sum(nosub.subscriber_histogram.values())}
+
+    def test_als_subscription_does_not_help(self, system4):
+        # Figure 11: ALS keeps all-to-all subscriptions, so GPS with and
+        # without subscription coincide (within profiling noise).
+        program = build("als", iterations=3)
+        gps = repro.simulate(program, "gps", system4)
+        nosub = repro.simulate(program, "gps_nosub", system4)
+        assert gps.interconnect_bytes == pytest.approx(nosub.interconnect_bytes, rel=0.05)
+
+
+class TestSetupSemantics:
+    def test_setup_phase_publishes_nothing(self, system4):
+        # Only iteration phases produce GPS traffic; a 0-iteration program
+        # (setup only) must move no bytes.
+        program = repro.get_workload("jacobi").build(4, scale=TINY, iterations=0)
+        result = repro.simulate(program, "gps", system4)
+        assert result.interconnect_bytes == 0
+
+
+class TestCoalescingAblation:
+    def test_no_coalescing_moves_more(self, system4):
+        program = build("ct", iterations=2)
+        gps = repro.simulate(program, "gps", system4)
+        nocoal = repro.simulate(program, "gps_nocoalesce", system4)
+        assert nocoal.interconnect_bytes > gps.interconnect_bytes
+
+    def test_variant_names(self, system4):
+        program = build("ct", iterations=2)
+        assert repro.simulate(program, "gps_nocoalesce", system4).paradigm == "gps_nocoalesce"
+        assert repro.simulate(program, "gps_nosub", system4).paradigm == "gps_nosub"
+
+
+class TestLayoutGuard:
+    def test_program_too_large_for_system_rejected(self, system2):
+        with pytest.raises(ValueError):
+            GPSExecutor(build("jacobi", num_gpus=4), system2)
+
+    def test_nosub_constructor_flag(self, system4):
+        executor = GPSNoSubscriptionExecutor(build("jacobi"), system4)
+        assert not executor.auto_subscription

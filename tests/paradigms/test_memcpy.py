@@ -1,0 +1,59 @@
+"""Tests for the memcpy and infinite-bandwidth executors."""
+
+import pytest
+
+import repro
+from tests.conftest import TINY, build
+
+
+class TestMemcpy:
+    def test_broadcast_traffic(self, system4):
+        result = repro.simulate(build("jacobi", iterations=2), "memcpy", system4)
+        assert result.interconnect_bytes > 0
+
+    def test_broadcast_is_written_extent_times_peers(self, system4):
+        program = build("jacobi", iterations=2)
+        result = repro.simulate(program, "memcpy", system4)
+        expected = sum(
+            sum(a.length for a in kernel.stores())
+            for phase in program.phases
+            if phase.iteration >= 0
+            for kernel in phase.kernels
+        ) * 3
+        assert result.interconnect_bytes == expected
+
+    def test_setup_phase_does_not_broadcast(self, system4):
+        program = repro.get_workload("jacobi").build(4, scale=TINY, iterations=0)
+        result = repro.simulate(program, "memcpy", system4)
+        assert result.interconnect_bytes == 0
+
+    def test_single_gpu_no_traffic(self, system1):
+        result = repro.simulate(build("jacobi", num_gpus=1, iterations=2), "memcpy", system1)
+        assert result.interconnect_bytes == 0
+
+    def test_transfers_not_overlapped(self, system4):
+        # memcpy is strictly slower than infinite BW on communication-heavy
+        # apps since transfers serialise after kernels.
+        program = build("jacobi", iterations=3)
+        memcpy = repro.simulate(program, "memcpy", system4)
+        infinite = repro.simulate(program, "infinite", system4)
+        assert memcpy.total_time > infinite.total_time
+
+
+class TestInfinite:
+    def test_same_dataflow_as_memcpy(self, system4):
+        program = build("jacobi", iterations=2)
+        memcpy = repro.simulate(program, "memcpy", system4)
+        infinite = repro.simulate(program, "infinite", system4)
+        assert infinite.interconnect_bytes == memcpy.interconnect_bytes
+
+    def test_fastest_paradigm(self, system4):
+        program = build("diffusion", iterations=3)
+        infinite = repro.simulate(program, "infinite", system4)
+        for paradigm in ("um", "um_hints", "rdl", "memcpy", "gps"):
+            other = repro.simulate(program, paradigm, system4)
+            assert infinite.total_time <= other.total_time * (1 + 1e-9), paradigm
+
+    def test_name(self, system4):
+        result = repro.simulate(build("jacobi", iterations=2), "infinite", system4)
+        assert result.paradigm == "infinite"

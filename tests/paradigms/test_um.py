@@ -1,0 +1,55 @@
+"""Tests for the fault-based Unified Memory executor."""
+
+import pytest
+
+import repro
+from tests.conftest import build
+
+
+@pytest.fixture
+def result(system4):
+    return repro.simulate(build("jacobi", iterations=3), "um", system4)
+
+
+class TestFaults:
+    def test_faults_occur(self, result):
+        assert result.fault_count > 0
+
+    def test_pages_migrate(self, result):
+        assert result.pages_migrated > 0
+
+    def test_populate_faults_tracked(self, result):
+        assert result.extras["populate_faults"] > 0
+
+    def test_migration_traffic_recorded(self, result):
+        assert result.interconnect_bytes > 0
+
+    def test_migration_bytes_are_page_granular(self, result, system4):
+        assert result.interconnect_bytes == result.pages_migrated * system4.page_size
+
+
+class TestThrash:
+    def test_halo_pages_thrash_every_iteration(self, system4):
+        few = repro.simulate(build("jacobi", iterations=2), "um", system4)
+        many = repro.simulate(build("jacobi", iterations=4), "um", system4)
+        # Steady-state thrash: migrations grow with iterations.
+        assert many.pages_migrated > few.pages_migrated
+
+    def test_single_gpu_never_migrates(self, system1):
+        result = repro.simulate(build("jacobi", num_gpus=1, iterations=2), "um", system1)
+        assert result.pages_migrated == 0
+        assert result.interconnect_bytes == 0
+
+
+class TestRelativePerformance:
+    def test_um_slower_than_gps(self, system4):
+        program = build("jacobi", iterations=3)
+        um = repro.simulate(program, "um", system4)
+        gps = repro.simulate(program, "gps", system4)
+        assert um.total_time > gps.total_time
+
+    def test_um_slower_than_memcpy(self, system4):
+        program = build("pagerank", iterations=3)
+        um = repro.simulate(program, "um", system4)
+        memcpy = repro.simulate(program, "memcpy", system4)
+        assert um.total_time > memcpy.total_time

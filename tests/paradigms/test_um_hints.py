@@ -1,0 +1,61 @@
+"""Tests for the hint-based Unified Memory executor."""
+
+import pytest
+
+import repro
+from repro.paradigms.um_hints import UMHintsExecutor
+from tests.conftest import build
+
+
+class TestPreferredLocations:
+    def test_preferred_is_dominant_writer(self, system4):
+        program = build("jacobi", iterations=2)
+        executor = UMHintsExecutor(program, system4)
+        analysis = executor.analysis
+        # Every page of the written shard prefers its writing GPU.
+        phase = program.phases_in_iteration(0)[0]
+        for kernel in phase.kernels:
+            footprint = analysis.footprint(kernel)
+            own = [
+                executor._preferred_of(v) == kernel.gpu
+                for v in footprint.store_pages.tolist()
+            ]
+            # Shard-interior pages prefer their writer (boundary pages can
+            # tie with a neighbouring writer under ping-pong).
+            assert sum(own) >= 0.9 * len(own)
+
+
+class TestHintCosts:
+    def test_prefetch_and_faults_recorded(self, system4):
+        result = repro.simulate(build("jacobi", iterations=3), "um_hints", system4)
+        assert result.extras["prefetched_pages"] > 0
+        assert result.extras["writeback_faults"] > 0
+
+    def test_contended_reads_fault(self, system4):
+        # Every GPU gathers all of pagerank's values: contended prefetches.
+        result = repro.simulate(build("pagerank", iterations=3), "um_hints", system4)
+        assert result.extras["contended_faults"] > 0
+
+    def test_traffic_recorded(self, system4):
+        result = repro.simulate(build("jacobi", iterations=3), "um_hints", system4)
+        assert result.interconnect_bytes > 0
+
+
+class TestOrdering:
+    def test_better_than_blind_um(self, system4):
+        program = build("jacobi", iterations=3)
+        um = repro.simulate(program, "um", system4)
+        hints = repro.simulate(program, "um_hints", system4)
+        assert hints.total_time < um.total_time
+
+    def test_worse_than_gps(self, system4):
+        for workload in ("jacobi", "ct"):
+            program = build(workload, iterations=3)
+            hints = repro.simulate(program, "um_hints", system4)
+            gps = repro.simulate(program, "gps", system4)
+            assert gps.total_time < hints.total_time
+
+    def test_single_gpu_no_remote_costs(self, system1):
+        result = repro.simulate(build("jacobi", num_gpus=1, iterations=2), "um_hints", system1)
+        assert result.interconnect_bytes == 0
+        assert result.fault_count == 0

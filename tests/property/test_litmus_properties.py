@@ -1,0 +1,54 @@
+"""Property-based litmus testing: random programs never violate the model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.litmus import LitmusOp, LitmusTest
+from repro.trace.records import Scope
+
+
+def op_strategy():
+    return st.one_of(
+        st.builds(
+            LitmusOp.store,
+            address=st.integers(min_value=0, max_value=5),
+            scope=st.sampled_from([Scope.WEAK, Scope.WEAK, Scope.WEAK, Scope.SYS]),
+        ),
+        st.just(LitmusOp.fence()),
+    )
+
+
+program_strategy = st.lists(op_strategy(), max_size=40)
+
+
+class TestRandomLitmus:
+    @given(p0=program_strategy, p1=program_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_two_gpu_programs_never_violate(self, p0, p1):
+        test = LitmusTest(num_gpus=2, queue_entries=4)
+        test.program(0, p0)
+        test.program(1, p1)
+        result = test.run()
+        assert result.same_address_ok
+        assert result.point_to_point_ok
+        assert result.fence_ok
+
+    @given(
+        programs=st.lists(program_strategy, min_size=3, max_size=3),
+        entries=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_three_gpu_programs_never_violate(self, programs, entries):
+        test = LitmusTest(num_gpus=3, queue_entries=entries)
+        for gpu, ops in enumerate(programs):
+            test.program(gpu, ops)
+        assert test.run().ok
+
+    @given(p0=program_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_delivery_count_bounded_by_issued(self, p0):
+        test = LitmusTest(num_gpus=2, queue_entries=4)
+        test.program(0, p0)
+        result = test.run()
+        stores = sum(1 for op in p0 if op.kind == "store")
+        assert len(result.delivered[1]) <= stores

@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.config import GPSConfig
+from repro.core.consistency import StoreEvent, check_same_address_order, may_coalesce
+from repro.core.subscription import SubscriptionManager
+from repro.core.write_queue import RemoteWriteQueue
+from repro.errors import SubscriptionError
+from repro.gpu.sm_coalescer import sm_coalesce
+from repro.memory.tlb import TLB
+from repro.sim.engine import Engine
+from repro.trace.expand import LineStream
+from repro.trace.records import Scope
+
+lines_strategy = st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200)
+payload_strategy = st.integers(min_value=1, max_value=128)
+
+
+class TestWriteQueueProperties:
+    @given(lines=lines_strategy, payload=payload_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_every_insert_drains_exactly_once(self, lines, payload):
+        queue = RemoteWriteQueue(GPSConfig(write_queue_entries=8))
+        drained = []
+        for line in lines:
+            drained += queue.push_store(line, payload)
+        drained += queue.flush()
+        assert len(drained) == queue.stats.inserts
+        assert queue.occupancy == 0
+
+    @given(lines=lines_strategy, payload=payload_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_bytes_out_never_exceed_bytes_in(self, lines, payload):
+        queue = RemoteWriteQueue(GPSConfig(write_queue_entries=8))
+        for line in lines:
+            queue.push_store(line, payload)
+        queue.flush()
+        assert queue.stats.bytes_out <= queue.stats.bytes_in
+        assert queue.stats.bytes_out >= queue.stats.inserts * min(payload, 128)
+
+    @given(lines=lines_strategy, payload=payload_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_drained_lines_cover_distinct_input_lines(self, lines, payload):
+        queue = RemoteWriteQueue(GPSConfig(write_queue_entries=8))
+        drained = []
+        for line in lines:
+            drained += queue.push_store(line, payload)
+        drained += queue.flush()
+        # Every distinct line appears in the drain output; a line may
+        # appear more than once if it was re-dirtied after a drain.
+        assert {e.line for e in drained} == set(lines)
+
+    @given(lines=lines_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_watermark_after_push(self, lines):
+        queue = RemoteWriteQueue(GPSConfig(write_queue_entries=8, high_watermark=5))
+        for line in lines:
+            queue.push_store(line, 64)
+            assert queue.occupancy <= 5
+
+    @given(lines=lines_strategy, payload=payload_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_merged_store_count_matches_stream(self, lines, payload):
+        queue = RemoteWriteQueue(GPSConfig(write_queue_entries=512))
+        drained = queue.process_stream(
+            np.array(lines, dtype=np.int64),
+            np.full(len(lines), payload, dtype=np.int32),
+        )
+        drained += queue.flush()
+        assert sum(e.merged_stores for e in drained) == len(lines)
+
+
+class TestSMCoalescerProperties:
+    @given(lines=lines_strategy, payload=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_no_adjacent_duplicates_in_output(self, lines, payload):
+        stream = LineStream(
+            np.array(lines, dtype=np.int64),
+            np.full(len(lines), payload, dtype=np.int32),
+        )
+        out = sm_coalesce(stream)
+        assert not np.any(out.lines[1:] == out.lines[:-1])
+
+    @given(lines=lines_strategy, payload=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_lines_preserved(self, lines, payload):
+        stream = LineStream(
+            np.array(lines, dtype=np.int64),
+            np.full(len(lines), payload, dtype=np.int32),
+        )
+        out = sm_coalesce(stream)
+        assert set(out.lines.tolist()) == set(lines)
+
+    @given(lines=lines_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, lines):
+        stream = LineStream(
+            np.array(lines, dtype=np.int64),
+            np.full(len(lines), 32, dtype=np.int32),
+        )
+        once = sm_coalesce(stream)
+        twice = sm_coalesce(once)
+        assert np.array_equal(once.lines, twice.lines)
+        assert np.array_equal(once.bytes_per_txn, twice.bytes_per_txn)
+
+
+class TestCacheProperties:
+    @given(lines=st.lists(st.integers(min_value=0, max_value=1000), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, lines):
+        cache = Cache(128 * 64, 128, 4)
+        stats = cache.simulate_stream(lines)
+        assert stats.hits + stats.misses == len(lines)
+
+    @given(lines=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_working_set_within_capacity_second_pass_perfect(self, lines):
+        cache = Cache(128 * 64, 128, 64)  # fully associative, 64 lines
+        cache.simulate_stream(lines)
+        warm = cache.simulate_stream(lines)
+        assert warm.hit_rate == 1.0
+
+    @given(lines=st.lists(st.integers(min_value=0, max_value=1000), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_residency_bounded_by_capacity(self, lines):
+        cache = Cache(128 * 16, 128, 4)
+        cache.simulate_stream(lines)
+        assert cache.resident_lines() <= 16
+
+
+class TestTLBProperties:
+    @given(vpns=st.lists(st.integers(min_value=0, max_value=100), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_pages_lower_bound_misses(self, vpns):
+        tlb = TLB(entries=32, assoc=8)
+        for vpn in vpns:
+            tlb.access(vpn)
+        assert tlb.stats.misses >= len(set(vpns)) * 0 + (len(set(vpns)) > 0)
+        assert tlb.stats.misses >= min(len(set(vpns)), 1)
+        assert tlb.stats.hits + tlb.stats.misses == len(vpns)
+
+
+class TestSubscriptionProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=5),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_one_subscriber_always(self, ops):
+        manager = SubscriptionManager(4)
+        manager.register_all_to_all(range(6))
+        for subscribe, gpu, vpn in ops:
+            try:
+                if subscribe:
+                    manager.subscribe(gpu, vpn)
+                else:
+                    manager.unsubscribe(gpu, vpn)
+            except SubscriptionError:
+                pass
+            assert len(manager.subscribers(vpn)) >= 1
+
+    @given(
+        touched=st.dictionaries(
+            st.integers(min_value=0, max_value=3),
+            st.sets(st.integers(min_value=0, max_value=5)),
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_apply_profile_invariant(self, touched):
+        manager = SubscriptionManager(4)
+        manager.register_all_to_all(range(6))
+        manager.apply_profile(touched)
+        for vpn in range(6):
+            subs = manager.subscribers(vpn)
+            assert len(subs) >= 1
+            actual_touchers = {g for g, pages in touched.items() if vpn in pages}
+            if actual_touchers:
+                assert subs == frozenset(actual_touchers)
+
+
+class TestEngineProperties:
+    @given(durations=st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_serial_resource_sums_durations(self, durations):
+        engine = Engine()
+        resource = engine.resource("r")
+        for i, duration in enumerate(durations):
+            engine.task(f"t{i}", duration, resource=resource)
+        assert engine.run() == sum(durations)
+
+    @given(durations=st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_independent_tasks_max_duration(self, durations):
+        engine = Engine()
+        for i, duration in enumerate(durations):
+            engine.task(f"t{i}", duration)
+        assert engine.run() == max(durations)
+
+    @given(durations=st.lists(st.floats(min_value=0.01, max_value=10), min_size=2, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_is_prefix_monotone(self, durations):
+        engine = Engine()
+        prev = None
+        tasks = []
+        for i, duration in enumerate(durations):
+            prev = engine.task(f"t{i}", duration, deps=[prev] if prev else [])
+            tasks.append(prev)
+        engine.run()
+        for a, b in zip(tasks, tasks[1:]):
+            assert b.start >= a.end
+
+
+class TestConsistencyProperties:
+    @given(
+        seqs=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=30),
+        drop=st.sets(st.integers(min_value=0, max_value=29)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_subsequence_delivery_preserves_same_address_order(self, seqs, drop):
+        # Any subsequence of program order (coalescing drops stores but
+        # never reorders survivors) satisfies same-address ordering.
+        issued = [
+            StoreEvent(gpu=0, address=addr, scope=Scope.WEAK, seq=i)
+            for i, addr in enumerate(seqs)
+        ]
+        delivered = [e for i, e in enumerate(issued) if i not in drop]
+        assert check_same_address_order(issued, delivered)
+
+    @given(a=st.integers(0, 3), b=st.integers(0, 3), addr=st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_sys_scope_never_coalesces(self, a, b, addr):
+        first = StoreEvent(a, addr, Scope.SYS, 0)
+        second = StoreEvent(b, addr, Scope.WEAK, 1)
+        assert not may_coalesce(first, second, fence_between=False)

@@ -1,0 +1,111 @@
+"""Stateful property test: the GPS driver never corrupts its bookkeeping.
+
+Random sequences of driver operations (subscribe, unsubscribe, tracking
+cycles, oversubscription evictions, sys-scope collapses) must preserve the
+cross-structure invariants that a real driver bug would break:
+
+* the subscription manager, GPS page table, and conventional page tables
+  agree on every page's subscriber set;
+* every replica is backed by exactly one allocated frame on its GPU, and
+  frame accounting matches replica counts;
+* every page keeps at least one subscriber;
+* the GPS bit is set iff the page has more than one subscriber.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.runtime import GPSRuntime, MemAdvise
+from repro.errors import SubscriptionError
+
+PAGE = 65536
+NUM_PAGES = 6
+
+
+def op_strategy():
+    gpu = st.integers(min_value=0, max_value=3)
+    return st.one_of(
+        st.tuples(st.just("subscribe"), gpu),
+        st.tuples(st.just("unsubscribe"), gpu),
+        st.tuples(st.just("evict"), gpu),
+        st.tuples(st.just("collapse"), gpu),
+        st.tuples(st.just("track"), gpu),
+    )
+
+
+def check_invariants(runtime: GPSRuntime, alloc) -> None:
+    pages = list(alloc.pages(PAGE))
+    expected_frames = [0] * 4
+    for vpn in pages:
+        subs = runtime.subscriptions.subscribers(vpn)
+        assert len(subs) >= 1
+        # Page-table agreement.
+        assert runtime.gps_page_table.subscribers(vpn) == subs
+        for gpu in range(4):
+            pte = runtime.page_tables[gpu].try_lookup(vpn)
+            if gpu in subs:
+                assert pte is not None
+                assert pte.resident_gpu == gpu
+                assert pte.gps == (len(subs) > 1)
+                frame = runtime.gps_page_table.lookup(vpn).replicas[gpu]
+                assert runtime.memories[gpu].is_allocated(frame)
+                expected_frames[gpu] += 1
+            else:
+                assert pte is None
+    for gpu in range(4):
+        assert runtime.memories[gpu].frames_in_use == expected_frames[gpu]
+
+
+class TestDriverStateMachine:
+    @given(ops=st.lists(op_strategy(), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_under_random_driver_ops(self, ops):
+        runtime = GPSRuntime(repro.default_system(4))
+        alloc = runtime.malloc_gps("x", NUM_PAGES * PAGE)
+        pages = list(alloc.pages(PAGE))
+        rng = np.random.default_rng(0)
+        for index, (op, gpu) in enumerate(ops):
+            vpn = pages[index % NUM_PAGES]
+            try:
+                if op == "subscribe":
+                    runtime._subscribe_page(gpu, vpn)
+                elif op == "unsubscribe":
+                    runtime._unsubscribe_page(gpu, vpn)
+                elif op == "evict":
+                    runtime.handle_oversubscription(gpu, [vpn])
+                elif op == "collapse":
+                    runtime.collapse_on_sys_store(gpu, vpn)
+                elif op == "track":
+                    runtime.tracking_start()
+                    runtime.record_accesses(gpu, np.array(pages[: 1 + index % NUM_PAGES]))
+                    runtime.record_accesses(0, np.array(pages))
+                    runtime.tracking_stop()
+            except SubscriptionError:
+                pass  # rejected ops must leave state untouched
+            check_invariants(runtime, alloc)
+
+    @given(ops=st.lists(op_strategy(), max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_free_always_releases_everything(self, ops):
+        runtime = GPSRuntime(repro.default_system(4))
+        alloc = runtime.malloc_gps("x", NUM_PAGES * PAGE)
+        pages = list(alloc.pages(PAGE))
+        for index, (op, gpu) in enumerate(ops):
+            vpn = pages[index % NUM_PAGES]
+            try:
+                if op == "subscribe":
+                    runtime._subscribe_page(gpu, vpn)
+                elif op == "unsubscribe":
+                    runtime._unsubscribe_page(gpu, vpn)
+                elif op == "evict":
+                    runtime.handle_oversubscription(gpu, [vpn])
+                elif op == "collapse":
+                    runtime.collapse_on_sys_store(gpu, vpn)
+            except SubscriptionError:
+                pass
+        runtime.free("x")
+        for memory in runtime.memories:
+            assert memory.frames_in_use == 0
+        assert len(runtime.gps_page_table) == 0

@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event task-graph scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestBasicScheduling:
+    def test_empty_graph(self):
+        assert Engine().run() == 0.0
+
+    def test_single_task(self):
+        engine = Engine()
+        task = engine.task("t", 2.5)
+        assert engine.run() == 2.5
+        assert task.start == 0.0
+        assert task.end == 2.5
+
+    def test_independent_tasks_overlap(self):
+        engine = Engine()
+        engine.task("a", 1.0)
+        engine.task("b", 2.0)
+        assert engine.run() == 2.0
+
+    def test_dependency_chain(self):
+        engine = Engine()
+        a = engine.task("a", 1.0)
+        b = engine.task("b", 2.0, deps=[a])
+        assert engine.run() == 3.0
+        assert b.start == 1.0
+
+    def test_diamond(self):
+        engine = Engine()
+        a = engine.task("a", 1.0)
+        b = engine.task("b", 2.0, deps=[a])
+        c = engine.task("c", 5.0, deps=[a])
+        d = engine.task("d", 1.0, deps=[b, c])
+        assert engine.run() == 7.0
+        assert d.start == 6.0
+
+
+class TestResources:
+    def test_resource_serialises(self):
+        engine = Engine()
+        gpu = engine.resource("gpu")
+        engine.task("a", 1.0, resource=gpu)
+        engine.task("b", 1.0, resource=gpu)
+        assert engine.run() == 2.0
+
+    def test_different_resources_overlap(self):
+        engine = Engine()
+        engine.task("a", 1.0, resource=engine.resource("x"))
+        engine.task("b", 1.0, resource=engine.resource("y"))
+        assert engine.run() == 1.0
+
+    def test_resource_is_shared_by_name(self):
+        engine = Engine()
+        assert engine.resource("x") is engine.resource("x")
+
+    def test_busy_time_tracked(self):
+        engine = Engine()
+        gpu = engine.resource("gpu")
+        engine.task("a", 1.5, resource=gpu)
+        engine.task("b", 0.5, resource=gpu)
+        engine.run()
+        assert gpu.busy_time == 2.0
+
+    def test_ready_order_fifo_on_resource(self):
+        engine = Engine()
+        link = engine.resource("link")
+        a = engine.task("a", 1.0)
+        early = engine.task("early", 1.0, resource=link, deps=[a])
+        late_dep = engine.task("ld", 2.0)
+        late = engine.task("late", 1.0, resource=link, deps=[late_dep])
+        engine.run()
+        assert early.start == 1.0
+        assert late.start == 2.0  # link free again at 2.0
+
+
+class TestBarrier:
+    def test_barrier_joins(self):
+        engine = Engine()
+        a = engine.task("a", 1.0)
+        b = engine.task("b", 3.0)
+        bar = engine.barrier("bar", [a, b])
+        engine.run()
+        assert bar.start == 3.0
+        assert bar.end == 3.0
+
+    def test_phase_chaining(self):
+        engine = Engine()
+        gpu = engine.resource("gpu")
+        k1 = engine.task("k1", 1.0, resource=gpu)
+        bar = engine.barrier("bar", [k1])
+        k2 = engine.task("k2", 1.0, resource=gpu, deps=[bar])
+        assert engine.run() == 2.0
+        assert k2.start == 1.0
+
+
+class TestErrors:
+    def test_negative_duration(self):
+        with pytest.raises(SimulationError):
+            Engine().task("bad", -1.0)
+
+    def test_unscheduled_times_raise(self):
+        engine = Engine()
+        task = engine.task("t", 1.0)
+        with pytest.raises(SimulationError):
+            _ = task.start
+
+    def test_double_run(self):
+        engine = Engine()
+        engine.task("t", 1.0)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_add_after_run(self):
+        engine = Engine()
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.task("t", 1.0)
+
+    def test_makespan_before_run(self):
+        with pytest.raises(SimulationError):
+            Engine().makespan()
+
+    def test_makespan_after_run(self):
+        engine = Engine()
+        engine.task("t", 4.0)
+        engine.run()
+        assert engine.makespan() == 4.0

@@ -1,0 +1,89 @@
+"""Tests for derived metrics."""
+
+import pytest
+
+import repro
+from repro.system.metrics import (
+    communication_metrics,
+    scaling_metrics,
+    traffic_by_distance,
+)
+from tests.conftest import build
+
+
+@pytest.fixture(scope="module")
+def runs():
+    config = repro.default_system(4)
+    program = build("jacobi", iterations=3)
+    single = repro.simulate(build("jacobi", num_gpus=1, iterations=3),
+                            "memcpy", repro.default_system(1))
+    return {
+        "config": config,
+        "single": single,
+        "gps": repro.simulate(program, "gps", config),
+        "memcpy": repro.simulate(program, "memcpy", config),
+        "infinite": repro.simulate(program, "infinite", config),
+    }
+
+
+class TestCommunicationMetrics:
+    def test_fields_consistent(self, runs):
+        metrics = communication_metrics(runs["memcpy"], runs["config"])
+        assert metrics.interconnect_bytes == runs["memcpy"].interconnect_bytes
+        assert metrics.peak_egress_demand > 0
+        assert 0 <= metrics.exposed_comm_fraction <= 1
+        assert metrics.egress_imbalance >= 1.0
+
+    def test_memcpy_exposes_more_than_gps(self, runs):
+        config = runs["config"]
+        gps = communication_metrics(runs["gps"], config)
+        memcpy = communication_metrics(runs["memcpy"], config)
+        assert memcpy.exposed_comm_fraction > gps.exposed_comm_fraction
+
+    def test_balanced_stencil(self, runs):
+        metrics = communication_metrics(runs["memcpy"], runs["config"])
+        # Interior GPUs broadcast the same amount; edges slightly less.
+        assert metrics.egress_imbalance < 2.0
+
+    def test_zero_time_rejected(self, runs):
+        result = runs["gps"]
+        result_bad = type(result)(
+            program_name="x", paradigm="x", num_gpus=4,
+            total_time=0.0, traffic=result.traffic,
+        )
+        with pytest.raises(ValueError):
+            communication_metrics(result_bad, runs["config"])
+
+
+class TestScalingMetrics:
+    def test_composition(self, runs):
+        metrics = scaling_metrics(runs["single"], runs["gps"], runs["infinite"])
+        assert metrics.speedup == pytest.approx(
+            runs["single"].total_time / runs["gps"].total_time
+        )
+        assert metrics.efficiency == pytest.approx(metrics.speedup / 4)
+        assert 0 < metrics.opportunity_captured <= 1.0
+
+    def test_infinite_captures_everything(self, runs):
+        metrics = scaling_metrics(runs["single"], runs["infinite"], runs["infinite"])
+        assert metrics.opportunity_captured == pytest.approx(1.0)
+
+
+class TestTrafficByDistance:
+    def test_stencil_concentrates_at_distance_one(self, runs):
+        bins = traffic_by_distance(runs["gps"])
+        # After profiling, Jacobi halos travel only between neighbours —
+        # but the profiling iteration itself broadcast all-to-all, so
+        # distance 1 dominates without being exclusive.
+        assert bins[1] == max(bins.values())
+
+    def test_all_to_all_spreads(self):
+        config = repro.default_system(4)
+        result = repro.simulate(build("als", iterations=3), "gps", config)
+        bins = traffic_by_distance(result)
+        assert set(bins) == {1, 2, 3}
+        assert bins[2] > 0 and bins[3] > 0
+
+    def test_bins_sum_to_total(self, runs):
+        bins = traffic_by_distance(runs["memcpy"])
+        assert sum(bins.values()) == runs["memcpy"].interconnect_bytes

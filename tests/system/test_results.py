@@ -1,0 +1,53 @@
+"""Tests for result containers."""
+
+import pytest
+
+from repro.interconnect.traffic import TrafficMatrix
+from repro.system.results import PhaseBreakdown, SimulationResult
+
+
+def make_result(**kw):
+    defaults = dict(
+        program_name="p",
+        paradigm="gps",
+        num_gpus=4,
+        total_time=1.5e-3,
+        traffic=TrafficMatrix(4),
+    )
+    defaults.update(kw)
+    return SimulationResult(**defaults)
+
+
+class TestPhaseBreakdown:
+    def test_duration(self):
+        phase = PhaseBreakdown("p", start=1.0, end=3.5, kernel_time=2.0,
+                               exposed_transfer_time=0.5)
+        assert phase.duration == 2.5
+
+
+class TestSimulationResult:
+    def test_interconnect_bytes_delegates(self):
+        result = make_result()
+        result.traffic.add(0, 1, 4096)
+        assert result.interconnect_bytes == 4096
+
+    def test_summary_shape(self):
+        result = make_result(fault_count=7, pages_migrated=3)
+        summary = result.summary()
+        assert summary == {
+            "program": "p",
+            "paradigm": "gps",
+            "num_gpus": 4,
+            "total_time_s": 1.5e-3,
+            "interconnect_bytes": 0,
+            "fault_count": 7,
+            "pages_migrated": 3,
+        }
+
+    def test_default_collections_independent(self):
+        a = make_result()
+        b = make_result()
+        a.phases.append("x")
+        a.extras["k"] = 1
+        assert b.phases == []
+        assert b.extras == {}

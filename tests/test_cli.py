@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("jacobi", "pagerank", "hit"):
+            assert name in out
+        assert "gps" in out
+
+
+class TestRun:
+    def test_run_gps(self, capsys):
+        code = main(
+            ["run", "jacobi", "--paradigm", "gps", "--scale", "0.1", "--iterations", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "interconnect" in out
+
+    def test_run_um_reports_faults(self, capsys):
+        main(["run", "jacobi", "--paradigm", "um", "--scale", "0.1", "--iterations", "2"])
+        assert "faults" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "zzz"])
+
+    def test_unknown_paradigm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "jacobi", "--paradigm", "zzz"])
+
+
+class TestCompare:
+    def test_bar_chart_output(self, capsys):
+        code = main(["compare", "jacobi", "--scale", "0.1", "--iterations", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GPS" in out
+        assert "#" in out
+
+
+class TestFigure:
+    def test_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "jacobi" in out
+        assert "All-to-all" in out
+
+    def test_fig3(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        assert "DGX" in capsys.readouterr().out
+
+    def test_fig9_with_json_export(self, capsys, tmp_path):
+        path = tmp_path / "fig9.json"
+        code = main(
+            [
+                "figure",
+                "fig9",
+                "--scale",
+                "0.1",
+                "--iterations",
+                "2",
+                "--json",
+                str(path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["figure"] == "fig9"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.units`."""
+
+import pytest
+
+from repro.units import (
+    GB_S,
+    GiB,
+    KiB,
+    MiB,
+    US,
+    ceil_div,
+    fmt_bandwidth,
+    fmt_bytes,
+    fmt_time,
+    is_power_of_two,
+)
+
+
+class TestConstants:
+    def test_binary_sizes_chain(self):
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_bandwidth_decimal(self):
+        assert GB_S == 1e9
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512.0 B"
+
+    def test_kib(self):
+        assert fmt_bytes(65536) == "64.0 KiB"
+
+    def test_mib(self):
+        assert fmt_bytes(6 * MiB) == "6.0 MiB"
+
+    def test_large_values_stay_tib(self):
+        assert fmt_bytes(5000 * 1024 * GiB).endswith("TiB")
+
+
+class TestFmtBandwidth:
+    def test_gb_s(self):
+        assert fmt_bandwidth(16e9) == "16.0 GB/s"
+
+    def test_b_s(self):
+        assert fmt_bandwidth(500.0) == "500.0 B/s"
+
+
+class TestFmtTime:
+    def test_zero(self):
+        assert fmt_time(0) == "0 s"
+
+    def test_microseconds(self):
+        assert fmt_time(32 * US) == "32.00 us"
+
+    def test_seconds(self):
+        assert fmt_time(1.5) == "1.500 s"
+
+    def test_milliseconds(self):
+        assert fmt_time(2.5e-3) == "2.50 ms"
+
+    def test_nanoseconds(self):
+        assert fmt_time(5e-9) == "5.0 ns"
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("n", [1, 2, 4, 64, 65536, 2**30])
+    def test_powers_of_two(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 100, 2**30 + 1])
+    def test_non_powers_of_two(self, n):
+        assert not is_power_of_two(n)
+
+    def test_ceil_div_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_ceil_div_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_ceil_div_zero_numerator(self):
+        assert ceil_div(0, 4) == 0

@@ -1,0 +1,85 @@
+"""Tests for trace program serialization."""
+
+import json
+
+import pytest
+
+import repro
+from repro.errors import TraceError
+from repro.trace.io import (
+    FORMAT_VERSION,
+    load_program,
+    program_from_dict,
+    program_to_dict,
+    save_program,
+)
+
+
+@pytest.fixture
+def program():
+    return repro.get_workload("pagerank").build(4, scale=0.1, iterations=2)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, program):
+        restored = program_from_dict(program_to_dict(program))
+        assert restored.name == program.name
+        assert restored.num_gpus == program.num_gpus
+        assert restored.buffers == program.buffers
+        assert restored.phases == program.phases
+        assert restored.metadata == program.metadata
+
+    def test_file_round_trip(self, program, tmp_path):
+        path = tmp_path / "trace.json"
+        save_program(program, path)
+        restored = load_program(path)
+        assert restored.phases == program.phases
+
+    def test_serialised_form_is_json(self, program, tmp_path):
+        path = tmp_path / "trace.json"
+        save_program(program, path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == FORMAT_VERSION
+        assert data["name"] == "pagerank"
+
+    def test_simulation_identical_after_round_trip(self, program):
+        config = repro.default_system(4)
+        restored = program_from_dict(program_to_dict(program))
+        a = repro.simulate(program, "memcpy", config)
+        b = repro.simulate(restored, "memcpy", config)
+        assert a.total_time == b.total_time
+        assert a.interconnect_bytes == b.interconnect_bytes
+
+    def test_every_workload_round_trips(self):
+        for name in repro.workload_names():
+            program = repro.get_workload(name).build(2, scale=0.1, iterations=1)
+            restored = program_from_dict(program_to_dict(program))
+            assert restored.phases == program.phases, name
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, program):
+        data = program_to_dict(program)
+        data["format_version"] = 99
+        with pytest.raises(TraceError):
+            program_from_dict(data)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceError):
+            load_program(path)
+
+    def test_inconsistent_program_rejected(self, program, tmp_path):
+        # Corrupt an access to overrun its buffer: reconstruction must
+        # re-validate and refuse.
+        data = program_to_dict(program)
+        data["phases"][1]["kernels"][0]["accesses"][0]["length"] = 10**12
+        with pytest.raises(TraceError):
+            program_from_dict(data)
+
+    def test_defaults_fill_optional_fields(self, program):
+        data = program_to_dict(program)
+        del data["phases"][0]["kernels"][0]["launch_overhead"]
+        restored = program_from_dict(data)
+        assert restored.phases[0].kernels[0].launch_overhead == 5e-6

@@ -1,0 +1,88 @@
+"""Unit tests for access descriptors."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.records import AccessRange, MemOp, PatternKind, PatternSpec, Scope
+
+
+class TestMemOp:
+    def test_is_store(self):
+        assert not MemOp.READ.is_store
+        assert MemOp.WRITE.is_store
+        assert MemOp.ATOMIC.is_store
+
+
+class TestPatternSpec:
+    def test_defaults(self):
+        pattern = PatternSpec()
+        assert pattern.kind is PatternKind.SEQUENTIAL
+        assert pattern.bytes_per_txn == 128
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(TraceError):
+            PatternSpec(stride=0)
+
+    def test_rejects_bad_touch_fraction(self):
+        with pytest.raises(TraceError):
+            PatternSpec(touch_fraction=0.0)
+        with pytest.raises(TraceError):
+            PatternSpec(touch_fraction=1.5)
+
+    def test_rejects_bad_revisit_prob(self):
+        with pytest.raises(TraceError):
+            PatternSpec(revisit_prob=1.0)
+        with pytest.raises(TraceError):
+            PatternSpec(revisit_prob=-0.1)
+
+    def test_rejects_bad_txn_bytes(self):
+        with pytest.raises(TraceError):
+            PatternSpec(bytes_per_txn=0)
+        with pytest.raises(TraceError):
+            PatternSpec(bytes_per_txn=256)
+
+    def test_hashable(self):
+        assert hash(PatternSpec()) == hash(PatternSpec())
+
+
+class TestAccessRange:
+    def test_end(self):
+        access = AccessRange("b", 128, 256, MemOp.READ)
+        assert access.end == 384
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(TraceError):
+            AccessRange("b", -1, 10, MemOp.READ)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(TraceError):
+            AccessRange("b", 0, 0, MemOp.READ)
+
+    def test_rejects_zero_repeat(self):
+        with pytest.raises(TraceError):
+            AccessRange("b", 0, 128, MemOp.READ, repeat=0)
+
+    def test_default_scope_weak(self):
+        assert AccessRange("b", 0, 128, MemOp.WRITE).scope is Scope.WEAK
+
+    def test_total_bytes_dense(self):
+        access = AccessRange("b", 0, 128 * 10, MemOp.WRITE)
+        assert access.total_bytes() == 1280
+
+    def test_total_bytes_repeat(self):
+        access = AccessRange("b", 0, 128 * 10, MemOp.WRITE, repeat=3)
+        assert access.total_bytes() == 3840
+
+    def test_total_bytes_partial_lines(self):
+        pattern = PatternSpec(bytes_per_txn=16)
+        access = AccessRange("b", 0, 128 * 10, MemOp.ATOMIC, pattern)
+        assert access.total_bytes() == 160
+
+    def test_total_bytes_strided(self):
+        pattern = PatternSpec(PatternKind.STRIDED, stride=2)
+        access = AccessRange("b", 0, 128 * 10, MemOp.READ, pattern)
+        assert access.total_bytes() == 5 * 128
+
+    def test_footprint_is_range_length(self):
+        access = AccessRange("b", 0, 4096, MemOp.READ)
+        assert access.footprint_bytes() == 4096

@@ -1,0 +1,83 @@
+"""Tests for the all-to-all workloads (ALS and CT)."""
+
+import pytest
+
+from repro.trace.records import MemOp, PatternKind
+from repro.workloads.als import make_als
+from repro.workloads.ct import make_ct
+
+
+class TestALS:
+    def test_alternating_phases(self):
+        program = make_als().build(4, scale=0.1, iterations=2)
+        names = [p.name for p in program.phases if p.iteration >= 0]
+        assert "update_users" in names[0]
+        assert "update_items" in names[1]
+
+    def test_gather_reads_whole_opposite_factor(self):
+        program = make_als().build(4, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        gathers = [a for a in kernel.reads() if a.buffer == "items"]
+        assert gathers[0].length == program.buffer("items").size
+
+    def test_gather_has_repeat_without_locality(self):
+        # Figure 10's ALS/RDL pathology: repeated sweeps of a random
+        # stream refetch lines over the interconnect.
+        program = make_als().build(4, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        gather = [a for a in kernel.reads() if a.buffer == "items"][0]
+        assert gather.repeat >= 2
+        assert gather.pattern.kind is PatternKind.RANDOM
+
+    def test_updates_are_atomics(self):
+        # Section 7.4: ALS's 0% write-queue hit rate comes from atomics.
+        program = make_als().build(4, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        stores = kernel.stores()
+        assert all(a.op is MemOp.ATOMIC for a in stores)
+
+    def test_ratings_partitioned(self):
+        program = make_als().build(4, scale=0.1, iterations=1)
+        phase = program.phases_in_iteration(0)[0]
+        offsets = set()
+        for kernel in phase.kernels:
+            ratings = [a for a in kernel.reads() if a.buffer == "ratings"][0]
+            offsets.add((ratings.offset, ratings.end))
+        assert len(offsets) == 4
+
+
+class TestCT:
+    def test_forward_backward_phases(self):
+        program = make_ct().build(4, scale=0.1, iterations=1)
+        names = [p.name for p in program.phases_in_iteration(0)]
+        assert any("forward" in n for n in names)
+        assert any("backward" in n for n in names)
+
+    def test_forward_reads_whole_image(self):
+        program = make_ct().build(4, scale=0.1, iterations=1)
+        forward = program.phases_in_iteration(0)[0]
+        for kernel in forward.kernels:
+            read = kernel.reads()[0]
+            assert read.buffer == "image"
+            assert read.length == program.buffer("image").size
+
+    def test_writes_have_temporal_reuse(self):
+        # Figure 14: CT's write-queue hit-rate curve needs write revisits.
+        program = make_ct().build(4, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        write = kernel.stores()[0]
+        assert write.pattern.kind is PatternKind.REUSE
+        assert write.pattern.revisit_prob > 0.3
+
+    def test_high_arithmetic_intensity(self):
+        # CT is the compute-heavy app where bulk memcpy amortises well.
+        assert make_ct().arithmetic_intensity > make_als().arithmetic_intensity
+
+    def test_sino_partitioned_across_gpus(self):
+        program = make_ct().build(4, scale=0.1, iterations=1)
+        forward = program.phases_in_iteration(0)[0]
+        spans = set()
+        for kernel in forward.kernels:
+            write = kernel.stores()[0]
+            spans.add((write.offset, write.end))
+        assert len(spans) == 4

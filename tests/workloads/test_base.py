@@ -1,0 +1,69 @@
+"""Tests for workload base helpers."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.records import MemOp
+from repro.workloads.base import scaled_size, setup_phase, shard_bounds
+
+
+class TestSetupPhase:
+    def test_tagged_as_setup(self):
+        phase = setup_phase([("a", 65536 * 4)], num_gpus=4)
+        assert phase.iteration == -1
+        assert phase.name == "setup/init"
+
+    def test_every_gpu_writes_its_shard(self):
+        phase = setup_phase([("a", 65536 * 4)], num_gpus=4)
+        assert len(phase.kernels) == 4
+        spans = []
+        for kernel in phase.kernels:
+            store = kernel.accesses[0]
+            assert store.op is MemOp.WRITE
+            spans.append((store.offset, store.end))
+        spans.sort()
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 65536 * 4
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+
+    def test_multiple_buffers(self):
+        phase = setup_phase([("a", 65536), ("b", 65536)], num_gpus=2)
+        assert len(phase.kernels[0].accesses) == 2
+
+    def test_single_gpu(self):
+        phase = setup_phase([("a", 65536)], num_gpus=1)
+        assert phase.kernels[0].accesses[0].length == 65536
+
+
+class TestScaledSize:
+    def test_identity_at_scale_one(self):
+        assert scaled_size(65536, 1.0) == 65536
+
+    def test_rounds_up_to_granule(self):
+        assert scaled_size(65537, 1.0) == 131072
+
+    def test_floor_is_one_granule(self):
+        assert scaled_size(65536, 0.0001) == 65536
+
+    def test_custom_granule(self):
+        assert scaled_size(1000, 1.0, granule=512) == 1024
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(TraceError):
+            scaled_size(65536, 0.0)
+
+
+class TestShardBounds:
+    def test_single_part(self):
+        assert shard_bounds(1000, 1, 0) == (0, 1000)
+
+    def test_last_shard_absorbs_remainder(self):
+        start, end = shard_bounds(1000, 3, 2)
+        assert end == 1000
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TraceError):
+            shard_bounds(1000, 3, 3)
+        with pytest.raises(TraceError):
+            shard_bounds(1000, 3, -1)

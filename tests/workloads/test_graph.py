@@ -1,0 +1,71 @@
+"""Tests for the graph workloads (Pagerank, SSSP)."""
+
+import pytest
+
+from repro.trace.records import MemOp, PatternKind
+from repro.workloads.graph import make_pagerank, make_sssp
+
+
+class TestStructure:
+    def test_buffers(self):
+        program = make_pagerank().build(4, scale=0.1, iterations=1)
+        assert {b.name for b in program.buffers} == {"values", "updates", "edges"}
+
+    def test_one_fused_phase_per_iteration(self):
+        program = make_pagerank().build(4, scale=0.1, iterations=3)
+        for it in range(3):
+            assert len(program.phases_in_iteration(it)) == 1
+
+    def test_gather_covers_whole_values(self):
+        program = make_pagerank().build(4, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        gathers = [
+            a for a in kernel.reads()
+            if a.buffer == "values" and a.pattern.kind is PatternKind.RANDOM
+        ]
+        assert len(gathers) == 1
+        assert gathers[0].length == program.buffer("values").size
+
+    def test_edges_partitioned_privately(self):
+        program = make_pagerank().build(4, scale=0.1, iterations=1)
+        phase = program.phases_in_iteration(0)[0]
+        spans = []
+        for kernel in phase.kernels:
+            reads = [a for a in kernel.reads() if a.buffer == "edges"]
+            assert len(reads) == 1
+            spans.append((reads[0].offset, reads[0].end))
+        # Non-overlapping, covering partition.
+        spans.sort()
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+
+
+class TestAtomics:
+    @pytest.mark.parametrize("factory", [make_pagerank, make_sssp])
+    def test_scatter_is_atomic(self, factory):
+        program = factory().build(4, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        atomics = [a for a in kernel.accesses if a.op is MemOp.ATOMIC]
+        assert atomics
+        for access in atomics:
+            assert access.buffer == "updates"
+            assert access.pattern.bytes_per_txn < 128  # partial lines
+
+    def test_neighbor_structure(self):
+        program = make_pagerank().build(4, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernel_on(1)
+        atomics = [a for a in kernel.accesses if a.op is MemOp.ATOMIC]
+        # own + left + right + hub tail
+        assert len(atomics) == 4
+
+    def test_single_gpu_scatter_local_only(self):
+        program = make_pagerank().build(1, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        atomics = [a for a in kernel.accesses if a.op is MemOp.ATOMIC]
+        assert len(atomics) == 1
+
+    def test_sssp_sparser_than_pagerank(self):
+        pr = make_pagerank()
+        sp = make_sssp()
+        assert sp.params.own_touch < pr.params.own_touch
+        assert sp.remote_mlp < pr.remote_mlp

@@ -1,0 +1,65 @@
+"""Tests for the Listing 1 mvmul workload."""
+
+import pytest
+
+import repro
+from repro.trace.records import MemOp
+from repro.workloads.mvmul import make_mvmul
+
+
+class TestStructure:
+    def test_listing1_buffers(self):
+        program = make_mvmul().build(4, scale=0.25, iterations=2)
+        assert {b.name for b in program.buffers} == {"mat", "vec1", "vec2"}
+
+    def test_two_launches_per_iteration(self):
+        # Listing 1 calls mvmul twice inside each tracked iteration.
+        program = make_mvmul().build(4, scale=0.25, iterations=2)
+        assert len(program.phases_in_iteration(0)) == 2
+
+    def test_vector_ping_pong(self):
+        program = make_mvmul().build(2, scale=0.25, iterations=1)
+        first, second = program.phases_in_iteration(0)
+        out_first = first.kernels[0].stores()[0].buffer
+        out_second = second.kernels[0].stores()[0].buffer
+        assert {out_first, out_second} == {"vec1", "vec2"}
+
+    def test_reads_whole_input_vector(self):
+        program = make_mvmul().build(4, scale=0.25, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        vec_reads = [a for a in kernel.reads() if a.buffer.startswith("vec")]
+        assert vec_reads[0].length == program.buffer(vec_reads[0].buffer).size
+
+    def test_matrix_rows_partitioned(self):
+        program = make_mvmul().build(4, scale=0.25, iterations=1)
+        phase = program.phases_in_iteration(0)[0]
+        spans = set()
+        for kernel in phase.kernels:
+            mat = [a for a in kernel.reads() if a.buffer == "mat"][0]
+            spans.add((mat.offset, mat.end))
+        assert len(spans) == 4
+
+
+class TestGPSBehaviour:
+    def test_matrix_pages_demoted_vectors_stay(self):
+        # The paper's point: tracking demotes single-subscriber matrix
+        # pages to conventional pages while replicated vectors remain GPS.
+        program = make_mvmul().build(4, scale=0.25, iterations=3)
+        result = repro.simulate(program, "gps", repro.default_system(4))
+        tracking = result.extras["tracking"]
+        assert tracking["demoted"] > 0
+        # Shared pages (the vectors) are all-to-all.
+        assert set(result.subscriber_histogram) == {4}
+
+    def test_gps_traffic_is_vectors_only(self):
+        program = make_mvmul().build(4, scale=0.25, iterations=3)
+        config = repro.default_system(4)
+        gps = repro.simulate(program, "gps", config)
+        memcpy = repro.simulate(program, "memcpy", config)
+        # memcpy also only broadcasts written vector slices here, so GPS
+        # steady traffic is in the same ballpark (plus profiling).
+        assert gps.interconnect_bytes < 3 * memcpy.interconnect_bytes
+
+    def test_registered_as_extra(self):
+        assert repro.get_workload("mvmul").info.name == "mvmul"
+        assert "mvmul" not in repro.workload_names()

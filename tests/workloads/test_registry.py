@@ -1,0 +1,89 @@
+"""Tests for the workload registry and Table 2 fidelity."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+TABLE2 = {
+    "jacobi": "Peer-to-peer",
+    "pagerank": "Peer-to-Peer",
+    "sssp": "Many-to-many",
+    "als": "All-to-all",
+    "ct": "All-to-all",
+    "eqwp": "Peer-to-peer",
+    "diffusion": "Peer-to-peer",
+    "hit": "Peer-to-peer",
+}
+
+
+class TestRegistry:
+    def test_all_eight_applications(self):
+        assert workload_names() == list(TABLE2)
+
+    def test_communication_patterns_match_table2(self):
+        for name, pattern in TABLE2.items():
+            assert get_workload(name).info.comm_pattern == pattern
+
+    def test_unknown_workload(self):
+        with pytest.raises(TraceError):
+            get_workload("zzz")
+
+    def test_descriptions_nonempty(self):
+        for workload in WORKLOADS.values():
+            assert workload.info.description
+
+
+class TestBuildContract:
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_builds_for_various_gpu_counts(self, name):
+        for num_gpus in (1, 2, 4):
+            program = get_workload(name).build(num_gpus, scale=0.1, iterations=2)
+            assert program.num_gpus == num_gpus
+            assert program.iterations == 2
+
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_setup_phase_present(self, name):
+        program = get_workload(name).build(4, scale=0.1, iterations=1)
+        assert len(program.phases_in_iteration(-1)) == 1
+        assert program.phases[0].iteration == -1
+
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_every_gpu_participates(self, name):
+        program = get_workload(name).build(4, scale=0.1, iterations=1)
+        for phase in program.phases:
+            assert phase.gpus == tuple(range(4))
+
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_metadata(self, name):
+        program = get_workload(name).build(4, scale=0.1, iterations=1)
+        assert program.metadata["workload"] == name
+        assert program.metadata["remote_mlp"] >= 1
+        assert program.metadata["scale"] == 0.1
+
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_has_shared_buffers(self, name):
+        program = get_workload(name).build(4, scale=0.1, iterations=1)
+        assert program.shared_buffers()
+
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_deterministic_build(self, name):
+        a = get_workload(name).build(4, scale=0.1, iterations=2)
+        b = get_workload(name).build(4, scale=0.1, iterations=2)
+        assert a.phases == b.phases
+        assert a.buffers == b.buffers
+
+
+class TestStrongScaling:
+    @pytest.mark.parametrize("name", list(TABLE2))
+    def test_total_problem_fixed(self, name):
+        # Strong scaling: total compute is (approximately) independent of
+        # the GPU count; per-GPU work shrinks. Halo recomputation adds a
+        # genuine overhead that shrinks as the problem grows, so this runs
+        # at a larger scale with a generous tolerance.
+        one = get_workload(name).build(1, scale=0.4, iterations=2)
+        four = get_workload(name).build(4, scale=0.4, iterations=2)
+        assert four.total_compute_ops() == pytest.approx(
+            one.total_compute_ops(), rel=0.6
+        )
+        assert four.total_compute_ops() < 2 * one.total_compute_ops()

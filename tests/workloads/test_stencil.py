@@ -1,0 +1,100 @@
+"""Tests for the stencil workload family."""
+
+import pytest
+
+from repro.trace.records import MemOp, PatternKind
+from repro.workloads.base import scaled_size, shard_bounds
+from repro.workloads.stencil import make_diffusion, make_eqwp, make_hit, make_jacobi
+
+
+class TestStructure:
+    def test_jacobi_double_buffered(self):
+        program = make_jacobi().build(4, scale=0.1, iterations=1)
+        assert {b.name for b in program.buffers} == {"field_a", "field_b"}
+
+    def test_full_period_per_iteration(self):
+        # One iteration spans a full ping-pong period (even sub-steps), so
+        # GPS profiling over iteration 0 sees every page's access set.
+        program = make_jacobi().build(4, scale=0.1, iterations=1)
+        iteration_phases = program.phases_in_iteration(0)
+        assert len(iteration_phases) % 2 == 0
+
+    def test_hit_has_multiple_substeps(self):
+        hit = make_hit().build(4, scale=0.1, iterations=1)
+        jacobi = make_jacobi().build(4, scale=0.1, iterations=1)
+        assert len(hit.phases_in_iteration(0)) > len(jacobi.phases_in_iteration(0))
+
+    def test_interior_kernels_read_two_halos(self):
+        program = make_jacobi().build(4, scale=0.2, iterations=1)
+        phase = program.phases_in_iteration(0)[0]
+        interior = phase.kernel_on(1)
+        edge = phase.kernel_on(0)
+        assert len(interior.reads()) == 3  # shard + 2 halos
+        assert len(edge.reads()) == 2  # shard + 1 halo
+
+    def test_single_gpu_has_no_halos(self):
+        program = make_jacobi().build(1, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        assert len(kernel.reads()) == 1
+
+    def test_writes_cover_own_shard(self):
+        program = make_jacobi().build(4, scale=0.2, iterations=1)
+        field = program.buffer("field_a").size
+        phase = program.phases_in_iteration(0)[0]
+        for kernel in phase.kernels:
+            store = kernel.stores()[0]
+            start, end = shard_bounds(field, 4, kernel.gpu)
+            assert (store.offset, store.end) == (start, end)
+
+    def test_ping_pong_alternates(self):
+        program = make_jacobi().build(2, scale=0.1, iterations=1)
+        p0, p1 = program.phases_in_iteration(0)
+        dst0 = p0.kernels[0].stores()[0].buffer
+        dst1 = p1.kernels[0].stores()[0].buffer
+        assert {dst0, dst1} == {"field_a", "field_b"}
+
+
+class TestPatterns:
+    def test_jacobi_writes_sequential(self):
+        # Figure 14: Jacobi's 0% write-queue hit rate comes from fully
+        # streaming writes (SM coalescer captures all locality).
+        program = make_jacobi().build(4, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        assert kernel.stores()[0].pattern.kind is PatternKind.SEQUENTIAL
+
+    @pytest.mark.parametrize("factory", [make_eqwp, make_diffusion, make_hit])
+    def test_other_stencils_have_write_reuse(self, factory):
+        program = factory().build(4, scale=0.1, iterations=1)
+        kernel = program.phases_in_iteration(0)[0].kernels[0]
+        pattern = kernel.stores()[0].pattern
+        assert pattern.kind is PatternKind.REUSE
+        assert pattern.revisit_prob > 0
+
+    def test_no_atomics_in_stencils(self):
+        for factory in (make_jacobi, make_eqwp, make_diffusion, make_hit):
+            program = factory().build(4, scale=0.1, iterations=1)
+            for kernel in program.iter_kernels():
+                assert all(a.op is not MemOp.ATOMIC for a in kernel.accesses)
+
+
+class TestHelpers:
+    def test_scaled_size_rounds_to_page(self):
+        assert scaled_size(100_000, 1.0) == 131072
+        assert scaled_size(100_000, 0.01) == 65536  # floor of one page
+
+    def test_shard_bounds_cover_everything(self):
+        total = 1_000_000
+        spans = [shard_bounds(total, 4, i) for i in range(4)]
+        assert spans[0][0] == 0
+        assert spans[-1][1] == total
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+
+    def test_shard_bounds_line_aligned(self):
+        for i in range(4):
+            start, end = shard_bounds(1_000_000, 4, i)
+            assert start % 128 == 0
+
+    def test_shard_index_validated(self):
+        with pytest.raises(Exception):
+            shard_bounds(1000, 4, 4)
