@@ -8,7 +8,14 @@ benchmark timer measures how long the simulation itself takes.
 Environment knobs (for constrained machines):
 
 * ``REPRO_BENCH_SCALE`` — workload scale factor (default 1.0);
-* ``REPRO_BENCH_ITERATIONS`` — iterations per app (default 16).
+* ``REPRO_BENCH_ITERATIONS`` — iterations per app (default 16);
+* ``REPRO_CACHE_DIR`` — persistent simulation-result cache directory
+  (default ``.repro-cache/``); repeat benchmark invocations reuse cached
+  results across processes;
+* ``REPRO_NO_CACHE`` — set to ``1`` to disable the persistent cache and
+  re-simulate everything (use this when timing the simulator itself);
+* ``REPRO_MAX_WORKERS`` — simulation worker processes for ``run_many``
+  fan-out (default: all cores; ``1`` forces serial execution).
 """
 
 from __future__ import annotations

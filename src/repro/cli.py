@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro run jacobi --paradigm gps --gpus 4 --link pcie6
     python -m repro compare ct --gpus 4 --scale 0.5
     python -m repro figure fig8 --scale 0.5 --iterations 8 --json out.json
+    python -m repro cache show
     python -m repro list
 
 Everything the CLI does goes through the same public API the examples use;
@@ -29,6 +30,7 @@ from . import (
 )
 from .harness import experiments
 from .harness.ascii_plot import bar_chart
+from .harness.runner import cache_stats, clear_disk_cache, disk_cache_info
 from .harness.export import to_json
 from .harness.report import format_speedup_matrix, format_table
 from .units import fmt_bytes, fmt_time
@@ -78,6 +80,20 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", type=float, default=1.0)
     figure.add_argument("--iterations", type=int, default=16)
     figure.add_argument("--json", metavar="PATH", help="also write the result as JSON")
+    figure.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="simulation worker processes (default: REPRO_MAX_WORKERS or all cores)",
+    )
+    figure.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent result cache for this invocation",
+    )
+
+    cache = sub.add_parser("cache", help="inspect or clear the persistent result cache")
+    cache.add_argument("action", nargs="?", choices=("show", "clear"), default="show")
 
     sub.add_parser("list", help="list workloads, paradigms, and interconnects")
 
@@ -145,6 +161,12 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_figure(args) -> int:
+    import os
+
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+    if args.workers is not None:
+        os.environ["REPRO_MAX_WORKERS"] = str(args.workers)
     driver, takes_knobs = FIGURES[args.name]
     kwargs = {}
     if takes_knobs:
@@ -165,6 +187,30 @@ def _cmd_figure(args) -> int:
     if args.json:
         to_json(result, path=args.json)
         print(f"(wrote {args.json})")
+    stats = cache_stats()
+    if stats.lookups:
+        print(f"cache: {stats.report()}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    info = disk_cache_info()
+    if args.action == "clear":
+        if not info["enabled"]:
+            print("persistent cache disabled (REPRO_NO_CACHE is set); nothing to clear")
+            return 0
+        removed = clear_disk_cache()
+        print(f"removed {removed} cached results from {info['directory']}")
+        return 0
+    if not info["enabled"]:
+        print("persistent cache: disabled (REPRO_NO_CACHE is set)")
+        return 0
+    print(f"persistent cache: {info['directory']}")
+    print(f"model fingerprint: {info['model']}")
+    print(f"entries          : {info['entries']} ({fmt_bytes(info['size_bytes'])})")
+    stats = cache_stats()
+    if stats.lookups:
+        print(f"this process     : {stats.report()}")
     return 0
 
 
@@ -234,6 +280,7 @@ def main(argv=None) -> int:
         "trace": _cmd_trace,
         "run-trace": _cmd_run_trace,
         "lint": _cmd_lint,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

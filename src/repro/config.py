@@ -13,6 +13,8 @@ properties so the stored fields stay minimal and validation stays in
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 
@@ -134,11 +136,12 @@ class GPSConfig:
         return self.physical_address_bits - int(math.log2(self.page_size))
 
     def gps_pte_bits(self, num_gpus: int) -> int:
-        """Minimum GPS-PTE width: a VPN plus one PPN per possible subscriber.
+        """Minimum GPS-PTE width: a VPN plus one PPN per possible *remote* subscriber.
 
-        For 64 KiB pages, VPN=33, PPN=31, 4 GPUs the paper quotes 126 bits;
-        with the +1 valid bit per mapping slot used here the value reported
-        is ``33 + 31 * 3 = 126`` for remote subscribers only.
+        For 64 KiB pages (VPN=33, PPN=31) and 4 GPUs the paper (section 5.1)
+        quotes 126 bits, i.e. ``33 + 31 * 3`` — the VPN tag plus one PPN per
+        remote GPU. Valid/metadata bits are implementation bookkeeping on top
+        of this architectural minimum and are deliberately not counted.
         """
         remote = num_gpus - 1
         return self.vpn_bits + self.ppn_bits * remote
@@ -258,3 +261,33 @@ class SystemConfig:
 def default_system(num_gpus: int = 4, link: LinkConfig = PCIE6) -> SystemConfig:
     """The evaluation system: ``num_gpus`` GV100s on the given interconnect."""
     return SystemConfig(num_gpus=num_gpus, link=link)
+
+
+# -- canonical config fingerprinting ------------------------------------------
+
+#: Bump when a :class:`SystemConfig` field changes *meaning* (not value):
+#: fingerprints embed this, so every cached simulation result keyed on the
+#: old interpretation invalidates at once.
+CONFIG_SCHEMA_VERSION = 1
+
+
+def config_fingerprint(config: SystemConfig, *, extra=None) -> str:
+    """Complete, canonical, order-stable fingerprint of a :class:`SystemConfig`.
+
+    Every field of the config — including all nested :class:`GPUConfig`,
+    :class:`GPSConfig`, :class:`LinkConfig`, and :class:`UMConfig` knobs —
+    participates via :func:`dataclasses.asdict`, so two configs differing in
+    *any* field hash differently. The JSON canonicalisation sorts keys and
+    uses Python's shortest-roundtrip float repr, making the digest stable
+    across processes and platforms. ``extra`` (any JSON-able value) is folded
+    in verbatim; the memoised runner uses it to scope keys by workload,
+    paradigm, and model version.
+    """
+    payload = {
+        "schema": CONFIG_SCHEMA_VERSION,
+        "config": dataclasses.asdict(config),
+    }
+    if extra is not None:
+        payload["extra"] = extra
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -22,7 +22,17 @@ from .experiments import (
     table2_applications,
 )
 from .report import format_table, geomean
-from .runner import run_simulation, run_speedup, clear_run_cache
+from .runner import (
+    CacheStats,
+    SimJob,
+    cache_stats,
+    clear_disk_cache,
+    clear_run_cache,
+    disk_cache_info,
+    run_many,
+    run_simulation,
+    run_speedup,
+)
 
 __all__ = [
     "fig1_motivation",
@@ -42,5 +52,11 @@ __all__ = [
     "geomean",
     "run_simulation",
     "run_speedup",
+    "run_many",
+    "SimJob",
+    "CacheStats",
+    "cache_stats",
     "clear_run_cache",
+    "clear_disk_cache",
+    "disk_cache_info",
 ]

@@ -19,12 +19,22 @@ from ..paradigms.registry import FIGURE8_ORDER
 from ..system.analysis import get_analysis
 from ..workloads.registry import WORKLOADS, get_workload, workload_names
 from .report import geomean
-from .runner import run_simulation, run_speedup
+from .runner import SimJob, run_many
 
 #: The four applications whose write streams coalesce (Figure 14 curves);
 #: the other four sit at 0% by construction (sequential writes or atomics).
 COALESCING_APPS = ("ct", "eqwp", "diffusion", "hit")
 ZERO_HIT_APPS = ("jacobi", "pagerank", "sssp", "als")
+
+
+def _run_indexed(jobs: "list[SimJob]") -> dict:
+    """Fan a job list through the parallel runner; index results by job key.
+
+    Drivers build their whole simulation grid up front, submit it once (so
+    uncached jobs run concurrently across worker processes), then read
+    results back by reconstructing the same :class:`SimJob`.
+    """
+    return {job.key(): result for job, result in zip(jobs, run_many(jobs))}
 
 
 # -- Figure 1 -------------------------------------------------------------------
@@ -45,6 +55,23 @@ def fig1_motivation(scale: float = 1.0, iterations: int = 16, workloads=None) ->
     """
     workloads = list(workloads or workload_names())
     interconnects = ["pcie3", "pcie6", "infinite"]
+    jobs = []
+    for workload in workloads:
+        for link in ("pcie3", "pcie6"):
+            jobs.append(SimJob(workload, "memcpy", 1, link, scale, iterations))
+            jobs.extend(
+                SimJob(workload, p, 4, link, scale, iterations) for p in _FIG1_PARADIGMS
+            )
+        # The upper bound ignores all transfer costs regardless of paradigm
+        # (paper section 6).
+        jobs.append(SimJob(workload, "infinite", 4, "pcie6", scale, iterations))
+    results = _run_indexed(jobs)
+
+    def _speedup(workload: str, paradigm: str, link: str) -> float:
+        single = results[SimJob(workload, "memcpy", 1, link, scale, iterations).key()]
+        multi = results[SimJob(workload, paradigm, 4, link, scale, iterations).key()]
+        return single.total_time / multi.total_time
+
     speedups: dict = {}
     best_paradigm: dict = {}
     for workload in workloads:
@@ -52,17 +79,10 @@ def fig1_motivation(scale: float = 1.0, iterations: int = 16, workloads=None) ->
         best_paradigm[workload] = {}
         for link in interconnects:
             if link == "infinite":
-                # The upper bound ignores all transfer costs regardless of
-                # paradigm (paper section 6).
-                speedups[workload][link] = run_speedup(
-                    workload, "infinite", 4, "pcie6", scale, iterations
-                )
+                speedups[workload][link] = _speedup(workload, "infinite", "pcie6")
                 best_paradigm[workload][link] = "infinite"
                 continue
-            candidates = {
-                p: run_speedup(workload, p, 4, link, scale, iterations)
-                for p in _FIG1_PARADIGMS
-            }
+            candidates = {p: _speedup(workload, p, link) for p in _FIG1_PARADIGMS}
             best = max(candidates, key=candidates.get)
             speedups[workload][link] = candidates[best]
             best_paradigm[workload][link] = best
@@ -106,10 +126,19 @@ def fig8_end_to_end(
 ) -> dict:
     """Figure 8: 4-GPU speedup of every paradigm on every application."""
     workloads = list(workloads or workload_names())
+    jobs = [SimJob(w, "memcpy", 1, link, scale, iterations) for w in workloads]
+    jobs += [
+        SimJob(w, p, num_gpus, link, scale, iterations)
+        for w in workloads
+        for p in paradigms
+    ]
+    results = _run_indexed(jobs)
     speedups: dict = {}
     for workload in workloads:
+        single = results[SimJob(workload, "memcpy", 1, link, scale, iterations).key()]
         speedups[workload] = {
-            p: run_speedup(workload, p, num_gpus, link, scale, iterations)
+            p: single.total_time
+            / results[SimJob(workload, p, num_gpus, link, scale, iterations).key()].total_time
             for p in paradigms
         }
     mean = {p: geomean([speedups[w][p] for w in workloads]) for p in paradigms}
@@ -135,9 +164,11 @@ def fig9_subscriber_distribution(
 ) -> dict:
     """Figure 9: subscriber-count distribution of shared GPS pages."""
     workloads = list(workloads or workload_names())
+    results = run_many(
+        [SimJob(w, "gps", num_gpus, "pcie6", scale, iterations) for w in workloads]
+    )
     distribution: dict = {}
-    for workload in workloads:
-        result = run_simulation(workload, "gps", num_gpus, "pcie6", scale, iterations)
+    for workload, result in zip(workloads, results):
         hist = result.subscriber_histogram
         total = sum(hist.values())
         distribution[workload] = {
@@ -161,18 +192,25 @@ def fig10_interconnect_traffic(
     """Figure 10: total interconnect bytes, normalised to memcpy."""
     workloads = list(workloads or workload_names())
     paradigms = ["um", "um_hints", "rdl", "gps"]
+    jobs = [
+        SimJob(w, p, num_gpus, "pcie6", scale, iterations)
+        for w in workloads
+        for p in ["memcpy"] + paradigms
+    ]
+    results = _run_indexed(jobs)
+
+    def _bytes(workload: str, paradigm: str) -> int:
+        job = SimJob(workload, paradigm, num_gpus, "pcie6", scale, iterations)
+        return results[job.key()].interconnect_bytes
+
     normalized: dict = {}
     raw: dict = {}
     for workload in workloads:
-        base = run_simulation(
-            workload, "memcpy", num_gpus, "pcie6", scale, iterations
-        ).interconnect_bytes
+        base = _bytes(workload, "memcpy")
         raw[workload] = {"memcpy": base}
         normalized[workload] = {}
         for paradigm in paradigms:
-            moved = run_simulation(
-                workload, paradigm, num_gpus, "pcie6", scale, iterations
-            ).interconnect_bytes
+            moved = _bytes(workload, paradigm)
             raw[workload][paradigm] = moved
             normalized[workload][paradigm] = moved / base if base else float("inf")
     return {
@@ -192,11 +230,21 @@ def fig11_subscription_benefit(
 ) -> dict:
     """Figure 11: GPS with vs without subscription tracking."""
     workloads = list(workloads or workload_names())
+    variants = ("gps_nosub", "gps")
+    jobs = [SimJob(w, "memcpy", 1, "pcie6", scale, iterations) for w in workloads]
+    jobs += [
+        SimJob(w, p, num_gpus, "pcie6", scale, iterations)
+        for w in workloads
+        for p in variants
+    ]
+    results = _run_indexed(jobs)
     speedups: dict = {}
     for workload in workloads:
+        single = results[SimJob(workload, "memcpy", 1, "pcie6", scale, iterations).key()]
         speedups[workload] = {
-            "gps_nosub": run_speedup(workload, "gps_nosub", num_gpus, "pcie6", scale, iterations),
-            "gps": run_speedup(workload, "gps", num_gpus, "pcie6", scale, iterations),
+            p: single.total_time
+            / results[SimJob(workload, p, num_gpus, "pcie6", scale, iterations).key()].total_time
+            for p in variants
         }
     return {
         "figure": "fig11",
@@ -237,13 +285,24 @@ def fig13_bandwidth_sensitivity(
     """Figure 13: geomean speedup of each paradigm vs PCIe generation."""
     workloads = list(workloads or workload_names())
     links = ["pcie3", "pcie4", "pcie5", "pcie6"]
+    jobs = [SimJob(w, "memcpy", 1, link, scale, iterations) for w in workloads for link in links]
+    jobs += [
+        SimJob(w, p, 4, link, scale, iterations)
+        for w in workloads
+        for link in links
+        for p in paradigms
+    ]
+    results = _run_indexed(jobs)
+
+    def _speedup(workload: str, paradigm: str, link: str) -> float:
+        single = results[SimJob(workload, "memcpy", 1, link, scale, iterations).key()]
+        multi = results[SimJob(workload, paradigm, 4, link, scale, iterations).key()]
+        return single.total_time / multi.total_time
+
     means: dict = {}
     for link in links:
         means[link] = {
-            p: geomean(
-                [run_speedup(w, p, 4, link, scale, iterations) for w in workloads]
-            )
-            for p in paradigms
+            p: geomean([_speedup(w, p, link) for w in workloads]) for p in paradigms
         }
     return {
         "figure": "fig13",
@@ -398,19 +457,29 @@ def page_size_sensitivity(
     the sweet spot.
     """
     workloads = list(workloads or workload_names())
-    times: dict = {}
-    for page_size in page_sizes:
-        config = dataclasses.replace(
+    configs = {
+        page_size: dataclasses.replace(
             default_system(num_gpus),
             gps=dataclasses.replace(GPSConfig(), page_size=page_size),
         )
-        total = 0.0
-        for workload in workloads:
-            result = run_simulation(
-                workload, "gps", num_gpus, "pcie6", scale, iterations, config=config
-            )
-            total += result.total_time
-        times[page_size] = total
+        for page_size in page_sizes
+    }
+    jobs = [
+        SimJob(w, "gps", num_gpus, "pcie6", scale, iterations, config=configs[ps])
+        for ps in page_sizes
+        for w in workloads
+    ]
+    results = _run_indexed(jobs)
+    times: dict = {}
+    for page_size in page_sizes:
+        times[page_size] = sum(
+            results[
+                SimJob(
+                    w, "gps", num_gpus, "pcie6", scale, iterations, config=configs[page_size]
+                ).key()
+            ].total_time
+            for w in workloads
+        )
     base = times[PAGE_64K]
     return {
         "figure": "sec7.4-page-size",
@@ -440,14 +509,19 @@ def weak_scaling(
     while bulk-synchronous transfers degrade (broadcast volume grows with
     N).
     """
+    jobs = [
+        SimJob(workload, paradigm, num_gpus, "pcie6", scale_per_gpu * num_gpus, iterations)
+        for paradigm in paradigms
+        for num_gpus in gpu_counts
+    ]
+    results = _run_indexed(jobs)
     times: dict = {p: {} for p in paradigms}
-    for num_gpus in gpu_counts:
-        scale = scale_per_gpu * num_gpus
-        for paradigm in paradigms:
-            result = run_simulation(
-                workload, paradigm, num_gpus, "pcie6", scale, iterations
+    for paradigm in paradigms:
+        for num_gpus in gpu_counts:
+            job = SimJob(
+                workload, paradigm, num_gpus, "pcie6", scale_per_gpu * num_gpus, iterations
             )
-            times[paradigm][num_gpus] = result.total_time
+            times[paradigm][num_gpus] = results[job.key()].total_time
     efficiency = {
         p: {n: times[p][gpu_counts[0]] / times[p][n] for n in gpu_counts}
         for p in paradigms

@@ -1,0 +1,123 @@
+"""Persistent on-disk result cache: one JSON record per simulation.
+
+Records live under a cache directory (default ``.repro-cache/`` in the
+working directory, overridable via ``REPRO_CACHE_DIR``; ``REPRO_NO_CACHE``
+disables the layer entirely). Filenames are the job fingerprints, which
+already embed the model version — a simulator upgrade therefore misses
+cleanly instead of replaying stale results. Writes are atomic
+(tmp + ``os.replace``) so concurrent processes sharing one cache directory
+never observe torn records; corrupt files are dropped and counted as
+evictions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ...system.results import SimulationResult
+from .fingerprint import MODEL_FINGERPRINT
+from .stats import CacheStats
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: On-disk record format version.
+RECORD_VERSION = 1
+
+
+class DiskCache:
+    """Fingerprint-keyed JSON store for :class:`SimulationResult` records."""
+
+    def __init__(self, directory: "str | Path", stats: "CacheStats | None" = None) -> None:
+        self.directory = Path(directory)
+        self.stats = stats if stats is not None else CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> "SimulationResult | None":
+        """Load one cached result, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self.stats.disk_errors += 1
+            self._evict(path)
+            return None
+        try:
+            if payload.get("key") != key or payload.get("record_version") != RECORD_VERSION:
+                raise ValueError("record does not match its filename")
+            return SimulationResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            self.stats.disk_errors += 1
+            self._evict(path)
+            return None
+
+    def put(self, key: str, result: SimulationResult, meta: "dict | None" = None) -> None:
+        """Persist one result atomically; failures disable nothing, they just count."""
+        record = {
+            "record_version": RECORD_VERSION,
+            "model": MODEL_FINGERPRINT,
+            "key": key,
+            "job": meta or {},
+            "result": result.to_dict(),
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(record, sort_keys=True))
+            os.replace(tmp, self._path(key))
+        except OSError:
+            self.stats.disk_errors += 1
+            return
+        self.stats.disk_writes += 1
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+            self.stats.evictions += 1
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in self._record_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.stats.evictions += removed
+        return removed
+
+    def _record_paths(self) -> "list[Path]":
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def entry_count(self) -> int:
+        """Number of persisted records."""
+        return len(self._record_paths())
+
+    def size_bytes(self) -> int:
+        """Total bytes of persisted records."""
+        return sum(p.stat().st_size for p in self._record_paths())
+
+    def entries(self) -> "list[dict]":
+        """Job metadata of every record (for ``python -m repro cache show``)."""
+        rows = []
+        for path in self._record_paths():
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            job = dict(payload.get("job", {}))
+            job["model"] = payload.get("model", "?")
+            job["key"] = payload.get("key", path.stem)[:12]
+            rows.append(job)
+        return rows

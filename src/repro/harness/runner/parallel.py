@@ -1,0 +1,91 @@
+"""Parallel fan-out for simulation job lists.
+
+The figure grid (8 apps x 6 paradigms x 4 interconnects) is embarrassingly
+parallel and fully deterministic, so ``run_many`` dedups the job list
+against the cache and fans the remaining work across a process pool. Worker
+processes only *compute* — the parent stores every result into the memo and
+the persistent cache, so disk records are written exactly once and never
+race. ``REPRO_MAX_WORKERS=1`` (or a single pending job) falls back to plain
+serial execution.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from ...system.executor import simulate
+from ...system.results import SimulationResult
+from ...workloads.registry import get_workload
+from . import memo
+from .fingerprint import SimJob
+
+#: Serial fallback threshold: a pool is not worth forking below this many
+#: uncached jobs.
+_MIN_PARALLEL_JOBS = 3
+
+
+def compute_job(job: SimJob) -> SimulationResult:
+    """Run one job's simulation, bypassing every cache layer."""
+    program = get_workload(job.workload).build(
+        job.num_gpus, scale=job.scale, iterations=job.iterations
+    )
+    return simulate(program, job.paradigm, job.resolved_config())
+
+
+def _worker_init() -> None:
+    # Workers never consult the caches and must never recursively fork.
+    os.environ["REPRO_RUNNER_WORKER"] = "1"
+    os.environ["REPRO_NO_CACHE"] = "1"
+
+
+def _resolve_workers(max_workers: "int | None", pending: int) -> int:
+    if os.environ.get("REPRO_RUNNER_WORKER"):
+        return 1
+    if max_workers is None:
+        env = os.environ.get("REPRO_MAX_WORKERS", "")
+        max_workers = int(env) if env else (os.cpu_count() or 1)
+    if max_workers <= 1 or pending < _MIN_PARALLEL_JOBS:
+        return 1
+    return min(max_workers, pending)
+
+
+def run_many(jobs, max_workers: "int | None" = None) -> "list[SimulationResult]":
+    """Run (and memoise) a list of jobs, preserving input order.
+
+    ``jobs`` holds :class:`SimJob` instances or tuples of ``SimJob``'s
+    constructor arguments. Duplicate jobs and jobs already present in the
+    memory or disk cache are resolved without simulating; the rest run
+    across a process pool sized by ``max_workers`` (default: the
+    ``REPRO_MAX_WORKERS`` environment knob, else ``os.cpu_count()``).
+    Identical results are returned for identical jobs regardless of which
+    path produced them — simulations are deterministic and the serialised
+    form round-trips exactly.
+    """
+    jobs = [job if isinstance(job, SimJob) else SimJob(*job) for job in jobs]
+    keys = [job.key() for job in jobs]
+    results: "dict[str, SimulationResult]" = {}
+    pending: "dict[str, SimJob]" = {}
+    for job, key in zip(jobs, keys):
+        if key in results or key in pending:
+            continue
+        cached = memo.lookup(key)
+        if cached is not None:
+            results[key] = cached
+        else:
+            pending[key] = job
+
+    workers = _resolve_workers(max_workers, len(pending))
+    if workers <= 1:
+        for key, job in pending.items():
+            results[key] = memo.store(key, compute_job(job), job.meta())
+    elif pending:
+        with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
+            futures = {pool.submit(compute_job, job): key for key, job in pending.items()}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures[future]
+                    results[key] = memo.store(key, future.result(), pending[key].meta())
+    return [results[key] for key in keys]

@@ -1,0 +1,78 @@
+"""Cache observability: hit/miss/evict counters for the memoised runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Counters for one process's runner cache (memory + disk layers).
+
+    A *lookup* is one ``run_simulation``/``run_many`` job resolution; it
+    lands in exactly one of ``memory_hits``, ``disk_hits``, or ``misses``.
+    ``evictions`` counts persistent entries removed (``cache clear`` or
+    corrupt records dropped on read).
+    """
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    disk_writes: int = 0
+    evictions: int = 0
+    disk_errors: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from either cache layer."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total job resolutions observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache; 0.0 before any lookup."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    @property
+    def disk_hit_rate(self) -> float:
+        """Fraction of lookups served from the persistent layer."""
+        if self.lookups == 0:
+            return 0.0
+        return self.disk_hits / self.lookups
+
+    def reset(self) -> None:
+        """Zero every counter (``clear_run_cache`` calls this)."""
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.disk_writes = 0
+        self.evictions = 0
+        self.disk_errors = 0
+
+    def as_dict(self) -> dict:
+        """Counters plus derived rates, JSON-safe."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "disk_writes": self.disk_writes,
+            "evictions": self.evictions,
+            "disk_errors": self.disk_errors,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "disk_hit_rate": self.disk_hit_rate,
+        }
+
+    def report(self) -> str:
+        """One-line human summary (the CLI prints this after figure runs)."""
+        return (
+            f"{self.hits}/{self.lookups} hits "
+            f"({self.memory_hits} memory, {self.disk_hits} disk, "
+            f"{self.misses} misses; {100.0 * self.hit_rate:.0f}% hit rate)"
+        )

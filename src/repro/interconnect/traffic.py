@@ -60,6 +60,19 @@ class TrafficMatrix:
         """A copy of the underlying matrix."""
         return self._bytes.copy()
 
+    def as_lists(self) -> list:
+        """The matrix as nested plain-int lists (JSON-safe)."""
+        return self._bytes.tolist()
+
+    @classmethod
+    def from_lists(cls, rows: list) -> "TrafficMatrix":
+        """Rebuild a matrix from :meth:`as_lists` output."""
+        matrix = cls(len(rows))
+        matrix._bytes = np.asarray(rows, dtype=np.int64)
+        if matrix._bytes.shape != (matrix.num_gpus, matrix.num_gpus):
+            raise ConfigError("traffic matrix rows must form a square matrix")
+        return matrix
+
     def merge(self, other: "TrafficMatrix") -> None:
         """Accumulate another matrix into this one."""
         if other.num_gpus != self.num_gpus:

@@ -1,7 +1,13 @@
-"""Result containers produced by paradigm executors."""
+"""Result containers produced by paradigm executors.
+
+Results round-trip through plain dicts (:meth:`SimulationResult.to_dict` /
+:meth:`SimulationResult.from_dict`) so the persistent runner cache can store
+them as JSON and hand back an equivalent object in a later process.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from ..interconnect.traffic import TrafficMatrix
@@ -21,6 +27,15 @@ class PhaseBreakdown:
     def duration(self) -> float:
         """Wall time of the phase including exposed communication."""
         return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PhaseBreakdown":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
 
 
 @dataclass
@@ -53,6 +68,50 @@ class SimulationResult:
     def interconnect_bytes(self) -> int:
         """Total bytes that crossed the interconnect."""
         return self.traffic.total_bytes()
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation of the full result (lossless round-trip).
+
+        Floats survive exactly: JSON stores Python's shortest-roundtrip
+        repr, so ``from_dict(json.loads(json.dumps(to_dict())))`` compares
+        equal field-for-field — the property the disk cache relies on for
+        byte-identical warm reruns.
+        """
+        return {
+            "program_name": self.program_name,
+            "paradigm": self.paradigm,
+            "num_gpus": self.num_gpus,
+            "total_time": self.total_time,
+            "traffic": self.traffic.as_lists(),
+            "phases": [p.to_dict() for p in self.phases],
+            "write_queue_stats": [dataclasses.asdict(s) for s in self.write_queue_stats],
+            "gps_tlb_stats": [dataclasses.asdict(s) for s in self.gps_tlb_stats],
+            "subscriber_histogram": {str(k): v for k, v in self.subscriber_histogram.items()},
+            "fault_count": self.fault_count,
+            "pages_migrated": self.pages_migrated,
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`."""
+        from ..core.write_queue import WriteQueueStats  # local: avoids a cycle
+        from ..memory.tlb import TLBStats
+
+        return cls(
+            program_name=payload["program_name"],
+            paradigm=payload["paradigm"],
+            num_gpus=payload["num_gpus"],
+            total_time=payload["total_time"],
+            traffic=TrafficMatrix.from_lists(payload["traffic"]),
+            phases=[PhaseBreakdown.from_dict(p) for p in payload["phases"]],
+            write_queue_stats=[WriteQueueStats(**s) for s in payload["write_queue_stats"]],
+            gps_tlb_stats=[TLBStats(**s) for s in payload["gps_tlb_stats"]],
+            subscriber_histogram={int(k): v for k, v in payload["subscriber_histogram"].items()},
+            fault_count=payload["fault_count"],
+            pages_migrated=payload["pages_migrated"],
+            extras=payload["extras"],
+        )
 
     def summary(self) -> dict:
         """Flat dict for reports and benchmark extra_info."""

@@ -17,6 +17,18 @@ from repro.config import GPSConfig, GPUConfig, PCIE6, SystemConfig, UMConfig
 TINY = 0.1
 
 
+@pytest.fixture(autouse=True)
+def _no_persistent_cache(monkeypatch):
+    """Keep the runner's disk cache out of the unit suite.
+
+    Model changes must surface as test failures, never be papered over by
+    stale persisted results — and tests must not litter ``.repro-cache/``.
+    Cache-specific tests re-enable the layer against a tmp directory by
+    overriding these variables themselves.
+    """
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
 @pytest.fixture
 def system4() -> SystemConfig:
     """The paper's default 4-GPU PCIe 6.0 evaluation system."""

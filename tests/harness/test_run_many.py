@@ -1,0 +1,173 @@
+"""Tests for the parallel runner, the persistent cache, and cache stats."""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro
+from repro.harness.runner import (
+    SimJob,
+    cache_stats,
+    clear_disk_cache,
+    clear_run_cache,
+    disk_cache_info,
+    run_many,
+    run_simulation,
+    run_speedup,
+)
+
+FAST = dict(scale=0.1, iterations=2)
+
+
+class TestRunMany:
+    def test_preserves_order_and_dedups(self):
+        clear_run_cache()
+        jobs = [
+            SimJob("jacobi", "memcpy", 2, **FAST),
+            SimJob("jacobi", "gps", 2, **FAST),
+            SimJob("jacobi", "memcpy", 2, **FAST),  # duplicate
+        ]
+        results = run_many(jobs, max_workers=1)
+        assert len(results) == 3
+        assert results[0] is results[2]
+        assert results[0].paradigm == "memcpy"
+        assert results[1].paradigm == "gps"
+
+    def test_matches_run_simulation(self):
+        clear_run_cache()
+        (via_many,) = run_many([SimJob("pagerank", "rdl", 2, **FAST)])
+        direct = run_simulation("pagerank", "rdl", 2, **FAST)
+        assert via_many is direct  # second call hit the memo
+
+    def test_parallel_equals_serial(self):
+        clear_run_cache()
+        jobs = [
+            SimJob(w, p, 2, **FAST)
+            for w in ("jacobi", "pagerank")
+            for p in ("memcpy", "gps")
+        ]
+        parallel = [r.total_time for r in run_many(jobs, max_workers=2)]
+        clear_run_cache()
+        serial = [r.total_time for r in run_many(jobs, max_workers=1)]
+        assert parallel == serial
+
+    def test_accepts_tuples(self):
+        clear_run_cache()
+        (result,) = run_many([("jacobi", "memcpy", 2, "pcie6", 0.1, 2)])
+        assert result.total_time > 0
+
+
+class TestBaselineParadigm:
+    def test_all_non_fault_paradigms_agree_on_one_gpu(self):
+        # The assumption behind the default memcpy baseline, made explicit:
+        # on one GPU there is no communication, so every paradigm except
+        # fault-based UM (which pays first-touch population) matches memcpy.
+        clear_run_cache()
+        times = {
+            p: run_simulation("jacobi", p, 1, **FAST).total_time
+            for p in sorted(repro.PARADIGMS)
+        }
+        for paradigm, total_time in times.items():
+            if paradigm == "um":
+                assert total_time > times["memcpy"]
+            else:
+                assert total_time == times["memcpy"], paradigm
+
+    def test_baseline_paradigm_kwarg(self):
+        clear_run_cache()
+        default = run_speedup("jacobi", "gps", 4, **FAST)
+        explicit = run_speedup("jacobi", "gps", 4, baseline_paradigm="memcpy", **FAST)
+        um_base = run_speedup("jacobi", "gps", 4, baseline_paradigm="um", **FAST)
+        assert default == explicit
+        assert um_base > default  # UM's 1-GPU run is slower, inflating speedup
+
+
+@pytest.fixture
+def disk_cache(tmp_path, monkeypatch):
+    """A live persistent cache in a temp directory (overrides the suite-wide
+    REPRO_NO_CACHE isolation)."""
+    monkeypatch.setenv("REPRO_NO_CACHE", "")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    clear_run_cache()
+    yield tmp_path
+    clear_run_cache()
+
+
+class TestDiskCache:
+    def test_writes_records(self, disk_cache):
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        info = disk_cache_info()
+        assert info["enabled"]
+        assert info["entries"] == 1
+        record = json.loads(next(disk_cache.glob("*.json")).read_text())
+        assert record["job"]["workload"] == "jacobi"
+        assert record["model"].startswith("repro-model/")
+
+    def test_round_trip_after_memory_clear(self, disk_cache):
+        a = run_simulation("ct", "gps", 4, **FAST)
+        clear_run_cache()  # drops the memo, keeps the disk records
+        b = run_simulation("ct", "gps", 4, **FAST)
+        assert a is not b
+        assert cache_stats().disk_hits == 1
+        assert b.total_time == a.total_time
+        assert b.interconnect_bytes == a.interconnect_bytes
+        assert b.subscriber_histogram == a.subscriber_histogram
+        assert [p.duration for p in b.phases] == [p.duration for p in a.phases]
+        assert [s.hit_rate for s in b.write_queue_stats] == [
+            s.hit_rate for s in a.write_queue_stats
+        ]
+        assert b.extras == a.extras
+
+    def test_corrupt_record_recomputed(self, disk_cache):
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        path = next(disk_cache.glob("*.json"))
+        path.write_text("{not json")
+        clear_run_cache()
+        result = run_simulation("jacobi", "memcpy", 2, **FAST)
+        assert result.total_time > 0
+        stats = cache_stats()
+        assert stats.disk_errors == 1
+        assert stats.evictions == 1
+        assert stats.misses == 1
+
+    def test_clear_disk_cache(self, disk_cache):
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        run_simulation("jacobi", "gps", 2, **FAST)
+        assert clear_disk_cache() == 2
+        assert disk_cache_info()["entries"] == 0
+
+    def test_no_cache_env_disables(self, disk_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        assert not disk_cache_info()["enabled"]
+        assert list(disk_cache.glob("*.json")) == []
+
+
+class TestCacheStats:
+    def test_counters(self):
+        clear_run_cache()
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        stats = cache_stats()
+        assert stats.misses == 1
+        assert stats.memory_hits == 1
+        assert stats.lookups == 2
+        assert stats.hit_rate == 0.5
+        assert "hit rate" in stats.report()
+        assert stats.as_dict()["lookups"] == 2
+
+    def test_clear_resets_stats_and_handle(self, tmp_path, monkeypatch):
+        # Satellite: clear_run_cache must reset the disk handle *and* the
+        # counters, so the clear-between-mutations pattern stays sound.
+        clear_run_cache()
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        assert cache_stats().lookups == 1
+        monkeypatch.setenv("REPRO_NO_CACHE", "")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_run_cache()
+        assert cache_stats().lookups == 0
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        # The re-resolved handle honours the new environment.
+        assert disk_cache_info()["directory"] == str(tmp_path)
+        assert disk_cache_info()["entries"] == 1

@@ -1,0 +1,155 @@
+"""Regression tests for config-fingerprint collisions in the memoised runner.
+
+The old ``_config_key`` fingerprinted only 7 of ~25 ``SystemConfig`` fields
+(ignoring ``gps.high_watermark``, every ``UMConfig`` knob, ``link.latency``/
+``link.efficiency``, ``rdl_latency_hiding``, and most ``GPUConfig`` fields),
+so two different configs collided and returned a stale cached result. These
+tests are red against that key and green against the complete fingerprint.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.config import PCIE6, SystemConfig, config_fingerprint, default_system
+from repro.harness.runner import SimJob, clear_run_cache, run_simulation
+
+
+def _with(config, **kwargs):
+    return dataclasses.replace(config, **kwargs)
+
+
+class TestCollisionRegressions:
+    """Fields the old key ignored must now produce distinct keys and results."""
+
+    def test_high_watermark_distinct(self):
+        clear_run_cache()
+        base = default_system(4)
+        low = _with(base, gps=_with(base.gps, high_watermark=16))
+        key_a = SimJob("ct", "gps", 4, "pcie6", 0.2, 2, base).key()
+        key_b = SimJob("ct", "gps", 4, "pcie6", 0.2, 2, low).key()
+        assert key_a != key_b
+        a = run_simulation("ct", "gps", 4, "pcie6", 0.2, 2, config=base)
+        b = run_simulation("ct", "gps", 4, "pcie6", 0.2, 2, config=low)
+        assert a is not b
+        assert a.total_time != b.total_time
+
+    def test_um_fault_latency_distinct(self):
+        clear_run_cache()
+        base = default_system(4)
+        slow = _with(base, um=_with(base.um, fault_latency=100e-6))
+        key_a = SimJob("jacobi", "um", 4, "pcie6", 0.2, 2, base).key()
+        key_b = SimJob("jacobi", "um", 4, "pcie6", 0.2, 2, slow).key()
+        assert key_a != key_b
+        a = run_simulation("jacobi", "um", 4, "pcie6", 0.2, 2, config=base)
+        b = run_simulation("jacobi", "um", 4, "pcie6", 0.2, 2, config=slow)
+        assert a is not b
+        assert b.total_time > a.total_time
+
+    def test_link_latency_distinct(self):
+        # The link is passed as a LinkConfig (run_simulation overrides
+        # config.link with its ``link`` argument, so perturbing the config's
+        # own link field would be overwritten).
+        clear_run_cache()
+        laggy = dataclasses.replace(PCIE6, latency=10e-6)
+        key_a = SimJob("jacobi", "memcpy", 4, PCIE6, 0.2, 2).key()
+        key_b = SimJob("jacobi", "memcpy", 4, laggy, 0.2, 2).key()
+        assert key_a != key_b
+        a = run_simulation("jacobi", "memcpy", 4, PCIE6, scale=0.2, iterations=2)
+        b = run_simulation("jacobi", "memcpy", 4, laggy, scale=0.2, iterations=2)
+        assert a is not b
+        assert b.total_time > a.total_time
+
+    def test_rdl_latency_hiding_distinct(self):
+        base = default_system(4)
+        tweaked = _with(base, rdl_latency_hiding=0.2)
+        assert (
+            SimJob("jacobi", "rdl", 4, "pcie6", 0.2, 2, base).key()
+            != SimJob("jacobi", "rdl", 4, "pcie6", 0.2, 2, tweaked).key()
+        )
+
+
+def _leaf_paths(config, prefix=()):
+    """Every (path, value) leaf of a nested frozen-dataclass config."""
+    paths = []
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if dataclasses.is_dataclass(value):
+            paths.extend(_leaf_paths(value, prefix + (field.name,)))
+        else:
+            paths.append((prefix + (field.name,), value))
+    return paths
+
+
+def _replace_path(config, path, value):
+    if len(path) == 1:
+        return dataclasses.replace(config, **{path[0]: value})
+    inner = _replace_path(getattr(config, path[0]), path[1:], value)
+    return dataclasses.replace(config, **{path[0]: inner})
+
+
+def _perturb(value, path):
+    """A different-but-valid value for one config field."""
+    if path[-1] == "high_watermark":  # default None -> an explicit watermark
+        return 77
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value * 2  # keeps powers of two, divisibility, positivity
+    if isinstance(value, float):
+        return value * 0.5  # keeps (0, 1] and [0, 1) ranges and positivity
+    if isinstance(value, str):
+        return value + "-x"
+    raise AssertionError(f"unhandled field type at {path}: {value!r}")
+
+
+class TestFingerprintCompleteness:
+    """Any-field perturbation must change the fingerprint (acceptance bar)."""
+
+    def test_every_field_changes_fingerprint(self):
+        base = default_system(4)
+        fingerprints = {config_fingerprint(base)}
+        paths = _leaf_paths(base)
+        assert len(paths) >= 25, "expected the full ~25-field config surface"
+        for path, value in paths:
+            perturbed = _replace_path(base, path, _perturb(value, path))
+            fingerprints.add(config_fingerprint(perturbed))
+        # base + one distinct fingerprint per perturbed field, all pairwise
+        # distinct.
+        assert len(fingerprints) == len(paths) + 1
+
+    def test_randomly_perturbed_configs_distinct(self):
+        rng = random.Random(20210418)  # deterministic property test
+        base = default_system(4)
+        paths = _leaf_paths(base)
+        seen = {config_fingerprint(base): base}
+        for _ in range(50):
+            config = base
+            for path, _value in rng.sample(paths, rng.randint(1, 4)):
+                config = _replace_path(
+                    config, path, _perturb(getattr_path(config, path), path)
+                )
+            fingerprint = config_fingerprint(config)
+            if fingerprint in seen:
+                assert seen[fingerprint] == config, "collision between different configs"
+            seen[fingerprint] = config
+        assert len(seen) > 25
+
+    def test_identical_configs_share_fingerprint(self):
+        assert config_fingerprint(default_system(4)) == config_fingerprint(
+            SystemConfig(num_gpus=4)
+        )
+
+    def test_job_key_separates_workload_and_paradigm(self):
+        assert SimJob("jacobi", "gps", 4).key() != SimJob("jacobi", "rdl", 4).key()
+        assert SimJob("jacobi", "gps", 4).key() != SimJob("ct", "gps", 4).key()
+        assert SimJob("jacobi", "gps", 4, scale=0.5).key() != SimJob(
+            "jacobi", "gps", 4, scale=1.0
+        ).key()
+
+
+def getattr_path(config, path):
+    for name in path:
+        config = getattr(config, name)
+    return config

@@ -80,3 +80,46 @@ class TestFigure:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+    def test_figure_reports_cache_stats(self, capsys):
+        from repro.harness.runner import clear_run_cache
+
+        clear_run_cache()
+        assert main(["figure", "fig9", "--scale", "0.1", "--iterations", "2"]) == 0
+        assert "cache:" in capsys.readouterr().out
+
+
+class TestCache:
+    @pytest.fixture
+    def cache_dir(self, tmp_path, monkeypatch):
+        from repro.harness.runner import clear_run_cache
+
+        monkeypatch.setenv("REPRO_NO_CACHE", "")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_run_cache()
+        yield tmp_path
+        clear_run_cache()
+
+    def test_show_disabled(self, capsys, monkeypatch):
+        from repro.harness.runner import clear_run_cache
+
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        clear_run_cache()
+        assert main(["cache", "show"]) == 0
+        assert "disabled" in capsys.readouterr().out
+
+    def test_show_and_clear(self, capsys, cache_dir):
+        from repro.harness.runner import run_simulation
+
+        run_simulation("jacobi", "memcpy", 2, scale=0.1, iterations=2)
+        assert main(["cache", "show"]) == 0
+        out = capsys.readouterr().out
+        assert str(cache_dir) in out
+        assert "entries" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert list(cache_dir.glob("*.json")) == []
+
+    def test_default_action_is_show(self, capsys, cache_dir):
+        assert main(["cache"]) == 0
+        assert "persistent cache" in capsys.readouterr().out

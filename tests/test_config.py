@@ -7,6 +7,8 @@ import pytest
 
 from repro.config import (
     CACHE_BLOCK,
+    CONFIG_SCHEMA_VERSION,
+    config_fingerprint,
     GPSConfig,
     GPUConfig,
     INFINITE_LINK,
@@ -81,11 +83,25 @@ class TestGPSConfig:
         assert GPSConfig().tracking_bitmap_bytes == 64 * 1024
 
     def test_gps_pte_bits_matches_paper(self):
-        # Paper section 5.2: VPN 33 bits + 3 remote PPNs of 31 bits = 126.
+        # Paper section 5.1: VPN 33 bits + 3 remote PPNs of 31 bits = 126
+        # for 4 GPUs with 64 KiB pages. The width is the architectural
+        # minimum — no per-slot valid bits are counted (the docstring once
+        # claimed one; the formula, which matches the paper, won).
         gps = GPSConfig()
         assert gps.vpn_bits == 33
         assert gps.ppn_bits == 31
         assert gps.gps_pte_bits(num_gpus=4) == 126
+
+    def test_gps_pte_bits_scales_with_remote_subscribers(self):
+        gps = GPSConfig()
+        assert gps.gps_pte_bits(num_gpus=2) == 33 + 31  # one remote PPN
+        assert gps.gps_pte_bits(num_gpus=16) == 33 + 31 * 15
+
+    def test_gps_pte_bits_at_4k_pages(self):
+        gps = GPSConfig(page_size=PAGE_4K)
+        assert gps.vpn_bits == 37
+        assert gps.ppn_bits == 35
+        assert gps.gps_pte_bits(num_gpus=4) == 37 + 35 * 3
 
     def test_tlb_entries_must_divide_assoc(self):
         with pytest.raises(ConfigError):
@@ -153,3 +169,40 @@ class TestSystemConfig:
 
     def test_cache_block_constant(self):
         assert CACHE_BLOCK == 128
+
+
+class TestConfigFingerprint:
+    """The canonical fingerprint behind the runner's cache keys.
+
+    Completeness (every field participates) is covered exhaustively in
+    tests/harness/test_runner_cache_key.py; here the basic contract.
+    """
+
+    def test_deterministic_and_hex(self):
+        a = config_fingerprint(default_system(4))
+        b = config_fingerprint(default_system(4))
+        assert a == b
+        assert len(a) == 64
+        int(a, 16)  # valid hex digest
+
+    def test_covers_nested_fields(self):
+        base = default_system(4)
+        tweaked = dataclasses.replace(
+            base, um=dataclasses.replace(base.um, prefetch_overlap=0.9)
+        )
+        assert config_fingerprint(base) != config_fingerprint(tweaked)
+
+    def test_extra_scopes_the_digest(self):
+        base = default_system(4)
+        assert config_fingerprint(base) != config_fingerprint(base, extra="jacobi")
+        assert config_fingerprint(base, extra="jacobi") == config_fingerprint(
+            base, extra="jacobi"
+        )
+
+    def test_infinite_bandwidth_hashable(self):
+        assert len(config_fingerprint(default_system(4, INFINITE_LINK))) == 64
+
+    def test_schema_version_pinned(self):
+        # Bumping the schema version must be a deliberate act: it invalidates
+        # every persisted simulation result at once.
+        assert CONFIG_SCHEMA_VERSION == 1
