@@ -39,8 +39,9 @@ from .config import (
     UMConfig,
     default_system,
 )
+from .analysis import Diagnostic, Severity, analyze_program, check_program
 from .core.runtime import GPSRuntime, MemAdvise
-from .errors import ReproError
+from .errors import AnalysisError, ReproError
 from .paradigms.registry import FIGURE8_ORDER, LABELS, PARADIGMS, make_executor
 from .system.executor import simulate, speedup_over_single_gpu
 from .system.results import SimulationResult
@@ -80,5 +81,10 @@ __all__ = [
     "WORKLOADS",
     "get_workload",
     "workload_names",
+    "AnalysisError",
+    "Diagnostic",
+    "Severity",
+    "analyze_program",
+    "check_program",
     "__version__",
 ]

@@ -1,0 +1,63 @@
+"""Memory-model-aware static analysis of trace programs.
+
+This package supersedes the old 5-check linter in
+``repro.system.validate`` with a multi-pass analyzer built on a cross-phase
+happens-before dataflow engine (:mod:`repro.analysis.dataflow`), an
+extensible rule registry with stable ``GPSxxx`` codes
+(:mod:`repro.analysis.rules`), and text/JSON/SARIF emitters
+(:mod:`repro.analysis.emit`).
+
+Library use::
+
+    from repro.analysis import analyze_program
+
+    diagnostics = analyze_program(program)
+    errors = [d for d in diagnostics if d.severity == "error"]
+
+CLI use::
+
+    python -m repro lint trace.json --strict --format sarif
+    python -m repro lint jacobi --gpus 4
+
+The harness runner calls :func:`check_program` before every simulation it
+computes; ``REPRO_NO_ANALYZE=1`` opts out.
+"""
+
+from .dataflow import AccessSite, ProgramDataflow
+from .diagnostics import Diagnostic, Location, Severity, max_severity
+from .emit import (
+    render_json,
+    render_json_dict,
+    render_sarif,
+    render_sarif_runs,
+    render_text,
+    sarif_run,
+    severity_counts,
+)
+from .engine import DEFAULT_PAGE_SIZE, analyze_program, check_program
+from .intervals import IntervalSet
+from .rules import RULES, AnalysisContext, Rule, rule
+
+__all__ = [
+    "AccessSite",
+    "AnalysisContext",
+    "DEFAULT_PAGE_SIZE",
+    "Diagnostic",
+    "IntervalSet",
+    "Location",
+    "ProgramDataflow",
+    "RULES",
+    "Rule",
+    "Severity",
+    "analyze_program",
+    "check_program",
+    "max_severity",
+    "render_json",
+    "render_json_dict",
+    "render_sarif",
+    "render_sarif_runs",
+    "render_text",
+    "rule",
+    "sarif_run",
+    "severity_counts",
+]

@@ -1,0 +1,168 @@
+"""Cross-phase happens-before dataflow over a trace program.
+
+One forward walk over the phases (whose boundaries are global barriers and,
+under the GPU memory model, sys-scoped release points — paper section 2.3)
+computes every fact the conformance rules consume:
+
+* per-access :class:`AccessSite` records with the byte intervals a read
+  covers that *no* earlier phase ever wrote (``uninitialized``);
+* per-phase, per-buffer groupings of store and read sites for the
+  intra-phase race rules;
+* page-granular access sets per (GPU, buffer) split into the GPS profile
+  iteration (iteration 0, paper Listing 1) and the steady iterations after
+  ``tracking_stop()`` — the input to the stale-read-hazard rule.
+
+Everything is interval-indexed (:mod:`repro.analysis.intervals`): coverage
+queries against the written-so-far sets are binary searches, not scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.program import BufferSpec, Phase, TraceProgram
+from ..trace.records import AccessRange, MemOp
+from .intervals import IntervalSet, page_round
+
+
+@dataclass(frozen=True, slots=True)
+class AccessSite:
+    """One access range situated in program order, with dataflow facts."""
+
+    phase_index: int
+    phase: str
+    iteration: int
+    kernel: str
+    gpu: int
+    buffer: BufferSpec
+    access: AccessRange
+    #: For reads: sub-intervals no earlier phase (nor setup) ever wrote.
+    uninitialized: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def is_store(self) -> bool:
+        """Whether the site dirties memory (WRITE or ATOMIC)."""
+        return self.access.op.is_store
+
+    @property
+    def is_read(self) -> bool:
+        """Whether the site observes memory (READ or ATOMIC, which is RMW)."""
+        return self.access.op is not MemOp.WRITE
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        """Buffer-relative half-open byte range of the access."""
+        return (self.access.offset, self.access.end)
+
+
+@dataclass(slots=True)
+class PhaseSites:
+    """All sites of one phase, grouped by buffer for the race rules."""
+
+    phase_index: int
+    phase: Phase
+    stores: dict[str, list[AccessSite]]
+    reads: dict[str, list[AccessSite]]
+
+
+class ProgramDataflow:
+    """Precomputed dataflow facts for one program at one page granularity.
+
+    ``page_size`` only affects the page-granular subscription facts; byte
+    intervals are tracked exactly. Buffers are page-aligned by the VA layout
+    (both :class:`repro.memory.address_space.AddressSpace` and
+    :class:`repro.system.analysis.ProgramAnalysis` round sizes up to pages),
+    so buffer-relative page rounding matches absolute page boundaries.
+    """
+
+    def __init__(self, program: TraceProgram, page_size: int) -> None:
+        self.program = program
+        self.page_size = page_size
+        self.buffers: dict[str, BufferSpec] = {b.name: b for b in program.buffers}
+        #: Buffers touched by more than one GPU anywhere in the program.
+        self.shared_buffers: set[str] = {b.name for b in program.shared_buffers()}
+        #: First non-negative iteration index = the GPS profile iteration.
+        iterations = sorted({p.iteration for p in program.phases if p.iteration >= 0})
+        self.profile_iteration: int | None = iterations[0] if iterations else None
+        self.steady_iterations: bool = len(iterations) > 1
+
+        self.sites: list[AccessSite] = []
+        self.phase_sites: list[PhaseSites] = []
+        #: (gpu, buffer) -> page-rounded intervals touched in the profile iteration.
+        self.profile_touched: dict[tuple[int, str], IntervalSet] = {}
+        #: (gpu, buffer) -> page-rounded intervals stored in any iteration >= 0.
+        self.iter_stores: dict[tuple[int, str], IntervalSet] = {}
+        #: Read sites in iterations after the profile iteration.
+        self.steady_reads: list[AccessSite] = []
+        #: buffer -> union of everything ever accessed (for unused-buffer).
+        self.used_buffers: set[str] = set()
+
+        written: dict[str, IntervalSet] = {name: IntervalSet() for name in self.buffers}
+        for phase_index, phase in enumerate(program.phases):
+            stores: dict[str, list[AccessSite]] = {}
+            reads: dict[str, list[AccessSite]] = {}
+            phase_written: list[AccessSite] = []
+            for kernel in phase.kernels:
+                for access in kernel.accesses:
+                    site = self._make_site(phase_index, phase, kernel.name, kernel.gpu,
+                                           access, written)
+                    self.sites.append(site)
+                    self.used_buffers.add(access.buffer)
+                    if site.is_store:
+                        stores.setdefault(access.buffer, []).append(site)
+                        phase_written.append(site)
+                    if site.is_read:
+                        reads.setdefault(access.buffer, []).append(site)
+                    self._record_iteration_facts(site)
+            # The phase barrier publishes this phase's stores: they join the
+            # happens-before frontier only after the whole phase retires.
+            for site in phase_written:
+                written[site.access.buffer].add(*site.interval)
+            self.phase_sites.append(PhaseSites(phase_index, phase, stores, reads))
+
+    def _make_site(
+        self,
+        phase_index: int,
+        phase: Phase,
+        kernel: str,
+        gpu: int,
+        access: AccessRange,
+        written: dict[str, IntervalSet],
+    ) -> AccessSite:
+        uninitialized: tuple[tuple[int, int], ...] = ()
+        if access.op is not MemOp.WRITE:
+            gaps = written[access.buffer].uncovered(access.offset, access.end)
+            uninitialized = tuple(gaps)
+        return AccessSite(
+            phase_index=phase_index,
+            phase=phase.name,
+            iteration=phase.iteration,
+            kernel=kernel,
+            gpu=gpu,
+            buffer=self.buffers[access.buffer],
+            access=access,
+            uninitialized=uninitialized,
+        )
+
+    def _record_iteration_facts(self, site: AccessSite) -> None:
+        if site.iteration < 0:
+            return
+        key = (site.gpu, site.access.buffer)
+        start, end = page_round(*site.interval, self.page_size)
+        if site.iteration == self.profile_iteration:
+            self.profile_touched.setdefault(key, IntervalSet()).add(start, end)
+        if site.is_store:
+            self.iter_stores.setdefault(key, IntervalSet()).add(start, end)
+        if site.is_read and self.profile_iteration is not None \
+                and site.iteration > self.profile_iteration:
+            self.steady_reads.append(site)
+
+    def stored_by_others(self, gpu: int, buffer: str, start: int, end: int) -> bool:
+        """Whether any *other* GPU stores into ``[start, end)`` of ``buffer``
+        during the iterative region (page-rounded)."""
+        for (other_gpu, name), stores in self.iter_stores.items():
+            if name != buffer or other_gpu == gpu:
+                continue
+            if stores.overlaps(start, end):
+                return True
+        return False

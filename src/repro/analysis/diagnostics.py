@@ -1,0 +1,117 @@
+"""Diagnostic vocabulary of the static analyzer.
+
+A :class:`Diagnostic` is one finding: a stable rule code (``GPS001``...),
+a severity, a human-readable message, and a structured :class:`Location`
+pinpointing where in the trace program the problem sits (phase, kernel,
+GPU, buffer, byte interval). Emitters (:mod:`repro.analysis.emit`) render
+lists of diagnostics as text, JSON, or SARIF without re-deriving anything.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(str, enum.Enum):
+    """Finding severity, ordered ``INFO < WARNING < ERROR``.
+
+    The ``str`` mixin keeps equality with plain strings (``severity ==
+    "warning"``) working for callers of the deprecated
+    :func:`repro.system.validate.lint_program` shim.
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    __str__ = str.__str__
+
+    @property
+    def rank(self) -> int:
+        """Numeric order for comparisons and exit-code mapping."""
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """Structured position of a finding inside a trace program.
+
+    Every field is optional: a program-level finding (e.g. a missing setup
+    phase) has no phase; a buffer-level finding (e.g. an unused buffer) has
+    no kernel. ``interval`` is a half-open buffer-relative byte range.
+    """
+
+    phase: str | None = None
+    kernel: str | None = None
+    gpu: int | None = None
+    buffer: str | None = None
+    interval: tuple[int, int] | None = None
+
+    def qualified_name(self) -> str:
+        """``phase/kernel@gpuN`` logical name (SARIF logicalLocations)."""
+        parts = []
+        if self.phase is not None:
+            parts.append(self.phase)
+        if self.kernel is not None:
+            parts.append(self.kernel)
+        name = "/".join(parts) if parts else "<program>"
+        if self.gpu is not None:
+            name += f"@gpu{self.gpu}"
+        return name
+
+    def __str__(self) -> str:
+        bits = [self.qualified_name()]
+        if self.buffer is not None:
+            where = repr(self.buffer)
+            if self.interval is not None:
+                where += f"[{self.interval[0]}, {self.interval[1]})"
+            bits.append(where)
+        return " ".join(bits)
+
+
+#: Program-level location: no phase, kernel, buffer, or interval.
+PROGRAM_LOCATION = Location()
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    severity: Severity
+    code: str
+    message: str
+    #: Kebab-case rule name (``weak-write-write-race``).
+    rule: str = ""
+    location: Location = field(default=PROGRAM_LOCATION)
+
+    def __str__(self) -> str:
+        text = f"[{self.severity.value}] {self.code}"
+        if self.rule:
+            text += f" {self.rule}"
+        text += f": {self.message}"
+        if self.location != PROGRAM_LOCATION:
+            text += f" (at {self.location})"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-safe form used by the JSON and SARIF emitters."""
+        loc = self.location
+        return {
+            "severity": self.severity.value,
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+            "phase": loc.phase,
+            "kernel": loc.kernel,
+            "gpu": loc.gpu,
+            "buffer": loc.buffer,
+            "interval": list(loc.interval) if loc.interval is not None else None,
+        }
+
+
+def max_severity(diagnostics: "list[Diagnostic]") -> Severity | None:
+    """Highest severity present, or ``None`` for a clean result."""
+    if not diagnostics:
+        return None
+    return max((d.severity for d in diagnostics), key=lambda s: s.rank)

@@ -1,0 +1,95 @@
+"""Analyzer entry points: run the rule registry over a program.
+
+``analyze_program`` is the library call; ``check_program`` is the gate the
+harness runs before every simulation (raising :class:`AnalysisError` on
+error-severity findings). Rule selection mirrors familiar linter CLIs:
+``select``/``ignore`` take exact codes or prefixes (``GPS1`` matches every
+hygiene rule), and a trace file can carry its own suppressions in
+``metadata["analysis_ignore"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..config import PAGE_64K
+from ..errors import AnalysisError
+from ..trace.program import TraceProgram
+from .dataflow import ProgramDataflow
+from .diagnostics import Diagnostic, Severity
+from .rules import RULES, AnalysisContext
+
+#: Page granularity the subscription-related rules default to (GPS's 64 KiB).
+DEFAULT_PAGE_SIZE = PAGE_64K
+
+
+def _matches(code: str, patterns: Iterable[str]) -> bool:
+    return any(code.startswith(pattern) for pattern in patterns if pattern)
+
+
+def _normalise(codes: "Iterable[str] | None") -> list[str]:
+    if not codes:
+        return []
+    out: list[str] = []
+    for entry in codes:
+        out.extend(part.strip() for part in entry.split(",") if part.strip())
+    return out
+
+
+def analyze_program(
+    program: TraceProgram,
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    select: "Iterable[str] | None" = None,
+    ignore: "Iterable[str] | None" = None,
+) -> list[Diagnostic]:
+    """Run every enabled rule; returns diagnostics (empty = clean).
+
+    ``select`` limits the run to the given rule codes (or code prefixes);
+    ``ignore`` drops codes after selection. Codes listed in the program's
+    ``metadata["analysis_ignore"]`` are suppressed as if passed to
+    ``ignore`` — that is the per-trace suppression mechanism for saved
+    trace files.
+    """
+    selected = _normalise(select)
+    ignored = _normalise(ignore)
+    metadata_ignore = program.metadata.get("analysis_ignore", ())
+    if isinstance(metadata_ignore, str):
+        metadata_ignore = [metadata_ignore]
+    ignored.extend(_normalise(metadata_ignore))
+
+    context = AnalysisContext(program, ProgramDataflow(program, page_size), page_size)
+    diagnostics: list[Diagnostic] = []
+    for code in sorted(RULES):
+        if selected and not _matches(code, selected):
+            continue
+        if _matches(code, ignored):
+            continue
+        diagnostics.extend(RULES[code].check(context))
+    return diagnostics
+
+
+def check_program(
+    program: TraceProgram,
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> list[Diagnostic]:
+    """Gate a program before simulation.
+
+    Returns the full diagnostic list when no error-severity finding exists;
+    raises :class:`AnalysisError` (carrying the diagnostics) otherwise. The
+    harness runner calls this before every simulation; set
+    ``REPRO_NO_ANALYZE=1`` to opt out.
+    """
+    diagnostics = analyze_program(program, page_size=page_size)
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if errors:
+        preview = "; ".join(str(d) for d in errors[:3])
+        if len(errors) > 3:
+            preview += f"; ... ({len(errors) - 3} more)"
+        raise AnalysisError(
+            f"trace program {program.name!r} fails static analysis with "
+            f"{len(errors)} error(s): {preview}",
+            diagnostics=diagnostics,
+        )
+    return diagnostics

@@ -1,0 +1,150 @@
+"""Interval index primitives for the dataflow engine.
+
+The analyzer tracks per-buffer byte ranges (written-so-far sets, profiled
+page sets, per-phase store sets). :class:`IntervalSet` keeps a coalesced,
+sorted list of disjoint half-open intervals, so membership and coverage
+queries are ``O(log n)`` binary searches and race detection is a sort-and-
+sweep — never the O(n^2) all-pairs scans of the old linter.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class IntervalSet:
+    """A set of bytes stored as coalesced, sorted, disjoint intervals.
+
+    All intervals are half-open ``[start, end)``. Adding an interval merges
+    it with any intervals it overlaps or abuts, so the representation stays
+    canonical and queries stay logarithmic.
+    """
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        for start, end in intervals:
+            self.add(start, end)
+
+    def add(self, start: int, end: int) -> None:
+        """Insert ``[start, end)``, coalescing with neighbours."""
+        if end <= start:
+            return
+        # Leftmost stored interval that could merge (overlap or abut).
+        i = bisect_right(self._starts, start)
+        if i > 0 and self._ends[i - 1] >= start:
+            i -= 1
+        # One past the rightmost stored interval that could merge.
+        j = bisect_right(self._starts, end)
+        if i < j:
+            start = min(start, self._starts[i])
+            end = max(end, self._ends[j - 1])
+        self._starts[i:j] = [start]
+        self._ends[i:j] = [end]
+
+    def update(self, other: "IntervalSet") -> None:
+        """Add every interval of ``other``."""
+        for start, end in other:
+            self.add(start, end)
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """Whether any stored byte falls in ``[start, end)``."""
+        if end <= start or not self._starts:
+            return False
+        i = bisect_right(self._starts, start)
+        if i > 0 and self._ends[i - 1] > start:
+            return True
+        return i < len(self._starts) and self._starts[i] < end
+
+    def covers(self, start: int, end: int) -> bool:
+        """Whether ``[start, end)`` is entirely contained in the set."""
+        if end <= start:
+            return True
+        i = bisect_right(self._starts, start) - 1
+        return i >= 0 and self._ends[i] >= end
+
+    def uncovered(self, start: int, end: int) -> list[tuple[int, int]]:
+        """The sub-intervals of ``[start, end)`` *not* in the set (the gaps)."""
+        if end <= start:
+            return []
+        gaps: list[tuple[int, int]] = []
+        cursor = start
+        i = bisect_right(self._starts, start) - 1
+        if i >= 0 and self._ends[i] > cursor:
+            cursor = self._ends[i]
+        i += 1
+        while cursor < end and i < len(self._starts) and self._starts[i] < end:
+            if self._starts[i] > cursor:
+                gaps.append((cursor, self._starts[i]))
+            cursor = max(cursor, self._ends[i])
+            i += 1
+        if cursor < end:
+            gaps.append((cursor, end))
+        return gaps
+
+    def intersection(self, start: int, end: int) -> list[tuple[int, int]]:
+        """The sub-intervals of ``[start, end)`` that *are* in the set."""
+        if end <= start:
+            return []
+        out: list[tuple[int, int]] = []
+        i = bisect_right(self._starts, start) - 1
+        if i < 0:
+            i = 0
+        for k in range(i, len(self._starts)):
+            if self._starts[k] >= end:
+                break
+            lo = max(start, self._starts[k])
+            hi = min(end, self._ends[k])
+            if lo < hi:
+                out.append((lo, hi))
+        return out
+
+    def total_bytes(self) -> int:
+        """Sum of interval lengths."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(zip(self._starts, self._ends))
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({list(self)!r})"
+
+
+def page_round(start: int, end: int, page_size: int) -> tuple[int, int]:
+    """Expand ``[start, end)`` outward to page boundaries."""
+    return (start // page_size) * page_size, -(-end // page_size) * page_size
+
+
+def sweep_overlaps(
+    items: "list[tuple[int, int, T]]",
+) -> Iterator[tuple[T, T, tuple[int, int]]]:
+    """Yield overlapping pairs from ``(start, end, payload)`` items.
+
+    Sort-and-sweep: items are processed in start order with an active list
+    pruned by end, so disjoint inputs cost ``O(n log n)`` — output size, not
+    input size squared, bounds the work.
+    """
+    ordered = sorted(items, key=lambda item: (item[0], item[1]))
+    active: list[tuple[int, int, T]] = []
+    for start, end, payload in ordered:
+        active = [item for item in active if item[1] > start]
+        for a_start, a_end, a_payload in active:
+            yield a_payload, payload, (max(a_start, start), min(a_end, end))
+        active.append((start, end, payload))
+
+
+def merge_intervals(intervals: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Coalesce arbitrary intervals into canonical disjoint form."""
+    merged = IntervalSet(intervals)
+    return list(merged)

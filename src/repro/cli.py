@@ -108,9 +108,53 @@ def _build_parser() -> argparse.ArgumentParser:
     run_trace.add_argument("path")
     run_trace.add_argument("--paradigm", default="gps", choices=sorted(PARADIGMS))
     run_trace.add_argument("--link", default="pcie6", choices=sorted(LINKS_BY_NAME))
+    run_trace.add_argument(
+        "--no-analyze",
+        action="store_true",
+        help="skip the pre-simulation static analysis gate",
+    )
 
-    lint = sub.add_parser("lint", help="lint a saved trace file for suspicious patterns")
-    lint.add_argument("path")
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze a trace for memory-model and hygiene issues",
+        description=(
+            "Run the repro.analysis static analyzer over a saved trace file, a "
+            "registered workload's generated trace, or (with target 'all') every "
+            "registered workload. Exit code: 2 on error-severity findings, 1 on "
+            "warnings under --strict, 0 otherwise."
+        ),
+    )
+    lint.add_argument(
+        "target",
+        help="trace JSON file, registered workload name, or 'all'",
+    )
+    lint.add_argument("--gpus", type=int, default=4, help="workload targets only")
+    lint.add_argument("--scale", type=float, default=0.5, help="workload targets only")
+    lint.add_argument("--iterations", type=int, default=8, help="workload targets only")
+    lint.add_argument(
+        "--format",
+        dest="format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings, not just errors",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="only run these rule codes/prefixes (comma-separated, repeatable)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="suppress these rule codes/prefixes (comma-separated, repeatable)",
+    )
     return parser
 
 
@@ -230,13 +274,19 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_run_trace(args) -> int:
-    from .system.validate import lint_program
+    from .analysis import Severity, analyze_program
     from .trace.io import load_program
 
     program = load_program(args.path)
-    for diagnostic in lint_program(program):
-        print(diagnostic)
     config = default_system(program.num_gpus, LINKS_BY_NAME[args.link])
+    if not args.no_analyze:
+        diagnostics = analyze_program(program, page_size=config.page_size)
+        for diagnostic in diagnostics:
+            print(diagnostic)
+        if any(d.severity is Severity.ERROR for d in diagnostics):
+            print(f"{program.name}: refusing to simulate a trace with errors "
+                  "(rerun with --no-analyze to override)")
+            return 2
     result = simulate(program, args.paradigm, config)
     print(f"program       : {program.name} ({program.num_gpus} GPUs)")
     print(f"paradigm      : {LABELS[args.paradigm]}")
@@ -245,16 +295,59 @@ def _cmd_run_trace(args) -> int:
     return 0
 
 
-def _cmd_lint(args) -> int:
-    from .system.validate import lint_program
+def _lint_targets(args) -> "list":
+    """Resolve the lint target to ``[(program, diagnostics), ...]``."""
+    from pathlib import Path
+
+    from .analysis import analyze_program
     from .trace.io import load_program
 
-    diagnostics = lint_program(load_program(args.path))
-    for diagnostic in diagnostics:
-        print(diagnostic)
-    if not diagnostics:
-        print("clean: no findings")
-    return 1 if any(d.severity == "warning" for d in diagnostics) else 0
+    if args.target == "all":
+        programs = [
+            get_workload(name).build(args.gpus, scale=args.scale, iterations=args.iterations)
+            for name in workload_names()
+        ]
+    elif args.target in workload_names() or not Path(args.target).exists():
+        programs = [
+            get_workload(args.target).build(
+                args.gpus, scale=args.scale, iterations=args.iterations
+            )
+        ]
+    else:
+        programs = [load_program(args.target)]
+    return [
+        (program, analyze_program(program, select=args.select, ignore=args.ignore))
+        for program in programs
+    ]
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import (
+        Severity,
+        max_severity,
+        render_json_dict,
+        render_sarif_runs,
+        render_text,
+        sarif_run,
+    )
+
+    results = _lint_targets(args)
+    if args.format == "text":
+        print("\n".join(render_text(program, diags) for program, diags in results))
+    elif args.format == "json":
+        import json
+
+        reports = [render_json_dict(program, diags) for program, diags in results]
+        payload = reports[0] if len(reports) == 1 else {"programs": reports}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_sarif_runs([sarif_run(program, diags) for program, diags in results]))
+    worst = max_severity([d for _, diags in results for d in diags])
+    if worst is Severity.ERROR:
+        return 2
+    if worst is Severity.WARNING and args.strict:
+        return 1
+    return 0
 
 
 def _cmd_list(_args) -> int:

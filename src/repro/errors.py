@@ -36,6 +36,18 @@ class TraceError(ReproError):
     """A trace program or access range is malformed."""
 
 
+class AnalysisError(ReproError):
+    """Static analysis found error-severity diagnostics in a trace program.
+
+    ``diagnostics`` carries the full finding list (all severities) so
+    callers can report more than the exception message.
+    """
+
+    def __init__(self, message: str, diagnostics: "list | None" = None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
 class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
 

@@ -12,9 +12,14 @@ cached at two levels:
 ``run_many`` fans uncached jobs across a process pool; the figure drivers in
 :mod:`repro.harness.experiments` submit their whole grids through it.
 
+Every uncached job's trace is gated through the static analyzer
+(:func:`repro.analysis.check_program`) before it simulates, so a workload
+generator bug cannot silently corrupt a figure.
+
 Environment knobs: ``REPRO_NO_CACHE`` (disable the persistent layer),
 ``REPRO_CACHE_DIR`` (cache directory, default ``.repro-cache/``),
-``REPRO_MAX_WORKERS`` (pool width; ``1`` forces serial execution).
+``REPRO_MAX_WORKERS`` (pool width; ``1`` forces serial execution),
+``REPRO_NO_ANALYZE`` (skip the pre-simulation static analysis gate).
 """
 
 from __future__ import annotations

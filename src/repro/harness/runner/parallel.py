@@ -14,6 +14,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
+from ...analysis import check_program
 from ...system.executor import simulate
 from ...system.results import SimulationResult
 from ...workloads.registry import get_workload
@@ -26,11 +27,21 @@ _MIN_PARALLEL_JOBS = 3
 
 
 def compute_job(job: SimJob) -> SimulationResult:
-    """Run one job's simulation, bypassing every cache layer."""
+    """Run one job's simulation, bypassing every cache layer.
+
+    The trace is gated through the static analyzer first: a program with
+    error-severity diagnostics (races, memory-model violations, stale-read
+    hazards) raises :class:`repro.errors.AnalysisError` instead of
+    silently corrupting every figure computed from it. ``REPRO_NO_ANALYZE=1``
+    opts out.
+    """
     program = get_workload(job.workload).build(
         job.num_gpus, scale=job.scale, iterations=job.iterations
     )
-    return simulate(program, job.paradigm, job.resolved_config())
+    config = job.resolved_config()
+    if not os.environ.get("REPRO_NO_ANALYZE"):
+        check_program(program, page_size=config.page_size)
+    return simulate(program, job.paradigm, config)
 
 
 def _worker_init() -> None:

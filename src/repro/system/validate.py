@@ -1,132 +1,43 @@
-"""Trace-program linter: diagnostics beyond hard validation.
+"""Deprecated trace-program linter shim.
 
-``TraceProgram`` construction rejects *inconsistent* programs (bounds,
-duplicate names, unknown buffers). This linter flags *suspicious* ones —
-things that run fine but usually mean the trace author made a mistake:
+Superseded by :mod:`repro.analysis`, the memory-model-aware static
+analyzer. The five historical checks live on there with stable codes and
+structured locations (and one bug fixed: the payload-balance rule no
+longer skips phases containing a zero-payload kernel):
 
-* buffers that are never accessed;
-* GPUs that sit idle in some phases (load imbalance);
-* iterative programs without a setup phase (first-touch/last-writer state
-  will default to buffer homes);
-* kernels whose store ranges overlap within one phase on different GPUs
-  (a data race unless the accesses are atomics);
-* phases with wildly imbalanced per-GPU payloads.
+==================  =======  =========================
+old code            new code new rule name
+==================  =======  =========================
+``unused-buffer``   GPS101   ``unused-buffer``
+``idle-gpus``       GPS102   ``idle-gpus``
+``no-setup-phase``  GPS103   ``no-setup-phase``
+``store-race``      GPS001   ``weak-write-write-race``
+``payload-…``       GPS104   ``payload-imbalance``
+==================  =======  =========================
 
-Used by the CLI's trace tooling and available as a library call.
+:func:`lint_program` now delegates to
+:func:`repro.analysis.analyze_program` and returns the analyzer's
+:class:`repro.analysis.Diagnostic` objects (severity compares equal to the
+old plain strings). New code should import from :mod:`repro.analysis`
+directly; this module will be removed in a future release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
+from ..analysis import Diagnostic, Severity, analyze_program
 from ..trace.program import TraceProgram
-from ..trace.records import MemOp
+
+__all__ = ["Diagnostic", "Severity", "lint_program"]
 
 
-@dataclass(frozen=True)
-class Diagnostic:
-    """One linter finding."""
-
-    severity: str  # "warning" | "info"
-    code: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"[{self.severity}] {self.code}: {self.message}"
-
-
-def lint_program(program: TraceProgram) -> list:
-    """Run all checks; returns diagnostics (empty = clean)."""
-    out: list[Diagnostic] = []
-    out.extend(_check_unused_buffers(program))
-    out.extend(_check_idle_gpus(program))
-    out.extend(_check_setup_phase(program))
-    out.extend(_check_store_races(program))
-    out.extend(_check_payload_balance(program))
-    return out
-
-
-def _check_unused_buffers(program: TraceProgram) -> list:
-    used = {a.buffer for k in program.iter_kernels() for a in k.accesses}
-    return [
-        Diagnostic("warning", "unused-buffer", f"buffer {b.name!r} is never accessed")
-        for b in program.buffers
-        if b.name not in used
-    ]
-
-
-def _check_idle_gpus(program: TraceProgram) -> list:
-    out = []
-    for phase in program.phases:
-        missing = sorted(set(range(program.num_gpus)) - set(phase.gpus))
-        if missing:
-            out.append(
-                Diagnostic(
-                    "info",
-                    "idle-gpus",
-                    f"phase {phase.name!r} leaves GPUs {missing} idle",
-                )
-            )
-    return out
-
-
-def _check_setup_phase(program: TraceProgram) -> list:
-    if program.iterations >= 1 and not program.phases_in_iteration(-1):
-        return [
-            Diagnostic(
-                "warning",
-                "no-setup-phase",
-                "iterative program has no setup phase; first-touch and "
-                "last-writer state will default to buffer homes",
-            )
-        ]
-    return []
-
-
-def _check_store_races(program: TraceProgram) -> list:
-    out = []
-    for phase in program.phases:
-        ranges = []  # (gpu, buffer, start, end, atomic)
-        for kernel in phase.kernels:
-            for access in kernel.stores():
-                ranges.append(
-                    (kernel.gpu, access.buffer, access.offset, access.end,
-                     access.op is MemOp.ATOMIC)
-                )
-        for i, (gpu_a, buf_a, start_a, end_a, atomic_a) in enumerate(ranges):
-            for gpu_b, buf_b, start_b, end_b, atomic_b in ranges[i + 1 :]:
-                if gpu_a == gpu_b or buf_a != buf_b:
-                    continue
-                if start_a < end_b and start_b < end_a and not (atomic_a and atomic_b):
-                    out.append(
-                        Diagnostic(
-                            "warning",
-                            "store-race",
-                            f"phase {phase.name!r}: GPUs {gpu_a} and {gpu_b} both "
-                            f"store non-atomically to {buf_a!r} "
-                            f"[{max(start_a, start_b)}, {min(end_a, end_b)})",
-                        )
-                    )
-    return out
-
-
-def _check_payload_balance(program: TraceProgram, threshold: float = 4.0) -> list:
-    out = []
-    for phase in program.phases:
-        if len(phase.kernels) < 2:
-            continue
-        payloads = [
-            sum(a.total_bytes() for a in kernel.accesses) for kernel in phase.kernels
-        ]
-        low = min(payloads)
-        high = max(payloads)
-        if low > 0 and high / low > threshold:
-            out.append(
-                Diagnostic(
-                    "info",
-                    "payload-imbalance",
-                    f"phase {phase.name!r}: per-GPU payload varies "
-                    f"{high / low:.1f}x ({low} .. {high} bytes)",
-                )
-            )
-    return out
+def lint_program(program: TraceProgram) -> list[Diagnostic]:
+    """Deprecated alias for :func:`repro.analysis.analyze_program`."""
+    warnings.warn(
+        "repro.system.validate.lint_program is deprecated; use "
+        "repro.analysis.analyze_program",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return analyze_program(program)

@@ -1,0 +1,64 @@
+"""Shared builders for analyzer tests: tiny hand-rolled trace programs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.trace.io import load_program
+from repro.trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
+from repro.trace.records import AccessRange, MemOp, Scope
+
+PAGE = 65536
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = Path(__file__).parent / "golden"
+BROKEN_TRACE = FIXTURES / "broken_trace.json"
+
+
+def access(
+    buffer: str = "buf",
+    offset: int = 0,
+    length: int = 128,
+    op: MemOp = MemOp.READ,
+    scope: Scope = Scope.WEAK,
+) -> AccessRange:
+    return AccessRange(buffer, offset, length, op, scope=scope)
+
+
+def kernel(name: str, gpu: int, *accesses: AccessRange) -> KernelSpec:
+    return KernelSpec(name, gpu, 1.0, tuple(accesses))
+
+
+def program(
+    phases,
+    *,
+    num_gpus: int = 2,
+    buffers=(("buf", 4 * PAGE),),
+    metadata=None,
+    name: str = "t",
+) -> TraceProgram:
+    specs = tuple(
+        b if isinstance(b, BufferSpec) else BufferSpec(*b) for b in buffers
+    )
+    return TraceProgram(name, num_gpus, specs, tuple(phases), metadata=metadata or {})
+
+
+def setup_phase(buffers=(("buf", 4 * PAGE),)) -> Phase:
+    """A setup phase where GPU 0 initialises every buffer end to end."""
+    writes = tuple(
+        access(
+            b.name if isinstance(b, BufferSpec) else b[0],
+            0,
+            b.size if isinstance(b, BufferSpec) else b[1],
+            MemOp.WRITE,
+        )
+        for b in buffers
+    )
+    return Phase("setup", (kernel("init", 0, *writes),), iteration=-1)
+
+
+@pytest.fixture(scope="session")
+def broken_program() -> TraceProgram:
+    return load_program(BROKEN_TRACE)

@@ -1,0 +1,134 @@
+"""IntervalSet and sweep primitives, checked against brute-force models."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.intervals import (
+    IntervalSet,
+    merge_intervals,
+    page_round,
+    sweep_overlaps,
+)
+
+SPAN = 256
+
+intervals = st.lists(
+    st.tuples(st.integers(0, SPAN), st.integers(0, SPAN)).map(
+        lambda p: (min(p), max(p))
+    ),
+    max_size=12,
+)
+
+
+def model(pairs) -> set:
+    """The byte-set an IntervalSet built from ``pairs`` must represent."""
+    covered: set = set()
+    for start, end in pairs:
+        covered.update(range(start, end))
+    return covered
+
+
+class TestIntervalSet:
+    def test_coalesces_overlap_and_abutment(self):
+        s = IntervalSet([(0, 10), (10, 20), (30, 40), (35, 50), (60, 70)])
+        assert list(s) == [(0, 20), (30, 50), (60, 70)]
+
+    def test_add_bridges_many_intervals(self):
+        s = IntervalSet([(0, 10), (20, 30), (40, 50)])
+        s.add(5, 45)
+        assert list(s) == [(0, 50)]
+
+    def test_empty_interval_ignored(self):
+        s = IntervalSet()
+        s.add(10, 10)
+        s.add(10, 5)
+        assert not s and len(s) == 0
+
+    def test_uncovered_gaps(self):
+        s = IntervalSet([(10, 20), (30, 40)])
+        assert s.uncovered(0, 50) == [(0, 10), (20, 30), (40, 50)]
+        assert s.uncovered(12, 18) == []
+        assert s.uncovered(15, 35) == [(20, 30)]
+
+    def test_intersection(self):
+        s = IntervalSet([(10, 20), (30, 40)])
+        assert s.intersection(0, 50) == [(10, 20), (30, 40)]
+        assert s.intersection(15, 35) == [(15, 20), (30, 35)]
+        assert s.intersection(20, 30) == []
+
+    @given(intervals)
+    def test_membership_matches_set_model(self, pairs):
+        s = IntervalSet(pairs)
+        covered = model(pairs)
+        for probe in range(0, SPAN):
+            assert s.overlaps(probe, probe + 1) == (probe in covered)
+        assert s.total_bytes() == len(covered)
+
+    @given(intervals, st.integers(0, SPAN), st.integers(0, SPAN))
+    def test_queries_match_set_model(self, pairs, a, b):
+        start, end = min(a, b), max(a, b)
+        s = IntervalSet(pairs)
+        covered = model(pairs)
+        probe = set(range(start, end))
+        assert s.overlaps(start, end) == bool(probe & covered)
+        assert s.covers(start, end) == (probe <= covered)
+        assert model(s.uncovered(start, end)) == probe - covered
+        assert model(s.intersection(start, end)) == probe & covered
+
+    @given(intervals)
+    def test_canonical_form(self, pairs):
+        """Stored intervals are sorted, disjoint, non-abutting, non-empty."""
+        s = IntervalSet(pairs)
+        stored = list(s)
+        assert all(start < end for start, end in stored)
+        assert all(
+            stored[i][1] < stored[i + 1][0] for i in range(len(stored) - 1)
+        )
+
+    @given(intervals, intervals)
+    def test_update_is_union(self, left, right):
+        s = IntervalSet(left)
+        s.update(IntervalSet(right))
+        assert model(s) == model(left) | model(right)
+
+
+class TestHelpers:
+    def test_page_round(self):
+        assert page_round(100, 200, 64) == (64, 256)
+        assert page_round(0, 64, 64) == (0, 64)
+        assert page_round(64, 65, 64) == (64, 128)
+
+    def test_merge_intervals(self):
+        assert merge_intervals([(5, 10), (0, 6), (20, 30)]) == [(0, 10), (20, 30)]
+
+    def test_sweep_overlaps_pairs(self):
+        items = [(0, 10, "a"), (5, 15, "b"), (20, 30, "c"), (25, 26, "d")]
+        pairs = {(x, y): span for x, y, span in sweep_overlaps(items)}
+        assert pairs == {("a", "b"): (5, 10), ("c", "d"): (25, 26)}
+
+    def test_sweep_overlaps_disjoint_yields_nothing(self):
+        assert list(sweep_overlaps([(0, 1, 1), (1, 2, 2), (2, 3, 3)])) == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(1, 10), st.integers(0, 99)),
+            max_size=10,
+        )
+    )
+    def test_sweep_matches_all_pairs(self, raw):
+        items = [(start, start + length) for start, length, _ in raw]
+        got = sorted(
+            (min(a, b), max(a, b), span)
+            for a, b, span in sweep_overlaps(
+                [(s, e, i) for i, (s, e) in enumerate(items)]
+            )
+        )
+        expected = sorted(
+            (i, j, (max(items[i][0], items[j][0]), min(items[i][1], items[j][1])))
+            for i in range(len(items))
+            for j in range(i + 1, len(items))
+            if max(items[i][0], items[j][0]) < min(items[i][1], items[j][1])
+        )
+        assert got == expected

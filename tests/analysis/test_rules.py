@@ -1,0 +1,340 @@
+"""Per-rule tests: one minimal violating program and one clean near-miss each."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import RULES, Severity, analyze_program
+from repro.trace.program import Phase
+from repro.trace.records import MemOp, Scope
+
+from .conftest import PAGE, access, kernel, program, setup_phase
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def only(diagnostics, code):
+    found = [d for d in diagnostics if d.code == code]
+    assert found, f"expected a {code} finding, got {sorted(codes(diagnostics))}"
+    return found[0]
+
+
+class TestRegistry:
+    def test_expected_rule_codes(self):
+        assert sorted(RULES) == [
+            "GPS001", "GPS002", "GPS003", "GPS004", "GPS005", "GPS006",
+            "GPS007", "GPS101", "GPS102", "GPS103", "GPS104",
+        ]
+
+    def test_every_rule_has_metadata(self):
+        for rule in RULES.values():
+            assert rule.name and rule.summary and rule.paper
+            assert isinstance(rule.severity, Severity)
+
+    def test_duplicate_code_rejected(self):
+        from repro.analysis.rules import rule
+
+        with pytest.raises(ValueError, match="duplicate"):
+            rule("GPS001", "again", Severity.INFO, "x", "-")(lambda ctx: iter(()))
+
+
+class TestWeakWriteWriteRace:
+    def test_overlapping_plain_stores_race(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("a", 0, access(offset=0, length=256, op=MemOp.WRITE)),
+                kernel("b", 1, access(offset=128, length=256, op=MemOp.WRITE)),
+            ), iteration=0),
+        ])
+        d = only(analyze_program(p), "GPS001")
+        assert d.severity is Severity.ERROR
+        assert d.location.phase == "it0"
+        assert d.location.buffer == "buf"
+        assert d.location.interval == (128, 256)
+
+    def test_disjoint_stores_clean(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("a", 0, access(offset=0, length=128, op=MemOp.WRITE)),
+                kernel("b", 1, access(offset=128, length=128, op=MemOp.WRITE)),
+            ), iteration=0),
+        ])
+        assert "GPS001" not in codes(analyze_program(p))
+
+    def test_atomic_accumulation_is_not_a_race(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("a", 0, access(length=256, op=MemOp.ATOMIC)),
+                kernel("b", 1, access(length=256, op=MemOp.ATOMIC)),
+            ), iteration=0),
+        ])
+        assert "GPS001" not in codes(analyze_program(p))
+
+    def test_same_gpu_overlap_is_not_a_race(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel(
+                    "a", 0,
+                    access(offset=0, length=256, op=MemOp.WRITE),
+                    access(offset=128, length=256, op=MemOp.WRITE),
+                ),
+            ), iteration=0),
+        ])
+        assert "GPS001" not in codes(analyze_program(p))
+
+
+class TestWeakWriteReadRace:
+    def test_cross_gpu_store_read_overlap_is_info(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("w", 0, access(offset=0, length=256, op=MemOp.WRITE)),
+                kernel("r", 1, access(offset=0, length=128, op=MemOp.READ)),
+            ), iteration=0),
+        ])
+        d = only(analyze_program(p), "GPS002")
+        assert d.severity is Severity.INFO
+        assert "1 reader/writer GPU pair(s)" in d.message
+
+    def test_own_store_read_clean(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel(
+                    "rw", 0,
+                    access(length=256, op=MemOp.WRITE),
+                    access(length=256, op=MemOp.READ),
+                ),
+            ), iteration=0),
+        ])
+        assert "GPS002" not in codes(analyze_program(p))
+
+
+class TestReadBeforeWrite:
+    def test_uninitialised_read(self):
+        p = program([
+            Phase("setup", (
+                kernel("init", 0, access(offset=0, length=PAGE, op=MemOp.WRITE)),
+            ), iteration=-1),
+            Phase("it0", (
+                kernel("r", 0, access(offset=0, length=2 * PAGE, op=MemOp.READ)),
+            ), iteration=0),
+        ])
+        d = only(analyze_program(p), "GPS003")
+        assert d.severity is Severity.ERROR
+        assert d.location.kernel == "r"
+        # Gap = the second, never-written page.
+        assert d.location.interval == (PAGE, 2 * PAGE)
+        assert f"{PAGE} B" in d.message
+
+    def test_same_phase_write_does_not_initialise(self):
+        """Stores publish at the barrier: a same-phase read still sees nothing."""
+        p = program([
+            Phase("p0", (
+                kernel(
+                    "rw", 0,
+                    access(length=PAGE, op=MemOp.WRITE),
+                    access(length=PAGE, op=MemOp.READ),
+                ),
+            ), iteration=-1),
+        ])
+        assert "GPS003" in codes(analyze_program(p))
+
+    def test_initialised_read_clean(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("r", 0, access(length=4 * PAGE, op=MemOp.READ)),
+            ), iteration=0),
+        ])
+        assert "GPS003" not in codes(analyze_program(p))
+
+
+class TestScopeRules:
+    def test_sys_scope_on_data_buffer_warns(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel(
+                    "w", 0,
+                    access(length=128, op=MemOp.WRITE, scope=Scope.SYS),
+                ),
+            ), iteration=0),
+        ])
+        d = only(analyze_program(p), "GPS004")
+        assert d.severity is Severity.WARNING
+        assert d.location.buffer == "buf"
+
+    def test_weak_access_to_sync_buffer_errors(self):
+        from repro.trace.program import BufferSpec
+
+        buffers = (("buf", 4 * PAGE), BufferSpec("flag", PAGE, sync=True))
+        p = program(
+            [
+                setup_phase(),
+                Phase("it0", (
+                    kernel("w", 0, access("flag", length=64, op=MemOp.WRITE)),
+                ), iteration=0),
+            ],
+            buffers=buffers,
+        )
+        d = only(analyze_program(p), "GPS005")
+        assert d.severity is Severity.ERROR
+        assert d.location.buffer == "flag"
+
+    def test_sys_scope_on_sync_buffer_clean(self):
+        from repro.trace.program import BufferSpec
+
+        buffers = (("buf", 4 * PAGE), BufferSpec("flag", PAGE, sync=True))
+        p = program(
+            [
+                setup_phase(),
+                Phase("it0", (
+                    kernel(
+                        "w", 0,
+                        access("flag", length=64, op=MemOp.WRITE, scope=Scope.SYS),
+                        access(length=128, op=MemOp.READ),
+                    ),
+                ), iteration=0),
+            ],
+            buffers=buffers,
+        )
+        found = codes(analyze_program(p))
+        assert "GPS004" not in found and "GPS005" not in found
+
+
+class TestStaleReadHazard:
+    def _steady(self, reader_it1_offset: int) -> list:
+        """GPU 0 writes both pages every iteration; GPU 1 reads page 0 in the
+        profile iteration and ``reader_it1_offset`` afterwards."""
+        phases = [setup_phase()]
+        for it, offset in ((0, 0), (1, reader_it1_offset)):
+            phases.append(
+                Phase(f"it{it}", (
+                    kernel("w", 0, access(offset=0, length=2 * PAGE, op=MemOp.WRITE)),
+                    kernel("r", 1, access(offset=offset, length=PAGE, op=MemOp.READ)),
+                ), iteration=it)
+            )
+        return analyze_program(program(phases))
+
+    def test_unprofiled_page_read_in_steady_state(self):
+        d = only(self._steady(reader_it1_offset=PAGE), "GPS006")
+        assert d.severity is Severity.ERROR
+        assert d.location.gpu == 1
+        assert d.location.interval == (PAGE, 2 * PAGE)
+
+    def test_profiled_page_reads_clean(self):
+        assert "GPS006" not in codes(self._steady(reader_it1_offset=0))
+
+    def test_unshared_buffer_not_flagged(self):
+        """Nobody else writes the buffer, so the stale replica never diverges."""
+        phases = [setup_phase()]
+        for it, offset in ((0, 0), (1, PAGE)):
+            phases.append(
+                Phase(f"it{it}", (
+                    kernel("r", 1, access(offset=offset, length=PAGE, op=MemOp.READ)),
+                ), iteration=it)
+            )
+        assert "GPS006" not in codes(analyze_program(program(phases)))
+
+
+class TestAtomicPlainMix:
+    def test_overlapping_atomic_and_plain_store(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("w", 0, access(length=256, op=MemOp.WRITE)),
+                kernel("a", 1, access(length=128, op=MemOp.ATOMIC)),
+            ), iteration=0),
+        ])
+        d = only(analyze_program(p), "GPS007")
+        assert d.severity is Severity.INFO
+        assert "atomic and plain stores" in d.message
+
+    def test_disjoint_atomic_and_plain_clean(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("w", 0, access(offset=0, length=128, op=MemOp.WRITE)),
+                kernel("a", 1, access(offset=PAGE, length=128, op=MemOp.ATOMIC)),
+            ), iteration=0),
+        ])
+        assert "GPS007" not in codes(analyze_program(p))
+
+
+class TestHygieneRules:
+    def test_unused_buffer(self):
+        p = program(
+            [setup_phase(), Phase("it0", (
+                kernel("r", 0, access(length=128)),
+            ), iteration=0)],
+            buffers=(("buf", 4 * PAGE), ("ghost", PAGE)),
+        )
+        d = only(analyze_program(p), "GPS101")
+        assert d.severity is Severity.WARNING
+        assert d.location.buffer == "ghost"
+
+    def test_idle_gpus(self):
+        p = program(
+            [setup_phase(), Phase("it0", (
+                kernel("r", 0, access(length=128)),
+            ), iteration=0)],
+            num_gpus=4,
+        )
+        d = only(analyze_program(p), "GPS102")
+        assert "[1, 2, 3]" in d.message
+
+    def test_no_setup_phase(self):
+        p = program([
+            Phase("it0", (
+                kernel("w", 0, access(length=PAGE, op=MemOp.WRITE)),
+            ), iteration=0),
+        ])
+        d = only(analyze_program(p), "GPS103")
+        assert d.severity is Severity.WARNING
+
+    def test_setup_only_program_needs_no_setup_warning(self):
+        p = program([setup_phase()])
+        assert "GPS103" not in codes(analyze_program(p))
+
+    def test_payload_imbalance_ratio(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("big", 0, access(offset=0, length=4 * PAGE, op=MemOp.READ)),
+                kernel("small", 1, access(offset=0, length=128, op=MemOp.READ)),
+            ), iteration=0),
+        ])
+        d = only(analyze_program(p), "GPS104")
+        assert d.severity is Severity.INFO
+        assert "varies" in d.message
+
+    def test_zero_payload_kernel_is_reported(self):
+        """Regression: the old ``low > 0`` guard skipped empty kernels."""
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("busy", 0, access(length=4 * PAGE, op=MemOp.READ)),
+                kernel("idle", 1),
+            ), iteration=0),
+        ])
+        d = only(analyze_program(p), "GPS104")
+        assert "0 bytes" in d.message
+        assert d.location.kernel == "idle"
+        assert d.location.gpu == 1
+
+    def test_balanced_payloads_clean(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("a", 0, access(offset=0, length=PAGE, op=MemOp.READ)),
+                kernel("b", 1, access(offset=PAGE, length=PAGE, op=MemOp.READ)),
+            ), iteration=0),
+        ])
+        assert "GPS104" not in codes(analyze_program(p))

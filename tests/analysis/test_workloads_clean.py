@@ -1,0 +1,33 @@
+"""Every registered workload must pass the analyzer strict-clean.
+
+Strict-clean means no error- and no warning-severity findings at any system
+size — exactly what CI's ``python -m repro lint all --strict`` gate enforces.
+Info-level findings are allowed: the graph workloads deliberately mix plain
+shard resets with cross-GPU atomic scatters (GPS002/GPS007 territory).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis import Severity, analyze_program
+
+ALL_WORKLOADS = repro.workload_names() + ["mvmul"]
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+@pytest.mark.parametrize("num_gpus", [2, 4, 16])
+def test_workload_is_strict_clean(name, num_gpus):
+    program = repro.get_workload(name).build(num_gpus, scale=0.25, iterations=4)
+    bad = [
+        d
+        for d in analyze_program(program)
+        if d.severity in (Severity.ERROR, Severity.WARNING)
+    ]
+    assert bad == [], [str(d) for d in bad]
+
+
+def test_suite_is_complete():
+    """The strict-clean matrix really covers the paper's eight applications."""
+    assert len(repro.workload_names()) == 8

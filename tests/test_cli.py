@@ -123,3 +123,127 @@ class TestCache:
     def test_default_action_is_show(self, capsys, cache_dir):
         assert main(["cache"]) == 0
         assert "persistent cache" in capsys.readouterr().out
+
+
+class TestLint:
+    @pytest.fixture
+    def broken_path(self):
+        from pathlib import Path
+
+        path = Path(__file__).parent / "analysis" / "fixtures" / "broken_trace.json"
+        return str(path)
+
+    @pytest.fixture
+    def warning_path(self, tmp_path):
+        """A trace whose worst finding is a warning (an unused buffer)."""
+        from repro.trace.io import save_program
+        from repro.trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
+        from repro.trace.records import AccessRange, MemOp
+
+        page = 65536
+        program = TraceProgram(
+            "warny",
+            1,
+            (BufferSpec("buf", page), BufferSpec("ghost", page)),
+            (
+                Phase(
+                    "setup",
+                    (
+                        KernelSpec(
+                            "init", 0, 1.0,
+                            (AccessRange("buf", 0, page, MemOp.WRITE),),
+                        ),
+                    ),
+                    iteration=-1,
+                ),
+            ),
+        )
+        path = tmp_path / "warny.json"
+        save_program(program, path)
+        return str(path)
+
+    def test_broken_trace_exits_2(self, capsys, broken_path):
+        assert main(["lint", broken_path]) == 2
+        out = capsys.readouterr().out
+        assert "[error] GPS001 weak-write-write-race" in out
+        assert "error(s)" in out
+
+    def test_broken_trace_json_format(self, capsys, broken_path):
+        assert main(["lint", broken_path, "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "broken-fixture"
+        assert payload["max_severity"] == "error"
+
+    def test_broken_trace_sarif_format(self, capsys, broken_path):
+        assert main(["lint", broken_path, "--format", "sarif", "--strict"]) == 2
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        fired = {r["ruleId"] for r in run["results"]}
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert fired == declared  # the fixture trips every registered rule
+
+    def test_warning_trace_strict_exits_1(self, capsys, warning_path):
+        assert main(["lint", warning_path, "--strict"]) == 1
+        assert "GPS101" in capsys.readouterr().out
+
+    def test_warning_trace_lenient_exits_0(self, warning_path):
+        assert main(["lint", warning_path]) == 0
+
+    def test_select_limits_rules(self, capsys, broken_path):
+        assert main(["lint", broken_path, "--select", "GPS102,GPS104"]) == 0
+        out = capsys.readouterr().out
+        assert "GPS102" in out
+        assert "GPS001" not in out
+
+    def test_ignore_drops_rules(self, capsys, warning_path):
+        assert main(["lint", warning_path, "--strict", "--ignore", "GPS1"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_workload_target_is_clean(self, capsys):
+        code = main(
+            ["lint", "jacobi", "--strict", "--gpus", "4",
+             "--scale", "0.1", "--iterations", "2"]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_all_workloads_strict_clean(self, capsys):
+        code = main(
+            ["lint", "all", "--strict", "--gpus", "4",
+             "--scale", "0.1", "--iterations", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("jacobi", "pagerank", "hit"):
+            assert name in out
+
+    def test_all_workloads_json_wraps_programs(self, capsys):
+        main(["lint", "all", "--format", "json", "--gpus", "2",
+              "--scale", "0.1", "--iterations", "2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["programs"]) == 8
+
+    def test_unknown_target_rejected(self):
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError):
+            main(["lint", "no-such-workload"])
+
+
+class TestRunTrace:
+    def test_refuses_broken_trace(self, capsys):
+        from pathlib import Path
+
+        path = Path(__file__).parent / "analysis" / "fixtures" / "broken_trace.json"
+        assert main(["run-trace", str(path)]) == 2
+        out = capsys.readouterr().out
+        assert "refusing to simulate" in out
+        assert "GPS001" in out
+
+    def test_no_analyze_overrides(self, capsys):
+        from pathlib import Path
+
+        path = Path(__file__).parent / "analysis" / "fixtures" / "broken_trace.json"
+        assert main(["run-trace", str(path), "--no-analyze"]) == 0
+        assert "simulated time" in capsys.readouterr().out
