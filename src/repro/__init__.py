@@ -8,7 +8,9 @@ MICRO 2021. The public API:
 * :data:`repro.WORKLOADS` / :func:`repro.get_workload` — the Table 2 suite;
 * :data:`repro.PARADIGMS` — UM, UM+hints, RDL, memcpy, GPS, infinite-BW;
 * :class:`repro.GPSRuntime` — the ``cudaMallocGPS``-style driver API;
-* :func:`repro.default_system` and the config dataclasses — system models.
+* :func:`repro.default_system` and the config dataclasses — system models;
+* :mod:`repro.obs` — span tracing, hardware counters, and Perfetto export
+  (``python -m repro trace <workload>`` from the CLI).
 
 Quick start::
 
@@ -42,12 +44,20 @@ from .config import (
 from .analysis import Diagnostic, Severity, analyze_program, check_program
 from .core.runtime import GPSRuntime, MemAdvise
 from .errors import AnalysisError, ReproError
+from .obs import (
+    CounterRegistry,
+    Span,
+    TraceCollector,
+    chrome_trace,
+    self_time_profile,
+    write_chrome_trace,
+)
 from .paradigms.registry import FIGURE8_ORDER, LABELS, PARADIGMS, make_executor
 from .system.executor import simulate, speedup_over_single_gpu
 from .system.results import SimulationResult
 from .workloads.registry import WORKLOADS, get_workload, workload_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CACHE_BLOCK",
@@ -86,5 +96,11 @@ __all__ = [
     "Severity",
     "analyze_program",
     "check_program",
+    "CounterRegistry",
+    "Span",
+    "TraceCollector",
+    "chrome_trace",
+    "self_time_profile",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     python -m repro run jacobi --paradigm gps --gpus 4 --link pcie6
     python -m repro compare ct --gpus 4 --scale 0.5
     python -m repro figure fig8 --scale 0.5 --iterations 8 --json out.json
+    python -m repro trace stencil --gpus 2 --out trace.json   # Perfetto trace
+    python -m repro profile jacobi --paradigm gps --top 10
     python -m repro cache show
     python -m repro list
 
@@ -30,10 +32,19 @@ from . import (
 )
 from .harness import experiments
 from .harness.ascii_plot import bar_chart
-from .harness.runner import cache_stats, clear_disk_cache, disk_cache_info
+from .harness.runner import cache_stats, clear_disk_cache, disk_cache_info, fleet_stats
 from .harness.export import to_json
 from .harness.report import format_speedup_matrix, format_table
 from .units import fmt_bytes, fmt_time
+
+#: Convenience aliases accepted anywhere a workload name is (``repro trace
+#: stencil`` runs the 5-point stencil workload, registered as ``jacobi``).
+_WORKLOAD_ALIASES = {"stencil": "jacobi"}
+
+
+def _resolve_workload(name: str) -> str:
+    return _WORKLOAD_ALIASES.get(name, name)
+
 
 #: CLI figure name -> (driver, accepts scale/iterations).
 FIGURES = {
@@ -97,12 +108,50 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads, paradigms, and interconnects")
 
-    trace = sub.add_parser("trace", help="export a workload trace to JSON")
-    trace.add_argument("workload")
-    trace.add_argument("path", help="output JSON file")
+    trace = sub.add_parser(
+        "trace",
+        help="run one workload and export a Perfetto/Chrome-trace span trace",
+        description=(
+            "Simulate one workload under one paradigm with span tracing forced "
+            "on, then export the schedule as Chrome trace-event JSON (openable "
+            "at https://ui.perfetto.dev) with a provenance manifest."
+        ),
+    )
+    trace.add_argument("workload", help="workload name (or alias, e.g. 'stencil')")
+    trace.add_argument("--paradigm", default="gps", choices=sorted(PARADIGMS))
     trace.add_argument("--gpus", type=int, default=4)
+    trace.add_argument("--link", default="pcie6", choices=sorted(LINKS_BY_NAME))
     trace.add_argument("--scale", type=float, default=0.5)
     trace.add_argument("--iterations", type=int, default=8)
+    trace.add_argument("--out", metavar="PATH", help="trace JSON output (default: <workload>.trace.json)")
+    trace.add_argument("--metrics", metavar="PATH", help="also write flat counter metrics (.json or .csv)")
+    trace.add_argument("--top", type=int, default=10, help="profile rows to print (0 = none)")
+    trace.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check the emitted trace and fail on any problem",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one workload and print a top-N self-time profile",
+    )
+    profile.add_argument("workload", help="workload name (or alias, e.g. 'stencil')")
+    profile.add_argument("--paradigm", default="gps", choices=sorted(PARADIGMS))
+    profile.add_argument("--gpus", type=int, default=4)
+    profile.add_argument("--link", default="pcie6", choices=sorted(LINKS_BY_NAME))
+    profile.add_argument("--scale", type=float, default=0.5)
+    profile.add_argument("--iterations", type=int, default=8)
+    profile.add_argument("--top", type=int, default=15, help="rows to print")
+
+    export_trace = sub.add_parser(
+        "export-trace", help="export a workload's trace *program* to JSON"
+    )
+    export_trace.add_argument("workload")
+    export_trace.add_argument("path", help="output JSON file")
+    export_trace.add_argument("--gpus", type=int, default=4)
+    export_trace.add_argument("--scale", type=float, default=0.5)
+    export_trace.add_argument("--iterations", type=int, default=8)
 
     run_trace = sub.add_parser("run-trace", help="simulate a saved trace file")
     run_trace.add_argument("path")
@@ -234,6 +283,9 @@ def _cmd_figure(args) -> int:
     stats = cache_stats()
     if stats.lookups:
         print(f"cache: {stats.report()}")
+    fleet = fleet_stats()
+    if fleet.runs:
+        print(fleet.report())
     return 0
 
 
@@ -248,20 +300,98 @@ def _cmd_cache(args) -> int:
         return 0
     if not info["enabled"]:
         print("persistent cache: disabled (REPRO_NO_CACHE is set)")
-        return 0
-    print(f"persistent cache: {info['directory']}")
-    print(f"model fingerprint: {info['model']}")
-    print(f"entries          : {info['entries']} ({fmt_bytes(info['size_bytes'])})")
-    stats = cache_stats()
-    if stats.lookups:
-        print(f"this process     : {stats.report()}")
+    else:
+        print(f"persistent cache: {info['directory']}")
+        print(f"model fingerprint: {info['model']}")
+        print(f"entries          : {info['entries']} ({fmt_bytes(info['size_bytes'])})")
+        stats = cache_stats()
+        if stats.lookups:
+            print(f"this process     : {stats.report()}")
+    fleet = fleet_stats()
+    if fleet.runs:
+        print(fleet.report())
     return 0
 
 
+def _traced_run(args):
+    """Build + run one executor with span tracing forced on.
+
+    Returns ``(executor, result, wall_clock_seconds)``. Deliberately skips
+    the result cache: a cached result has no span trace to export.
+    """
+    import time as _time
+
+    from .paradigms.registry import make_executor
+
+    workload = get_workload(_resolve_workload(args.workload))
+    program = workload.build(args.gpus, scale=args.scale, iterations=args.iterations)
+    config = default_system(args.gpus, LINKS_BY_NAME[args.link])
+    executor = make_executor(args.paradigm, program, config)
+    executor.collector.enable()
+    t0 = _time.perf_counter()
+    result = executor.run()
+    return executor, result, _time.perf_counter() - t0
+
+
 def _cmd_trace(args) -> int:
+    import json as _json
+
+    from .obs import (
+        format_profile,
+        metrics_csv,
+        metrics_json,
+        run_manifest,
+        self_time_profile,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    executor, result, wall = _traced_run(args)
+    out = args.out or f"{_resolve_workload(args.workload)}.trace.json"
+    manifest = run_manifest(result, executor.config, wall_clock=wall)
+    payload = write_chrome_trace(out, executor.collector, manifest)
+    spans = len(executor.collector)
+    print(f"simulated time: {fmt_time(result.total_time)}")
+    print(f"wrote {out}: {spans} spans on "
+          f"{len(executor.collector.by_track())} tracks "
+          f"(open at https://ui.perfetto.dev)")
+    if args.metrics:
+        if args.metrics.endswith(".csv"):
+            with open(args.metrics, "w") as fh:
+                fh.write(metrics_csv(result))
+        else:
+            with open(args.metrics, "w") as fh:
+                _json.dump(metrics_json(result), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.metrics}: {len(result.counters)} counters")
+    if args.top:
+        print(format_profile(self_time_profile(executor.collector, top=args.top)))
+    if args.validate:
+        problems = validate_chrome_trace(payload)
+        if problems:
+            for problem in problems:
+                print(f"trace validation: {problem}", file=sys.stderr)
+            return 2
+        print(f"trace validation: OK ({spans} spans)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs import format_profile, self_time_profile
+
+    executor, result, _wall = _traced_run(args)
+    print(f"simulated time: {fmt_time(result.total_time)}")
+    title = (
+        f"self-time profile: {_resolve_workload(args.workload)} / {args.paradigm} "
+        f"on {args.gpus} GPUs"
+    )
+    print(format_profile(self_time_profile(executor.collector, top=args.top), title))
+    return 0
+
+
+def _cmd_export_trace(args) -> int:
     from .trace.io import save_program
 
-    program = get_workload(args.workload).build(
+    program = get_workload(_resolve_workload(args.workload)).build(
         args.gpus, scale=args.scale, iterations=args.iterations
     )
     save_program(program, args.path)
@@ -371,6 +501,8 @@ def main(argv=None) -> int:
         "figure": _cmd_figure,
         "list": _cmd_list,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
+        "export-trace": _cmd_export_trace,
         "run-trace": _cmd_run_trace,
         "lint": _cmd_lint,
         "cache": _cmd_cache,

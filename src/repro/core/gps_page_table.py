@@ -44,6 +44,10 @@ class GPSPageTable:
         self.config = config
         self.num_gpus = num_gpus
         self._entries: dict[int, GPSPTE] = {}
+        #: Lifetime operation counts (see :meth:`counters`).
+        self.lookups = 0
+        self.installs = 0
+        self.removals = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -63,13 +67,16 @@ class GPSPageTable:
             raise TranslationError(f"GPU {gpu} out of range installing VPN {vpn:#x}")
         entry = self._entries.setdefault(vpn, GPSPTE(vpn=vpn))
         entry.replicas[gpu] = frame
+        self.installs += 1
         return entry
 
     def remove_replica(self, vpn: int, gpu: int) -> int:
         """Drop ``gpu``'s replica; returns the freed frame."""
         entry = self.lookup(vpn)
         try:
-            return entry.replicas.pop(gpu)
+            frame = entry.replicas.pop(gpu)
+            self.removals += 1
+            return frame
         except KeyError:
             raise TranslationError(
                 f"GPU {gpu} holds no replica of VPN {vpn:#x}"
@@ -84,6 +91,7 @@ class GPSPageTable:
 
     def lookup(self, vpn: int) -> GPSPTE:
         """Fetch the wide PTE for a page-walk; raises on a miss."""
+        self.lookups += 1
         try:
             return self._entries[vpn]
         except KeyError:
@@ -101,3 +109,17 @@ class GPSPageTable:
     def pages_with_multiple_subscribers(self) -> list[int]:
         """VPNs genuinely replicated — the pages GPS keeps the GPS bit on."""
         return [vpn for vpn, e in self._entries.items() if len(e.replicas) > 1]
+
+    def counters(self) -> dict:
+        """Observability snapshot in ``metric: value`` form.
+
+        Registered as a lazy provider under the ``gps_page_table.`` prefix
+        (see :mod:`repro.obs.registry`), resolved at result-build time.
+        """
+        return {
+            "lookups": self.lookups,
+            "installs": self.installs,
+            "removals": self.removals,
+            "pages": len(self._entries),
+            "replicated_pages": len(self.pages_with_multiple_subscribers()),
+        }

@@ -48,3 +48,9 @@ class GPSTLB:
     def flush(self) -> None:
         """Full shootdown (tracking-stop reconfiguration)."""
         self._tlb.flush()
+
+    def counters(self) -> dict:
+        """Observability snapshot: hit/miss/eviction counts plus walks."""
+        snapshot = self._tlb.stats.as_counters()
+        snapshot["walks"] = self.walks
+        return snapshot

@@ -70,6 +70,19 @@ class WriteQueueStats:
             return 0.0
         return 1.0 - self.bytes_out / self.bytes_in
 
+    def as_counters(self) -> dict:
+        """Observability snapshot: ``metric: value`` for the counter registry."""
+        return {
+            "stores_seen": self.stores_seen,
+            "coalesced_hits": self.coalesced_hits,
+            "inserts": self.inserts,
+            "watermark_drains": self.watermark_drains,
+            "flush_drains": self.flush_drains,
+            "atomics_bypassed": self.atomics_bypassed,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+        }
+
 
 @dataclass
 class _Entry:

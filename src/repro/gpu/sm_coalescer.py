@@ -10,14 +10,45 @@ with no residual spatial locality and show a 0% queue hit rate (Figure 14).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
 from ..config import CACHE_BLOCK
 from ..trace.expand import LineStream
 
 
-def sm_coalesce(stream: LineStream) -> LineStream:
-    """Collapse runs of identical adjacent lines into single transactions."""
+@dataclass
+class CoalescerStats:
+    """Transaction accounting for the SM coalescer stage."""
+
+    txns_in: int = 0
+    txns_out: int = 0
+
+    @property
+    def merged(self) -> int:
+        """Transactions absorbed into an adjacent one."""
+        return self.txns_in - self.txns_out
+
+    @property
+    def merge_rate(self) -> float:
+        """Fraction of incoming transactions absorbed; 0.0 on an empty stream."""
+        if self.txns_in == 0:
+            return 0.0
+        return self.merged / self.txns_in
+
+    def as_counters(self) -> dict:
+        """Observability snapshot: ``metric: value`` for the counter registry."""
+        return {"txns_in": self.txns_in, "txns_out": self.txns_out, "merged": self.merged}
+
+
+def sm_coalesce(stream: LineStream, stats: Optional[CoalescerStats] = None) -> LineStream:
+    """Collapse runs of identical adjacent lines into single transactions.
+
+    ``stats``, when given, accumulates in/out transaction counts across
+    calls (the program analysis keeps one per kernel).
+    """
     if len(stream) == 0:
         return stream
     lines = stream.lines
@@ -28,6 +59,9 @@ def sm_coalesce(stream: LineStream) -> LineStream:
     run_ids = np.cumsum(boundaries) - 1
     summed = np.zeros(starts.shape[0], dtype=np.int64)
     np.add.at(summed, run_ids, stream.bytes_per_txn)
+    if stats is not None:
+        stats.txns_in += int(lines.shape[0])
+        stats.txns_out += int(starts.shape[0])
     return LineStream(
         lines[starts],
         np.minimum(summed, CACHE_BLOCK).astype(np.int32),

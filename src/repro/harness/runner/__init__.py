@@ -29,18 +29,21 @@ from ...system.results import SimulationResult
 from . import memo
 from .disk import DEFAULT_CACHE_DIR, DiskCache
 from .fingerprint import MODEL_FINGERPRINT, SimJob, job_key, resolve_link
-from .parallel import compute_job, run_many
-from .stats import CacheStats
+from .parallel import compute_job, fleet_stats, run_many
+from .stats import CacheStats, FleetStats, WorkerStats
 
 __all__ = [
     "CacheStats",
     "DEFAULT_CACHE_DIR",
+    "FleetStats",
     "MODEL_FINGERPRINT",
     "SimJob",
+    "WorkerStats",
     "cache_stats",
     "clear_disk_cache",
     "clear_run_cache",
     "disk_cache_info",
+    "fleet_stats",
     "job_key",
     "resolve_link",
     "run_many",
@@ -93,11 +96,13 @@ def run_speedup(
 def clear_run_cache() -> None:
     """Drop memoised results (tests that mutate global knobs use this).
 
-    Also zeroes the :class:`CacheStats` counters and detaches the persistent
-    cache handle so it is re-resolved from the environment on next use.
-    Records already on disk are kept; see :func:`clear_disk_cache`.
+    Also zeroes the :class:`CacheStats` and :class:`FleetStats` counters and
+    detaches the persistent cache handle so it is re-resolved from the
+    environment on next use. Records already on disk are kept; see
+    :func:`clear_disk_cache`.
     """
     memo.clear()
+    fleet_stats().reset()
 
 
 def cache_stats() -> CacheStats:

@@ -12,6 +12,7 @@ serial execution.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
 from ...analysis import check_program
@@ -20,10 +21,19 @@ from ...system.results import SimulationResult
 from ...workloads.registry import get_workload
 from . import memo
 from .fingerprint import SimJob
+from .stats import FleetStats
 
 #: Serial fallback threshold: a pool is not worth forking below this many
 #: uncached jobs.
 _MIN_PARALLEL_JOBS = 3
+
+#: Process-wide fan-out accounting (see :func:`fleet_stats`).
+_FLEET = FleetStats()
+
+
+def fleet_stats() -> FleetStats:
+    """This process's live ``run_many`` fan-out counters."""
+    return _FLEET
 
 
 def compute_job(job: SimJob) -> SimulationResult:
@@ -44,10 +54,19 @@ def compute_job(job: SimJob) -> SimulationResult:
     return simulate(program, job.paradigm, config)
 
 
+def _timed_compute(job: SimJob) -> "tuple[int, float, SimulationResult]":
+    """Pool entry point: compute one job, returning (pid, wall_clock, result)."""
+    t0 = time.perf_counter()
+    result = compute_job(job)
+    return os.getpid(), time.perf_counter() - t0, result
+
+
 def _worker_init() -> None:
-    # Workers never consult the caches and must never recursively fork.
+    # Workers never consult the caches, must never recursively fork, and
+    # skip span materialisation (the parent only receives the result dict).
     os.environ["REPRO_RUNNER_WORKER"] = "1"
     os.environ["REPRO_NO_CACHE"] = "1"
+    os.environ["REPRO_NO_TRACE"] = "1"
 
 
 def _resolve_workers(max_workers: "int | None", pending: int) -> int:
@@ -86,17 +105,26 @@ def run_many(jobs, max_workers: "int | None" = None) -> "list[SimulationResult]"
         else:
             pending[key] = job
 
+    _FLEET.runs += 1
+    _FLEET.jobs_submitted += len(jobs)
+    _FLEET.jobs_cached += len(jobs) - len(pending)
+
     workers = _resolve_workers(max_workers, len(pending))
     if workers <= 1:
         for key, job in pending.items():
-            results[key] = memo.store(key, compute_job(job), job.meta())
+            t0 = time.perf_counter()
+            result = compute_job(job)
+            _FLEET.record_job(f"pid{os.getpid()} (serial)", time.perf_counter() - t0)
+            results[key] = memo.store(key, result, job.meta())
     elif pending:
         with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
-            futures = {pool.submit(compute_job, job): key for key, job in pending.items()}
+            futures = {pool.submit(_timed_compute, job): key for key, job in pending.items()}
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     key = futures[future]
-                    results[key] = memo.store(key, future.result(), pending[key].meta())
+                    pid, wall, result = future.result()
+                    _FLEET.record_job(f"pid{pid}", wall)
+                    results[key] = memo.store(key, result, pending[key].meta())
     return [results[key] for key in keys]

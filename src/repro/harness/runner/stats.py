@@ -1,8 +1,14 @@
-"""Cache observability: hit/miss/evict counters for the memoised runner."""
+"""Cache and fleet observability for the memoised runner.
+
+:class:`CacheStats` counts cache-layer outcomes per lookup;
+:class:`FleetStats` aggregates ``run_many`` fan-outs — how many jobs each
+worker process computed and how much wall-clock the computation took —
+surfaced by ``python -m repro cache show``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass
@@ -76,3 +82,76 @@ class CacheStats:
             f"({self.memory_hits} memory, {self.disk_hits} disk, "
             f"{self.misses} misses; {100.0 * self.hit_rate:.0f}% hit rate)"
         )
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker-process accounting of one or more ``run_many`` fan-outs."""
+
+    worker: str
+    jobs: int = 0
+    wall_clock: float = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {"worker": self.worker, "jobs": self.jobs, "wall_clock_s": self.wall_clock}
+
+
+@dataclass
+class FleetStats:
+    """Aggregate view of every ``run_many`` fan-out this process issued.
+
+    ``jobs_cached`` counts submissions resolved without simulating (memo or
+    disk hit, plus in-batch duplicates); ``jobs_computed`` counts actual
+    simulations; ``wall_clock`` sums per-job compute time across workers
+    (it exceeds elapsed time when the pool runs wide).
+    """
+
+    runs: int = 0
+    jobs_submitted: int = 0
+    jobs_cached: int = 0
+    jobs_computed: int = 0
+    wall_clock: float = 0.0
+    workers: dict = field(default_factory=dict)
+
+    def record_job(self, worker: str, wall_clock: float) -> None:
+        """Account one computed job to one worker."""
+        stats = self.workers.get(worker)
+        if stats is None:
+            stats = self.workers[worker] = WorkerStats(worker=worker)
+        stats.jobs += 1
+        stats.wall_clock += wall_clock
+        self.jobs_computed += 1
+        self.wall_clock += wall_clock
+
+    def reset(self) -> None:
+        """Zero everything (``clear_run_cache`` calls this)."""
+        self.runs = 0
+        self.jobs_submitted = 0
+        self.jobs_cached = 0
+        self.jobs_computed = 0
+        self.wall_clock = 0.0
+        self.workers = {}
+
+    def as_dict(self) -> dict:
+        """JSON-safe representation, workers sorted by name."""
+        return {
+            "runs": self.runs,
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_cached": self.jobs_cached,
+            "jobs_computed": self.jobs_computed,
+            "wall_clock_s": self.wall_clock,
+            "workers": [self.workers[w].as_dict() for w in sorted(self.workers)],
+        }
+
+    def report(self) -> str:
+        """Multi-line human summary for ``python -m repro cache show``."""
+        lines = [
+            f"fleet: {self.runs} run_many call(s), {self.jobs_submitted} jobs submitted "
+            f"({self.jobs_cached} cached, {self.jobs_computed} computed, "
+            f"{self.wall_clock:.2f}s compute wall-clock)"
+        ]
+        for name in sorted(self.workers):
+            w = self.workers[name]
+            lines.append(f"  {w.worker}: {w.jobs} job(s), {w.wall_clock:.2f}s")
+        return "\n".join(lines)

@@ -52,6 +52,10 @@ class Link:
         self.bytes_transferred = 0
         self.transfer_count = 0
 
+    def counters(self) -> dict:
+        """Observability snapshot: ``metric: value`` for the counter registry."""
+        return {"bytes": self.bytes_transferred, "transfers": self.transfer_count}
+
     def __repr__(self) -> str:
         return (
             f"Link({self.src}->{self.dst}, {self.config.name}, "

@@ -49,6 +49,10 @@ class TLBStats:
             evictions=self.evictions + other.evictions,
         )
 
+    def as_counters(self) -> dict:
+        """Observability snapshot: ``metric: value`` for the counter registry."""
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
 
 @dataclass
 class _TLBSet:

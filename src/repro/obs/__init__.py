@@ -1,0 +1,49 @@
+"""repro.obs — the observability layer of the simulator.
+
+Three instruments, threaded through every run (see ``docs/OBSERVABILITY.md``):
+
+* **span tracing** — the DES engine materialises every scheduled,
+  resource-bound task as a structured :class:`Span` (name, category, track,
+  start/end, attributes) in a per-run :class:`TraceCollector`; the collector
+  is the source of truth for :mod:`repro.system.timeline` and the Perfetto
+  exporter. ``REPRO_NO_TRACE=1`` switches span materialisation off.
+* a **hierarchical counter registry** — hardware models publish named
+  counters (``component.metric``, e.g. ``gps_tlb.misses``) into a
+  :class:`CounterRegistry`; per-GPU scopes (``gpu0.gps_tlb.misses``) roll up
+  into system-wide totals, and the snapshot lands in
+  ``SimulationResult.counters`` where it survives the disk cache round-trip.
+* **exporters** — Chrome-trace / Perfetto JSON (:func:`chrome_trace`,
+  loadable at https://ui.perfetto.dev), flat metrics JSON/CSV, a run
+  manifest for provenance, and a top-N self-time profile
+  (:func:`self_time_profile`).
+"""
+
+from .collector import TraceCollector, tracing_enabled
+from .export import (
+    chrome_trace,
+    metrics_csv,
+    metrics_json,
+    run_manifest,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .profile import ProfileRow, format_profile, self_time_profile
+from .registry import Counter, CounterRegistry
+from .span import Span
+
+__all__ = [
+    "Counter",
+    "CounterRegistry",
+    "ProfileRow",
+    "Span",
+    "TraceCollector",
+    "chrome_trace",
+    "format_profile",
+    "metrics_csv",
+    "metrics_json",
+    "run_manifest",
+    "self_time_profile",
+    "tracing_enabled",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,86 @@
+"""The per-run trace collector.
+
+One :class:`TraceCollector` lives on each DES engine; the engine appends a
+:class:`~repro.obs.span.Span` per scheduled resource-bound task when it
+runs. ``REPRO_NO_TRACE=1`` disables span materialisation globally (the
+fan-out runner sets it in worker processes so fleet runs stay cheap);
+consumers that require a trace — the ``repro trace``/``repro profile`` CLI —
+re-enable it on their own collector with :meth:`TraceCollector.enable`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from .span import Span
+
+
+def tracing_enabled() -> bool:
+    """Whether span materialisation is on (the ``REPRO_NO_TRACE`` knob).
+
+    Unset, empty, or ``"0"`` means tracing is enabled; anything else
+    disables it. Counters are unaffected — they are cheap enough to stay on
+    unconditionally.
+    """
+    flag = os.environ.get("REPRO_NO_TRACE", "")
+    return flag in ("", "0")
+
+
+class TraceCollector:
+    """Accumulates the spans of one simulation run.
+
+    ``enabled`` defaults to the environment (:func:`tracing_enabled`); a
+    disabled collector drops every record, so instrumentation call sites
+    never need their own guard.
+    """
+
+    def __init__(self, enabled: "bool | None" = None) -> None:
+        self.enabled = tracing_enabled() if enabled is None else enabled
+        self._spans: list[Span] = []
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    @property
+    def spans(self) -> list[Span]:
+        """All recorded spans, in emission order."""
+        return list(self._spans)
+
+    def enable(self) -> None:
+        """Force span materialisation on, overriding ``REPRO_NO_TRACE``."""
+        self.enabled = True
+
+    def record(self, span: Span) -> None:
+        """Append one span (dropped when the collector is disabled)."""
+        if self.enabled:
+            self._spans.append(span)
+
+    def emit(
+        self,
+        name: str,
+        category: str,
+        track: str,
+        start: float,
+        end: float,
+        attrs: "dict | None" = None,
+    ) -> None:
+        """Construct and record one span in place."""
+        if self.enabled:
+            self._spans.append(Span(name, category, track, start, end, attrs or {}))
+
+    def clear(self) -> None:
+        """Drop every recorded span."""
+        self._spans.clear()
+
+    def by_track(self) -> "dict[str, list[Span]]":
+        """Spans grouped by resource track, each list sorted by start time."""
+        tracks: dict[str, list[Span]] = {}
+        for span in self._spans:
+            tracks.setdefault(span.track, []).append(span)
+        for spans in tracks.values():
+            spans.sort(key=lambda s: (s.start, s.end))
+        return dict(sorted(tracks.items()))

@@ -1,0 +1,136 @@
+"""The hierarchical counter/gauge registry.
+
+Naming convention: dot-separated ``component.metric`` (``gps_tlb.misses``,
+``write_queue.bytes_out``, ``link.egress0.bytes``). Per-GPU instances live
+under a ``gpuN`` scope (``gpu0.gps_tlb.misses``); the snapshot
+(:meth:`CounterRegistry.as_dict`) *rolls up* those scopes into system-wide
+totals automatically, so every per-GPU metric also appears aggregated under
+its bare ``component.metric`` name.
+
+Hardware models publish in one of two ways:
+
+* imperative — the executor calls ``registry.add("dram.read_bytes", n)`` on
+  a hot path (a plain dict increment; cheap enough to stay always-on);
+* providers — a model registers a callable returning its counter dict
+  (``scope.provide("gps_tlb", unit.tlb.counters)``); providers are resolved
+  once, at snapshot time, so models keep owning their own stats objects.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Union
+
+Number = Union[int, float]
+
+_GPU_SCOPE = re.compile(r"^gpu\d+\.")
+
+
+class Counter:
+    """A named, monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def add(self, amount: Number = 1) -> None:
+        """Increment by ``amount`` (default 1)."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class CounterRegistry:
+    """Flat store of counters, gauges, and lazy providers with scope roll-up.
+
+    All names share one namespace; :meth:`scope` returns a view that
+    prefixes names (``registry.scope("gpu0").add("gps_tlb.misses", 1)``
+    lands on ``gpu0.gps_tlb.misses``). On snapshot, any name under a
+    ``gpuN.`` scope also contributes to an aggregate entry with the scope
+    stripped, unless that aggregate name was registered explicitly.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Number] = {}
+        self._providers: list[tuple[str, Callable[[], "dict[str, Number]"]]] = []
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def add(self, name: str, amount: Number = 1) -> None:
+        """Increment the named counter, creating it on first use."""
+        self.counter(name).add(amount)
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set a point-in-time value (last write wins)."""
+        self._gauges[name] = value
+
+    def provide(self, prefix: str, fn: Callable[[], "dict[str, Number]"]) -> None:
+        """Register a lazy provider; its dict is merged under ``prefix.``."""
+        self._providers.append((prefix, fn))
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        """A view of this registry with every name prefixed by ``prefix.``."""
+        return ScopedRegistry(self, prefix)
+
+    def as_dict(self) -> "dict[str, Number]":
+        """Snapshot: counters, gauges, resolved providers, plus roll-ups.
+
+        Sorted by name. Collisions resolve last-writer-wins in the order
+        counters -> gauges -> providers; roll-ups never overwrite an
+        explicitly registered aggregate.
+        """
+        flat: dict[str, Number] = {}
+        for name, counter in self._counters.items():
+            flat[name] = counter.value
+        flat.update(self._gauges)
+        for prefix, fn in self._providers:
+            for key, value in fn().items():
+                flat[f"{prefix}.{key}"] = value
+        rollups: dict[str, Number] = {}
+        for name, value in flat.items():
+            if _GPU_SCOPE.match(name):
+                base = name.split(".", 1)[1]
+                if base not in flat:
+                    rollups[base] = rollups.get(base, 0) + value
+        flat.update(rollups)
+        return dict(sorted(flat.items()))
+
+
+class ScopedRegistry:
+    """A prefixing view over a :class:`CounterRegistry` (shares its store)."""
+
+    def __init__(self, parent: CounterRegistry, prefix: str) -> None:
+        self._parent = parent
+        self._prefix = prefix
+
+    def _name(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        """Get or create ``<prefix>.<name>`` in the parent registry."""
+        return self._parent.counter(self._name(name))
+
+    def add(self, name: str, amount: Number = 1) -> None:
+        """Increment ``<prefix>.<name>``."""
+        self._parent.add(self._name(name), amount)
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``<prefix>.<name>``."""
+        self._parent.gauge(self._name(name), value)
+
+    def provide(self, prefix: str, fn: Callable[[], "dict[str, Number]"]) -> None:
+        """Register a provider under ``<prefix>.<sub-prefix>.``."""
+        self._parent.provide(self._name(prefix), fn)
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        """A deeper scope."""
+        return ScopedRegistry(self._parent, self._name(prefix))

@@ -1,0 +1,66 @@
+"""Structured spans: the unit record of the tracing layer.
+
+A span is one scheduled occupancy of one serialising resource — a kernel on
+a GPU, a publish on an egress port, a migration on an ingress port. The DES
+engine materialises spans after scheduling (start/end come from the
+schedule, not wall clock), so a trace is an exact, replayable picture of
+where simulated time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Well-known span categories emitted by the paradigm executors. Free-form
+#: strings are allowed; these are the ones the exporters colour-key on.
+CATEGORY_KERNEL = "kernel"
+CATEGORY_TRANSFER = "transfer"
+CATEGORY_BARRIER = "barrier"
+CATEGORY_TASK = "task"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One scheduled interval on one resource track.
+
+    ``track`` is the resource name (``gpu0``, ``egress2``, ...); ``attrs``
+    carries structured metadata the emitter attached (payload bytes,
+    source/destination GPU, phase name). Spans on one track never overlap —
+    the engine's resources serialise by construction.
+    """
+
+    name: str
+    category: str
+    track: str
+    start: float
+    end: float
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "track": self.track,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            category=payload["category"],
+            track=payload["track"],
+            start=payload["start"],
+            end=payload["end"],
+            attrs=payload.get("attrs", {}),
+        )

@@ -17,6 +17,8 @@ from typing import Optional
 from ..config import SystemConfig
 from ..gpu.kernel_timing import KernelTiming, KernelTimingModel
 from ..interconnect.traffic import TrafficMatrix
+from ..obs import CounterRegistry, TraceCollector
+from ..obs.span import CATEGORY_KERNEL, CATEGORY_TRANSFER
 from ..sim.engine import Engine, Resource, Task
 from ..system.analysis import KernelFootprint, get_analysis
 from ..system.results import PhaseBreakdown, SimulationResult
@@ -44,7 +46,13 @@ class ParadigmExecutor(ABC):
         self.analysis = get_analysis(program, config)
         self.timing = KernelTimingModel(config.gpu)
         self.traffic = TrafficMatrix(config.num_gpus)
-        self.engine = Engine()
+        #: Structured span trace of the run (shared with the engine); gated
+        #: by ``REPRO_NO_TRACE``.
+        self.collector = TraceCollector()
+        #: Hierarchical hardware-counter registry, snapshotted into
+        #: :attr:`SimulationResult.counters` by :meth:`build_result`.
+        self.counters = CounterRegistry()
+        self.engine = Engine(self.collector)
         self._gpu_res = [self.engine.resource(f"gpu{g}") for g in range(config.num_gpus)]
         self._egress_res = [self.engine.resource(f"egress{g}") for g in range(config.num_gpus)]
         self._ingress_res = [self.engine.resource(f"ingress{g}") for g in range(config.num_gpus)]
@@ -88,6 +96,9 @@ class ParadigmExecutor(ABC):
         )
         read_time = self.timing.local_memory_time(reads, footprint.l2_hit_rate)
         write_time = self.timing.local_memory_time(stores, STORE_L2_HIT)
+        dram = self.counters.scope(f"gpu{footprint.kernel.gpu}").scope("dram")
+        dram.add("read_bytes", sum(reads.values()))
+        dram.add("write_bytes", sum(stores.values()))
         # TLB pressure: a footprint beyond last-level TLB coverage pays
         # page-walk storms — the mechanism that penalises 4 KiB pages in
         # the paper's section 7.4 page-size study.
@@ -132,10 +143,37 @@ class ParadigmExecutor(ABC):
             return []
         if record:
             self.traffic.add(src, dst, num_bytes)
+            link = self.counters.scope("link")
+            link.add(f"egress{src}.bytes", num_bytes)
+            link.add(f"ingress{dst}.bytes", num_bytes)
+            link.add("bytes", num_bytes)
+            link.add("transfers")
         duration = 0.0 if zero_time else self.transfer_duration(num_bytes)
-        e_task = self.engine.task(f"{label}:eg{src}->{dst}", duration, self.egress(src), deps)
-        i_task = self.engine.task(f"{label}:in{src}->{dst}", duration, self.ingress(dst), deps)
+        attrs = {"bytes": num_bytes, "src": src, "dst": dst}
+        e_task = self.engine.task(
+            f"{label}:eg{src}->{dst}", duration, self.egress(src), deps,
+            category=CATEGORY_TRANSFER, attrs=attrs,
+        )
+        i_task = self.engine.task(
+            f"{label}:in{src}->{dst}", duration, self.ingress(dst), deps,
+            category=CATEGORY_TRANSFER, attrs=attrs,
+        )
         return [e_task, i_task]
+
+    def kernel_task(self, phase: Phase, kernel, duration: float, deps: list) -> Task:
+        """Emit one kernel task on its GPU with structured span metadata.
+
+        The canonical name shape ``<phase>/<kernel>@gpuN`` is what phase
+        breakdowns and the self-time profiler key on.
+        """
+        return self.engine.task(
+            f"{phase.name}/{kernel.name}@gpu{kernel.gpu}",
+            duration,
+            self.gpu_resource(kernel.gpu),
+            deps,
+            category=CATEGORY_KERNEL,
+            attrs={"gpu": kernel.gpu, "phase": phase.name, "iteration": phase.iteration},
+        )
 
     @staticmethod
     def is_setup_phase(phase: Phase) -> bool:
@@ -199,8 +237,17 @@ class ParadigmExecutor(ABC):
             prev_end = barrier.end
         return self.build_result(total)
 
+    def register_counters(self) -> None:
+        """Hook: attach lazy counter providers before the snapshot.
+
+        Subclasses register their hardware models' stats objects here
+        (GPS-TLB, write queue, page table, coalescer); the base walk calls
+        it exactly once, from :meth:`build_result`.
+        """
+
     def build_result(self, total_time: float) -> SimulationResult:
         """Assemble the common result fields; subclasses extend."""
+        self.register_counters()
         return SimulationResult(
             program_name=self.program.name,
             paradigm=self.name,
@@ -208,4 +255,5 @@ class ParadigmExecutor(ABC):
             total_time=total_time,
             traffic=self.traffic,
             phases=self._phases_out,
+            counters=self.counters.as_dict(),
         )

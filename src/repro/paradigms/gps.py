@@ -122,14 +122,7 @@ class GPSExecutor(ParadigmExecutor):
                 self.runtime.record_accesses(kernel.gpu, footprint.all_pages)
             # Loads are local replicas; stores hit the local replica too.
             duration = self.roofline(footprint)
-            out_tasks.append(
-                self.engine.task(
-                    f"{phase.name}/{kernel.name}@gpu{kernel.gpu}",
-                    duration,
-                    self.gpu_resource(kernel.gpu),
-                    after,
-                )
-            )
+            out_tasks.append(self.kernel_task(phase, kernel, duration, after))
             # Proactive publication: concurrent with the kernel, joined at
             # the barrier (remote write queue drains at grid end). Setup
             # phases initialise each replica locally and publish nothing.
@@ -145,6 +138,30 @@ class GPSExecutor(ParadigmExecutor):
         return out_tasks
 
     # -- results ---------------------------------------------------------------
+
+    def register_counters(self):
+        """Publish the GPS hardware-unit stats into the counter registry.
+
+        Per-GPU instances land under ``gpuN.`` scopes (``gpu0.gps_tlb.misses``);
+        the registry's snapshot rolls them up into system-wide aggregates
+        (``gps_tlb.misses``). The shared GPS page table is registered once,
+        unscoped.
+        """
+        for gpu, unit in enumerate(self.runtime.gps_units):
+            scope = self.counters.scope(f"gpu{gpu}")
+            scope.provide("write_queue", unit.write_queue.stats.as_counters)
+            scope.provide("gps_tlb", unit.tlb.counters)
+        self.counters.provide("gps_page_table", self.runtime.gps_page_table.counters)
+        per_gpu_coalescer: dict = {}
+        for kernel in {k for phase in self.program.phases for k in phase.kernels}:
+            stats = self.analysis.coalescer_stats(kernel)
+            merged = per_gpu_coalescer.setdefault(kernel.gpu, {})
+            for key, value in stats.as_counters().items():
+                merged[key] = merged.get(key, 0) + value
+        for gpu, merged in per_gpu_coalescer.items():
+            scope = self.counters.scope(f"gpu{gpu}")
+            for key, value in merged.items():
+                scope.add(f"sm_coalescer.{key}", value)
 
     def build_result(self, total_time):
         result = super().build_result(total_time)

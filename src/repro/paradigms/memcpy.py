@@ -30,14 +30,7 @@ class MemcpyExecutor(ParadigmExecutor):
         for kernel in phase.kernels:
             footprint = self.analysis.footprint(kernel)
             duration = self.roofline(footprint)
-            kernel_tasks.append(
-                self.engine.task(
-                    f"{phase.name}/{kernel.name}@gpu{kernel.gpu}",
-                    duration,
-                    self.gpu_resource(kernel.gpu),
-                    after,
-                )
-            )
+            kernel_tasks.append(self.kernel_task(phase, kernel, duration, after))
         # Bulk-synchronous broadcasts: dependent on *all* kernels (the host
         # drains the phase before issuing DMA), serialised on port resources.
         # Setup phases initialise every replica locally — no broadcast.

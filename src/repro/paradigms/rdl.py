@@ -95,14 +95,7 @@ class RDLExecutor(ParadigmExecutor):
                 remote_bw_time=remote_bw_time,
                 remote_latency_time=remote_latency_time,
             )
-            out_tasks.append(
-                self.engine.task(
-                    f"{phase.name}/{kernel.name}@gpu{kernel.gpu}",
-                    duration,
-                    self.gpu_resource(kernel.gpu),
-                    after,
-                )
-            )
+            out_tasks.append(self.kernel_task(phase, kernel, duration, after))
             # Port occupancy + traffic accounting for the pulls.
             for src, nbytes in pull_from.items():
                 out_tasks.extend(
@@ -113,6 +106,10 @@ class RDLExecutor(ParadigmExecutor):
         for vpn, writers in self.analysis.phase_page_writers(phase).items():
             self._last_writer[vpn] = writers[-1]
         return out_tasks
+
+    def register_counters(self):
+        """Publish the demand-load payload total under the ``rdl.`` prefix."""
+        self.counters.scope("rdl").add("remote_read_bytes", self.remote_read_bytes_total)
 
     def build_result(self, total_time):
         result = super().build_result(total_time)

@@ -74,14 +74,7 @@ class UMExecutor(ParadigmExecutor):
                 int(migrated * page_size / um.migration_efficiency)
             )
             duration = self.roofline(footprint, extra_stall=stall)
-            kernel_tasks.append(
-                self.engine.task(
-                    f"{phase.name}/{kernel.name}@gpu{gpu}",
-                    duration,
-                    self.gpu_resource(gpu),
-                    after,
-                )
-            )
+            kernel_tasks.append(self.kernel_task(phase, kernel, duration, after))
         # Port occupancy for the migration traffic (concurrent with the
         # kernels, since migrations happen during execution).
         for gpu, nbytes in migrate_bytes_out.items():
@@ -91,6 +84,8 @@ class UMExecutor(ParadigmExecutor):
                     self.transfer_duration(nbytes),
                     self.egress(gpu),
                     after,
+                    category="transfer",
+                    attrs={"bytes": nbytes, "src": gpu},
                 )
             )
         for gpu, nbytes in migrate_bytes_in.items():
@@ -100,9 +95,18 @@ class UMExecutor(ParadigmExecutor):
                     self.transfer_duration(nbytes),
                     self.ingress(gpu),
                     after,
+                    category="transfer",
+                    attrs={"bytes": nbytes, "dst": gpu},
                 )
             )
         return kernel_tasks + tasks
+
+    def register_counters(self):
+        """Publish fault/migration totals under the ``um.`` prefix."""
+        um = self.counters.scope("um")
+        um.add("faults", self.fault_count)
+        um.add("populate_faults", self.populate_faults)
+        um.add("pages_migrated", self.pages_migrated)
 
     def build_result(self, total_time):
         result = super().build_result(total_time)

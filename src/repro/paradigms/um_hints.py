@@ -173,15 +173,15 @@ class UMHintsExecutor(ParadigmExecutor):
                 self.roofline(footprint, extra_stall=stall + demand_time)
                 + prefetch_exposed
             )
-            out_tasks.append(
-                self.engine.task(
-                    f"{phase.name}/{kernel.name}@gpu{gpu}",
-                    duration,
-                    self.gpu_resource(gpu),
-                    after,
-                )
-            )
+            out_tasks.append(self.kernel_task(phase, kernel, duration, after))
         return out_tasks
+
+    def register_counters(self):
+        """Publish hint-path fault/prefetch totals under the ``um.`` prefix."""
+        um = self.counters.scope("um")
+        um.add("prefetched_pages", self.prefetched_pages)
+        um.add("writeback_faults", self.writeback_faults)
+        um.add("contended_faults", self.contended_faults)
 
     def build_result(self, total_time):
         result = super().build_result(total_time)

@@ -18,6 +18,8 @@ import heapq
 from typing import Iterable, Optional
 
 from ..errors import SimulationError
+from ..obs.collector import TraceCollector
+from ..obs.span import Span
 
 
 class Resource:
@@ -41,10 +43,22 @@ class Task:
     """A node in the task graph.
 
     ``start`` and ``end`` are populated by :meth:`Engine.run`; reading them
-    before the run raises.
+    before the run raises. ``category`` and ``attrs`` are structured trace
+    metadata carried into the :class:`~repro.obs.span.Span` the engine emits
+    for the task after scheduling.
     """
 
-    __slots__ = ("name", "duration", "resource", "deps", "seq", "_start", "_end")
+    __slots__ = (
+        "name",
+        "duration",
+        "resource",
+        "deps",
+        "seq",
+        "category",
+        "attrs",
+        "_start",
+        "_end",
+    )
 
     def __init__(
         self,
@@ -53,6 +67,8 @@ class Task:
         resource: Optional[Resource],
         deps: tuple["Task", ...],
         seq: int,
+        category: str = "task",
+        attrs: Optional[dict] = None,
     ) -> None:
         if duration < 0:
             raise SimulationError(f"task {name!r} has negative duration {duration}")
@@ -61,6 +77,8 @@ class Task:
         self.resource = resource
         self.deps = deps
         self.seq = seq
+        self.category = category
+        self.attrs = attrs
         self._start: Optional[float] = None
         self._end: Optional[float] = None
 
@@ -97,10 +115,18 @@ class Engine:
         makespan = engine.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, collector: Optional[TraceCollector] = None) -> None:
         self._tasks: list[Task] = []
         self._resources: dict[str, Resource] = {}
         self._ran = False
+        #: Per-run span trace; the engine appends one span per scheduled
+        #: resource-bound task when :meth:`run` completes.
+        self.collector = collector if collector is not None else TraceCollector()
+
+    @property
+    def has_run(self) -> bool:
+        """Whether :meth:`run` has completed (timeline extraction requires it)."""
+        return self._ran
 
     def resource(self, name: str) -> Resource:
         """Get or create the named resource."""
@@ -114,17 +140,26 @@ class Engine:
         duration: float,
         resource: Optional[Resource] = None,
         deps: Iterable[Task] = (),
+        category: str = "task",
+        attrs: Optional[dict] = None,
     ) -> Task:
-        """Add a task to the graph. Dependencies must already be added."""
+        """Add a task to the graph. Dependencies must already be added.
+
+        ``category`` and ``attrs`` annotate the span this task becomes in
+        the trace (e.g. ``category="transfer", attrs={"bytes": n}``).
+        """
         if self._ran:
             raise SimulationError("cannot add tasks after the engine has run")
-        task = Task(name, duration, resource, tuple(deps), seq=len(self._tasks))
+        task = Task(
+            name, duration, resource, tuple(deps), seq=len(self._tasks),
+            category=category, attrs=attrs,
+        )
         self._tasks.append(task)
         return task
 
     def barrier(self, name: str, deps: Iterable[Task]) -> Task:
         """A zero-duration task joining several dependencies."""
-        return self.task(name, 0.0, resource=None, deps=deps)
+        return self.task(name, 0.0, resource=None, deps=deps, category="barrier")
 
     @property
     def num_tasks(self) -> int:
@@ -185,6 +220,19 @@ class Engine:
             raise SimulationError(
                 f"dependency cycle: only {scheduled} of {len(self._tasks)} tasks schedulable"
             )
+        if self.collector.enabled:
+            for task in self._tasks:
+                if task.resource is not None:
+                    self.collector.record(
+                        Span(
+                            name=task.name,
+                            category=task.category,
+                            track=task.resource.name,
+                            start=task._start,  # type: ignore[arg-type]
+                            end=task._end,  # type: ignore[arg-type]
+                            attrs=task.attrs or {},
+                        )
+                    )
         return makespan
 
     def makespan(self) -> float:

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..cache.cache import Cache
 from ..config import CACHE_BLOCK, SystemConfig
-from ..gpu.sm_coalescer import sm_coalesce
+from ..gpu.sm_coalescer import CoalescerStats, sm_coalesce
 from ..memory.address_space import AddressSpace
 from ..trace.expand import LineStream, expand_range
 from ..trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
@@ -113,6 +113,7 @@ class ProgramAnalysis:
         self._footprints: dict[KernelSpec, KernelFootprint] = {}
         self._streams: dict[tuple, LineStream] = {}
         self._store_streams: dict[KernelSpec, list] = {}
+        self._coalescer_stats: dict[KernelSpec, CoalescerStats] = {}
 
     # -- layout ---------------------------------------------------------------
 
@@ -152,12 +153,23 @@ class ProgramAnalysis:
         """
         if kernel not in self._store_streams:
             out = []
+            stats = self._coalescer_stats.setdefault(kernel, CoalescerStats())
             footprint = self.footprint(kernel)
             for access_fp in footprint.stores:
-                stream = sm_coalesce(self.stream(access_fp.access))
+                stream = sm_coalesce(self.stream(access_fp.access), stats)
                 out.append((access_fp, stream, access_fp.is_atomic))
             self._store_streams[kernel] = out
         return self._store_streams[kernel]
+
+    def coalescer_stats(self, kernel: KernelSpec) -> CoalescerStats:
+        """SM-coalescer accounting for one kernel's store stream.
+
+        Reflects *one* pass over the distinct kernel (the expansion is
+        memoised, so iterations share it) — a per-replay rate, not a
+        per-iteration total.
+        """
+        self.store_streams(kernel)
+        return self._coalescer_stats[kernel]
 
     # -- footprints -------------------------------------------------------------
 

@@ -34,9 +34,22 @@ class CommunicationMetrics:
 def communication_metrics(
     result: SimulationResult, config: SystemConfig
 ) -> CommunicationMetrics:
-    """Compute the communication profile of one finished run."""
+    """Compute the communication profile of one finished run.
+
+    A run with zero total time (an empty trace program is legitimate — e.g.
+    a zero-iteration sweep point) yields zeroed metrics rather than raising:
+    there was no communication, and every rate over a zero-length window is
+    reported as zero demand with perfect balance.
+    """
     if result.total_time <= 0:
-        raise ValueError("result has non-positive total time")
+        return CommunicationMetrics(
+            total_time=result.total_time,
+            interconnect_bytes=result.interconnect_bytes,
+            peak_egress_demand=0.0,
+            peak_link_utilisation=0.0,
+            egress_imbalance=1.0,
+            exposed_comm_fraction=0.0,
+        )
     egress = [result.traffic.egress_bytes(g) for g in range(result.num_gpus)]
     busiest = max(egress) if egress else 0
     demand = busiest / result.total_time

@@ -62,6 +62,8 @@ class SimulationResult:
     #: UM runs: page faults taken and pages migrated.
     fault_count: int = 0
     pages_migrated: int = 0
+    #: Flat ``component.metric`` hardware-counter snapshot (see repro.obs).
+    counters: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
 
     @property
@@ -89,6 +91,7 @@ class SimulationResult:
             "subscriber_histogram": {str(k): v for k, v in self.subscriber_histogram.items()},
             "fault_count": self.fault_count,
             "pages_migrated": self.pages_migrated,
+            "counters": self.counters,
             "extras": self.extras,
         }
 
@@ -110,6 +113,7 @@ class SimulationResult:
             subscriber_histogram={int(k): v for k, v in payload["subscriber_histogram"].items()},
             fault_count=payload["fault_count"],
             pages_migrated=payload["pages_migrated"],
+            counters=payload.get("counters", {}),
             extras=payload["extras"],
         )
 

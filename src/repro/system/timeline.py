@@ -1,16 +1,20 @@
 """Execution timelines: turn a finished DES run into a per-resource Gantt.
 
-After an executor runs, its engine holds every scheduled task with start
-and end times. This module groups them by resource (GPU compute, egress and
-ingress ports) and renders a monospace Gantt chart — the quickest way to
-*see* whether a paradigm overlapped its communication (GPS) or serialised
-it (memcpy), and where a port saturated.
+After an executor runs, its engine's :class:`~repro.obs.TraceCollector`
+holds one structured span per scheduled resource-bound task. This module
+projects that trace into per-resource timelines and renders a monospace
+Gantt chart — the quickest way to *see* whether a paradigm overlapped its
+communication (GPS) or serialised it (memcpy), and where a port saturated.
+The spans are the source of truth; when tracing is disabled
+(``REPRO_NO_TRACE=1``) the same entries are reconstructed from the engine's
+scheduled task list, so the two views can never diverge.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import SimulationError
 from ..paradigms.base import ParadigmExecutor
 from ..sim.engine import Engine
 from ..units import fmt_time
@@ -24,6 +28,7 @@ class TimelineEntry:
     name: str
     start: float
     end: float
+    category: str = "task"
 
     @property
     def duration(self) -> float:
@@ -31,12 +36,29 @@ class TimelineEntry:
 
 
 def extract_timeline(engine: Engine) -> list:
-    """All resource-bound tasks of a finished engine, sorted by start."""
-    entries = [
-        TimelineEntry(task.resource.name, task.name, task.start, task.end)
-        for task in engine.tasks()
-        if task.resource is not None and task.duration > 0
-    ]
+    """All resource-bound tasks of a finished engine, sorted by start.
+
+    Raises :class:`SimulationError` if the engine has not run (e.g. it was
+    rebuilt or its resources were reset): an empty Gantt from a never-run
+    engine reads as "nothing happened", which silently hides the bug.
+    """
+    if not engine.has_run:
+        raise SimulationError(
+            "cannot extract a timeline from an engine that has not run "
+            "(did something reset it?)"
+        )
+    if engine.collector.enabled:
+        entries = [
+            TimelineEntry(span.track, span.name, span.start, span.end, span.category)
+            for span in engine.collector
+            if span.duration > 0
+        ]
+    else:
+        entries = [
+            TimelineEntry(task.resource.name, task.name, task.start, task.end, task.category)
+            for task in engine.tasks()
+            if task.resource is not None and task.duration > 0
+        ]
     entries.sort(key=lambda e: (e.resource, e.start))
     return entries
 

@@ -12,6 +12,7 @@ from repro.harness.runner import (
     clear_disk_cache,
     clear_run_cache,
     disk_cache_info,
+    fleet_stats,
     run_many,
     run_simulation,
     run_speedup,
@@ -56,6 +57,57 @@ class TestRunMany:
         clear_run_cache()
         (result,) = run_many([("jacobi", "memcpy", 2, "pcie6", 0.1, 2)])
         assert result.total_time > 0
+
+
+class TestFleetStats:
+    def test_serial_accounting(self):
+        clear_run_cache()
+        jobs = [
+            SimJob("jacobi", "memcpy", 2, **FAST),
+            SimJob("jacobi", "gps", 2, **FAST),
+            SimJob("jacobi", "memcpy", 2, **FAST),  # in-batch duplicate
+        ]
+        run_many(jobs, max_workers=1)
+        fleet = fleet_stats()
+        assert fleet.runs == 1
+        assert fleet.jobs_submitted == 3
+        assert fleet.jobs_cached == 1  # the duplicate never reaches a worker
+        assert fleet.jobs_computed == 2
+        assert fleet.wall_clock > 0
+        (worker,) = fleet.workers.values()
+        assert worker.jobs == 2
+        assert "(serial)" in worker.worker
+
+    def test_warm_second_call_counts_cached(self):
+        clear_run_cache()
+        jobs = [SimJob("jacobi", "memcpy", 2, **FAST)]
+        run_many(jobs)
+        run_many(jobs)
+        fleet = fleet_stats()
+        assert fleet.runs == 2
+        assert fleet.jobs_submitted == 2
+        assert fleet.jobs_cached == 1
+        assert fleet.jobs_computed == 1
+
+    def test_clear_run_cache_resets(self):
+        clear_run_cache()
+        run_many([SimJob("jacobi", "memcpy", 2, **FAST)])
+        assert fleet_stats().runs == 1
+        clear_run_cache()
+        fleet = fleet_stats()
+        assert fleet.runs == 0
+        assert fleet.jobs_submitted == 0
+        assert not fleet.workers
+
+    def test_as_dict_and_report(self):
+        clear_run_cache()
+        run_many([SimJob("jacobi", "gps", 2, **FAST)])
+        fleet = fleet_stats()
+        payload = json.loads(json.dumps(fleet.as_dict()))
+        assert payload["jobs_computed"] == 1
+        (worker,) = payload["workers"]
+        assert worker["jobs"] == 1
+        assert fleet.report().startswith("fleet: 1 run_many call(s)")
 
 
 class TestBaselineParadigm:

@@ -1,0 +1,69 @@
+"""Tests for the trace collector and the engine's span emission."""
+
+from repro.obs import Span, TraceCollector, tracing_enabled
+from repro.sim.engine import Engine
+
+
+class TestTracingFlag:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_TRACE", raising=False)
+        assert tracing_enabled()
+        assert TraceCollector().enabled
+
+    def test_zero_means_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_TRACE", "0")
+        assert tracing_enabled()
+
+    def test_disabled_collector_drops_records(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_TRACE", "1")
+        collector = TraceCollector()
+        collector.record(Span("k", "kernel", "gpu0", 0.0, 1.0))
+        collector.emit("k2", "kernel", "gpu0", 1.0, 2.0)
+        assert len(collector) == 0
+
+    def test_enable_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_TRACE", "1")
+        collector = TraceCollector()
+        collector.enable()
+        collector.emit("k", "kernel", "gpu0", 0.0, 1.0)
+        assert len(collector) == 1
+
+
+class TestEngineEmission:
+    def test_spans_match_schedule(self):
+        engine = Engine()
+        gpu = engine.resource("gpu0")
+        k1 = engine.task("k1", 2.0, gpu, category="kernel", attrs={"gpu": 0})
+        engine.task("k2", 1.0, gpu, deps=[k1], category="kernel")
+        engine.barrier("done", deps=engine.tasks())
+        engine.run()
+        spans = engine.collector.spans
+        # The barrier has no resource, so only the two kernels materialise.
+        assert [(s.name, s.start, s.end) for s in spans] == [
+            ("k1", 0.0, 2.0),
+            ("k2", 2.0, 3.0),
+        ]
+        assert spans[0].category == "kernel"
+        assert spans[0].attrs == {"gpu": 0}
+        assert spans[0].track == "gpu0"
+
+    def test_no_trace_skips_materialisation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_TRACE", "1")
+        engine = Engine()
+        engine.task("k", 1.0, engine.resource("gpu0"))
+        engine.run()
+        assert len(engine.collector) == 0
+
+    def test_by_track_sorted(self):
+        collector = TraceCollector(enabled=True)
+        collector.emit("b", "task", "gpu1", 5.0, 6.0)
+        collector.emit("a", "task", "gpu0", 0.0, 1.0)
+        collector.emit("c", "task", "gpu1", 1.0, 2.0)
+        tracks = collector.by_track()
+        assert list(tracks) == ["gpu0", "gpu1"]
+        assert [s.name for s in tracks["gpu1"]] == ["c", "b"]
+
+    def test_span_round_trip(self):
+        span = Span("k", "kernel", "gpu0", 0.5, 1.5, {"bytes": 128})
+        assert Span.from_dict(span.to_dict()) == span
+        assert span.duration == 1.0

@@ -1,0 +1,50 @@
+"""Tests for the self-time profiler."""
+
+from repro.obs import Span, format_profile, self_time_profile
+from repro.obs.profile import normalise_span_name
+
+
+class TestNormalise:
+    def test_gpu_suffix_folds(self):
+        assert normalise_span_name("it3/jacobi@gpu2") == "it3/jacobi"
+
+    def test_port_suffix_folds(self):
+        assert normalise_span_name("it3/gps-pub:eg0->1") == "it3/gps-pub"
+        assert normalise_span_name("it3/demand:in2->0") == "it3/demand"
+
+    def test_plain_names_pass_through(self):
+        assert normalise_span_name("barrier:it3") == "barrier:it3"
+
+
+class TestProfile:
+    def _spans(self):
+        return [
+            Span("it0/k@gpu0", "kernel", "gpu0", 0.0, 2.0),
+            Span("it0/k@gpu1", "kernel", "gpu1", 0.0, 2.0),
+            Span("it0/pub:eg0->1", "transfer", "egress0", 0.0, 1.0),
+        ]
+
+    def test_instances_aggregate(self):
+        rows = self_time_profile(self._spans())
+        assert rows[0].name == "it0/k"
+        assert rows[0].count == 2
+        assert rows[0].total_time == 4.0
+        assert rows[0].share == 0.8
+
+    def test_top_truncates(self):
+        assert len(self_time_profile(self._spans(), top=1)) == 1
+
+    def test_deterministic_tie_break(self):
+        spans = [
+            Span("b", "task", "r", 0.0, 1.0),
+            Span("a", "task", "r", 0.0, 1.0),
+        ]
+        assert [r.name for r in self_time_profile(spans)] == ["a", "b"]
+
+    def test_format_includes_rows(self):
+        text = format_profile(self_time_profile(self._spans()), title="t")
+        assert text.startswith("t")
+        assert "it0/k [kernel]" in text
+
+    def test_format_empty(self):
+        assert "(no spans recorded)" in format_profile([])

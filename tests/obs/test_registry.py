@@ -1,0 +1,76 @@
+"""Tests for the hierarchical counter/gauge registry."""
+
+from repro.obs import CounterRegistry
+
+
+class TestCounters:
+    def test_add_and_snapshot(self):
+        reg = CounterRegistry()
+        reg.add("link.bytes", 100)
+        reg.add("link.bytes", 28)
+        reg.add("link.transfers")
+        assert reg.as_dict() == {"link.bytes": 128, "link.transfers": 1}
+
+    def test_counter_object_is_shared(self):
+        reg = CounterRegistry()
+        counter = reg.counter("dram.read_bytes")
+        counter.add(64)
+        reg.add("dram.read_bytes", 64)
+        assert reg.as_dict()["dram.read_bytes"] == 128
+
+    def test_gauge_last_write_wins(self):
+        reg = CounterRegistry()
+        reg.gauge("queue.occupancy", 3)
+        reg.gauge("queue.occupancy", 7)
+        assert reg.as_dict()["queue.occupancy"] == 7
+
+    def test_snapshot_is_sorted(self):
+        reg = CounterRegistry()
+        reg.add("z.last")
+        reg.add("a.first")
+        assert list(reg.as_dict()) == ["a.first", "z.last"]
+
+
+class TestProviders:
+    def test_provider_resolved_at_snapshot_time(self):
+        reg = CounterRegistry()
+        state = {"misses": 0}
+        reg.provide("gps_tlb", lambda: dict(state))
+        state["misses"] = 42
+        assert reg.as_dict()["gps_tlb.misses"] == 42
+
+    def test_scoped_provider_prefixes(self):
+        reg = CounterRegistry()
+        reg.scope("gpu3").provide("write_queue", lambda: {"inserts": 5})
+        assert reg.as_dict()["gpu3.write_queue.inserts"] == 5
+
+
+class TestScopesAndRollup:
+    def test_scope_prefixes_names(self):
+        reg = CounterRegistry()
+        reg.scope("gpu0").add("gps_tlb.misses", 3)
+        reg.scope("gpu0").scope("dram").add("read_bytes", 256)
+        snapshot = reg.as_dict()
+        assert snapshot["gpu0.gps_tlb.misses"] == 3
+        assert snapshot["gpu0.dram.read_bytes"] == 256
+
+    def test_gpu_scopes_roll_up_to_aggregates(self):
+        reg = CounterRegistry()
+        reg.scope("gpu0").add("gps_tlb.misses", 3)
+        reg.scope("gpu1").add("gps_tlb.misses", 4)
+        snapshot = reg.as_dict()
+        assert snapshot["gps_tlb.misses"] == 7
+        assert snapshot["gpu0.gps_tlb.misses"] == 3
+
+    def test_explicit_aggregate_not_overwritten(self):
+        reg = CounterRegistry()
+        reg.add("link.bytes", 1000)
+        reg.scope("gpu0").add("link.bytes", 1)
+        assert reg.as_dict()["link.bytes"] == 1000
+
+    def test_non_gpu_scopes_do_not_roll_up(self):
+        reg = CounterRegistry()
+        reg.scope("link").add("egress0.bytes", 5)
+        snapshot = reg.as_dict()
+        assert "egress0.bytes" not in snapshot
+        assert snapshot["link.egress0.bytes"] == 5

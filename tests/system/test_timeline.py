@@ -41,6 +41,36 @@ class TestExtract:
         engine.run()
         assert extract_timeline(engine) == []
 
+    def test_engine_that_never_ran_raises(self):
+        # A never-run (or rebuilt/reset) engine must raise loudly instead
+        # of silently producing an empty Gantt.
+        from repro.errors import SimulationError
+
+        engine = Engine()
+        engine.task("phase/k@gpu0", 1.0, engine.resource("gpu0"))
+        with pytest.raises(SimulationError, match="has not run"):
+            extract_timeline(engine)
+
+    def test_entries_carry_categories(self):
+        engine = Engine()
+        engine.task("k@gpu0", 1.0, engine.resource("gpu0"), category="kernel")
+        engine.task("t:eg0->1", 1.0, engine.resource("egress0"), category="transfer")
+        engine.run()
+        categories = {e.name: e.category for e in extract_timeline(engine)}
+        assert categories == {"k@gpu0": "kernel", "t:eg0->1": "transfer"}
+
+    def test_disabled_collector_falls_back_to_tasks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_TRACE", "1")
+        engine = simple_engine()
+        assert not engine.collector.enabled
+        assert len(engine.collector) == 0
+        entries = extract_timeline(engine)
+        assert [e.name for e in entries] == [
+            "phase/pub:eg0->1",
+            "phase/k@gpu0",
+            "phase/k2@gpu0",
+        ]
+
 
 class TestUtilisation:
     def test_fractions(self):

@@ -124,6 +124,70 @@ class TestCache:
         assert main(["cache"]) == 0
         assert "persistent cache" in capsys.readouterr().out
 
+    def test_show_reports_fleet_after_run_many(self, capsys):
+        from repro.harness.runner import SimJob, clear_run_cache, run_many
+
+        clear_run_cache()
+        run_many([SimJob("jacobi", "memcpy", 2, scale=0.1, iterations=2)])
+        assert main(["cache", "show"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 1 run_many call(s)" in out
+        assert "1 computed" in out
+        clear_run_cache()
+
+
+class TestTrace:
+    def test_stencil_alias_writes_valid_trace(self, capsys, tmp_path):
+        path = tmp_path / "stencil.trace.json"
+        code = main(
+            ["trace", "stencil", "--gpus", "2", "--scale", "0.1",
+             "--iterations", "2", "--out", str(path), "--validate"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace validation: OK" in out
+        assert "ui.perfetto.dev" in out
+        payload = json.loads(path.read_text())
+        assert payload["otherData"]["num_gpus"] == 2
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_metrics_csv_export(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.trace.json"
+        metrics_path = tmp_path / "m.csv"
+        code = main(
+            ["trace", "jacobi", "--gpus", "2", "--scale", "0.1",
+             "--iterations", "2", "--out", str(trace_path),
+             "--metrics", str(metrics_path), "--top", "0"]
+        )
+        assert code == 0
+        assert metrics_path.read_text().startswith("counter,value")
+        assert "counters" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_prints_self_time_rows(self, capsys):
+        code = main(
+            ["profile", "stencil", "--gpus", "2", "--scale", "0.1",
+             "--iterations", "2", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self-time profile: jacobi / gps" in out
+        assert "[kernel]" in out
+
+
+class TestExportTrace:
+    def test_round_trips_through_run_trace(self, capsys, tmp_path):
+        path = tmp_path / "prog.json"
+        code = main(
+            ["export-trace", "jacobi", str(path), "--gpus", "2",
+             "--scale", "0.1", "--iterations", "2"]
+        )
+        assert code == 0
+        assert "phases" in capsys.readouterr().out
+        assert main(["run-trace", str(path)]) == 0
+        assert "simulated time" in capsys.readouterr().out
+
 
 class TestLint:
     @pytest.fixture

@@ -13,7 +13,7 @@ class TestTopLevelExports:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_key_callables(self):
         assert callable(repro.simulate)
@@ -40,6 +40,12 @@ class TestSubpackages:
         "repro.harness.regression",
         "repro.interconnect",
         "repro.memory",
+        "repro.obs",
+        "repro.obs.collector",
+        "repro.obs.export",
+        "repro.obs.profile",
+        "repro.obs.registry",
+        "repro.obs.span",
         "repro.paradigms",
         "repro.sim",
         "repro.system",
