@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro figure fig8 --scale 0.5 --iterations 8 --json out.json
     python -m repro trace stencil --gpus 2 --out trace.json   # Perfetto trace
     python -m repro profile jacobi --paradigm gps --top 10
+    python -m repro serve --port 8787                         # simulation service
+    python -m repro submit stencil --gpus 4                   # job via the service
     python -m repro cache show
     python -m repro list
 
@@ -36,14 +38,7 @@ from .harness.runner import cache_stats, clear_disk_cache, disk_cache_info, flee
 from .harness.export import to_json
 from .harness.report import format_speedup_matrix, format_table
 from .units import fmt_bytes, fmt_time
-
-#: Convenience aliases accepted anywhere a workload name is (``repro trace
-#: stencil`` runs the 5-point stencil workload, registered as ``jacobi``).
-_WORKLOAD_ALIASES = {"stencil": "jacobi"}
-
-
-def _resolve_workload(name: str) -> str:
-    return _WORKLOAD_ALIASES.get(name, name)
+from .workloads.registry import resolve_workload_name as _resolve_workload
 
 
 #: CLI figure name -> (driver, accepts scale/iterations).
@@ -204,6 +199,63 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="CODES",
         help="suppress these rule codes/prefixes (comma-separated, repeatable)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service (JSON over HTTP)",
+        description=(
+            "Host the asyncio simulation service: a bounded priority job "
+            "queue with request coalescing, batched onto the harness "
+            "runner's process pool. Defaults come from REPRO_SERVICE_* "
+            "environment variables; flags override. See docs/SERVICE.md."
+        ),
+    )
+    serve.add_argument("--host", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, help="bind port (default 8787; 0 = ephemeral)")
+    serve.add_argument("--queue-depth", type=int, help="max queued simulations before 429s")
+    serve.add_argument("--batch-size", type=int, help="max simulations per scheduler batch")
+    serve.add_argument(
+        "--max-wait-ms", type=float, help="batch age window in milliseconds"
+    )
+    serve.add_argument("--max-retries", type=int, help="retry budget per job")
+    serve.add_argument(
+        "--workers", type=int, help="simulation worker processes per batch"
+    )
+
+    def _add_client_args(p) -> None:
+        p.add_argument(
+            "--url",
+            help="service URL (default: REPRO_SERVICE_URL or http://127.0.0.1:8787)",
+        )
+        p.add_argument("--json", action="store_true", help="print the raw JSON payload")
+
+    submit = sub.add_parser(
+        "submit", help="submit one simulation to a running service"
+    )
+    submit.add_argument("workload", help="workload name (or alias, e.g. 'stencil')")
+    submit.add_argument("--paradigm", default="gps", choices=sorted(PARADIGMS))
+    submit.add_argument("--gpus", type=int, default=4)
+    submit.add_argument("--link", default="pcie6", choices=sorted(LINKS_BY_NAME))
+    submit.add_argument("--scale", type=float, default=0.5)
+    submit.add_argument("--iterations", type=int, default=8)
+    submit.add_argument("--priority", type=int, default=0, help="higher runs earlier")
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id immediately instead of polling to completion",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, help="seconds to wait for the result"
+    )
+    _add_client_args(submit)
+
+    status = sub.add_parser("status", help="show one submitted job's status")
+    status.add_argument("id", help="job id returned by 'repro submit'")
+    _add_client_args(status)
+
+    result = sub.add_parser("result", help="fetch one completed job's result")
+    result.add_argument("id", help="job id returned by 'repro submit'")
+    _add_client_args(result)
     return parser
 
 
@@ -290,6 +342,12 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_cache(args) -> int:
+    """Inspect or clear the persistent cache; always exits 0.
+
+    ``show`` prints fixed-order ``label : value`` columns — an empty or
+    missing cache directory is a normal state (0 entries), not an error —
+    followed by the fleet (service/run_many) stats when any run happened.
+    """
     info = disk_cache_info()
     if args.action == "clear":
         if not info["enabled"]:
@@ -299,14 +357,18 @@ def _cmd_cache(args) -> int:
         print(f"removed {removed} cached results from {info['directory']}")
         return 0
     if not info["enabled"]:
-        print("persistent cache: disabled (REPRO_NO_CACHE is set)")
+        print("persistent cache  : disabled (REPRO_NO_CACHE is set)")
     else:
-        print(f"persistent cache: {info['directory']}")
-        print(f"model fingerprint: {info['model']}")
-        print(f"entries          : {info['entries']} ({fmt_bytes(info['size_bytes'])})")
+        rows = [
+            ("persistent cache", info["directory"]),
+            ("model fingerprint", info["model"]),
+            ("entries", f"{info['entries']} ({fmt_bytes(info['size_bytes'])})"),
+        ]
         stats = cache_stats()
         if stats.lookups:
-            print(f"this process     : {stats.report()}")
+            rows.append(("this process", stats.report()))
+        for label, value in rows:
+            print(f"{label:<18}: {value}")
     fleet = fleet_stats()
     if fleet.runs:
         print(fleet.report())
@@ -480,6 +542,121 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import ServiceSettings, serve
+
+    max_wait_s = args.max_wait_ms / 1000.0 if args.max_wait_ms is not None else None
+    settings = ServiceSettings.from_env(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        batch_size=args.batch_size,
+        max_wait_s=max_wait_s,
+        max_retries=args.max_retries,
+        max_workers=args.workers,
+    )
+    return serve(settings)
+
+
+def _print_result_payload(payload: dict, as_json: bool) -> None:
+    import json as _json
+
+    if as_json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return
+    result = payload["result"]
+    job = payload.get("job", {})
+    print(f"job           : {payload['id']} ({payload['state']})")
+    print(f"workload      : {result['program_name']} / {result['paradigm']} "
+          f"on {result['num_gpus']} GPUs over {job.get('link', '?')}")
+    print(f"simulated time: {fmt_time(result['total_time'])}")
+    interconnect = sum(sum(row) for row in result["traffic"])
+    print(f"interconnect  : {fmt_bytes(interconnect)}")
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from .service import ClientError, JobFailed, ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(
+            args.workload,
+            paradigm=args.paradigm,
+            gpus=args.gpus,
+            link=args.link,
+            scale=args.scale,
+            iterations=args.iterations,
+            priority=args.priority,
+        )
+        if args.no_wait:
+            if args.json:
+                print(_json.dumps(job, indent=2, sort_keys=True))
+            else:
+                print(f"submitted {job['id']} ({job['state']}"
+                      f"{', coalesced' if job['coalesced'] else ''}"
+                      f"{', cache hit' if job['cache_hit'] else ''})")
+            return 0
+        payload = client.wait(job["id"], timeout=args.timeout)
+    except JobFailed as exc:
+        print(f"job failed: {exc}", file=sys.stderr)
+        return 3
+    except ClientError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    _print_result_payload(payload, args.json)
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json as _json
+
+    from .service import ClientError, ServiceClient
+
+    try:
+        payload = ServiceClient(args.url).status(args.id)
+    except ClientError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        wait_s = payload["wait_s"]
+        run_s = payload["run_s"]
+        print(f"job           : {payload['id']} ({payload['state']})")
+        print(f"submission    : {payload['job']['workload']} / {payload['job']['paradigm']} "
+              f"on {payload['job']['num_gpus']} GPUs over {payload['job']['link']}")
+        print(f"flags         : coalesced={payload['coalesced']} "
+              f"cache_hit={payload['cache_hit']} attempts={payload['attempts']}")
+        print(f"latency       : wait {wait_s:.3f}s" if wait_s is not None else
+              "latency       : still queued")
+        if run_s is not None:
+            print(f"run           : {run_s:.3f}s")
+        if payload.get("error"):
+            print(f"error         : {payload['error']}")
+    return 0
+
+
+def _cmd_result(args) -> int:
+    from .service import ClientError, JobFailed, ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.result(args.id)
+    except JobFailed as exc:
+        print(f"job failed: {exc}", file=sys.stderr)
+        return 3
+    except ClientError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    if payload is None:
+        print(f"job {args.id} is still pending", file=sys.stderr)
+        return 1
+    _print_result_payload(payload, args.json)
+    return 0
+
+
 def _cmd_list(_args) -> int:
     rows = [
         [name, get_workload(name).info.comm_pattern, get_workload(name).info.description]
@@ -506,6 +683,10 @@ def main(argv=None) -> int:
         "run-trace": _cmd_run_trace,
         "lint": _cmd_lint,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "result": _cmd_result,
     }
     return handlers[args.command](args)
 

@@ -54,3 +54,13 @@ class SimulationError(ReproError):
 
 class ParadigmError(ReproError):
     """A memory-management paradigm was misused or misconfigured."""
+
+
+class ServiceError(ReproError):
+    """The simulation service rejected or failed a request.
+
+    Base class for the service layer's failures (queue backpressure,
+    draining shutdown, client-side HTTP errors) so callers embedding the
+    client can catch one type.
+    """
+

@@ -29,7 +29,7 @@ from ...system.results import SimulationResult
 from . import memo
 from .disk import DEFAULT_CACHE_DIR, DiskCache
 from .fingerprint import MODEL_FINGERPRINT, SimJob, job_key, resolve_link
-from .parallel import compute_job, fleet_stats, run_many
+from .parallel import compute_job, fleet_stats, run_many, run_many_settled
 from .stats import CacheStats, FleetStats, WorkerStats
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "job_key",
     "resolve_link",
     "run_many",
+    "run_many_settled",
     "run_simulation",
     "run_speedup",
 ]

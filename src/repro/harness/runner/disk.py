@@ -38,7 +38,14 @@ class DiskCache:
         return self.directory / f"{key}.json"
 
     def get(self, key: str) -> "SimulationResult | None":
-        """Load one cached result, or ``None`` on miss/corruption."""
+        """Load one cached result, or ``None`` on miss/corruption.
+
+        Concurrent readers must *never* raise out of this method: a reader
+        racing a writer mid-``os.replace``, or landing on a truncated or
+        otherwise corrupt record (including valid JSON that is not a dict),
+        counts a miss — the caller recomputes — and the bad record is
+        dropped so the next reader misses cleanly too.
+        """
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
@@ -49,10 +56,12 @@ class DiskCache:
             self._evict(path)
             return None
         try:
+            if not isinstance(payload, dict):
+                raise ValueError("record is not a JSON object")
             if payload.get("key") != key or payload.get("record_version") != RECORD_VERSION:
                 raise ValueError("record does not match its filename")
             return SimulationResult.from_dict(payload["result"])
-        except (KeyError, TypeError, ValueError):
+        except (AttributeError, KeyError, TypeError, ValueError):
             self.stats.disk_errors += 1
             self._evict(path)
             return None
@@ -105,8 +114,14 @@ class DiskCache:
         return len(self._record_paths())
 
     def size_bytes(self) -> int:
-        """Total bytes of persisted records."""
-        return sum(p.stat().st_size for p in self._record_paths())
+        """Total bytes of persisted records (entries evicted mid-scan count 0)."""
+        total = 0
+        for path in self._record_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def entries(self) -> "list[dict]":
         """Job metadata of every record (for ``python -m repro cache show``)."""
@@ -115,6 +130,8 @@ class DiskCache:
             try:
                 payload = json.loads(path.read_text())
             except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict):
                 continue
             job = dict(payload.get("job", {}))
             job["model"] = payload.get("model", "?")

@@ -80,28 +80,47 @@ def _resolve_workers(max_workers: "int | None", pending: int) -> int:
     return min(max_workers, pending)
 
 
-def run_many(jobs, max_workers: "int | None" = None) -> "list[SimulationResult]":
-    """Run (and memoise) a list of jobs, preserving input order.
+def _job_keys(jobs: "list[SimJob]") -> "list[str]":
+    """Fingerprint each job, hashing every *distinct* job exactly once.
 
-    ``jobs`` holds :class:`SimJob` instances or tuples of ``SimJob``'s
-    constructor arguments. Duplicate jobs and jobs already present in the
-    memory or disk cache are resolved without simulating; the rest run
-    across a process pool sized by ``max_workers`` (default: the
-    ``REPRO_MAX_WORKERS`` environment knob, else ``os.cpu_count()``).
-    Identical results are returned for identical jobs regardless of which
-    path produced them — simulations are deterministic and the serialised
-    form round-trips exactly.
+    ``SimJob.key()`` memoises on the instance, but a grid routinely repeats
+    the same job as separate instances (every figure shares its single-GPU
+    baselines) — and each repeat used to pay a full ``dataclasses.asdict``
+    + JSON + SHA-256 pass over the ~25-field config. Jobs are frozen and
+    hashable, so duplicates within one submission share one computation.
+    """
+    keys: "list[str]" = []
+    key_of: "dict[SimJob, str]" = {}
+    for job in jobs:
+        key = key_of.get(job)
+        if key is None:
+            key = key_of[job] = job.key()
+        keys.append(key)
+    return keys
+
+
+def run_many_settled(
+    jobs, max_workers: "int | None" = None
+) -> "list[SimulationResult | Exception]":
+    """Run a job list, returning a per-job outcome instead of raising.
+
+    Same caching, dedup, and fan-out behaviour as :func:`run_many`, but a
+    job whose simulation raises (analysis gate, workload bug, worker crash)
+    yields its exception in that slot rather than aborting the whole batch.
+    Duplicate jobs share one outcome — including a shared failure. Callers
+    that need per-job retry (the service scheduler) use this entry point;
+    everyone else wants :func:`run_many`.
     """
     jobs = [job if isinstance(job, SimJob) else SimJob(*job) for job in jobs]
-    keys = [job.key() for job in jobs]
-    results: "dict[str, SimulationResult]" = {}
+    keys = _job_keys(jobs)
+    outcomes: "dict[str, SimulationResult | Exception]" = {}
     pending: "dict[str, SimJob]" = {}
     for job, key in zip(jobs, keys):
-        if key in results or key in pending:
+        if key in outcomes or key in pending:
             continue
         cached = memo.lookup(key)
         if cached is not None:
-            results[key] = cached
+            outcomes[key] = cached
         else:
             pending[key] = job
 
@@ -113,9 +132,14 @@ def run_many(jobs, max_workers: "int | None" = None) -> "list[SimulationResult]"
     if workers <= 1:
         for key, job in pending.items():
             t0 = time.perf_counter()
-            result = compute_job(job)
+            try:
+                result = compute_job(job)
+            except Exception as exc:
+                _FLEET.jobs_failed += 1
+                outcomes[key] = exc
+                continue
             _FLEET.record_job(f"pid{os.getpid()} (serial)", time.perf_counter() - t0)
-            results[key] = memo.store(key, result, job.meta())
+            outcomes[key] = memo.store(key, result, job.meta())
     elif pending:
         with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
             futures = {pool.submit(_timed_compute, job): key for key, job in pending.items()}
@@ -124,7 +148,32 @@ def run_many(jobs, max_workers: "int | None" = None) -> "list[SimulationResult]"
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     key = futures[future]
-                    pid, wall, result = future.result()
+                    try:
+                        pid, wall, result = future.result()
+                    except Exception as exc:  # includes BrokenProcessPool
+                        _FLEET.jobs_failed += 1
+                        outcomes[key] = exc
+                        continue
                     _FLEET.record_job(f"pid{pid}", wall)
-                    results[key] = memo.store(key, result, pending[key].meta())
-    return [results[key] for key in keys]
+                    outcomes[key] = memo.store(key, result, pending[key].meta())
+    return [outcomes[key] for key in keys]
+
+
+def run_many(jobs, max_workers: "int | None" = None) -> "list[SimulationResult]":
+    """Run (and memoise) a list of jobs, preserving input order.
+
+    ``jobs`` holds :class:`SimJob` instances or tuples of ``SimJob``'s
+    constructor arguments. Duplicate jobs and jobs already present in the
+    memory or disk cache are resolved without simulating; the rest run
+    across a process pool sized by ``max_workers`` (default: the
+    ``REPRO_MAX_WORKERS`` environment knob, else ``os.cpu_count()``).
+    Identical results are returned for identical jobs regardless of which
+    path produced them — simulations are deterministic and the serialised
+    form round-trips exactly. The first failing job's exception propagates;
+    use :func:`run_many_settled` for per-job outcomes.
+    """
+    outcomes = run_many_settled(jobs, max_workers)
+    for outcome in outcomes:
+        if isinstance(outcome, Exception):
+            raise outcome
+    return outcomes  # type: ignore[return-value]

@@ -103,14 +103,16 @@ class FleetStats:
 
     ``jobs_cached`` counts submissions resolved without simulating (memo or
     disk hit, plus in-batch duplicates); ``jobs_computed`` counts actual
-    simulations; ``wall_clock`` sums per-job compute time across workers
-    (it exceeds elapsed time when the pool runs wide).
+    simulations; ``jobs_failed`` counts simulations that raised (surfaced
+    per-job by ``run_many_settled``); ``wall_clock`` sums per-job compute
+    time across workers (it exceeds elapsed time when the pool runs wide).
     """
 
     runs: int = 0
     jobs_submitted: int = 0
     jobs_cached: int = 0
     jobs_computed: int = 0
+    jobs_failed: int = 0
     wall_clock: float = 0.0
     workers: dict = field(default_factory=dict)
 
@@ -130,6 +132,7 @@ class FleetStats:
         self.jobs_submitted = 0
         self.jobs_cached = 0
         self.jobs_computed = 0
+        self.jobs_failed = 0
         self.wall_clock = 0.0
         self.workers = {}
 
@@ -140,15 +143,17 @@ class FleetStats:
             "jobs_submitted": self.jobs_submitted,
             "jobs_cached": self.jobs_cached,
             "jobs_computed": self.jobs_computed,
+            "jobs_failed": self.jobs_failed,
             "wall_clock_s": self.wall_clock,
             "workers": [self.workers[w].as_dict() for w in sorted(self.workers)],
         }
 
     def report(self) -> str:
         """Multi-line human summary for ``python -m repro cache show``."""
+        failed = f", {self.jobs_failed} failed" if self.jobs_failed else ""
         lines = [
             f"fleet: {self.runs} run_many call(s), {self.jobs_submitted} jobs submitted "
-            f"({self.jobs_cached} cached, {self.jobs_computed} computed, "
+            f"({self.jobs_cached} cached, {self.jobs_computed} computed{failed}, "
             f"{self.wall_clock:.2f}s compute wall-clock)"
         ]
         for name in sorted(self.workers):

@@ -28,12 +28,13 @@ from .export import (
     write_chrome_trace,
 )
 from .profile import ProfileRow, format_profile, self_time_profile
-from .registry import Counter, CounterRegistry
+from .registry import Counter, CounterRegistry, Histogram
 from .span import Span
 
 __all__ = [
     "Counter",
     "CounterRegistry",
+    "Histogram",
     "ProfileRow",
     "Span",
     "TraceCollector",

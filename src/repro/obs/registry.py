@@ -18,8 +18,9 @@ Hardware models publish in one of two ways:
 
 from __future__ import annotations
 
+import bisect
 import re
-from typing import Callable, Union
+from typing import Callable, Sequence, Union
 
 Number = Union[int, float]
 
@@ -43,6 +44,56 @@ class Counter:
         return f"Counter({self.name!r}, {self.value})"
 
 
+#: Default histogram bucket bounds: latencies in seconds from 1 ms to 1 min.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0)
+
+
+def _fmt_bound(bound: Number) -> str:
+    """Compact bucket-bound label (``0.005`` -> ``"0.005"``, ``5.0`` -> ``"5"``)."""
+    return format(bound, "g")
+
+
+class Histogram:
+    """A fixed-bucket histogram with cumulative (Prometheus ``le``) counts.
+
+    Observations land in the first bucket whose upper bound is >= the value;
+    everything above the last bound lands in the implicit ``inf`` bucket.
+    The snapshot flattens to plain counters (``count``, ``sum``,
+    ``le_<bound>`` per bucket) so a histogram costs nothing new in the
+    registry's export formats.
+    """
+
+    __slots__ = ("name", "bounds", "_bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, bounds: "Sequence[Number]" = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be non-empty and strictly increasing")
+        self.name = name
+        self.bounds: "tuple[Number, ...]" = tuple(bounds)
+        self._bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum: Number = 0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        self._bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def snapshot(self) -> "dict[str, Number]":
+        """Cumulative bucket counts plus ``count``/``sum``, flat and JSON-safe."""
+        flat: "dict[str, Number]" = {"count": self.count, "sum": self.sum}
+        running = 0
+        for bound, bucket in zip(self.bounds, self._bucket_counts):
+            running += bucket
+            flat[f"le_{_fmt_bound(bound)}"] = running
+        flat["le_inf"] = self.count
+        return flat
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
 class CounterRegistry:
     """Flat store of counters, gauges, and lazy providers with scope roll-up.
 
@@ -56,6 +107,7 @@ class CounterRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Number] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._providers: list[tuple[str, Callable[[], "dict[str, Number]"]]] = []
 
     def counter(self, name: str) -> Counter:
@@ -72,6 +124,19 @@ class CounterRegistry:
     def gauge(self, name: str, value: Number) -> None:
         """Set a point-in-time value (last write wins)."""
         self._gauges[name] = value
+
+    def histogram(self, name: str, bounds: "Sequence[Number] | None" = None) -> Histogram:
+        """Get or create the named histogram.
+
+        ``bounds`` applies on first creation only; the snapshot merges the
+        histogram's flattened buckets under ``<name>.``.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(
+                name, DEFAULT_BUCKETS if bounds is None else bounds
+            )
+        return histogram
 
     def provide(self, prefix: str, fn: Callable[[], "dict[str, Number]"]) -> None:
         """Register a lazy provider; its dict is merged under ``prefix.``."""
@@ -92,6 +157,9 @@ class CounterRegistry:
         for name, counter in self._counters.items():
             flat[name] = counter.value
         flat.update(self._gauges)
+        for name, histogram in self._histograms.items():
+            for key, value in histogram.snapshot().items():
+                flat[f"{name}.{key}"] = value
         for prefix, fn in self._providers:
             for key, value in fn().items():
                 flat[f"{prefix}.{key}"] = value
@@ -126,6 +194,10 @@ class ScopedRegistry:
     def gauge(self, name: str, value: Number) -> None:
         """Set gauge ``<prefix>.<name>``."""
         self._parent.gauge(self._name(name), value)
+
+    def histogram(self, name: str, bounds: "Sequence[Number] | None" = None) -> Histogram:
+        """Get or create histogram ``<prefix>.<name>``."""
+        return self._parent.histogram(self._name(name), bounds)
 
     def provide(self, prefix: str, fn: Callable[[], "dict[str, Number]"]) -> None:
         """Register a provider under ``<prefix>.<sub-prefix>.``."""

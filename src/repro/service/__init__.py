@@ -1,0 +1,49 @@
+"""repro.service — simulation-as-a-service over the harness runner.
+
+The ROADMAP's serving tier: instead of every consumer calling
+``run_many()`` in-process, a single service process owns the queue and the
+process pool, and clients submit jobs over a JSON/HTTP API
+(``repro serve`` / ``repro submit``). Four pieces (``docs/SERVICE.md`` has
+the full reference):
+
+* :class:`JobQueue` (``queue.py``) — bounded priority queue with
+  backpressure and request coalescing on config fingerprints;
+* :class:`BatchScheduler` (``scheduler.py``) — drains the queue on a
+  size/age window into :func:`repro.harness.runner.run_many_settled`
+  batches, with bounded per-job retry and graceful drain;
+* :class:`SimulationService` (``server.py``) + the client SDKs
+  (``client.py``) — the asyncio HTTP frontend and its blocking/async
+  consumers;
+* :class:`ServiceMetrics` (``metrics.py``) — queue depth, latency
+  histograms, coalescing/retry/rejection counters, published through
+  :class:`repro.obs.CounterRegistry` and served at ``GET /metrics``.
+
+Everything is stdlib-only (asyncio + http.client); simulations themselves
+run through the existing cached, analyzed, process-pooled harness runner.
+"""
+
+from .client import AsyncServiceClient, ClientError, JobFailed, ServiceClient, service_url
+from .metrics import LATENCY_BUCKETS_S, ServiceMetrics
+from .queue import Job, JobQueue, JobState, QueueFull, ServiceClosed
+from .scheduler import BatchScheduler
+from .server import ServiceSettings, SimulationService, parse_job_payload, serve
+
+__all__ = [
+    "AsyncServiceClient",
+    "BatchScheduler",
+    "ClientError",
+    "Job",
+    "JobFailed",
+    "JobQueue",
+    "JobState",
+    "LATENCY_BUCKETS_S",
+    "QueueFull",
+    "ServiceClosed",
+    "ServiceClient",
+    "ServiceMetrics",
+    "ServiceSettings",
+    "SimulationService",
+    "parse_job_payload",
+    "serve",
+    "service_url",
+]

@@ -1,0 +1,286 @@
+"""Client SDKs for the simulation service: blocking and asyncio.
+
+Both clients speak the same five-route JSON API and raise
+:class:`ClientError` (a :class:`repro.errors.ServiceError`) on HTTP-level
+failures, carrying the status code and the server's ``error`` message.
+The blocking client rides on :mod:`http.client`; the async client writes
+HTTP/1.1 directly over asyncio streams, mirroring the server — neither
+pulls in anything outside the stdlib.
+
+Typical use::
+
+    client = ServiceClient("http://127.0.0.1:8787")
+    job = client.submit("jacobi", paradigm="gps", gpus=4)
+    payload = client.wait(job["id"], timeout=120)
+    print(payload["result"]["total_time"])
+
+The default URL comes from ``REPRO_SERVICE_URL`` (falling back to
+``http://127.0.0.1:8787``), so CLI verbs and scripts against a local
+service need no configuration at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import time
+import urllib.parse
+
+from ..errors import ServiceError
+
+#: Default service URL when neither an argument nor the env knob is given.
+DEFAULT_URL = "http://127.0.0.1:8787"
+
+
+def service_url(url: "str | None" = None) -> str:
+    """Resolve the service URL: argument, ``REPRO_SERVICE_URL``, default."""
+    return url or os.environ.get("REPRO_SERVICE_URL") or DEFAULT_URL
+
+
+class ClientError(ServiceError):
+    """An HTTP request to the service failed.
+
+    ``status`` is the HTTP status code, or ``None`` for transport-level
+    failures (connection refused, timeout).
+    """
+
+    def __init__(self, message: str, status: "int | None" = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class JobFailed(ServiceError):
+    """The submitted job exhausted its retries and failed server-side."""
+
+
+def _job_body(
+    workload: str,
+    paradigm: str,
+    gpus: int,
+    link: str,
+    scale: float,
+    iterations: int,
+    priority: int,
+) -> dict:
+    return {
+        "workload": workload,
+        "paradigm": paradigm,
+        "gpus": gpus,
+        "link": link,
+        "scale": scale,
+        "iterations": iterations,
+        "priority": priority,
+    }
+
+
+def _check(status: int, payload: dict, accept: "tuple[int, ...]") -> dict:
+    if status not in accept:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        raise ClientError(message or f"service returned HTTP {status}", status=status)
+    return payload
+
+
+class ServiceClient:
+    """Blocking SDK over :mod:`http.client`."""
+
+    def __init__(self, url: "str | None" = None, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(service_url(url))
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ClientError(f"unsupported service URL: {service_url(url)!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: "dict | None" = None
+    ) -> "tuple[int, dict]":
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except ValueError:
+                decoded = {}
+            return response.status, decoded
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            raise ClientError(
+                f"cannot reach service at http://{self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def healthz(self) -> dict:
+        """Liveness probe payload."""
+        return _check(*self._request("GET", "/healthz"), accept=(200,))
+
+    def metrics(self) -> dict:
+        """The service's counter-registry snapshot."""
+        return _check(*self._request("GET", "/metrics"), accept=(200,))["metrics"]
+
+    def submit(
+        self,
+        workload: str,
+        paradigm: str = "gps",
+        gpus: int = 4,
+        link: str = "pcie6",
+        scale: float = 0.5,
+        iterations: int = 8,
+        priority: int = 0,
+    ) -> dict:
+        """Submit one simulation; returns the job status payload."""
+        body = _job_body(workload, paradigm, gpus, link, scale, iterations, priority)
+        return _check(*self._request("POST", "/jobs", body), accept=(200, 202))
+
+    def status(self, job_id: str) -> dict:
+        """Job status payload for one id."""
+        return _check(*self._request("GET", f"/jobs/{job_id}"), accept=(200,))
+
+    def result(self, job_id: str) -> "dict | None":
+        """Full result payload once done, ``None`` while pending.
+
+        Raises :class:`JobFailed` once the job has failed server-side.
+        """
+        status, payload = self._request("GET", f"/results/{job_id}")
+        if status == 202:
+            return None
+        if status == 500:
+            raise JobFailed(payload.get("error") or f"job {job_id} failed")
+        return _check(status, payload, accept=(200,))
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll_s: float = 0.05) -> dict:
+        """Poll until the job completes; returns the result payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.result(job_id)
+            if payload is not None:
+                return payload
+            if time.monotonic() >= deadline:
+                raise ClientError(f"timed out after {timeout:.0f}s waiting for {job_id}")
+            time.sleep(poll_s)
+
+    def run(self, workload: str, timeout: float = 300.0, **kwargs) -> dict:
+        """Submit + wait in one call; returns the result payload."""
+        job = self.submit(workload, **kwargs)
+        return self.wait(job["id"], timeout=timeout)
+
+    def shutdown(self, drain: bool = True) -> dict:
+        """Ask the service to shut down (draining by default)."""
+        return _check(
+            *self._request("POST", "/shutdown", {"drain": drain}), accept=(202,)
+        )
+
+
+class AsyncServiceClient:
+    """Asyncio SDK speaking HTTP/1.1 over raw streams (mirrors the server)."""
+
+    def __init__(self, url: "str | None" = None, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(service_url(url))
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ClientError(f"unsupported service URL: {service_url(url)!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    async def _request(
+        self, method: str, path: str, body: "dict | None" = None
+    ) -> "tuple[int, dict]":
+        payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout
+            )
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            raise ClientError(
+                f"cannot reach service at http://{self.host}:{self.port}: {exc}"
+            ) from exc
+        try:
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), self.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        header, _, body_bytes = raw.partition(b"\r\n\r\n")
+        try:
+            status = int(header.split(None, 2)[1])
+        except (IndexError, ValueError) as exc:
+            raise ClientError("malformed response from service") from exc
+        try:
+            decoded = json.loads(body_bytes) if body_bytes else {}
+        except ValueError:
+            decoded = {}
+        return status, decoded
+
+    async def healthz(self) -> dict:
+        """Liveness probe payload."""
+        return _check(*await self._request("GET", "/healthz"), accept=(200,))
+
+    async def metrics(self) -> dict:
+        """The service's counter-registry snapshot."""
+        return _check(*await self._request("GET", "/metrics"), accept=(200,))["metrics"]
+
+    async def submit(
+        self,
+        workload: str,
+        paradigm: str = "gps",
+        gpus: int = 4,
+        link: str = "pcie6",
+        scale: float = 0.5,
+        iterations: int = 8,
+        priority: int = 0,
+    ) -> dict:
+        """Submit one simulation; returns the job status payload."""
+        body = _job_body(workload, paradigm, gpus, link, scale, iterations, priority)
+        return _check(*await self._request("POST", "/jobs", body), accept=(200, 202))
+
+    async def status(self, job_id: str) -> dict:
+        """Job status payload for one id."""
+        return _check(*await self._request("GET", f"/jobs/{job_id}"), accept=(200,))
+
+    async def result(self, job_id: str) -> "dict | None":
+        """Full result payload once done, ``None`` while pending."""
+        status, payload = await self._request("GET", f"/results/{job_id}")
+        if status == 202:
+            return None
+        if status == 500:
+            raise JobFailed(payload.get("error") or f"job {job_id} failed")
+        return _check(status, payload, accept=(200,))
+
+    async def wait(self, job_id: str, timeout: float = 300.0, poll_s: float = 0.05) -> dict:
+        """Poll until the job completes; returns the result payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = await self.result(job_id)
+            if payload is not None:
+                return payload
+            if time.monotonic() >= deadline:
+                raise ClientError(f"timed out after {timeout:.0f}s waiting for {job_id}")
+            await asyncio.sleep(poll_s)
+
+    async def run(self, workload: str, timeout: float = 300.0, **kwargs) -> dict:
+        """Submit + wait in one call; returns the result payload."""
+        job = await self.submit(workload, **kwargs)
+        return await self.wait(job["id"], timeout=timeout)
+
+    async def shutdown(self, drain: bool = True) -> dict:
+        """Ask the service to shut down (draining by default)."""
+        return _check(
+            *await self._request("POST", "/shutdown", {"drain": drain}), accept=(202,)
+        )

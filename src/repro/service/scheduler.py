@@ -1,0 +1,129 @@
+"""Batched dispatch from the job queue into the harness runner.
+
+The scheduler is one long-lived coroutine that repeatedly:
+
+1. waits for the queue to become non-empty;
+2. holds the batch open over a **size/age window** — dispatch fires as soon
+   as ``batch_size`` distinct simulations are queued, or ``max_wait_s``
+   after the window opened, whichever comes first (small batches trade a
+   bounded latency hit for process-pool fan-out and in-batch dedup);
+3. packs the drained jobs into one
+   :func:`repro.harness.runner.run_many_settled` call, pushed off the event
+   loop with ``asyncio.to_thread`` so the loop keeps serving HTTP while
+   simulations run;
+4. settles each job individually: successes resolve their group's future,
+   failures retry with linear backoff up to ``max_retries`` additional
+   attempts, then fail the future.
+
+Shutdown is graceful by default: :meth:`BatchScheduler.stop` with
+``drain=True`` waits until every queued and running group has settled
+before cancelling the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..harness.runner import run_many_settled
+from .metrics import ServiceMetrics
+from .queue import Job, JobQueue
+
+
+class BatchScheduler:
+    """Drains the :class:`JobQueue` into ``run_many_settled`` batches."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        metrics: ServiceMetrics,
+        *,
+        batch_size: int = 8,
+        max_wait_s: float = 0.05,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        max_workers: "int | None" = None,
+        runner=run_many_settled,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        self.queue = queue
+        self.metrics = metrics
+        self.batch_size = batch_size
+        self.max_wait_s = max_wait_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.max_workers = max_workers
+        self._runner = runner
+        self._task: "asyncio.Task | None" = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the scheduling loop on the running event loop."""
+        if self._task is not None:
+            raise RuntimeError("scheduler already started")
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="repro-service-scheduler"
+        )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the loop; with ``drain`` wait for in-flight work first.
+
+        The queue should already be closed to submissions (the server does
+        this) so the drain barrier cannot be starved by new work.
+        """
+        if drain:
+            await self.queue.wait_idle()
+        else:
+            self.queue.abort_queued()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    # -- the loop ------------------------------------------------------------
+
+    async def _run(self) -> None:
+        while True:
+            await self.queue.wait_nonempty()
+            await self._hold_window()
+            batch = self.queue.pop_ready(self.batch_size)
+            if batch:
+                await self._execute(batch)
+
+    async def _hold_window(self) -> None:
+        """Sleep until the batch is full or the age window expires."""
+        if self.max_wait_s <= 0:
+            return
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_wait_s
+        tick = max(self.max_wait_s / 10.0, 0.001)
+        while self.queue.depth < self.batch_size and loop.time() < deadline:
+            await asyncio.sleep(tick)
+
+    async def _execute(self, batch: "list[Job]") -> None:
+        for job in batch:
+            self.queue.mark_running(job.key)
+        self.metrics.batch_started(len(batch))
+        sims = [job.sim for job in batch]
+        outcomes = await asyncio.to_thread(self._runner, sims, self.max_workers)
+        retry: "list[Job]" = []
+        for job, outcome in zip(batch, outcomes):
+            if isinstance(outcome, Exception):
+                attempts = self.queue.record_attempt(job.key)
+                if attempts <= self.max_retries:
+                    retry.append(job)
+                else:
+                    self.queue.finish(job.key, error=outcome)
+            else:
+                self.queue.finish(job.key, result=outcome)
+        if retry:
+            # Linear backoff on the worst offender; one sleep covers the
+            # whole batch so retries of a crashed pool don't thundering-herd.
+            worst = max(job.attempts for job in retry)
+            await asyncio.sleep(self.retry_backoff_s * worst)
+            for job in retry:
+                self.queue.requeue(job.key)

@@ -1,0 +1,373 @@
+"""The simulation service: a stdlib-only JSON-over-HTTP asyncio server.
+
+One process hosts the whole serving stack — HTTP frontend, priority queue,
+batching scheduler — in a single event loop; simulations run off-loop via
+the harness runner's process pool. The API surface:
+
+==========================  ==================================================
+``POST /jobs``              submit a simulation; ``202`` + job status payload
+                            (``200`` when answered from cache), ``400`` on a
+                            bad request, ``429`` on backpressure, ``503``
+                            while draining
+``GET /jobs/{id}``          job status (state, latencies, attempts, coalesced)
+``GET /results/{id}``       ``200`` + full result once done, ``202`` while
+                            pending, ``500`` once failed
+``GET /healthz``            liveness + queue gauges
+``GET /metrics``            the service's ``obs.CounterRegistry`` snapshot
+``POST /shutdown``          graceful drain (``{"drain": false}`` aborts the
+                            queue instead)
+==========================  ==================================================
+
+Submission body: ``{"workload": "jacobi", "paradigm": "gps", "gpus": 4,
+"link": "pcie6", "scale": 0.5, "iterations": 8, "priority": 0}`` — every
+field but ``workload`` optional. Ops knobs come from ``REPRO_SERVICE_*``
+environment variables via :meth:`ServiceSettings.from_env`.
+
+The HTTP layer is deliberately minimal (HTTP/1.1, ``Connection: close``,
+JSON bodies only): the service fronts a trusted local/CI network, and
+keeping it stdlib-only is a hard constraint of this repo.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from dataclasses import dataclass
+
+from ..config import LINKS_BY_NAME
+from ..harness.runner import SimJob
+from ..paradigms.registry import PARADIGMS
+from ..workloads.registry import (
+    EXTRA_WORKLOADS,
+    resolve_workload_name,
+    workload_names,
+)
+from .metrics import ServiceMetrics
+from .queue import JobQueue, JobState, QueueFull, ServiceClosed
+from .scheduler import BatchScheduler
+
+_STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Largest request body the server will read, in bytes.
+MAX_BODY_BYTES = 1 << 20
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    return int(raw) if raw else default
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "")
+    return float(raw) if raw else default
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """Tunable knobs of one service instance (see ``docs/SERVICE.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    queue_depth: int = 256
+    batch_size: int = 8
+    max_wait_s: float = 0.05
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
+    max_workers: "int | None" = None
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServiceSettings":
+        """Settings from ``REPRO_SERVICE_*`` variables, then ``overrides``.
+
+        Only overrides whose value is not ``None`` apply, so CLI flags can
+        pass through unset options without clobbering the environment.
+        """
+        workers = os.environ.get("REPRO_SERVICE_MAX_WORKERS", "")
+        values = {
+            "host": os.environ.get("REPRO_SERVICE_HOST") or cls.host,
+            "port": _env_int("REPRO_SERVICE_PORT", cls.port),
+            "queue_depth": _env_int("REPRO_SERVICE_QUEUE_DEPTH", cls.queue_depth),
+            "batch_size": _env_int("REPRO_SERVICE_BATCH_SIZE", cls.batch_size),
+            "max_wait_s": _env_float("REPRO_SERVICE_MAX_WAIT_MS", cls.max_wait_s * 1000.0)
+            / 1000.0,
+            "max_retries": _env_int("REPRO_SERVICE_MAX_RETRIES", cls.max_retries),
+            "retry_backoff_s": _env_float(
+                "REPRO_SERVICE_RETRY_BACKOFF_MS", cls.retry_backoff_s * 1000.0
+            )
+            / 1000.0,
+            "max_workers": int(workers) if workers else None,
+        }
+        values.update({k: v for k, v in overrides.items() if v is not None})
+        return cls(**values)
+
+
+def parse_job_payload(payload) -> "tuple[SimJob, int]":
+    """Validate a ``POST /jobs`` body into ``(SimJob, priority)``.
+
+    Raises ``ValueError`` with a client-presentable message on any problem;
+    the HTTP layer maps that to ``400``.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    known = {"workload", "paradigm", "gpus", "link", "scale", "iterations", "priority"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(f"unknown fields: {', '.join(unknown)}")
+
+    workload = resolve_workload_name(payload.get("workload", ""))
+    valid_workloads = workload_names() + list(EXTRA_WORKLOADS)
+    if workload not in valid_workloads:
+        raise ValueError(f"unknown workload {payload.get('workload')!r}; one of {valid_workloads}")
+    paradigm = payload.get("paradigm", "gps")
+    if paradigm not in PARADIGMS:
+        raise ValueError(f"unknown paradigm {paradigm!r}; one of {sorted(PARADIGMS)}")
+    link = payload.get("link", "pcie6")
+    if link not in LINKS_BY_NAME:
+        raise ValueError(f"unknown link {link!r}; one of {sorted(LINKS_BY_NAME)}")
+
+    def _int(name: str, default: int, minimum: int) -> int:
+        value = payload.get(name, default)
+        if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+            raise ValueError(f"{name} must be an integer >= {minimum}")
+        return value
+
+    gpus = _int("gpus", 4, 1)
+    iterations = _int("iterations", 8, 1)
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ValueError("priority must be an integer")
+    scale = payload.get("scale", 0.5)
+    if not isinstance(scale, (int, float)) or isinstance(scale, bool) or scale <= 0:
+        raise ValueError("scale must be a positive number")
+
+    sim = SimJob(workload, paradigm, gpus, link, float(scale), iterations)
+    return sim, priority
+
+
+class SimulationService:
+    """Queue + scheduler + HTTP frontend, wired to one event loop."""
+
+    def __init__(
+        self,
+        settings: "ServiceSettings | None" = None,
+        registry=None,
+    ) -> None:
+        self.settings = settings if settings is not None else ServiceSettings.from_env()
+        self.metrics = ServiceMetrics(registry)
+        self.queue = JobQueue(self.metrics, max_depth=self.settings.queue_depth)
+        self.scheduler = BatchScheduler(
+            self.queue,
+            self.metrics,
+            batch_size=self.settings.batch_size,
+            max_wait_s=self.settings.max_wait_s,
+            max_retries=self.settings.max_retries,
+            retry_backoff_s=self.settings.retry_backoff_s,
+            max_workers=self.settings.max_workers,
+        )
+        self._server: "asyncio.Server | None" = None
+        self._stopped: "asyncio.Event | None" = None
+        self.host = self.settings.host
+        self.port = self.settings.port
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "tuple[str, int]":
+        """Bind the socket and start the scheduler; returns ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port; the resolved one is stored on
+        ``self.port``.
+        """
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._stopped = asyncio.Event()
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.settings.host, self.settings.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        assert self._stopped is not None, "call start() first"
+        await self._stopped.wait()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting work, settle (or abort) the backlog, close up."""
+        if self._server is None:
+            return
+        self.queue.close()
+        await self.scheduler.stop(drain=drain)
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        assert self._stopped is not None
+        self._stopped.set()
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            status, payload = await self._route(method, path, body)
+            writer.write(_render_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> "tuple[str, str, bytes] | None":
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            return "GET", "/__malformed__", b""
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = min(int(value.strip()), MAX_BODY_BYTES)
+                except ValueError:
+                    content_length = 0
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method.upper(), target.split("?", 1)[0], body
+
+    async def _route(self, method: str, path: str, body: bytes) -> "tuple[int, dict]":
+        if path == "/healthz" and method == "GET":
+            return 200, {
+                "status": "ok",
+                "queued": self.queue.depth,
+                "inflight": self.queue.inflight,
+                "draining": self.queue.closed,
+            }
+        if path == "/metrics" and method == "GET":
+            return 200, {"metrics": self.metrics.snapshot()}
+        if path == "/jobs" and method == "POST":
+            return self._submit(body)
+        if path.startswith("/jobs/") and method == "GET":
+            return self._job_status(path[len("/jobs/"):])
+        if path.startswith("/results/") and method == "GET":
+            return self._job_result(path[len("/results/"):])
+        if path == "/shutdown" and method == "POST":
+            return self._shutdown_request(body)
+        if path in ("/jobs", "/shutdown") or path.startswith(("/jobs/", "/results/")):
+            return 405, {"error": f"method {method} not allowed on {path}"}
+        return 404, {"error": f"no such route: {method} {path}"}
+
+    # -- route handlers ------------------------------------------------------
+
+    def _submit(self, body: bytes) -> "tuple[int, dict]":
+        try:
+            payload = json.loads(body or b"{}")
+        except ValueError:
+            return 400, {"error": "request body is not valid JSON"}
+        try:
+            sim, priority = parse_job_payload(payload)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        try:
+            job = self.queue.submit(sim, priority)
+        except QueueFull as exc:
+            return 429, {"error": str(exc)}
+        except ServiceClosed as exc:
+            return 503, {"error": str(exc)}
+        return (200 if job.cache_hit else 202), job.as_dict()
+
+    def _job_status(self, job_id: str) -> "tuple[int, dict]":
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job id {job_id!r}"}
+        return 200, job.as_dict()
+
+    def _job_result(self, job_id: str) -> "tuple[int, dict]":
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job id {job_id!r}"}
+        if job.state is JobState.FAILED:
+            return 500, {"id": job.id, "state": job.state.value, "error": job.error}
+        result = job.result
+        if result is None:
+            return 202, {"id": job.id, "state": job.state.value}
+        return 200, {
+            "id": job.id,
+            "key": job.key,
+            "state": job.state.value,
+            "job": job.sim.meta(),
+            "result": result.to_dict(),
+        }
+
+    def _shutdown_request(self, body: bytes) -> "tuple[int, dict]":
+        try:
+            payload = json.loads(body or b"{}")
+        except ValueError:
+            payload = {}
+        drain = bool(payload.get("drain", True)) if isinstance(payload, dict) else True
+        asyncio.get_running_loop().create_task(self.shutdown(drain=drain))
+        return 202, {"status": "draining" if drain else "stopping"}
+
+
+def _render_response(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {phrase}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def serve(settings: "ServiceSettings | None" = None, *, quiet: bool = False) -> int:
+    """Blocking entry point for ``repro serve``: run until shut down.
+
+    Returns the process exit code. Ctrl-C drains gracefully.
+    """
+
+    async def _main() -> None:
+        service = SimulationService(settings)
+        host, port = await service.start()
+        if not quiet:
+            print(f"repro service listening on http://{host}:{port}", flush=True)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            await service.shutdown(drain=True)
+            raise
+        if not quiet:
+            print("repro service stopped", flush=True)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0

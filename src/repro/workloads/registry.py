@@ -27,14 +27,25 @@ EXTRA_WORKLOADS: dict = {
     "mvmul": make_mvmul(),
 }
 
+#: Convenience aliases accepted anywhere a workload name is (``stencil``
+#: runs the 5-point stencil workload, registered as ``jacobi``). Shared by
+#: the CLI and the service API.
+WORKLOAD_ALIASES: dict = {"stencil": "jacobi"}
+
 
 def workload_names() -> list:
     """The Table 2 evaluation suite, in table order."""
     return list(WORKLOADS)
 
 
+def resolve_workload_name(name: str) -> str:
+    """Map aliases (``stencil``) onto registered workload names."""
+    return WORKLOAD_ALIASES.get(name, name)
+
+
 def get_workload(name: str) -> Workload:
-    """Fetch a workload by name (Table 2 suite plus extras like mvmul)."""
+    """Fetch a workload by name or alias (Table 2 suite plus extras)."""
+    name = resolve_workload_name(name)
     if name in WORKLOADS:
         return WORKLOADS[name]
     if name in EXTRA_WORKLOADS:

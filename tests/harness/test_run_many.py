@@ -14,6 +14,7 @@ from repro.harness.runner import (
     disk_cache_info,
     fleet_stats,
     run_many,
+    run_many_settled,
     run_simulation,
     run_speedup,
 )
@@ -57,6 +58,77 @@ class TestRunMany:
         clear_run_cache()
         (result,) = run_many([("jacobi", "memcpy", 2, "pcie6", 0.1, 2)])
         assert result.total_time > 0
+
+    def test_repeated_configs_fingerprint_once(self, monkeypatch):
+        # Satellite regression: a grid repeating the same config as distinct
+        # SimJob instances must hash the config once, not once per repeat.
+        from repro.harness.runner import fingerprint as fp
+
+        clear_run_cache()
+        calls = {"n": 0}
+        real_job_key = fp.job_key
+
+        def counting_job_key(*args, **kwargs):
+            calls["n"] += 1
+            return real_job_key(*args, **kwargs)
+
+        monkeypatch.setattr(fp, "job_key", counting_job_key)
+        jobs = [
+            SimJob("jacobi", "memcpy", 2, **FAST),
+            SimJob("jacobi", "gps", 2, **FAST),
+            SimJob("jacobi", "memcpy", 2, **FAST),  # repeat, fresh instance
+            SimJob("jacobi", "memcpy", 2, **FAST),  # repeat, fresh instance
+        ]
+        results = run_many(jobs, max_workers=1)
+        assert calls["n"] == 2  # one per *distinct* job
+        # ... and the shared result fans back out to every repeat slot.
+        assert results[0] is results[2] is results[3]
+        assert fleet_stats().jobs_computed == 2
+
+
+class TestRunManySettled:
+    def test_matches_run_many_on_success(self):
+        clear_run_cache()
+        jobs = [SimJob("jacobi", "memcpy", 2, **FAST), SimJob("jacobi", "gps", 2, **FAST)]
+        settled = run_many_settled(jobs, max_workers=1)
+        clear_run_cache()
+        plain = run_many(jobs, max_workers=1)
+        assert [r.total_time for r in settled] == [r.total_time for r in plain]
+
+    def test_failure_lands_in_its_slot(self, monkeypatch):
+        from repro.harness.runner import parallel
+
+        clear_run_cache()
+        real_compute = parallel.compute_job
+
+        def picky(job):
+            if job.paradigm == "gps":
+                raise RuntimeError("injected failure")
+            return real_compute(job)
+
+        monkeypatch.setattr(parallel, "compute_job", picky)
+        jobs = [
+            SimJob("jacobi", "memcpy", 2, **FAST),
+            SimJob("jacobi", "gps", 2, **FAST),
+            SimJob("jacobi", "gps", 2, **FAST),  # duplicate shares the failure
+        ]
+        ok, bad, bad2 = run_many_settled(jobs, max_workers=1)
+        assert ok.total_time > 0
+        assert isinstance(bad, RuntimeError) and bad is bad2
+        assert fleet_stats().jobs_failed == 1
+        assert fleet_stats().jobs_computed == 1
+
+    def test_run_many_raises_first_failure(self, monkeypatch):
+        from repro.harness.runner import parallel
+
+        clear_run_cache()
+
+        def explode(job):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(parallel, "compute_job", explode)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_many([SimJob("jacobi", "memcpy", 2, **FAST)], max_workers=1)
 
 
 class TestFleetStats:
@@ -182,6 +254,25 @@ class TestDiskCache:
         assert stats.disk_errors == 1
         assert stats.evictions == 1
         assert stats.misses == 1
+
+    def test_non_dict_json_record_recomputed(self, disk_cache):
+        # Satellite hardening: a record that parses as JSON but is not an
+        # object (e.g. a truncated-then-rewritten file, or a concurrent
+        # writer losing a race) must read as a miss, never raise.
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        path = next(disk_cache.glob("*.json"))
+        for garbage in ('"just-a-string"', "[1, 2, 3]", "null", '{"job": {}}'):
+            path.write_text(garbage)
+            clear_run_cache()
+            result = run_simulation("jacobi", "memcpy", 2, **FAST)
+            assert result.total_time > 0
+            stats = cache_stats()
+            assert stats.disk_errors == 1, garbage
+            assert stats.misses == 1, garbage
+        # Non-dict payloads are also skipped (not fatal) when enumerating.
+        path.write_text('"just-a-string"')
+        info = disk_cache_info()
+        assert info["enabled"]
 
     def test_clear_disk_cache(self, disk_cache):
         run_simulation("jacobi", "memcpy", 2, **FAST)

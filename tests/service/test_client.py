@@ -1,0 +1,90 @@
+"""Client SDK tests: URL resolution, error surfaces, the async client."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    AsyncServiceClient,
+    ClientError,
+    ServiceClient,
+    service_url,
+)
+
+FAST = dict(scale=0.1, iterations=2, gpus=2)
+
+
+class TestServiceUrl:
+    def test_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_URL", "http://example:1")
+        assert service_url("http://other:2") == "http://other:2"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_URL", "http://example:1")
+        assert service_url() == "http://example:1"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_URL", raising=False)
+        assert service_url() == "http://127.0.0.1:8787"
+
+    def test_non_http_scheme_rejected(self):
+        with pytest.raises(ClientError):
+            ServiceClient("https://secure:443")
+        with pytest.raises(ClientError):
+            AsyncServiceClient("ftp://nope:21")
+
+
+class TestTransportErrors:
+    def test_unreachable_service_raises_client_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status is None
+        # ClientError is part of the library-wide hierarchy.
+        assert isinstance(excinfo.value, ServiceError)
+
+    def test_async_unreachable_service_raises(self):
+        async def body():
+            client = AsyncServiceClient("http://127.0.0.1:9", timeout=0.5)
+            with pytest.raises(ClientError):
+                await client.healthz()
+
+        asyncio.run(body())
+
+
+class TestAsyncClient:
+    def test_full_flow_matches_blocking_client(self, live_service):
+        blocking = live_service.client()
+
+        async def body():
+            client = AsyncServiceClient(live_service.url)
+            health = await client.healthz()
+            assert health["status"] == "ok"
+            payload = await client.run("als", timeout=60, **FAST)
+            assert payload["state"] == "done"
+            metrics = await client.metrics()
+            assert metrics["service.jobs.completed"] >= 1
+            return payload
+
+        async_payload = asyncio.run(body())
+        # Deterministic simulation: the blocking client sees the same bytes.
+        blocking_payload = blocking.run("als", timeout=60, **FAST)
+        assert json.dumps(async_payload["result"], sort_keys=True) == json.dumps(
+            blocking_payload["result"], sort_keys=True
+        )
+
+    def test_async_status_and_pending_result(self, live_service):
+        async def body():
+            client = AsyncServiceClient(live_service.url)
+            job = await client.submit("diffusion", **FAST)
+            status = await client.status(job["id"])
+            assert status["id"] == job["id"]
+            # result() returns None while pending rather than raising.
+            pending = await client.result(job["id"])
+            assert pending is None or pending["state"] == "done"
+            final = await client.wait(job["id"], timeout=60)
+            assert final["result"]["total_time"] > 0
+
+        asyncio.run(body())

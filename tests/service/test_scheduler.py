@@ -1,0 +1,193 @@
+"""Scheduler tests: batching windows, per-job retry, graceful drain.
+
+A stub runner stands in for ``run_many_settled`` so these tests exercise
+scheduling policy (batch packing, retry bookkeeping, drain barriers)
+without paying for real simulations.
+"""
+
+import asyncio
+
+from repro.harness.runner import SimJob
+from repro.service import BatchScheduler, JobQueue, JobState, ServiceMetrics
+
+FAST = dict(scale=0.1, iterations=2)
+
+
+def sim(gpus=2, **kwargs):
+    return SimJob("jacobi", "gps", gpus, **{**FAST, **kwargs})
+
+
+class StubRunner:
+    """Records batches; fails each fingerprint a configurable number of times."""
+
+    def __init__(self, fail_times=0):
+        self.batches = []
+        self.fail_times = fail_times
+        self.failures = {}
+
+    def __call__(self, sims, max_workers=None):
+        self.batches.append(list(sims))
+        outcomes = []
+        for job in sims:
+            key = job.key()
+            seen = self.failures.get(key, 0)
+            if seen < self.fail_times:
+                self.failures[key] = seen + 1
+                outcomes.append(RuntimeError(f"boom #{seen + 1}"))
+            else:
+                outcomes.append(f"result-for-{key[:8]}")
+        return outcomes
+
+
+def make_stack(runner, **kwargs):
+    metrics = ServiceMetrics()
+    queue = JobQueue(metrics, max_depth=32)
+    defaults = dict(batch_size=4, max_wait_s=0.01, max_retries=2, retry_backoff_s=0.001)
+    scheduler = BatchScheduler(queue, metrics, runner=runner, **{**defaults, **kwargs})
+    return queue, scheduler, metrics
+
+
+class TestBatching:
+    def test_packs_queued_jobs_into_one_batch(self):
+        runner = StubRunner()
+
+        async def body():
+            queue, scheduler, metrics = make_stack(runner, max_wait_s=0.05)
+            jobs = [queue.submit(sim(gpus=g)) for g in (1, 2, 4)]
+            scheduler.start()
+            await asyncio.gather(*(asyncio.wait_for(j.future, 5) for j in jobs))
+            await scheduler.stop()
+            assert len(runner.batches) == 1
+            assert len(runner.batches[0]) == 3
+            snapshot = metrics.snapshot()
+            assert snapshot["service.scheduler.batches"] == 1
+            assert snapshot["service.scheduler.batched_jobs"] == 3
+
+        asyncio.run(body())
+
+    def test_dispatches_immediately_when_batch_fills(self):
+        runner = StubRunner()
+
+        async def body():
+            # A long age window must not delay a full batch.
+            queue, scheduler, _ = make_stack(runner, batch_size=2, max_wait_s=30.0)
+            scheduler.start()
+            jobs = [queue.submit(sim(gpus=g)) for g in (1, 2)]
+            await asyncio.wait_for(
+                asyncio.gather(*(j.future for j in jobs)), timeout=5
+            )
+            await scheduler.stop(drain=False)
+
+        asyncio.run(body())
+
+    def test_oversized_backlog_splits_into_batches(self):
+        runner = StubRunner()
+
+        async def body():
+            queue, scheduler, _ = make_stack(runner, batch_size=2, max_wait_s=0.01)
+            jobs = [queue.submit(sim(gpus=2**i)) for i in range(5)]
+            scheduler.start()
+            await asyncio.gather(*(asyncio.wait_for(j.future, 5) for j in jobs))
+            await scheduler.stop()
+            assert all(len(batch) <= 2 for batch in runner.batches)
+            assert sum(len(b) for b in runner.batches) == 5
+
+        asyncio.run(body())
+
+
+class TestRetry:
+    def test_transient_failure_retries_then_succeeds(self):
+        runner = StubRunner(fail_times=1)
+
+        async def body():
+            queue, scheduler, metrics = make_stack(runner, max_retries=2)
+            job = queue.submit(sim())
+            scheduler.start()
+            result = await asyncio.wait_for(job.future, 5)
+            await scheduler.stop()
+            assert result.startswith("result-for-")
+            assert job.state is JobState.DONE
+            assert job.attempts == 1
+            assert metrics.snapshot()["service.jobs.retried"] == 1
+
+        asyncio.run(body())
+
+    def test_retries_exhausted_fails_job(self):
+        runner = StubRunner(fail_times=10)
+
+        async def body():
+            queue, scheduler, metrics = make_stack(runner, max_retries=2)
+            job = queue.submit(sim())
+            scheduler.start()
+            try:
+                await asyncio.wait_for(job.future, 5)
+            except RuntimeError:
+                pass
+            await scheduler.stop()
+            assert job.state is JobState.FAILED
+            assert "boom" in job.error
+            assert job.attempts == 3  # initial + 2 retries
+            # 3 attempts total: the runner saw the job three times.
+            assert sum(len(b) for b in runner.batches) == 3
+            assert metrics.snapshot()["service.jobs.failed"] == 1
+
+        asyncio.run(body())
+
+    def test_one_bad_job_does_not_poison_batch(self):
+        class OneBadApple(StubRunner):
+            def __call__(self, sims, max_workers=None):
+                self.batches.append(list(sims))
+                return [
+                    RuntimeError("always broken") if job.num_gpus == 1
+                    else f"result-for-{job.key()[:8]}"
+                    for job in sims
+                ]
+
+        runner = OneBadApple()
+
+        async def body():
+            queue, scheduler, _ = make_stack(runner, max_retries=1)
+            bad = queue.submit(sim(gpus=1))
+            good = queue.submit(sim(gpus=2))
+            scheduler.start()
+            result = await asyncio.wait_for(good.future, 5)
+            assert result.startswith("result-for-")
+            try:
+                await asyncio.wait_for(bad.future, 5)
+            except RuntimeError:
+                pass
+            await scheduler.stop()
+            assert good.state is JobState.DONE
+            assert bad.state is JobState.FAILED
+
+        asyncio.run(body())
+
+
+class TestDrain:
+    def test_stop_drains_backlog(self):
+        runner = StubRunner()
+
+        async def body():
+            queue, scheduler, _ = make_stack(runner, batch_size=2)
+            jobs = [queue.submit(sim(gpus=2**i)) for i in range(4)]
+            scheduler.start()
+            queue.close()
+            await scheduler.stop(drain=True)
+            assert all(j.state is JobState.DONE for j in jobs)
+
+        asyncio.run(body())
+
+    def test_stop_without_drain_aborts_queued(self):
+        runner = StubRunner()
+
+        async def body():
+            queue, scheduler, _ = make_stack(runner, max_wait_s=30.0, batch_size=64)
+            # Scheduler never fires (window never fills, age 30s); jobs sit queued.
+            scheduler.start()
+            jobs = [queue.submit(sim(gpus=2**i)) for i in range(3)]
+            queue.close()
+            await scheduler.stop(drain=False)
+            assert all(j.state is JobState.FAILED for j in jobs)
+            assert runner.batches == []
+
+        asyncio.run(body())

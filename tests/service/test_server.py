@@ -1,0 +1,243 @@
+"""HTTP API tests against a live service on an ephemeral port."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.harness.runner import clear_run_cache
+from repro.service import (
+    ClientError,
+    JobFailed,
+    ServiceClient,
+    ServiceSettings,
+    parse_job_payload,
+)
+
+from .conftest import LiveService
+
+FAST = dict(scale=0.1, iterations=2, gpus=2)
+
+
+def raw_request(url, method="GET", body=None):
+    """Talk to the server without the SDK, to pin the wire format."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRoutes:
+    def test_healthz(self, live_service):
+        status, payload = raw_request(live_service.url + "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["draining"] is False
+
+    def test_unknown_route_404(self, live_service):
+        status, payload = raw_request(live_service.url + "/nope")
+        assert status == 404
+        assert "error" in payload
+
+    def test_wrong_method_405(self, live_service):
+        status, _ = raw_request(live_service.url + "/jobs", method="GET")
+        assert status == 405
+
+    def test_unknown_job_404(self, live_service):
+        client = live_service.client()
+        with pytest.raises(ClientError) as excinfo:
+            client.status("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_submit_rejects_bad_payloads(self, live_service):
+        for body, fragment in [
+            ({"workload": "zzz"}, "unknown workload"),
+            ({"workload": "jacobi", "paradigm": "zzz"}, "unknown paradigm"),
+            ({"workload": "jacobi", "link": "zzz"}, "unknown link"),
+            ({"workload": "jacobi", "gpus": 0}, "gpus"),
+            ({"workload": "jacobi", "scale": -1}, "scale"),
+            ({"workload": "jacobi", "bogus": 1}, "unknown fields"),
+        ]:
+            status, payload = raw_request(live_service.url + "/jobs", "POST", body)
+            assert status == 400, body
+            assert fragment in payload["error"], body
+
+    def test_submit_rejects_non_json_body(self, live_service):
+        request = urllib.request.Request(
+            live_service.url + "/jobs", data=b"{not json", method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                status = response.status
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 400
+
+    def test_metrics_exposes_queue_depth_and_latency(self, live_service):
+        metrics = live_service.client().metrics()
+        assert "service.queue.depth" in metrics
+        assert "service.latency.wait_s.count" in metrics
+        assert "service.latency.run_s.le_inf" in metrics
+
+
+class TestJobFlow:
+    def test_submit_poll_result(self, live_service):
+        client = live_service.client()
+        job = client.submit("jacobi", **FAST)
+        assert job["state"] in ("queued", "running", "done")
+        assert job["id"].startswith("job-")
+        payload = client.wait(job["id"], timeout=60)
+        assert payload["state"] == "done"
+        assert payload["result"]["program_name"].startswith("jacobi")
+        assert payload["result"]["total_time"] > 0
+        status = client.status(job["id"])
+        assert status["state"] == "done"
+        assert status["wait_s"] >= 0 and status["run_s"] >= 0
+
+    def test_workload_alias_accepted(self, live_service):
+        client = live_service.client()
+        payload = client.run("stencil", timeout=60, **FAST)
+        assert payload["result"]["program_name"].startswith("jacobi")
+
+    def test_concurrent_identical_submissions_coalesce(self, live_service):
+        client = live_service.client()
+        # Two submissions race in over separate connections before the
+        # batch window closes: exactly one simulation must run.
+        jobs = {}
+
+        def submit(slot):
+            jobs[slot] = live_service.client().submit("ct", **FAST)
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        first, second = jobs[0], jobs[1]
+        assert first["key"] == second["key"]
+        assert sorted([first["coalesced"], second["coalesced"]]) == [False, True]
+        payloads = [
+            client.wait(job["id"], timeout=60) for job in (first, second)
+        ]
+        raw = [json.dumps(p["result"], sort_keys=True) for p in payloads]
+        assert raw[0] == raw[1]
+        metrics = client.metrics()
+        assert metrics["service.queue.coalesced"] == 1
+        assert metrics["service.jobs.completed"] == 2
+        assert metrics["service.runner.fleet.jobs_computed"] == 1
+
+    def test_cache_hit_completes_instantly(self, live_service):
+        client = live_service.client()
+        first = client.run("jacobi", timeout=60, **FAST)
+        job = client.submit("jacobi", **FAST)
+        assert job["cache_hit"] is True
+        assert job["state"] == "done"
+        second = client.wait(job["id"], timeout=10)
+        assert json.dumps(second["result"], sort_keys=True) == json.dumps(
+            first["result"], sort_keys=True
+        )
+
+    def test_failed_job_reports_error(self, live_service, monkeypatch):
+        # Break the compute path itself: with REPRO_MAX_WORKERS=1 the
+        # scheduler computes serially in this process, so the patch reaches
+        # the server thread and the job fails on every retry.
+        from repro.harness.runner import parallel
+
+        def explode(job):
+            raise RuntimeError("injected compute failure")
+
+        monkeypatch.setattr(parallel, "compute_job", explode)
+        client = live_service.client()
+        job = client.submit("eqwp", **FAST)
+        with pytest.raises(JobFailed):
+            client.wait(job["id"], timeout=60)
+        status = client.status(job["id"])
+        assert status["state"] == "failed"
+        assert "injected compute failure" in status["error"]
+        assert status["attempts"] == 2  # initial + fast_settings' 1 retry
+        metrics = client.metrics()
+        assert metrics["service.jobs.failed"] == 1
+        assert metrics["service.jobs.retried"] == 1
+
+
+class TestBackpressure:
+    def test_full_queue_returns_429(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "1")
+        clear_run_cache()
+        # Age window long enough that nothing dispatches while we fill the
+        # one-slot queue.
+        service = LiveService(
+            ServiceSettings(
+                host="127.0.0.1",
+                port=0,
+                queue_depth=1,
+                batch_size=4,
+                max_wait_s=30.0,
+                max_workers=1,
+            )
+        )
+        try:
+            client = service.client()
+            client.submit("jacobi", **FAST)
+            with pytest.raises(ClientError) as excinfo:
+                client.submit("pagerank", **FAST)
+            assert excinfo.value.status == 429
+            assert client.metrics()["service.queue.rejected"] == 1
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()
+
+
+class TestShutdown:
+    def test_drain_completes_inflight_work(self, fast_settings):
+        clear_run_cache()
+        service = LiveService(fast_settings)
+        client = service.client()
+        job = client.submit("jacobi", **FAST)
+        client.shutdown(drain=True)
+        service._thread.join(60)
+        assert not service._thread.is_alive()
+        # The job settled before the server stopped: its future resolved.
+        queue_job = service.service.queue.get(job["id"])
+        assert queue_job.state.value == "done"
+        clear_run_cache()
+
+    def test_draining_service_rejects_new_jobs(self, fast_settings):
+        clear_run_cache()
+        service = LiveService(fast_settings)
+        try:
+            client = service.client()
+            client.submit("jacobi", **FAST)  # keeps the drain busy briefly
+            service.service.queue.close()
+            with pytest.raises(ClientError) as excinfo:
+                client.submit("pagerank", **FAST)
+            assert excinfo.value.status == 503
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()
+
+
+class TestPayloadValidation:
+    def test_parse_job_payload_round_trip(self):
+        sim, priority = parse_job_payload(
+            {"workload": "stencil", "gpus": 2, "scale": 0.25, "priority": 3}
+        )
+        assert sim.workload == "jacobi"
+        assert sim.paradigm == "gps"
+        assert sim.num_gpus == 2
+        assert priority == 3
+
+    def test_parse_job_payload_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            parse_job_payload([1, 2, 3])
+
+    def test_parse_job_payload_rejects_bool_ints(self):
+        with pytest.raises(ValueError):
+            parse_job_payload({"workload": "jacobi", "gpus": True})

@@ -135,6 +135,67 @@ class TestCache:
         assert "1 computed" in out
         clear_run_cache()
 
+    def test_show_empty_cache_dir_exits_zero_with_stable_columns(
+        self, capsys, cache_dir
+    ):
+        # Satellite pin: an empty (or never-populated) cache directory is a
+        # normal state — exit 0, fixed column order, 0 entries.
+        assert main(["cache", "show"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        labels = [line.split(":")[0].strip() for line in lines]
+        assert labels == ["persistent cache", "model fingerprint", "entries"]
+        assert "0 (" in lines[2]
+        # Columns align: every label field is padded to the same width.
+        assert len({line.index(":") for line in lines}) == 1
+
+    def test_show_missing_cache_dir_exits_zero(self, capsys, tmp_path, monkeypatch):
+        from repro.harness.runner import clear_run_cache
+
+        monkeypatch.setenv("REPRO_NO_CACHE", "")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "never-created"))
+        clear_run_cache()
+        assert main(["cache", "show"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        clear_run_cache()
+
+    def test_show_column_order_stable_when_populated(self, capsys, cache_dir):
+        from repro.harness.runner import run_simulation
+
+        run_simulation("jacobi", "memcpy", 2, scale=0.1, iterations=2)
+        assert main(["cache", "show"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        labels = [line.split(":")[0].strip() for line in lines if ":" in line]
+        assert labels[:4] == [
+            "persistent cache",
+            "model fingerprint",
+            "entries",
+            "this process",
+        ]
+
+
+class TestServiceVerbs:
+    """The serve/submit/status/result verbs (transport errors only; the live
+    round-trip is covered by tests/service/)."""
+
+    UNREACHABLE = ["--url", "http://127.0.0.1:9", "--timeout", "0.5"]
+
+    def test_submit_unreachable_exits_2(self, capsys):
+        assert main(["submit", "jacobi", *self.UNREACHABLE]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_status_unreachable_exits_2(self, capsys):
+        assert main(["status", "job-0", *self.UNREACHABLE[:2]]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_result_unreachable_exits_2(self, capsys):
+        assert main(["result", "job-0", *self.UNREACHABLE[:2]]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_submit_rejects_unknown_paradigm_locally(self):
+        with pytest.raises(SystemExit):
+            main(["submit", "jacobi", "--paradigm", "zzz", *self.UNREACHABLE])
+
 
 class TestTrace:
     def test_stencil_alias_writes_valid_trace(self, capsys, tmp_path):
