@@ -10,7 +10,9 @@ MICRO 2021. The public API:
 * :class:`repro.GPSRuntime` — the ``cudaMallocGPS``-style driver API;
 * :func:`repro.default_system` and the config dataclasses — system models;
 * :mod:`repro.obs` — span tracing, hardware counters, and Perfetto export
-  (``python -m repro trace <workload>`` from the CLI).
+  (``python -m repro trace <workload>`` from the CLI);
+* :mod:`repro.verify` — invariant oracle, trace-program fuzzer, and the
+  differential conformance harness (``python -m repro verify``).
 
 Quick start::
 
@@ -57,7 +59,7 @@ from .system.executor import simulate, speedup_over_single_gpu
 from .system.results import SimulationResult
 from .workloads.registry import WORKLOADS, get_workload, workload_names
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CACHE_BLOCK",

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro profile jacobi --paradigm gps --top 10
     python -m repro serve --port 8787                         # simulation service
     python -m repro submit stencil --gpus 4                   # job via the service
+    python -m repro verify --cases 25 --seed 0                # conformance harness
     python -m repro cache show
     python -m repro list
 
@@ -40,6 +41,10 @@ from .harness.report import format_speedup_matrix, format_table
 from .units import fmt_bytes, fmt_time
 from .workloads.registry import resolve_workload_name as _resolve_workload
 
+
+#: Default paradigm set ``repro verify`` differentials (imported lazily in
+#: the handler; duplicated here so the parser needs no heavy imports).
+_DEFAULT_VERIFY_PARADIGMS = ("gps", "gps_nosub", "memcpy", "infinite")
 
 #: CLI figure name -> (driver, accepts scale/iterations).
 FIGURES = {
@@ -256,6 +261,47 @@ def _build_parser() -> argparse.ArgumentParser:
     result = sub.add_parser("result", help="fetch one completed job's result")
     result.add_argument("id", help="job id returned by 'repro submit'")
     _add_client_args(result)
+
+    verify = sub.add_parser(
+        "verify",
+        help="fuzz + invariant oracle + differential conformance harness",
+        description=(
+            "Generate analyzer-clean random trace programs, check every "
+            "simulation against the invariant oracle, and assert that the "
+            "direct, disk-cache, process-pool, and live-service execution "
+            "paths agree byte-for-byte. Failures write machine-readable "
+            "repro artifacts with greedily minimised programs. Exit code: "
+            "0 when every case passes, 1 otherwise. See docs/VERIFY.md."
+        ),
+    )
+    verify.add_argument("--seed", type=int, default=0, help="first fuzz seed")
+    verify.add_argument("--cases", type=int, default=10, help="number of fuzz cases")
+    verify.add_argument(
+        "--paradigms",
+        default=",".join(_DEFAULT_VERIFY_PARADIGMS),
+        help="comma-separated paradigm list, or 'all' "
+        f"(default: {','.join(_DEFAULT_VERIFY_PARADIGMS)})",
+    )
+    verify.add_argument("--gpus", type=int, default=4)
+    verify.add_argument("--link", default="pcie6", choices=sorted(LINKS_BY_NAME))
+    verify.add_argument("--scale", type=float, default=0.25)
+    verify.add_argument("--iterations", type=int, default=2)
+    verify.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the live-service execution path",
+    )
+    verify.add_argument(
+        "--out",
+        metavar="DIR",
+        default="verify-artifacts",
+        help="directory for failure-repro artifacts (default: verify-artifacts/)",
+    )
+    verify.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="print the oracle check catalogue and exit",
+    )
     return parser
 
 
@@ -657,6 +703,80 @@ def _cmd_result(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .verify import (
+        build_artifact,
+        generate_program,
+        minimize_program,
+        oracle_catalogue,
+        run_differential,
+        shrink_stats,
+        write_artifact,
+    )
+    from .verify.oracle import check_result
+
+    if args.list_checks:
+        rows = [[name, layer, summary] for name, layer, summary in oracle_catalogue()]
+        print(format_table(["check", "layer", "invariant"], rows, title="Oracle checks"))
+        return 0
+    if args.paradigms.strip() == "all":
+        paradigms = tuple(sorted(PARADIGMS))
+    else:
+        paradigms = tuple(p.strip() for p in args.paradigms.split(",") if p.strip())
+    seeds = range(args.seed, args.seed + args.cases)
+    print(
+        f"verify: {args.cases} fuzz cases (seeds {args.seed}..{args.seed + args.cases - 1}) "
+        f"x {len(paradigms)} paradigms on {args.gpus} GPUs over {args.link}"
+    )
+    report = run_differential(
+        seeds,
+        num_gpus=args.gpus,
+        scale=args.scale,
+        iterations=args.iterations,
+        paradigms=paradigms,
+        link=args.link,
+        use_service=not args.no_service,
+        progress=lambda message: print(f"  {message}"),
+    )
+    failures = [case for case in report.cases if not case.ok]
+    for case in failures:
+        for violation in case.violations:
+            print(f"FAIL seed {case.spec.seed}: {violation}", file=sys.stderr)
+        # Minimise against the oracle's result checks (the cheap,
+        # process-local predicate); differential failures keep the full
+        # generated program, whose seed already reproduces them.
+        program = generate_program(
+            case.spec.seed, case.spec.num_gpus,
+            scale=case.spec.scale, iterations=case.spec.iterations,
+        )
+        config = default_system(args.gpus, LINKS_BY_NAME[args.link])
+
+        def _oracle_fails(candidate) -> bool:
+            return bool(check_result(simulate(candidate, paradigms[0], config), config))
+
+        minimized = program
+        if any(not v.check.startswith("differential") for v in case.violations):
+            minimized = minimize_program(program, _oracle_fails)
+        path = write_artifact(
+            args.out,
+            build_artifact(
+                case, paradigms, args.link,
+                program=minimized, shrink=shrink_stats(program, minimized),
+            ),
+        )
+        print(f"wrote {path}", file=sys.stderr)
+    summary = report.summary()
+    print(
+        f"verify: {summary['cases']} cases, {summary['violations']} violations, "
+        f"paths: {', '.join(summary['paths'])}"
+    )
+    if failures:
+        print(f"verify: {len(failures)} case(s) FAILED", file=sys.stderr)
+        return 1
+    print("verify: OK — all paths byte-identical, all invariants hold")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     rows = [
         [name, get_workload(name).info.comm_pattern, get_workload(name).info.description]
@@ -687,6 +807,7 @@ def main(argv=None) -> int:
         "submit": _cmd_submit,
         "status": _cmd_status,
         "result": _cmd_result,
+        "verify": _cmd_verify,
     }
     return handlers[args.command](args)
 

@@ -245,10 +245,20 @@ class ParadigmExecutor(ABC):
         it exactly once, from :meth:`build_result`.
         """
 
+    def schedule_digest(self) -> str:
+        """Canonical digest of the scheduled task graph (after :meth:`run`).
+
+        Every executor is required to be deterministic: the same program and
+        config must schedule the same tasks at the same instants in every
+        process. The verify subsystem asserts this by comparing digests
+        across execution paths.
+        """
+        return self.engine.schedule_digest()
+
     def build_result(self, total_time: float) -> SimulationResult:
         """Assemble the common result fields; subclasses extend."""
         self.register_counters()
-        return SimulationResult(
+        result = SimulationResult(
             program_name=self.program.name,
             paradigm=self.name,
             num_gpus=self.program.num_gpus,
@@ -257,3 +267,8 @@ class ParadigmExecutor(ABC):
             phases=self._phases_out,
             counters=self.counters.as_dict(),
         )
+        # The digest rides in extras so every execution path (direct, disk
+        # cache, process pool, service) carries it: a cross-path divergence
+        # can then be localised to the scheduler vs. the result assembly.
+        result.extras["schedule_digest"] = self.schedule_digest()
+        return result

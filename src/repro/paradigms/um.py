@@ -76,8 +76,15 @@ class UMExecutor(ParadigmExecutor):
             duration = self.roofline(footprint, extra_stall=stall)
             kernel_tasks.append(self.kernel_task(phase, kernel, duration, after))
         # Port occupancy for the migration traffic (concurrent with the
-        # kernels, since migrations happen during execution).
+        # kernels, since migrations happen during execution). Migration
+        # bytes are double-entry bookkeeping like any other transfer: the
+        # traffic matrix (added per-page above) and the link counters must
+        # agree per port.
+        link = self.counters.scope("link")
         for gpu, nbytes in migrate_bytes_out.items():
+            link.add(f"egress{gpu}.bytes", nbytes)
+            link.add("bytes", nbytes)
+            link.add("transfers")
             tasks.append(
                 self.engine.task(
                     f"{phase.name}/um-mig-eg{gpu}",
@@ -89,6 +96,7 @@ class UMExecutor(ParadigmExecutor):
                 )
             )
         for gpu, nbytes in migrate_bytes_in.items():
+            link.add(f"ingress{gpu}.bytes", nbytes)
             tasks.append(
                 self.engine.task(
                     f"{phase.name}/um-mig-in{gpu}",

@@ -40,6 +40,7 @@ from ..harness.runner import SimJob
 from ..paradigms.registry import PARADIGMS
 from ..workloads.registry import (
     EXTRA_WORKLOADS,
+    is_known_workload,
     resolve_workload_name,
     workload_names,
 )
@@ -125,9 +126,9 @@ def parse_job_payload(payload) -> "tuple[SimJob, int]":
         raise ValueError(f"unknown fields: {', '.join(unknown)}")
 
     workload = resolve_workload_name(payload.get("workload", ""))
-    valid_workloads = workload_names() + list(EXTRA_WORKLOADS)
-    if workload not in valid_workloads:
-        raise ValueError(f"unknown workload {payload.get('workload')!r}; one of {valid_workloads}")
+    if not is_known_workload(workload):
+        valid = workload_names() + list(EXTRA_WORKLOADS) + ["fuzz/<seed>"]
+        raise ValueError(f"unknown workload {payload.get('workload')!r}; one of {valid}")
     paradigm = payload.get("paradigm", "gps")
     if paradigm not in PARADIGMS:
         raise ValueError(f"unknown paradigm {paradigm!r}; one of {sorted(PARADIGMS)}")

@@ -14,6 +14,7 @@ fair sharing, without simulating byte-level interleaving.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from typing import Iterable, Optional
 
@@ -242,3 +243,23 @@ class Engine:
         if not self._tasks:
             return 0.0
         return max(task.end for task in self._tasks)
+
+    def schedule_digest(self) -> str:
+        """Canonical SHA-256 over the complete schedule (after :meth:`run`).
+
+        Hashes every task's name, resource, and scheduled window using the
+        shortest-roundtrip float repr, in insertion order. Two runs of the
+        same task graph — in this process, another process, or another
+        machine — must produce identical digests; the verify subsystem's
+        differential harness compares these to localise a divergence to the
+        scheduler rather than the result assembly.
+        """
+        if not self._ran:
+            raise SimulationError("engine has not run yet")
+        digest = hashlib.sha256()
+        for task in self._tasks:
+            resource = task.resource.name if task.resource is not None else "-"
+            digest.update(
+                f"{task.name}|{resource}|{task._start!r}|{task._end!r}\n".encode("utf-8")
+            )
+        return digest.hexdigest()

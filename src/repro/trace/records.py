@@ -9,9 +9,28 @@ An :class:`AccessRange` says "this kernel performs ``op`` accesses over
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass
 
 from ..errors import TraceError
+
+
+def stable_seed(*parts: "int | str") -> int:
+    """Deterministic, process-independent seed from mixed int/str parts.
+
+    Workload generators derive :attr:`PatternSpec.seed` values from labels
+    and loop indices. Using builtin ``hash()`` for that is a trap: string
+    hashes are randomised per process (``PYTHONHASHSEED``), so a pool
+    worker would expand a *different* trace than the parent that submitted
+    the job — the paths diverge silently. This helper folds every part
+    through CRC-32, which is stable across processes, platforms, and
+    Python versions.
+    """
+    acc = 0
+    for part in parts:
+        data = str(part).encode("utf-8") if not isinstance(part, bytes) else part
+        acc = zlib.crc32(data, acc)
+    return acc
 
 
 class MemOp(enum.Enum):

@@ -1,0 +1,105 @@
+"""Machine-readable failure-repro artifacts for ``repro verify``.
+
+When the harness finds a violation it writes one JSON file per failing
+case: the minimised trace program, the exact job coordinates (workload
+name, paradigm set, link, config fingerprint, model version), and every
+violation — enough to replay the failure in a debugger or a regression
+test without re-running the fuzzer. The committed seed corpus under
+``tests/verify/corpus/`` is made of exactly these files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..config import config_fingerprint
+from ..harness.runner import MODEL_FINGERPRINT, SimJob
+from ..trace.io import program_from_dict, program_to_dict
+from ..trace.program import TraceProgram
+from .differential import CaseReport
+from .fuzzer import generate_program
+from .oracle import Violation
+
+#: Artifact schema version; bump on incompatible layout changes.
+ARTIFACT_VERSION = 1
+
+
+def build_artifact(
+    case: CaseReport,
+    paradigms,
+    link: str,
+    program: "TraceProgram | None" = None,
+    shrink: "dict | None" = None,
+) -> dict:
+    """Assemble the JSON payload for one failing case."""
+    spec = case.spec
+    if program is None:
+        program = generate_program(
+            spec.seed, spec.num_gpus, scale=spec.scale, iterations=spec.iterations
+        )
+    job = SimJob(
+        spec.workload_name, paradigms[0] if paradigms else "gps",
+        spec.num_gpus, link, spec.scale, spec.iterations,
+    )
+    return {
+        "artifact_version": ARTIFACT_VERSION,
+        "model": MODEL_FINGERPRINT,
+        "kind": "verify-failure",
+        "case": {
+            "seed": spec.seed,
+            "workload": spec.workload_name,
+            "num_gpus": spec.num_gpus,
+            "scale": spec.scale,
+            "iterations": spec.iterations,
+            "paradigms": list(paradigms),
+            "link": link,
+        },
+        "config_fingerprint_sha256": job.key(),
+        "config_fingerprint": config_fingerprint(job.resolved_config()),
+        "violations": [
+            {"check": v.check, "message": v.message} for v in case.violations
+        ],
+        "shrink": shrink or {},
+        "program": program_to_dict(program),
+    }
+
+
+def artifact_path(directory: "str | Path", case: CaseReport) -> Path:
+    spec = case.spec
+    return Path(directory) / f"verify-s{spec.seed}-g{spec.num_gpus}.json"
+
+
+def write_artifact(directory: "str | Path", payload: dict) -> Path:
+    """Write one artifact; returns the path written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / (
+        f"verify-s{payload['case']['seed']}-g{payload['case']['num_gpus']}.json"
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: "str | Path") -> dict:
+    """Read one artifact back, validating the schema version."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("artifact_version")
+    if version != ARTIFACT_VERSION:
+        raise ValueError(
+            f"{path}: artifact version {version!r}, expected {ARTIFACT_VERSION}"
+        )
+    return payload
+
+
+def artifact_program(payload: dict) -> TraceProgram:
+    """Rebuild the (minimised) trace program an artifact carries."""
+    return program_from_dict(payload["program"])
+
+
+def replay_violations(payload: dict) -> "list[Violation]":
+    """The violations recorded in an artifact, as oracle objects."""
+    return [
+        Violation(item["check"], item["message"])
+        for item in payload.get("violations", [])
+    ]

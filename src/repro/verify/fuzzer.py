@@ -1,0 +1,284 @@
+"""Seeded trace-program fuzzer: well-formed, analyzer-clean random programs.
+
+The generator is a *grammar over the idioms the real workloads use* — shard
+sweeps, halo exchanges, full-buffer gathers, atomic scatters — composed
+randomly but under the constraints that keep a program clean under
+``repro.analysis --strict``:
+
+* every buffer is fully initialised by a setup phase (no GPS003/GPS103);
+* plain weak stores only ever target the storing GPU's own shard, so no two
+  GPUs' write sets overlap within a phase (no GPS001);
+* every steady iteration repeats the same access structure as iteration 0,
+  so automatic subscription profiling covers every later read (no GPS006);
+* scopes stay weak and no sync buffers are declared (no GPS004/GPS005).
+
+Cross-GPU read/write overlap, atomic/plain mixing, zero-payload kernels and
+load imbalance are all *generated on purpose* — they are info-severity
+idioms the paper's applications exhibit, and exactly the shapes that have
+broken result plumbing in the past.
+
+Determinism is load-bearing: ``generate_program(seed, gpus, scale, iters)``
+is a pure function (``random.Random`` seeded via :func:`stable_seed`), so a
+process-pool worker or a service backend given only the workload name
+``fuzz/<seed>`` rebuilds the byte-identical program the parent generated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import TraceError
+from ..trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
+from ..trace.records import AccessRange, MemOp, PatternKind, PatternSpec, stable_seed
+from ..units import KiB
+from ..workloads.base import Workload, WorkloadInfo, scaled_size, setup_phase, shard_bounds
+
+#: Workload-name prefix the registry resolves to :class:`FuzzWorkload`.
+FUZZ_PREFIX = "fuzz/"
+
+#: Buffer base sizes at ``scale=1.0`` (multiples of the 64 KiB page).
+_BASE_SIZES = (256 * KiB, 512 * KiB, 768 * KiB, 1024 * KiB, 1536 * KiB)
+
+#: Partial-line transaction sizes the SM coalescer sees in practice.
+_TXN_BYTES = (4, 8, 16, 32, 64, 128)
+
+#: Phase shapes the grammar composes (see the module docstring).
+_PHASE_KINDS = ("sweep", "halo", "gather", "scatter", "reduce")
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """The resolved identity of one fuzzed program."""
+
+    seed: int
+    num_gpus: int
+    scale: float
+    iterations: int
+
+    @property
+    def workload_name(self) -> str:
+        """The registry name that rebuilds this program's workload."""
+        return f"{FUZZ_PREFIX}{self.seed}"
+
+
+def _pattern(rng: random.Random, salt: int) -> PatternSpec:
+    """One random-but-valid access pattern."""
+    kind = rng.choice(
+        (PatternKind.SEQUENTIAL, PatternKind.STRIDED, PatternKind.RANDOM, PatternKind.REUSE)
+    )
+    return PatternSpec(
+        kind=kind,
+        stride=rng.choice((1, 2, 4, 8)) if kind is PatternKind.STRIDED else 1,
+        touch_fraction=rng.choice((1.0, 0.75, 0.5, 0.25)),
+        revisit_prob=rng.choice((0.25, 0.5)) if kind is PatternKind.REUSE else 0.0,
+        revisit_window=rng.choice((16, 64, 256)) if kind is PatternKind.REUSE else 64,
+        bytes_per_txn=rng.choice(_TXN_BYTES),
+        seed=salt,
+    )
+
+
+def _phase_plan(rng: random.Random, num_buffers: int) -> "list[dict]":
+    """The per-iteration phase skeleton: kind + buffer roles + patterns.
+
+    Generated once and replayed for every iteration (with only the phase
+    name and iteration index varying), which is both what real iterative
+    applications do and what keeps GPS profiling sound.
+    """
+    plan = []
+    for slot in range(rng.choice((1, 1, 2, 2, 3))):
+        kind = rng.choice(_PHASE_KINDS)
+        plan.append(
+            {
+                "kind": kind,
+                "slot": slot,
+                # Which declared buffer plays which role in this phase.
+                "read_buf": rng.randrange(num_buffers),
+                "write_buf": rng.randrange(num_buffers),
+                "read_pattern": _pattern(rng, stable_seed("read", slot) % 10_000),
+                "write_pattern": _pattern(rng, stable_seed("write", slot) % 10_000),
+                "repeat": rng.choice((1, 1, 1, 2)),
+                # Rare deliberate degenerate shape: a kernel with no
+                # accesses at all (payload-imbalance territory, GPS104).
+                "zero_payload_gpu": rng.randrange(64),
+                "atomic_txn": rng.choice((4, 8, 16, 32)),
+                "halo_fraction": rng.choice((0.0625, 0.125, 0.25)),
+            }
+        )
+    return plan
+
+
+def _phase_kernels(
+    entry: dict,
+    names: "list[str]",
+    sizes: "list[int]",
+    num_gpus: int,
+    intensity: float,
+) -> "tuple[KernelSpec, ...]":
+    """Materialise one planned phase into per-GPU kernels."""
+    kind = entry["kind"]
+    read_buf, write_buf = names[entry["read_buf"]], names[entry["write_buf"]]
+    read_size, write_size = sizes[entry["read_buf"]], sizes[entry["write_buf"]]
+    kernels = []
+    for gpu in range(num_gpus):
+        if num_gpus > 1 and entry["zero_payload_gpu"] == gpu:
+            # Degenerate-but-legal shape: this GPU launches an empty kernel.
+            kernels.append(
+                KernelSpec(f"{kind}-idle", gpu, compute_ops=1.0, accesses=())
+            )
+            continue
+        w_start, w_end = shard_bounds(write_size, num_gpus, gpu)
+        r_start, r_end = shard_bounds(read_size, num_gpus, gpu)
+        accesses: "list[AccessRange]" = []
+        if kind == "sweep":
+            accesses.append(
+                AccessRange(read_buf, r_start, r_end - r_start, MemOp.READ,
+                            entry["read_pattern"], repeat=entry["repeat"])
+            )
+        elif kind == "halo":
+            accesses.append(
+                AccessRange(read_buf, r_start, r_end - r_start, MemOp.READ,
+                            entry["read_pattern"])
+            )
+            if num_gpus > 1:
+                n_start, n_end = shard_bounds(read_size, num_gpus, (gpu + 1) % num_gpus)
+                halo = max(128, int((n_end - n_start) * entry["halo_fraction"]) // 128 * 128)
+                accesses.append(
+                    AccessRange(read_buf, n_start, min(halo, n_end - n_start),
+                                MemOp.READ, entry["read_pattern"])
+                )
+        elif kind == "gather":
+            accesses.append(
+                AccessRange(read_buf, 0, read_size, MemOp.READ,
+                            entry["read_pattern"], repeat=entry["repeat"])
+            )
+        elif kind == "scatter":
+            accesses.append(
+                AccessRange(read_buf, r_start, r_end - r_start, MemOp.READ,
+                            entry["read_pattern"])
+            )
+            scatter_pattern = PatternSpec(
+                PatternKind.RANDOM,
+                touch_fraction=0.5,
+                bytes_per_txn=entry["atomic_txn"],
+                seed=entry["write_pattern"].seed,
+            )
+            accesses.append(
+                AccessRange(write_buf, 0, write_size, MemOp.ATOMIC, scatter_pattern)
+            )
+        elif kind == "reduce":
+            accesses.append(
+                AccessRange(write_buf, w_start, w_end - w_start, MemOp.READ,
+                            entry["read_pattern"])
+            )
+        if kind != "scatter":
+            # Plain weak stores stay inside the GPU's own shard: disjoint
+            # write sets across GPUs, the GPS001-free invariant.
+            accesses.append(
+                AccessRange(write_buf, w_start, w_end - w_start, MemOp.WRITE,
+                            entry["write_pattern"])
+            )
+        payload = sum(a.total_bytes() for a in accesses)
+        kernels.append(
+            KernelSpec(
+                name=kind,
+                gpu=gpu,
+                compute_ops=intensity * payload,
+                accesses=tuple(accesses),
+            )
+        )
+    return tuple(kernels)
+
+
+def generate_program(
+    seed: int,
+    num_gpus: int = 4,
+    scale: float = 1.0,
+    iterations: int = 2,
+) -> TraceProgram:
+    """Generate one well-formed, analyzer-clean random trace program.
+
+    Pure function of its arguments: the same ``(seed, num_gpus, scale,
+    iterations)`` produces a structurally identical program in any process.
+    """
+    if seed < 0:
+        raise TraceError(f"fuzz seed must be non-negative, got {seed}")
+    if iterations < 1:
+        raise TraceError(f"fuzz programs need at least one iteration, got {iterations}")
+    rng = random.Random(stable_seed("repro-fuzz", seed))
+    num_buffers = rng.choice((1, 2, 2, 3))
+    sizes = [scaled_size(rng.choice(_BASE_SIZES), scale) for _ in range(num_buffers)]
+    names = [f"buf{i}" for i in range(num_buffers)]
+    intensity = rng.choice((1.0, 4.0, 16.0))
+    plan = _phase_plan(rng, num_buffers)
+
+    buffers = tuple(BufferSpec(name, size) for name, size in zip(names, sizes))
+    phases = [setup_phase(list(zip(names, sizes)), num_gpus, seed=seed % 10_000)]
+    for iteration in range(iterations):
+        for entry in plan:
+            phases.append(
+                Phase(
+                    f"it{iteration}/{entry['kind']}{entry['slot']}",
+                    _phase_kernels(entry, names, sizes, num_gpus, intensity),
+                    iteration=iteration,
+                )
+            )
+    return TraceProgram(
+        name=f"fuzz-s{seed}-g{num_gpus}",
+        num_gpus=num_gpus,
+        buffers=buffers,
+        phases=tuple(phases),
+        metadata={
+            "workload": f"{FUZZ_PREFIX}{seed}",
+            "comm_pattern": "fuzz",
+            "seed": seed,
+            "scale": scale,
+            "phase_kinds": [entry["kind"] for entry in plan],
+        },
+    )
+
+
+class FuzzWorkload(Workload):
+    """A fuzzed program family, addressable through the workload registry.
+
+    Registering fuzz programs as first-class workloads is what makes the
+    differential harness possible: the memoised runner, the process pool,
+    and the service all identify simulations by ``(workload name, gpus,
+    scale, iterations)``, and ``fuzz/<seed>`` reconstructs deterministically
+    on whichever side of a process boundary it lands.
+    """
+
+    arithmetic_intensity = 4.0
+    remote_mlp = 256
+
+    def __init__(self, seed: int) -> None:
+        if seed < 0:
+            raise TraceError(f"fuzz seed must be non-negative, got {seed}")
+        self.seed = seed
+        self.info = WorkloadInfo(
+            f"{FUZZ_PREFIX}{seed}",
+            f"Fuzzed trace program (seed {seed})",
+            "Fuzz",
+        )
+
+    @classmethod
+    def from_name(cls, name: str) -> "FuzzWorkload":
+        """Parse ``fuzz/<seed>`` into a workload instance."""
+        if not name.startswith(FUZZ_PREFIX):
+            raise TraceError(f"not a fuzz workload name: {name!r}")
+        raw = name[len(FUZZ_PREFIX):]
+        if not raw.isdigit():
+            raise TraceError(
+                f"malformed fuzz workload {name!r}: expected '{FUZZ_PREFIX}<seed>' "
+                "with a non-negative integer seed"
+            )
+        return cls(int(raw))
+
+    def build(self, num_gpus: int, scale: float = 1.0, iterations: int = 5) -> TraceProgram:
+        """Generate the fuzzed program for one system size."""
+        return generate_program(self.seed, num_gpus, scale=scale, iterations=iterations)
+
+
+def is_fuzz_workload(name: str) -> bool:
+    """Whether ``name`` addresses the fuzz family (well-formed or not)."""
+    return name.startswith(FUZZ_PREFIX)

@@ -1,0 +1,154 @@
+"""Greedy trace-program shrinker for failure-repro artifacts.
+
+Given a program that trips an invariant and a predicate that re-checks the
+failure, :func:`minimize_program` repeatedly removes structure — whole
+phases, then kernels, then individual accesses — keeping each removal only
+if the failure survives. The result is the smallest program this greedy
+descent reaches (not a global minimum, which would need delta debugging's
+exponential search), which is what a human wants to look at in an artifact.
+
+The predicate must be *pure*: it receives a candidate program and returns
+``True`` when the failure still reproduces. Predicates that raise are
+treated as "failure reproduces" — a shrink that turns a wrong answer into
+a crash is still interesting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from ..trace.program import Phase, TraceProgram
+
+#: Upper bound on predicate evaluations per minimisation, so a pathological
+#: predicate cannot stall a verify run.
+DEFAULT_BUDGET = 400
+
+
+def _still_fails(predicate: "Callable[[TraceProgram], bool]", program: TraceProgram) -> bool:
+    try:
+        return bool(predicate(program))
+    except Exception:
+        return True
+
+
+def _with_phases(program: TraceProgram, phases: "list[Phase]") -> Optional[TraceProgram]:
+    if not phases:
+        return None
+    try:
+        return dataclasses.replace(program, phases=tuple(phases))
+    except Exception:
+        return None
+
+
+def _drop_phases(program, predicate, budget: "list[int]") -> TraceProgram:
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for index in range(len(program.phases)):
+            if budget[0] <= 0:
+                break
+            candidate = _with_phases(
+                program, [p for i, p in enumerate(program.phases) if i != index]
+            )
+            if candidate is None:
+                continue
+            budget[0] -= 1
+            if _still_fails(predicate, candidate):
+                program = candidate
+                changed = True
+                break
+    return program
+
+
+def _drop_kernels(program, predicate, budget: "list[int]") -> TraceProgram:
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for p_index, phase in enumerate(program.phases):
+            for k_index in range(len(phase.kernels)):
+                if budget[0] <= 0:
+                    return program
+                kernels = tuple(
+                    k for i, k in enumerate(phase.kernels) if i != k_index
+                )
+                phases = list(program.phases)
+                phases[p_index] = dataclasses.replace(phase, kernels=kernels)
+                candidate = _with_phases(program, phases)
+                if candidate is None:
+                    continue
+                budget[0] -= 1
+                if _still_fails(predicate, candidate):
+                    program = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return program
+
+
+def _drop_accesses(program, predicate, budget: "list[int]") -> TraceProgram:
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for p_index, phase in enumerate(program.phases):
+            for k_index, kernel in enumerate(phase.kernels):
+                for a_index in range(len(kernel.accesses)):
+                    if budget[0] <= 0:
+                        return program
+                    accesses = tuple(
+                        a for i, a in enumerate(kernel.accesses) if i != a_index
+                    )
+                    kernels = list(phase.kernels)
+                    kernels[k_index] = dataclasses.replace(kernel, accesses=accesses)
+                    phases = list(program.phases)
+                    phases[p_index] = dataclasses.replace(phase, kernels=tuple(kernels))
+                    candidate = _with_phases(program, phases)
+                    if candidate is None:
+                        continue
+                    budget[0] -= 1
+                    if _still_fails(predicate, candidate):
+                        program = candidate
+                        changed = True
+                        break
+                if changed:
+                    break
+            if changed:
+                break
+    return program
+
+
+def minimize_program(
+    program: TraceProgram,
+    predicate: "Callable[[TraceProgram], bool]",
+    max_evals: int = DEFAULT_BUDGET,
+) -> TraceProgram:
+    """Greedily shrink ``program`` while ``predicate`` keeps returning True.
+
+    The original program is returned unchanged if the predicate does not
+    reproduce on it (nothing to minimise) or the evaluation budget is 0.
+    """
+    if max_evals <= 0 or not _still_fails(predicate, program):
+        return program
+    budget = [max_evals]
+    program = _drop_phases(program, predicate, budget)
+    program = _drop_kernels(program, predicate, budget)
+    program = _drop_accesses(program, predicate, budget)
+    return program
+
+
+def shrink_stats(original: TraceProgram, minimized: TraceProgram) -> dict:
+    """How much structure minimisation removed (for artifact metadata)."""
+
+    def _counts(prog: TraceProgram) -> "tuple[int, int, int]":
+        kernels = sum(len(p.kernels) for p in prog.phases)
+        accesses = sum(len(k.accesses) for k in prog.iter_kernels())
+        return len(prog.phases), kernels, accesses
+
+    phases0, kernels0, accesses0 = _counts(original)
+    phases1, kernels1, accesses1 = _counts(minimized)
+    return {
+        "phases": {"before": phases0, "after": phases1},
+        "kernels": {"before": kernels0, "after": kernels1},
+        "accesses": {"before": accesses0, "after": accesses1},
+    }

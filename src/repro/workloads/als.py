@@ -20,7 +20,7 @@ Two more trace features reproduce the paper's ALS results:
 from __future__ import annotations
 
 from ..trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
-from ..trace.records import AccessRange, MemOp, PatternKind, PatternSpec
+from ..trace.records import AccessRange, MemOp, PatternKind, PatternSpec, stable_seed
 from ..units import MiB
 from .base import Workload, WorkloadInfo, scaled_size, setup_phase, shard_bounds
 
@@ -63,7 +63,8 @@ class ALSWorkload(Workload):
     ) -> Phase:
         seq = PatternSpec(PatternKind.SEQUENTIAL, bytes_per_txn=128, seed=self.seed)
         gather = PatternSpec(
-            PatternKind.RANDOM, bytes_per_txn=64, seed=self.seed + it + hash(label) % 97
+            PatternKind.RANDOM, bytes_per_txn=64,
+            seed=self.seed + it + stable_seed(label) % 97
         )
         atomic_update = PatternSpec(
             PatternKind.RANDOM, touch_fraction=1.0, bytes_per_txn=128, seed=self.seed + 3

@@ -44,11 +44,31 @@ def resolve_workload_name(name: str) -> str:
 
 
 def get_workload(name: str) -> Workload:
-    """Fetch a workload by name or alias (Table 2 suite plus extras)."""
+    """Fetch a workload by name or alias.
+
+    Resolves the Table 2 suite, the extras, and the dynamic ``fuzz/<seed>``
+    family (deterministic fuzzer-generated programs; see
+    :mod:`repro.verify.fuzzer`). Fuzz names reconstruct the same workload in
+    any process — which is what lets the differential harness push fuzzed
+    programs through the process pool and the service by name.
+    """
     name = resolve_workload_name(name)
     if name in WORKLOADS:
         return WORKLOADS[name]
     if name in EXTRA_WORKLOADS:
         return EXTRA_WORKLOADS[name]
-    available = workload_names() + list(EXTRA_WORKLOADS)
+    if name.startswith("fuzz/"):
+        from ..verify.fuzzer import FuzzWorkload  # local: avoids a cycle
+
+        return FuzzWorkload.from_name(name)
+    available = workload_names() + list(EXTRA_WORKLOADS) + ["fuzz/<seed>"]
     raise TraceError(f"unknown workload {name!r}; available: {available}")
+
+
+def is_known_workload(name: str) -> bool:
+    """Whether :func:`get_workload` would resolve ``name``."""
+    try:
+        get_workload(name)
+    except TraceError:
+        return False
+    return True

@@ -7,6 +7,9 @@ exercising every code path end-to-end.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 import repro
@@ -27,6 +30,64 @@ def _no_persistent_cache(monkeypatch):
     overriding these variables themselves.
     """
     monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+
+# --- process-global leak detection -----------------------------------------
+#
+# The service, e2e, and verify suites toggle process-global knobs
+# (``REPRO_NO_CACHE``, ``REPRO_CACHE_DIR``, ``REPRO_MAX_WORKERS``, ...)
+# around live servers and process pools. A knob left set — or a stray
+# ``.repro-cache/`` materialised in the working directory — silently changes
+# the behaviour of every later test in the run, which is exactly the
+# order-dependence this suite must never have. A fixture can't police this
+# (its teardown runs *before* monkeypatch's restore), so the check brackets
+# the whole runtest protocol: snapshot before any fixture sets up, compare
+# after every finalizer has run. Leaks are repaired *and* reported, so the
+# offending test errors instead of its victims failing.
+
+
+def _repro_env() -> "dict[str, str]":
+    return {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_setup(item):
+    item.stash[_ENV_KEY] = _repro_env()
+    item.stash[_CACHE_KEY] = (Path.cwd() / ".repro-cache").exists()
+    return (yield)
+
+
+_ENV_KEY = pytest.StashKey()
+_CACHE_KEY = pytest.StashKey()
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_teardown(item, nextitem):
+    result = (yield)  # every fixture finalizer (monkeypatch included) runs in here
+    before = item.stash.get(_ENV_KEY, None)
+    if before is None:  # setup never ran (collection error)
+        return
+    after = _repro_env()
+    leaks = []
+    for key in before.keys() | after.keys():
+        if before.get(key) != after.get(key):
+            leaks.append(f"{key}: {before.get(key)!r} -> {after.get(key)!r}")
+            if key in before:  # repair for the tests that follow
+                os.environ[key] = before[key]
+            else:
+                os.environ.pop(key, None)
+    stray_cache = Path.cwd() / ".repro-cache"
+    if not item.stash.get(_CACHE_KEY, True) and stray_cache.exists():
+        import shutil
+
+        shutil.rmtree(stray_cache, ignore_errors=True)
+        leaks.append(f"created {stray_cache}")
+    if leaks:
+        pytest.fail(
+            f"{item.nodeid} leaked process-global state: " + "; ".join(leaks),
+            pytrace=False,
+        )
+    return result
 
 
 @pytest.fixture

@@ -118,6 +118,31 @@ class TestRunManySettled:
         assert fleet_stats().jobs_failed == 1
         assert fleet_stats().jobs_computed == 1
 
+    def test_pool_worker_crash_lands_in_its_slot(self):
+        # The monkeypatch test above only exercises the serial fallback; a
+        # real worker crash crosses a process boundary, so the exception is
+        # pickled back from the pool. A fuzz job with iterations=0 raises
+        # TraceError inside the worker's build step — a genuine mid-batch
+        # poison job, not an injected stub.
+        from repro.errors import TraceError
+
+        clear_run_cache()
+        jobs = [
+            SimJob("jacobi", "memcpy", 2, **FAST),
+            SimJob("fuzz/5", "gps", 2, scale=0.1, iterations=0),  # poison
+            SimJob("pagerank", "gps", 2, **FAST),
+        ]
+        before = fleet_stats().jobs_failed
+        ok_a, poisoned, ok_b = run_many_settled(jobs, max_workers=2)
+        assert ok_a.total_time > 0 and ok_a.paradigm == "memcpy"
+        assert ok_b.total_time > 0 and ok_b.program_name == "pagerank"
+        assert isinstance(poisoned, TraceError)
+        assert fleet_stats().jobs_failed == before + 1
+        # The two healthy jobs really went through the pool.
+        assert any(
+            "(serial)" not in w.worker for w in fleet_stats().workers.values()
+        )
+
     def test_run_many_raises_first_failure(self, monkeypatch):
         from repro.harness.runner import parallel
 

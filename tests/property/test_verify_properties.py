@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) driven by the repro.verify fuzzer.
+
+The fuzzer gives hypothesis a cheap handle on the *whole* pipeline: a seed
+is a complete well-formed TraceProgram, so properties range over program
+shapes no hand-written table covers. Three families live here:
+
+* fingerprint stability — the same (seed, gpus, scale, iterations) always
+  produces the same program bytes and the same SimJob fingerprint;
+* SimulationResult round-trip — to_dict → JSON → from_dict → to_dict is
+  byte-identical for fuzzer-generated results;
+* oracle invariants — every registered result-layer check holds across the
+  named workloads × GPU counts, and across fuzzed programs × paradigms.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.harness.runner import SimJob
+from repro.paradigms import PARADIGMS
+from repro.system.results import SimulationResult
+from repro.trace.io import program_to_dict
+from repro.verify import check_result, generate_program
+from repro.verify.fuzzer import FuzzSpec
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+gpu_counts = st.sampled_from([1, 2, 4])
+paradigm_names = st.sampled_from(sorted(PARADIGMS))
+
+#: Satellite matrix from the issue: every named workload × {2, 4, 16} GPUs.
+ALL_WORKLOADS = sorted(repro.workload_names())
+
+
+class TestFingerprintStability:
+    @given(seed=seeds, gpus=gpu_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_generator_is_a_pure_function_of_its_arguments(self, seed, gpus):
+        first = generate_program(seed, gpus, scale=0.25, iterations=2)
+        second = generate_program(seed, gpus, scale=0.25, iterations=2)
+        assert program_to_dict(first) == program_to_dict(second)
+
+    @given(seed=seeds, gpus=gpu_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_job_fingerprint_is_stable(self, seed, gpus):
+        spec = FuzzSpec(seed=seed, num_gpus=gpus, scale=0.25, iterations=2)
+        job_a = SimJob(spec.workload_name, "gps", gpus, scale=0.25, iterations=2)
+        job_b = SimJob(spec.workload_name, "gps", gpus, scale=0.25, iterations=2)
+        assert job_a.key() == job_b.key()
+        assert len(job_a.key()) == 64
+
+    @given(seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_seeds_rarely_collide(self, seed):
+        a = program_to_dict(generate_program(seed, 2, scale=0.25))
+        b = program_to_dict(generate_program(seed + 1, 2, scale=0.25))
+        assert a != b
+
+
+class TestResultRoundTrip:
+    @given(seed=st.integers(min_value=0, max_value=63), paradigm=paradigm_names)
+    @settings(max_examples=25, deadline=None)
+    def test_to_dict_json_from_dict_is_byte_identical(self, seed, paradigm):
+        program = generate_program(seed, 2, scale=0.1, iterations=1)
+        config = repro.default_system(2)
+        result = PARADIGMS[paradigm](program, config).run()
+        payload = json.dumps(result.to_dict(), sort_keys=True)
+        rebuilt = SimulationResult.from_dict(json.loads(payload))
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == payload
+
+
+class TestOracleInvariants:
+    @given(seed=st.integers(min_value=0, max_value=255), paradigm=paradigm_names)
+    @settings(max_examples=30, deadline=None)
+    def test_fuzzed_programs_are_oracle_clean(self, seed, paradigm):
+        program = generate_program(seed, 2, scale=0.1, iterations=1)
+        config = repro.default_system(2)
+        result = PARADIGMS[paradigm](program, config).run()
+        violations = check_result(result, config)
+        assert violations == [], f"{paradigm} seed={seed}: {violations}"
+
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS)
+    @pytest.mark.parametrize("gpus", [2, 4, 16])
+    def test_named_workloads_are_oracle_clean(self, workload, gpus):
+        config = repro.default_system(gpus)
+        program = repro.get_workload(workload).build(gpus, scale=0.05, iterations=1)
+        for paradigm in ("gps", "memcpy", "um"):
+            result = PARADIGMS[paradigm](program, config).run()
+            violations = check_result(result, config)
+            assert violations == [], f"{workload}/{paradigm}/{gpus}: {violations}"

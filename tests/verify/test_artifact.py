@@ -1,0 +1,76 @@
+"""Failure-repro artifact tests: schema, round-trip, replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trace.io import program_to_dict
+from repro.verify.artifact import (
+    ARTIFACT_VERSION,
+    artifact_program,
+    build_artifact,
+    load_artifact,
+    replay_violations,
+    write_artifact,
+)
+from repro.verify.differential import CaseReport
+from repro.verify.fuzzer import FuzzSpec, generate_program
+from repro.verify.oracle import Violation
+
+PARADIGMS = ("gps", "memcpy")
+
+
+def failing_case() -> CaseReport:
+    case = CaseReport(FuzzSpec(seed=3, num_gpus=2, scale=0.25, iterations=2))
+    case.violations.append(Violation("wire-byte-conservation", "gps: off by 4096"))
+    case.violations.append(Violation("differential-pool", "gps: payload differs"))
+    return case
+
+
+class TestArtifact:
+    def test_build_records_the_full_identity(self):
+        payload = build_artifact(failing_case(), PARADIGMS, "pcie6")
+        assert payload["artifact_version"] == ARTIFACT_VERSION
+        assert payload["kind"] == "verify-failure"
+        assert payload["case"]["workload"] == "fuzz/3"
+        assert payload["case"]["paradigms"] == list(PARADIGMS)
+        assert len(payload["config_fingerprint_sha256"]) == 64
+        assert payload["config_fingerprint"]  # complete canonical config
+        assert [v["check"] for v in payload["violations"]] == [
+            "wire-byte-conservation",
+            "differential-pool",
+        ]
+
+    def test_default_program_is_the_generated_one(self):
+        payload = build_artifact(failing_case(), PARADIGMS, "pcie6")
+        expected = generate_program(3, 2, scale=0.25, iterations=2)
+        assert payload["program"] == program_to_dict(expected)
+
+    def test_write_load_round_trip(self, tmp_path):
+        payload = build_artifact(failing_case(), PARADIGMS, "pcie6")
+        path = write_artifact(tmp_path / "artifacts", payload)
+        assert path.name == "verify-s3-g2.json"
+        loaded = load_artifact(path)
+        assert loaded == json.loads(json.dumps(payload))
+
+    def test_version_mismatch_raises(self, tmp_path):
+        payload = build_artifact(failing_case(), PARADIGMS, "pcie6")
+        payload["artifact_version"] = ARTIFACT_VERSION + 1
+        path = write_artifact(tmp_path, payload)
+        with pytest.raises(ValueError, match="artifact version"):
+            load_artifact(path)
+
+    def test_program_and_violations_replay(self, tmp_path):
+        minimized = generate_program(3, 2, scale=0.25, iterations=2)
+        payload = build_artifact(failing_case(), PARADIGMS, "pcie6", program=minimized)
+        path = write_artifact(tmp_path, payload)
+        loaded = load_artifact(path)
+        rebuilt = artifact_program(loaded)
+        assert program_to_dict(rebuilt) == program_to_dict(minimized)
+        violations = replay_violations(loaded)
+        assert [v.check for v in violations] == [
+            "wire-byte-conservation",
+            "differential-pool",
+        ]

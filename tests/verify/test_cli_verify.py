@@ -1,0 +1,66 @@
+"""CLI tests for ``repro verify``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerifyCli:
+    def test_list_checks(self, capsys):
+        assert main(["verify", "--list-checks"]) == 0
+        out = capsys.readouterr().out
+        assert "wire-byte-conservation" in out
+        assert "infinite-lower-bound" in out
+
+    def test_smoke_run_passes(self, capsys, tmp_path):
+        code = main([
+            "verify", "--cases", "2", "--seed", "0", "--gpus", "2",
+            "--no-service", "--out", str(tmp_path / "artifacts"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verify: OK" in out
+        assert not (tmp_path / "artifacts").exists()  # no failures, no artifacts
+
+    def test_paradigms_all_is_accepted(self, capsys):
+        code = main([
+            "verify", "--cases", "1", "--seed", "5", "--gpus", "2",
+            "--paradigms", "all", "--no-service",
+        ])
+        assert code == 0
+        assert "x 8 paradigms" in capsys.readouterr().out
+
+    def test_unknown_paradigm_errors(self):
+        with pytest.raises(ValueError, match="unknown paradigms"):
+            main([
+                "verify", "--cases", "1", "--gpus", "2",
+                "--paradigms", "gps,bogus", "--no-service",
+            ])
+
+    def test_failure_writes_artifact(self, capsys, tmp_path, monkeypatch):
+        # Inject a counter bug into one executor and assert the verify verb
+        # catches it end-to-end: non-zero exit, violation printed, artifact
+        # written — the CLI-level mutation check.
+        from repro.paradigms.base import ParadigmExecutor
+
+        original = ParadigmExecutor.build_result
+
+        def tampered(self, total_time):
+            result = original(self, total_time)
+            if result.paradigm == "gps":
+                result.counters["link.bytes"] = result.counters.get("link.bytes", 0) + 512
+            return result
+
+        monkeypatch.setattr(ParadigmExecutor, "build_result", tampered)
+        out_dir = tmp_path / "artifacts"
+        code = main([
+            "verify", "--cases", "1", "--seed", "0", "--gpus", "2",
+            "--paradigms", "gps", "--no-service", "--out", str(out_dir),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "wire-byte-conservation" in captured.err
+        artifacts = list(out_dir.glob("verify-s0-*.json"))
+        assert len(artifacts) == 1

@@ -1,0 +1,74 @@
+"""Greedy shrinker tests."""
+
+from __future__ import annotations
+
+from repro.verify.fuzzer import generate_program
+from repro.verify.minimize import minimize_program, shrink_stats
+
+
+def count_structure(program):
+    kernels = sum(len(p.kernels) for p in program.phases)
+    accesses = sum(len(k.accesses) for k in program.iter_kernels())
+    return len(program.phases), kernels, accesses
+
+
+class TestMinimize:
+    def test_shrinks_to_the_failing_structure(self):
+        program = generate_program(2, 4, scale=0.25, iterations=3)
+
+        def has_atomic(candidate) -> bool:
+            return any(
+                access.op.name == "ATOMIC"
+                for kernel in candidate.iter_kernels()
+                for access in kernel.accesses
+            )
+
+        if not has_atomic(program):  # pick a seed that scatters
+            program = generate_program(6, 4, scale=0.25, iterations=3)
+        assert has_atomic(program)
+        minimized = minimize_program(program, has_atomic)
+        assert has_atomic(minimized)
+        assert count_structure(minimized) < count_structure(program)
+        # Greedy descent should reach a single surviving access.
+        accesses = sum(len(k.accesses) for k in minimized.iter_kernels())
+        assert accesses == 1
+
+    def test_non_reproducing_predicate_returns_original(self):
+        program = generate_program(0, 2, scale=0.25)
+        result = minimize_program(program, lambda p: False)
+        assert result is program
+
+    def test_zero_budget_returns_original(self):
+        program = generate_program(0, 2, scale=0.25)
+        result = minimize_program(program, lambda p: True, max_evals=0)
+        assert result is program
+
+    def test_raising_predicate_counts_as_failure(self):
+        program = generate_program(1, 2, scale=0.25)
+
+        def explodes(candidate):
+            raise RuntimeError("crash while re-checking")
+
+        minimized = minimize_program(program, explodes, max_evals=30)
+        # Everything shrinks away (the crash survives every removal) but the
+        # result stays a valid program.
+        assert len(minimized.phases) >= 1
+
+    def test_budget_bounds_predicate_evaluations(self):
+        program = generate_program(4, 4, scale=0.25, iterations=3)
+        calls = []
+
+        def counting(candidate):
+            calls.append(1)
+            return True
+
+        minimize_program(program, counting, max_evals=10)
+        # +1 for the initial reproduction check.
+        assert len(calls) <= 11
+
+    def test_shrink_stats_report(self):
+        program = generate_program(2, 4, scale=0.25, iterations=3)
+        minimized = minimize_program(program, lambda p: True, max_evals=50)
+        stats = shrink_stats(program, minimized)
+        assert stats["phases"]["before"] >= stats["phases"]["after"]
+        assert set(stats) == {"phases", "kernels", "accesses"}
