@@ -1,0 +1,117 @@
+"""Shared plumbing for the ``bench_*.py`` perf drivers.
+
+These are *throughput* benchmarks of the simulator itself (how fast the
+replay hot path runs), not the paper-artifact benchmarks in ``test_*.py``
+(which regenerate figures). They emit the committed ``BENCH_*.json``
+baselines documented in ``docs/BENCH.md`` and power the ``bench`` CI job.
+
+Raw rates are machine-dependent, so the regression gate compares the
+*speedup ratio* (vectorized vs scalar, both measured in the same run on the
+same machine) against the committed baseline — a machine-independent
+quantity up to noise.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+
+
+@contextlib.contextmanager
+def scoped_env(**values):
+    """Set/unset environment variables, restoring the previous state."""
+    saved = {name: os.environ.get(name) for name in values}
+    try:
+        for name, value in values.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def measure(fn, min_time: float = 0.2, max_reps: int = 1000) -> "tuple[int, float]":
+    """Run ``fn`` repeatedly until ``min_time`` seconds elapse.
+
+    Returns ``(reps, best_seconds * reps)`` — i.e. rates derived from it are
+    best-of-N, which is far more stable across runs than the mean (scheduler
+    preemption and frequency dips only ever make reps slower, never faster).
+    One warm-up call runs untimed.
+    """
+    fn()
+    reps = 0
+    best = float("inf")
+    start = time.perf_counter()
+    while True:
+        rep_start = time.perf_counter()
+        fn()
+        rep_end = time.perf_counter()
+        best = min(best, rep_end - rep_start)
+        reps += 1
+        if rep_end - start >= min_time or reps >= max_reps:
+            return reps, best * reps
+
+
+def model_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def write_report(path: str, bench: str, results, summary: dict, config: dict) -> None:
+    """Write one ``BENCH_*.json`` file in the documented envelope."""
+    payload = {
+        "bench": bench,
+        "schema_version": 1,
+        "model_version": model_version(),
+        "config": config,
+        "results": results,
+        "summary": summary,
+    }
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_speedups(baseline: dict, fresh_results, key_fields, tolerance: float = 0.10) -> int:
+    """Gate: fail if any matching cell's speedup regressed > ``tolerance``.
+
+    Cells are matched on ``key_fields``; cells present in only one side are
+    ignored (smoke runs measure a subset of the committed matrix). Returns
+    the number of regressions found (0 = pass).
+    """
+    def cell_key(row):
+        return tuple(row[field] for field in key_fields)
+
+    committed = {cell_key(row): row for row in baseline["results"]}
+    regressions = 0
+    for row in fresh_results:
+        base = committed.get(cell_key(row))
+        if base is None:
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        status = "ok" if row["speedup"] >= floor else "REGRESSED"
+        if status != "ok":
+            regressions += 1
+        print(
+            f"  {cell_key(row)}: speedup {row['speedup']:.1f}x "
+            f"(baseline {base['speedup']:.1f}x, floor {floor:.1f}x) {status}"
+        )
+    return regressions

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""End-to-end replay throughput: vectorized vs scalar GPS hot path.
+
+For every (workload, gpu-count) cell this driver builds the real program,
+stands up a :class:`GPSExecutor` (which allocates every buffer through
+``malloc_gps`` under subscribed-by-default all-to-all fan-out), pre-expands
+each kernel's SM-coalesced store streams (expansion is memoised and excluded
+from the timed region), then times complete replay passes — every kernel's
+streams pushed through its GPU's remote write queue, translated by the
+GPS-TLB, and routed into the outbound window, followed by the barrier
+``sync()`` drain.
+
+Each cell is measured twice on the same machine: with the default vectorized
+kernels, and with ``REPRO_SCALAR_REPLAY=1`` forcing the reference scalar
+path. The two produce byte-identical traffic (see ``tests/verify``), so the
+ratio is a pure speed comparison; the committed ``BENCH_replay.json``
+baseline pins that ratio and ``--check`` fails when it regresses >10%.
+
+Usage:
+    python benchmarks/bench_replay.py --out BENCH_replay.json
+    python benchmarks/bench_replay.py --workloads stencil --gpus 2 \
+        --check BENCH_replay.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from bench_common import check_speedups, load_report, measure, scoped_env, write_report
+
+DEFAULT_WORKLOADS = ["jacobi", "pagerank", "sssp", "als", "ct", "eqwp", "diffusion", "hit"]
+DEFAULT_GPUS = [2, 4, 16]
+
+
+def build_cell(workload: str, num_gpus: int, scale: float, iterations: int):
+    """Executor + pre-expanded replay work list for one matrix cell."""
+    from repro.harness.runner.fingerprint import SimJob
+    from repro.paradigms.gps import GPSExecutor
+    from repro.workloads.registry import get_workload
+
+    job = SimJob(workload=workload, paradigm="gps", num_gpus=num_gpus, scale=scale,
+                 iterations=iterations)
+    program = get_workload(workload).build(num_gpus, scale=scale, iterations=iterations)
+    executor = GPSExecutor(program, job.resolved_config())
+
+    seen = set()
+    kernels = []
+    for phase in program.phases:
+        if phase.iteration < 0:  # setup phases publish nothing
+            continue
+        for kernel in phase.kernels:
+            if kernel not in seen:
+                seen.add(kernel)
+                kernels.append(kernel)
+
+    work = []  # (gpu, stream, atomic)
+    for kernel in kernels:
+        for access_fp, stream, atomic in executor.analysis.store_streams(kernel):
+            if access_fp.is_sys_scoped or len(stream) == 0:
+                continue
+            work.append((kernel.gpu, stream, atomic))
+    return executor, work
+
+
+def run_cell(workload: str, num_gpus: int, scale: float, iterations: int,
+             min_time: float) -> dict:
+    executor, work = build_cell(workload, num_gpus, scale, iterations)
+    units = executor.runtime.gps_units
+    total_lines = sum(len(stream) for _, stream, _ in work)
+    total_bytes = sum(stream.total_bytes for _, stream, _ in work)
+
+    def replay() -> None:
+        for gpu, stream, atomic in work:
+            units[gpu].process_stores(stream, atomic=atomic)
+        for unit in units:
+            unit.sync()
+
+    vec_reps, vec_elapsed = measure(replay, min_time=min_time)
+    with scoped_env(REPRO_SCALAR_REPLAY="1"):
+        scalar_reps, scalar_elapsed = measure(replay, min_time=min_time / 2, max_reps=5)
+
+    vec_lps = total_lines * vec_reps / vec_elapsed
+    scalar_lps = total_lines * scalar_reps / scalar_elapsed
+
+    queue_seen = sum(u.write_queue.stats.stores_seen for u in units)
+    queue_hits = sum(u.write_queue.stats.coalesced_hits for u in units)
+    tlb_hits = sum(u.tlb.stats.hits for u in units)
+    tlb_accesses = sum(u.tlb.stats.accesses for u in units)
+    from repro.system.analysis import clear_analysis_cache
+
+    clear_analysis_cache()
+    return {
+        "workload": workload,
+        "num_gpus": num_gpus,
+        "streams": len(work),
+        "lines_per_replay": total_lines,
+        "payload_bytes_per_replay": total_bytes,
+        "vector_replays_per_s": round(vec_reps / vec_elapsed, 3),
+        "vector_lines_per_s": round(vec_lps),
+        "scalar_replays_per_s": round(scalar_reps / scalar_elapsed, 3),
+        "scalar_lines_per_s": round(scalar_lps),
+        "speedup": round(vec_lps / scalar_lps, 2) if scalar_lps else 0.0,
+        "write_queue_hit_rate": round(queue_hits / queue_seen, 4) if queue_seen else 0.0,
+        "gps_tlb_hit_rate": round(tlb_hits / tlb_accesses, 4) if tlb_accesses else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--gpus", nargs="+", type=int, default=DEFAULT_GPUS)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--min-time", type=float, default=0.4,
+                        help="minimum timed seconds per vectorized cell")
+    parser.add_argument("--out", default=None, help="write BENCH_replay.json here")
+    parser.add_argument("--check", default=None,
+                        help="compare against a committed BENCH_replay.json; "
+                             "exit 1 on >10%% speedup regression")
+    args = parser.parse_args(argv)
+
+    from repro.workloads.registry import resolve_workload_name
+
+    # Normalise aliases (stencil -> jacobi) so --check matches baseline cells.
+    args.workloads = [resolve_workload_name(name) for name in args.workloads]
+
+    results = []
+    for workload in args.workloads:
+        for num_gpus in args.gpus:
+            row = run_cell(workload, num_gpus, args.scale, args.iterations, args.min_time)
+            results.append(row)
+            print(
+                f"{workload:>10} x{num_gpus:<3} {row['lines_per_replay']:>9} lines "
+                f"vec {row['vector_lines_per_s']:>12,.0f} l/s  "
+                f"scalar {row['scalar_lines_per_s']:>11,.0f} l/s  "
+                f"speedup {row['speedup']:>6.1f}x  "
+                f"wq-hit {row['write_queue_hit_rate']:.2%}"
+            )
+
+    speedups = [row["speedup"] for row in results]
+    summary = {
+        "cells": len(results),
+        "min_speedup": min(speedups),
+        "median_speedup": sorted(speedups)[len(speedups) // 2],
+        "max_speedup": max(speedups),
+    }
+    print(f"speedup min/median/max: {summary['min_speedup']:.1f}x / "
+          f"{summary['median_speedup']:.1f}x / {summary['max_speedup']:.1f}x")
+
+    if args.out:
+        config = {
+            "workloads": args.workloads,
+            "gpus": args.gpus,
+            "scale": args.scale,
+            "iterations": args.iterations,
+            "link": "pcie6",
+            "paradigm": "gps",
+        }
+        write_report(args.out, "replay", results, summary, config)
+
+    if args.check:
+        baseline = load_report(args.check)
+        print(f"checking against {args.check} (model {baseline['model_version']}):")
+        regressions = check_speedups(baseline, results, ("workload", "num_gpus"))
+        if regressions:
+            print(f"FAIL: {regressions} cell(s) regressed >10% vs baseline")
+            return 1
+        print("PASS: no speedup regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

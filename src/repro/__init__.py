@@ -59,7 +59,7 @@ from .system.executor import simulate, speedup_over_single_gpu
 from .system.results import SimulationResult
 from .workloads.registry import WORKLOADS, get_workload, workload_names
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CACHE_BLOCK",

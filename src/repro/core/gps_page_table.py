@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+import numpy as np
+
 from ..config import GPSConfig
 from ..errors import TranslationError
 
@@ -21,15 +23,29 @@ class GPSPTE:
 
     vpn: int
     replicas: dict[int, int] = field(default_factory=dict)
+    # Memoised remote-destination arrays keyed by source GPU; cleared on
+    # every replica change. The batched router fans a whole drain batch out
+    # with np.add.at over these, so they must never go stale.
+    _remote_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def subscribers(self) -> frozenset[int]:
         """GPUs holding a replica of this page."""
         return frozenset(self.replicas)
 
+    def remote_array(self, from_gpu: int) -> np.ndarray:
+        """Subscribers other than ``from_gpu``, ascending, as int64 (memoised)."""
+        arr = self._remote_cache.get(from_gpu)
+        if arr is None:
+            arr = np.array(
+                sorted(g for g in self.replicas if g != from_gpu), dtype=np.int64
+            )
+            self._remote_cache[from_gpu] = arr
+        return arr
+
     def remote_subscribers(self, from_gpu: int) -> list[int]:
         """Subscribers other than ``from_gpu``, ascending."""
-        return sorted(g for g in self.replicas if g != from_gpu)
+        return self.remote_array(from_gpu).tolist()
 
 
 class GPSPageTable:
@@ -67,6 +83,7 @@ class GPSPageTable:
             raise TranslationError(f"GPU {gpu} out of range installing VPN {vpn:#x}")
         entry = self._entries.setdefault(vpn, GPSPTE(vpn=vpn))
         entry.replicas[gpu] = frame
+        entry._remote_cache.clear()
         self.installs += 1
         return entry
 
@@ -75,6 +92,7 @@ class GPSPageTable:
         entry = self.lookup(vpn)
         try:
             frame = entry.replicas.pop(gpu)
+            entry._remote_cache.clear()
             self.removals += 1
             return frame
         except KeyError:
@@ -96,6 +114,51 @@ class GPSPageTable:
             return self._entries[vpn]
         except KeyError:
             raise TranslationError(f"no GPS-PTE for VPN {vpn:#x}") from None
+
+    def lookup_run(self, vpn: int, count: int) -> GPSPTE:
+        """Fetch one PTE consulted by ``count`` back-to-back translations.
+
+        Counter-equivalent to ``count`` scalar :meth:`lookup` calls; the
+        batched GPS unit uses it so ``lookups`` stays an exact access count.
+        """
+        self.lookups += count
+        try:
+            return self._entries[vpn]
+        except KeyError:
+            raise TranslationError(f"no GPS-PTE for VPN {vpn:#x}") from None
+
+    def lookup_batch(self, vpns, total_count: int) -> list[GPSPTE]:
+        """PTE content for each distinct VPN of a drain batch.
+
+        ``total_count`` is the number of drained writes the batch represents;
+        the ``lookups`` counter advances by that amount so it stays an exact
+        per-write access count, identical to the scalar walk.
+        """
+        self.lookups += int(total_count)
+        entries = self._entries
+        out = []
+        for vpn in vpns:
+            entry = entries.get(vpn)
+            if entry is None:
+                raise TranslationError(f"no GPS-PTE for VPN {int(vpn):#x}")
+            out.append(entry)
+        return out
+
+    def install_replicas(self, vpns, gpu: int, frames) -> None:
+        """Bulk :meth:`install_replica`: parallel ``vpns``/``frames`` arrays."""
+        if not 0 <= gpu < self.num_gpus:
+            raise TranslationError(f"GPU {gpu} out of range in bulk install")
+        entries = self._entries
+        count = 0
+        for vpn, frame in zip(vpns, frames):
+            vpn = int(vpn)
+            entry = entries.get(vpn)
+            if entry is None:
+                entry = entries[vpn] = GPSPTE(vpn=vpn)
+            entry.replicas[gpu] = int(frame)
+            entry._remote_cache.clear()
+            count += 1
+        self.installs += count
 
     def subscribers(self, vpn: int) -> frozenset[int]:
         """Subscriber set of one page (empty if the page is unknown)."""

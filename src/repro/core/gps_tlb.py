@@ -41,9 +41,39 @@ class GPSTLB:
             self.walks += 1
         return self._page_table.lookup(vpn)
 
+    def translate_run(self, vpn: int, count: int) -> GPSPTE:
+        """Translate ``count`` back-to-back drained writes to one VPN.
+
+        Identical counters to ``count`` scalar :meth:`translate` calls: the
+        first access hits or misses for real, the rest are guaranteed hits
+        on the MRU entry (drain order groups same-page lines together), and
+        every drained write consults the page table content.
+        """
+        if not self._tlb.access_run(vpn, count):
+            self.walks += 1
+        return self._page_table.lookup_run(vpn, count)
+
+    def translate_batch(self, head_vpns, total: int) -> None:
+        """TLB accounting for a whole drain batch of ``total`` writes.
+
+        ``head_vpns`` are the page-run heads in drain order; each takes a
+        real set-associative access (misses walk), and the ``total -
+        len(head_vpns)`` run tails are guaranteed MRU hits — exactly the
+        counters ``total`` scalar :meth:`translate` calls would produce.
+        PTE content is fetched separately (:meth:`GPSPageTable.lookup_batch`).
+        """
+        self.walks += self._tlb.access_batch(head_vpns)
+        extra = total - len(head_vpns)
+        if extra:
+            self._tlb.stats.hits += extra
+
     def invalidate(self, vpn: int) -> bool:
         """Shoot down one entry after a subscription change."""
         return self._tlb.invalidate(vpn)
+
+    def invalidate_many(self, vpns) -> int:
+        """Batch shootdown (bulk subscription changes); returns residents hit."""
+        return self._tlb.invalidate_many(vpns)
 
     def flush(self) -> None:
         """Full shootdown (tracking-stop reconfiguration)."""

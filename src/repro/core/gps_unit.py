@@ -7,17 +7,27 @@ the GPS address translation unit, producing one interconnect write per
 remote subscriber. The unit accumulates per-destination byte counts that
 the paradigm executor turns into timed transfers and traffic-matrix
 entries.
+
+Drained entries leave the queue in insertion order, which groups lines of
+the same page into long runs (a 64 KiB page spans 512 lines), so the
+batched path run-length-encodes the drain batch and performs one
+translation per run — identical counters and routed bytes to the scalar
+per-entry walk, at a fraction of the Python overhead. Set
+``REPRO_SCALAR_REPLAY=1`` to force the scalar walk (the differential
+harness compares the two).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..config import CACHE_BLOCK, GPSConfig
 from ..trace.expand import LineStream
 from .gps_page_table import GPSPageTable
 from .gps_tlb import GPSTLB
-from .write_queue import DrainedEntry, RemoteWriteQueue
+from .write_queue import DrainBatch, DrainedEntry, RemoteWriteQueue, scalar_replay_enabled
 
 
 @dataclass
@@ -37,6 +47,11 @@ class OutboundWindow:
         self.bytes_to[dst] = self.bytes_to.get(dst, 0) + payload
         self.writes_to[dst] = self.writes_to.get(dst, 0) + 1
 
+    def add_bulk(self, dst: int, payload: int, writes: int) -> None:
+        """Record ``writes`` replica writes totalling ``payload`` bytes."""
+        self.bytes_to[dst] = self.bytes_to.get(dst, 0) + payload
+        self.writes_to[dst] = self.writes_to.get(dst, 0) + writes
+
 
 class GPSUnit:
     """One GPU's GPS hardware: remote write queue plus translation."""
@@ -49,6 +64,11 @@ class GPSUnit:
         self._page_table = page_table
         self._lines_per_page = config.page_size // CACHE_BLOCK
         self._window = OutboundWindow()
+        # Batched-route accumulators, folded into the window at sync():
+        # per-destination byte and write totals as int64 arrays so a whole
+        # drain batch lands in two np.add.at calls.
+        self._bytes_acc = np.zeros(page_table.num_gpus, dtype=np.int64)
+        self._writes_acc = np.zeros(page_table.num_gpus, dtype=np.int64)
 
     def process_stores(self, stream: LineStream, atomic: bool = False) -> None:
         """Push a GPS-page store stream through the queue; route any drains.
@@ -57,11 +77,17 @@ class GPSUnit:
         GPS bit is set (the conventional TLB filters in hardware, the
         paradigm executor filters here).
         """
-        drained = self.write_queue.process_stream(
+        if scalar_replay_enabled():
+            drained = self.write_queue.process_stream(
+                stream.lines, stream.bytes_per_txn, atomic=atomic
+            )
+            for entry in drained:
+                self._route(entry)
+            return
+        batch = self.write_queue.process_stream_batch(
             stream.lines, stream.bytes_per_txn, atomic=atomic
         )
-        for entry in drained:
-            self._route(entry)
+        self._route_batch(batch)
 
     def sync(self) -> OutboundWindow:
         """Drain at a synchronisation boundary; return and reset the window.
@@ -69,11 +95,27 @@ class GPSUnit:
         Models the implicit release at grid end / sys-scoped fences: the
         remote write queue and the translation unit both drain fully.
         """
-        for entry in self.write_queue.flush():
-            self._route(entry)
+        if scalar_replay_enabled():
+            for entry in self.write_queue.flush():
+                self._route(entry)
+        else:
+            self._route_batch(self.write_queue.flush_batch())
+        self._fold_window()
         window = self._window
         self._window = OutboundWindow()
         return window
+
+    def _fold_window(self) -> None:
+        """Fold the batched-route accumulators into the outbound window."""
+        if not self._writes_acc.any():
+            return
+        bytes_to = self._window.bytes_to
+        writes_to = self._window.writes_to
+        for dst in np.flatnonzero(self._writes_acc).tolist():
+            bytes_to[dst] = bytes_to.get(dst, 0) + int(self._bytes_acc[dst])
+            writes_to[dst] = writes_to.get(dst, 0) + int(self._writes_acc[dst])
+        self._bytes_acc[:] = 0
+        self._writes_acc[:] = 0
 
     def _route(self, entry: DrainedEntry) -> None:
         vpn = entry.line // self._lines_per_page
@@ -81,9 +123,56 @@ class GPSUnit:
         for dst in pte.remote_subscribers(self.gpu_id):
             self._window.add(dst, entry.payload_bytes)
 
+    def _route_batch(self, batch: DrainBatch) -> None:
+        """Translate and fan out a drain batch, one TLB access run per page run.
+
+        Consecutive drained entries of the same page form one run: the run
+        head takes a real set-associative TLB access (hit or miss + walk)
+        and the rest are guaranteed hits — exactly the counters the scalar
+        per-entry walk produces. Routing is fully batched: per-page payload
+        and write totals gather over the distinct VPNs, then scatter into
+        the per-destination accumulators through each PTE's memoised
+        remote-subscriber array (two np.add.at calls for the whole batch).
+        """
+        n = len(batch)
+        if n == 0:
+            return
+        vpns = batch.lines // self._lines_per_page
+        heads = np.empty(n, dtype=bool)
+        heads[0] = True
+        np.not_equal(vpns[1:], vpns[:-1], out=heads[1:])
+        starts = np.flatnonzero(heads)
+        ends = np.append(starts[1:], n)
+        sums = np.concatenate(([0], np.cumsum(batch.payload_bytes)))
+        run_payload = sums[ends] - sums[starts]
+        run_len = ends - starts
+        head_vpns = vpns[starts]
+        self.tlb.translate_batch(head_vpns.tolist(), n)
+        uniq, inverse = np.unique(head_vpns, return_inverse=True)
+        pages = uniq.shape[0]
+        page_payload = np.zeros(pages, dtype=np.int64)
+        page_writes = np.zeros(pages, dtype=np.int64)
+        np.add.at(page_payload, inverse, run_payload)
+        np.add.at(page_writes, inverse, run_len)
+        ptes = self._page_table.lookup_batch(uniq.tolist(), n)
+        gpu_id = self.gpu_id
+        dst_arrays = [pte.remote_array(gpu_id) for pte in ptes]
+        fanout = np.fromiter(
+            (arr.shape[0] for arr in dst_arrays), dtype=np.int64, count=pages
+        )
+        if not fanout.any():
+            return
+        dsts = np.concatenate(dst_arrays)
+        np.add.at(self._bytes_acc, dsts, np.repeat(page_payload, fanout))
+        np.add.at(self._writes_acc, dsts, np.repeat(page_writes, fanout))
+
     def invalidate_page(self, vpn: int) -> None:
         """GPS-TLB shootdown for one page (subscription change)."""
         self.tlb.invalidate(vpn)
+
+    def invalidate_pages(self, vpns) -> None:
+        """Batch GPS-TLB shootdown (bulk subscription changes / frees)."""
+        self.tlb.invalidate_many(vpns)
 
     @staticmethod
     def sm_coalesce(stream: LineStream) -> LineStream:

@@ -89,9 +89,8 @@ class GPSRuntime:
         self.subscriptions.register_all_to_all(pages)
         for gpu in range(self.config.num_gpus):
             frames = self.memories[gpu].allocate_frames(len(pages))
-            for vpn, frame in zip(pages, frames):
-                self.gps_page_table.install_replica(vpn, gpu, frame)
-                self.page_tables[gpu].map(vpn, resident_gpu=gpu, frame=frame, gps=True)
+            self.gps_page_table.install_replicas(pages, gpu, frames)
+            self.page_tables[gpu].map_many(pages, resident_gpu=gpu, frames=frames, gps=True)
         return alloc
 
     def malloc_pinned(self, name: str, size: int, gpu: int = 0) -> Allocation:
@@ -102,9 +101,8 @@ class GPSRuntime:
         alloc = self.address_space.allocate(name, size, AllocKind.PINNED, home_gpu=gpu)
         pages = list(alloc.pages(self.config.page_size))
         frames = self.memories[gpu].allocate_frames(len(pages))
-        for vpn, frame in zip(pages, frames):
-            for viewer in range(self.config.num_gpus):
-                self.page_tables[viewer].map(vpn, resident_gpu=gpu, frame=frame, gps=False)
+        for viewer in range(self.config.num_gpus):
+            self.page_tables[viewer].map_many(pages, resident_gpu=gpu, frames=frames, gps=False)
         return alloc
 
     def malloc_managed(self, name: str, size: int, home_gpu: int = 0) -> Allocation:
@@ -120,15 +118,26 @@ class GPSRuntime:
         alloc = self.address_space.free(name)
         pages = list(alloc.pages(self.config.page_size))
         if alloc.kind is AllocKind.GPS:
+            # Gather per-GPU work, then apply each kind of bookkeeping in
+            # one bulk call per GPU instead of per (page, subscriber).
+            freed_frames: "dict[int, list[int]]" = {}
+            unmapped: "dict[int, list[int]]" = {}
+            invalidated: "dict[int, list[int]]" = {}
             for vpn in pages:
                 for gpu in sorted(self.gps_page_table.subscribers(vpn)):
                     frame = self.gps_page_table.remove_replica(vpn, gpu)
-                    self.memories[gpu].free_frame(frame)
+                    freed_frames.setdefault(gpu, []).append(frame)
                     if vpn in self.page_tables[gpu]:
-                        self.page_tables[gpu].unmap(vpn)
-                    self.gps_units[gpu].invalidate_page(vpn)
+                        unmapped.setdefault(gpu, []).append(vpn)
+                    invalidated.setdefault(gpu, []).append(vpn)
                 self.gps_page_table.remove_page(vpn)
                 self.subscriptions.drop_page(vpn)
+            for gpu, frames in freed_frames.items():
+                self.memories[gpu].free_frames(frames)
+            for gpu, vpns in unmapped.items():
+                self.page_tables[gpu].unmap_many(vpns)
+            for gpu, vpns in invalidated.items():
+                self.gps_units[gpu].invalidate_pages(vpns)
         elif alloc.kind is AllocKind.PINNED:
             for vpn in pages:
                 pte = self.page_tables[alloc.home_gpu].lookup(vpn)
@@ -150,26 +159,30 @@ class GPSRuntime:
         alloc = self.address_space.get(name)
         if alloc.kind is not AllocKind.GPS:
             raise SubscriptionError(f"allocation {name!r} is not in the GPS address space")
-        changed = 0
+        changed: "list[int]" = []
         for vpn in alloc.pages(self.config.page_size):
             if advice is MemAdvise.GPS_SUBSCRIBE:
-                changed += self._subscribe_page(gpu, vpn)
+                done = self._subscribe_page(gpu, vpn, sync=False)
             else:
-                changed += self._unsubscribe_page(gpu, vpn)
-        return changed
+                done = self._unsubscribe_page(gpu, vpn, sync=False)
+            if done:
+                changed.append(vpn)
+        self._sync_pages(changed)
+        return len(changed)
 
-    def _subscribe_page(self, gpu: int, vpn: int) -> int:
+    def _subscribe_page(self, gpu: int, vpn: int, sync: bool = True) -> int:
         if self.subscriptions.is_subscriber(gpu, vpn):
             return 0
         self.subscriptions.subscribe(gpu, vpn)
         frame = self.memories[gpu].allocate_frame()
         self.gps_page_table.install_replica(vpn, gpu, frame)
         self.page_tables[gpu].map(vpn, resident_gpu=gpu, frame=frame, gps=True)
-        self._refresh_gps_bit(vpn)
-        self._shootdown(vpn)
+        if sync:
+            self._refresh_gps_bit(vpn)
+            self._shootdown(vpn)
         return 1
 
-    def _unsubscribe_page(self, gpu: int, vpn: int) -> int:
+    def _unsubscribe_page(self, gpu: int, vpn: int, sync: bool = True) -> int:
         if not self.subscriptions.is_subscriber(gpu, vpn):
             return 0
         self.subscriptions.unsubscribe(gpu, vpn)  # raises if last subscriber
@@ -177,9 +190,24 @@ class GPSRuntime:
         self.memories[gpu].free_frame(frame)
         if vpn in self.page_tables[gpu]:
             self.page_tables[gpu].unmap(vpn)
-        self._refresh_gps_bit(vpn)
-        self._shootdown(vpn)
+        if sync:
+            self._refresh_gps_bit(vpn)
+            self._shootdown(vpn)
         return 1
+
+    def _sync_pages(self, vpns: "list[int]") -> None:
+        """Deferred GPS-bit refresh + shootdown after a bulk change.
+
+        Equivalent to per-page sync: the GPS bit depends only on a page's
+        final subscriber set, and shootdowns of distinct pages commute (no
+        translations happen mid-update).
+        """
+        if not vpns:
+            return
+        for vpn in vpns:
+            self._refresh_gps_bit(vpn)
+        for unit in self.gps_units:
+            unit.invalidate_pages(vpns)
 
     def _refresh_gps_bit(self, vpn: int) -> None:
         """Keep the conventional-PTE GPS bit consistent with subscriber count.
@@ -231,16 +259,18 @@ class GPSRuntime:
         }
         # Unsubscribe via the driver path so frames are freed and page
         # tables stay consistent (SubscriptionManager.apply_profile alone
-        # would leak replica frames).
+        # would leak replica frames). The keep-set rule is the manager's
+        # trim_plan — one helper, so driver and manager cannot diverge.
         removed = 0
+        changed: "list[int]" = []
         for vpn in self.subscriptions.pages():
-            subs = sorted(self.subscriptions.subscribers(vpn))
-            keep = [g for g in subs if vpn in touched_by.get(g, ())]
-            if not keep:
-                keep = [subs[0]]
-            for gpu in subs:
-                if gpu not in keep and len(self.subscriptions.subscribers(vpn)) > 1:
-                    removed += self._unsubscribe_page(gpu, vpn)
+            trimmed = 0
+            for gpu in self.subscriptions.trim_plan(vpn, touched_by):
+                trimmed += self._unsubscribe_page(gpu, vpn, sync=False)
+            if trimmed:
+                removed += trimmed
+                changed.append(vpn)
+        self._sync_pages(changed)
         demoted = self.subscriptions.demote_single_subscriber_pages()
         for vpn in demoted:
             self._refresh_gps_bit(vpn)
@@ -288,6 +318,11 @@ class GPSRuntime:
         all other replicas are freed. Returns the number of replicas freed.
         """
         subs = sorted(self.gps_page_table.subscribers(vpn))
+        if not subs:
+            # Already collapsed (back-to-back sys stores) or freed/demoted:
+            # there is nothing replicated to tear down — a no-op, not an
+            # IndexError.
+            return 0
         if gpu not in subs:
             # The storing GPU takes ownership; keep the lowest subscriber's
             # frame as the surviving copy instead.

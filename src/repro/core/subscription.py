@@ -20,7 +20,9 @@ subscriber counts over shared pages at the start of the execution phase.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import SubscriptionError
 
@@ -43,6 +45,55 @@ class SubscriptionManager:
         #: Pages demoted to conventional after profiling (single subscriber).
         self._demoted: set[int] = set()
         self.stats = SubscriptionStats()
+        # Array accelerator for whole-footprint queries: per-VPN subscriber
+        # count and demotion flag, indexed by (vpn - _base_vpn). The dict of
+        # sets stays authoritative; these shadows are updated on every
+        # mutation so :meth:`multi_subscriber_mask` is a pure array gather.
+        self._base_vpn: "int | None" = None
+        self._count_arr = np.zeros(0, dtype=np.int32)
+        self._demoted_arr = np.zeros(0, dtype=bool)
+
+    def _ensure_span(self, lo: int, hi: int) -> None:
+        """Grow the shadow arrays to cover VPNs ``lo..hi`` inclusive."""
+        if self._base_vpn is None:
+            self._base_vpn = lo
+            size = hi - lo + 1
+            self._count_arr = np.zeros(size, dtype=np.int32)
+            self._demoted_arr = np.zeros(size, dtype=bool)
+            return
+        base = self._base_vpn
+        end = base + self._count_arr.shape[0]
+        if lo >= base and hi < end:
+            return
+        new_base = min(base, lo)
+        new_end = max(end, hi + 1)
+        counts = np.zeros(new_end - new_base, dtype=np.int32)
+        demoted = np.zeros(new_end - new_base, dtype=bool)
+        counts[base - new_base : end - new_base] = self._count_arr
+        demoted[base - new_base : end - new_base] = self._demoted_arr
+        self._base_vpn = new_base
+        self._count_arr = counts
+        self._demoted_arr = demoted
+
+    def _shadow_set(self, vpn: int, count: int, demoted: bool = False) -> None:
+        self._ensure_span(vpn, vpn)
+        idx = vpn - self._base_vpn  # type: ignore[operator]
+        self._count_arr[idx] = count
+        self._demoted_arr[idx] = demoted
+
+    def multi_subscriber_mask(self, vpns: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``vpns``: >1 subscriber and not demoted.
+
+        The vectorized form of the per-page GPS-bit filter the store-replay
+        path applies (only multi-subscriber, non-demoted pages publish).
+        """
+        if self._base_vpn is None or vpns.size == 0:
+            return np.zeros(vpns.shape, dtype=bool)
+        idx = vpns - self._base_vpn
+        limit = self._count_arr.shape[0]
+        valid = (idx >= 0) & (idx < limit)
+        idx_c = np.clip(idx, 0, limit - 1)
+        return valid & (self._count_arr[idx_c] > 1) & ~self._demoted_arr[idx_c]
 
     def _bounds_check(self, gpus: "set[int]", vpn: int) -> None:
         for gpu in gpus:
@@ -61,17 +112,24 @@ class SubscriptionManager:
             raise SubscriptionError(f"page {vpn:#x} needs at least one initial subscriber")
         self._bounds_check(subs, vpn)
         self._subs[vpn] = subs
+        self._shadow_set(vpn, len(subs))
 
     def register_all_to_all(self, vpns: "list[int] | range") -> None:
         """Subscribed-by-default profiling: everyone subscribes to everything."""
         everyone = set(range(self.num_gpus))
-        for vpn in vpns:
-            if vpn not in self._subs:
-                self._subs[vpn] = set(everyone)
+        fresh = [vpn for vpn in vpns if vpn not in self._subs]
+        for vpn in fresh:
+            self._subs[vpn] = set(everyone)
+        if fresh:
+            self._ensure_span(min(fresh), max(fresh))
+            idx = np.asarray(fresh, dtype=np.int64) - self._base_vpn
+            self._count_arr[idx] = self.num_gpus
+            self._demoted_arr[idx] = False
 
     def drop_page(self, vpn: int) -> None:
         """Remove all state for a freed page."""
-        self._subs.pop(vpn, None)
+        if self._subs.pop(vpn, None) is not None:
+            self._shadow_set(vpn, 0)
         self._demoted.discard(vpn)
 
     def is_registered(self, vpn: int) -> bool:
@@ -100,6 +158,7 @@ class SubscriptionManager:
             return False
         subs.add(gpu)
         self._demoted.discard(vpn)  # a second subscriber re-promotes the page
+        self._shadow_set(vpn, len(subs), demoted=False)
         self.stats.subscribes += 1
         return True
 
@@ -120,6 +179,7 @@ class SubscriptionManager:
                 "GPS keeps at least one replica"
             )
         subs.remove(gpu)
+        self._shadow_set(vpn, len(subs), demoted=vpn in self._demoted)
         self.stats.unsubscribes += 1
         return True
 
@@ -137,24 +197,36 @@ class SubscriptionManager:
                 return candidate
         raise SubscriptionError(f"page {vpn:#x} has no subscriber other than GPU {gpu}")
 
+    def trim_plan(self, vpn: int, touched_by: "dict[int, set[int]]") -> list[int]:
+        """GPUs profiling says to unsubscribe from ``vpn``, in removal order.
+
+        The one shared keep-set rule (used by both :meth:`apply_profile`
+        and the driver's ``tracking_stop``, so the two paths cannot
+        diverge): a GPU stays subscribed iff it touched the page; if nobody
+        touched it, the lowest-numbered current subscriber survives. The
+        survivor set is never empty, so applying the plan can never trip
+        the last-subscriber invariant.
+        """
+        subs = sorted(self._subs.get(vpn, ()))
+        if not subs:
+            return []
+        keep = {g for g in subs if vpn in touched_by.get(g, ())}
+        if not keep:
+            keep = {subs[0]}
+        return [g for g in subs if g not in keep]
+
     def apply_profile(self, touched_by: "dict[int, set[int]]") -> int:
         """Apply profiling results: unsubscribe GPUs from untouched pages.
 
         ``touched_by`` maps gpu -> set of VPNs the access tracker saw it
-        touch. A GPU remains subscribed iff it touched the page — except
-        that the last subscriber is never removed (if *nobody* touched a
-        page, the lowest-numbered current subscriber keeps it alive).
-        Returns the number of unsubscriptions performed.
+        touch. The keep-set rule lives in :meth:`trim_plan`. Returns the
+        number of unsubscriptions performed.
         """
         removed = 0
-        for vpn, subs in self._subs.items():
-            keep = {g for g in subs if vpn in touched_by.get(g, ())}
-            if not keep:
-                keep = {min(subs)}
-            for gpu in sorted(subs - keep):
-                if len(self._subs[vpn]) > 1:
-                    self.unsubscribe(gpu, vpn)
-                    removed += 1
+        for vpn in list(self._subs):
+            for gpu in self.trim_plan(vpn, touched_by):
+                self.unsubscribe(gpu, vpn)
+                removed += 1
         return removed
 
     def demote_single_subscriber_pages(self) -> list[int]:
@@ -163,6 +235,7 @@ class SubscriptionManager:
         for vpn, subs in self._subs.items():
             if len(subs) == 1 and vpn not in self._demoted:
                 self._demoted.add(vpn)
+                self._shadow_set(vpn, 1, demoted=True)
                 self.stats.demotions += 1
                 demoted.append(vpn)
         return demoted

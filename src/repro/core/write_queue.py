@@ -11,10 +11,25 @@ Atomics and sys-scoped stores are not coalesced (section 7.4 explains the
 0% hit rates of Pagerank/ALS/SSSP by their atomic traffic): atomics pass
 straight through to the translation unit; sys-scoped stores never reach the
 queue at all (section 5.3 handles them by page collapse).
+
+Two execution paths model the same FIFO, exactly:
+
+* the **scalar** path pushes one store at a time through :meth:`_push_one`
+  (shared by :meth:`push_store` and the ``REPRO_SCALAR_REPLAY=1`` stream
+  fallback), and
+* the **vectorized** path classifies a whole stream in a handful of numpy
+  segment passes (see :meth:`_process_vectorized`), exploiting that FIFO
+  hits never reorder entries: an entry inserted with global rank ``r``
+  drains exactly when insertion rank ``r + watermark`` happens, so hit/miss
+  classification reduces to rank arithmetic over a fixed point.
+
+Both paths produce byte-identical drains and counters; the differential
+harness (``repro verify``) pins that equivalence on every fuzzed program.
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -22,6 +37,24 @@ import numpy as np
 
 from ..config import CACHE_BLOCK, GPSConfig
 from ..errors import ConfigError
+
+#: Streams shorter than this run the scalar kernel: the vectorized path has
+#: fixed setup cost (argsort, fixed-point scratch arrays) that only pays off
+#: on longer streams. Both paths are exact, so this is purely a perf knob.
+_VECTOR_MIN_EVENTS = 64
+
+#: Safety valve on fixed-point rounds; convergence is guaranteed in at most
+#: ``n`` rounds (the classification operator is causal), typically 2-5.
+_MAX_FIXED_POINT_ROUNDS = 128
+
+
+def scalar_replay_enabled() -> bool:
+    """Whether ``REPRO_SCALAR_REPLAY=1`` forces the per-element replay path.
+
+    The scalar path is the reference implementation the differential
+    harness compares the vectorized path against.
+    """
+    return os.environ.get("REPRO_SCALAR_REPLAY", "") not in ("", "0")
 
 
 @dataclass
@@ -35,11 +68,60 @@ class DrainedEntry:
 
 
 @dataclass
+class DrainBatch:
+    """A batch of drained entries as parallel arrays, in drain order.
+
+    The array form of ``list[DrainedEntry]`` — what the batched translation
+    path (:meth:`repro.core.gps_unit.GPSUnit.process_stores`) consumes
+    without materialising per-entry objects.
+    """
+
+    lines: np.ndarray  # int64, shape (n,)
+    payload_bytes: np.ndarray  # int64, shape (n,)
+    merged_stores: np.ndarray  # int64, shape (n,)
+
+    def __len__(self) -> int:
+        return int(self.lines.shape[0])
+
+    def to_entries(self) -> list[DrainedEntry]:
+        """Materialise the batch as entry objects (scalar-API compatibility)."""
+        return [
+            DrainedEntry(line=int(ln), payload_bytes=int(pb), merged_stores=int(ms))
+            for ln, pb, ms in zip(
+                self.lines.tolist(), self.payload_bytes.tolist(), self.merged_stores.tolist()
+            )
+        ]
+
+    @staticmethod
+    def empty() -> "DrainBatch":
+        return DrainBatch(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+
+    @staticmethod
+    def from_entries(entries: "list[DrainedEntry]") -> "DrainBatch":
+        if not entries:
+            return DrainBatch.empty()
+        return DrainBatch(
+            np.array([e.line for e in entries], dtype=np.int64),
+            np.array([e.payload_bytes for e in entries], dtype=np.int64),
+            np.array([e.merged_stores for e in entries], dtype=np.int64),
+        )
+
+
+@dataclass
 class WriteQueueStats:
     """Counters for one write queue.
 
     ``hit_rate`` is the Figure 14 metric: the fraction of enqueued stores
-    that merged into an already-resident block.
+    that merged into an already-resident block. ``bytes_in``/``bytes_out``
+    are the full traffic ledger (atomics included, since they do cross the
+    interconnect); ``atomic_bytes`` carves the bypass traffic out so
+    ``bandwidth_reduction`` measures coalescing over *coalescible* bytes
+    only — atomic-heavy workloads (Pagerank/ALS/SSSP, section 7.4) would
+    otherwise report a diluted reduction.
     """
 
     stores_seen: int = 0
@@ -50,6 +132,9 @@ class WriteQueueStats:
     atomics_bypassed: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
+    #: Bytes that bypassed coalescing entirely (atomics); counted inside
+    #: both ``bytes_in`` and ``bytes_out``.
+    atomic_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -64,11 +149,25 @@ class WriteQueueStats:
         return self.watermark_drains + self.flush_drains
 
     @property
+    def coalescible_bytes_in(self) -> int:
+        """Payload bytes that entered the coalescing path (atomics excluded)."""
+        return self.bytes_in - self.atomic_bytes
+
+    @property
+    def coalescible_bytes_out(self) -> int:
+        """Payload bytes the coalescing path emitted (atomics excluded)."""
+        return self.bytes_out - self.atomic_bytes
+
+    @property
     def bandwidth_reduction(self) -> float:
-        """1 - bytes_out / bytes_in; the interconnect savings from coalescing."""
-        if self.bytes_in == 0:
+        """The Figure 14 savings metric, over coalescible traffic only.
+
+        Atomics bypass the queue and move byte-for-byte; folding them in
+        would understate the reduction coalescing actually achieves.
+        """
+        if self.coalescible_bytes_in == 0:
             return 0.0
-        return 1.0 - self.bytes_out / self.bytes_in
+        return 1.0 - self.coalescible_bytes_out / self.coalescible_bytes_in
 
     def as_counters(self) -> dict:
         """Observability snapshot: ``metric: value`` for the counter registry."""
@@ -81,6 +180,7 @@ class WriteQueueStats:
             "atomics_bypassed": self.atomics_bypassed,
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
+            "atomic_bytes": self.atomic_bytes,
         }
 
 
@@ -118,28 +218,36 @@ class RemoteWriteQueue:
         """Whether a block is currently buffered."""
         return line in self._entries
 
-    def push_store(self, line: int, payload_bytes: int) -> list[DrainedEntry]:
-        """Enqueue one weak store; returns entries drained by the watermark."""
-        self.stats.stores_seen += 1
-        self.stats.bytes_in += payload_bytes
+    # -- scalar kernel (shared by push_store and the stream fallback) ----------
+
+    def _push_one(self, line: int, payload_bytes: int, out: list) -> None:
+        """The one scalar merge/insert/drain kernel; drains append to ``out``."""
+        stats = self.stats
+        stats.stores_seen += 1
+        stats.bytes_in += payload_bytes
         entry = self._entries.get(line)
         if entry is not None:
             entry.payload_bytes = min(CACHE_BLOCK, entry.payload_bytes + payload_bytes)
             entry.merged_stores += 1
-            self.stats.coalesced_hits += 1
-            return []
+            stats.coalesced_hits += 1
+            return
         self._entries[line] = _Entry(payload_bytes=min(CACHE_BLOCK, payload_bytes))
-        self.stats.inserts += 1
-        drained: list[DrainedEntry] = []
+        stats.inserts += 1
         while len(self._entries) > self.watermark:
-            drained.append(self._drain_oldest(watermark=True))
-        return drained
+            out.append(self._drain_oldest(watermark=True))
+
+    def push_store(self, line: int, payload_bytes: int) -> list[DrainedEntry]:
+        """Enqueue one weak store; returns entries drained by the watermark."""
+        out: list[DrainedEntry] = []
+        self._push_one(line, payload_bytes, out)
+        return out
 
     def push_atomic(self, line: int, payload_bytes: int) -> DrainedEntry:
         """An atomic bypasses coalescing: forwarded immediately, uncombined."""
         self.stats.atomics_bypassed += 1
         self.stats.bytes_in += payload_bytes
         self.stats.bytes_out += payload_bytes
+        self.stats.atomic_bytes += payload_bytes
         return DrainedEntry(line=line, payload_bytes=payload_bytes, merged_stores=1)
 
     def flush(self) -> list[DrainedEntry]:
@@ -148,6 +256,23 @@ class RemoteWriteQueue:
         while self._entries:
             drained.append(self._drain_oldest(watermark=False))
         return drained
+
+    def flush_batch(self) -> DrainBatch:
+        """Array form of :meth:`flush` for the batched translation path."""
+        if not self._entries:
+            return DrainBatch.empty()
+        count = len(self._entries)
+        lines = np.fromiter(self._entries.keys(), dtype=np.int64, count=count)
+        payloads = np.fromiter(
+            (e.payload_bytes for e in self._entries.values()), dtype=np.int64, count=count
+        )
+        merged = np.fromiter(
+            (e.merged_stores for e in self._entries.values()), dtype=np.int64, count=count
+        )
+        self._entries.clear()
+        self.stats.flush_drains += count
+        self.stats.bytes_out += int(payloads.sum())
+        return DrainBatch(lines, payloads, merged)
 
     def _drain_oldest(self, watermark: bool) -> DrainedEntry:
         line, entry = self._entries.popitem(last=False)
@@ -159,6 +284,8 @@ class RemoteWriteQueue:
         return DrainedEntry(
             line=line, payload_bytes=entry.payload_bytes, merged_stores=entry.merged_stores
         )
+
+    # -- stream path -----------------------------------------------------------
 
     def process_stream(
         self,
@@ -172,25 +299,240 @@ class RemoteWriteQueue:
         synchronisation boundaries are (:class:`repro.core.gps_unit.GPSUnit`
         flushes at phase barriers).
         """
-        out: list[DrainedEntry] = []
+        return self.process_stream_batch(lines, payload_bytes, atomic=atomic).to_entries()
+
+    def process_stream_batch(
+        self,
+        lines: np.ndarray,
+        payload_bytes: np.ndarray,
+        atomic: bool = False,
+    ) -> DrainBatch:
+        """Batch-array variant of :meth:`process_stream`; drains in order."""
+        n = int(lines.shape[0])
+        if n == 0:
+            return DrainBatch.empty()
         if atomic:
+            pay = payload_bytes.astype(np.int64, copy=False)
+            self.stats.atomics_bypassed += n
+            total = int(pay.sum())
+            self.stats.bytes_in += total
+            self.stats.bytes_out += total
+            self.stats.atomic_bytes += total
+            return DrainBatch(
+                lines.astype(np.int64, copy=True),
+                pay.copy(),
+                np.ones(n, dtype=np.int64),
+            )
+        if scalar_replay_enabled() or n < _VECTOR_MIN_EVENTS:
+            out: list[DrainedEntry] = []
             for line, nbytes in zip(lines.tolist(), payload_bytes.tolist()):
-                out.append(self.push_atomic(int(line), int(nbytes)))
-            return out
-        entries = self._entries
-        watermark = self.watermark
+                self._push_one(int(line), int(nbytes), out)
+            return DrainBatch.from_entries(out)
+        return self._process_vectorized(
+            lines.astype(np.int64, copy=False), payload_bytes.astype(np.int64, copy=False)
+        )
+
+    def _process_vectorized(self, lines: np.ndarray, pay: np.ndarray) -> DrainBatch:
+        """Whole-stream FIFO simulation as numpy segment passes.
+
+        Rank arithmetic: hits never reorder a FIFO, so every insertion gets
+        a global rank (resident entries 0..O-1, in-stream insertions O, O+1,
+        ... in stream order) and the entry with rank ``r`` drains exactly at
+        insertion rank ``r + W`` (W = watermark). An event whose governing
+        insertion has rank ``R`` is a *hit* iff ``(O + misses strictly
+        before it) - R <= W``. Miss flags are the unique fixed point of that
+        rule; the update operator is causal (each event depends only on
+        strictly earlier flags), so iterating from any initial guess
+        converges to the exact scalar simulation.
+        """
         stats = self.stats
-        for line, nbytes in zip(lines.tolist(), payload_bytes.tolist()):
-            stats.stores_seen += 1
-            stats.bytes_in += nbytes
-            entry = entries.get(line)
-            if entry is not None:
-                entry.payload_bytes = min(CACHE_BLOCK, entry.payload_bytes + nbytes)
-                entry.merged_stores += 1
-                stats.coalesced_hits += 1
-                continue
-            entries[line] = _Entry(payload_bytes=min(CACHE_BLOCK, nbytes))
-            stats.inserts += 1
-            while len(entries) > watermark:
-                out.append(self._drain_oldest(watermark=True))
-        return out
+        watermark = self.watermark
+        n = lines.shape[0]
+        occ = len(self._entries)
+        init_lines = (
+            np.fromiter(self._entries.keys(), dtype=np.int64, count=occ) if occ else None
+        )
+
+        # Group events by line (stable: within a line, stream order holds).
+        order = np.argsort(lines, kind="stable")
+        sline = lines[order]
+        seg_start = np.empty(n, dtype=bool)
+        seg_start[0] = True
+        np.not_equal(sline[1:], sline[:-1], out=seg_start[1:])
+
+        # Pure-miss fast path. Classification is monotone (an extra hit only
+        # keeps entries resident longer, creating more hits), so if no event
+        # can hit under the all-miss hypothesis, all-miss IS the fixed
+        # point: a stream duplicate hits only when its previous occurrence
+        # is <= watermark events away, and a resident entry can only be hit
+        # within the first watermark events. Streaming store patterns (and
+        # the paper's atomic-heavy graph workloads) take this path.
+        dup = ~seg_start[1:]
+        no_stream_hit = not dup.any() or not (
+            dup & (order[1:] - order[:-1] <= watermark)
+        ).any()
+        if no_stream_hit and (
+            occ == 0 or not np.isin(lines[:watermark], init_lines).any()
+        ):
+            return self._process_all_miss(lines, pay, init_lines)
+
+        # Initial rank per event: position of the event's line in the
+        # resident FIFO, or -1 if absent.
+        if occ:
+            by_line = np.argsort(init_lines, kind="stable")
+            sorted_init = init_lines[by_line]
+            pos = np.searchsorted(sorted_init, lines)
+            pos_c = np.minimum(pos, occ - 1)
+            found = sorted_init[pos_c] == lines
+            init_rank = np.where(found, by_line[pos_c], -1)
+        else:
+            init_rank = np.full(n, -1, dtype=np.int64)
+
+        seg_id = np.cumsum(seg_start) - 1
+
+        # Fixed point over miss flags. Initial guess: first occurrence of a
+        # line with no resident entry is a miss (invariantly true).
+        miss = np.zeros(n, dtype=bool)
+        first_occ = order[seg_start]
+        miss[first_occ[init_rank[first_occ] < 0]] = True
+
+        seg_base = seg_id * np.int64(n + 2)
+        positions = np.arange(n, dtype=np.int64)
+        shifted = np.empty(n, dtype=np.int64)
+        for _ in range(_MAX_FIXED_POINT_ROUNDS):
+            # Misses strictly before each event, in stream order.
+            miss_excl = np.zeros(n, dtype=np.int64)
+            np.cumsum(miss[:-1], out=miss_excl[1:])
+            # Last flagged (miss) occurrence of the same line strictly
+            # before each event: segmented running max over sorted order.
+            svals = np.where(miss[order], positions, np.int64(-1))
+            shifted[0] = -1
+            shifted[1:] = svals[:-1]
+            shifted[seg_start] = -1
+            adj = np.where(shifted >= 0, shifted + seg_base, seg_base - 1)
+            last_pos = np.maximum.accumulate(adj) - seg_base
+            gov_sorted = np.where(last_pos >= 0, order[np.maximum(last_pos, 0)], -1)
+            governor = np.empty(n, dtype=np.int64)
+            governor[order] = gov_sorted
+            has_gov = governor >= 0
+            # Rank of the insertion governing each event.
+            rank = np.where(
+                has_gov, occ + miss_excl[np.maximum(governor, 0)], init_rank
+            )
+            resident = (rank >= 0) & ((occ + miss_excl) - rank <= watermark)
+            new_miss = ~resident
+            if np.array_equal(new_miss, miss):
+                break
+            miss = new_miss
+        else:  # pragma: no cover - convergence is guaranteed; belt and braces
+            out: list[DrainedEntry] = []
+            for line, nbytes in zip(lines.tolist(), pay.tolist()):
+                self._push_one(int(line), int(nbytes), out)
+            return DrainBatch.from_entries(out)
+
+        inserts = int(miss.sum())
+        stats.stores_seen += n
+        stats.bytes_in += int(pay.sum())
+        stats.coalesced_hits += n - inserts
+        stats.inserts += inserts
+
+        # Attribute every event's payload to its entry's rank.
+        total_ranks = occ + inserts
+        rank_of_event = np.where(miss, occ + np.cumsum(miss) - 1, rank)
+        payload_acc = np.zeros(total_ranks, dtype=np.int64)
+        merge_count = np.zeros(total_ranks, dtype=np.int64)
+        np.add.at(payload_acc, rank_of_event, pay)
+        np.add.at(merge_count, rank_of_event, 1)
+
+        # Fold in the resident entries' accumulated state. Iterated
+        # saturating adds of non-negative payloads equal min(cap, total).
+        payload_final = payload_acc
+        merged_final = merge_count
+        if occ:
+            base_pay = np.fromiter(
+                (e.payload_bytes for e in self._entries.values()), dtype=np.int64, count=occ
+            )
+            base_merged = np.fromiter(
+                (e.merged_stores for e in self._entries.values()), dtype=np.int64, count=occ
+            )
+            payload_final[:occ] += base_pay
+            # merge_count over resident ranks counts only hit events, so the
+            # entry's total is its prior count plus those hits.
+            merged_final[:occ] = base_merged + merge_count[:occ]
+        np.minimum(payload_final, CACHE_BLOCK, out=payload_final)
+
+        line_of_rank = np.empty(total_ranks, dtype=np.int64)
+        if occ:
+            line_of_rank[:occ] = init_lines
+        line_of_rank[occ:] = lines[miss]
+
+        drained_count = max(0, total_ranks - watermark)
+        stats.watermark_drains += drained_count
+        stats.bytes_out += int(payload_final[:drained_count].sum())
+
+        # Survivors (ranks drained_count..total_ranks-1) rebuild the FIFO.
+        survivors: "OrderedDict[int, _Entry]" = OrderedDict()
+        for ln, pb, ms in zip(
+            line_of_rank[drained_count:].tolist(),
+            payload_final[drained_count:].tolist(),
+            merged_final[drained_count:].tolist(),
+        ):
+            survivors[ln] = _Entry(payload_bytes=pb, merged_stores=ms)
+        self._entries = survivors
+
+        return DrainBatch(
+            line_of_rank[:drained_count],
+            payload_final[:drained_count],
+            merged_final[:drained_count],
+        )
+
+    def _process_all_miss(
+        self, lines: np.ndarray, pay: np.ndarray, init_lines: "np.ndarray | None"
+    ) -> DrainBatch:
+        """Stream kernel for the proven-no-hit case: every event inserts.
+
+        Ranks are then trivial — resident entries keep 0..occ-1, event ``j``
+        inserts at ``occ + j`` — so drains are just the first
+        ``occ + n - watermark`` ranks in order, no fixed point needed.
+        Counters and queue state match the general kernel exactly.
+        """
+        stats = self.stats
+        n = lines.shape[0]
+        occ = len(self._entries)
+        stats.stores_seen += n
+        stats.bytes_in += int(pay.sum())
+        stats.inserts += n
+        new_pay = np.minimum(pay, CACHE_BLOCK)
+        if occ:
+            base_pay = np.fromiter(
+                (e.payload_bytes for e in self._entries.values()), dtype=np.int64, count=occ
+            )
+            base_merged = np.fromiter(
+                (e.merged_stores for e in self._entries.values()), dtype=np.int64, count=occ
+            )
+            line_of_rank = np.concatenate((init_lines, lines))
+            payload_final = np.concatenate((base_pay, new_pay))
+            merged_final = np.concatenate((base_merged, np.ones(n, dtype=np.int64)))
+        else:
+            line_of_rank = lines
+            payload_final = new_pay
+            merged_final = np.ones(n, dtype=np.int64)
+
+        drained_count = max(0, occ + n - self.watermark)
+        stats.watermark_drains += drained_count
+        stats.bytes_out += int(payload_final[:drained_count].sum())
+
+        survivors: "OrderedDict[int, _Entry]" = OrderedDict()
+        for ln, pb, ms in zip(
+            line_of_rank[drained_count:].tolist(),
+            payload_final[drained_count:].tolist(),
+            merged_final[drained_count:].tolist(),
+        ):
+            survivors[ln] = _Entry(payload_bytes=pb, merged_stores=ms)
+        self._entries = survivors
+
+        return DrainBatch(
+            line_of_rank[:drained_count],
+            payload_final[:drained_count],
+            merged_final[:drained_count],
+        )

@@ -62,12 +62,27 @@ class PhysicalMemory:
         return frame
 
     def allocate_frames(self, count: int) -> list[int]:
-        """Allocate ``count`` frames atomically: all or none."""
+        """Allocate ``count`` frames atomically: all or none.
+
+        Identical frame sequence to ``count`` :meth:`allocate_frame` calls
+        (recycled frames in reverse free order, then fresh bump-pointer
+        frames) without the per-frame Python call.
+        """
         if count > self.frames_free:
             raise AllocationError(
                 f"GPU {self.gpu_id}: requested {count} frames, only {self.frames_free} free"
             )
-        return [self.allocate_frame() for _ in range(count)]
+        frames: list[int] = []
+        if self._free_frames:
+            take = min(count, len(self._free_frames))
+            frames = self._free_frames[-take:][::-1]
+            del self._free_frames[-take:]
+        remaining = count - len(frames)
+        if remaining:
+            frames.extend(range(self._next_frame, self._next_frame + remaining))
+            self._next_frame += remaining
+        self._allocated.update(frames)
+        return frames
 
     def free_frame(self, frame: int) -> None:
         """Return a frame to the free list."""
@@ -75,6 +90,16 @@ class PhysicalMemory:
             raise AllocationError(f"GPU {self.gpu_id}: double free of frame {frame}")
         self._allocated.remove(frame)
         self._free_frames.append(frame)
+
+    def free_frames(self, frames) -> None:
+        """Return a batch of frames to the free list, in iteration order."""
+        allocated = self._allocated
+        free_list = self._free_frames
+        for frame in frames:
+            if frame not in allocated:
+                raise AllocationError(f"GPU {self.gpu_id}: double free of frame {frame}")
+            allocated.remove(frame)
+            free_list.append(frame)
 
     def is_allocated(self, frame: int) -> bool:
         """Whether the frame is currently allocated."""

@@ -68,6 +68,32 @@ class PageTable:
         self._entries[vpn] = entry
         return entry
 
+    def map_many(
+        self,
+        vpns,
+        resident_gpu: int,
+        frames,
+        gps: bool = False,
+        writable: bool = True,
+    ) -> None:
+        """Bulk :meth:`map` over parallel ``vpns``/``frames`` sequences."""
+        entries = self._entries
+        for vpn, frame in zip(vpns, frames):
+            vpn = int(vpn)
+            entries[vpn] = PTE(
+                vpn=vpn, resident_gpu=resident_gpu, frame=int(frame),
+                gps=gps, writable=writable,
+            )
+
+    def unmap_many(self, vpns) -> None:
+        """Bulk :meth:`unmap`; raises on the first unmapped VPN."""
+        entries = self._entries
+        for vpn in vpns:
+            if entries.pop(int(vpn), None) is None:
+                raise TranslationError(
+                    f"GPU {self.gpu_id}: unmap of unmapped VPN {int(vpn):#x}"
+                )
+
     def unmap(self, vpn: int) -> PTE:
         """Remove and return the mapping for ``vpn``."""
         try:

@@ -94,17 +94,11 @@ class GPSExecutor(ParadigmExecutor):
             if fp.is_sys_scoped:
                 continue  # handled by the collapse path, never forwarded
             if self._profiled:
-                multi = np.array(
-                    [
-                        vpn
-                        for vpn in fp.pages.tolist()
-                        if len(subs.subscribers(vpn)) > 1 and not subs.is_demoted(vpn)
-                    ],
-                    dtype=np.int64,
-                )
-                if multi.size == 0:
+                page_mask = subs.multi_subscriber_mask(fp.pages)
+                if not page_mask.any():
                     continue
-                if multi.size < fp.pages.size:
+                if not page_mask.all():
+                    multi = fp.pages[page_mask]
                     mask = np.isin(stream.lines // self._lines_per_page, multi)
                     stream = type(stream)(stream.lines[mask], stream.bytes_per_txn[mask])
                     if len(stream) == 0:

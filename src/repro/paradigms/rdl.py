@@ -28,15 +28,17 @@ class RDLExecutor(ParadigmExecutor):
 
     def __init__(self, program, config) -> None:
         super().__init__(program, config)
-        #: vpn -> last GPU to store to it; starts at the buffer home.
-        self._last_writer: dict[int, int] = {}
+        # Last GPU to store to each page, in page-index space (index =
+        # vpn - _page_base); seeded from each buffer's home GPU.
+        self._page_base, _ = self.analysis.heap_page_span()
+        self._writer_arr = self.analysis.home_gpu_array().copy()
         self.remote_read_bytes_total = 0
 
     def _writer_of(self, vpn: int) -> int:
-        if vpn in self._last_writer:
-            return self._last_writer[vpn]
-        buf = self.analysis.buffer_of_page(vpn)
-        return buf.home_gpu if buf is not None else 0
+        idx = vpn - self._page_base
+        if 0 <= idx < self._writer_arr.shape[0]:
+            return int(self._writer_arr[idx])
+        return 0
 
     def execute_phase(self, phase, after):
         mlp = int(self.program.metadata.get("remote_mlp", DEFAULT_REMOTE_MLP))
@@ -52,7 +54,7 @@ class RDLExecutor(ParadigmExecutor):
             remote_txns = 0
             remote_payload = 0
             for fp in footprint.reads:
-                writers = np.array([self._writer_of(v) for v in fp.pages.tolist()])
+                writers = self._writer_arr[fp.pages - self._page_base]
                 remote_mask = writers != kernel.gpu
                 if not remote_mask.any():
                     continue
@@ -103,8 +105,9 @@ class RDLExecutor(ParadigmExecutor):
                 )
 
         # Update last-writer state after the phase completes.
-        for vpn, writers in self.analysis.phase_page_writers(phase).items():
-            self._last_writer[vpn] = writers[-1]
+        written_vpns, last_writers = self.analysis.phase_max_writers(phase)
+        if written_vpns.size:
+            self._writer_arr[written_vpns - self._page_base] = last_writers
         return out_tasks
 
     def register_counters(self):

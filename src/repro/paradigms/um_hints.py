@@ -32,6 +32,19 @@ import numpy as np
 from .base import ParadigmExecutor
 
 
+def _accumulate_by_gpu(totals: dict, gpus: np.ndarray, amount_each: int) -> None:
+    """Add ``amount_each`` per element of ``gpus`` into ``totals``.
+
+    Keys are inserted in first-occurrence order of ``gpus`` — the same dict
+    order a per-element loop would produce, which downstream transfer
+    emission depends on.
+    """
+    uniq, first, counts = np.unique(gpus, return_index=True, return_counts=True)
+    for i in np.argsort(first, kind="stable").tolist():
+        key = int(uniq[i])
+        totals[key] = totals.get(key, 0) + int(counts[i]) * amount_each
+
+
 class UMHintsExecutor(ParadigmExecutor):
     """UM with preferred-location, accessed-by, and prefetch hints."""
 
@@ -40,9 +53,19 @@ class UMHintsExecutor(ParadigmExecutor):
     def __init__(self, program, config) -> None:
         super().__init__(program, config)
         self._preferred = self._derive_preferred_locations()
-        #: Pages currently resident away from their preferred location
-        #: (prefetched to a reader): vpn -> holder GPU.
-        self._drifted: dict[int, int] = {}
+        # Page-index-space state: index = vpn - _page_base. ``_pref_arr``
+        # resolves the dominant-writer preference with the buffer-home
+        # fallback baked in; ``_drift_arr`` holds the current away-holder
+        # (-1 = resident at its preferred location).
+        self._page_base, span = self.analysis.heap_page_span()
+        self._pref_arr = self.analysis.home_gpu_array().copy()
+        if self._preferred:
+            vpns = np.fromiter(self._preferred.keys(), dtype=np.int64, count=len(self._preferred))
+            prefs = np.fromiter(
+                self._preferred.values(), dtype=np.int64, count=len(self._preferred)
+            )
+            self._pref_arr[vpns - self._page_base] = prefs
+        self._drift_arr = np.full(span, -1, dtype=np.int64)
         self.prefetched_pages = 0
         self.writeback_faults = 0
         self.contended_faults = 0
@@ -66,19 +89,22 @@ class UMHintsExecutor(ParadigmExecutor):
         return preferred
 
     def _preferred_of(self, vpn: int) -> int:
-        if vpn in self._preferred:
-            return self._preferred[vpn]
-        buf = self.analysis.buffer_of_page(vpn)
-        return buf.home_gpu if buf is not None else 0
+        idx = vpn - self._page_base
+        if 0 <= idx < self._pref_arr.shape[0]:
+            return int(self._pref_arr[idx])
+        return 0
 
     def _holder_of(self, vpn: int) -> int:
-        return self._drifted.get(vpn, self._preferred_of(vpn))
+        idx = vpn - self._page_base
+        if 0 <= idx < self._drift_arr.shape[0] and self._drift_arr[idx] >= 0:
+            return int(self._drift_arr[idx])
+        return self._preferred_of(vpn)
 
     def execute_phase(self, phase, after):
         um = self.config.um
         page_size = self.config.page_size
         sat = um.fault_storm_saturation
-        readers_by_page = self.analysis.phase_page_readers(phase)
+        reader_vpns, reader_min = self.analysis.phase_min_readers(phase)
 
         out_tasks = []
         setup = self.is_setup_phase(phase)
@@ -96,43 +122,53 @@ class UMHintsExecutor(ParadigmExecutor):
                 # pages (several readers this phase) land at the lowest
                 # reader; the rest demand-fault and pull lines.
                 for fp in footprint.reads:
-                    for vpn in fp.pages.tolist():
-                        holder = self._holder_of(vpn)
-                        if holder == gpu:
-                            continue
-                        phase_readers = readers_by_page.get(vpn, [gpu])
-                        winner = min(phase_readers)
-                        if winner == gpu:
-                            prefetch_from[holder] = (
-                                prefetch_from.get(holder, 0) + page_size
-                            )
-                            self._drifted[vpn] = gpu
-                            self.prefetched_pages += 1
-                        else:
-                            contended_faults += 1
-                            lines = max(1, fp.txns // max(1, len(fp.pages)))
-                            demand_from[winner] = (
-                                demand_from.get(winner, 0) + lines * 128
-                            )
-                            demand_txns += lines
+                    idx = fp.pages - self._page_base
+                    drift = self._drift_arr[idx]
+                    holders = np.where(drift >= 0, drift, self._pref_arr[idx])
+                    remote = holders != gpu
+                    if not remote.any():
+                        continue
+                    pages_r = fp.pages[remote]
+                    holders_r = holders[remote]
+                    if reader_vpns.size:
+                        pos = np.minimum(
+                            np.searchsorted(reader_vpns, pages_r), reader_vpns.size - 1
+                        )
+                        found = reader_vpns[pos] == pages_r
+                        winners = np.where(found, reader_min[pos], gpu)
+                    else:
+                        winners = np.full(pages_r.shape, gpu, dtype=np.int64)
+                    won = winners == gpu
+                    if won.any():
+                        _accumulate_by_gpu(prefetch_from, holders_r[won], page_size)
+                        self._drift_arr[idx[remote][won]] = gpu
+                        self.prefetched_pages += int(won.sum())
+                    lost = ~won
+                    if lost.any():
+                        n_lost = int(lost.sum())
+                        contended_faults += n_lost
+                        lines = max(1, fp.txns // max(1, len(fp.pages)))
+                        _accumulate_by_gpu(demand_from, winners[lost], lines * 128)
+                        demand_txns += lines * n_lost
 
                 # Writes to pages that drifted away: fault them home with a
                 # shootdown each. Writes to pages preferred elsewhere: peer
                 # stores (no stall, traffic only).
                 peer_store_to: dict[int, int] = {}
                 for fp in footprint.stores:
-                    for vpn in fp.pages.tolist():
-                        pref = self._preferred_of(vpn)
-                        holder = self._holder_of(vpn)
-                        if pref == gpu and holder != gpu:
-                            writeback_faults += 1
-                            prefetch_from[holder] = (
-                                prefetch_from.get(holder, 0) + page_size
-                            )
-                            self._drifted.pop(vpn, None)
-                        elif pref != gpu:
-                            share = fp.payload_bytes // max(1, len(fp.pages))
-                            peer_store_to[pref] = peer_store_to.get(pref, 0) + share
+                    idx = fp.pages - self._page_base
+                    pref = self._pref_arr[idx]
+                    drift = self._drift_arr[idx]
+                    holders = np.where(drift >= 0, drift, pref)
+                    writeback = (pref == gpu) & (holders != gpu)
+                    if writeback.any():
+                        writeback_faults += int(writeback.sum())
+                        _accumulate_by_gpu(prefetch_from, holders[writeback], page_size)
+                        self._drift_arr[idx[writeback]] = -1
+                    peer = pref != gpu
+                    if peer.any():
+                        share = fp.payload_bytes // max(1, len(fp.pages))
+                        _accumulate_by_gpu(peer_store_to, pref[peer], share)
                 for dst, nbytes in peer_store_to.items():
                     out_tasks.extend(
                         self.add_transfer(

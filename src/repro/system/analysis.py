@@ -114,6 +114,9 @@ class ProgramAnalysis:
         self._streams: dict[tuple, LineStream] = {}
         self._store_streams: dict[KernelSpec, list] = {}
         self._coalescer_stats: dict[KernelSpec, CoalescerStats] = {}
+        self._home_gpu_arr: "Optional[np.ndarray]" = None
+        self._phase_min_readers: dict[int, tuple] = {}
+        self._phase_max_writers: dict[int, tuple] = {}
 
     # -- layout ---------------------------------------------------------------
 
@@ -134,6 +137,80 @@ class ProgramAnalysis:
         return sum(
             1 for vpn, buf in self._buffer_by_page.items() if buf.name in self._shared_buffers
         )
+
+    def heap_page_span(self) -> "tuple[int, int]":
+        """``(base_vpn, page_count)`` covering every buffer page.
+
+        The shared page-index space the vectorized paradigm executors use:
+        a heap VPN maps to array index ``vpn - base_vpn``.
+        """
+        base = AddressSpace.HEAP_BASE // self.page_size
+        end = max(self._buffer_by_page, default=base) + 1
+        return base, end - base
+
+    def home_gpu_array(self) -> np.ndarray:
+        """Per-page buffer home GPU over :meth:`heap_page_span` (0 if none)."""
+        if self._home_gpu_arr is None:
+            base, count = self.heap_page_span()
+            arr = np.zeros(count, dtype=np.int64)
+            for buf in self.program.buffers:
+                start = self._bases[buf.name]
+                first = start // self.page_size
+                last = (start + buf.size - 1) // self.page_size
+                arr[first - base : last + 1 - base] = buf.home_gpu
+            self._home_gpu_arr = arr
+        return self._home_gpu_arr
+
+    def phase_min_readers(self, phase: Phase) -> "tuple[np.ndarray, np.ndarray]":
+        """``(vpns, gpus)``: sorted unique read VPNs and each one's lowest reader.
+
+        Array form of ``min(phase_page_readers(phase)[vpn])`` — what the
+        UM-hints contention rule asks of every remote page.
+        """
+        key = id(phase)
+        if key not in self._phase_min_readers:
+            self._phase_min_readers[key] = self._phase_extreme(
+                phase, "read_pages", take_max=False
+            )
+        return self._phase_min_readers[key]
+
+    def phase_max_writers(self, phase: Phase) -> "tuple[np.ndarray, np.ndarray]":
+        """``(vpns, gpus)``: sorted unique store VPNs and each one's highest writer.
+
+        Array form of ``phase_page_writers(phase)[vpn][-1]`` — RDL's
+        post-phase last-writer update.
+        """
+        key = id(phase)
+        if key not in self._phase_max_writers:
+            self._phase_max_writers[key] = self._phase_extreme(
+                phase, "store_pages", take_max=True
+            )
+        return self._phase_max_writers[key]
+
+    def _phase_extreme(self, phase: Phase, attr: str, take_max: bool) -> tuple:
+        arrays = []
+        gpus = []
+        for kernel in phase.kernels:
+            pages = getattr(self.footprint(kernel), attr)
+            if pages.size:
+                arrays.append(pages)
+                gpus.append(np.full(pages.shape, kernel.gpu, dtype=np.int64))
+        if not arrays:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        vpns = np.concatenate(arrays)
+        owners = np.concatenate(gpus)
+        order = np.lexsort((owners, vpns))
+        sv, so = vpns[order], owners[order]
+        heads = np.empty(sv.shape, dtype=bool)
+        heads[0] = True
+        np.not_equal(sv[1:], sv[:-1], out=heads[1:])
+        if take_max:
+            # last element of each vpn group = max owner (sorted within group)
+            pick = np.append(heads[1:], True)
+        else:
+            pick = heads
+        return sv[heads], so[pick]
 
     # -- expansion (memoised) ----------------------------------------------------
 

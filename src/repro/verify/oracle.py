@@ -247,9 +247,18 @@ def check_write_queue(result: SimulationResult, config=None) -> Iterator[Violati
         if min(
             stats.stores_seen, stats.coalesced_hits, stats.inserts,
             stats.watermark_drains, stats.flush_drains, stats.atomics_bypassed,
-            stats.bytes_in, stats.bytes_out,
+            stats.bytes_in, stats.bytes_out, stats.atomic_bytes,
         ) < 0:
             yield Violation("write-queue-accounting", f"gpu{gpu}: negative counter")
+        if stats.atomic_bytes > min(stats.bytes_in, stats.bytes_out):
+            # Atomic bypass traffic is counted inside both ledgers, so it
+            # can never exceed either; a violation means the carve-out that
+            # feeds bandwidth_reduction is double-counting.
+            yield Violation(
+                "write-queue-accounting",
+                f"gpu{gpu}: atomic_bytes {stats.atomic_bytes} exceeds "
+                f"bytes_in {stats.bytes_in} or bytes_out {stats.bytes_out}",
+            )
 
 
 @invariant("gps-tlb-accounting")

@@ -56,6 +56,54 @@ class TestReplicas:
             table.remove_page(5)
 
 
+class TestRemoteArray:
+    def test_sorted_and_excludes_self(self, table):
+        for gpu in (3, 0, 2):
+            table.install_replica(5, gpu, gpu * 10)
+        assert table.lookup(5).remote_array(2).tolist() == [0, 3]
+
+    def test_memo_matches_list_form(self, table):
+        for gpu in range(4):
+            table.install_replica(5, gpu, gpu)
+        pte = table.lookup(5)
+        assert pte.remote_array(1).tolist() == pte.remote_subscribers(1)
+
+    def test_cache_invalidated_on_remove(self, table):
+        for gpu in range(4):
+            table.install_replica(5, gpu, gpu)
+        pte = table.lookup(5)
+        assert pte.remote_array(0).tolist() == [1, 2, 3]  # warm the memo
+        table.remove_replica(5, 3)
+        assert pte.remote_array(0).tolist() == [1, 2]
+
+    def test_cache_invalidated_on_install(self, table):
+        table.install_replica(5, 0, 0)
+        pte = table.lookup(5)
+        assert pte.remote_array(0).tolist() == []
+        table.install_replica(5, 2, 2)
+        assert pte.remote_array(0).tolist() == [2]
+
+
+class TestLookupBatch:
+    def test_returns_ptes_in_order(self, table):
+        for vpn in (3, 7):
+            table.install_replica(vpn, 0, vpn)
+        ptes = table.lookup_batch([7, 3, 7], 3)
+        assert [p.replicas[0] for p in ptes] == [7, 3, 7]
+
+    def test_counts_the_represented_translations(self, table):
+        # The batch carries deduplicated page heads; the counter must still
+        # reflect every drained write it stands for (scalar-path parity).
+        table.install_replica(3, 0, 3)
+        table.lookup_batch([3], total_count=40)
+        assert table.lookups == 40
+
+    def test_missing_page_raises(self, table):
+        table.install_replica(3, 0, 3)
+        with pytest.raises(TranslationError):
+            table.lookup_batch([3, 99], 2)
+
+
 class TestQueries:
     def test_multi_subscriber_filter(self, table):
         table.install_replica(1, 0, 0)

@@ -48,6 +48,25 @@ class TestTranslate:
         assert tlb.stats.hit_rate < 0.5
 
 
+class TestTranslateBatch:
+    def test_counters_match_scalar_run_loop(self, setup):
+        tlb, table = setup
+        scalar_tlb = GPSTLB(GPSConfig(), table)
+        heads, run = [5, 9, 5, 30], 6
+        tlb.translate_batch(heads, total=len(heads) * run)
+        for vpn in heads:
+            scalar_tlb.translate_run(vpn, run)
+        assert tlb.stats == scalar_tlb.stats
+        assert tlb.walks == scalar_tlb.walks
+
+    def test_run_tails_are_guaranteed_hits(self, setup):
+        tlb, _ = setup
+        tlb.translate_batch([5], total=12)
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hits == 11
+        assert tlb.walks == 1
+
+
 class TestInvalidate:
     def test_invalidate_forces_rewalk(self, setup):
         tlb, _ = setup

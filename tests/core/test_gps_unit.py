@@ -16,8 +16,7 @@ def stream(lines, payload=128):
     return LineStream(lines, np.full(len(lines), payload, dtype=np.int32))
 
 
-@pytest.fixture
-def setup():
+def build_unit():
     config = GPSConfig(write_queue_entries=8)
     table = GPSPageTable(config, num_gpus=4)
     # Page 0 subscribed by all; page 1 by {0, 2}; page 2 by {0} only.
@@ -26,8 +25,12 @@ def setup():
     table.install_replica(1, 0, 10)
     table.install_replica(1, 2, 12)
     table.install_replica(2, 0, 20)
-    unit = GPSUnit(0, config, table)
-    return unit, table
+    return GPSUnit(0, config, table), table
+
+
+@pytest.fixture
+def setup():
+    return build_unit()
 
 
 class TestFanOut:
@@ -109,6 +112,56 @@ class TestTLBIntegration:
         unit.process_stores(stream([0]))
         window = unit.sync()
         assert 3 not in window.bytes_to
+
+
+class TestBatchedRouting:
+    """The array fan-out must mirror the scalar per-entry walk exactly."""
+
+    def _drive(self, unit, work):
+        for s, atomic in work:
+            unit.process_stores(s, atomic=atomic)
+        return unit.sync()
+
+    def test_matches_scalar_walk(self, monkeypatch):
+        rng = np.random.default_rng(3)
+        # Lines across all three pages (different fan-outs, incl. zero for
+        # the single-subscriber page), plus an atomic burst.
+        lines = np.sort(rng.integers(0, 3 * LINES_PER_PAGE, size=500)).astype(np.int64)
+        work = [
+            (stream(lines, payload=64), False),
+            (stream([0, 1, LINES_PER_PAGE], payload=16), True),
+        ]
+        monkeypatch.delenv("REPRO_SCALAR_REPLAY", raising=False)
+        vec_unit, vec_table = build_unit()
+        vec_window = self._drive(vec_unit, work)
+        monkeypatch.setenv("REPRO_SCALAR_REPLAY", "1")
+        ref_unit, ref_table = build_unit()
+        ref_window = self._drive(ref_unit, work)
+        assert vec_window.bytes_to == ref_window.bytes_to
+        assert vec_window.writes_to == ref_window.writes_to
+        assert vec_unit.write_queue.stats == ref_unit.write_queue.stats
+        assert vec_unit.tlb.stats == ref_unit.tlb.stats
+        assert vec_unit.tlb.walks == ref_unit.tlb.walks
+        assert vec_table.lookups == ref_table.lookups
+
+    def test_window_holds_plain_ints(self):
+        # The window is JSON-serialised into result payloads: accumulator
+        # folds must hand back python ints, not numpy scalars.
+        unit, _ = build_unit()
+        unit.process_stores(stream(list(range(2 * LINES_PER_PAGE))))
+        window = unit.sync()
+        for mapping in (window.bytes_to, window.writes_to):
+            for dst, value in mapping.items():
+                assert type(dst) is int
+                assert type(value) is int
+
+    def test_accumulators_reset_after_sync(self):
+        unit, _ = build_unit()
+        unit.process_stores(stream([0] * 4))
+        unit.sync()
+        assert not unit._bytes_acc.any()
+        assert not unit._writes_acc.any()
+        assert unit.sync().total_bytes == 0
 
 
 class TestSMCoalesceHook:

@@ -5,6 +5,7 @@ import pytest
 
 import repro
 from repro.core.runtime import GPSRuntime, MemAdvise
+from repro.core.subscription import SubscriptionManager
 from repro.errors import SubscriptionError
 
 PAGE = 65536
@@ -156,6 +157,30 @@ class TestTracking:
         assert summary["demoted"] == 1
         assert runtime.subscriptions.is_demoted(pages[0])
 
+    def test_tracking_stop_agrees_with_apply_profile(self, runtime):
+        # Regression: the driver path (tracking_stop, which also frees
+        # frames) and the manager path (apply_profile) each had their own
+        # keep-set rule and could disagree. Both now call trim_plan, so the
+        # surviving subscriber sets must be identical for any profile.
+        alloc = runtime.malloc_gps("x", 4 * PAGE)
+        pages = list(alloc.pages(PAGE))
+        touched = {
+            0: {pages[0], pages[1]},
+            1: {pages[1]},
+            2: set(),
+            3: {pages[3]},
+        }
+        mirror = SubscriptionManager(num_gpus=4)
+        mirror.register_all_to_all(pages)
+        mirror.apply_profile(touched)
+        runtime.tracking_start()
+        for gpu, vpns in touched.items():
+            if vpns:
+                runtime.record_accesses(gpu, np.array(sorted(vpns)))
+        runtime.tracking_stop()
+        for vpn in pages:
+            assert runtime.subscriptions.subscribers(vpn) == mirror.subscribers(vpn)
+
 
 class TestOversubscription:
     def test_evicted_gpu_unsubscribes_and_reads_remotely(self, runtime):
@@ -199,3 +224,34 @@ class TestSysScopeCollapse:
         vpn = next(iter(alloc.pages(PAGE)))
         runtime.collapse_on_sys_store(2, vpn)
         assert not runtime.page_tables[2].lookup(vpn).gps
+
+    def test_back_to_back_sys_stores_second_is_noop(self, runtime):
+        # Regression: the second sys-scoped store to an already-collapsed
+        # page found nothing to tear down and indexed into an empty
+        # subscriber list. It must be a no-op returning 0.
+        alloc = runtime.malloc_gps("x", PAGE)
+        vpn = next(iter(alloc.pages(PAGE)))
+        assert runtime.collapse_on_sys_store(1, vpn) == 3
+        assert runtime.collapse_on_sys_store(1, vpn) == 0
+        assert runtime.subscriptions.subscribers(vpn) == frozenset({1})
+        assert runtime.memories[1].frames_in_use == 1
+
+    def test_sys_store_from_another_gpu_after_collapse(self, runtime):
+        # A later sys store from a *different* GPU: the sole surviving copy
+        # stays where it is (nothing is replicated, nothing to collapse).
+        alloc = runtime.malloc_gps("x", PAGE)
+        vpn = next(iter(alloc.pages(PAGE)))
+        runtime.collapse_on_sys_store(1, vpn)
+        assert runtime.collapse_on_sys_store(3, vpn) == 0
+        assert runtime.subscriptions.subscribers(vpn) == frozenset({1})
+
+    def test_sys_store_to_freed_page_is_noop(self, runtime):
+        # Regression companion: empty subscriber sets also arise when the
+        # allocation was freed between the store and the collapse.
+        alloc = runtime.malloc_gps("x", PAGE)
+        vpn = next(iter(alloc.pages(PAGE)))
+        runtime.free("x")
+        assert runtime.collapse_on_sys_store(0, vpn) == 0
+
+    def test_sys_store_to_unmanaged_page_is_noop(self, runtime):
+        assert runtime.collapse_on_sys_store(0, 0xDEAD) == 0

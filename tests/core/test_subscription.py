@@ -1,5 +1,6 @@
 """Unit tests for the subscription manager and its invariants."""
 
+import numpy as np
 import pytest
 
 from repro.core.subscription import SubscriptionManager
@@ -118,6 +119,70 @@ class TestProfiling:
         manager.demote_single_subscriber_pages()
         manager.subscribe(2, 0)
         assert not manager.is_demoted(0)
+
+
+class TestTrimPlan:
+    """The one shared keep-set rule behind apply_profile and tracking_stop."""
+
+    def test_removes_non_touchers(self, manager):
+        touched = {0: {0}, 1: {0}, 2: set(), 3: set()}
+        assert manager.trim_plan(0, touched) == [2, 3]
+
+    def test_untouched_page_keeps_lowest_subscriber(self, manager):
+        plan = manager.trim_plan(0, {g: set() for g in range(4)})
+        assert plan == [1, 2, 3]  # GPU 0 survives as the designated keeper
+
+    def test_unregistered_page_yields_empty_plan(self, manager):
+        assert manager.trim_plan(999, {0: {999}}) == []
+
+    def test_plan_never_empties_the_subscriber_set(self, manager):
+        # Applying the plan verbatim must never trip the last-subscriber
+        # invariant, whatever the profile says.
+        for touched in ({}, {g: set() for g in range(4)}, {2: {0}}):
+            plan = manager.trim_plan(0, touched)
+            assert len(manager.subscribers(0)) > len(plan)
+
+    def test_apply_profile_survivors_match_the_plan(self, manager):
+        touched = {0: {0, 1}, 1: {1}, 2: set(), 3: {2}}
+        plans = {vpn: manager.trim_plan(vpn, touched) for vpn in manager.pages()}
+        manager.apply_profile(touched)
+        for vpn, plan in plans.items():
+            assert manager.subscribers(vpn) == frozenset(range(4)) - set(plan)
+
+
+class TestMultiSubscriberMask:
+    """The array shadow must always agree with the dict-of-sets truth."""
+
+    def _scalar(self, manager, vpn):
+        return len(manager.subscribers(vpn)) > 1 and not manager.is_demoted(vpn)
+
+    def test_matches_scalar_queries_after_mutations(self, manager):
+        manager.unsubscribe(1, 2)
+        manager.unsubscribe(2, 2)
+        manager.unsubscribe(3, 2)        # page 2 -> single subscriber
+        manager.demote_single_subscriber_pages()
+        manager.subscribe(1, 2)          # re-promoted
+        manager.unsubscribe(3, 5)
+        manager.drop_page(7)
+        manager.register_page(20, {0, 3})  # grows the shadow span
+        vpns = np.array([-3, 0, 2, 5, 7, 9, 20, 21, 999], dtype=np.int64)
+        mask = manager.multi_subscriber_mask(vpns)
+        for vpn, flag in zip(vpns.tolist(), mask.tolist()):
+            assert flag == self._scalar(manager, vpn), vpn
+
+    def test_demotion_clears_the_mask(self, manager):
+        manager.apply_profile({0: {0}, 1: {0}, 2: set(), 3: set()})
+        manager.demote_single_subscriber_pages()
+        mask = manager.multi_subscriber_mask(np.arange(10, dtype=np.int64))
+        assert mask.tolist() == [True] + [False] * 9
+
+    def test_empty_manager_all_false(self):
+        mgr = SubscriptionManager(4)
+        mask = mgr.multi_subscriber_mask(np.array([0, 1], dtype=np.int64))
+        assert not mask.any()
+
+    def test_empty_query(self, manager):
+        assert manager.multi_subscriber_mask(np.empty(0, dtype=np.int64)).shape == (0,)
 
 
 class TestHistogram:

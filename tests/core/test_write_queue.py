@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+import repro.core.write_queue as wq_mod
 from repro.config import GPSConfig
 from repro.core.write_queue import RemoteWriteQueue
 
@@ -164,3 +165,164 @@ class TestStreamProcessing:
         drained += q.flush()
         assert len(drained) == q.stats.inserts
         assert {e.line for e in drained} == {1, 2, 3, 4}
+
+
+class TestAtomicBytesSplit:
+    """``atomic_bytes`` carves bypass traffic out of the coalescing metrics."""
+
+    def test_atomics_counted_in_both_ledgers(self):
+        q = queue()
+        q.push_atomic(1, 16)
+        q.push_atomic(2, 32)
+        assert q.stats.atomic_bytes == 48
+        assert q.stats.bytes_in == 48
+        assert q.stats.bytes_out == 48
+
+    def test_bandwidth_reduction_over_coalescible_bytes_only(self):
+        # Regression: atomic bypass traffic moves byte-for-byte, so folding
+        # it into the ratio diluted the reduction coalescing achieved.
+        q = queue()
+        for _ in range(4):
+            q.push_store(1, 128)  # 512 B in -> 128 B out after coalescing
+        q.flush()
+        for _ in range(8):
+            q.push_atomic(2, 128)  # 1024 B straight through
+        assert q.stats.coalescible_bytes_in == 512
+        assert q.stats.coalescible_bytes_out == 128
+        assert q.stats.bandwidth_reduction == pytest.approx(0.75)
+
+    def test_atomic_only_traffic_reports_zero_reduction(self):
+        q = queue()
+        for _ in range(10):
+            q.push_atomic(1, 64)
+        assert q.stats.bandwidth_reduction == 0.0
+
+    def test_atomic_stream_batch_matches_per_atomic_pushes(self):
+        lines = np.array([1, 1, 2, 3], dtype=np.int64)
+        pays = np.array([16, 16, 32, 8], dtype=np.int32)
+        a = queue()
+        a.process_stream(lines, pays, atomic=True)
+        b = queue()
+        for line, nbytes in zip(lines.tolist(), pays.tolist()):
+            b.push_atomic(line, nbytes)
+        assert a.stats == b.stats
+        assert a.stats.atomic_bytes == 72
+
+    def test_atomic_bytes_survive_counter_snapshot(self):
+        q = queue()
+        q.push_atomic(1, 16)
+        assert q.stats.as_counters()["atomic_bytes"] == 16
+
+
+def drive_scalar(q, lines, pays):
+    """Reference: element-wise pushes; returns (line, payload, merged) drains."""
+    drained = []
+    for line, nbytes in zip(lines.tolist(), pays.tolist()):
+        drained.extend(q.push_store(int(line), int(nbytes)))
+    return [(e.line, e.payload_bytes, e.merged_stores) for e in drained]
+
+
+def drive_vectorized(q, lines, pays, monkeypatch):
+    """Force the numpy kernel regardless of stream length."""
+    monkeypatch.setattr(wq_mod, "_VECTOR_MIN_EVENTS", 1)
+    monkeypatch.delenv("REPRO_SCALAR_REPLAY", raising=False)
+    batch = q.process_stream_batch(lines, pays)
+    return list(zip(
+        batch.lines.tolist(), batch.payload_bytes.tolist(), batch.merged_stores.tolist()
+    ))
+
+
+def queue_state(q):
+    return [(ln, e.payload_bytes, e.merged_stores) for ln, e in q._entries.items()]
+
+
+class TestScalarVectorEquivalence:
+    """The vectorized stream kernel is bit-exact against ``_push_one``.
+
+    Satellite of the replay vectorization: same drains (order included),
+    same stats dataclass, same final FIFO state — the property the
+    differential harness then pins end-to-end.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_streams_match(self, seed, monkeypatch):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 400))
+        span = int(rng.integers(2, 64))  # small spans force heavy reuse
+        lines = rng.integers(0, span, size=n).astype(np.int64)
+        pays = rng.choice([4, 16, 64, 100, 128], size=n).astype(np.int32)
+        a, b = queue(), queue()
+        assert drive_vectorized(a, lines, pays, monkeypatch) == drive_scalar(b, lines, pays)
+        assert a.stats == b.stats
+        assert queue_state(a) == queue_state(b)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_prepopulated_queue_matches(self, seed, monkeypatch):
+        # Resident entries carry payload/merge state into the stream kernel.
+        rng = np.random.default_rng(100 + seed)
+        a, b = queue(), queue()
+        for line in rng.choice(20, size=5, replace=False).tolist():
+            a.push_store(int(line), 100)
+            b.push_store(int(line), 100)
+        lines = rng.integers(0, 24, size=200).astype(np.int64)
+        pays = rng.choice([32, 64, 128], size=200).astype(np.int32)
+        assert drive_vectorized(a, lines, pays, monkeypatch) == drive_scalar(b, lines, pays)
+        assert a.stats == b.stats
+        assert queue_state(a) == queue_state(b)
+
+    def test_pure_miss_fast_path_matches(self, monkeypatch):
+        # All-distinct lines, disjoint from the resident set: the proven
+        # no-hit kernel must still drain/count exactly like the reference.
+        a = queue(entries=8, watermark=5)
+        b = queue(entries=8, watermark=5)
+        for line in (100, 101):
+            a.push_store(line, 50)
+            b.push_store(line, 50)
+        lines = np.arange(40, dtype=np.int64)
+        pays = np.full(40, 200, dtype=np.int32)  # saturates at the block size
+        assert drive_vectorized(a, lines, pays, monkeypatch) == drive_scalar(b, lines, pays)
+        assert a.stats == b.stats
+        assert a.stats.coalesced_hits == 0
+        assert queue_state(a) == queue_state(b)
+
+    def test_resident_hit_defeats_fast_path(self, monkeypatch):
+        # Distinct stream lines but one hits a resident entry within the
+        # watermark window: the general fixed-point kernel must run and
+        # still agree with the reference.
+        a = queue(entries=8, watermark=5)
+        b = queue(entries=8, watermark=5)
+        for line in (3, 4):
+            a.push_store(line, 10)
+            b.push_store(line, 10)
+        lines = np.array([4, 50, 51, 52, 53, 54, 55], dtype=np.int64)
+        pays = np.full(7, 64, dtype=np.int32)
+        assert drive_vectorized(a, lines, pays, monkeypatch) == drive_scalar(b, lines, pays)
+        assert a.stats == b.stats
+        assert a.stats.coalesced_hits == 1
+
+    def test_chunked_stream_equals_whole_stream(self, monkeypatch):
+        # Queue state carried across batch boundaries is part of the model.
+        rng = np.random.default_rng(7)
+        lines = rng.integers(0, 32, size=300).astype(np.int64)
+        pays = np.full(300, 64, dtype=np.int32)
+        a, b = queue(), queue()
+        whole = drive_vectorized(a, lines, pays, monkeypatch)
+        chunked = []
+        for lo in range(0, 300, 70):
+            chunked.extend(
+                drive_vectorized(b, lines[lo:lo + 70], pays[lo:lo + 70], monkeypatch)
+            )
+        assert whole == chunked
+        assert a.stats == b.stats
+
+    def test_scalar_replay_env_forces_reference_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALAR_REPLAY", "1")
+
+        def boom(*_args, **_kwargs):  # pragma: no cover - fails the test if hit
+            raise AssertionError("vectorized kernel ran under REPRO_SCALAR_REPLAY=1")
+
+        q = queue()
+        monkeypatch.setattr(RemoteWriteQueue, "_process_vectorized", boom)
+        lines = np.arange(wq_mod._VECTOR_MIN_EVENTS + 16, dtype=np.int64)
+        q.process_stream_batch(lines, np.full(lines.shape[0], 64, dtype=np.int32))
+        assert q.stats.stores_seen == lines.shape[0]

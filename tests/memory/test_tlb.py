@@ -61,6 +61,38 @@ class TestAccess:
         assert tlb.stats.evictions == 1
 
 
+class TestAccessBatch:
+    def _mirror(self, entries, assoc, vpns):
+        """Reference: one scalar access per VPN on a fresh TLB."""
+        tlb = TLB(entries=entries, assoc=assoc)
+        misses = sum(0 if tlb.access(v) else 1 for v in vpns)
+        return tlb, misses
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_scalar_access_loop(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        vpns = [rng.randrange(24) for _ in range(300)]
+        batched = TLB(entries=8, assoc=2)
+        assert batched.access_batch(vpns) == self._mirror(8, 2, vpns)[1]
+        reference, _ = self._mirror(8, 2, vpns)
+        assert batched.stats == reference.stats
+        assert all(batched.resident(v) == reference.resident(v) for v in range(24))
+
+    def test_empty_batch(self):
+        tlb = TLB(entries=8, assoc=2)
+        assert tlb.access_batch([]) == 0
+        assert tlb.stats.accesses == 0
+
+    def test_batch_evicts_lru(self):
+        tlb = TLB(entries=2, assoc=2)
+        assert tlb.access_batch([0, 1, 0, 2]) == 3  # 2 evicts LRU entry 1
+        assert tlb.resident(0)
+        assert not tlb.resident(1)
+        assert tlb.stats.evictions == 1
+
+
 class TestInvalidate:
     def test_invalidate_present(self):
         tlb = TLB(entries=8, assoc=8)

@@ -1,0 +1,75 @@
+"""Scalar-vs-vectorized replay differential.
+
+``REPRO_SCALAR_REPLAY=1`` forces the per-element reference path through the
+remote write queue, the GPS-TLB walk, and the routing fan-out; the default
+path runs the batched numpy kernels. The two are one model, so for every
+program they must produce byte-identical result payloads and identical
+write-queue / GPS-TLB / SM-coalescer counters.
+
+The corpus seeds replay the committed past-bug shapes; the fresh fuzz seeds
+keep the comparison honest on programs nobody hand-picked.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.paradigms import PARADIGMS
+from repro.system.analysis import clear_analysis_cache
+from repro.trace.io import load_program
+from repro.verify import canonical_payload, generate_program
+from repro.verify.differential import _scoped_env
+
+CORPUS = Path(__file__).parent / "corpus"
+CORPUS_SEEDS = (0, 4, 5, 6, 7, 12, 13, 18, 21, 25)
+FRESH_SEEDS = (31, 47, 62, 88, 104)
+NUM_GPUS, SCALE, ITERATIONS = 4, 0.25, 2
+
+
+def _run(program, paradigm: str, scalar: bool):
+    config = repro.default_system(NUM_GPUS)
+    clear_analysis_cache()  # memoised streams must not leak across paths
+    with _scoped_env(REPRO_SCALAR_REPLAY="1" if scalar else None):
+        executor = PARADIGMS[paradigm](program, config)
+        result = executor.run()
+    return result
+
+
+def _counter_family(result, family: str) -> dict:
+    return {k: v for k, v in result.counters.items() if family in k}
+
+
+def _assert_paths_identical(program, paradigm: str = "gps") -> None:
+    vec = _run(program, paradigm, scalar=False)
+    ref = _run(program, paradigm, scalar=True)
+    assert canonical_payload(vec) == canonical_payload(ref)
+    assert vec.write_queue_stats == ref.write_queue_stats
+    assert vec.gps_tlb_stats == ref.gps_tlb_stats
+    for family in ("write_queue", "gps_tlb", "sm_coalescer"):
+        assert _counter_family(vec, family) == _counter_family(ref, family), family
+
+
+class TestCorpusSeeds:
+    @pytest.mark.parametrize("seed", CORPUS_SEEDS)
+    def test_byte_identical_payloads_and_counters(self, seed):
+        program = load_program(CORPUS / f"corpus-s{seed}.json")
+        _assert_paths_identical(program)
+
+
+class TestFreshFuzzSeeds:
+    @pytest.mark.parametrize("seed", FRESH_SEEDS)
+    def test_byte_identical_payloads_and_counters(self, seed):
+        program = generate_program(seed, NUM_GPUS, scale=SCALE, iterations=ITERATIONS)
+        _assert_paths_identical(program)
+
+
+class TestParadigmVariants:
+    @pytest.mark.parametrize("paradigm", ("gps_nosub", "gps_nocoalesce"))
+    def test_ablations_agree_too(self, paradigm):
+        # gps_nosub keeps all-to-all fan-out hot for the whole run;
+        # gps_nocoalesce forces every store down the atomic bypass.
+        program = load_program(CORPUS / "corpus-s4.json")
+        _assert_paths_identical(program, paradigm)
