@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Static-analysis throughput benchmark: cold analysis vs cache hits.
+
+Analyzes every registered workload (built at pinned parameters) twice:
+cold (``use_cache=False``, the full vector-clock + footprint pipeline) and
+warm (a fingerprint-keyed cache hit). Reports ms per cold analysis, µs per
+warm lookup, and the warm/cold speedup ratio. Raw rates are
+machine-dependent; the committed ``BENCH_analysis.json`` pins the *ratios*
+and ``--check`` fails on >25% regression — a cache that stops hitting (or
+a fingerprint that became as slow as the analysis it guards) shows up as a
+collapsed ratio on any machine.
+
+Usage:
+    python benchmarks/bench_analysis.py --out BENCH_analysis.json
+    python benchmarks/bench_analysis.py --check BENCH_analysis.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from bench_common import check_speedups, load_report, measure, write_report
+
+#: Pinned build parameters — match tests/analysis/baselines/regen.py.
+NUM_GPUS = 4
+SCALE = 0.25
+ITERATIONS = 2
+
+
+def bench_workload(name: str) -> dict:
+    from repro.analysis import analyze_program, clear_cache
+    from repro.workloads.registry import WORKLOADS
+
+    program = WORKLOADS[name].build(NUM_GPUS, scale=SCALE, iterations=ITERATIONS)
+
+    def cold():
+        clear_cache()
+        analyze_program(program)
+
+    reps, secs = measure(cold)
+    ns_cold = secs / reps * 1e9
+
+    clear_cache()
+    diagnostics = analyze_program(program)  # prime the cache once
+
+    def warm():
+        analyze_program(program)
+
+    reps, secs = measure(warm)
+    ns_warm = secs / reps * 1e9
+
+    return {
+        "structure": "analysis",
+        "op": name,
+        "ms_cold": round(ns_cold / 1e6, 3),
+        "us_cached": round(ns_warm / 1e3, 2),
+        "diagnostics": len(diagnostics),
+        "speedup": round(ns_cold / ns_warm, 2) if ns_warm else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    from repro.workloads.registry import WORKLOADS
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write BENCH_analysis.json here")
+    parser.add_argument("--check", default=None,
+                        help="compare against a committed BENCH_analysis.json; "
+                             "exit 1 on >25%% speedup regression")
+    args = parser.parse_args(argv)
+
+    results = [bench_workload(name) for name in sorted(WORKLOADS)]
+    for row in results:
+        print(f"{row['op']:>12}  {row['ms_cold']:>8.3f} ms cold  "
+              f"{row['us_cached']:>7.2f} us cached  "
+              f"{row['speedup']:>8.1f}x  ({row['diagnostics']} diag)")
+
+    ratios = [row["speedup"] for row in results]
+    summary = {
+        "rows": len(results),
+        "min_speedup": min(ratios),
+        "max_speedup": max(ratios),
+    }
+    config = {"num_gpus": NUM_GPUS, "scale": SCALE, "iterations": ITERATIONS}
+    if args.out:
+        write_report(args.out, "analysis", results, summary, config)
+    if args.check:
+        baseline = load_report(args.check)
+        print(f"checking against {args.check} (model {baseline['model_version']}):")
+        regressions = check_speedups(baseline, results, ("structure", "op"),
+                                     tolerance=0.25)
+        if regressions:
+            print(f"FAIL: {regressions} row(s) regressed >25% vs baseline")
+            return 1
+        print("PASS: no speedup regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

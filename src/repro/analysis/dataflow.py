@@ -38,6 +38,11 @@ class AccessSite:
     access: AccessRange
     #: For reads: sub-intervals no earlier phase (nor setup) ever wrote.
     uninitialized: tuple[tuple[int, int], ...] = ()
+    #: Global program-order index (position in ``ProgramDataflow.sites``);
+    #: the happens-before engine keys its clocks on it.
+    site_index: int = -1
+    #: Position of the access within its kernel's access tuple.
+    access_index: int = -1
 
     @property
     def is_store(self) -> bool:
@@ -103,9 +108,11 @@ class ProgramDataflow:
             reads: dict[str, list[AccessSite]] = {}
             phase_written: list[AccessSite] = []
             for kernel in phase.kernels:
-                for access in kernel.accesses:
+                for access_index, access in enumerate(kernel.accesses):
                     site = self._make_site(phase_index, phase, kernel.name, kernel.gpu,
-                                           access, written)
+                                           access, written,
+                                           site_index=len(self.sites),
+                                           access_index=access_index)
                     self.sites.append(site)
                     self.used_buffers.add(access.buffer)
                     if site.is_store:
@@ -128,6 +135,9 @@ class ProgramDataflow:
         gpu: int,
         access: AccessRange,
         written: dict[str, IntervalSet],
+        *,
+        site_index: int,
+        access_index: int,
     ) -> AccessSite:
         uninitialized: tuple[tuple[int, int], ...] = ()
         if access.op is not MemOp.WRITE:
@@ -142,6 +152,8 @@ class ProgramDataflow:
             buffer=self.buffers[access.buffer],
             access=access,
             uninitialized=uninitialized,
+            site_index=site_index,
+            access_index=access_index,
         )
 
     def _record_iteration_facts(self, site: AccessSite) -> None:

@@ -1,9 +1,12 @@
 """Diagnostic vocabulary of the static analyzer.
 
 A :class:`Diagnostic` is one finding: a stable rule code (``GPS001``...),
-a severity, a human-readable message, and a structured :class:`Location`
+a severity, a human-readable message, a structured :class:`Location`
 pinpointing where in the trace program the problem sits (phase, kernel,
-GPU, buffer, byte interval). Emitters (:mod:`repro.analysis.emit`) render
+GPU, buffer, byte interval), and — for the memory-model conformance rules
+— a :class:`Witness` carrying the concrete evidence: the two access sites
+involved, the disputed byte/page ranges, and the ordering edge whose
+absence makes the pair race. Emitters (:mod:`repro.analysis.emit`) render
 lists of diagnostics as text, JSON, or SARIF without re-deriving anything.
 """
 
@@ -11,14 +14,18 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .dataflow import AccessSite
 
 
 class Severity(str, enum.Enum):
     """Finding severity, ordered ``INFO < WARNING < ERROR``.
 
     The ``str`` mixin keeps equality with plain strings (``severity ==
-    "warning"``) working for callers of the deprecated
-    :func:`repro.system.validate.lint_program` shim.
+    "warning"``) working, so callers never need to import the enum just to
+    filter a diagnostic list.
     """
 
     INFO = "info"
@@ -75,6 +82,91 @@ PROGRAM_LOCATION = Location()
 
 
 @dataclass(frozen=True, slots=True)
+class SiteRef:
+    """Serializable reference to one access site of the trace program."""
+
+    phase: str
+    phase_index: int
+    kernel: str
+    gpu: int
+    buffer: str
+    op: str
+    scope: str
+    interval: tuple[int, int]
+    #: Index of the access within its kernel's access tuple.
+    access_index: int
+
+    @classmethod
+    def from_site(cls, site: "AccessSite") -> "SiteRef":
+        """Build a reference from a dataflow access site."""
+        return cls(
+            phase=site.phase,
+            phase_index=site.phase_index,
+            kernel=site.kernel,
+            gpu=site.gpu,
+            buffer=site.access.buffer,
+            op=site.access.op.value,
+            scope=site.access.scope.value,
+            interval=site.interval,
+            access_index=site.access_index,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.phase}/{self.kernel}@gpu{self.gpu} "
+            f"{self.scope} {self.op} {self.buffer!r}"
+            f"[{self.interval[0]}, {self.interval[1]})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe form."""
+        return {
+            "phase": self.phase,
+            "phase_index": self.phase_index,
+            "kernel": self.kernel,
+            "gpu": self.gpu,
+            "buffer": self.buffer,
+            "op": self.op,
+            "scope": self.scope,
+            "interval": list(self.interval),
+            "access_index": self.access_index,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Witness:
+    """Concrete evidence backing one conformance finding.
+
+    ``site`` is the access the diagnostic anchors on; ``other`` is the
+    second party for pairwise findings (the racing store, the stale
+    writer) and ``None`` for one-sided findings (uninitialized read,
+    wrong scope). ``intervals`` are the disputed buffer-relative byte
+    ranges — page-rounded for page-granular rules — and ``missing_edge``
+    names the ordering edge whose absence makes the finding real.
+    """
+
+    kind: str
+    site: SiteRef
+    other: "SiteRef | None" = None
+    intervals: tuple[tuple[int, int], ...] = ()
+    page_size: int = 0
+    pages: int = 0
+    missing_edge: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-safe form used by the JSON and SARIF emitters."""
+        return {
+            "kind": self.kind,
+            "site": self.site.to_dict(),
+            "other": self.other.to_dict() if self.other is not None else None,
+            "intervals": [list(pair) for pair in self.intervals],
+            "page_size": self.page_size,
+            "pages": self.pages,
+            "missing_edge": self.missing_edge,
+        }
+
+
+@dataclass(frozen=True, slots=True)
 class Diagnostic:
     """One analyzer finding."""
 
@@ -84,6 +176,8 @@ class Diagnostic:
     #: Kebab-case rule name (``weak-write-write-race``).
     rule: str = ""
     location: Location = field(default=PROGRAM_LOCATION)
+    #: Concrete evidence; ``None`` for hygiene rules and program-level notes.
+    witness: "Witness | None" = None
 
     def __str__(self) -> str:
         text = f"[{self.severity.value}] {self.code}"
@@ -107,6 +201,7 @@ class Diagnostic:
             "gpu": loc.gpu,
             "buffer": loc.buffer,
             "interval": list(loc.interval) if loc.interval is not None else None,
+            "witness": self.witness.to_dict() if self.witness is not None else None,
         }
 
 
@@ -115,3 +210,27 @@ def max_severity(diagnostics: "list[Diagnostic]") -> Severity | None:
     if not diagnostics:
         return None
     return max((d.severity for d in diagnostics), key=lambda s: s.rank)
+
+
+def sort_key(diagnostic: Diagnostic) -> tuple:
+    """Deterministic diagnostic order: location-major, then code.
+
+    Sorts by (phase, kernel, gpu, buffer, interval, code, message) with
+    ``None`` fields first, so program-level findings lead and reports are
+    byte-reproducible regardless of rule evaluation order.
+    """
+    loc = diagnostic.location
+    return (
+        loc.phase or "",
+        loc.kernel or "",
+        loc.gpu if loc.gpu is not None else -1,
+        loc.buffer or "",
+        loc.interval if loc.interval is not None else (-1, -1),
+        diagnostic.code,
+        diagnostic.message,
+    )
+
+
+def sort_diagnostics(diagnostics: "list[Diagnostic]") -> "list[Diagnostic]":
+    """Return diagnostics in the canonical deterministic order."""
+    return sorted(diagnostics, key=sort_key)

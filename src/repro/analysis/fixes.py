@@ -1,0 +1,547 @@
+"""Auto-fix engine: minimal program repairs for fixable diagnostics.
+
+Each fixable rule maps to a builder that turns one diagnostic (and its
+witness) into a :class:`Fix` — a description plus a tuple of declarative
+:class:`Edit` operations over the trace program. ``repro lint --fix``
+drives :func:`fix_program`, which applies one fix per round and re-analyzes
+until no fixable finding remains (a fixed point), so structural edits never
+invalidate the indices later fixes refer to.
+
+The repairs are the paper's own recommendations:
+
+========  ====================================================
+GPS001    split the phase so conflicting stores retire across a barrier
+GPS003    initialize the unwritten gaps in a setup phase
+GPS004    demote the sys-scoped data access to weak scope
+GPS005    promote the flag access to sys scope
+GPS006    touch the pages in the profile iteration (insert a subscription)
+GPS007    split the mixed buffer so atomics and plain stores separate
+GPS101    drop the unused buffer
+GPS103    insert a setup phase initializing every buffer
+========  ====================================================
+
+GPS002/GPS102/GPS104 are advisory and GPS008 needs an intent-level rewrite
+(which wait should yield?), so none of them plans a fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
+from ..trace.records import AccessRange, MemOp, Scope
+from .diagnostics import Diagnostic, Severity
+from .footprints import program_fingerprint
+
+
+@dataclass(frozen=True, slots=True)
+class Edit:
+    """One declarative repair operation over a trace program."""
+
+    kind: str
+    phase_index: int = -1
+    kernel: str = ""
+    access_index: int = -1
+    buffer: str = ""
+    new_buffer: str = ""
+    scope: str = ""
+    gpu: int = -1
+    intervals: tuple[tuple[int, int], ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (SARIF ``fixes`` payload)."""
+        return {
+            "kind": self.kind,
+            "phase_index": self.phase_index,
+            "kernel": self.kernel,
+            "access_index": self.access_index,
+            "buffer": self.buffer,
+            "new_buffer": self.new_buffer,
+            "scope": self.scope,
+            "gpu": self.gpu,
+            "intervals": [list(pair) for pair in self.intervals],
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Fix:
+    """A minimal repair for one diagnostic."""
+
+    code: str
+    description: str
+    edits: tuple[Edit, ...]
+
+    def to_dict(self) -> dict:
+        """JSON-safe form."""
+        return {
+            "code": self.code,
+            "description": self.description,
+            "edits": [edit.to_dict() for edit in self.edits],
+        }
+
+
+# -- planning ------------------------------------------------------------------
+
+
+def _gap_scope(buffer: BufferSpec) -> Scope:
+    return Scope.SYS if buffer.sync else Scope.WEAK
+
+
+def _plan_split_phase(program: TraceProgram, diag: Diagnostic) -> "Fix | None":
+    witness = diag.witness
+    if witness is None:
+        return None
+    return Fix(
+        diag.code,
+        f"split phase {witness.site.phase!r} so the conflicting stores of "
+        f"GPUs {witness.other.gpu if witness.other else '?'} and "
+        f"{witness.site.gpu} retire across a barrier",
+        (Edit(kind="split-phase", phase_index=witness.site.phase_index),),
+    )
+
+
+def _plan_init_gaps(program: TraceProgram, diag: Diagnostic) -> "Fix | None":
+    witness = diag.witness
+    if witness is None or not witness.intervals:
+        return None
+    buffer = program.buffer(witness.site.buffer)
+    return Fix(
+        diag.code,
+        f"initialize {len(witness.intervals)} unwritten gap(s) of "
+        f"{buffer.name!r} in the setup phase",
+        (
+            Edit(
+                kind="init-gaps",
+                phase_index=witness.site.phase_index,
+                buffer=buffer.name,
+                gpu=buffer.home_gpu,
+                intervals=witness.intervals,
+            ),
+        ),
+    )
+
+
+def _plan_set_scope(scope: str, why: str):
+    def plan(program: TraceProgram, diag: Diagnostic) -> "Fix | None":
+        witness = diag.witness
+        if witness is None:
+            return None
+        site = witness.site
+        return Fix(
+            diag.code,
+            f"rewrite the {site.scope} {site.op} of {site.buffer!r} in "
+            f"{site.phase!r}/{site.kernel!r} to {scope} scope ({why})",
+            (
+                Edit(
+                    kind="set-scope",
+                    phase_index=site.phase_index,
+                    kernel=site.kernel,
+                    access_index=site.access_index,
+                    scope=scope,
+                ),
+            ),
+        )
+
+    return plan
+
+
+def _plan_profile_touch(program: TraceProgram, diag: Diagnostic) -> "Fix | None":
+    witness = diag.witness
+    if witness is None or not witness.intervals:
+        return None
+    site = witness.site
+    return Fix(
+        diag.code,
+        f"subscribe GPU {site.gpu} to {witness.pages} page(s) of "
+        f"{site.buffer!r} by touching them in the profile iteration",
+        (
+            Edit(
+                kind="profile-touch",
+                buffer=site.buffer,
+                gpu=site.gpu,
+                intervals=witness.intervals,
+            ),
+        ),
+    )
+
+
+def _free_buffer_name(program: TraceProgram, base: str) -> str:
+    taken = {b.name for b in program.buffers}
+    candidate = f"{base}.plain"
+    while candidate in taken:
+        candidate += "+"
+    return candidate
+
+
+def _plan_split_buffer(program: TraceProgram, diag: Diagnostic) -> "Fix | None":
+    witness = diag.witness
+    if witness is None:
+        return None
+    site = witness.site
+    new_name = _free_buffer_name(program, site.buffer)
+    return Fix(
+        diag.code,
+        f"split {site.buffer!r}: redirect the plain stores of phase "
+        f"{site.phase!r} to a fresh buffer {new_name!r} so atomics keep "
+        "the original to themselves",
+        (
+            Edit(
+                kind="split-buffer",
+                phase_index=site.phase_index,
+                buffer=site.buffer,
+                new_buffer=new_name,
+            ),
+        ),
+    )
+
+
+def _plan_drop_buffer(program: TraceProgram, diag: Diagnostic) -> "Fix | None":
+    name = diag.location.buffer
+    if name is None:
+        return None
+    return Fix(
+        diag.code,
+        f"drop the never-accessed buffer {name!r}",
+        (Edit(kind="drop-buffer", buffer=name),),
+    )
+
+
+def _plan_insert_setup(program: TraceProgram, diag: Diagnostic) -> "Fix | None":
+    return Fix(
+        diag.code,
+        "insert a setup phase initializing every buffer shard-by-shard",
+        (Edit(kind="insert-setup"),),
+    )
+
+
+_FIX_BUILDERS = {
+    "GPS001": _plan_split_phase,
+    "GPS003": _plan_init_gaps,
+    "GPS004": _plan_set_scope("weak", "data buffers belong in the write queue"),
+    "GPS005": _plan_set_scope("sys", "sync flags must bypass GPS"),
+    "GPS006": _plan_profile_touch,
+    "GPS007": _plan_split_buffer,
+    "GPS101": _plan_drop_buffer,
+    "GPS103": _plan_insert_setup,
+}
+
+#: Rule codes the engine can repair.
+FIXABLE_CODES = frozenset(_FIX_BUILDERS)
+
+
+def plan_fix(program: TraceProgram, diagnostic: Diagnostic) -> "Fix | None":
+    """The repair for one diagnostic, or ``None`` if the rule is unfixable."""
+    builder = _FIX_BUILDERS.get(diagnostic.code)
+    if builder is None:
+        return None
+    return builder(program, diagnostic)
+
+
+def plan_fixes(
+    program: TraceProgram,
+    diagnostics: "list[Diagnostic]",
+    *,
+    min_severity: Severity = Severity.WARNING,
+) -> "list[tuple[Diagnostic, Fix]]":
+    """Repairs for every fixable diagnostic at or above ``min_severity``.
+
+    Most-severe first (stable within a severity tier, following the
+    canonical diagnostic order), so :func:`fix_program` repairs errors
+    before cosmetics and the fix log reads in priority order.
+    """
+    plans: list[tuple[Diagnostic, Fix]] = []
+    for diagnostic in diagnostics:
+        if diagnostic.severity.rank < min_severity.rank:
+            continue
+        fix = plan_fix(program, diagnostic)
+        if fix is not None:
+            plans.append((diagnostic, fix))
+    plans.sort(key=lambda pair: -pair[0].severity.rank)
+    return plans
+
+
+# -- application ---------------------------------------------------------------
+
+
+def _apply_set_scope(program: TraceProgram, edit: Edit) -> TraceProgram:
+    scope = Scope(edit.scope)
+
+    def rewrite(phase_index: int, kernel: KernelSpec, access_index: int,
+                access: AccessRange) -> "AccessRange | None":
+        if (phase_index == edit.phase_index
+                and kernel.name == edit.kernel
+                and access_index == edit.access_index
+                and access.scope is not scope):
+            return replace(access, scope=scope)
+        return access
+
+    return program.rewrite_accesses(rewrite)
+
+
+def _conflicts(a: KernelSpec, b: KernelSpec) -> bool:
+    """Whether two kernels issue overlapping weak plain stores."""
+    for left in a.accesses:
+        if left.op is not MemOp.WRITE or left.scope is not Scope.WEAK:
+            continue
+        for right in b.accesses:
+            if right.op is not MemOp.WRITE or right.scope is not Scope.WEAK:
+                continue
+            if left.buffer != right.buffer:
+                continue
+            if max(left.offset, right.offset) < min(left.end, right.end):
+                return True
+    return False
+
+
+def _apply_split_phase(program: TraceProgram, edit: Edit) -> TraceProgram:
+    phase = program.phases[edit.phase_index]
+    groups: list[list[KernelSpec]] = []
+    for kernel in phase.kernels:
+        for group in groups:
+            if not any(_conflicts(kernel, member) for member in group):
+                group.append(kernel)
+                break
+        else:
+            groups.append([kernel])
+    if len(groups) < 2:
+        return program
+    replacement = tuple(
+        Phase(f"{phase.name}.split{index}", tuple(group), phase.iteration)
+        for index, group in enumerate(groups)
+    )
+    return program.splice_phases(edit.phase_index, replacement)
+
+
+def _extend_phase_kernel(
+    phase: Phase,
+    gpu: int,
+    kernel_name: str,
+    accesses: "tuple[AccessRange, ...]",
+) -> Phase:
+    """Phase with ``accesses`` appended to ``gpu``'s kernel (or a new one)."""
+    existing = phase.kernel_on(gpu)
+    if existing is not None:
+        kernels = tuple(
+            replace(k, accesses=k.accesses + accesses) if k is existing else k
+            for k in phase.kernels
+        )
+    else:
+        kernels = phase.kernels + (
+            KernelSpec(kernel_name, gpu, compute_ops=0.0, accesses=accesses),
+        )
+    return replace(phase, kernels=kernels)
+
+
+def _apply_init_gaps(program: TraceProgram, edit: Edit) -> TraceProgram:
+    buffer = program.buffer(edit.buffer)
+    accesses = tuple(
+        AccessRange(buffer.name, start, end - start, MemOp.WRITE,
+                    scope=_gap_scope(buffer))
+        for start, end in edit.intervals
+        if end > start
+    )
+    if not accesses:
+        return program
+    # Writes publish at their phase's barrier, so the gap-filling store must
+    # live in a phase strictly before the reading one.
+    setup_indices = [
+        i for i, p in enumerate(program.phases)
+        if p.iteration == -1 and i < edit.phase_index
+    ]
+    if setup_indices:
+        index = setup_indices[0]
+        patched = _extend_phase_kernel(
+            program.phases[index], edit.gpu, f"fix_init_gpu{edit.gpu}", accesses
+        )
+        return program.splice_phases(index, (patched,))
+    kernel = KernelSpec(
+        f"fix_init_gpu{edit.gpu}", edit.gpu, compute_ops=0.0, accesses=accesses
+    )
+    setup = Phase("setup.fix", (kernel,), iteration=-1)
+    return program.with_phases((setup,) + program.phases)
+
+
+def _apply_profile_touch(program: TraceProgram, edit: Edit) -> TraceProgram:
+    iterations = sorted(
+        {p.iteration for p in program.phases if p.iteration >= 0}
+    )
+    if not iterations:
+        return program
+    profile = iterations[0]
+    indices = [
+        i for i, p in enumerate(program.phases) if p.iteration == profile
+    ]
+    index = indices[-1]
+    accesses = tuple(
+        AccessRange(edit.buffer, start, end - start, MemOp.READ)
+        for start, end in edit.intervals
+        if end > start
+    )
+    if not accesses:
+        return program
+    patched = _extend_phase_kernel(
+        program.phases[index], edit.gpu, f"fix_touch_gpu{edit.gpu}", accesses
+    )
+    return program.splice_phases(index, (patched,))
+
+
+def _apply_split_buffer(program: TraceProgram, edit: Edit) -> TraceProgram:
+    source = program.buffer(edit.buffer)
+    clone = BufferSpec(edit.new_buffer, source.size, source.home_gpu, source.sync)
+
+    def rewrite(phase_index: int, kernel: KernelSpec, access_index: int,
+                access: AccessRange) -> "AccessRange | None":
+        if (phase_index == edit.phase_index
+                and access.buffer == edit.buffer
+                and access.op is MemOp.WRITE):
+            return replace(access, buffer=edit.new_buffer)
+        return access
+
+    redirected = program.with_buffers(program.buffers + (clone,))
+    return redirected.rewrite_accesses(rewrite)
+
+
+def _apply_drop_buffer(program: TraceProgram, edit: Edit) -> TraceProgram:
+    buffers = tuple(b for b in program.buffers if b.name != edit.buffer)
+    if len(buffers) == len(program.buffers):
+        return program
+    return program.with_buffers(buffers)
+
+
+def _align_up(value: int, granule: int = 128) -> int:
+    return -(-value // granule) * granule
+
+
+def _apply_insert_setup(program: TraceProgram, edit: Edit) -> TraceProgram:
+    per_gpu: dict[int, list[AccessRange]] = {g: [] for g in range(program.num_gpus)}
+    for buffer in program.buffers:
+        shard = _align_up(-(-buffer.size // program.num_gpus))
+        for gpu in range(program.num_gpus):
+            start = gpu * shard
+            end = min(buffer.size, start + shard)
+            if start >= end:
+                continue
+            per_gpu[gpu].append(
+                AccessRange(buffer.name, start, end - start, MemOp.WRITE,
+                            scope=_gap_scope(buffer))
+            )
+    kernels = tuple(
+        KernelSpec(f"fix_setup_gpu{gpu}", gpu, compute_ops=0.0,
+                   accesses=tuple(accesses))
+        for gpu, accesses in sorted(per_gpu.items())
+        if accesses
+    )
+    if not kernels:
+        return program
+    setup = Phase("setup.fix", kernels, iteration=-1)
+    return program.with_phases((setup,) + program.phases)
+
+
+_EDIT_APPLIERS = {
+    "set-scope": _apply_set_scope,
+    "split-phase": _apply_split_phase,
+    "init-gaps": _apply_init_gaps,
+    "profile-touch": _apply_profile_touch,
+    "split-buffer": _apply_split_buffer,
+    "drop-buffer": _apply_drop_buffer,
+    "insert-setup": _apply_insert_setup,
+}
+
+
+def apply_fix(program: TraceProgram, fix: Fix) -> TraceProgram:
+    """Apply every edit of ``fix``, returning the rewritten program."""
+    for edit in fix.edits:
+        applier = _EDIT_APPLIERS.get(edit.kind)
+        if applier is None:
+            raise ValueError(f"unknown edit kind {edit.kind!r}")
+        program = applier(program, edit)
+    return program
+
+
+# -- the fixed-point driver ----------------------------------------------------
+
+
+@dataclass(slots=True)
+class AppliedFix:
+    """One fix the driver applied, with the diagnostic that caused it."""
+
+    diagnostic: Diagnostic
+    fix: Fix
+
+
+@dataclass(slots=True)
+class FixReport:
+    """Outcome of :func:`fix_program`."""
+
+    program: TraceProgram
+    original: TraceProgram
+    applied: "list[AppliedFix]"
+    remaining: "list[Diagnostic]"
+    rounds: int
+    converged: bool
+
+    @property
+    def changed(self) -> bool:
+        """Whether any repair was applied."""
+        return bool(self.applied)
+
+
+def fix_program(
+    program: TraceProgram,
+    *,
+    page_size: "int | None" = None,
+    min_severity: Severity = Severity.WARNING,
+    max_rounds: int = 32,
+) -> FixReport:
+    """Repair ``program`` to a fixed point.
+
+    One fix per round: re-analysis after each application keeps every
+    later plan's phase/access indices valid and lets repairs compose
+    (inserting a setup phase, say, clears most read-before-write findings
+    before they are ever planned). Already-clean programs come back as the
+    *same object*, so callers can rely on byte-identical behavior.
+
+    ``min_severity`` bounds what gets repaired (default: warnings and
+    errors; pass ``Severity.INFO`` to also split atomic/plain buffers).
+    A fingerprint history guards against oscillating repairs.
+    """
+    from .engine import DEFAULT_PAGE_SIZE, analyze_program
+
+    if page_size is None:
+        page_size = DEFAULT_PAGE_SIZE
+    current = program
+    applied: list[AppliedFix] = []
+    seen = {program_fingerprint(current, page_size)}
+    rounds = 0
+    converged = False
+    diagnostics: list[Diagnostic] = []
+    while rounds < max_rounds:
+        rounds += 1
+        diagnostics = analyze_program(current, page_size=page_size)
+        plans = plan_fixes(current, diagnostics, min_severity=min_severity)
+        if not plans:
+            converged = True
+            break
+        diagnostic, fix = plans[0]
+        repaired = apply_fix(current, fix)
+        fingerprint = program_fingerprint(repaired, page_size)
+        if fingerprint in seen:
+            diagnostics = analyze_program(repaired, page_size=page_size)
+            current = repaired
+            break
+        seen.add(fingerprint)
+        applied.append(AppliedFix(diagnostic, fix))
+        current = repaired
+    else:
+        diagnostics = analyze_program(current, page_size=page_size)
+    remaining = [
+        d for d in diagnostics if d.severity.rank >= min_severity.rank
+    ]
+    return FixReport(
+        program=current,
+        original=program,
+        applied=applied,
+        remaining=remaining,
+        rounds=rounds,
+        converged=converged,
+    )

@@ -1,0 +1,278 @@
+"""Barrier-aware vector-clock happens-before engine.
+
+The old race rules treated every pair of same-phase accesses on different
+GPUs as concurrent. That over-approximates: the paper's memory model gives
+sys-scoped accesses release/acquire semantics (§2.3, §5.3) — a sys-scoped
+store to a sync flag drains the write queue, and a sys-scoped load that
+observes it orders everything before the store ahead of everything after
+the load. Programs that hand off a buffer mid-phase through a flag
+handshake are therefore race-free, and this engine proves it.
+
+The model:
+
+* **Barriers.** Phases retire in order; every access of phase *i* happens
+  before every access of phase *i+1*. Cross-phase queries never consult
+  clocks.
+* **Program order.** Within one phase each GPU runs exactly one kernel
+  (enforced by :class:`repro.trace.program.Phase`), and that kernel's
+  access tuple is its program order.
+* **Sync edges.** Within a phase, a sys-scoped store to a sync buffer
+  (release) is ordered before any overlapping sys-scoped load of the same
+  buffer by another GPU (acquire). Atomic/atomic flag pairs get no edge:
+  RMW accumulation on a shared flag is its own well-defined idiom and
+  implies no handoff direction.
+
+Per-phase vector clocks are computed by one topological pass; an access's
+clock holds, per GPU, how many of that GPU's in-phase accesses are known
+to happen before (or at) it. Two same-phase accesses are *ordered* iff the
+later one's clock covers the earlier one's position.
+
+A cyclic handshake (GPU 0 waits on a flag GPU 1 only raises after waiting
+on GPU 0's flag) can never complete: the cycle is reported through
+:attr:`HappensBefore.cycles` (rule GPS008) and its sync edges are dropped
+so the remaining analysis stays conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.records import MemOp, Scope
+from .dataflow import AccessSite, ProgramDataflow
+
+
+@dataclass(frozen=True, slots=True)
+class SyncCycle:
+    """A cyclic intra-phase flag handshake — an unserviceable wait."""
+
+    phase_index: int
+    phase: str
+    #: Participating access sites, in program order.
+    sites: tuple[AccessSite, ...]
+
+    def describe(self) -> str:
+        """Human-readable cycle walk (``kernel@gpuN[buffer]`` hops)."""
+        hops = " -> ".join(
+            f"{s.kernel}@gpu{s.gpu}[{s.access.buffer}]" for s in self.sites
+        )
+        return f"{hops} -> (back to start)"
+
+
+def _is_release(site: AccessSite) -> bool:
+    return site.buffer.sync and site.access.scope is Scope.SYS and site.is_store
+
+
+def _is_acquire(site: AccessSite) -> bool:
+    return site.buffer.sync and site.access.scope is Scope.SYS and site.is_read
+
+
+class HappensBefore:
+    """Vector-clock happens-before relation over one program's sites."""
+
+    def __init__(self, dataflow: ProgramDataflow) -> None:
+        self.dataflow = dataflow
+        #: site_index -> 1-based position within its (phase, gpu) kernel.
+        self._pos: dict[int, int] = {}
+        #: site_index -> {gpu: covered in-phase positions of that gpu}.
+        self._clock: dict[int, dict[int, int]] = {}
+        #: Cyclic handshakes found, in phase order.
+        self.cycles: list[SyncCycle] = []
+        #: Whether any usable (acyclic) sync edge exists anywhere.
+        self.has_sync_edges = False
+
+        by_phase: dict[int, list[AccessSite]] = {}
+        for site in dataflow.sites:
+            by_phase.setdefault(site.phase_index, []).append(site)
+        for phase_index in sorted(by_phase):
+            self._build_phase(phase_index, by_phase[phase_index])
+
+    # -- construction ---------------------------------------------------------
+
+    def _sync_edges(self, sites: list[AccessSite]) -> list[tuple[int, int]]:
+        """Release->acquire edges as (site_index, site_index) pairs."""
+        releases = [s for s in sites if _is_release(s)]
+        acquires = [s for s in sites if _is_acquire(s)]
+        edges: list[tuple[int, int]] = []
+        for rel in releases:
+            for acq in acquires:
+                if rel.gpu == acq.gpu:
+                    continue
+                if rel.access.buffer != acq.access.buffer:
+                    continue
+                if (rel.access.op is MemOp.ATOMIC
+                        and acq.access.op is MemOp.ATOMIC):
+                    continue
+                lo = max(rel.access.offset, acq.access.offset)
+                hi = min(rel.access.end, acq.access.end)
+                if lo < hi:
+                    edges.append((rel.site_index, acq.site_index))
+        return edges
+
+    def _build_phase(self, phase_index: int, sites: list[AccessSite]) -> None:
+        # Program-order positions: 1-based per (gpu) within the phase.
+        counts: dict[int, int] = {}
+        for site in sites:
+            counts[site.gpu] = counts.get(site.gpu, 0) + 1
+            self._pos[site.site_index] = counts[site.gpu]
+
+        sync_edges = self._sync_edges(sites)
+        if not sync_edges:
+            # Fast path: clocks degenerate to program order; ordered() only
+            # consults them through _covered(), which falls back to _pos.
+            for site in sites:
+                self._clock[site.site_index] = {site.gpu: self._pos[site.site_index]}
+            return
+
+        preds: dict[int, list[int]] = {s.site_index: [] for s in sites}
+        succs: dict[int, list[int]] = {s.site_index: [] for s in sites}
+        by_index = {s.site_index: s for s in sites}
+        prev_on_gpu: dict[int, int] = {}
+        for site in sites:
+            before = prev_on_gpu.get(site.gpu)
+            if before is not None:
+                preds[site.site_index].append(before)
+                succs[before].append(site.site_index)
+            prev_on_gpu[site.gpu] = site.site_index
+        for src, dst in sync_edges:
+            preds[dst].append(src)
+            succs[src].append(dst)
+
+        cyclic = self._find_cycles(phase_index, sites, succs)
+        if cyclic:
+            # Drop sync edges inside a strongly connected component; program
+            # order alone is acyclic, so what remains is a DAG.
+            for src, dst in sync_edges:
+                if src in cyclic and dst in cyclic \
+                        and cyclic[src] == cyclic[dst]:
+                    preds[dst].remove(src)
+                    succs[src].remove(dst)
+
+        self.has_sync_edges = True
+        # Kahn topological pass, deterministic by site index.
+        indegree = {idx: len(pred) for idx, pred in preds.items()}
+        ready = sorted(idx for idx, deg in indegree.items() if deg == 0)
+        order: list[int] = []
+        while ready:
+            idx = ready.pop(0)
+            order.append(idx)
+            fresh = []
+            for nxt in succs[idx]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    fresh.append(nxt)
+            if fresh:
+                ready = sorted(ready + fresh)
+        for idx in order:
+            site = by_index[idx]
+            clock: dict[int, int] = {}
+            for pred in preds[idx]:
+                for gpu, upto in self._clock[pred].items():
+                    if clock.get(gpu, 0) < upto:
+                        clock[gpu] = upto
+            clock[site.gpu] = self._pos[idx]
+            self._clock[idx] = clock
+
+    def _find_cycles(
+        self,
+        phase_index: int,
+        sites: list[AccessSite],
+        succs: dict[int, list[int]],
+    ) -> dict[int, int]:
+        """Map site_index -> SCC id for members of non-trivial SCCs.
+
+        Iterative Tarjan over the per-phase graph; records each non-trivial
+        strongly connected component as a :class:`SyncCycle`.
+        """
+        index_of: dict[int, int] = {}
+        low: dict[int, int] = {}
+        on_stack: set[int] = set()
+        stack: list[int] = []
+        counter = 0
+        scc_of: dict[int, int] = {}
+        scc_id = 0
+        by_index = {s.site_index: s for s in sites}
+
+        for root in sorted(succs):
+            if root in index_of:
+                continue
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                node, child = work[-1]
+                if child == 0:
+                    index_of[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                advanced = False
+                children = succs[node]
+                while child < len(children):
+                    nxt = children[child]
+                    child += 1
+                    if nxt not in index_of:
+                        work[-1] = (node, child)
+                        work.append((nxt, 0))
+                        advanced = True
+                        break
+                    if nxt in on_stack and low[node] > index_of[nxt]:
+                        low[node] = index_of[nxt]
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    if low[parent] > low[node]:
+                        low[parent] = low[node]
+                if low[node] == index_of[node]:
+                    component: list[int] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        for member in component:
+                            scc_of[member] = scc_id
+                        scc_id += 1
+                        members = tuple(
+                            by_index[i] for i in sorted(component)
+                        )
+                        self.cycles.append(
+                            SyncCycle(phase_index, members[0].phase, members)
+                        )
+        self.cycles.sort(key=lambda c: (c.phase_index, c.sites[0].site_index))
+        return scc_of
+
+    # -- queries --------------------------------------------------------------
+
+    def _covered(self, observer: int, gpu: int) -> int:
+        """How many in-phase accesses of ``gpu`` happen before ``observer``."""
+        return self._clock[observer].get(gpu, 0)
+
+    def ordered(self, a: AccessSite, b: AccessSite) -> bool:
+        """Whether ``a`` happens before ``b``."""
+        if a.site_index == b.site_index:
+            return False
+        if a.phase_index != b.phase_index:
+            return a.phase_index < b.phase_index
+        if a.gpu == b.gpu:
+            return self._pos[a.site_index] < self._pos[b.site_index]
+        return self._covered(b.site_index, a.gpu) >= self._pos[a.site_index]
+
+    def concurrent(self, a: AccessSite, b: AccessSite) -> bool:
+        """Whether neither access is ordered before the other."""
+        return (
+            a.site_index != b.site_index
+            and not self.ordered(a, b)
+            and not self.ordered(b, a)
+        )
+
+    def missing_edge(self, a: AccessSite, b: AccessSite) -> str:
+        """Describe the ordering edge whose absence makes ``a``/``b`` race."""
+        first, second = (a, b) if a.site_index <= b.site_index else (b, a)
+        return (
+            f"no sys-scoped flag handshake orders "
+            f"{first.kernel!r}@gpu{first.gpu} and "
+            f"{second.kernel!r}@gpu{second.gpu} within phase "
+            f"{first.phase!r}; the barrier only publishes at phase end"
+        )

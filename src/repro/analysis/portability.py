@@ -1,0 +1,208 @@
+"""Paradigm-portability matrix: which paradigms is this program correct under?
+
+The same trace program means different things under different memory
+paradigms. A stale-read hazard (GPS006) only bites paradigms that run
+GPS's subscription tracking; a weak flag store (GPS005) deadlocks the
+replicated-at-barrier family but merely loses performance under a
+directly-shared paradigm whose loads go to the single coherent copy. This
+pass folds the diagnostic list into a per-paradigm verdict with reasons,
+and :func:`blocking_diagnostics` gives the runner its pre-simulation gate:
+a program is refused only for paradigms where a witness actually applies,
+instead of globally.
+
+The paradigm families (kept as literals so importing the analyzer never
+drags in the numpy-heavy paradigm executors; a registry test pins them
+against :data:`repro.paradigms.registry.PARADIGMS`):
+
+* **replicated-at-barrier** — ``gps``, ``gps_nosub``, ``gps_nocoalesce``,
+  ``memcpy``: stores land in local replicas and publish at phase barriers.
+* **directly-shared** — ``um``, ``um_hints``, ``rdl``, ``infinite``:
+  loads and stores go to one shared copy (pages may migrate).
+* **subscription-tracking** — ``gps``, ``gps_nocoalesce``: the profile
+  iteration decides which pages stay subscribed (``gps_nosub`` subscribes
+  everything, so stale-read hazards cannot bite it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.program import TraceProgram
+from .diagnostics import Diagnostic, Severity
+
+#: Verdict levels, from best to worst.
+SAFE = "safe"
+HAZARD = "hazard"
+UNSAFE = "unsafe"
+
+#: Every paradigm the runner can execute (mirrors paradigms.registry).
+ALL_PARADIGMS = (
+    "um", "um_hints", "rdl", "memcpy", "gps", "infinite",
+    "gps_nosub", "gps_nocoalesce",
+)
+
+_REPLICATED = frozenset({"gps", "gps_nosub", "gps_nocoalesce", "memcpy"})
+_DIRECT = frozenset({"um", "um_hints", "rdl", "infinite"})
+_TRACKING = frozenset({"gps", "gps_nocoalesce"})
+_ALL = frozenset(ALL_PARADIGMS)
+
+
+def _impact(unsafe: frozenset, hazard: frozenset) -> "dict[str, str]":
+    table = {}
+    for paradigm in ALL_PARADIGMS:
+        if paradigm in unsafe:
+            table[paradigm] = UNSAFE
+        elif paradigm in hazard:
+            table[paradigm] = HAZARD
+    return table
+
+
+_NONE: frozenset = frozenset()
+
+#: rule code -> {paradigm: verdict} for paradigms the rule affects at all.
+RULE_IMPACT: "dict[str, dict[str, str]]" = {
+    # Undefined merge order corrupts data under every paradigm (under the
+    # directly-shared family it is a plain data race).
+    "GPS001": _impact(_ALL, _NONE),
+    # Benign under replication (readers see the pre-phase replica); a real
+    # rereadable race only where loads observe in-flight remote stores.
+    "GPS002": _impact(_NONE, _DIRECT),
+    # Uninitialized reads are wrong everywhere.
+    "GPS003": _impact(_ALL, _NONE),
+    # Wrong-scope data accesses are a performance bug, never corruption.
+    "GPS004": _impact(_NONE, _ALL),
+    # A weak flag store never becomes visible mid-phase under replication
+    # (spin-wait deadlock); directly-shared paradigms have one copy, so the
+    # flag eventually lands — suspicious but survivable.
+    "GPS005": _impact(_REPLICATED, _DIRECT),
+    # Stale replicas need subscription tracking to exist.
+    "GPS006": _impact(_TRACKING, _NONE),
+    # Dropped atomic updates are possible wherever the plain store races.
+    "GPS007": _impact(_NONE, _ALL),
+    # A cyclic handshake hangs no matter who holds the pages.
+    "GPS008": _impact(_ALL, _NONE),
+}
+
+
+def rule_impact(code: str, severity: "Severity | None" = None) -> "dict[str, str]":
+    """Per-paradigm impact of one rule code.
+
+    Unknown *error* codes conservatively map to unsafe-everywhere — a new
+    rule must opt in to being portable, not accidentally pass the gate.
+    """
+    table = RULE_IMPACT.get(code)
+    if table is not None:
+        return table
+    if severity is Severity.ERROR:
+        return _impact(_ALL, _NONE)
+    return {}
+
+
+@dataclass(frozen=True, slots=True)
+class ParadigmVerdict:
+    """One paradigm's row of the portability matrix."""
+
+    paradigm: str
+    verdict: str
+    #: (code, impact) pairs that produced the verdict, in diagnostic order.
+    reasons: tuple[tuple[str, str], ...]
+
+    def to_dict(self) -> dict:
+        """JSON-safe form."""
+        return {
+            "paradigm": self.paradigm,
+            "verdict": self.verdict,
+            "reasons": [list(pair) for pair in self.reasons],
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class PortabilityReport:
+    """The full matrix for one program."""
+
+    program: str
+    verdicts: tuple[ParadigmVerdict, ...]
+
+    def verdict(self, paradigm: str) -> str:
+        """Verdict for one paradigm (unknown paradigms are ``safe``)."""
+        for row in self.verdicts:
+            if row.paradigm == paradigm:
+                return row.verdict
+        return SAFE
+
+    def safe_paradigms(self) -> "tuple[str, ...]":
+        """Paradigms with no findings against them at all."""
+        return tuple(r.paradigm for r in self.verdicts if r.verdict == SAFE)
+
+    def unsafe_paradigms(self) -> "tuple[str, ...]":
+        """Paradigms the program must not run under."""
+        return tuple(r.paradigm for r in self.verdicts if r.verdict == UNSAFE)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form."""
+        return {
+            "program": self.program,
+            "verdicts": [row.to_dict() for row in self.verdicts],
+        }
+
+
+def portability_report(
+    program: TraceProgram, diagnostics: "list[Diagnostic]"
+) -> PortabilityReport:
+    """Fold diagnostics into the per-paradigm portability matrix.
+
+    Only error-severity findings can make a paradigm *unsafe*: an info
+    finding whose impact table says "unsafe" (there are none today, but a
+    custom rule could) still documents itself as a hazard — severity is
+    the author's statement of confidence, and the gate must not outvote it.
+    """
+    rows: list[ParadigmVerdict] = []
+    for paradigm in ALL_PARADIGMS:
+        worst = SAFE
+        reasons: list[tuple[str, str]] = []
+        seen: set[tuple[str, str]] = set()
+        for diagnostic in diagnostics:
+            impact = rule_impact(diagnostic.code, diagnostic.severity).get(paradigm)
+            if impact is None:
+                continue
+            if impact == UNSAFE and diagnostic.severity is not Severity.ERROR:
+                impact = HAZARD
+            key = (diagnostic.code, impact)
+            if key not in seen:
+                seen.add(key)
+                reasons.append(key)
+            if impact == UNSAFE:
+                worst = UNSAFE
+            elif impact == HAZARD and worst == SAFE:
+                worst = HAZARD
+        rows.append(ParadigmVerdict(paradigm, worst, tuple(reasons)))
+    return PortabilityReport(program.name, tuple(rows))
+
+
+def blocking_diagnostics(
+    diagnostics: "list[Diagnostic]", paradigm: "str | None"
+) -> "list[Diagnostic]":
+    """The findings that forbid running under ``paradigm``.
+
+    With ``paradigm=None`` (the legacy global gate) every error-severity
+    finding blocks. With a concrete paradigm, only errors whose witness
+    applies to that paradigm block — a stale-read hazard does not stop a
+    ``memcpy`` run that replicates everything every phase.
+    """
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if paradigm is None:
+        return errors
+    return [
+        d for d in errors
+        if rule_impact(d.code, d.severity).get(paradigm) == UNSAFE
+    ]
+
+
+def render_portability_text(report: PortabilityReport) -> str:
+    """Human-readable matrix: one line per paradigm."""
+    lines = [f"portability of {report.program}:"]
+    for row in report.verdicts:
+        reasons = ", ".join(f"{code}:{impact}" for code, impact in row.reasons)
+        suffix = f" ({reasons})" if reasons else ""
+        lines.append(f"  {row.paradigm:<14} {row.verdict}{suffix}")
+    return "\n".join(lines)

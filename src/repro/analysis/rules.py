@@ -1,4 +1,4 @@
-"""GPS conformance rules over the dataflow facts.
+"""GPS conformance rules over the dataflow and happens-before facts.
 
 Each rule is a function from an :class:`AnalysisContext` to diagnostics,
 registered under a stable code. ``GPS0xx`` codes are memory-model
@@ -9,6 +9,13 @@ registered workload suite — which deliberately uses the data-race-tolerant
 idioms the paper's applications use (atomic scatters over shard writes,
 stale gather reads) — stays clean under ``--strict``, while genuine
 memory-model violations are hard errors.
+
+Since the sanitizer rework, the race rules (GPS001/002/007) consult the
+vector-clock engine (:mod:`repro.analysis.hb`): same-phase accesses that a
+sys-scoped flag handshake orders are *not* racy, and every conformance
+finding carries a :class:`~repro.analysis.diagnostics.Witness` naming the
+two access sites, the disputed byte/page ranges, and the missing ordering
+edge.
 """
 
 from __future__ import annotations
@@ -19,7 +26,9 @@ from typing import Callable, Iterable, Iterator
 from ..trace.program import TraceProgram
 from ..trace.records import MemOp, Scope
 from .dataflow import AccessSite, ProgramDataflow
-from .diagnostics import Diagnostic, Location, Severity
+from .diagnostics import Diagnostic, Location, Severity, SiteRef, Witness
+from .footprints import page_count
+from .hb import HappensBefore
 from .intervals import IntervalSet, page_round, sweep_overlaps
 
 
@@ -30,6 +39,7 @@ class AnalysisContext:
     program: TraceProgram
     dataflow: ProgramDataflow
     page_size: int
+    hb: HappensBefore
 
 
 RuleCheck = Callable[[AnalysisContext], Iterable[Diagnostic]]
@@ -74,9 +84,37 @@ def _site_location(site: AccessSite, interval: "tuple[int, int] | None" = None) 
     )
 
 
-def _finding(code: str, message: str, location: Location) -> Diagnostic:
+def _finding(
+    code: str,
+    message: str,
+    location: Location,
+    witness: "Witness | None" = None,
+) -> Diagnostic:
     meta = RULES[code]
-    return Diagnostic(meta.severity, code, message, rule=meta.name, location=location)
+    return Diagnostic(
+        meta.severity, code, message, rule=meta.name, location=location,
+        witness=witness,
+    )
+
+
+def _witness(
+    kind: str,
+    site: AccessSite,
+    other: "AccessSite | None",
+    intervals: "tuple[tuple[int, int], ...]",
+    page_size: int,
+    missing_edge: str = "",
+) -> Witness:
+    pages = sum(page_count(start, end, page_size) for start, end in intervals)
+    return Witness(
+        kind=kind,
+        site=SiteRef.from_site(site),
+        other=SiteRef.from_site(other) if other is not None else None,
+        intervals=intervals,
+        page_size=page_size,
+        pages=pages,
+        missing_edge=missing_edge,
+    )
 
 
 # -- GPS0xx: memory-model conformance -----------------------------------------
@@ -94,8 +132,11 @@ def check_weak_write_write_race(ctx: AnalysisContext) -> Iterator[Diagnostic]:
 
     With no intra-phase synchronisation, both replicas publish at the
     barrier and the merge order is undefined — the page ends up with a
-    GPU-dependent mix of both write sets. Atomic-vs-atomic overlap is the
-    well-defined accumulation idiom; atomic-vs-plain is GPS007.
+    GPU-dependent mix of both write sets. A sys-scoped flag handshake that
+    orders the two stores (release before acquire, paper §5.3) drains the
+    write queue in between, so handshake-ordered pairs are skipped.
+    Atomic-vs-atomic overlap is the well-defined accumulation idiom;
+    atomic-vs-plain is GPS007.
     """
     for phase_sites in ctx.dataflow.phase_sites:
         for buffer, stores in sorted(phase_sites.stores.items()):
@@ -110,6 +151,8 @@ def check_weak_write_write_race(ctx: AnalysisContext) -> Iterator[Diagnostic]:
             for a, b, overlap in sweep_overlaps(items):
                 if a.gpu == b.gpu:
                     continue
+                if not ctx.hb.concurrent(a, b):
+                    continue
                 pair = (min(a.gpu, b.gpu), max(a.gpu, b.gpu))
                 if pair in seen:
                     continue
@@ -121,6 +164,10 @@ def check_weak_write_write_race(ctx: AnalysisContext) -> Iterator[Diagnostic]:
                     f"[{overlap[0]}, {overlap[1]}); the replica merge order at "
                     "the barrier is undefined",
                     _site_location(b, overlap),
+                    _witness(
+                        "intra-phase-race", b, a, (overlap,), ctx.page_size,
+                        ctx.hb.missing_edge(a, b),
+                    ),
                 )
 
 
@@ -132,48 +179,54 @@ def check_weak_write_write_race(ctx: AnalysisContext) -> Iterator[Diagnostic]:
     "§2.3, §3",
 )
 def check_weak_write_read_race(ctx: AnalysisContext) -> Iterator[Diagnostic]:
-    """Cross-GPU same-phase store/read overlap.
+    """Cross-GPU same-phase store/read overlap with no ordering edge.
 
     Benign under GPS: loads always hit the local replica, so the reader
     observes the pre-phase value (weak stores become visible at the next
     sys-scoped sync, i.e. the barrier). Reported as info because the same
     trace is a genuine data race under directly-shared paradigms, and
-    because the author may have expected to read the *new* value.
+    because the author may have expected to read the *new* value. Pairs a
+    flag handshake orders are not reported at all — the reader provably
+    observes the published value.
     """
     for phase_sites in ctx.dataflow.phase_sites:
         for buffer, stores in sorted(phase_sites.stores.items()):
             reads = phase_sites.reads.get(buffer, [])
             if not reads:
                 continue
-            store_sets: dict[int, IntervalSet] = {}
-            for store in stores:
-                if store.access.scope is Scope.WEAK:
-                    store_sets.setdefault(store.gpu, IntervalSet()).add(*store.interval)
+            weak_stores = [s for s in stores if s.access.scope is Scope.WEAK]
             pairs: set[tuple[int, int]] = set()
-            first: "tuple[AccessSite, int, tuple[int, int]] | None" = None
+            first: "tuple[AccessSite, AccessSite, tuple[int, int]] | None" = None
             for read in reads:
                 if read.access.op is not MemOp.READ:
                     continue  # atomic RMW overlap is the accumulation idiom
-                for gpu, store_set in sorted(store_sets.items()):
-                    if gpu == read.gpu:
+                for store in weak_stores:
+                    if store.gpu == read.gpu:
                         continue
-                    overlap = store_set.intersection(*read.interval)
-                    if not overlap:
+                    lo = max(read.interval[0], store.interval[0])
+                    hi = min(read.interval[1], store.interval[1])
+                    if lo >= hi:
                         continue
-                    pairs.add((read.gpu, gpu))
+                    if not ctx.hb.concurrent(read, store):
+                        continue
+                    pairs.add((read.gpu, store.gpu))
                     if first is None:
-                        first = (read, gpu, overlap[0])
+                        first = (read, store, (lo, hi))
             if first is not None:
-                read, gpu, overlap_range = first
+                read, store, overlap_range = first
                 yield _finding(
                     "GPS002",
                     f"phase {read.phase!r}: {len(pairs)} reader/writer GPU "
                     f"pair(s) overlap on {buffer!r} (first: GPU {read.gpu} "
                     f"reads [{overlap_range[0]}, {overlap_range[1]}) while "
-                    f"GPU {gpu} stores to it); under GPS the reader sees the "
-                    "pre-phase replica, under directly-shared paradigms this "
-                    "is a race",
+                    f"GPU {store.gpu} stores to it); under GPS the reader sees "
+                    "the pre-phase replica, under directly-shared paradigms "
+                    "this is a race",
                     _site_location(read, overlap_range),
+                    _witness(
+                        "intra-phase-race", read, store, (overlap_range,),
+                        ctx.page_size, ctx.hb.missing_edge(store, read),
+                    ),
                 )
 
 
@@ -185,18 +238,44 @@ def check_weak_write_read_race(ctx: AnalysisContext) -> Iterator[Diagnostic]:
     "§3.2 (Listing 1)",
 )
 def check_read_before_write(ctx: AnalysisContext) -> Iterator[Diagnostic]:
-    """Reads of never-written intervals observe unspecified memory."""
+    """Reads of never-written intervals observe unspecified memory.
+
+    The dataflow frontier only publishes stores at phase barriers; a
+    same-phase store a sys-scoped handshake orders *before* the read also
+    initializes it (the release drains the write queue), so those bytes
+    are subtracted before reporting.
+    """
     for site in ctx.dataflow.sites:
         if not site.is_read or not site.uninitialized:
             continue
-        gap = site.uninitialized[0]
-        total = sum(end - start for start, end in site.uninitialized)
+        gaps = site.uninitialized
+        phase_stores = ctx.dataflow.phase_sites[site.phase_index].stores.get(
+            site.access.buffer, []
+        )
+        ordered_cover = IntervalSet()
+        for store in phase_stores:
+            if store.site_index != site.site_index and ctx.hb.ordered(store, site):
+                ordered_cover.add(*store.interval)
+        if ordered_cover:
+            gaps = tuple(
+                part for start, end in gaps
+                for part in ordered_cover.uncovered(start, end)
+            )
+            if not gaps:
+                continue
+        gap = gaps[0]
+        total = sum(end - start for start, end in gaps)
         yield _finding(
             "GPS003",
             f"{site.phase!r}/{site.kernel!r} (GPU {site.gpu}) reads "
             f"{total} B of {site.access.buffer!r} that no earlier phase wrote, "
             f"first gap [{gap[0]}, {gap[1]})",
             _site_location(site, gap),
+            _witness(
+                "uninitialized-read", site, None, gaps,
+                ctx.page_size,
+                "no earlier phase stores these bytes before the read",
+            ),
         )
 
 
@@ -224,6 +303,10 @@ def check_sys_scope_non_sync(ctx: AnalysisContext) -> Iterator[Diagnostic]:
                 f"{site.access.buffer!r}; strong accesses bypass the write "
                 "queue and belong on sync buffers only",
                 _site_location(site),
+                _witness(
+                    "scope-mismatch", site, None, (site.interval,),
+                    ctx.page_size,
+                ),
             )
 
 
@@ -250,7 +333,26 @@ def check_weak_scope_sync(ctx: AnalysisContext) -> Iterator[Diagnostic]:
                 f"{site.access.buffer!r}; sync flags must be accessed "
                 "sys-scoped and allocated outside GPS",
                 _site_location(site),
+                _witness(
+                    "scope-mismatch", site, None, (site.interval,),
+                    ctx.page_size,
+                ),
             )
+
+
+def _first_other_store(
+    ctx: AnalysisContext, gpu: int, buffer: str, intervals: "list[tuple[int, int]]"
+) -> "AccessSite | None":
+    """First iterative-region store by another GPU into any of ``intervals``."""
+    for other in ctx.dataflow.sites:
+        if other.gpu == gpu or not other.is_store or other.iteration < 0:
+            continue
+        if other.access.buffer != buffer:
+            continue
+        lo, hi = page_round(*other.interval, ctx.page_size)
+        if any(lo < end and start < hi for start, end in intervals):
+            return other
+    return None
 
 
 @rule(
@@ -284,6 +386,7 @@ def check_stale_read_hazard(ctx: AnalysisContext) -> Iterator[Diagnostic]:
         if not hazardous:
             continue
         pages = sum(-(-(e - s) // ctx.page_size) for s, e in hazardous)
+        writer = _first_other_store(ctx, site.gpu, buffer, hazardous)
         yield _finding(
             "GPS006",
             f"{site.phase!r}/{site.kernel!r}: GPU {site.gpu} reads {pages} "
@@ -291,6 +394,12 @@ def check_stale_read_hazard(ctx: AnalysisContext) -> Iterator[Diagnostic]:
             f"(first at [{hazardous[0][0]}, {hazardous[0][1]})); auto-"
             "subscription would have unsubscribed it and the replica is stale",
             _site_location(site, hazardous[0]),
+            _witness(
+                "stale-subscription", site, writer, tuple(hazardous),
+                ctx.page_size,
+                f"GPU {site.gpu} holds no subscription for these pages after "
+                "tracking_stop(); touch them in the profile iteration",
+            ),
         )
 
 
@@ -308,23 +417,28 @@ def check_atomic_plain_mix(ctx: AnalysisContext) -> Iterator[Diagnostic]:
     ALS traces show 0% write-queue hit rates), and a plain store racing an
     atomic accumulation can drop updates. Info severity: the registered
     graph workloads use exactly this idiom deliberately (owner resets its
-    shard while neighbours scatter into it).
+    shard while neighbours scatter into it). Handshake-ordered pairs are
+    not a mix — the plain store provably retires before (or after) the
+    accumulation.
     """
     for phase_sites in ctx.dataflow.phase_sites:
         for buffer, stores in sorted(phase_sites.stores.items()):
             items = [(s.interval[0], s.interval[1], s) for s in stores]
             pairs: set[tuple[int, int]] = set()
-            first: "tuple[AccessSite, tuple[int, int]] | None" = None
+            first: "tuple[AccessSite, AccessSite, tuple[int, int]] | None" = None
             for a, b, overlap in sweep_overlaps(items):
                 ops = {a.access.op, b.access.op}
                 if ops != {MemOp.ATOMIC, MemOp.WRITE}:
                     continue
+                if a.gpu != b.gpu and not ctx.hb.concurrent(a, b):
+                    continue
                 pairs.add((min(a.gpu, b.gpu), max(a.gpu, b.gpu)))
                 if first is None:
                     atomic = a if a.access.op is MemOp.ATOMIC else b
-                    first = (atomic, overlap)
+                    plain = b if atomic is a else a
+                    first = (atomic, plain, overlap)
             if first is not None:
-                atomic, overlap_range = first
+                atomic, plain, overlap_range = first
                 yield _finding(
                     "GPS007",
                     f"phase {atomic.phase!r}: {buffer!r} receives both atomic "
@@ -334,7 +448,45 @@ def check_atomic_plain_mix(ctx: AnalysisContext) -> Iterator[Diagnostic]:
                     f"GPU {atomic.gpu}); atomics forward uncoalesced and "
                     "plain stores can drop concurrent updates",
                     _site_location(atomic, overlap_range),
+                    _witness(
+                        "atomic-plain-mix", atomic, plain, (overlap_range,),
+                        ctx.page_size, ctx.hb.missing_edge(atomic, plain),
+                    ),
                 )
+
+
+@rule(
+    "GPS008",
+    "sync-handshake-cycle",
+    Severity.ERROR,
+    "intra-phase sys-scoped flag handshakes form a cycle",
+    "§5.3",
+)
+def check_sync_cycle(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """Circular flag handshakes can never all complete.
+
+    If GPU 0 waits on a flag GPU 1 only raises after waiting on a flag
+    GPU 0 only raises later, no interleaving satisfies every wait: the
+    phase deadlocks on real hardware. The vector-clock engine finds these
+    as strongly connected components of the intra-phase ordering graph and
+    conservatively ignores the cyclic edges for the race rules.
+    """
+    for cycle in ctx.hb.cycles:
+        head = cycle.sites[0]
+        gpus = sorted({s.gpu for s in cycle.sites})
+        yield _finding(
+            "GPS008",
+            f"phase {head.phase!r}: sys-scoped flag handshakes among GPUs "
+            f"{gpus} form a cycle ({cycle.describe()}); no interleaving "
+            "satisfies every wait and the phase cannot retire",
+            _site_location(head),
+            _witness(
+                "sync-cycle", head, cycle.sites[-1],
+                tuple(s.interval for s in cycle.sites), ctx.page_size,
+                "the handshake graph needs a topological order; break the "
+                "cycle or split the phase",
+            ),
+        )
 
 
 # -- GPS1xx: trace hygiene (carried over from system.validate) ----------------

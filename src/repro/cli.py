@@ -167,15 +167,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint",
         help="statically analyze a trace for memory-model and hygiene issues",
         description=(
-            "Run the repro.analysis static analyzer over a saved trace file, a "
-            "registered workload's generated trace, or (with target 'all') every "
-            "registered workload. Exit code: 2 on error-severity findings, 1 on "
-            "warnings under --strict, 0 otherwise."
+            "Run the repro.analysis static analyzer over saved trace files, "
+            "registered workloads' generated traces, or (with target 'all') every "
+            "registered workload. With --fix, auto-repairable findings are applied "
+            "to a fixed point and the repaired program is re-analyzed (and "
+            "optionally saved with --fix-out). Exit code: 2 on error-severity "
+            "findings, 1 on warnings under --strict, 0 otherwise."
         ),
     )
     lint.add_argument(
         "target",
-        help="trace JSON file, registered workload name, or 'all'",
+        nargs="+",
+        help="trace JSON files, registered workload names, or 'all'",
     )
     lint.add_argument("--gpus", type=int, default=4, help="workload targets only")
     lint.add_argument("--scale", type=float, default=0.5, help="workload targets only")
@@ -203,6 +206,27 @@ def _build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="CODES",
         help="suppress these rule codes/prefixes (comma-separated, repeatable)",
+    )
+    lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply planned auto-fixes to a fixed point, then report the repaired program",
+    )
+    lint.add_argument(
+        "--fix-out",
+        metavar="PATH",
+        help="write the repaired trace program as JSON (single target only; implies --fix)",
+    )
+    lint.add_argument(
+        "--fix-level",
+        choices=("error", "warning", "info"),
+        default="warning",
+        help="minimum severity a finding needs to be auto-fixed (default: warning)",
+    )
+    lint.add_argument(
+        "--portability",
+        action="store_true",
+        help="print the paradigm-portability matrix (text format; JSON/SARIF always embed it)",
     )
 
     serve = sub.add_parser(
@@ -301,6 +325,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-checks",
         action="store_true",
         help="print the oracle check catalogue and exit",
+    )
+    verify.add_argument(
+        "--sanitizer",
+        action="store_true",
+        help=(
+            "run the sanitizer self-validation harness instead: fuzz clean "
+            "programs, inject known defects, and assert the analyzer, "
+            "portability gate, and auto-fix engine catch and repair each one"
+        ),
     )
     return parser
 
@@ -533,45 +566,91 @@ def _cmd_run_trace(args) -> int:
     return 0
 
 
-def _lint_targets(args) -> "list":
-    """Resolve the lint target to ``[(program, diagnostics), ...]``."""
+def _lint_programs(args) -> "list":
+    """Resolve the lint targets to a program list ('all' expands in place)."""
     from pathlib import Path
 
-    from .analysis import analyze_program
     from .trace.io import load_program
 
-    if args.target == "all":
-        programs = [
-            get_workload(name).build(args.gpus, scale=args.scale, iterations=args.iterations)
-            for name in workload_names()
-        ]
-    elif args.target in workload_names() or not Path(args.target).exists():
-        programs = [
-            get_workload(args.target).build(
-                args.gpus, scale=args.scale, iterations=args.iterations
+    programs = []
+    for target in args.target:
+        if target == "all":
+            programs.extend(
+                get_workload(name).build(
+                    args.gpus, scale=args.scale, iterations=args.iterations
+                )
+                for name in workload_names()
             )
-        ]
-    else:
-        programs = [load_program(args.target)]
-    return [
-        (program, analyze_program(program, select=args.select, ignore=args.ignore))
-        for program in programs
-    ]
+        elif target in workload_names() or not Path(target).exists():
+            programs.append(
+                get_workload(target).build(
+                    args.gpus, scale=args.scale, iterations=args.iterations
+                )
+            )
+        else:
+            programs.append(load_program(target))
+    return programs
 
 
 def _cmd_lint(args) -> int:
     from .analysis import (
         Severity,
+        analyze_program,
+        fix_program,
         max_severity,
+        portability_report,
         render_json_dict,
+        render_portability_text,
         render_sarif_runs,
         render_text,
         sarif_run,
     )
 
-    results = _lint_targets(args)
+    fixing = args.fix or args.fix_out is not None
+    programs = _lint_programs(args)
+    if args.fix_out is not None and len(programs) != 1:
+        print("lint: --fix-out requires exactly one target", file=sys.stderr)
+        return 2
+
+    results = []
+    for program in programs:
+        if fixing:
+            report = fix_program(
+                program, min_severity=Severity(args.fix_level)
+            )
+            if report.changed:
+                # Keep stdout machine-readable: the fix log goes to stderr.
+                print(
+                    f"lint: {program.name}: applied {len(report.applied)} fix(es) "
+                    f"in {report.rounds} round(s)"
+                    + ("" if report.converged else " (did not converge)"),
+                    file=sys.stderr,
+                )
+                for applied in report.applied:
+                    print(
+                        f"lint:   {applied.fix.code}: {applied.fix.description}",
+                        file=sys.stderr,
+                    )
+            program = report.program
+        diagnostics = analyze_program(program, select=args.select, ignore=args.ignore)
+        results.append((program, diagnostics))
+
+    if args.fix_out is not None:
+        from .trace.io import save_program
+
+        save_program(results[0][0], args.fix_out)
+        print(f"lint: wrote repaired trace to {args.fix_out}", file=sys.stderr)
+
     if args.format == "text":
-        print("\n".join(render_text(program, diags) for program, diags in results))
+        chunks = []
+        for program, diags in results:
+            chunk = render_text(program, diags)
+            if args.portability:
+                chunk += "\n" + render_portability_text(
+                    portability_report(program, diags)
+                )
+            chunks.append(chunk)
+        print("\n".join(chunks))
     elif args.format == "json":
         import json
 
@@ -718,6 +797,39 @@ def _cmd_verify(args) -> int:
     if args.list_checks:
         rows = [[name, layer, summary] for name, layer, summary in oracle_catalogue()]
         print(format_table(["check", "layer", "invariant"], rows, title="Oracle checks"))
+        return 0
+    if args.sanitizer:
+        from .verify.sanitizer import run_sanitizer
+
+        print(
+            f"verify --sanitizer: {args.cases} fuzz cases "
+            f"(seeds {args.seed}..{args.seed + args.cases - 1}) on {args.gpus} GPUs"
+        )
+        sanitizer_report = run_sanitizer(
+            seed=args.seed,
+            cases=args.cases,
+            num_gpus=args.gpus,
+            scale=args.scale,
+            iterations=args.iterations,
+            link=args.link,
+            progress=lambda message: print(f"  {message}"),
+        )
+        for failure in sanitizer_report.failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        counts = ", ".join(
+            f"{name}={count}" for name, count in sorted(sanitizer_report.mutants.items())
+        )
+        print(
+            f"verify --sanitizer: {sanitizer_report.cases} clean case(s), "
+            f"{sanitizer_report.mutants_checked} mutant(s) [{counts}], "
+            f"{len(sanitizer_report.failures)} failure(s)"
+        )
+        if sanitizer_report.failures:
+            return 1
+        print(
+            "verify --sanitizer: OK — clean programs pass the oracle unfixed, "
+            "every injected defect is flagged, gated, and repaired"
+        )
         return 0
     if args.paradigms.strip() == "all":
         paradigms = tuple(sorted(PARADIGMS))

@@ -39,18 +39,21 @@ def fleet_stats() -> FleetStats:
 def compute_job(job: SimJob) -> SimulationResult:
     """Run one job's simulation, bypassing every cache layer.
 
-    The trace is gated through the static analyzer first: a program with
-    error-severity diagnostics (races, memory-model violations, stale-read
-    hazards) raises :class:`repro.errors.AnalysisError` instead of
-    silently corrupting every figure computed from it. ``REPRO_NO_ANALYZE=1``
-    opts out.
+    The trace is gated through the static analyzer first: a program whose
+    diagnostics mark the job's *paradigm* unsafe (races, memory-model
+    violations, stale-read hazards whose witness applies to it) raises
+    :class:`repro.errors.AnalysisError` instead of silently corrupting
+    every figure computed from it. The gate is per-paradigm — a stale-read
+    hazard blocks ``gps`` but not ``memcpy`` — and the underlying analysis
+    is cached by program fingerprint, so a paradigm sweep analyzes each
+    program once. ``REPRO_NO_ANALYZE=1`` opts out.
     """
     program = get_workload(job.workload).build(
         job.num_gpus, scale=job.scale, iterations=job.iterations
     )
     config = job.resolved_config()
     if not os.environ.get("REPRO_NO_ANALYZE"):
-        check_program(program, page_size=config.page_size)
+        check_program(program, page_size=config.page_size, paradigm=job.paradigm)
     return simulate(program, job.paradigm, config)
 
 

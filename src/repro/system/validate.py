@@ -1,43 +1,19 @@
-"""Deprecated trace-program linter shim.
+"""Removed: the trace-program linter moved to :mod:`repro.analysis`.
 
-Superseded by :mod:`repro.analysis`, the memory-model-aware static
-analyzer. The five historical checks live on there with stable codes and
-structured locations (and one bug fixed: the payload-balance rule no
-longer skips phases containing a zero-payload kernel):
+The deprecated ``lint_program`` shim that lived here for two releases is
+gone. The historical checks survive in the memory-model sanitizer with
+stable codes (``unused-buffer`` -> GPS101, ``idle-gpus`` -> GPS102,
+``no-setup-phase`` -> GPS103, ``store-race`` -> GPS001,
+``payload-imbalance`` -> GPS104); use::
 
-==================  =======  =========================
-old code            new code new rule name
-==================  =======  =========================
-``unused-buffer``   GPS101   ``unused-buffer``
-``idle-gpus``       GPS102   ``idle-gpus``
-``no-setup-phase``  GPS103   ``no-setup-phase``
-``store-race``      GPS001   ``weak-write-write-race``
-``payload-…``       GPS104   ``payload-imbalance``
-==================  =======  =========================
+    from repro.analysis import analyze_program
 
-:func:`lint_program` now delegates to
-:func:`repro.analysis.analyze_program` and returns the analyzer's
-:class:`repro.analysis.Diagnostic` objects (severity compares equal to the
-old plain strings). New code should import from :mod:`repro.analysis`
-directly; this module will be removed in a future release.
+which also provides witnesses, auto-fixes (:func:`repro.analysis.
+fix_program`), and the paradigm-portability matrix.
 """
 
-from __future__ import annotations
-
-import warnings
-
-from ..analysis import Diagnostic, Severity, analyze_program
-from ..trace.program import TraceProgram
-
-__all__ = ["Diagnostic", "Severity", "lint_program"]
-
-
-def lint_program(program: TraceProgram) -> list[Diagnostic]:
-    """Deprecated alias for :func:`repro.analysis.analyze_program`."""
-    warnings.warn(
-        "repro.system.validate.lint_program is deprecated; use "
-        "repro.analysis.analyze_program",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return analyze_program(program)
+raise ImportError(
+    "repro.system.validate was removed; use repro.analysis "
+    "(analyze_program replaces lint_program — the old checks live on as "
+    "rules GPS101/GPS102/GPS103/GPS001/GPS104)"
+)

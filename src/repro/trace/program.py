@@ -10,8 +10,8 @@ stops.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator, Optional
 
 from ..errors import TraceError
 from .records import AccessRange, MemOp
@@ -158,6 +158,83 @@ class TraceProgram:
     def total_compute_ops(self) -> float:
         """Sum of compute across all kernels (sanity metric)."""
         return sum(k.compute_ops for k in self.iter_kernels())
+
+    def with_phases(self, phases: "tuple[Phase, ...]") -> "TraceProgram":
+        """Copy of the program with ``phases`` replaced (re-validated)."""
+        return TraceProgram(
+            name=self.name,
+            num_gpus=self.num_gpus,
+            buffers=self.buffers,
+            phases=phases,
+            metadata=dict(self.metadata),
+        )
+
+    def with_buffers(self, buffers: "tuple[BufferSpec, ...]") -> "TraceProgram":
+        """Copy of the program with ``buffers`` replaced (re-validated)."""
+        return TraceProgram(
+            name=self.name,
+            num_gpus=self.num_gpus,
+            buffers=buffers,
+            phases=self.phases,
+            metadata=dict(self.metadata),
+        )
+
+    def splice_phases(
+        self, index: int, replacement: "tuple[Phase, ...]"
+    ) -> "TraceProgram":
+        """Copy with the phase at ``index`` replaced by ``replacement``.
+
+        The replacement may be empty (drop the phase) or hold several
+        phases (split one phase into a barrier-separated sequence) — the
+        program-repair engine uses both.
+        """
+        if not 0 <= index < len(self.phases):
+            raise TraceError(
+                f"phase index {index} out of range for {len(self.phases)} phases"
+            )
+        phases = self.phases[:index] + replacement + self.phases[index + 1:]
+        return self.with_phases(phases)
+
+    def rewrite_accesses(
+        self,
+        fn: "Callable[[int, KernelSpec, int, AccessRange], Optional[AccessRange]]",
+    ) -> "TraceProgram":
+        """Copy with every access mapped through ``fn``.
+
+        ``fn(phase_index, kernel, access_index, access)`` returns the
+        replacement access (or the access itself / ``None`` to keep it).
+        Untouched phases and kernels are shared, not copied.
+        """
+        new_phases: list[Phase] = []
+        changed_any = False
+        for phase_index, phase in enumerate(self.phases):
+            new_kernels: list[KernelSpec] = []
+            phase_changed = False
+            for kernel in phase.kernels:
+                new_accesses: list[AccessRange] = []
+                kernel_changed = False
+                for access_index, access in enumerate(kernel.accesses):
+                    replacement = fn(phase_index, kernel, access_index, access)
+                    if replacement is None or replacement is access:
+                        new_accesses.append(access)
+                    else:
+                        new_accesses.append(replacement)
+                        kernel_changed = True
+                if kernel_changed:
+                    new_kernels.append(
+                        replace(kernel, accesses=tuple(new_accesses))
+                    )
+                    phase_changed = True
+                else:
+                    new_kernels.append(kernel)
+            if phase_changed:
+                new_phases.append(replace(phase, kernels=tuple(new_kernels)))
+                changed_any = True
+            else:
+                new_phases.append(phase)
+        if not changed_any:
+            return self
+        return self.with_phases(tuple(new_phases))
 
     def shared_buffers(self) -> list[BufferSpec]:
         """Buffers accessed by more than one GPU anywhere in the program."""

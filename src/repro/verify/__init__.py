@@ -46,15 +46,18 @@ from .oracle import (
     check_result,
     oracle_catalogue,
 )
+from .sanitizer import MUTATORS, SanitizerReport, run_sanitizer
 
 __all__ = [
     "ARTIFACT_VERSION",
     "DEFAULT_PARADIGMS",
+    "MUTATORS",
     "ORACLE_CHECKS",
     "PATHS",
     "CaseReport",
     "FuzzSpec",
     "FuzzWorkload",
+    "SanitizerReport",
     "ServiceHandle",
     "VerifyReport",
     "Violation",
@@ -71,6 +74,7 @@ __all__ = [
     "oracle_catalogue",
     "replay_violations",
     "run_differential",
+    "run_sanitizer",
     "shrink_stats",
     "write_artifact",
 ]

@@ -1,0 +1,63 @@
+"""Regenerate the fix-corpus goldens.
+
+Each corpus entry is a fuzz-generated program with one sanitizer mutator's
+defect injected (the ``before``), paired with the output of running
+``fix_program`` at warning severity over it (the ``after``).  The test
+suite re-runs the fixer over every ``before`` and demands byte-identical
+convergence to the committed ``after``.
+
+Run from the repo root after changing the fixer or the mutators:
+
+    PYTHONPATH=src python tests/analysis/fixcorpus/regen.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import DEFAULT_PAGE_SIZE, Severity, fix_program
+from repro.trace.io import program_to_dict
+from repro.trace.program import TraceProgram
+from repro.verify import generate_program
+from repro.verify.sanitizer import MUTATORS
+
+HERE = Path(__file__).parent
+CORPUS_SIZE = 10
+
+
+def corpus_entries():
+    """Yield ``(name, before)`` pairs: mutators cycled over fuzz seeds."""
+    produced = 0
+    seed = 0
+    while produced < CORPUS_SIZE:
+        base = generate_program(seed, num_gpus=4, scale=0.25, iterations=2)
+        name, _code, mutate = MUTATORS[produced % len(MUTATORS)]
+        mutant = mutate(base, DEFAULT_PAGE_SIZE)
+        seed += 1
+        if mutant is None:
+            continue
+        yield f"{name}-s{seed - 1}", mutant
+        produced += 1
+
+
+def dump(program: TraceProgram, path: Path) -> None:
+    payload = json.dumps(program_to_dict(program), indent=2, sort_keys=True)
+    path.write_text(payload + "\n")
+
+
+def main() -> None:
+    for stale in HERE.glob("*.before.json"):
+        stale.unlink()
+    for stale in HERE.glob("*.after.json"):
+        stale.unlink()
+    for name, before in corpus_entries():
+        report = fix_program(before, min_severity=Severity.WARNING)
+        assert report.converged, name
+        dump(before, HERE / f"{name}.before.json")
+        dump(report.program, HERE / f"{name}.after.json")
+        print(f"{name}: {len(report.applied)} fix(es) in {report.rounds} round(s)")
+
+
+if __name__ == "__main__":
+    main()

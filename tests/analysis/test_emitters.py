@@ -43,7 +43,21 @@ def test_json_is_valid_and_structured(broken_program):
     assert set(first) == {
         "severity", "code", "rule", "message",
         "phase", "kernel", "gpu", "buffer", "interval",
+        "witness", "fix",
     }
+    # Every conformance (GPS0xx) finding carries a concrete witness site.
+    for entry in payload["diagnostics"]:
+        if entry["code"].startswith("GPS0"):
+            assert entry["witness"] is not None
+            assert entry["witness"]["site"]["kernel"]
+    # The portability matrix covers every paradigm with a verdict.
+    matrix = payload["portability"]
+    verdicts = {v["paradigm"]: v["verdict"] for v in matrix["verdicts"]}
+    from repro.analysis import ALL_PARADIGMS
+
+    assert set(verdicts) == set(ALL_PARADIGMS)
+    assert set(verdicts.values()) <= {"safe", "hazard", "unsafe"}
+    assert verdicts["gps"] == "unsafe"
 
 
 def test_sarif_levels_and_locations(broken_program):

@@ -1,0 +1,64 @@
+"""Fix-corpus goldens: the repair engine is deterministic and complete.
+
+Ten fuzz-generated programs, each with one injected defect, live under
+``fixcorpus/`` as ``*.before.json``.  The committed ``*.after.json`` files
+pin the fixer's exact output: re-running ``fix_program`` must reproduce
+them byte for byte, and every repaired program must be strict-clean.
+
+Regenerate with ``PYTHONPATH=src python tests/analysis/fixcorpus/regen.py``
+after intentional fixer changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, analyze_program, fix_program
+from repro.trace.io import load_program, program_to_dict
+
+CORPUS = Path(__file__).parent / "fixcorpus"
+NAMES = sorted(p.name[: -len(".before.json")] for p in CORPUS.glob("*.before.json"))
+
+
+def test_corpus_has_ten_entries():
+    assert len(NAMES) == 10
+    for name in NAMES:
+        assert (CORPUS / f"{name}.after.json").exists(), name
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestFixCorpus:
+    def test_before_is_dirty(self, name):
+        before = load_program(CORPUS / f"{name}.before.json")
+        assert any(
+            d.severity.rank >= Severity.WARNING.rank
+            for d in analyze_program(before)
+        ), f"{name}: corpus entry no longer fires anything"
+
+    def test_fixer_reproduces_committed_after(self, name):
+        before = load_program(CORPUS / f"{name}.before.json")
+        report = fix_program(before, min_severity=Severity.WARNING)
+        assert report.converged
+        assert report.changed
+        got = json.dumps(program_to_dict(report.program), indent=2, sort_keys=True)
+        want = (CORPUS / f"{name}.after.json").read_text()
+        assert got + "\n" == want, (
+            f"{name}: fixer output drifted from the committed golden — "
+            "regenerate fixcorpus/ if the change is intentional"
+        )
+
+    def test_after_is_strict_clean(self, name):
+        after = load_program(CORPUS / f"{name}.after.json")
+        assert not [
+            d for d in analyze_program(after)
+            if d.severity.rank >= Severity.WARNING.rank
+        ], f"{name}: repaired program still fires warnings"
+
+    def test_after_is_a_fixed_point(self, name):
+        after = load_program(CORPUS / f"{name}.after.json")
+        report = fix_program(after, min_severity=Severity.WARNING)
+        assert report.program is after
+        assert not report.changed

@@ -1,0 +1,247 @@
+"""Auto-fix engine: every rule/fix pair kills its own diagnostic.
+
+Mutation-style tests: each fixable rule gets a minimal program that fires
+it; the planned fix must exist, apply cleanly, and the re-analyzed program
+must no longer fire that rule. Unfixable rules must plan nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    FIXABLE_CODES,
+    RULES,
+    Severity,
+    analyze_program,
+    apply_fix,
+    fix_program,
+    plan_fix,
+    plan_fixes,
+)
+from repro.trace.program import BufferSpec, Phase
+from repro.trace.records import MemOp, Scope
+
+from .conftest import PAGE, access, kernel, program, setup_phase
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def first(diagnostics, code):
+    found = [d for d in diagnostics if d.code == code]
+    assert found, f"expected {code}, got {sorted(codes(diagnostics))}"
+    return found[0]
+
+
+def fix_kills(p, code):
+    """Plan the fix for ``code``, apply it, assert the rule stops firing."""
+    diagnostics = analyze_program(p)
+    diagnostic = first(diagnostics, code)
+    fix = plan_fix(p, diagnostic)
+    assert fix is not None, f"{code} should be fixable"
+    assert fix.code == code
+    assert fix.description
+    repaired = apply_fix(p, fix)
+    assert repaired is not p
+    assert code not in codes(analyze_program(repaired)), (
+        f"{code} survived its own fix"
+    )
+    return repaired
+
+
+class TestFixableRegistry:
+    def test_fixable_codes(self):
+        assert FIXABLE_CODES == {
+            "GPS001", "GPS003", "GPS004", "GPS005", "GPS006", "GPS007",
+            "GPS101", "GPS103",
+        }
+
+    def test_every_fixable_code_is_a_rule(self):
+        assert FIXABLE_CODES <= set(RULES)
+
+
+class TestRuleFixPairs:
+    def test_gps001_split_phase(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("a", 0, access(offset=0, length=256, op=MemOp.WRITE)),
+                kernel("b", 1, access(offset=128, length=256, op=MemOp.WRITE)),
+            ), iteration=0),
+        ])
+        repaired = fix_kills(p, "GPS001")
+        # The racing phase became two, each a barrier apart.
+        assert len(repaired.phases) == len(p.phases) + 1
+
+    def test_gps003_init_gaps(self):
+        p = program([
+            Phase("setup", (
+                kernel("init", 0, access(offset=0, length=PAGE, op=MemOp.WRITE)),
+            ), iteration=-1),
+            Phase("it0", (
+                kernel("r", 0, access(offset=0, length=2 * PAGE, op=MemOp.READ)),
+            ), iteration=0),
+        ])
+        fix_kills(p, "GPS003")
+
+    def test_gps003_without_any_setup_phase_inserts_one(self):
+        p = program([
+            Phase("it0", (
+                kernel("r", 0, access(offset=0, length=PAGE, op=MemOp.READ)),
+            ), iteration=0),
+        ])
+        repaired = fix_kills(p, "GPS003")
+        assert repaired.phases[0].iteration == -1
+
+    def test_gps004_scope_back_to_weak(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("w", 0, access(length=128, op=MemOp.WRITE,
+                                      scope=Scope.SYS)),
+            ), iteration=0),
+        ])
+        repaired = fix_kills(p, "GPS004")
+        (phase,) = [ph for ph in repaired.phases if ph.name == "it0"]
+        assert phase.kernels[0].accesses[0].scope is Scope.WEAK
+
+    def test_gps005_scope_up_to_sys(self):
+        p = program(
+            [
+                setup_phase(),
+                Phase("it0", (
+                    kernel("w", 0, access("flag", length=64, op=MemOp.WRITE)),
+                ), iteration=0),
+            ],
+            buffers=(("buf", 4 * PAGE), BufferSpec("flag", PAGE, sync=True)),
+        )
+        repaired = fix_kills(p, "GPS005")
+        (phase,) = [ph for ph in repaired.phases if ph.name == "it0"]
+        assert phase.kernels[0].accesses[0].scope is Scope.SYS
+
+    def test_gps006_profile_touch(self):
+        phases = [setup_phase()]
+        for it, offset in ((0, 0), (1, PAGE)):
+            phases.append(
+                Phase(f"it{it}", (
+                    kernel("w", 0, access(offset=0, length=2 * PAGE,
+                                          op=MemOp.WRITE)),
+                    kernel("r", 1, access(offset=offset, length=PAGE,
+                                          op=MemOp.READ)),
+                ), iteration=it)
+            )
+        repaired = fix_kills(program(phases), "GPS006")
+        # The reader touched the page during profiling instead of moving data.
+        touches = [
+            k for ph in repaired.phases if ph.iteration == 0
+            for k in ph.kernels if k.gpu == 1
+        ]
+        assert any(
+            a.op is MemOp.READ and a.offset <= PAGE < a.end
+            for k in touches for a in k.accesses
+        )
+
+    def test_gps007_split_buffer(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("w", 0, access(length=256, op=MemOp.WRITE)),
+                kernel("a", 1, access(length=128, op=MemOp.ATOMIC)),
+            ), iteration=0),
+        ])
+        repaired = fix_kills(p, "GPS007")
+        assert any(b.name.startswith("buf.plain") for b in repaired.buffers)
+
+    def test_gps101_drop_buffer(self):
+        p = program(
+            [setup_phase(), Phase("it0", (
+                kernel("r", 0, access(length=128)),
+            ), iteration=0)],
+            buffers=(("buf", 4 * PAGE), ("ghost", PAGE)),
+        )
+        repaired = fix_kills(p, "GPS101")
+        assert all(b.name != "ghost" for b in repaired.buffers)
+
+    def test_gps103_insert_setup(self):
+        p = program([
+            Phase("it0", (
+                kernel("w", 0, access(length=PAGE, op=MemOp.WRITE)),
+            ), iteration=0),
+        ])
+        repaired = fix_kills(p, "GPS103")
+        assert repaired.phases[0].iteration == -1
+
+    @pytest.mark.parametrize("code", sorted(set(RULES) - FIXABLE_CODES))
+    def test_unfixable_rules_plan_nothing(self, code, broken_program):
+        diagnostics = analyze_program(broken_program)
+        for diagnostic in diagnostics:
+            if diagnostic.code == code:
+                assert plan_fix(broken_program, diagnostic) is None
+
+
+class TestPlanFixes:
+    def test_orders_most_severe_first(self, broken_program):
+        plans = plan_fixes(
+            broken_program, analyze_program(broken_program),
+            min_severity=Severity.INFO,
+        )
+        ranks = [d.severity.rank for d, _ in plans]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_min_severity_filters(self, broken_program):
+        diagnostics = analyze_program(broken_program)
+        errors_only = plan_fixes(
+            broken_program, diagnostics, min_severity=Severity.ERROR
+        )
+        assert all(d.severity is Severity.ERROR for d, _ in errors_only)
+
+
+class TestFixProgram:
+    def test_clean_program_is_identity(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("r", 0, access(length=PAGE, op=MemOp.READ)),
+                kernel("r1", 1, access(offset=PAGE, length=PAGE, op=MemOp.READ)),
+            ), iteration=0),
+        ])
+        report = fix_program(p)
+        assert report.program is p
+        assert not report.changed
+        assert report.converged
+        assert report.rounds == 1
+
+    def test_broken_fixture_converges_without_errors(self, broken_program):
+        report = fix_program(broken_program, min_severity=Severity.WARNING)
+        assert report.converged
+        assert report.changed
+        after = analyze_program(report.program)
+        # GPS008 is the one error the engine cannot repair — the fixture's
+        # deadlock phase has no mechanical rewrite. Everything else clears.
+        errors = {d.code for d in after if d.severity is Severity.ERROR}
+        assert errors == {"GPS008"}
+        assert {d.code for d in report.remaining} == {"GPS008"}
+
+    def test_rounds_bounded(self, broken_program):
+        report = fix_program(broken_program, max_rounds=2)
+        assert report.rounds <= 2
+
+    def test_simulation_matches_for_clean_program(self):
+        """Byte-identical simulation for programs the fixer does not touch."""
+        from repro.config import default_system
+        from repro.system.executor import simulate
+        from repro.verify import canonical_payload
+
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("r", 0, access(length=PAGE, op=MemOp.READ)),
+                kernel("r1", 1, access(offset=PAGE, length=PAGE, op=MemOp.READ)),
+            ), iteration=0),
+        ], name="fixclean")
+        report = fix_program(p)
+        config = default_system(2)
+        assert canonical_payload(simulate(report.program, "gps", config)) == \
+            canonical_payload(simulate(p, "gps", config))

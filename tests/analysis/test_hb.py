@@ -1,0 +1,201 @@
+"""Vector-clock happens-before engine: ordering, sync edges, and cycles."""
+
+from __future__ import annotations
+
+from repro.analysis import build_context
+from repro.trace.program import BufferSpec, Phase
+from repro.trace.records import MemOp, Scope
+
+from .conftest import PAGE, access, kernel, program, setup_phase
+
+
+def ctx_for(phases, **kwargs):
+    return build_context(program(phases, **kwargs))
+
+
+def site(ctx, kernel_name, index=0):
+    found = [s for s in ctx.dataflow.sites if s.kernel == kernel_name]
+    return found[index]
+
+
+def flag_buffers():
+    return (("buf", 4 * PAGE), BufferSpec("flags", PAGE, sync=True))
+
+
+def flag(offset, op, scope=Scope.SYS):
+    return access("flags", offset=offset, length=128, op=op, scope=scope)
+
+
+class TestCrossPhaseOrdering:
+    def test_barrier_orders_earlier_phase_before_later(self):
+        ctx = ctx_for([
+            Phase("p0", (kernel("a", 0, access(op=MemOp.WRITE)),), iteration=0),
+            Phase("p1", (kernel("b", 1, access(op=MemOp.READ)),), iteration=0),
+        ])
+        a, b = site(ctx, "a"), site(ctx, "b")
+        assert ctx.hb.ordered(a, b)
+        assert not ctx.hb.ordered(b, a)
+        assert not ctx.hb.concurrent(a, b)
+
+    def test_program_order_within_kernel(self):
+        ctx = ctx_for([
+            Phase("p0", (
+                kernel("k", 0, access(op=MemOp.WRITE), access(op=MemOp.READ)),
+            ), iteration=0),
+        ])
+        write, read = ctx.dataflow.sites
+        assert ctx.hb.ordered(write, read)
+        assert not ctx.hb.ordered(read, write)
+
+    def test_cross_gpu_same_phase_unordered(self):
+        ctx = ctx_for([
+            Phase("p0", (
+                kernel("a", 0, access(op=MemOp.WRITE)),
+                kernel("b", 1, access(op=MemOp.WRITE)),
+            ), iteration=0),
+        ])
+        a, b = site(ctx, "a"), site(ctx, "b")
+        assert ctx.hb.concurrent(a, b)
+        assert not ctx.hb.ordered(a, b)
+        assert not ctx.hb.ordered(b, a)
+
+
+class TestSyncEdges:
+    def test_sys_flag_handshake_orders_cross_gpu(self):
+        """Release (sys store) -> acquire (sys read) of a flag orders GPUs."""
+        ctx = ctx_for(
+            [
+                setup_phase(),
+                Phase("hs", (
+                    kernel(
+                        "producer", 0,
+                        access(offset=0, length=256, op=MemOp.WRITE),
+                        flag(0, MemOp.WRITE),
+                    ),
+                    kernel(
+                        "consumer", 1,
+                        flag(0, MemOp.READ),
+                        access(offset=0, length=256, op=MemOp.READ),
+                    ),
+                ), iteration=0),
+            ],
+            buffers=flag_buffers(),
+        )
+        assert ctx.hb.has_sync_edges
+        store = site(ctx, "producer", 0)
+        read = site(ctx, "consumer", 1)
+        assert ctx.hb.ordered(store, read)
+        assert not ctx.hb.concurrent(store, read)
+
+    def test_weak_flag_store_creates_no_edge(self):
+        """A weak store to the flag is not a release: no ordering."""
+        ctx = ctx_for(
+            [
+                setup_phase(),
+                Phase("hs", (
+                    kernel(
+                        "producer", 0,
+                        access(offset=0, length=256, op=MemOp.WRITE),
+                        flag(0, MemOp.WRITE, scope=Scope.WEAK),
+                    ),
+                    kernel(
+                        "consumer", 1,
+                        flag(0, MemOp.READ),
+                        access(offset=0, length=256, op=MemOp.READ),
+                    ),
+                ), iteration=0),
+            ],
+            buffers=flag_buffers(),
+        )
+        store = site(ctx, "producer", 0)
+        read = site(ctx, "consumer", 1)
+        assert ctx.hb.concurrent(store, read)
+
+    def test_sys_scope_on_data_buffer_creates_no_edge(self):
+        """Only sync-declared buffers carry release/acquire semantics."""
+        ctx = ctx_for([
+            setup_phase(),
+            Phase("p", (
+                kernel("w", 0, access(offset=0, length=128, op=MemOp.WRITE,
+                                      scope=Scope.SYS)),
+                kernel("r", 1, access(offset=0, length=128, op=MemOp.READ,
+                                      scope=Scope.SYS)),
+            ), iteration=0),
+        ])
+        assert not ctx.hb.has_sync_edges
+
+    def test_missing_edge_names_the_handshake(self):
+        ctx = ctx_for([
+            setup_phase(),
+            Phase("p0", (
+                kernel("a", 0, access(op=MemOp.WRITE)),
+                kernel("b", 1, access(op=MemOp.WRITE)),
+            ), iteration=0),
+        ])
+        edge = ctx.hb.missing_edge(site(ctx, "a"), site(ctx, "b"))
+        assert "sys-scoped flag handshake" in edge
+        assert "barrier only publishes at phase end" in edge
+
+
+class TestCycles:
+    def _deadlock(self):
+        return ctx_for(
+            [
+                setup_phase(),
+                Phase("dead", (
+                    kernel("k0", 0, flag(128, MemOp.READ), flag(0, MemOp.WRITE)),
+                    kernel("k1", 1, flag(0, MemOp.READ), flag(128, MemOp.WRITE)),
+                ), iteration=0),
+            ],
+            buffers=flag_buffers(),
+        )
+
+    def test_circular_wait_detected(self):
+        ctx = self._deadlock()
+        assert len(ctx.hb.cycles) == 1
+        cycle = ctx.hb.cycles[0]
+        assert cycle.phase == "dead"
+        assert {s.gpu for s in cycle.sites} == {0, 1}
+        assert "->" in cycle.describe()
+
+    def test_cycle_members_fall_back_to_concurrent(self):
+        """Intra-cycle sync edges are dropped: members stay unordered."""
+        ctx = self._deadlock()
+        k0_read = site(ctx, "k0", 0)
+        k1_read = site(ctx, "k1", 0)
+        assert ctx.hb.concurrent(k0_read, k1_read)
+
+    def test_acyclic_handshake_has_no_cycles(self):
+        ctx = ctx_for(
+            [
+                setup_phase(),
+                Phase("hs", (
+                    kernel("k0", 0, flag(0, MemOp.WRITE), flag(128, MemOp.READ)),
+                    kernel("k1", 1, flag(0, MemOp.READ), flag(128, MemOp.WRITE)),
+                ), iteration=0),
+            ],
+            buffers=flag_buffers(),
+        )
+        assert ctx.hb.cycles == []
+
+    def test_transitive_ordering_through_chain(self):
+        """g0 releases to g1, g1 releases to g2: g0's store orders before g2."""
+        ctx = ctx_for(
+            [
+                setup_phase(),
+                Phase("chain", (
+                    kernel("k0", 0,
+                           access(offset=0, length=128, op=MemOp.WRITE),
+                           flag(0, MemOp.WRITE)),
+                    kernel("k1", 1, flag(0, MemOp.READ), flag(128, MemOp.WRITE)),
+                    kernel("k2", 2,
+                           flag(128, MemOp.READ),
+                           access(offset=0, length=128, op=MemOp.READ)),
+                ), iteration=0),
+            ],
+            num_gpus=3,
+            buffers=flag_buffers(),
+        )
+        first = site(ctx, "k0", 0)
+        last = site(ctx, "k2", 1)
+        assert ctx.hb.ordered(first, last)

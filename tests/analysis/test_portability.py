@@ -1,0 +1,153 @@
+"""Portability matrix: per-paradigm verdicts and the runner's selective gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ALL_PARADIGMS,
+    HAZARD,
+    RULE_IMPACT,
+    SAFE,
+    UNSAFE,
+    Severity,
+    analyze_program,
+    blocking_diagnostics,
+    check_program,
+    portability_report,
+    render_portability_text,
+    rule_impact,
+)
+from repro.errors import AnalysisError
+from repro.trace.program import Phase
+from repro.trace.records import MemOp
+
+from .conftest import PAGE, access, kernel, program, setup_phase
+
+
+def stale_read_program():
+    """Minimal GPS006: GPU 1 first reads page 1 after the profile iteration."""
+    phases = [setup_phase()]
+    for it, offset in ((0, 0), (1, PAGE)):
+        phases.append(
+            Phase(f"it{it}", (
+                kernel("w", 0, access(offset=0, length=2 * PAGE, op=MemOp.WRITE)),
+                kernel("r", 1, access(offset=offset, length=PAGE, op=MemOp.READ)),
+            ), iteration=it)
+        )
+    return program(phases, name="stale")
+
+
+class TestParadigmRegistry:
+    def test_matches_paradigm_registry(self):
+        """The literal tuple must track repro.paradigms exactly."""
+        from repro.paradigms import PARADIGMS
+
+        assert set(ALL_PARADIGMS) == set(PARADIGMS)
+
+    def test_rule_impact_covers_known_paradigms_only(self):
+        for code, table in RULE_IMPACT.items():
+            assert set(table) <= set(ALL_PARADIGMS), code
+            assert set(table.values()) <= {HAZARD, UNSAFE}, code
+
+    def test_unknown_error_code_is_unsafe_everywhere(self):
+        table = rule_impact("GPS999", Severity.ERROR)
+        assert set(table) == set(ALL_PARADIGMS)
+        assert set(table.values()) == {UNSAFE}
+
+    def test_unknown_info_code_has_no_impact(self):
+        assert rule_impact("GPS999", Severity.INFO) == {}
+
+
+class TestPortabilityReport:
+    def test_clean_program_safe_everywhere(self):
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("r", 0, access(length=PAGE, op=MemOp.READ)),
+                kernel("r1", 1, access(offset=PAGE, length=PAGE, op=MemOp.READ)),
+            ), iteration=0),
+        ])
+        report = portability_report(p, analyze_program(p))
+        assert all(report.verdict(paradigm) == SAFE for paradigm in ALL_PARADIGMS)
+        assert set(report.safe_paradigms()) == set(ALL_PARADIGMS)
+        assert report.unsafe_paradigms() == ()
+
+    def test_stale_read_unsafe_only_under_tracking(self):
+        p = stale_read_program()
+        report = portability_report(p, analyze_program(p))
+        assert set(report.unsafe_paradigms()) == {"gps", "gps_nocoalesce"}
+        # gps_nosub subscribes everything: the stale replica cannot exist.
+        assert "gps_nosub" in report.safe_paradigms()
+        by_paradigm = {v.paradigm: v for v in report.verdicts}
+        assert ("GPS006", UNSAFE) in by_paradigm["gps"].reasons
+
+    def test_warning_only_findings_cap_at_hazard(self):
+        """UNSAFE needs an error-severity witness, not just a warning."""
+        from repro.trace.records import Scope
+
+        p = program([
+            setup_phase(),
+            Phase("it0", (
+                kernel("w", 0, access(length=128, op=MemOp.WRITE,
+                                      scope=Scope.SYS)),
+            ), iteration=0),
+        ])
+        report = portability_report(p, analyze_program(p))
+        assert report.unsafe_paradigms() == ()
+        verdicts = {v.paradigm: v.verdict for v in report.verdicts}
+        assert HAZARD in verdicts.values()
+
+    def test_render_text_lists_every_paradigm(self):
+        p = stale_read_program()
+        text = render_portability_text(portability_report(p, analyze_program(p)))
+        for paradigm in ALL_PARADIGMS:
+            assert paradigm in text
+        assert "unsafe" in text
+
+
+class TestBlockingDiagnostics:
+    def test_none_paradigm_blocks_on_any_error(self):
+        p = stale_read_program()
+        diagnostics = analyze_program(p)
+        assert blocking_diagnostics(diagnostics, None)
+
+    def test_unaffected_paradigm_not_blocked(self):
+        p = stale_read_program()
+        diagnostics = analyze_program(p)
+        assert blocking_diagnostics(diagnostics, "gps")
+        assert not blocking_diagnostics(diagnostics, "memcpy")
+        assert not blocking_diagnostics(diagnostics, "gps_nosub")
+
+
+class TestSelectiveGate:
+    def test_check_program_refuses_only_affected_paradigms(self):
+        p = stale_read_program()
+        with pytest.raises(AnalysisError, match="under paradigm 'gps'"):
+            check_program(p, paradigm="gps")
+        diagnostics = check_program(p, paradigm="memcpy")
+        assert any(d.code == "GPS006" for d in diagnostics)
+
+    def test_global_gate_message_unchanged(self):
+        p = stale_read_program()
+        with pytest.raises(AnalysisError, match=r"fails static analysis with"):
+            check_program(p)
+
+    def test_runner_gate_is_per_paradigm(self, monkeypatch):
+        """End to end: the runner simulates memcpy but refuses gps."""
+        import repro.workloads.registry as registry
+        from repro.harness.runner import clear_run_cache, run_simulation
+
+        class _Stale:
+            def build(self, num_gpus, scale=1.0, iterations=2):
+                return stale_read_program()
+
+        monkeypatch.setitem(registry.WORKLOADS, "stalew", _Stale())
+        clear_run_cache()
+        try:
+            result = run_simulation("stalew", "memcpy", 2, scale=0.1, iterations=2)
+            assert result.total_time > 0
+            with pytest.raises(AnalysisError, match="GPS006"):
+                run_simulation("stalew", "gps", 2, scale=0.1, iterations=2)
+        finally:
+            clear_run_cache()

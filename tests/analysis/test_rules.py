@@ -25,7 +25,7 @@ class TestRegistry:
     def test_expected_rule_codes(self):
         assert sorted(RULES) == [
             "GPS001", "GPS002", "GPS003", "GPS004", "GPS005", "GPS006",
-            "GPS007", "GPS101", "GPS102", "GPS103", "GPS104",
+            "GPS007", "GPS008", "GPS101", "GPS102", "GPS103", "GPS104",
         ]
 
     def test_every_rule_has_metadata(self):
@@ -133,14 +133,37 @@ class TestReadBeforeWrite:
         assert d.location.interval == (PAGE, 2 * PAGE)
         assert f"{PAGE} B" in d.message
 
-    def test_same_phase_write_does_not_initialise(self):
-        """Stores publish at the barrier: a same-phase read still sees nothing."""
+    def test_own_same_phase_write_initialises(self):
+        """A GPU's own prior store is locally visible before the barrier."""
         p = program([
             Phase("p0", (
                 kernel(
                     "rw", 0,
                     access(length=PAGE, op=MemOp.WRITE),
                     access(length=PAGE, op=MemOp.READ),
+                ),
+            ), iteration=-1),
+        ])
+        assert "GPS003" not in codes(analyze_program(p))
+
+    def test_cross_gpu_same_phase_write_does_not_initialise(self):
+        """Weak stores publish at the barrier: another GPU's read sees nothing."""
+        p = program([
+            Phase("p0", (
+                kernel("w", 0, access(length=PAGE, op=MemOp.WRITE)),
+                kernel("r", 1, access(length=PAGE, op=MemOp.READ)),
+            ), iteration=-1),
+        ])
+        assert "GPS003" in codes(analyze_program(p))
+
+    def test_read_before_own_write_still_uninitialised(self):
+        """Program order matters: reading first, then writing, is still a bug."""
+        p = program([
+            Phase("p0", (
+                kernel(
+                    "rw", 0,
+                    access(length=PAGE, op=MemOp.READ),
+                    access(length=PAGE, op=MemOp.WRITE),
                 ),
             ), iteration=-1),
         ])
@@ -266,6 +289,55 @@ class TestAtomicPlainMix:
             ), iteration=0),
         ])
         assert "GPS007" not in codes(analyze_program(p))
+
+
+class TestSyncHandshakeCycle:
+    def _flag(self, offset: int, op: MemOp):
+        return access("flags", offset=offset, length=128, op=op, scope=Scope.SYS)
+
+    def _program(self, phases):
+        from repro.trace.program import BufferSpec
+
+        return program(
+            phases,
+            buffers=(("buf", 4 * PAGE), BufferSpec("flags", PAGE, sync=True)),
+        )
+
+    def test_circular_wait_is_flagged(self):
+        """Each GPU waits for the flag the other sets afterwards: deadlock."""
+        p = self._program([
+            setup_phase(),
+            Phase("dead", (
+                kernel("k0", 0, self._flag(128, MemOp.READ), self._flag(0, MemOp.WRITE)),
+                kernel("k1", 1, self._flag(0, MemOp.READ), self._flag(128, MemOp.WRITE)),
+            ), iteration=0),
+        ])
+        d = only(analyze_program(p), "GPS008")
+        assert d.severity is Severity.ERROR
+        assert "form a cycle" in d.message
+        assert d.witness is not None and d.witness.kind == "sync-cycle"
+
+    def test_one_way_handshake_clean(self):
+        """Set-then-wait in opposite program order resolves: no cycle."""
+        p = self._program([
+            setup_phase(),
+            Phase("hs", (
+                kernel("k0", 0, self._flag(0, MemOp.WRITE), self._flag(128, MemOp.READ)),
+                kernel("k1", 1, self._flag(0, MemOp.READ), self._flag(128, MemOp.WRITE)),
+            ), iteration=0),
+        ])
+        assert "GPS008" not in codes(analyze_program(p))
+
+    def test_atomic_flag_accumulation_is_not_a_cycle(self):
+        """Atomic-atomic SYS pairs are accumulation, not a handoff direction."""
+        p = self._program([
+            setup_phase(),
+            Phase("acc", (
+                kernel("k0", 0, self._flag(0, MemOp.ATOMIC)),
+                kernel("k1", 1, self._flag(0, MemOp.ATOMIC)),
+            ), iteration=0),
+        ])
+        assert "GPS008" not in codes(analyze_program(p))
 
 
 class TestHygieneRules:

@@ -20,16 +20,15 @@ from repro.config import GPSConfig, GPUConfig, PCIE6, SystemConfig, UMConfig
 TINY = 0.1
 
 
-@pytest.fixture(autouse=True)
-def _no_persistent_cache(monkeypatch):
-    """Keep the runner's disk cache out of the unit suite.
-
-    Model changes must surface as test failures, never be papered over by
-    stale persisted results — and tests must not litter ``.repro-cache/``.
-    Cache-specific tests re-enable the layer against a tmp directory by
-    overriding these variables themselves.
-    """
-    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+# Keep the runner's disk cache out of the unit suite. Model changes must
+# surface as test failures, never be papered over by stale persisted
+# results — and tests must not litter ``.repro-cache/``. Applied at import
+# time (not as a function-scoped autouse fixture) so class- and
+# session-scoped result fixtures — which set up before any function-scoped
+# fixture — see it too, and so the env-leak guard below treats it as the
+# baseline. Cache-specific tests re-enable the layer against a tmp
+# directory by overriding these variables themselves.
+os.environ.setdefault("REPRO_NO_CACHE", "1")
 
 
 # --- process-global leak detection -----------------------------------------

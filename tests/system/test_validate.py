@@ -1,69 +1,33 @@
-"""The deprecated ``repro.system.validate`` shim.
+"""The removed ``repro.system.validate`` shim.
 
-The linter moved to :mod:`repro.analysis`; ``lint_program`` survives as a
-deprecation shim that forwards to ``analyze_program``. These tests pin the
-compatibility contract: the warning fires, the output is identical, and the
-string-comparison idiom old callers relied on (``d.severity == "warning"``)
-still works against the :class:`Severity` enum.
+The linter moved to :mod:`repro.analysis` two releases ago; the
+``lint_program`` deprecation shim is now gone. These tests pin the removal
+contract: importing the module raises an :class:`ImportError` whose message
+points old callers at the analyzer and maps the historical check names to
+their stable rule codes.
 """
+
+import importlib
 
 import pytest
 
-from repro.analysis import analyze_program
-from repro.system.validate import lint_program
-from repro.trace.program import BufferSpec, KernelSpec, Phase, TraceProgram
-from repro.trace.records import AccessRange, MemOp
 
-PAGE = 65536
+def test_import_raises_with_pointer_to_analysis():
+    with pytest.raises(ImportError, match="repro.analysis"):
+        importlib.import_module("repro.system.validate")
 
 
-def make_program():
-    return TraceProgram(
-        "t",
-        2,
-        (BufferSpec("buf", PAGE), BufferSpec("ghost", PAGE)),
-        (
-            Phase(
-                "setup",
-                (
-                    KernelSpec(
-                        "init", 0, 1.0,
-                        (AccessRange("buf", 0, PAGE, MemOp.WRITE),),
-                    ),
-                ),
-                iteration=-1,
-            ),
-        ),
-    )
+def test_import_error_maps_old_checks_to_rule_codes():
+    with pytest.raises(ImportError, match="GPS101") as excinfo:
+        importlib.import_module("repro.system.validate")
+    message = str(excinfo.value)
+    assert "analyze_program" in message
+    assert "lint_program" in message
 
 
-def test_emits_deprecation_warning():
-    with pytest.warns(DeprecationWarning, match="analyze_program"):
-        lint_program(make_program())
+def test_replacement_covers_the_old_checks():
+    """The historical checks named in the error message really exist."""
+    from repro.analysis import RULES
 
-
-def test_forwards_to_analyze_program():
-    program = make_program()
-    with pytest.warns(DeprecationWarning):
-        shimmed = lint_program(program)
-    assert shimmed == analyze_program(program)
-
-
-def test_severity_string_comparison_still_works():
-    """Old callers filtered with ``d.severity == "warning"``."""
-    program = make_program()
-    with pytest.warns(DeprecationWarning):
-        diagnostics = lint_program(program)
-    warnings_ = [d for d in diagnostics if d.severity == "warning"]
-    # ghost is never accessed -> GPS101 (the old unused-buffer warning).
-    assert any(d.code == "GPS101" for d in warnings_)
-
-
-def test_old_rule_names_survive_as_rule_field():
-    """The old string codes live on as the ``rule`` kebab-case names."""
-    program = make_program()
-    with pytest.warns(DeprecationWarning):
-        diagnostics = lint_program(program)
-    names = {d.rule for d in diagnostics}
-    assert "unused-buffer" in names
-    assert "idle-gpus" in names
+    for code in ("GPS101", "GPS102", "GPS103", "GPS001", "GPS104"):
+        assert code in RULES

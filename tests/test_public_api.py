@@ -51,7 +51,6 @@ class TestSubpackages:
         "repro.system",
         "repro.system.metrics",
         "repro.system.timeline",
-        "repro.system.validate",
         "repro.trace",
         "repro.trace.io",
         "repro.workloads",

@@ -64,3 +64,41 @@ class TestVerifyCli:
         assert "wire-byte-conservation" in captured.err
         artifacts = list(out_dir.glob("verify-s0-*.json"))
         assert len(artifacts) == 1
+
+
+class TestSanitizerCli:
+    def test_small_sweep_passes(self, capsys):
+        code = main([
+            "verify", "--sanitizer", "--cases", "1", "--seed", "0",
+            "--gpus", "2", "--scale", "0.1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verify --sanitizer: OK" in out
+        assert "mutant(s)" in out
+
+    def test_reports_per_mutator_counts(self, capsys):
+        assert main([
+            "verify", "--sanitizer", "--cases", "1", "--seed", "2",
+            "--gpus", "2", "--scale", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ww-overlap=" in out
+        assert "sys-data=" in out
+
+    def test_failure_exits_1(self, capsys, monkeypatch):
+        # Break a rule/fix invariant by making the harness expect a code
+        # that never fires: every mutant check must fail loudly.
+        import repro.verify.sanitizer as san
+
+        broken = tuple(
+            (name, "GPS999", fn) for name, _code, fn in san.MUTATORS[:1]
+        )
+        monkeypatch.setattr(san, "MUTATORS", broken)
+        code = main([
+            "verify", "--sanitizer", "--cases", "1", "--seed", "0",
+            "--gpus", "2", "--scale", "0.1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in captured.err
