@@ -250,6 +250,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, help="simulation worker processes per batch"
     )
+    serve.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable distributed request tracing (also: REPRO_SERVICE_TRACE=0)",
+    )
 
     def _add_client_args(p) -> None:
         p.add_argument(
@@ -285,6 +290,30 @@ def _build_parser() -> argparse.ArgumentParser:
     result = sub.add_parser("result", help="fetch one completed job's result")
     result.add_argument("id", help="job id returned by 'repro submit'")
     _add_client_args(result)
+
+    events = sub.add_parser(
+        "events",
+        help="stream one job's lifecycle events (queued/scheduled/running/done)",
+    )
+    events.add_argument("id", help="job id returned by 'repro submit'")
+    events.add_argument(
+        "--no-follow",
+        action="store_true",
+        help="dump the log so far and exit instead of following to completion",
+    )
+    _add_client_args(events)
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate the service's SLOs (compliance, burn rate, error budget)",
+        description=(
+            "Read the live SLO evaluation off GET /healthz: per-objective "
+            "compliance over its trailing window, the burn rate "
+            "(bad fraction / error budget), and remaining budget. Exit code "
+            "1 when any SLO is out of budget. See docs/OBSERVABILITY.md."
+        ),
+    )
+    _add_client_args(slo)
 
     verify = sub.add_parser(
         "verify",
@@ -679,6 +708,7 @@ def _cmd_serve(args) -> int:
         max_wait_s=max_wait_s,
         max_retries=args.max_retries,
         max_workers=args.workers,
+        trace=False if args.no_trace else None,
     )
     return serve(settings)
 
@@ -780,6 +810,53 @@ def _cmd_result(args) -> int:
         return 1
     _print_result_payload(payload, args.json)
     return 0
+
+
+def _cmd_events(args) -> int:
+    import json as _json
+
+    from .service import ClientError, ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        for event in client.events(args.id, follow=not args.no_follow):
+            if args.json:
+                print(_json.dumps(event, sort_keys=True), flush=True)
+            else:
+                detail = " ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(event.items())
+                    if key not in ("seq", "t", "event")
+                )
+                print(f"[{event['seq']:3d}] {event['event']:<16} {detail}".rstrip(), flush=True)
+    except ClientError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    import json as _json
+
+    from .service import ClientError, ServiceClient
+
+    try:
+        slos = ServiceClient(args.url).slo()
+    except ClientError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(slos, indent=2, sort_keys=True))
+        return 0 if all(item["ok"] for item in slos) else 1
+    print(f"{'SLO':<18} {'objective':>9} {'window':>8} {'samples':>8} "
+          f"{'compliance':>10} {'burn rate':>9} {'budget left':>11}  status")
+    for item in slos:
+        window = f"{item['window_s'] / 3600:.1f}h"
+        print(f"{item['name']:<18} {item['objective']:>9.3f} {window:>8} "
+              f"{item['total']:>8d} {item['compliance']:>10.4f} "
+              f"{item['burn_rate']:>9.2f} {item['error_budget_remaining']:>11.2f}  "
+              f"{'ok' if item['ok'] else 'BREACHED'}")
+    return 0 if all(item["ok"] for item in slos) else 1
 
 
 def _cmd_verify(args) -> int:
@@ -919,6 +996,8 @@ def main(argv=None) -> int:
         "submit": _cmd_submit,
         "status": _cmd_status,
         "result": _cmd_result,
+        "events": _cmd_events,
+        "slo": _cmd_slo,
         "verify": _cmd_verify,
     }
     return handlers[args.command](args)

@@ -29,7 +29,14 @@ from ...system.results import SimulationResult
 from . import memo
 from .disk import DEFAULT_CACHE_DIR, DiskCache
 from .fingerprint import MODEL_FINGERPRINT, SimJob, job_key, resolve_link
-from .parallel import compute_job, fleet_stats, run_many, run_many_settled
+from .parallel import (
+    compute_job,
+    compute_job_traced,
+    fleet_stats,
+    run_many,
+    run_many_settled,
+    run_many_traced_settled,
+)
 from .stats import CacheStats, FleetStats, WorkerStats
 
 __all__ = [
@@ -42,12 +49,14 @@ __all__ = [
     "cache_stats",
     "clear_disk_cache",
     "clear_run_cache",
+    "compute_job_traced",
     "disk_cache_info",
     "fleet_stats",
     "job_key",
     "resolve_link",
     "run_many",
     "run_many_settled",
+    "run_many_traced_settled",
     "run_simulation",
     "run_speedup",
 ]

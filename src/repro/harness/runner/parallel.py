@@ -12,6 +12,7 @@ serial execution.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
@@ -36,6 +37,14 @@ def fleet_stats() -> FleetStats:
     return _FLEET
 
 
+#: Thread-local span-capture channel between :func:`compute_job_traced` and
+#: :func:`compute_job`. When a sink list is installed, ``compute_job`` runs
+#: with its collector force-enabled and deposits ``(span_dicts, evicted)``
+#: there — keeping one compute path so test hooks and future wrappers apply
+#: to traced and untraced runs alike.
+_trace_capture = threading.local()
+
+
 def compute_job(job: SimJob) -> SimulationResult:
     """Run one job's simulation, bypassing every cache layer.
 
@@ -54,7 +63,36 @@ def compute_job(job: SimJob) -> SimulationResult:
     config = job.resolved_config()
     if not os.environ.get("REPRO_NO_ANALYZE"):
         check_program(program, page_size=config.page_size, paradigm=job.paradigm)
-    return simulate(program, job.paradigm, config)
+    sink = getattr(_trace_capture, "sink", None)
+    if sink is None:
+        return simulate(program, job.paradigm, config)
+    from ...paradigms.registry import make_executor  # local import: avoids a cycle
+
+    executor = make_executor(job.paradigm, program, config)
+    executor.collector.enable()
+    result = executor.run()
+    sink.append(([span.to_dict() for span in executor.collector.spans], executor.collector.evicted))
+    return result
+
+
+def compute_job_traced(job: SimJob) -> "tuple[SimulationResult, list[dict] | None, int]":
+    """Run one job with span tracing forced on, returning the spans too.
+
+    Same analysis gate and simulation as :func:`compute_job`, but the
+    executor's :class:`~repro.obs.collector.TraceCollector` is enabled
+    explicitly (overriding the worker's ``REPRO_NO_TRACE=1``) and the
+    engine's spans travel back **out-of-band** as ``Span.to_dict`` payloads
+    alongside the result — never inside ``SimulationResult`` itself, which
+    must stay byte-identical across the direct/cache/pool/service paths.
+    Returns ``(result, span_dicts, evicted_span_count)``.
+    """
+    _trace_capture.sink = sink = []
+    try:
+        result = compute_job(job)
+    finally:
+        _trace_capture.sink = None
+    spans, evicted = sink[0] if sink else (None, 0)
+    return result, spans, evicted
 
 
 def _timed_compute(job: SimJob) -> "tuple[int, float, SimulationResult]":
@@ -62,6 +100,15 @@ def _timed_compute(job: SimJob) -> "tuple[int, float, SimulationResult]":
     t0 = time.perf_counter()
     result = compute_job(job)
     return os.getpid(), time.perf_counter() - t0, result
+
+
+def _timed_compute_traced(
+    job: SimJob,
+) -> "tuple[int, float, SimulationResult, list[dict], int]":
+    """Traced pool entry point: (pid, wall_clock, result, spans, evicted)."""
+    t0 = time.perf_counter()
+    result, spans, evicted = compute_job_traced(job)
+    return os.getpid(), time.perf_counter() - t0, result, spans, evicted
 
 
 def _worker_init() -> None:
@@ -102,6 +149,80 @@ def _job_keys(jobs: "list[SimJob]") -> "list[str]":
     return keys
 
 
+#: One settled slot of a traced run: the outcome, the engine spans shipped
+#: back from the worker (``None`` for cache hits and failures), and the
+#: collector's evicted-span count for that run.
+TracedOutcome = "tuple[SimulationResult | Exception, list[dict] | None, int]"
+
+
+def _settled(jobs, max_workers: "int | None", traced: bool) -> "list[tuple]":
+    """Shared dedup + fan-out engine behind the two ``*_settled`` fronts.
+
+    Returns one ``(outcome, spans, evicted)`` slot per input job; untraced
+    runs always carry ``(None, 0)`` in the trailing positions.
+    """
+    jobs = [job if isinstance(job, SimJob) else SimJob(*job) for job in jobs]
+    keys = _job_keys(jobs)
+    outcomes: "dict[str, tuple]" = {}
+    pending: "dict[str, SimJob]" = {}
+    for job, key in zip(jobs, keys):
+        if key in outcomes or key in pending:
+            continue
+        cached = memo.lookup(key)
+        if cached is not None:
+            outcomes[key] = (cached, None, 0)
+        else:
+            pending[key] = job
+
+    _FLEET.runs += 1
+    _FLEET.jobs_submitted += len(jobs)
+    _FLEET.jobs_cached += len(jobs) - len(pending)
+
+    workers = _resolve_workers(max_workers, len(pending))
+    if workers <= 1:
+        for key, job in pending.items():
+            t0 = time.perf_counter()
+            spans: "list[dict] | None" = None
+            evicted = 0
+            try:
+                if traced:
+                    result, spans, evicted = compute_job_traced(job)
+                else:
+                    result = compute_job(job)
+            except Exception as exc:
+                _FLEET.jobs_failed += 1
+                outcomes[key] = (exc, None, 0)
+                continue
+            _FLEET.record_job(f"pid{os.getpid()} (serial)", time.perf_counter() - t0)
+            outcomes[key] = (memo.store(key, result, job.meta()), spans, evicted)
+    elif pending:
+        entry = _timed_compute_traced if traced else _timed_compute
+        with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
+            futures = {pool.submit(entry, job): key for key, job in pending.items()}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures[future]
+                    try:
+                        if traced:
+                            pid, wall, result, spans, evicted = future.result()
+                        else:
+                            pid, wall, result = future.result()
+                            spans, evicted = None, 0
+                    except Exception as exc:  # includes BrokenProcessPool
+                        _FLEET.jobs_failed += 1
+                        outcomes[key] = (exc, None, 0)
+                        continue
+                    _FLEET.record_job(f"pid{pid}", wall)
+                    outcomes[key] = (
+                        memo.store(key, result, pending[key].meta()),
+                        spans,
+                        evicted,
+                    )
+    return [outcomes[key] for key in keys]
+
+
 def run_many_settled(
     jobs, max_workers: "int | None" = None
 ) -> "list[SimulationResult | Exception]":
@@ -114,52 +235,21 @@ def run_many_settled(
     that need per-job retry (the service scheduler) use this entry point;
     everyone else wants :func:`run_many`.
     """
-    jobs = [job if isinstance(job, SimJob) else SimJob(*job) for job in jobs]
-    keys = _job_keys(jobs)
-    outcomes: "dict[str, SimulationResult | Exception]" = {}
-    pending: "dict[str, SimJob]" = {}
-    for job, key in zip(jobs, keys):
-        if key in outcomes or key in pending:
-            continue
-        cached = memo.lookup(key)
-        if cached is not None:
-            outcomes[key] = cached
-        else:
-            pending[key] = job
+    return [outcome for outcome, _, _ in _settled(jobs, max_workers, traced=False)]
 
-    _FLEET.runs += 1
-    _FLEET.jobs_submitted += len(jobs)
-    _FLEET.jobs_cached += len(jobs) - len(pending)
 
-    workers = _resolve_workers(max_workers, len(pending))
-    if workers <= 1:
-        for key, job in pending.items():
-            t0 = time.perf_counter()
-            try:
-                result = compute_job(job)
-            except Exception as exc:
-                _FLEET.jobs_failed += 1
-                outcomes[key] = exc
-                continue
-            _FLEET.record_job(f"pid{os.getpid()} (serial)", time.perf_counter() - t0)
-            outcomes[key] = memo.store(key, result, job.meta())
-    elif pending:
-        with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
-            futures = {pool.submit(_timed_compute, job): key for key, job in pending.items()}
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key = futures[future]
-                    try:
-                        pid, wall, result = future.result()
-                    except Exception as exc:  # includes BrokenProcessPool
-                        _FLEET.jobs_failed += 1
-                        outcomes[key] = exc
-                        continue
-                    _FLEET.record_job(f"pid{pid}", wall)
-                    outcomes[key] = memo.store(key, result, pending[key].meta())
-    return [outcomes[key] for key in keys]
+def run_many_traced_settled(jobs, max_workers: "int | None" = None) -> "list":
+    """Like :func:`run_many_settled`, but each slot also ships engine spans.
+
+    Returns ``(outcome, spans, evicted)`` triples: ``spans`` is the run's
+    engine span list as ``Span.to_dict`` payloads (``None`` when the
+    outcome came from a cache or is an exception — cached results never
+    carry spans, keeping the byte-identical result invariant), and
+    ``evicted`` is the run collector's dropped-span count. The traced
+    service scheduler uses this to re-parent engine spans under request
+    traces without touching ``SimulationResult``.
+    """
+    return _settled(jobs, max_workers, traced=True)
 
 
 def run_many(jobs, max_workers: "int | None" = None) -> "list[SimulationResult]":

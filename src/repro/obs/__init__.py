@@ -18,7 +18,18 @@ Three instruments, threaded through every run (see ``docs/OBSERVABILITY.md``):
   (:func:`self_time_profile`).
 """
 
-from .collector import TraceCollector, tracing_enabled
+from .collector import TraceCollector, max_spans, tracing_enabled
+from .distributed import (
+    DistSpan,
+    SequentialIds,
+    TraceContext,
+    TraceStore,
+    derived_span_id,
+    distributed_chrome_trace,
+    dump_chrome_trace,
+    parse_traceparent,
+    set_id_generator,
+)
 from .export import (
     chrome_trace,
     metrics_csv,
@@ -28,22 +39,35 @@ from .export import (
     write_chrome_trace,
 )
 from .profile import ProfileRow, format_profile, self_time_profile
+from .promtext import prometheus_text, promtext_problems
 from .registry import Counter, CounterRegistry, Histogram
 from .span import Span
 
 __all__ = [
     "Counter",
     "CounterRegistry",
+    "DistSpan",
     "Histogram",
     "ProfileRow",
+    "SequentialIds",
     "Span",
     "TraceCollector",
+    "TraceContext",
+    "TraceStore",
     "chrome_trace",
+    "derived_span_id",
+    "distributed_chrome_trace",
+    "dump_chrome_trace",
     "format_profile",
+    "max_spans",
     "metrics_csv",
     "metrics_json",
+    "parse_traceparent",
+    "prometheus_text",
+    "promtext_problems",
     "run_manifest",
     "self_time_profile",
+    "set_id_generator",
     "tracing_enabled",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -4,16 +4,28 @@ One :class:`TraceCollector` lives on each DES engine; the engine appends a
 :class:`~repro.obs.span.Span` per scheduled resource-bound task when it
 runs. ``REPRO_NO_TRACE=1`` disables span materialisation globally (the
 fan-out runner sets it in worker processes so fleet runs stay cheap);
-consumers that require a trace — the ``repro trace``/``repro profile`` CLI —
-re-enable it on their own collector with :meth:`TraceCollector.enable`.
+consumers that require a trace — the ``repro trace``/``repro profile`` CLI
+and the service's traced batches — re-enable it on their own collector with
+:meth:`TraceCollector.enable`.
+
+Span storage is a **bounded ring**: at most ``REPRO_TRACE_MAX_SPANS``
+spans (default 1,000,000) are retained, oldest-first eviction. A long-lived
+service process that traces every run therefore has a hard per-run memory
+ceiling; the number of spans dropped is reported by
+:attr:`TraceCollector.evicted` and surfaced as the service counter
+``service.trace.evicted_spans``.
 """
 
 from __future__ import annotations
 
 import os
+from collections import deque
 from typing import Iterator
 
 from .span import Span
+
+#: Default ring capacity when ``REPRO_TRACE_MAX_SPANS`` is unset.
+DEFAULT_MAX_SPANS = 1_000_000
 
 
 def tracing_enabled() -> bool:
@@ -27,17 +39,34 @@ def tracing_enabled() -> bool:
     return flag in ("", "0")
 
 
+def max_spans() -> int:
+    """Ring capacity from ``REPRO_TRACE_MAX_SPANS`` (min 1)."""
+    raw = os.environ.get("REPRO_TRACE_MAX_SPANS", "")
+    try:
+        value = int(raw) if raw else DEFAULT_MAX_SPANS
+    except ValueError:
+        value = DEFAULT_MAX_SPANS
+    return max(1, value)
+
+
 class TraceCollector:
-    """Accumulates the spans of one simulation run.
+    """Accumulates the spans of one simulation run in a bounded ring.
 
     ``enabled`` defaults to the environment (:func:`tracing_enabled`); a
     disabled collector drops every record, so instrumentation call sites
-    never need their own guard.
+    never need their own guard. ``capacity`` defaults to the
+    ``REPRO_TRACE_MAX_SPANS`` environment knob; once full, recording a new
+    span evicts the oldest one and bumps :attr:`evicted`.
     """
 
-    def __init__(self, enabled: "bool | None" = None) -> None:
+    def __init__(
+        self, enabled: "bool | None" = None, capacity: "int | None" = None
+    ) -> None:
         self.enabled = tracing_enabled() if enabled is None else enabled
-        self._spans: list[Span] = []
+        self.capacity = max_spans() if capacity is None else max(1, capacity)
+        self._spans: "deque[Span]" = deque(maxlen=self.capacity)
+        #: Spans dropped by the ring since the last :meth:`clear`.
+        self.evicted = 0
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -47,7 +76,7 @@ class TraceCollector:
 
     @property
     def spans(self) -> list[Span]:
-        """All recorded spans, in emission order."""
+        """All retained spans, in emission order (oldest may be evicted)."""
         return list(self._spans)
 
     def enable(self) -> None:
@@ -57,6 +86,8 @@ class TraceCollector:
     def record(self, span: Span) -> None:
         """Append one span (dropped when the collector is disabled)."""
         if self.enabled:
+            if len(self._spans) == self.capacity:
+                self.evicted += 1
             self._spans.append(span)
 
     def emit(
@@ -70,11 +101,12 @@ class TraceCollector:
     ) -> None:
         """Construct and record one span in place."""
         if self.enabled:
-            self._spans.append(Span(name, category, track, start, end, attrs or {}))
+            self.record(Span(name, category, track, start, end, attrs or {}))
 
     def clear(self) -> None:
-        """Drop every recorded span."""
+        """Drop every recorded span and reset the eviction count."""
         self._spans.clear()
+        self.evicted = 0
 
     def by_track(self) -> "dict[str, list[Span]]":
         """Spans grouped by resource track, each list sorted by start time."""

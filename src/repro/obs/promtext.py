@@ -1,0 +1,205 @@
+"""Prometheus text-exposition rendering of a :class:`CounterRegistry`.
+
+``GET /metrics?format=prometheus`` on the service serves this. The format
+is the Prometheus text exposition 0.0.4 grammar: ``# TYPE`` lines, one
+sample per line, histograms expanded to cumulative ``_bucket{le="..."}``
+series **including the mandatory ``+Inf`` bucket** plus ``_sum`` and
+``_count`` — earlier revisions of the JSON-flattened export dropped those,
+which real scrapers reject.
+
+Dot-separated registry names (``service.jobs.completed``) become underscore
+metric names (``service_jobs_completed``); any character outside
+``[a-zA-Z0-9_:]`` is folded to ``_`` and a leading digit gets a ``_``
+prefix. Output is sorted by metric name, so two renders of the same
+registry state are byte-identical (golden-file friendly).
+
+:func:`promtext_problems` is a small grammar checker used by the golden
+test and CI smoke: it verifies line shape, TYPE declarations, histogram
+bucket monotonicity, and the ``+Inf``/``_sum``/``_count`` contract.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .registry import CounterRegistry, Histogram, Number, _fmt_bound
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Fold a dotted registry name into a legal Prometheus metric name."""
+    flat = _BAD_CHARS.sub("_", name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _fmt_value(value: Number) -> str:
+    """Render a sample value (integers without the trailing ``.0``)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_histogram(name: str, histogram: Histogram, lines: "list[str]") -> None:
+    lines.append(f"# TYPE {name} histogram")
+    running = 0
+    for bound, bucket in zip(histogram.bounds, histogram._bucket_counts):
+        running += bucket
+        lines.append(f'{name}_bucket{{le="{_fmt_bound(bound)}"}} {running}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {histogram.count}')
+    lines.append(f"{name}_sum {_fmt_value(histogram.sum)}")
+    lines.append(f"{name}_count {histogram.count}")
+
+
+def prometheus_text(registry: CounterRegistry) -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4.
+
+    Counters render as ``counter``; gauges, providers, and gpuN roll-ups as
+    ``gauge`` (providers may regress between scrapes, so counter semantics
+    cannot be promised for them); histograms as full ``histogram`` families.
+    Histogram component keys are excluded from the flat section — they only
+    appear as proper ``_bucket``/``_sum``/``_count`` series.
+    """
+    families: "dict[str, tuple[str, Histogram | Number]]" = {}
+    for name, histogram in registry._histograms.items():
+        families[sanitize_metric_name(name)] = ("histogram", histogram)
+    histogram_prefixes = tuple(f"{name}." for name in registry._histograms)
+    counter_names = {sanitize_metric_name(name) for name in registry._counters}
+    for name, value in registry.as_dict().items():
+        if name.startswith(histogram_prefixes):
+            continue
+        flat = sanitize_metric_name(name)
+        if flat in families:
+            continue
+        kind = "counter" if flat in counter_names else "gauge"
+        families[flat] = (kind, value)
+    lines: "list[str]" = []
+    for name in sorted(families):
+        kind, payload = families[name]
+        if kind == "histogram":
+            assert isinstance(payload, Histogram)
+            _render_histogram(name, payload, lines)
+        else:
+            lines.append(f"# TYPE {name} {kind}")
+            assert not isinstance(payload, Histogram)
+            lines.append(f"{name} {_fmt_value(payload)}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(raw: str) -> "float | None":
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def promtext_problems(text: str) -> "list[str]":
+    """Grammar problems in a text-exposition payload (empty when clean).
+
+    Checks: every non-comment line parses as ``name[{labels}] value``;
+    every sample's family has a ``# TYPE`` line; histogram families have
+    monotonic ``le`` buckets ending in ``+Inf`` whose count equals
+    ``_count``, plus exactly one ``_sum`` and ``_count``; payload ends with
+    a newline.
+    """
+    problems: "list[str]" = []
+    if text and not text.endswith("\n"):
+        problems.append("payload must end with a newline")
+    types: "dict[str, str]" = {}
+    histograms: "dict[str, dict]" = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                problems.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            if parts[2] in types:
+                problems.append(f"line {lineno}: duplicate TYPE for {parts[2]}")
+            types[parts[2]] = parts[3]
+            if parts[3] == "histogram":
+                histograms[parts[2]] = {"buckets": [], "sum": 0, "count": 0}
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(f"line {lineno}: bad sample value: {line!r}")
+            continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in histograms:
+                family = name[: -len(suffix)]
+                break
+        if family not in types:
+            problems.append(f"line {lineno}: sample {name} has no TYPE line")
+            continue
+        if family in histograms:
+            hist = histograms[family]
+            if name.endswith("_bucket"):
+                labels = match.group("labels") or ""
+                le = None
+                for part in labels.split(","):
+                    key, _, raw = part.partition("=")
+                    if key.strip() == "le":
+                        le = _parse_value(raw.strip().strip('"'))
+                if le is None:
+                    problems.append(f"line {lineno}: bucket without le label: {line!r}")
+                else:
+                    hist["buckets"].append((le, value))
+            elif name.endswith("_sum"):
+                hist["sum"] += 1
+            elif name.endswith("_count"):
+                hist["count"] += 1
+                hist["count_value"] = value
+    for family, hist in histograms.items():
+        buckets = hist["buckets"]
+        if not buckets or buckets[-1][0] != math.inf:
+            problems.append(f"histogram {family}: missing +Inf bucket")
+        bounds = [b for b, _ in buckets]
+        counts = [c for _, c in buckets]
+        if bounds != sorted(bounds):
+            problems.append(f"histogram {family}: le bounds not increasing")
+        if counts != sorted(counts):
+            problems.append(f"histogram {family}: bucket counts not cumulative")
+        if hist["sum"] != 1:
+            problems.append(f"histogram {family}: expected exactly one _sum sample")
+        if hist["count"] != 1:
+            problems.append(f"histogram {family}: expected exactly one _count sample")
+        elif buckets and buckets[-1][0] == math.inf and buckets[-1][1] != hist.get(
+            "count_value"
+        ):
+            problems.append(f"histogram {family}: +Inf bucket != _count")
+    for name in types:
+        if not _NAME_OK.match(name):
+            problems.append(f"illegal metric name: {name}")
+    return problems

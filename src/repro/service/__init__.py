@@ -16,7 +16,14 @@ the full reference):
   consumers;
 * :class:`ServiceMetrics` (``metrics.py``) — queue depth, latency
   histograms, coalescing/retry/rejection counters, published through
-  :class:`repro.obs.CounterRegistry` and served at ``GET /metrics``.
+  :class:`repro.obs.CounterRegistry` and served at ``GET /metrics`` (JSON
+  or Prometheus text exposition);
+* observability (``timeseries.py`` / ``slo.py`` + the queue's tracer) —
+  ring-buffered metric time-series with server-side bucketing
+  (``GET /metrics/series``), streamed job lifecycle events
+  (``GET /jobs/{id}/events``), distributed request traces
+  (``GET /traces/{id}``), and declarative SLOs with burn-rate evaluation
+  on ``/healthz`` (see ``docs/OBSERVABILITY.md``).
 
 Everything is stdlib-only (asyncio + http.client); simulations themselves
 run through the existing cached, analyzed, process-pooled harness runner.
@@ -27,23 +34,33 @@ from .metrics import LATENCY_BUCKETS_S, ServiceMetrics
 from .queue import Job, JobQueue, JobState, QueueFull, ServiceClosed
 from .scheduler import BatchScheduler
 from .server import ServiceSettings, SimulationService, parse_job_payload, serve
+from .slo import DEFAULT_SLOS, SLO, evaluate_slo, evaluate_slos, slos_from_env
+from .timeseries import DEFAULT_SERIES_SAMPLES, SeriesStore, percentile
 
 __all__ = [
     "AsyncServiceClient",
     "BatchScheduler",
     "ClientError",
+    "DEFAULT_SERIES_SAMPLES",
+    "DEFAULT_SLOS",
     "Job",
     "JobFailed",
     "JobQueue",
     "JobState",
     "LATENCY_BUCKETS_S",
     "QueueFull",
+    "SLO",
+    "SeriesStore",
     "ServiceClosed",
     "ServiceClient",
     "ServiceMetrics",
     "ServiceSettings",
     "SimulationService",
+    "evaluate_slo",
+    "evaluate_slos",
     "parse_job_payload",
+    "percentile",
     "serve",
     "service_url",
+    "slos_from_env",
 ]

@@ -17,6 +17,15 @@ Typical use::
 The default URL comes from ``REPRO_SERVICE_URL`` (falling back to
 ``http://127.0.0.1:8787``), so CLI verbs and scripts against a local
 service need no configuration at all.
+
+Observability: :meth:`ServiceClient.submit` mints a W3C trace context and
+sends it as a ``traceparent`` header (``trace=False`` opts out), so the
+server's spans parent under the client's trace; the submit payload echoes
+the minted ids as ``client_trace``. :meth:`ServiceClient.events` follows a
+job's lifecycle event stream, :meth:`ServiceClient.series` fetches bucketed
+metric time-series, :meth:`ServiceClient.trace` downloads the distributed
+trace (optionally as Perfetto/Chrome-trace JSON), and
+:meth:`ServiceClient.slo` reads the live SLO evaluation off ``/healthz``.
 """
 
 from __future__ import annotations
@@ -27,8 +36,10 @@ import json
 import os
 import time
 import urllib.parse
+from typing import Iterator
 
 from ..errors import ServiceError
+from ..obs.distributed import TraceContext
 
 #: Default service URL when neither an argument nor the env knob is given.
 DEFAULT_URL = "http://127.0.0.1:8787"
@@ -94,13 +105,18 @@ class ServiceClient:
         self.timeout = timeout
 
     def _request(
-        self, method: str, path: str, body: "dict | None" = None
+        self,
+        method: str,
+        path: str,
+        body: "dict | None" = None,
+        headers: "dict | None" = None,
     ) -> "tuple[int, dict]":
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = json.dumps(body).encode("utf-8") if body is not None else None
-            headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
+            send_headers = {"Content-Type": "application/json"} if payload else {}
+            send_headers.update(headers or {})
+            conn.request(method, path, body=payload, headers=send_headers)
             response = conn.getresponse()
             raw = response.read()
             try:
@@ -116,12 +132,31 @@ class ServiceClient:
             conn.close()
 
     def healthz(self) -> dict:
-        """Liveness probe payload."""
+        """Liveness probe payload (includes the live ``slo`` evaluation)."""
         return _check(*self._request("GET", "/healthz"), accept=(200,))
 
     def metrics(self) -> dict:
         """The service's counter-registry snapshot."""
         return _check(*self._request("GET", "/metrics"), accept=(200,))["metrics"]
+
+    def metrics_text(self) -> str:
+        """The Prometheus text-exposition scrape (``?format=prometheus``)."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics?format=prometheus")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ClientError(
+                    f"service returned HTTP {response.status}", status=response.status
+                )
+            return raw.decode("utf-8")
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            raise ClientError(
+                f"cannot reach service at http://{self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
 
     def submit(
         self,
@@ -132,10 +167,95 @@ class ServiceClient:
         scale: float = 0.5,
         iterations: int = 8,
         priority: int = 0,
+        trace: bool = True,
     ) -> dict:
-        """Submit one simulation; returns the job status payload."""
+        """Submit one simulation; returns the job status payload.
+
+        With ``trace`` on (default), a fresh W3C trace context is minted
+        and propagated via the ``traceparent`` header; its ids are echoed
+        back in the returned payload under ``client_trace`` so callers can
+        fetch ``GET /traces/{trace_id}`` later.
+        """
         body = _job_body(workload, paradigm, gpus, link, scale, iterations, priority)
-        return _check(*self._request("POST", "/jobs", body), accept=(200, 202))
+        headers = {}
+        context = None
+        if trace:
+            context = TraceContext.mint()
+            headers["traceparent"] = context.to_traceparent()
+        payload = _check(
+            *self._request("POST", "/jobs", body, headers=headers), accept=(200, 202)
+        )
+        if context is not None:
+            payload["client_trace"] = {
+                "trace_id": context.trace_id,
+                "span_id": context.span_id,
+            }
+        return payload
+
+    def events(self, job_id: str, follow: bool = True) -> "Iterator[dict]":
+        """Stream one job's lifecycle events as they happen.
+
+        Yields one dict per event (``{"seq", "t", "event", ...}``). With
+        ``follow`` the stream stays open until the job reaches a terminal
+        state; ``follow=False`` dumps the log so far and closes.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            path = f"/jobs/{job_id}/events" + ("" if follow else "?follow=0")
+            conn.request("GET", path)
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error")
+                except ValueError:
+                    message = None
+                raise ClientError(
+                    message or f"service returned HTTP {response.status}",
+                    status=response.status,
+                )
+            # http.client undoes the chunked transfer encoding; readline
+            # yields one JSON event per line as the server flushes them.
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            raise ClientError(
+                f"cannot reach service at http://{self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def series(
+        self,
+        name: "str | None" = None,
+        bucket_s: float = 60.0,
+        start: "float | None" = None,
+        end: "float | None" = None,
+    ) -> dict:
+        """Bucketed time-series for ``name`` (or the series catalog)."""
+        if name is None:
+            return _check(*self._request("GET", "/metrics/series"), accept=(200,))
+        params = {"name": name, "bucket": str(bucket_s)}
+        if start is not None:
+            params["start"] = str(start)
+        if end is not None:
+            params["end"] = str(end)
+        query = urllib.parse.urlencode(params)
+        return _check(*self._request("GET", f"/metrics/series?{query}"), accept=(200,))
+
+    def trace(self, trace_id: str, perfetto: bool = False) -> dict:
+        """One distributed trace's span closure (optionally Perfetto JSON)."""
+        path = f"/traces/{trace_id}" + ("?format=perfetto" if perfetto else "")
+        return _check(*self._request("GET", path), accept=(200,))
+
+    def slo(self) -> "list[dict]":
+        """The live SLO evaluation from ``/healthz``."""
+        return self.healthz().get("slo", [])
 
     def status(self, job_id: str) -> dict:
         """Job status payload for one id."""
@@ -188,14 +308,20 @@ class AsyncServiceClient:
         self.timeout = timeout
 
     async def _request(
-        self, method: str, path: str, body: "dict | None" = None
+        self,
+        method: str,
+        path: str,
+        body: "dict | None" = None,
+        headers: "dict | None" = None,
     ) -> "tuple[int, dict]":
         payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         )
@@ -245,10 +371,43 @@ class AsyncServiceClient:
         scale: float = 0.5,
         iterations: int = 8,
         priority: int = 0,
+        trace: bool = True,
     ) -> dict:
         """Submit one simulation; returns the job status payload."""
         body = _job_body(workload, paradigm, gpus, link, scale, iterations, priority)
-        return _check(*await self._request("POST", "/jobs", body), accept=(200, 202))
+        headers = {}
+        context = None
+        if trace:
+            context = TraceContext.mint()
+            headers["traceparent"] = context.to_traceparent()
+        payload = _check(
+            *await self._request("POST", "/jobs", body, headers=headers),
+            accept=(200, 202),
+        )
+        if context is not None:
+            payload["client_trace"] = {
+                "trace_id": context.trace_id,
+                "span_id": context.span_id,
+            }
+        return payload
+
+    async def series(self, name: "str | None" = None, bucket_s: float = 60.0) -> dict:
+        """Bucketed time-series for ``name`` (or the series catalog)."""
+        if name is None:
+            return _check(*await self._request("GET", "/metrics/series"), accept=(200,))
+        query = urllib.parse.urlencode({"name": name, "bucket": str(bucket_s)})
+        return _check(
+            *await self._request("GET", f"/metrics/series?{query}"), accept=(200,)
+        )
+
+    async def trace(self, trace_id: str, perfetto: bool = False) -> dict:
+        """One distributed trace's span closure (optionally Perfetto JSON)."""
+        path = f"/traces/{trace_id}" + ("?format=perfetto" if perfetto else "")
+        return _check(*await self._request("GET", path), accept=(200,))
+
+    async def slo(self) -> "list[dict]":
+        """The live SLO evaluation from ``/healthz``."""
+        return (await self.healthz()).get("slo", [])
 
     async def status(self, job_id: str) -> dict:
         """Job status payload for one id."""

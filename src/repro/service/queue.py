@@ -18,6 +18,22 @@ coroutine), so it needs no locks. Three properties drive its design:
   the runner's memo cache completes immediately without touching the queue.
 
 Priorities are integers, higher first; ties dispatch in submission order.
+
+Beyond queueing, every job carries two observability channels (see
+``docs/OBSERVABILITY.md``):
+
+* an **event log** — an append-only list of timestamped lifecycle events
+  (``queued`` / ``coalesced`` / ``cache_hit`` / ``scheduled`` / ``running``
+  / ``attempt_failed`` / ``spans_attached`` / ``done`` / ``failed``) that
+  the streaming ``GET /jobs/{id}/events`` endpoint follows live; always on.
+* **distributed trace spans** — when the queue owns a
+  :class:`~repro.obs.distributed.TraceStore` (``tracer``), each submission
+  opens a ``request`` span under the client's ``traceparent`` (or a
+  server-minted root), a ``queue.wait`` span until dispatch, one shared
+  ``execute`` span per group on the *primary* submitter's trace (coalesced
+  submitters record a ``coalesced`` span *linking* to it), and a ``run``
+  span per dispatch attempt under which the worker's engine spans are
+  re-parented.
 """
 
 from __future__ import annotations
@@ -32,6 +48,7 @@ from enum import Enum
 from ..errors import ServiceError
 from ..harness.runner import SimJob
 from ..harness.runner import memo
+from ..obs.distributed import DistSpan, TraceContext, TraceStore, mint_span_id, mint_trace_id
 from ..system.results import SimulationResult
 from .metrics import ServiceMetrics
 
@@ -76,6 +93,39 @@ class Job:
     finished_mono: "float | None" = None
     error: "str | None" = None
     future: "asyncio.Future | None" = None
+    trace_id: "str | None" = None
+    client_span_id: "str | None" = None
+    events: "list[dict]" = field(default_factory=list)
+    batch: "dict | None" = None
+    request_span: "DistSpan | None" = field(default=None, repr=False)
+    queue_span: "DistSpan | None" = field(default=None, repr=False)
+    exec_span_id: "str | None" = field(default=None, repr=False)  # primary only
+    exec_span: "DistSpan | None" = field(default=None, repr=False)  # primary only
+    run_span: "DistSpan | None" = field(default=None, repr=False)  # primary only
+    _event_flag: "asyncio.Event | None" = field(default=None, repr=False)
+
+    def add_event(self, event: str, **fields) -> None:
+        """Append one lifecycle event and wake any streaming followers."""
+        entry: dict = {"seq": len(self.events), "t": time.time(), "event": event}
+        entry.update(fields)
+        self.events.append(entry)
+        flag = self._event_flag
+        if flag is not None:
+            self._event_flag = None
+            flag.set()
+
+    async def wait_events(self, have: int) -> None:
+        """Block until the job has more than ``have`` events."""
+        while len(self.events) <= have:
+            if self._event_flag is None:
+                self._event_flag = asyncio.Event()
+            flag = self._event_flag
+            await flag.wait()
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job reached DONE or FAILED."""
+        return self.state in (JobState.DONE, JobState.FAILED)
 
     @property
     def result(self) -> "SimulationResult | None":
@@ -111,6 +161,7 @@ class Job:
             "submitted_at": self.submitted_at,
             "wait_s": self.wait_s,
             "run_s": self.run_s,
+            "trace_id": self.trace_id,
             "job": self.sim.meta(),
         }
         if self.error is not None:
@@ -121,11 +172,17 @@ class Job:
 class JobQueue:
     """Priority queue of job *groups*, keyed by config fingerprint."""
 
-    def __init__(self, metrics: ServiceMetrics, max_depth: int = 256) -> None:
+    def __init__(
+        self,
+        metrics: ServiceMetrics,
+        max_depth: int = 256,
+        tracer: "TraceStore | None" = None,
+    ) -> None:
         if max_depth < 1:
             raise ValueError("queue depth must be at least 1")
         self.metrics = metrics
         self.max_depth = max_depth
+        self.tracer = tracer
         self._jobs: "dict[str, Job]" = {}  # every job ever submitted, by id
         self._groups: "dict[str, list[Job]]" = {}  # fingerprint -> active group
         self._heap: "list[tuple[int, int, str]]" = []  # (-priority, seq, key)
@@ -172,9 +229,35 @@ class JobQueue:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, sim: SimJob, priority: int = 0) -> Job:
+    def _open_request(self, job: Job, trace: "TraceContext | None") -> None:
+        """Assign the job's trace identity and open its ``request`` span.
+
+        With a ``traceparent`` the request joins the client's trace as a
+        child of the client's root span; without one the server mints a
+        fresh root trace so the journey is traceable either way.
+        """
+        if self.tracer is None:
+            return
+        if trace is not None:
+            job.trace_id = trace.trace_id
+            job.client_span_id = trace.span_id
+        else:
+            job.trace_id = mint_trace_id()
+        job.request_span = self.tracer.start_span(
+            job.trace_id,
+            "request",
+            job.client_span_id,
+            kind="server",
+            track="server",
+            attrs={"job_id": job.id, "fingerprint": job.key[:16]},
+        )
+
+    def submit(
+        self, sim: SimJob, priority: int = 0, trace: "TraceContext | None" = None
+    ) -> Job:
         """Submit one simulation; returns the (possibly coalesced) job.
 
+        ``trace`` is the client's parsed ``traceparent`` context, if any.
         Raises :class:`ServiceClosed` when draining and :class:`QueueFull`
         when the submission needs a queue slot and none is free.
         """
@@ -201,6 +284,19 @@ class JobQueue:
             group.append(job)
             self._jobs[job_id] = job
             self.metrics.job_coalesced()
+            self._open_request(job, trace)
+            if job.request_span is not None and primary.exec_span_id is not None:
+                # The shared execution lives on the primary's trace; this
+                # submitter's own trace records the wait with a link to it.
+                job.queue_span = self.tracer.start_span(  # type: ignore[union-attr]
+                    job.trace_id,  # type: ignore[arg-type]
+                    "coalesced",
+                    job.request_span.span_id,
+                    track="job",
+                    attrs={"primary_job_id": primary.id},
+                    links=[{"trace_id": primary.trace_id, "span_id": primary.exec_span_id}],
+                )
+            job.add_event("coalesced", primary=primary.id, state=primary.state.value)
             return job
 
         cached = memo.lookup(key)
@@ -220,6 +316,17 @@ class JobQueue:
             self._jobs[job_id] = job
             self.metrics.job_cache_hit()
             self.metrics.job_completed(0.0, 0.0)
+            self._open_request(job, trace)
+            if job.request_span is not None:
+                self.tracer.add_span(  # type: ignore[union-attr]
+                    job.trace_id,  # type: ignore[arg-type]
+                    "cache.hit",
+                    parent_id=job.request_span.span_id,
+                    track="job",
+                )
+                self.tracer.end_span(job.request_span)  # type: ignore[union-attr]
+            job.add_event("cache_hit")
+            job.add_event("done")
             return job
 
         if self.depth >= self.max_depth:
@@ -239,6 +346,21 @@ class JobQueue:
         self._groups[key] = [job]
         self._push(key, priority)
         self.metrics.job_accepted()
+        self._open_request(job, trace)
+        if job.request_span is not None:
+            # The execution span's id is minted now — before the span even
+            # starts — so a coalescing submission arriving while this group
+            # is still queued can already link to it. The span itself opens
+            # at :meth:`mark_running`.
+            job.exec_span_id = mint_span_id()
+            job.queue_span = self.tracer.start_span(  # type: ignore[union-attr]
+                job.trace_id,  # type: ignore[arg-type]
+                "queue.wait",
+                job.request_span.span_id,
+                track="job",
+                attrs={"priority": priority},
+            )
+        job.add_event("queued", depth=self.depth)
         self._gauges()
         return job
 
@@ -271,23 +393,91 @@ class JobQueue:
         self._gauges()
         return batch
 
+    def note_scheduled(self, key: str, batch_seq: int, batch_size: int) -> None:
+        """Record which scheduler batch picked this group up."""
+        batch = {"batch_seq": batch_seq, "batch_size": batch_size}
+        for job in self._groups[key]:
+            job.batch = batch
+            job.add_event("scheduled", **batch)
+
     def mark_running(self, key: str) -> None:
         """Transition a group to RUNNING (dispatch time for latency)."""
         now = time.monotonic()
         self._running.add(key)
-        for job in self._groups[key]:
+        group = self._groups[key]
+        primary = group[0]
+        for job in group:
             job.state = JobState.RUNNING
             if job.started_mono is None:
                 job.started_mono = now
+            job.add_event("running", attempt=primary.attempts + 1)
+        if self.tracer is not None and primary.exec_span_id is not None:
+            if primary.exec_span is None:
+                # First dispatch: close the queue wait, open the shared
+                # execution span under the pre-minted id.
+                self.tracer.end_span(primary.queue_span)
+                parent = (
+                    primary.request_span.span_id if primary.request_span is not None else None
+                )
+                primary.exec_span = self.tracer.start_span(
+                    primary.trace_id,  # type: ignore[arg-type]
+                    "execute",
+                    parent,
+                    track="job",
+                    span_id=primary.exec_span_id,
+                    attrs={"group_size": len(group)},
+                )
+            else:
+                primary.exec_span.attrs["group_size"] = len(group)
+            attrs = {"attempt": primary.attempts + 1}
+            attrs.update(primary.batch or {})
+            primary.run_span = self.tracer.start_span(
+                primary.trace_id,  # type: ignore[arg-type]
+                "run",
+                primary.exec_span_id,
+                track="attempt",
+                attrs=attrs,
+            )
         self._gauges()
 
     def record_attempt(self, key: str) -> int:
         """Bump the group's attempt counter; returns attempts so far."""
         group = self._groups[key]
         attempts = group[0].attempts + 1
+        primary = group[0]
+        if self.tracer is not None and primary.run_span is not None:
+            primary.run_span.attrs["failed"] = True
+            self.tracer.end_span(primary.run_span)
+            primary.run_span = None
         for job in group:
             job.attempts = attempts
+            job.add_event("attempt_failed", attempt=attempts)
         return attempts
+
+    def attach_spans(self, key: str, spans: "list[dict] | None", evicted: int) -> None:
+        """Re-parent one run's engine spans under the group's ``run`` span.
+
+        Called by the traced scheduler after a successful attempt, before
+        :meth:`finish`. ``spans`` is the worker's ``Span.to_dict`` list
+        (``None`` when the result came from a cache — nothing to attach).
+        Closes the attempt's ``run`` span either way.
+        """
+        primary = self._groups[key][0]
+        if self.tracer is None or primary.run_span is None:
+            return
+        self.tracer.end_span(primary.run_span)
+        if spans:
+            count = self.tracer.attach_engine_tree(
+                primary.trace_id,  # type: ignore[arg-type]
+                primary.run_span.span_id,
+                spans,
+                anchor=primary.run_span.start,
+            )
+            self.metrics.spans_attached(count)
+            self.metrics.spans_evicted(evicted)
+            for job in self._groups[key]:
+                job.add_event("spans_attached", count=count, evicted=evicted)
+        primary.run_span = None
 
     def requeue(self, key: str) -> None:
         """Put a failed-attempt group back in the queue for retry."""
@@ -309,7 +499,14 @@ class JobQueue:
         self._running.discard(key)
         group = self._groups.pop(key)
         now = time.monotonic()
-        future = group[0].future
+        primary = group[0]
+        future = primary.future
+        if self.tracer is not None:
+            if primary.run_span is not None:  # failed attempt never re-dispatched
+                primary.run_span.attrs["failed"] = True
+                self.tracer.end_span(primary.run_span)
+                primary.run_span = None
+            self.tracer.end_span(primary.exec_span)
         for job in group:
             job.finished_mono = now
             if job.started_mono is None:  # failed before ever dispatching
@@ -317,10 +514,19 @@ class JobQueue:
             if error is None:
                 job.state = JobState.DONE
                 self.metrics.job_completed(job.wait_s or 0.0, job.run_s or 0.0)
+                job.add_event("done")
             else:
                 job.state = JobState.FAILED
                 job.error = f"{type(error).__name__}: {error}"
                 self.metrics.job_failed()
+                job.add_event("failed", error=job.error)
+            if self.tracer is not None:
+                if job.queue_span is not None:
+                    job.queue_span.attrs.setdefault("outcome", job.state.value)
+                    self.tracer.end_span(job.queue_span)
+                if job.request_span is not None:
+                    job.request_span.attrs["outcome"] = job.state.value
+                    self.tracer.end_span(job.request_span)
         assert future is not None
         if error is None:
             future.set_result(result)

@@ -23,14 +23,23 @@ before cancelling the loop.
 from __future__ import annotations
 
 import asyncio
+import itertools
 
-from ..harness.runner import run_many_settled
+from ..harness.runner import run_many_settled, run_many_traced_settled
 from .metrics import ServiceMetrics
 from .queue import Job, JobQueue
 
 
 class BatchScheduler:
-    """Drains the :class:`JobQueue` into ``run_many_settled`` batches."""
+    """Drains the :class:`JobQueue` into ``run_many_settled`` batches.
+
+    When ``traced`` is on (the default whenever the queue owns a tracer),
+    batches run through :func:`run_many_traced_settled` instead: each
+    successful attempt ships its engine spans back out-of-band and the
+    scheduler re-parents them under the group's ``run`` span via
+    :meth:`JobQueue.attach_spans` before settling the future — so by the
+    time a client sees ``state: done``, the trace is complete.
+    """
 
     def __init__(
         self,
@@ -43,6 +52,8 @@ class BatchScheduler:
         retry_backoff_s: float = 0.05,
         max_workers: "int | None" = None,
         runner=run_many_settled,
+        traced_runner=run_many_traced_settled,
+        traced: "bool | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
@@ -54,6 +65,9 @@ class BatchScheduler:
         self.retry_backoff_s = retry_backoff_s
         self.max_workers = max_workers
         self._runner = runner
+        self._traced_runner = traced_runner
+        self.traced = (queue.tracer is not None) if traced is None else traced
+        self._batch_seq = itertools.count(1)
         self._task: "asyncio.Task | None" = None
 
     # -- lifecycle -----------------------------------------------------------
@@ -105,11 +119,21 @@ class BatchScheduler:
             await asyncio.sleep(tick)
 
     async def _execute(self, batch: "list[Job]") -> None:
+        batch_seq = next(self._batch_seq)
         for job in batch:
+            self.queue.note_scheduled(job.key, batch_seq, len(batch))
             self.queue.mark_running(job.key)
         self.metrics.batch_started(len(batch))
         sims = [job.sim for job in batch]
-        outcomes = await asyncio.to_thread(self._runner, sims, self.max_workers)
+        if self.traced:
+            slots = await asyncio.to_thread(self._traced_runner, sims, self.max_workers)
+            outcomes = []
+            for job, (outcome, spans, evicted) in zip(batch, slots):
+                outcomes.append(outcome)
+                if not isinstance(outcome, Exception):
+                    self.queue.attach_spans(job.key, spans, evicted)
+        else:
+            outcomes = await asyncio.to_thread(self._runner, sims, self.max_workers)
         retry: "list[Job]" = []
         for job, outcome in zip(batch, outcomes):
             if isinstance(outcome, Exception):

@@ -8,12 +8,21 @@ the harness runner's process pool. The API surface:
 ``POST /jobs``              submit a simulation; ``202`` + job status payload
                             (``200`` when answered from cache), ``400`` on a
                             bad request, ``429`` on backpressure, ``503``
-                            while draining
-``GET /jobs/{id}``          job status (state, latencies, attempts, coalesced)
+                            while draining; honours a W3C ``traceparent``
+                            request header
+``GET /jobs/{id}``          job status (state, latencies, attempts, coalesced,
+                            trace id)
+``GET /jobs/{id}/events``   the job's lifecycle event log as streamed JSON
+                            lines (chunked); ``?follow=0`` dumps and closes
 ``GET /results/{id}``       ``200`` + full result once done, ``202`` while
                             pending, ``500`` once failed
-``GET /healthz``            liveness + queue gauges
-``GET /metrics``            the service's ``obs.CounterRegistry`` snapshot
+``GET /healthz``            liveness + queue gauges + live SLO evaluation
+``GET /metrics``            the service's ``obs.CounterRegistry`` snapshot;
+                            ``?format=prometheus`` serves text exposition
+``GET /metrics/series``     ring-buffered time-series, bucketed server-side
+                            (``?name=jobs.total_s&bucket=60``)
+``GET /traces/{id}``        one distributed trace's span closure;
+                            ``?format=perfetto`` serves Chrome-trace JSON
 ``POST /shutdown``          graceful drain (``{"drain": false}`` aborts the
                             queue instead)
 ==========================  ==================================================
@@ -34,9 +43,11 @@ import asyncio
 import json
 import os
 from dataclasses import dataclass
+from urllib.parse import parse_qs
 
 from ..config import LINKS_BY_NAME
 from ..harness.runner import SimJob
+from ..obs.distributed import TraceStore, distributed_chrome_trace, parse_traceparent
 from ..paradigms.registry import PARADIGMS
 from ..workloads.registry import (
     EXTRA_WORKLOADS,
@@ -45,8 +56,10 @@ from ..workloads.registry import (
     workload_names,
 )
 from .metrics import ServiceMetrics
-from .queue import JobQueue, JobState, QueueFull, ServiceClosed
+from .queue import Job, JobQueue, JobState, QueueFull, ServiceClosed
 from .scheduler import BatchScheduler
+from .slo import evaluate_slos, slos_from_env
+from .timeseries import DEFAULT_SERIES_SAMPLES
 
 _STATUS_PHRASES = {
     200: "OK",
@@ -85,6 +98,9 @@ class ServiceSettings:
     max_retries: int = 2
     retry_backoff_s: float = 0.05
     max_workers: "int | None" = None
+    trace: bool = True
+    max_traces: int = 256
+    series_samples: int = DEFAULT_SERIES_SAMPLES
 
     @classmethod
     def from_env(cls, **overrides) -> "ServiceSettings":
@@ -107,6 +123,9 @@ class ServiceSettings:
             )
             / 1000.0,
             "max_workers": int(workers) if workers else None,
+            "trace": os.environ.get("REPRO_SERVICE_TRACE", "1") not in ("0", "false"),
+            "max_traces": _env_int("REPRO_SERVICE_MAX_TRACES", cls.max_traces),
+            "series_samples": _env_int("REPRO_SERVICE_SERIES_SAMPLES", cls.series_samples),
         }
         values.update({k: v for k, v in overrides.items() if v is not None})
         return cls(**values)
@@ -164,8 +183,14 @@ class SimulationService:
         registry=None,
     ) -> None:
         self.settings = settings if settings is not None else ServiceSettings.from_env()
-        self.metrics = ServiceMetrics(registry)
-        self.queue = JobQueue(self.metrics, max_depth=self.settings.queue_depth)
+        self.metrics = ServiceMetrics(registry, series_samples=self.settings.series_samples)
+        self.tracer = (
+            TraceStore(max_traces=self.settings.max_traces) if self.settings.trace else None
+        )
+        self.slos = slos_from_env()
+        self.queue = JobQueue(
+            self.metrics, max_depth=self.settings.queue_depth, tracer=self.tracer
+        )
         self.scheduler = BatchScheduler(
             self.queue,
             self.metrics,
@@ -224,10 +249,16 @@ class SimulationService:
             request = await self._read_request(reader)
             if request is None:
                 return
-            method, path, body = request
-            status, payload = await self._route(method, path, body)
-            writer.write(_render_response(status, payload))
-            await writer.drain()
+            method, path, query, headers, body = request
+            status, payload = await self._route(method, path, query, headers, body)
+            if isinstance(payload, _EventStream):
+                await self._stream_events(writer, payload)
+            elif isinstance(payload, _TextResponse):
+                writer.write(_render_text(status, payload))
+                await writer.drain()
+            else:
+                writer.write(_render_response(status, payload))
+                await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -239,53 +270,71 @@ class SimulationService:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> "tuple[str, str, bytes] | None":
+    ) -> "tuple[str, str, dict, dict, bytes] | None":
         request_line = await reader.readline()
         if not request_line:
             return None
         try:
             method, target, _version = request_line.decode("latin-1").split()
         except ValueError:
-            return "GET", "/__malformed__", b""
-        content_length = 0
+            return "GET", "/__malformed__", {}, {}, b""
+        headers: "dict[str, str]" = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = min(int(value.strip()), MAX_BODY_BYTES)
-                except ValueError:
-                    content_length = 0
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = min(int(headers.get("content-length", "0")), MAX_BODY_BYTES)
+        except ValueError:
+            content_length = 0
         body = await reader.readexactly(content_length) if content_length else b""
-        return method.upper(), target.split("?", 1)[0], body
+        path, _, raw_query = target.partition("?")
+        query = {name: values[-1] for name, values in parse_qs(raw_query).items()}
+        return method.upper(), path, query, headers, body
 
-    async def _route(self, method: str, path: str, body: bytes) -> "tuple[int, dict]":
+    async def _route(
+        self, method: str, path: str, query: dict, headers: dict, body: bytes
+    ) -> "tuple[int, object]":
         if path == "/healthz" and method == "GET":
             return 200, {
                 "status": "ok",
                 "queued": self.queue.depth,
                 "inflight": self.queue.inflight,
                 "draining": self.queue.closed,
+                "trace": self.tracer is not None,
+                "slo": evaluate_slos(self.slos, self.metrics.series),
             }
         if path == "/metrics" and method == "GET":
+            if query.get("format") == "prometheus":
+                return 200, _TextResponse(
+                    self.metrics.prometheus(), "text/plain; version=0.0.4; charset=utf-8"
+                )
             return 200, {"metrics": self.metrics.snapshot()}
+        if path == "/metrics/series" and method == "GET":
+            return self._series(query)
         if path == "/jobs" and method == "POST":
-            return self._submit(body)
+            return self._submit(headers, body)
+        if path.startswith("/jobs/") and path.endswith("/events") and method == "GET":
+            return self._job_events(path[len("/jobs/"):-len("/events")], query)
         if path.startswith("/jobs/") and method == "GET":
             return self._job_status(path[len("/jobs/"):])
         if path.startswith("/results/") and method == "GET":
             return self._job_result(path[len("/results/"):])
+        if path.startswith("/traces/") and method == "GET":
+            return self._trace(path[len("/traces/"):], query)
         if path == "/shutdown" and method == "POST":
             return self._shutdown_request(body)
-        if path in ("/jobs", "/shutdown") or path.startswith(("/jobs/", "/results/")):
+        if path in ("/jobs", "/shutdown", "/metrics/series") or path.startswith(
+            ("/jobs/", "/results/", "/traces/")
+        ):
             return 405, {"error": f"method {method} not allowed on {path}"}
         return 404, {"error": f"no such route: {method} {path}"}
 
     # -- route handlers ------------------------------------------------------
 
-    def _submit(self, body: bytes) -> "tuple[int, dict]":
+    def _submit(self, headers: dict, body: bytes) -> "tuple[int, dict]":
         try:
             payload = json.loads(body or b"{}")
         except ValueError:
@@ -294,13 +343,73 @@ class SimulationService:
             sim, priority = parse_job_payload(payload)
         except ValueError as exc:
             return 400, {"error": str(exc)}
+        trace = parse_traceparent(headers.get("traceparent"))
         try:
-            job = self.queue.submit(sim, priority)
+            job = self.queue.submit(sim, priority, trace=trace)
         except QueueFull as exc:
             return 429, {"error": str(exc)}
         except ServiceClosed as exc:
             return 503, {"error": str(exc)}
         return (200 if job.cache_hit else 202), job.as_dict()
+
+    def _series(self, query: dict) -> "tuple[int, dict]":
+        series = self.metrics.series
+        name = query.get("name")
+        if not name:
+            return 200, {"series": series.names()}
+        if name not in series.names():
+            return 404, {"error": f"unknown series {name!r}", "series": series.names()}
+        try:
+            bucket_s = float(query.get("bucket", "60"))
+            start = float(query["start"]) if "start" in query else None
+            end = float(query["end"]) if "end" in query else None
+            buckets = series.bucketed(name, bucket_s, start, end)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        return 200, {"name": name, "bucket_s": bucket_s, "buckets": buckets}
+
+    def _job_events(self, job_id: str, query: dict) -> "tuple[int, object]":
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job id {job_id!r}"}
+        follow = query.get("follow", "1") not in ("0", "false")
+        return 200, _EventStream(job, follow)
+
+    def _trace(self, trace_id: str, query: dict) -> "tuple[int, dict]":
+        if self.tracer is None:
+            return 404, {"error": "tracing is disabled (REPRO_SERVICE_TRACE=0)"}
+        spans = self.tracer.closure(trace_id)
+        if not spans:
+            return 404, {"error": f"unknown trace id {trace_id!r}"}
+        if query.get("format") == "perfetto":
+            return 200, distributed_chrome_trace(trace_id, spans)
+        return 200, {
+            "trace_id": trace_id,
+            "spans": [span.to_dict() for span in sorted(spans, key=lambda s: (s.start, s.span_id))],
+        }
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, stream: "_EventStream") -> None:
+        """Serve one job's event log as chunked JSON lines, following live."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        job = stream.job
+        sent = 0
+        while True:
+            while sent < len(job.events):
+                line = (json.dumps(job.events[sent], sort_keys=True) + "\n").encode("utf-8")
+                writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+                sent += 1
+            await writer.drain()
+            if not stream.follow or (job.terminal and sent >= len(job.events)):
+                break
+            await job.wait_events(sent)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
 
     def _job_status(self, job_id: str) -> "tuple[int, dict]":
         job = self.queue.get(job_id)
@@ -335,7 +444,40 @@ class SimulationService:
         return 202, {"status": "draining" if drain else "stopping"}
 
 
-def _render_response(status: int, payload: dict) -> bytes:
+class _TextResponse:
+    """Marker: serve a non-JSON body (the Prometheus scrape)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
+class _EventStream:
+    """Marker: stream this job's event log instead of one JSON body."""
+
+    __slots__ = ("job", "follow")
+
+    def __init__(self, job: Job, follow: bool) -> None:
+        self.job = job
+        self.follow = follow
+
+
+def _render_text(status: int, payload: _TextResponse) -> bytes:
+    body = payload.text.encode("utf-8")
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {phrase}\r\n"
+        f"Content-Type: {payload.content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def _render_response(status: int, payload) -> bytes:
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
     phrase = _STATUS_PHRASES.get(status, "Unknown")
     head = (

@@ -1,0 +1,134 @@
+"""Ring-buffered metric time-series with server-side bucketing.
+
+Counters and histograms answer "how much, ever"; capacity planning and SLO
+evaluation need "how much, *when*". :class:`SeriesStore` keeps a bounded
+ring of ``(timestamp, value)`` samples per named series (latency samples,
+queue-depth snapshots, per-job success bits) and serves them **bucketed on
+the server**: ``GET /metrics/series?name=...&bucket=...`` returns one
+summary row per time bucket — count / min / max / avg / p50 / p99 — so a
+dashboard polling a busy service downloads O(window/bucket) rows instead of
+every sample.
+
+The ring bound (``REPRO_SERVICE_SERIES_SAMPLES``, default 4096 samples per
+series) makes a long-lived process's series memory a hard constant; evicted
+samples are counted per store. Percentiles use linear interpolation between
+order statistics (the common "type 7" estimator), matching numpy's default.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from ..obs.registry import Number
+
+#: Default per-series ring capacity when the setting is absent.
+DEFAULT_SERIES_SAMPLES = 4096
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted value list."""
+    if not values:
+        raise ValueError("percentile of an empty list")
+    if len(values) == 1:
+        return values[0]
+    rank = (len(values) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(values) - 1)
+    frac = rank - lo
+    return values[lo] * (1.0 - frac) + values[hi] * frac
+
+
+class SeriesStore:
+    """Named, bounded time-series of ``(t, value)`` samples.
+
+    Loop-confined like the queue — all access happens on the server's event
+    loop (or under the test's single thread), so no locks. Series are
+    created on first :meth:`record`.
+    """
+
+    def __init__(self, max_samples: int = DEFAULT_SERIES_SAMPLES, clock=time.time) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be at least 1")
+        self.max_samples = max_samples
+        self.evicted = 0
+        self._clock = clock
+        self._series: "dict[str, deque[tuple[float, float]]]" = {}
+
+    def record(self, name: str, value: Number, t: "float | None" = None) -> None:
+        """Append one sample to ``name`` (evicting the oldest when full)."""
+        ring = self._series.get(name)
+        if ring is None:
+            ring = self._series[name] = deque(maxlen=self.max_samples)
+        if len(ring) == self.max_samples:
+            self.evicted += 1
+        ring.append((self._clock() if t is None else t, float(value)))
+
+    def names(self) -> "list[str]":
+        """Every series name, sorted."""
+        return sorted(self._series)
+
+    def window(
+        self, name: str, start: "float | None" = None, end: "float | None" = None
+    ) -> "list[tuple[float, float]]":
+        """Raw samples of one series inside ``[start, end)`` (whole ring by default)."""
+        ring = self._series.get(name)
+        if ring is None:
+            return []
+        return [
+            (t, v)
+            for t, v in ring
+            if (start is None or t >= start) and (end is None or t < end)
+        ]
+
+    def bucketed(
+        self,
+        name: str,
+        bucket_s: float,
+        start: "float | None" = None,
+        end: "float | None" = None,
+    ) -> "list[dict]":
+        """Per-bucket summaries of one series, oldest bucket first.
+
+        Buckets are aligned to ``floor(t / bucket_s) * bucket_s`` so two
+        polls of the same window return identical bucket edges. Empty
+        buckets are skipped (a sparse series yields sparse rows). Each row:
+        ``{"t": bucket_start, "count", "min", "max", "avg", "p50", "p99"}``.
+        """
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        samples = self.window(name, start, end)
+        buckets: "dict[float, list[float]]" = {}
+        for t, value in samples:
+            buckets.setdefault(int(t / bucket_s) * bucket_s, []).append(value)
+        rows = []
+        for bucket_start in sorted(buckets):
+            values = sorted(buckets[bucket_start])
+            rows.append(
+                {
+                    "t": bucket_start,
+                    "count": len(values),
+                    "min": values[0],
+                    "max": values[-1],
+                    "avg": sum(values) / len(values),
+                    "p50": percentile(values, 50.0),
+                    "p99": percentile(values, 99.0),
+                }
+            )
+        return rows
+
+    def summary(self, name: str, window_s: "float | None" = None) -> "dict | None":
+        """One summary row over a trailing window (``None`` when empty)."""
+        start = None if window_s is None else self._clock() - window_s
+        samples = self.window(name, start=start)
+        if not samples:
+            return None
+        values = sorted(value for _, value in samples)
+        return {
+            "count": len(values),
+            "min": values[0],
+            "max": values[-1],
+            "avg": sum(values) / len(values),
+            "p50": percentile(values, 50.0),
+            "p99": percentile(values, 99.0),
+        }

@@ -29,6 +29,44 @@ class TestTracingFlag:
         assert len(collector) == 1
 
 
+class TestRingBuffer:
+    def _span(self, i: int) -> Span:
+        return Span(f"k{i}", "kernel", "gpu0", float(i), float(i) + 1)
+
+    def test_capacity_evicts_oldest(self):
+        collector = TraceCollector(enabled=True, capacity=3)
+        for i in range(5):
+            collector.record(self._span(i))
+        assert [s.name for s in collector.spans] == ["k2", "k3", "k4"]
+        assert collector.evicted == 2
+
+    def test_env_knob_sets_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_MAX_SPANS", "2")
+        collector = TraceCollector(enabled=True)
+        assert collector.capacity == 2
+        for i in range(3):
+            collector.emit(f"k{i}", "kernel", "gpu0", float(i), float(i) + 1)
+        assert len(collector) == 2
+        assert collector.evicted == 1
+
+    def test_bad_env_value_falls_back_to_default(self, monkeypatch):
+        from repro.obs.collector import DEFAULT_MAX_SPANS
+
+        monkeypatch.setenv("REPRO_TRACE_MAX_SPANS", "not-a-number")
+        assert TraceCollector(enabled=True).capacity == DEFAULT_MAX_SPANS
+        monkeypatch.setenv("REPRO_TRACE_MAX_SPANS", "0")
+        assert TraceCollector(enabled=True).capacity == 1
+
+    def test_clear_resets_eviction_count(self):
+        collector = TraceCollector(enabled=True, capacity=1)
+        collector.record(self._span(0))
+        collector.record(self._span(1))
+        assert collector.evicted == 1
+        collector.clear()
+        assert collector.evicted == 0
+        assert len(collector) == 0
+
+
 class TestEngineEmission:
     def test_spans_match_schedule(self):
         engine = Engine()

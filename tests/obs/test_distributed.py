@@ -1,0 +1,245 @@
+"""repro.obs.distributed: contexts, span store, re-parenting, export."""
+
+import pytest
+
+from repro.obs import validate_chrome_trace
+from repro.obs.distributed import (
+    DistSpan,
+    SequentialIds,
+    TraceContext,
+    TraceStore,
+    derived_span_id,
+    distributed_chrome_trace,
+    dump_chrome_trace,
+    mint_span_id,
+    mint_trace_id,
+    parse_traceparent,
+    set_id_generator,
+    synthesize_roots,
+)
+
+
+@pytest.fixture
+def sequential_ids():
+    set_id_generator(SequentialIds())
+    yield
+    set_id_generator(None)
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def tick(self, dt: float = 1.0) -> float:
+        self.t += dt
+        return self.t
+
+
+class TestTraceContext:
+    def test_mint_and_roundtrip(self):
+        context = TraceContext.mint()
+        assert len(context.trace_id) == 32
+        assert len(context.span_id) == 16
+        assert parse_traceparent(context.to_traceparent()) == context
+
+    def test_child_keeps_trace(self):
+        context = TraceContext.mint()
+        child = context.child()
+        assert child.trace_id == context.trace_id
+        assert child.span_id != context.span_id
+
+    def test_unsampled_flag_roundtrips(self):
+        header = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-00"
+        context = parse_traceparent(header)
+        assert context is not None and not context.sampled
+        assert context.to_traceparent() == header
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-" + "ab" * 16 + "-" + "cd" * 8,  # missing flags
+            "00-" + "xy" * 16 + "-" + "cd" * 8 + "-01",  # non-hex
+            "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",  # zero trace id
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # zero span id
+        ],
+    )
+    def test_rejects_malformed(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_parse_is_case_insensitive(self):
+        header = "00-" + "AB" * 16 + "-" + "CD" * 8 + "-01"
+        context = parse_traceparent(header)
+        assert context is not None and context.trace_id == "ab" * 16
+
+
+class TestIdGenerators:
+    def test_sequential_is_deterministic(self):
+        a, b = SequentialIds(), SequentialIds()
+        assert [a.trace_id(), a.span_id()] == [b.trace_id(), b.span_id()]
+        assert a.trace_id() != a.trace_id()
+
+    def test_install_and_restore(self, sequential_ids):
+        assert mint_trace_id() == f"{1:032x}"
+        assert mint_span_id() == f"{2:016x}"
+        set_id_generator(None)
+        assert mint_trace_id() != f"{3:032x}"
+
+    def test_derived_span_id_is_pure(self):
+        assert derived_span_id("abc", 0) == derived_span_id("abc", 0)
+        assert derived_span_id("abc", 0) != derived_span_id("abc", 1)
+        assert derived_span_id("abc", 0) != derived_span_id("abd", 0)
+        assert len(derived_span_id("abc", 7)) == 16
+
+
+class TestTraceStore:
+    def test_start_end_and_point_spans(self, sequential_ids):
+        clock = FakeClock()
+        store = TraceStore(clock=clock)
+        span = store.start_span("t1", "request", kind="server", track="server")
+        clock.tick(2.0)
+        store.end_span(span)
+        assert span.duration == 2.0
+        store.end_span(span)  # idempotent
+        assert span.end == 1002.0
+        store.end_span(None)  # no-op
+        point = store.add_span("t1", "cache.hit")
+        assert point.duration == 0.0
+        assert [s.name for s in store.get("t1")] == ["request", "cache.hit"]
+        assert store.get("missing") == []
+
+    def test_eviction_oldest_first(self):
+        store = TraceStore(max_traces=2)
+        for trace in ("t1", "t2", "t3"):
+            store.start_span(trace, "request")
+        assert store.get("t1") == []
+        assert len(store.get("t3")) == 1
+        assert store.evicted_traces == 1
+        assert len(store) == 2
+        assert store.span_count == 2
+
+    def test_subtree_descends_one_root(self, sequential_ids):
+        store = TraceStore(clock=FakeClock())
+        root = store.start_span("t1", "request")
+        child = store.start_span("t1", "execute", root.span_id)
+        store.start_span("t1", "run", child.span_id)
+        store.start_span("t1", "other")  # separate root, excluded
+        names = [s.name for s in store.subtree("t1", root.span_id)]
+        assert names == ["request", "execute", "run"]
+        assert store.subtree("t1", "nope") == []
+
+    def test_closure_follows_links_one_hop(self, sequential_ids):
+        store = TraceStore(clock=FakeClock())
+        execute = store.start_span("primary", "execute")
+        store.start_span("primary", "run", execute.span_id)
+        store.start_span("dup", "request")
+        store.start_span(
+            "dup",
+            "coalesced",
+            links=[{"trace_id": "primary", "span_id": execute.span_id}],
+        )
+        names = sorted(s.name for s in store.closure("dup"))
+        assert names == ["coalesced", "execute", "request", "run"]
+        # The primary's own closure never pulls the duplicate's spans.
+        assert sorted(s.name for s in store.closure("primary")) == ["execute", "run"]
+
+    def test_attach_engine_tree(self, sequential_ids):
+        store = TraceStore(clock=FakeClock())
+        run = store.start_span("t1", "run")
+        payloads = [
+            {"name": "k1", "category": "kernel", "track": "gpu0",
+             "start": 0.0, "end": 2.0, "attrs": {"gpu": 0}},
+            {"name": "x1", "category": "transfer", "track": "egress0",
+             "start": 2.0, "end": 3.5, "attrs": {}},
+        ]
+        count = store.attach_engine_tree("t1", run.span_id, payloads, anchor=100.0)
+        assert count == 2
+        engine = [s for s in store.get("t1") if s.kind == "engine"]
+        assert [s.span_id for s in engine] == [
+            derived_span_id(run.span_id, 0),
+            derived_span_id(run.span_id, 1),
+        ]
+        assert engine[0].parent_id == run.span_id
+        assert (engine[0].start, engine[0].end) == (100.0, 102.0)
+        assert engine[0].attrs == {
+            "gpu": 0, "sim_start": 0.0, "sim_end": 2.0, "category": "kernel",
+        }
+        assert engine[1].track == "egress0"
+
+
+class TestSynthesizeRoots:
+    def test_orphan_parent_becomes_client_submit(self):
+        spans = [
+            DistSpan("request", "t1", "s2", "s1", 10.0, 13.0, track="server"),
+            DistSpan("queue.wait", "t1", "s3", "s2", 10.5, 11.0),
+        ]
+        out = synthesize_roots(spans)
+        roots = [s for s in out if s.name == "client.submit"]
+        assert len(roots) == 1
+        root = roots[0]
+        assert (root.span_id, root.parent_id) == ("s1", None)
+        assert (root.start, root.end) == (10.0, 13.0)
+        assert root.attrs == {"synthesized": True}
+
+    def test_no_orphans_no_synthesis(self):
+        spans = [DistSpan("request", "t1", "s1", None, 0.0, 1.0)]
+        assert synthesize_roots(spans) == spans
+
+
+class TestExport:
+    def _store(self):
+        clock = FakeClock()
+        store = TraceStore(clock=clock)
+        request = store.start_span(
+            "t1", "request", "client-root", kind="server", track="server"
+        )
+        clock.tick(0.5)
+        queue = store.start_span("t1", "queue.wait", request.span_id)
+        clock.tick(1.0)
+        store.end_span(queue)
+        execute = store.start_span("t1", "execute", request.span_id)
+        run = store.start_span("t1", "run", execute.span_id, track="attempt")
+        store.attach_engine_tree(
+            "t1", run.span_id,
+            [{"name": "k", "category": "kernel", "track": "gpu0",
+              "start": 0.0, "end": 0.25, "attrs": {}}],
+            anchor=run.start,
+        )
+        clock.tick(1.0)
+        store.end_span(run)
+        store.end_span(execute)
+        store.end_span(request)
+        return store
+
+    def test_export_is_schema_valid(self, sequential_ids):
+        store = self._store()
+        payload = distributed_chrome_trace("t1", store.closure("t1"))
+        assert validate_chrome_trace(payload) == []
+
+    def test_lanes_split_service_and_engine(self, sequential_ids):
+        store = self._store()
+        payload = distributed_chrome_trace("t1", store.closure("t1"))
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in slices}
+        assert by_name["k"]["pid"] == 1
+        assert by_name["request"]["pid"] == 0
+        assert by_name["client.submit"]["args"]["span_id"] == "client-root"
+        # Timestamps are rebased: the earliest slice starts at zero.
+        assert min(e["ts"] for e in slices) == 0.0
+
+    def test_dump_is_byte_stable(self, sequential_ids):
+        store = self._store()
+        first = dump_chrome_trace(distributed_chrome_trace("t1", store.closure("t1")))
+        second = dump_chrome_trace(distributed_chrome_trace("t1", store.closure("t1")))
+        assert first == second
+        assert first.endswith("\n")
+
+    def test_empty_trace_exports_empty(self):
+        payload = distributed_chrome_trace("t1", [])
+        assert payload["traceEvents"] == []
+        assert payload["otherData"]["trace_id"] == "t1"

@@ -1,0 +1,106 @@
+"""Prometheus text exposition: rendering, grammar validator, golden file."""
+
+from pathlib import Path
+
+from repro.obs import CounterRegistry, prometheus_text, promtext_problems
+from repro.obs.promtext import sanitize_metric_name
+from repro.service import ServiceMetrics
+
+GOLDEN = Path(__file__).parent / "baselines" / "registry.golden.prom"
+
+
+def build_registry() -> CounterRegistry:
+    """A fixed registry covering every family kind the renderer handles."""
+    registry = CounterRegistry()
+    scope = registry.scope("svc")
+    scope.counter("jobs.completed")
+    scope.add("jobs.completed", 3)
+    scope.counter("jobs.failed")
+    scope.gauge("queue.depth", 2)
+    histogram = scope.histogram("latency.run_s", (0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestRendering:
+    def test_histograms_render_full_families(self):
+        text = prometheus_text(build_registry())
+        assert "# TYPE svc_latency_run_s histogram" in text
+        assert 'svc_latency_run_s_bucket{le="0.1"} 1' in text
+        assert 'svc_latency_run_s_bucket{le="1"} 2' in text
+        assert 'svc_latency_run_s_bucket{le="+Inf"} 4' in text
+        assert "svc_latency_run_s_sum 55.55" in text
+        assert "svc_latency_run_s_count 4" in text
+
+    def test_counters_and_gauges_typed(self):
+        text = prometheus_text(build_registry())
+        assert "# TYPE svc_jobs_completed counter" in text
+        assert "svc_jobs_completed 3" in text
+        assert "# TYPE svc_jobs_failed counter\nsvc_jobs_failed 0" in text
+        assert "# TYPE svc_queue_depth gauge" in text
+
+    def test_output_is_sorted_and_newline_terminated(self):
+        text = prometheus_text(build_registry())
+        assert text.endswith("\n")
+        types = [line.split(" ")[2] for line in text.splitlines()
+                 if line.startswith("# TYPE ")]
+        assert types == sorted(types)
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("service.jobs.failed") == "service_jobs_failed"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("a-b c") == "a_b_c"
+
+    def test_matches_golden_file(self):
+        text = prometheus_text(build_registry())
+        assert text == GOLDEN.read_text(), (
+            "promtext rendering drifted; if intentional, regenerate with\n"
+            "  PYTHONPATH=src:tests python -c \"from obs.test_promtext import *; "
+            "GOLDEN.write_text(prometheus_text(build_registry()))\""
+        )
+
+
+class TestGrammar:
+    def test_clean_payload_has_no_problems(self):
+        assert promtext_problems(prometheus_text(build_registry())) == []
+
+    def test_missing_type_line(self):
+        problems = promtext_problems("orphan_metric 1\n")
+        assert any("no TYPE line" in p for p in problems)
+
+    def test_missing_inf_bucket(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\nh_sum 1\nh_count 1\n')
+        assert any("+Inf" in p for p in promtext_problems(text))
+
+    def test_non_cumulative_buckets(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+                "h_sum 1\nh_count 3\n")
+        assert any("cumulative" in p for p in promtext_problems(text))
+
+    def test_inf_bucket_must_equal_count(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 3\nh_sum 1\nh_count 4\n')
+        assert any("+Inf bucket != _count" in p for p in promtext_problems(text))
+
+    def test_missing_trailing_newline(self):
+        assert any("newline" in p for p in promtext_problems("# TYPE a gauge\na 1"))
+
+    def test_unparseable_sample(self):
+        assert any("unparseable" in p for p in promtext_problems("!!!\n"))
+
+
+class TestServiceScrape:
+    def test_service_metrics_scrape_is_clean(self):
+        metrics = ServiceMetrics()
+        metrics.job_submitted()
+        metrics.job_completed(wait_s=0.01, run_s=0.2)
+        metrics.job_failed()
+        text = metrics.prometheus()
+        assert promtext_problems(text) == []
+        assert "service_jobs_failed 1" in text
+        assert 'service_latency_wait_s_bucket{le="+Inf"} 1' in text
+        assert "service_latency_run_s_sum 0.2" in text
+        assert "service_latency_run_s_count 1" in text

@@ -1,0 +1,62 @@
+"""Streaming job event logs: ``GET /jobs/{id}/events`` via the client."""
+
+import pytest
+
+from repro.service import ClientError
+
+FAST = dict(scale=0.1, iterations=2, gpus=2)
+
+
+class TestEventStream:
+    def test_followed_stream_covers_the_lifecycle(self, live_service):
+        client = live_service.client()
+        job = client.submit("jacobi", **FAST)
+        events = list(client.events(job["id"]))  # follows until terminal
+        names = [e["event"] for e in events]
+        assert names[0] == "queued"
+        assert names[-1] == "done"
+        assert "scheduled" in names and "running" in names
+        assert "spans_attached" in names
+        assert names.index("scheduled") < names.index("running")
+
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        assert all(e["t"] > 0 for e in events)
+        queued = events[0]
+        assert queued["depth"] >= 0
+        scheduled = events[names.index("scheduled")]
+        assert scheduled["batch_size"] >= 1
+
+    def test_snapshot_does_not_follow(self, live_service):
+        client = live_service.client()
+        job = client.submit("jacobi", **FAST)
+        client.wait(job["id"], timeout=60)
+        snapshot = list(client.events(job["id"], follow=False))
+        assert [e["event"] for e in snapshot][-1] == "done"
+        # A second snapshot of a terminal job is identical.
+        assert snapshot == list(client.events(job["id"], follow=False))
+
+    def test_cache_hit_event_head(self, live_service):
+        client = live_service.client()
+        client.run("jacobi", timeout=60, **FAST)
+        job = client.submit("jacobi", **FAST)
+        assert job["cache_hit"] is True
+        names = [e["event"] for e in client.events(job["id"])]
+        assert names == ["cache_hit", "done"]
+
+    def test_coalesced_event_names_primary(self, live_service):
+        client = live_service.client()
+        first = client.submit("ct", **FAST)
+        second = client.submit("ct", **FAST)
+        client.wait(second["id"], timeout=60)
+        if second["coalesced"]:  # lost the race only if the first finished
+            events = list(client.events(second["id"], follow=False))
+            assert events[0]["event"] == "coalesced"
+            assert events[0]["primary"] == first["id"]
+        else:
+            assert second["cache_hit"]
+
+    def test_unknown_job_404(self, live_service):
+        client = live_service.client()
+        with pytest.raises(ClientError) as excinfo:
+            list(client.events("job-999999"))
+        assert excinfo.value.status == 404

@@ -87,6 +87,78 @@ class TestRoutes:
         assert "service.latency.run_s.le_inf" in metrics
 
 
+class TestObservabilityRoutes:
+    def test_healthz_reports_slo_and_trace(self, live_service):
+        status, payload = raw_request(live_service.url + "/healthz")
+        assert status == 200
+        assert payload["trace"] is True
+        assert {r["name"] for r in payload["slo"]} == {
+            "job-latency-30s", "job-availability",
+        }
+
+    def test_prometheus_format_is_text(self, live_service):
+        request = urllib.request.Request(
+            live_service.url + "/metrics?format=prometheus"
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 200
+            assert "text/plain" in response.headers["Content-Type"]
+            text = response.read().decode()
+        from repro.obs import promtext_problems
+
+        assert promtext_problems(text) == []
+        assert "service_queue_depth" in text
+
+    def test_series_catalog_and_buckets(self, live_service):
+        client = live_service.client()
+        client.run("jacobi", timeout=60, **FAST)
+        catalog = client.series()
+        assert "jobs.total_s" in catalog["series"]
+        payload = client.series("jobs.total_s", bucket_s=3600.0)
+        assert payload["bucket_s"] == 3600.0
+        assert sum(row["count"] for row in payload["buckets"]) >= 1
+        row = payload["buckets"][0]
+        assert {"t", "count", "min", "max", "avg", "p50", "p99"} <= set(row)
+
+    def test_series_error_statuses(self, live_service):
+        status, payload = raw_request(
+            live_service.url + "/metrics/series?name=bogus"
+        )
+        assert status == 404
+        assert "series" in payload  # the catalog rides along on the miss
+        live_service.client().run("jacobi", timeout=60, **FAST)
+        status, _ = raw_request(
+            live_service.url + "/metrics/series?name=jobs.total_s&bucket=0"
+        )
+        assert status == 400
+
+    def test_unknown_trace_404(self, live_service):
+        status, payload = raw_request(live_service.url + "/traces/" + "0" * 32)
+        assert status == 404
+        assert "unknown trace id" in payload["error"]
+
+    def test_tracing_disabled_404s_and_healthz_says_so(self, fast_settings, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_TRACE", "0")
+        clear_run_cache()
+        service = LiveService(ServiceSettings(**{**fast_settings.__dict__, "trace": False}))
+        try:
+            client = service.client()
+            assert client.healthz()["trace"] is False
+            job = client.run("jacobi", timeout=60, **FAST)
+            assert job.get("trace_id") is None
+            status, payload = raw_request(service.url + "/traces/" + "0" * 32)
+            assert status == 404
+            assert "disabled" in payload["error"]
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()
+
+    def test_new_routes_reject_wrong_method(self, live_service):
+        for path in ("/metrics/series", "/traces/abc", "/jobs/x/events"):
+            status, _ = raw_request(live_service.url + path, method="POST")
+            assert status == 405, path
+
+
 class TestJobFlow:
     def test_submit_poll_result(self, live_service):
         client = live_service.client()

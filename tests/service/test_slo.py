@@ -1,0 +1,140 @@
+"""SLO definitions, env override, and live evaluation against the series."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    DEFAULT_SLOS,
+    SLO,
+    SeriesStore,
+    evaluate_slo,
+    evaluate_slos,
+    slos_from_env,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestDefinition:
+    def test_defaults_cover_latency_and_availability(self):
+        by_name = {slo.name: slo for slo in DEFAULT_SLOS}
+        assert set(by_name) == {"job-latency-30s", "job-availability"}
+        assert by_name["job-latency-30s"].threshold_s == 30.0
+        assert by_name["job-latency-30s"].series == "jobs.total_s"
+        assert by_name["job-availability"].threshold_s is None
+        assert by_name["job-availability"].series == "jobs.ok"
+
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.5, 2.0])
+    def test_objective_must_be_open_interval(self, objective):
+        with pytest.raises(ValueError, match="objective"):
+            SLO(name="x", series="s", objective=objective)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window_s"):
+            SLO(name="x", series="s", objective=0.9, window_s=0.0)
+
+    def test_to_dict_round_trips_fields(self):
+        slo = SLO(name="x", series="s", objective=0.9, window_s=60.0, threshold_s=1.0)
+        assert SLO(**slo.to_dict()) == slo
+
+
+class TestEnvOverride:
+    def test_empty_env_yields_defaults(self):
+        assert slos_from_env({}) == DEFAULT_SLOS
+        assert slos_from_env({"REPRO_SERVICE_SLO": ""}) == DEFAULT_SLOS
+
+    def test_valid_json_replaces_defaults(self):
+        raw = ('[{"name": "fast", "series": "jobs.total_s",'
+               ' "objective": 0.5, "window_s": 60.0, "threshold_s": 1.0}]')
+        slos = slos_from_env({"REPRO_SERVICE_SLO": raw})
+        assert slos == (
+            SLO(name="fast", series="jobs.total_s", objective=0.5,
+                window_s=60.0, threshold_s=1.0),
+        )
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "not json",
+            '{"name": "x"}',  # object, not a list
+            '[{"name": "x"}]',  # missing required fields
+            '[{"name": "x", "series": "s", "objective": 2.0}]',  # bad objective
+            '[{"name": "x", "series": "s", "objective": 0.9, "bogus": 1}]',
+        ],
+    )
+    def test_malformed_env_raises(self, raw):
+        with pytest.raises(ServiceError, match="REPRO_SERVICE_SLO"):
+            slos_from_env({"REPRO_SERVICE_SLO": raw})
+
+
+class TestEvaluation:
+    def _store(self, values, clock=None):
+        store = SeriesStore(clock=clock or FakeClock())
+        for t, value in values:
+            store.record("s", value, t=t)
+        return store
+
+    def test_latency_good_at_or_under_threshold(self):
+        store = self._store([(990.0, 1.0), (991.0, 5.0), (992.0, 5.1)])
+        slo = SLO(name="lat", series="s", objective=0.5, threshold_s=5.0)
+        report = evaluate_slo(slo, store)
+        assert (report["total"], report["good"]) == (3, 2)
+        assert report["compliance"] == pytest.approx(2 / 3)
+        assert report["ok"]
+
+    def test_availability_good_when_truthy(self):
+        store = self._store([(990.0, 1.0), (991.0, 0.0), (992.0, 1.0)])
+        slo = SLO(name="avail", series="s", objective=0.5)
+        assert evaluate_slo(slo, store)["good"] == 2
+
+    def test_burn_rate_math(self):
+        # 2 bad of 10 with a 10% budget burns the budget at 2x.
+        samples = [(990.0 + i, float(i >= 2)) for i in range(10)]
+        slo = SLO(name="x", series="s", objective=0.9)
+        report = evaluate_slo(slo, self._store(samples))
+        assert report["burn_rate"] == pytest.approx(2.0)
+        assert report["error_budget_remaining"] == 0.0
+        assert report["compliance"] == pytest.approx(0.8)
+        assert not report["ok"]
+
+    def test_burn_rate_exactly_on_budget_is_ok(self):
+        samples = [(990.0 + i, float(i != 0)) for i in range(10)]
+        report = evaluate_slo(SLO(name="x", series="s", objective=0.9),
+                              self._store(samples))
+        assert report["burn_rate"] == pytest.approx(1.0)
+        assert report["ok"]
+
+    def test_empty_window_is_ok(self):
+        report = evaluate_slo(SLO(name="x", series="s", objective=0.99),
+                              SeriesStore(clock=FakeClock()))
+        assert report == {
+            "name": "x", "series": "s", "objective": 0.99,
+            "window_s": 3600.0, "threshold_s": None,
+            "total": 0, "good": 0, "compliance": 1.0,
+            "burn_rate": 0.0, "error_budget_remaining": 1.0, "ok": True,
+        }
+
+    def test_window_excludes_old_samples(self):
+        store = self._store([(100.0, 0.0), (990.0, 1.0)])
+        slo = SLO(name="x", series="s", objective=0.9, window_s=60.0)
+        report = evaluate_slo(slo, store)
+        assert (report["total"], report["good"]) == (1, 1)
+
+    def test_explicit_now_overrides_clock(self):
+        store = self._store([(100.0, 0.0)])
+        slo = SLO(name="x", series="s", objective=0.9, window_s=60.0)
+        assert evaluate_slo(slo, store, now=120.0)["total"] == 1
+
+    def test_evaluate_all(self):
+        store = SeriesStore(clock=FakeClock())
+        store.record("jobs.total_s", 0.5, t=999.0)
+        store.record("jobs.ok", 1.0, t=999.0)
+        reports = evaluate_slos(DEFAULT_SLOS, store)
+        assert [r["name"] for r in reports] == [s.name for s in DEFAULT_SLOS]
+        assert all(r["ok"] for r in reports)

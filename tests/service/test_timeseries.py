@@ -1,0 +1,115 @@
+"""SeriesStore: ring bounds, windowing, server-side bucketing, percentiles."""
+
+import pytest
+
+from repro.service import SeriesStore, percentile
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestPercentile:
+    def test_endpoints_and_median(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+        assert percentile(values, 50.0) == 2.5
+
+    def test_linear_interpolation(self):
+        assert percentile([0.0, 10.0], 25.0) == 2.5
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+
+class TestRecording:
+    def test_record_and_names(self):
+        store = SeriesStore(clock=FakeClock())
+        store.record("jobs.run_s", 0.5)
+        store.record("jobs.wait_s", 0.1)
+        assert store.names() == ["jobs.run_s", "jobs.wait_s"]
+
+    def test_ring_evicts_oldest(self):
+        clock = FakeClock()
+        store = SeriesStore(max_samples=2, clock=clock)
+        for i in range(4):
+            clock.t = 1000.0 + i
+            store.record("x", float(i))
+        assert store.evicted == 2
+        rows = store.window("x", 0.0, float("inf"))
+        assert [value for _, value in rows] == [2.0, 3.0]
+
+    def test_explicit_timestamp_wins(self):
+        store = SeriesStore(clock=FakeClock(1000.0))
+        store.record("x", 1.0, t=500.0)
+        assert store.window("x", 0.0, 600.0) == [(500.0, 1.0)]
+
+    def test_window_is_half_open(self):
+        clock = FakeClock()
+        store = SeriesStore(clock=clock)
+        for t in (10.0, 20.0, 30.0):
+            store.record("x", t, t=t)
+        assert [t for t, _ in store.window("x", 10.0, 30.0)] == [10.0, 20.0]
+        assert store.window("unknown", 0.0, 100.0) == []
+
+
+class TestBucketing:
+    def _store(self):
+        store = SeriesStore(clock=FakeClock())
+        # Two buckets at 60s alignment: [60, 120) and [180, 240).
+        for t, value in ((65.0, 1.0), (70.0, 3.0), (119.0, 2.0), (185.0, 10.0)):
+            store.record("x", value, t=t)
+        return store
+
+    def test_buckets_are_floor_aligned(self):
+        rows = self._store().bucketed("x", 60.0)
+        assert [row["t"] for row in rows] == [60.0, 180.0]
+
+    def test_bucket_stats(self):
+        first, second = self._store().bucketed("x", 60.0)
+        assert first["count"] == 3
+        assert (first["min"], first["max"]) == (1.0, 3.0)
+        assert first["avg"] == pytest.approx(2.0)
+        assert first["p50"] == 2.0
+        assert first["p99"] == pytest.approx(percentile([1.0, 2.0, 3.0], 99.0))
+        assert second == {
+            "t": 180.0, "count": 1, "min": 10.0, "max": 10.0,
+            "avg": 10.0, "p50": 10.0, "p99": 10.0,
+        }
+
+    def test_empty_buckets_are_skipped(self):
+        rows = self._store().bucketed("x", 60.0)
+        assert all(row["count"] > 0 for row in rows)
+
+    def test_start_end_clamp(self):
+        rows = self._store().bucketed("x", 60.0, start=180.0)
+        assert [row["t"] for row in rows] == [180.0]
+
+    def test_bad_bucket_raises(self):
+        with pytest.raises(ValueError):
+            self._store().bucketed("x", 0.0)
+
+
+class TestSummary:
+    def test_summary_window(self):
+        clock = FakeClock(1000.0)
+        store = SeriesStore(clock=clock)
+        store.record("x", 5.0, t=100.0)  # outside the window
+        store.record("x", 1.0, t=950.0)
+        store.record("x", 3.0, t=990.0)
+        summary = store.summary("x", window_s=100.0)
+        assert summary["count"] == 2
+        assert summary["avg"] == 2.0
+
+    def test_empty_summary_is_none(self):
+        store = SeriesStore(clock=FakeClock())
+        assert store.summary("missing", 60.0) is None
