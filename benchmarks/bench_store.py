@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Throughput benchmarks for the ``repro.store`` result lakehouse.
+
+Measures the store's three hot operations on a synthetic 1000-result
+catalog — commit (append snapshots), query (filter + order over the live
+partition set), compact — plus the quantity the subsystem exists for:
+**incremental view refresh vs a full rescan**. The figure views refresh
+from the delta between two manifests, so bringing a view up to date after
+one small append must not re-read the whole catalog.
+
+Raw rates are machine-dependent; the committed ``BENCH_store.json``
+baseline gates on the *refresh speedup ratio* (incremental vs full,
+measured in the same run on the same machine). Independently of any
+baseline, the run fails outright if incremental refresh is less than
+5x faster than a full rescan on the 1000-result catalog — that floor is
+the subsystem's acceptance bar, not a regression gate.
+
+Usage:
+    python benchmarks/bench_store.py --out BENCH_store.json
+    python benchmarks/bench_store.py --check BENCH_store.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from bench_common import check_speedups, load_report, measure, write_report
+
+#: Catalog shape: 5 workloads x 4 paradigms x 50 scales = 1000 results,
+#: committed one scale at a time (50 append snapshots of 20 records).
+WORKLOADS = ("jacobi", "ct", "pagerank", "hit", "spmv")
+PARADIGMS = ("memcpy", "gps", "um", "rdl")
+SCALES = 50
+CATALOG = len(WORKLOADS) * len(PARADIGMS) * SCALES
+
+#: Views gated on the incremental-vs-full floor.
+GATED_VIEWS = ("fig08", "fig11")
+
+#: Hard acceptance floor for the refresh speedup (see module docstring).
+SPEEDUP_FLOOR = 5.0
+
+
+def synth_record(workload: str, paradigm: str, scale: float):
+    """One deterministic synthetic result (the store treats it as opaque)."""
+    from repro.store import StoredRecord
+
+    num_gpus = 1 if paradigm == "memcpy" else 4
+    meta = {
+        "workload": workload,
+        "paradigm": paradigm,
+        "num_gpus": num_gpus,
+        "link": "PCIe 6.0",
+        "scale": scale,
+        "iterations": 8,
+    }
+    key = hashlib.sha256(
+        "|".join(str(meta[k]) for k in sorted(meta)).encode()
+    ).hexdigest()
+    traffic = [[0 if i == j else 4096 for j in range(num_gpus)] for i in range(num_gpus)]
+    result = {
+        "program_name": workload,
+        "paradigm": paradigm,
+        "num_gpus": num_gpus,
+        "total_time": 1.0 + scale,
+        "traffic": traffic,
+        "phases": [],
+        "write_queue_stats": [],
+        "gps_tlb_stats": [],
+        "subscriber_histogram": {},
+        "fault_count": 0,
+        "pages_migrated": 0,
+        "counters": {},
+        "extras": {},
+    }
+    return StoredRecord(key=key, meta=meta, result=result, model="repro-model/bench")
+
+
+def populate(directory: Path):
+    """Build the 1000-result catalog; returns (store, seconds)."""
+    from repro.store import ResultStore
+
+    store = ResultStore.open(directory, legacy=False, auto_refresh=False)
+    start = time.perf_counter()
+    for i in range(SCALES):
+        scale = round(0.1 + i * 0.05, 2)
+        batch = [
+            synth_record(workload, paradigm, scale)
+            for workload in WORKLOADS
+            for paradigm in PARADIGMS
+        ]
+        store.append(batch)
+    return store, time.perf_counter() - start
+
+
+def bench_query(store) -> dict:
+    def one_query():
+        store.query(where=["paradigm=gps"], order_by="-total_time")
+
+    reps, total = measure(one_query, min_time=0.5)
+    rows = len(store.query(where=["paradigm=gps"]))
+    return {
+        "op": "query/filter_order",
+        "rows": rows,
+        "catalog": CATALOG,
+        "queries_per_s": round(reps / total, 1),
+    }
+
+
+def bench_refresh(store, view: str) -> dict:
+    """Full-vs-incremental refresh of one figure view after a small append."""
+    from repro.store.incremental import _state_path, refresh_view, state_ids
+
+    target = store.current_snapshot_id()
+    base = store.log.load(target).parent
+
+    def clear_states():
+        for snapshot_id in state_ids(store, view):
+            _state_path(store.directory, view, snapshot_id).unlink()
+
+    def full_pass():
+        clear_states()
+        _, stats = refresh_view(store, view, target)
+        assert stats.mode == "full", stats.mode
+        return stats
+
+    def incremental_pass():
+        _state_path(store.directory, view, target).unlink(missing_ok=True)
+        _, stats = refresh_view(store, view, target)
+        assert stats.mode == "incremental", stats.mode
+        return stats
+
+    full_reps, full_t = measure(full_pass, min_time=0.5)
+    full_stats = full_pass()
+    # Re-seed the base state the full passes kept deleting, then time deltas.
+    clear_states()
+    refresh_view(store, view, base)
+    inc_reps, inc_t = measure(incremental_pass, min_time=0.5)
+    inc_stats = incremental_pass()
+
+    full_s = full_t / full_reps
+    inc_s = inc_t / inc_reps
+    return {
+        "op": f"refresh/{view}",
+        "catalog": CATALOG,
+        "full_ms": round(full_s * 1e3, 2),
+        "incremental_ms": round(inc_s * 1e3, 2),
+        "partitions_full": full_stats.partitions_read,
+        "partitions_incremental": inc_stats.partitions_read,
+        "speedup": round(full_s / inc_s, 2) if inc_s else 0.0,
+    }
+
+
+def bench_compact(store) -> dict:
+    from repro.store import compact
+
+    files_before = store.stats()["partition_files"]
+    start = time.perf_counter()
+    report = compact(store)
+    seconds = time.perf_counter() - start
+    return {
+        "op": "compact",
+        "catalog": CATALOG,
+        "files_before": files_before,
+        "files_after": report.files_after + (files_before - report.files_before),
+        "records": report.records,
+        "seconds": round(seconds, 3),
+    }
+
+
+def run_benchmarks() -> list[dict]:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as scratch:
+        store, commit_s = populate(Path(scratch) / "store")
+        results = [
+            {
+                "op": "commit/append",
+                "records": CATALOG,
+                "commits": SCALES,
+                "records_per_s": round(CATALOG / commit_s, 1),
+            },
+            bench_query(store),
+        ]
+        # One small append on top of the full catalog: the delta the
+        # incremental refresh should pay for, and nothing else.
+        store.append([synth_record(w, p, 99.0) for w in WORKLOADS for p in PARADIGMS])
+        for view in GATED_VIEWS:
+            results.append(bench_refresh(store, view))
+        results.append(bench_compact(store))
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write BENCH_store.json here")
+    parser.add_argument("--check", default=None,
+                        help="compare against a committed BENCH_store.json; "
+                             "exit 1 on >25%% refresh-speedup regression")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks()
+    for row in results:
+        detail = ", ".join(
+            f"{k}={v}" for k, v in sorted(row.items()) if k != "op"
+        )
+        print(f"{row['op']:<22} {detail}")
+
+    gated = [row for row in results if "speedup" in row]
+    summary = {
+        "rows": len(results),
+        "catalog": CATALOG,
+        "min_refresh_speedup": min(row["speedup"] for row in gated),
+    }
+
+    failed = 0
+    for row in gated:
+        if row["speedup"] < SPEEDUP_FLOOR:
+            print(f"FAIL: {row['op']} speedup {row['speedup']:.1f}x "
+                  f"is below the {SPEEDUP_FLOOR:.0f}x acceptance floor")
+            failed += 1
+    if args.out and not failed:
+        write_report(args.out, "store", results, summary, {
+            "workloads": list(WORKLOADS),
+            "paradigms": list(PARADIGMS),
+            "scales": SCALES,
+            "speedup_floor": SPEEDUP_FLOOR,
+        })
+    if args.check:
+        baseline = load_report(args.check)
+        print(f"checking against {args.check} (model {baseline['model_version']}):")
+        regressions = check_speedups(baseline, gated, ("op",), tolerance=0.25)
+        if regressions:
+            print(f"FAIL: {regressions} row(s) regressed >25% vs baseline")
+            return 1
+        print("PASS: no refresh-speedup regressions")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

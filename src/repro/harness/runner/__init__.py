@@ -38,11 +38,13 @@ from .parallel import (
     run_many_traced_settled,
 )
 from .stats import CacheStats, FleetStats, WorkerStats
+from .store_backend import StoreCache
 
 __all__ = [
     "CacheStats",
     "DEFAULT_CACHE_DIR",
     "FleetStats",
+    "StoreCache",
     "MODEL_FINGERPRINT",
     "SimJob",
     "WorkerStats",
@@ -129,12 +131,17 @@ def clear_disk_cache() -> int:
 
 
 def disk_cache_info() -> dict:
-    """Status of the persistent layer (for ``python -m repro cache show``)."""
+    """Status of the persistent layer (for ``python -m repro cache show``).
+
+    One directory scan total: ``entries`` and ``size_bytes`` share the
+    cache's memoised scan instead of walking the directory twice.
+    """
     disk = memo.disk_cache()
     if disk is None:
         return {"enabled": False}
     return {
         "enabled": True,
+        "backend": getattr(disk, "backend", "flat"),
         "directory": str(disk.directory),
         "entries": disk.entry_count(),
         "size_bytes": disk.size_bytes(),

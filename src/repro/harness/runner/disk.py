@@ -4,10 +4,16 @@ Records live under a cache directory (default ``.repro-cache/`` in the
 working directory, overridable via ``REPRO_CACHE_DIR``; ``REPRO_NO_CACHE``
 disables the layer entirely). Filenames are the job fingerprints, which
 already embed the model version — a simulator upgrade therefore misses
-cleanly instead of replaying stale results. Writes are atomic
-(tmp + ``os.replace``) so concurrent processes sharing one cache directory
-never observe torn records; corrupt files are dropped and counted as
-evictions.
+cleanly instead of replaying stale results. Writes are crash-safe: record
+bytes are flushed and fsynced to a temp file *before* the atomic
+``os.replace``, so neither a concurrent reader nor a reader after a crash
+can observe a torn record — the published name either holds the complete
+old record or the complete new one. Corrupt files (e.g. a stray partial
+temp promoted by hand) are dropped on read and counted as evictions.
+
+Directory scans (``entry_count``/``size_bytes``/``entries``) share one
+memoised listing, invalidated by this process's own writes/evictions —
+``repro cache show`` walks the directory once, not three times.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ class DiskCache:
     def __init__(self, directory: "str | Path", stats: "CacheStats | None" = None) -> None:
         self.directory = Path(directory)
         self.stats = stats if stats is not None else CacheStats()
+        self._scan: "list[Path] | None" = None
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -67,7 +74,13 @@ class DiskCache:
             return None
 
     def put(self, key: str, result: SimulationResult, meta: "dict | None" = None) -> None:
-        """Persist one result atomically; failures disable nothing, they just count."""
+        """Persist one result crash-safely; failures disable nothing, they just count.
+
+        The record is written to a pid-suffixed temp name, flushed, and
+        fsynced before ``os.replace`` publishes it: a crash at any point
+        leaves either no record or the previous complete one — never a
+        truncated file under the final name.
+        """
         record = {
             "record_version": RECORD_VERSION,
             "model": MODEL_FINGERPRINT,
@@ -75,14 +88,22 @@ class DiskCache:
             "job": meta or {},
             "result": result.to_dict(),
         }
+        tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(json.dumps(record, sort_keys=True))
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, self._path(key))
         except OSError:
             self.stats.disk_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
             return
+        self._scan = None
         self.stats.disk_writes += 1
 
     def _evict(self, path: Path) -> None:
@@ -91,6 +112,7 @@ class DiskCache:
             self.stats.evictions += 1
         except OSError:
             pass
+        self._scan = None
 
     def clear(self) -> int:
         """Delete every record; returns how many were removed."""
@@ -101,13 +123,23 @@ class DiskCache:
                 removed += 1
             except OSError:
                 pass
+        self._scan = None
         self.stats.evictions += removed
         return removed
 
     def _record_paths(self) -> "list[Path]":
-        if not self.directory.is_dir():
-            return []
-        return sorted(self.directory.glob("*.json"))
+        """The record listing, scanned once and reused until a local mutation.
+
+        Other processes writing the shared directory invalidate nothing
+        here — the memo only serves the read-only inspection surface
+        (``entry_count``/``size_bytes``/``entries``), where a point-in-time
+        listing is the desired semantics anyway.
+        """
+        if self._scan is None:
+            if not self.directory.is_dir():
+                return []
+            self._scan = sorted(self.directory.glob("*.json"))
+        return self._scan
 
     def entry_count(self) -> int:
         """Number of persisted records."""

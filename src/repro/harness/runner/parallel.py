@@ -83,7 +83,7 @@ def compute_job_traced(job: SimJob) -> "tuple[SimulationResult, list[dict] | Non
     explicitly (overriding the worker's ``REPRO_NO_TRACE=1``) and the
     engine's spans travel back **out-of-band** as ``Span.to_dict`` payloads
     alongside the result — never inside ``SimulationResult`` itself, which
-    must stay byte-identical across the direct/cache/pool/service paths.
+    must stay byte-identical across the direct/cache/store/pool/service paths.
     Returns ``(result, span_dicts, evicted_span_count)``.
     """
     _trace_capture.sink = sink = []

@@ -1,0 +1,137 @@
+"""Lakehouse-backed persistent layer for the memoised runner.
+
+Selected with ``REPRO_RESULT_BACKEND=store``: the runner's persistent
+result layer then reads and writes the :mod:`repro.store` lakehouse
+(rooted at ``REPRO_STORE_DIR``, default ``.repro-store/``) instead of the
+flat one-file-per-fingerprint :class:`~repro.harness.runner.disk.DiskCache`.
+The first open auto-imports any existing flat ``.repro-cache/`` as an
+``import`` commit, so switching backends never loses a result corpus.
+
+:class:`StoreCache` is duck-type compatible with ``DiskCache`` — the memo
+layer and ``repro cache show`` work unchanged — but every ``put`` is a
+snapshot-versioned commit: crash-safe, time-travelable, and visible to
+``repro store`` queries and the incremental figure views.
+
+Commits refresh the materialized views only when
+``REPRO_STORE_AUTO_REFRESH`` is set: the runner's hot path favours commit
+throughput, and views catch up lazily on their next read.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ...system.results import SimulationResult
+from .fingerprint import MODEL_FINGERPRINT
+from .stats import CacheStats
+
+
+def _auto_refresh_enabled() -> bool:
+    return os.environ.get("REPRO_STORE_AUTO_REFRESH", "") not in ("", "0")
+
+
+class StoreCache:
+    """Fingerprint-keyed result layer backed by :class:`repro.store.ResultStore`."""
+
+    backend = "store"
+
+    def __init__(self, directory: "str | Path", stats: "CacheStats | None" = None) -> None:
+        self.directory = Path(directory)
+        self.stats = stats if stats is not None else CacheStats()
+        self._store = None
+
+    def _open(self):
+        """Open the lakehouse lazily (imports the legacy flat cache once)."""
+        if self._store is None:
+            from ...store import ResultStore
+
+            self._store = ResultStore.open(
+                self.directory, auto_refresh=_auto_refresh_enabled()
+            )
+        return self._store
+
+    def get(self, key: str) -> "SimulationResult | None":
+        """Latest committed copy of one fingerprint, or ``None`` on miss.
+
+        Mirrors ``DiskCache.get``'s contract: never raises — structural
+        store problems count as errors and the caller recomputes.
+        """
+        from ...store import StoreError
+
+        try:
+            record = self._open().record(key)
+            if record is None:
+                return None
+            return SimulationResult.from_dict(record.result)
+        except (OSError, StoreError, AttributeError, KeyError, TypeError, ValueError):
+            self.stats.disk_errors += 1
+            return None
+
+    def put(self, key: str, result: SimulationResult, meta: "dict | None" = None) -> None:
+        """Commit one result (one ``append`` snapshot); failures just count."""
+        from ...store import StoreError, StoredRecord
+
+        record = StoredRecord(
+            key=key,
+            meta=dict(meta or {}),
+            result=result.to_dict(),
+            model=MODEL_FINGERPRINT,
+        )
+        try:
+            self._open().append([record])
+        except (OSError, StoreError):
+            self.stats.disk_errors += 1
+            return
+        self.stats.disk_writes += 1
+
+    def clear(self) -> int:
+        """Logically truncate the store; returns records made unreachable.
+
+        History stays readable through ``store.at()`` until retention
+        expires it — ``repro store vacuum`` reclaims the bytes.
+        """
+        from ...store import StoreError
+
+        try:
+            store = self._open()
+            removed = sum(1 for _ in store.at().iter_records())
+            store.truncate()
+        except (OSError, StoreError):
+            self.stats.disk_errors += 1
+            return 0
+        self.stats.evictions += removed
+        return removed
+
+    def entry_count(self) -> int:
+        """Distinct fingerprints visible at the current snapshot."""
+        from ...store import StoreError
+
+        try:
+            return sum(1 for _ in self._open().at().iter_records())
+        except (OSError, StoreError):
+            return 0
+
+    def size_bytes(self) -> int:
+        """Canonical bytes of the current snapshot's live partitions."""
+        from ...store import StoreError
+
+        try:
+            return sum(entry.bytes for entry in self._open().at().partitions())
+        except (OSError, StoreError):
+            return 0
+
+    def entries(self) -> "list[dict]":
+        """Job metadata of every visible record (``repro cache show`` shape)."""
+        from ...store import StoreError
+
+        rows = []
+        try:
+            for record in self._open().at().iter_records():
+                job = dict(record.meta)
+                job["model"] = record.model
+                job["key"] = record.key[:12]
+                rows.append(job)
+        except (OSError, StoreError):
+            return rows
+        return rows

@@ -268,7 +268,7 @@ class ParadigmExecutor(ABC):
             counters=self.counters.as_dict(),
         )
         # The digest rides in extras so every execution path (direct, disk
-        # cache, process pool, service) carries it: a cross-path divergence
+        # cache, result store, process pool, service) carries it: a cross-path divergence
         # can then be localised to the scheduler vs. the result assembly.
         result.extras["schedule_digest"] = self.schedule_digest()
         return result

@@ -52,6 +52,8 @@ _COUNTERS = (
     "scheduler.batched_jobs",
     "trace.spans_attached",
     "trace.evicted_spans",
+    "store.persisted",
+    "store.errors",
 )
 
 
@@ -143,6 +145,16 @@ class ServiceMetrics:
     def job_retried(self) -> None:
         """One job failed an attempt and was requeued."""
         self._scope.add("jobs.retried")
+
+    # -- result-store sink ---------------------------------------------------
+
+    def store_persisted(self, count: int) -> None:
+        """``count`` completed jobs were committed to the result lakehouse."""
+        self._scope.add("store.persisted", count)
+
+    def store_error(self) -> None:
+        """One lakehouse commit failed (jobs still completed normally)."""
+        self._scope.add("store.errors")
 
     # -- tracing -------------------------------------------------------------
 

@@ -59,6 +59,7 @@ from .metrics import ServiceMetrics
 from .queue import Job, JobQueue, JobState, QueueFull, ServiceClosed
 from .scheduler import BatchScheduler
 from .slo import evaluate_slos, slos_from_env
+from .store_sink import StoreSink
 from .timeseries import DEFAULT_SERIES_SAMPLES
 
 _STATUS_PHRASES = {
@@ -101,6 +102,9 @@ class ServiceSettings:
     trace: bool = True
     max_traces: int = 256
     series_samples: int = DEFAULT_SERIES_SAMPLES
+    #: When set, completed jobs are committed to the result lakehouse at
+    #: this directory (one append snapshot per batch); ``None`` disables.
+    store_dir: "str | None" = None
 
     @classmethod
     def from_env(cls, **overrides) -> "ServiceSettings":
@@ -126,6 +130,7 @@ class ServiceSettings:
             "trace": os.environ.get("REPRO_SERVICE_TRACE", "1") not in ("0", "false"),
             "max_traces": _env_int("REPRO_SERVICE_MAX_TRACES", cls.max_traces),
             "series_samples": _env_int("REPRO_SERVICE_SERIES_SAMPLES", cls.series_samples),
+            "store_dir": os.environ.get("REPRO_SERVICE_STORE_DIR") or None,
         }
         values.update({k: v for k, v in overrides.items() if v is not None})
         return cls(**values)
@@ -191,6 +196,11 @@ class SimulationService:
         self.queue = JobQueue(
             self.metrics, max_depth=self.settings.queue_depth, tracer=self.tracer
         )
+        self.store_sink = (
+            StoreSink(self.settings.store_dir, self.metrics)
+            if self.settings.store_dir
+            else None
+        )
         self.scheduler = BatchScheduler(
             self.queue,
             self.metrics,
@@ -199,6 +209,7 @@ class SimulationService:
             max_retries=self.settings.max_retries,
             retry_backoff_s=self.settings.retry_backoff_s,
             max_workers=self.settings.max_workers,
+            sink=self.store_sink,
         )
         self._server: "asyncio.Server | None" = None
         self._stopped: "asyncio.Event | None" = None

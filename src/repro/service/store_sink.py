@@ -1,0 +1,75 @@
+"""Persisting completed service jobs into the result lakehouse.
+
+When ``ServiceSettings.store_dir`` is set (``REPRO_SERVICE_STORE_DIR``),
+the scheduler hands every batch's successful completions to a
+:class:`StoreSink`, which commits them to :class:`repro.store.ResultStore`
+as **one append snapshot per batch** — the batching the scheduler already
+does for the process pool doubles as commit batching, so a busy service
+produces a bounded snapshot rate instead of one commit per job.
+
+Persistence is strictly out-of-band: the sink runs off the event loop
+(``asyncio.to_thread``) after futures have settled, and a store failure
+increments a counter instead of failing jobs — results are already
+durable in the runner's own persistent layer when that is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..harness.runner import MODEL_FINGERPRINT
+from .metrics import ServiceMetrics
+
+if TYPE_CHECKING:
+    from ..system.results import SimulationResult
+    from .queue import Job
+
+
+class StoreSink:
+    """Commits completed jobs into one :class:`~repro.store.ResultStore`."""
+
+    def __init__(self, directory: str, metrics: "ServiceMetrics | None" = None) -> None:
+        self.directory = directory
+        self.metrics = metrics
+        self.persisted = 0
+        self.errors = 0
+        self._store: Any = None
+
+    def _open(self) -> Any:
+        if self._store is None:
+            from ..store import ResultStore
+
+            self._store = ResultStore.open(self.directory, auto_refresh=True)
+        return self._store
+
+    def persist(self, completions: "Sequence[tuple[Job, SimulationResult]]") -> int:
+        """Commit one batch's successes; returns records committed.
+
+        Blocking (disk I/O + view refresh): call via ``asyncio.to_thread``.
+        Never raises — the service must keep serving when the store is
+        sick; failures count on the sink and the service metrics.
+        """
+        if not completions:
+            return 0
+        from ..store import StoreError, StoredRecord
+
+        records = [
+            StoredRecord(
+                key=job.key,
+                meta=job.sim.meta(),
+                result=result.to_dict(),
+                model=MODEL_FINGERPRINT,
+            )
+            for job, result in completions
+        ]
+        try:
+            self._open().append(records)
+        except (OSError, StoreError):
+            self.errors += 1
+            if self.metrics is not None:
+                self.metrics.store_error()
+            return 0
+        self.persisted += len(records)
+        if self.metrics is not None:
+            self.metrics.store_persisted(len(records))
+        return len(records)

@@ -1,0 +1,88 @@
+"""``repro.store`` — the versioned, compacting, queryable result lakehouse.
+
+Every :class:`~repro.system.results.SimulationResult` the platform produces
+can land here instead of (or imported from) the flat one-file-per-result
+``.repro-cache/``: results are grouped into content-addressed partition
+files by ``workload x paradigm x model`` cell, every commit publishes a
+monotonically increasing snapshot (time-travel reads via ``store.at(ref)``,
+O(1) tags/clones), small partitions compact, retention + ``vacuum`` bound
+history and disk, and **incremental materialized views** keep one live
+aggregate per paper figure up to date as results commit.
+
+Consumers:
+
+* the harness runner's persistent layer (``REPRO_RESULT_BACKEND=store``);
+* the service's completed-job sink (``REPRO_SERVICE_STORE_DIR``);
+* ``repro verify``'s differential harness (the ``store`` execution path);
+* the ``repro store show|query|tags|compact|vacuum|history`` CLI verbs.
+
+See ``docs/STORE.md`` for the on-disk format, commit protocol, and the
+view-refresh algorithm.
+"""
+
+from .catalog import (
+    CATALOG_FILE,
+    DEFAULT_STORE_DIR,
+    ResultStore,
+    StoreReader,
+    default_store_dir,
+    open_store,
+)
+from .format import STORE_VERSION, CommitConflict, StoreError, canonical_json
+from .incremental import (
+    RefreshStats,
+    refresh_all_views,
+    refresh_view,
+    view_figure,
+)
+from .maintenance import CompactionReport, compact
+from .matviews import FIGURE_VIEWS, VIEWS_BY_NAME, FigureView, render_view
+from .partitions import PartitionEntry, StoredRecord
+from .query import Filter, QueryResult, ROW_FIELDS, parse_filter, record_row, run_query
+from .retention import (
+    ExpireReport,
+    RetentionPolicy,
+    VacuumReport,
+    expire_snapshots,
+    retained_snapshots,
+    vacuum,
+)
+from .snapshots import Snapshot
+
+__all__ = [
+    "CATALOG_FILE",
+    "CommitConflict",
+    "CompactionReport",
+    "DEFAULT_STORE_DIR",
+    "ExpireReport",
+    "FIGURE_VIEWS",
+    "Filter",
+    "FigureView",
+    "PartitionEntry",
+    "QueryResult",
+    "ROW_FIELDS",
+    "RefreshStats",
+    "RetentionPolicy",
+    "ResultStore",
+    "STORE_VERSION",
+    "Snapshot",
+    "StoreError",
+    "StoreReader",
+    "StoredRecord",
+    "VIEWS_BY_NAME",
+    "VacuumReport",
+    "canonical_json",
+    "compact",
+    "default_store_dir",
+    "expire_snapshots",
+    "open_store",
+    "parse_filter",
+    "record_row",
+    "refresh_all_views",
+    "refresh_view",
+    "render_view",
+    "retained_snapshots",
+    "run_query",
+    "vacuum",
+    "view_figure",
+]

@@ -1,0 +1,448 @@
+"""The result lakehouse: an append-only, snapshot-versioned catalog.
+
+``ResultStore`` is the facade every consumer goes through: the harness
+runner's persistent layer, the service's job sink, the verify
+differential's fifth execution path, and the ``repro store`` CLI verbs.
+
+Commit protocol (see :mod:`repro.store.snapshots` for why this is safe):
+
+1. group the commit's records into ``workload x paradigm x model`` cells
+   and write one content-addressed partition file per cell (idempotent);
+2. read the current snapshot id, build a delta manifest against it, and
+   publish it *exclusively* as ``current + 1``;
+3. on conflict (another writer claimed the id) re-read and retry — the
+   partition files written in step 1 stay valid, only the manifest is
+   rebuilt, so concurrent commits serialize without losing either;
+4. advance the advisory ``catalog.json`` pointer (readers never trust it:
+   the snapshot directory is the source of truth, so a crash between 3
+   and 4 is invisible).
+
+A crash before step 2 publishes leaves orphaned partition files that
+``vacuum`` collects later; the previous snapshot stays fully readable
+throughout.
+
+The first ``open()`` of a fresh store auto-imports the legacy flat
+``.repro-cache/`` (one JSON record per fingerprint) as an ``import``
+commit, so existing result corpora survive the backend switch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..system.results import SimulationResult
+from .format import (
+    STORE_VERSION,
+    CommitConflict,
+    StoreError,
+    canonical_json,
+    write_pointer,
+)
+from .partitions import (
+    PARTITIONS_DIR,
+    PartitionEntry,
+    StoredRecord,
+    group_records,
+    read_partition,
+    write_partition,
+)
+from .snapshots import CHECKPOINT_EVERY, Refs, Snapshot, SnapshotLog
+
+#: Default store directory, relative to the working directory.
+DEFAULT_STORE_DIR = ".repro-store"
+
+#: Mutable advisory pointer; the snapshots directory is authoritative.
+CATALOG_FILE = "catalog.json"
+
+#: Store marker written once at creation.
+MARKER_FILE = "store.json"
+
+#: Operations that always embed a full partition list (checkpoints).
+_CHECKPOINT_OPS = frozenset({"import", "compact", "truncate"})
+
+#: Bounded commit retries; each retry means another writer made progress,
+#: so hitting the bound requires dozens of concurrent committers.
+_MAX_COMMIT_RETRIES = 64
+
+
+def default_store_dir() -> Path:
+    """Resolve the store root from the environment (``REPRO_STORE_DIR``)."""
+    return Path(os.environ.get("REPRO_STORE_DIR") or DEFAULT_STORE_DIR)
+
+
+def default_legacy_dir() -> Path:
+    """Where the flat one-file-per-result cache lives (for auto-import)."""
+    from ..harness.runner.disk import DEFAULT_CACHE_DIR
+
+    return Path(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR)
+
+
+class ResultStore:
+    """One lakehouse instance rooted at ``directory``.
+
+    Instances are cheap; all durable state lives on disk. Concurrent
+    instances (threads or processes) sharing one directory are safe:
+    commits serialize through exclusive snapshot publishes and readers
+    only ever see complete, immutable objects.
+    """
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self.log = SnapshotLog(self.directory)
+        self.refs = Refs(self.directory)
+        #: Point-lookup index per resolved snapshot id: key -> partition path.
+        self._index: "dict[int, dict[str, str]]" = {}
+        self._auto_refresh = True
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: "str | Path | None" = None,
+        *,
+        create: bool = True,
+        legacy: "str | Path | None | bool" = None,
+        auto_refresh: bool = True,
+    ) -> "ResultStore":
+        """Open (and lazily create) a store, auto-importing the legacy cache.
+
+        ``legacy`` picks the flat-cache directory to import on first open:
+        ``None`` resolves ``REPRO_CACHE_DIR``/``.repro-cache``, ``False``
+        disables the import, anything else is used as the path.
+        """
+        store = cls(directory if directory is not None else default_store_dir())
+        store._auto_refresh = auto_refresh
+        marker = store.directory / MARKER_FILE
+        if not marker.exists():
+            if not create:
+                raise StoreError(f"no result store at {store.directory}")
+            store.directory.mkdir(parents=True, exist_ok=True)
+            try:
+                from .format import publish_object
+
+                publish_object(
+                    marker, {"store_version": STORE_VERSION}, exclusive=True
+                )
+            except CommitConflict:
+                pass  # another opener won the race; the store exists now
+        if legacy is not False and store.current_snapshot_id() is None:
+            legacy_dir = default_legacy_dir() if legacy is None else Path(legacy)
+            store.import_legacy(legacy_dir)
+        return store
+
+    # -- snapshot resolution -------------------------------------------------
+
+    def current_snapshot_id(self) -> "int | None":
+        return self.log.current_id()
+
+    def resolve(self, ref: "int | str | None" = None) -> "int | None":
+        """Turn a snapshot id, tag name, or ``None`` (= head) into an id."""
+        if ref is None:
+            return self.current_snapshot_id()
+        if isinstance(ref, int) or (isinstance(ref, str) and ref.isdigit()):
+            snapshot_id = int(ref)
+            self.log.load(snapshot_id)  # raises StoreError if missing
+            return snapshot_id
+        tags = self.refs.tags()
+        if ref in tags:
+            return tags[ref]
+        raise StoreError(f"unknown snapshot or tag {ref!r}")
+
+    def at(self, ref: "int | str | None" = None) -> "StoreReader":
+        """A read view pinned to one snapshot (time travel)."""
+        return StoreReader(self, self.resolve(ref))
+
+    def history(self) -> "list[Snapshot]":
+        """Every retained snapshot, oldest first."""
+        return [self.log.load(i) for i in self.log.ids()]
+
+    # -- commits -------------------------------------------------------------
+
+    def append(
+        self,
+        records: "Iterable[StoredRecord]",
+        operation: str = "append",
+    ) -> "Snapshot | None":
+        """Commit new results; returns the published snapshot (or ``None``
+
+        for an empty commit). Records grouped into partition cells; the
+        same fingerprint re-committed later *shadows* the older copy (last
+        write wins at read time; compaction physically dedups).
+        """
+        records = list(records)
+        if not records:
+            return None
+        groups = group_records(records)
+        added = tuple(
+            write_partition(self.directory, cell, cell_records)
+            for cell, cell_records in sorted(groups.items())
+        )
+        summary = {"records": len(records), "partitions": len(added)}
+        return self._commit(operation, lambda current: (added, ()), summary)
+
+    def rewrite(
+        self,
+        operation: str,
+        plan: "Callable[[list[PartitionEntry]], tuple]",
+        summary: "dict | None" = None,
+    ) -> "Snapshot | None":
+        """Commit a structural change (compaction, truncate).
+
+        ``plan`` maps the current partition list to ``(added, removed)``
+        and is *re-evaluated on every conflict retry*, so a compaction
+        plan computed against a stale snapshot is never committed.
+        """
+        return self._commit(operation, plan, dict(summary or {}))
+
+    def truncate(self) -> "Snapshot | None":
+        """Logically empty the store (history stays readable via ``at()``)."""
+        return self.rewrite(
+            "truncate", lambda current: ((), tuple(e.path for e in current))
+        )
+
+    def _commit(
+        self,
+        operation: str,
+        plan: "Callable[[list[PartitionEntry]], tuple]",
+        summary: dict,
+    ) -> "Snapshot | None":
+        for _ in range(_MAX_COMMIT_RETRIES):
+            parent = self.current_snapshot_id()
+            current = [] if parent is None else self.log.partitions_at(parent)
+            planned = plan(current)
+            added, removed = tuple(planned[0]), tuple(planned[1])
+            if not added and not removed:
+                return None
+            snapshot_id = (parent or 0) + 1
+            checkpoint = operation in _CHECKPOINT_OPS or (
+                parent is not None
+                and self.log.chain_depth(parent) + 1 >= CHECKPOINT_EVERY
+            )
+            partitions = None
+            if checkpoint:
+                merged = {entry.path: entry for entry in current}
+                for path in removed:
+                    merged.pop(path, None)
+                kept = [e for e in current if e.path in merged]
+                partitions = tuple(kept) + tuple(
+                    e for e in added if e.path not in {k.path for k in kept}
+                )
+            snapshot = Snapshot(
+                snapshot_id=snapshot_id,
+                parent=parent,
+                operation=operation,
+                added=added,
+                removed=removed,
+                partitions=partitions,
+                summary=summary,
+            )
+            try:
+                self.log.publish(snapshot)
+            except CommitConflict:
+                continue  # rebase onto the winner and retry
+            write_pointer(
+                self.directory / CATALOG_FILE,
+                {"store_version": STORE_VERSION, "current_snapshot": snapshot_id},
+            )
+            if self._auto_refresh:
+                self._refresh_views(snapshot_id)
+            return snapshot
+        raise StoreError(
+            f"commit of {operation!r} lost {_MAX_COMMIT_RETRIES} races; giving up"
+        )
+
+    def _refresh_views(self, snapshot_id: int) -> None:
+        from .incremental import refresh_all_views
+
+        try:
+            refresh_all_views(self, snapshot_id)
+        except StoreError:
+            # A damaged view state must never fail a commit; the next
+            # explicit refresh rebuilds it from scratch.
+            pass
+
+    # -- legacy import -------------------------------------------------------
+
+    def import_legacy(self, legacy_dir: "str | Path") -> "Snapshot | None":
+        """Import a flat ``.repro-cache/`` directory as one commit.
+
+        Unreadable or torn records are skipped (the flat cache already
+        treats them as misses). Returns ``None`` when there is nothing to
+        import.
+        """
+        legacy_dir = Path(legacy_dir)
+        if not legacy_dir.is_dir():
+            return None
+        records = []
+        for path in sorted(legacy_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict) or "result" not in payload:
+                continue
+            key = payload.get("key") or path.stem
+            records.append(
+                StoredRecord(
+                    key=key,
+                    meta=dict(payload.get("job", {})),
+                    result=payload["result"],
+                    model=str(payload.get("model", "?")),
+                )
+            )
+        if not records:
+            return None
+        return self.append(records, operation="import")
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, key: str, at: "int | str | None" = None) -> "SimulationResult | None":
+        """Point lookup by config fingerprint (last committed copy wins)."""
+        return self.at(at).get(key)
+
+    def record(self, key: str, at: "int | str | None" = None) -> "StoredRecord | None":
+        return self.at(at).record(key)
+
+    def query(self, *args, **kwargs):
+        """Attribute-filtered scan; see :func:`repro.store.query.run_query`."""
+        from .query import run_query
+
+        return run_query(self.at(kwargs.pop("at", None)), *args, **kwargs)
+
+    # -- tags ----------------------------------------------------------------
+
+    def tag(self, name: str, ref: "int | str | None" = None) -> int:
+        """Create/move a tag; returns the snapshot id it now points at."""
+        snapshot_id = self.resolve(ref)
+        if snapshot_id is None:
+            raise StoreError("cannot tag an empty store")
+        self.refs.set_tag(name, snapshot_id)
+        return snapshot_id
+
+    def clone(self, name: str, ref: "int | str | None" = None) -> int:
+        """A clone *is* a tag: O(1), sharing every partition byte."""
+        return self.tag(name, ref)
+
+    def drop_tag(self, name: str) -> bool:
+        return self.refs.delete_tag(name)
+
+    def tags(self) -> "dict[str, int]":
+        return self.refs.tags()
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Everything ``repro store show`` prints, in one scan."""
+        current = self.current_snapshot_id()
+        partitions = [] if current is None else self.log.partitions_at(current)
+        partitions_dir = self.directory / PARTITIONS_DIR
+        files_on_disk = (
+            sum(1 for p in partitions_dir.glob("*.json")) if partitions_dir.is_dir() else 0
+        )
+        from .matviews import FIGURE_VIEWS
+        from .incremental import latest_state_id
+
+        views = {
+            view.name: latest_state_id(self, view.name) for view in FIGURE_VIEWS
+        }
+        return {
+            "directory": str(self.directory),
+            "current_snapshot": current,
+            "snapshots": len(self.log.ids()),
+            "partitions": len(partitions),
+            "partition_files": files_on_disk,
+            "records": sum(e.records for e in partitions),
+            "bytes": sum(e.bytes for e in partitions),
+            "tags": self.tags(),
+            "views": views,
+        }
+
+    # -- internal ------------------------------------------------------------
+
+    def _key_index(self, snapshot_id: int) -> "dict[str, str]":
+        """key -> partition path at one snapshot (later partitions shadow)."""
+        cached = self._index.get(snapshot_id)
+        if cached is None:
+            cached = {}
+            for entry in self.log.partitions_at(snapshot_id):
+                for key in entry.keys:
+                    cached[key] = entry.path
+            self._index[snapshot_id] = cached
+        return cached
+
+
+class StoreReader:
+    """A read-only view of one snapshot (what ``store.at()`` returns)."""
+
+    def __init__(self, store: ResultStore, snapshot_id: "int | None") -> None:
+        self.store = store
+        self.snapshot_id = snapshot_id
+
+    def partitions(self) -> "list[PartitionEntry]":
+        if self.snapshot_id is None:
+            return []
+        return self.store.log.partitions_at(self.snapshot_id)
+
+    def record(self, key: str) -> "StoredRecord | None":
+        if self.snapshot_id is None:
+            return None
+        path = self.store._key_index(self.snapshot_id).get(key)
+        if path is None:
+            return None
+        # Last copy of the key in the file wins (re-commits append).
+        found = None
+        for record in read_partition(self.store.directory, path):
+            if record.key == key:
+                found = record
+        return found
+
+    def get(self, key: str) -> "SimulationResult | None":
+        record = self.record(key)
+        if record is None:
+            return None
+        return SimulationResult.from_dict(record.result)
+
+    def canonical_payload(self, key: str) -> "str | None":
+        """The byte-comparable canonical JSON the verify harness asserts on."""
+        record = self.record(key)
+        if record is None:
+            return None
+        return canonical_json(record.result)
+
+    def iter_records(
+        self, workloads=None, paradigms=None, models=None
+    ) -> "Iterable[StoredRecord]":
+        """Scan records with partition pruning; later copies shadow earlier.
+
+        Yields each fingerprint exactly once, in partition order with the
+        *latest* committed copy of each key.
+        """
+        pruned = [
+            entry
+            for entry in self.partitions()
+            if entry.matches(workloads, paradigms, models)
+        ]
+        latest: "dict[str, tuple[int, int, StoredRecord]]" = {}
+        for p_index, entry in enumerate(pruned):
+            for r_index, record in enumerate(
+                read_partition(self.store.directory, entry.path)
+            ):
+                latest[record.key] = (p_index, r_index, record)
+        for _, _, record in sorted(
+            latest.values(), key=lambda item: (item[0], item[1])
+        ):
+            yield record
+
+    def records(self, **kwargs) -> "list[StoredRecord]":
+        return list(self.iter_records(**kwargs))
+
+
+def open_store(
+    directory: "str | Path | None" = None, **kwargs
+) -> ResultStore:
+    """Module-level convenience mirroring :meth:`ResultStore.open`."""
+    return ResultStore.open(directory, **kwargs)

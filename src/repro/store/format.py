@@ -1,0 +1,108 @@
+"""On-disk format primitives shared by every store layer.
+
+The lakehouse has exactly two kinds of files, and both are written the
+same way:
+
+* **immutable objects** (partition files, snapshot manifests, view states)
+  are fully written and fsynced to a temp file first, then *published* with
+  ``os.link`` — which fails atomically if the name is already taken. For
+  content-addressed objects a taken name means the identical bytes already
+  exist (publish is idempotent); for snapshot manifests it means another
+  writer claimed the id and the commit must rebase and retry. A crash at
+  any point leaves either no file or a complete file — never a torn one.
+* **mutable pointers** (``refs.json`` and the advisory catalog pointer)
+  are replaced with temp + ``os.replace`` after an fsync, the same recipe
+  the runner's flat disk cache uses.
+
+All JSON is canonical (sorted keys, compact separators) so object digests
+are deterministic and byte-stable across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+#: Version stamp embedded in every file the store writes.
+STORE_VERSION = 1
+
+
+class StoreError(Exception):
+    """A structural problem with the store (corrupt manifest, bad ref, ...)."""
+
+
+class CommitConflict(Exception):
+    """Internal: another writer published the snapshot id first."""
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: the byte form digests and comparisons use."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(payload: Any) -> str:
+    """SHA-256 of the canonical JSON — the identity of an immutable object."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def read_json(path: Path) -> Any:
+    """Load one JSON file; :class:`StoreError` on corruption, not ValueError."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise
+    except (OSError, ValueError) as exc:
+        raise StoreError(f"unreadable store object {path.name}: {exc}") from exc
+
+
+#: Per-process sequence distinguishing temp files written by concurrent
+#: threads: a pid alone is not unique within one process, and two threads
+#: racing on the same snapshot id would share (and tear) one temp file.
+_TMP_SEQ = itertools.count()
+
+
+def _tmp_name(path: Path) -> Path:
+    return path.with_name(f"{path.name}.tmp.{os.getpid()}.{next(_TMP_SEQ)}")
+
+
+def _write_durable(path: Path, text: str) -> None:
+    """Write + flush + fsync so the bytes are on disk before any publish."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def write_pointer(path: Path, payload: Any) -> None:
+    """Atomically replace a mutable pointer file (refs, catalog pointer)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_name(path)
+    _write_durable(tmp, canonical_json(payload))
+    os.replace(tmp, path)
+
+
+def publish_object(path: Path, payload: Any, *, exclusive: bool) -> bool:
+    """Publish one immutable object; returns ``False`` when the name exists.
+
+    With ``exclusive=True`` an existing name raises :class:`CommitConflict`
+    (snapshot-id claims must not be silently swallowed); otherwise it is the
+    idempotent content-addressed case and the existing object wins.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _tmp_name(path)
+    _write_durable(tmp, canonical_json(payload))
+    try:
+        os.link(tmp, path)
+    except FileExistsError:
+        if exclusive:
+            raise CommitConflict(f"{path.name} already published") from None
+        return False
+    finally:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+    return True

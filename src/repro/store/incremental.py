@@ -1,0 +1,219 @@
+"""Incremental view maintenance: delta refresh instead of full rescans.
+
+View states are immutable objects under ``views/<name>/<snapshot>.json``,
+published with the same exclusive-link recipe as snapshots (a racing
+refresh of the same view at the same snapshot converges on one file).
+
+Refreshing a view at snapshot *T*:
+
+1. find the newest existing state at an *ancestor* snapshot *A* of *T*;
+2. the delta is the set of partition files *T* reaches that *A* does not,
+   computed by replaying each manifest's ``added``/``removed`` along the
+   *A* → *T* chain (O(delta), never O(catalog)) — compaction rewrites are
+   included, which is safe because the view reduce is an upsert over
+   identical record payloads (idempotent);
+3. apply only the delta partitions' records to *A*'s row table and
+   publish the result as *T*'s state.
+
+With no usable ancestor state the refresh falls back to a full scan. The
+returned :class:`RefreshStats` says which mode ran and how many partition
+files and records were read — the quantity ``bench_store.py`` gates the
+incremental-vs-full speedup on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .format import (
+    STORE_VERSION,
+    CommitConflict,
+    StoreError,
+    publish_object,
+    read_json,
+)
+from .matviews import FIGURE_VIEWS, VIEWS_BY_NAME, FigureView, apply_records, render_view
+from .partitions import read_partition
+from .snapshots import snapshot_name
+
+#: Subdirectory (under the store root) holding view states.
+VIEWS_DIR = "views"
+
+#: Operations whose commits only add or rewrite identical records, so an
+#: existing ancestor state stays a valid incremental base across them. A
+#: row-removing operation (``truncate``) in between invalidates the base:
+#: the upsert reduce cannot un-apply rows, so the refresh falls back to a
+#: full scan of the target's partitions.
+_UPSERT_SAFE_OPS = frozenset({"append", "import", "compact"})
+
+
+@dataclass(frozen=True)
+class RefreshStats:
+    """How one refresh ran (the benchmark's measured quantity)."""
+
+    view: str
+    snapshot: int
+    mode: str  # "incremental" | "full" | "fresh" (no data) | "current"
+    base: "int | None"
+    partitions_read: int
+    records_scanned: int
+    rows: int
+
+
+def _view_dir(root: Path, name: str) -> Path:
+    return root / VIEWS_DIR / name
+
+
+def _state_path(root: Path, name: str, snapshot_id: int) -> Path:
+    return _view_dir(root, name) / snapshot_name(snapshot_id)
+
+
+def state_ids(store, name: str) -> "list[int]":
+    """Snapshot ids this view has published states for, ascending."""
+    directory = _view_dir(store.directory, name)
+    if not directory.is_dir():
+        return []
+    found = []
+    for path in directory.iterdir():
+        stem, _, suffix = path.name.partition(".")
+        if suffix == "json" and stem.isdigit():
+            found.append(int(stem))
+    return sorted(found)
+
+
+def latest_state_id(store, name: str) -> "int | None":
+    ids = state_ids(store, name)
+    return ids[-1] if ids else None
+
+
+def load_state(store, name: str, snapshot_id: int) -> dict:
+    payload = read_json(_state_path(store.directory, name, snapshot_id))
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise StoreError(f"view state {name}@{snapshot_id} is malformed")
+    return payload
+
+
+def _ancestors(store, snapshot_id: int) -> "list[int]":
+    """``snapshot_id`` and its parents, newest first."""
+    chain = []
+    cursor: "int | None" = snapshot_id
+    while cursor is not None:
+        chain.append(cursor)
+        try:
+            cursor = store.log.load(cursor).parent
+        except StoreError:
+            break
+    return chain
+
+
+def refresh_view(
+    store, view: "FigureView | str", at: "int | str | None" = None
+) -> "tuple[dict, RefreshStats]":
+    """Bring one view up to date at ``at`` (default: the current snapshot).
+
+    Returns ``(state_payload, stats)``. Publishing is idempotent: when the
+    state already exists the stored copy wins and ``mode`` is ``current``.
+    """
+    if isinstance(view, str):
+        if view not in VIEWS_BY_NAME:
+            raise StoreError(f"unknown view {view!r}; known: {sorted(VIEWS_BY_NAME)}")
+        view = VIEWS_BY_NAME[view]
+    target = store.resolve(at)
+    if target is None:
+        state = {"view": view.name, "snapshot": None, "rows": {}}
+        return state, RefreshStats(view.name, 0, "fresh", None, 0, 0, 0)
+
+    existing = set(state_ids(store, view.name))
+    ancestors = _ancestors(store, target)
+    if target in existing:
+        state = load_state(store, view.name, target)
+        return state, RefreshStats(
+            view.name, target, "current", state.get("base"),
+            0, 0, len(state["rows"]),
+        )
+
+    base_id = next((a for a in ancestors[1:] if a in existing), None)
+    between: "list[int]" = []
+    if base_id is not None:
+        between = ancestors[: ancestors.index(base_id)]
+        if any(
+            store.log.load(s).operation not in _UPSERT_SAFE_OPS for s in between
+        ):
+            base_id = None
+    if base_id is not None:
+        base_state = load_state(store, view.name, base_id)
+        rows = dict(base_state["rows"])
+        # O(delta), not O(catalog): replay each manifest's added/removed
+        # along the base->target chain instead of materialising both full
+        # partition lists just to diff their paths. A file added then
+        # removed inside the window (append, then compact) cancels out —
+        # which also keeps us from touching paths vacuum may have
+        # collected already.
+        delta_map: "dict[str, object]" = {}
+        for snapshot_id in reversed(between):
+            snapshot = store.log.load(snapshot_id)
+            for path in snapshot.removed:
+                delta_map.pop(path, None)
+            for entry in snapshot.added:
+                delta_map[entry.path] = entry
+        delta = list(delta_map.values())
+        mode = "incremental"
+    else:
+        rows = {}
+        delta = list(store.log.partitions_at(target))
+        mode = "full"
+
+    # Prune partitions whose paradigm can never satisfy the view's shape.
+    wanted = set(view.paradigms) | ({"memcpy"} if view.baseline else set())
+    delta = [e for e in delta if e.paradigm in wanted]
+
+    records_scanned = 0
+    for entry in delta:
+        records = read_partition(store.directory, entry.path)
+        records_scanned += len(records)
+        apply_records(view, rows, records)
+
+    state = {
+        "store_version": STORE_VERSION,
+        "view": view.name,
+        "snapshot": target,
+        "base": base_id,
+        "mode": mode,
+        "rows": rows,
+    }
+    try:
+        publish_object(
+            _state_path(store.directory, view.name, target), state, exclusive=True
+        )
+    except CommitConflict:
+        state = load_state(store, view.name, target)  # racing refresh won
+    return state, RefreshStats(
+        view.name, target, mode, base_id, len(delta), records_scanned, len(state["rows"]),
+    )
+
+
+def refresh_all_views(store, at: "int | str | None" = None) -> "list[RefreshStats]":
+    """Refresh the whole figure-view catalogue (what commits call)."""
+    return [refresh_view(store, view, at)[1] for view in FIGURE_VIEWS]
+
+
+def view_figure(store, name: str, at: "int | str | None" = None) -> dict:
+    """Rendered figure dicts for one view at one snapshot (refreshing it)."""
+    state, _ = refresh_view(store, name, at)
+    return render_view(VIEWS_BY_NAME[name], state["rows"])
+
+
+def prune_states(store, keep_snapshots: "set[int]") -> int:
+    """Drop view states for snapshots retention expired; returns removals."""
+    removed = 0
+    for view in FIGURE_VIEWS:
+        for snapshot_id in state_ids(store, view.name):
+            if snapshot_id in keep_snapshots:
+                continue
+            try:
+                _state_path(store.directory, view.name, snapshot_id).unlink()
+                removed += 1
+            except OSError:
+                continue
+    return removed

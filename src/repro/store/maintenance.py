@@ -1,0 +1,107 @@
+"""Compaction: merge a cell's small partition files into one.
+
+Every ``append`` commit writes one file per touched ``workload x paradigm
+x model`` cell, so long campaigns accumulate many small files per cell
+(and re-committed fingerprints leave shadowed copies behind). Compaction
+rewrites each fragmented cell into a single deduplicated partition via
+the normal commit protocol — the rewrite is just another snapshot, so
+time travel to pre-compaction snapshots still sees the old files until
+retention expires them and ``vacuum`` collects the bytes.
+
+The merge plan runs inside :meth:`ResultStore.rewrite`, which re-evaluates
+it on every optimistic-concurrency retry — a plan computed against a
+stale snapshot is never committed. Before returning, the plan asserts the
+merged record set matches the pre-merge *visible* set exactly (latest copy
+per fingerprint); any mismatch aborts the commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .format import StoreError
+from .partitions import PartitionEntry, StoredRecord, read_partition, write_partition
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one compaction pass did."""
+
+    snapshot: "int | None"
+    cells_compacted: int
+    files_before: int
+    files_after: int
+    records: int
+    shadowed_dropped: int
+
+
+def _merge_cell(store, entries: "list[PartitionEntry]") -> "tuple[list[StoredRecord], int]":
+    """Latest-wins merge of one cell's files, preserving first-seen order.
+
+    Returns ``(merged_records, shadowed_copies_dropped)``.
+    """
+    merged: "dict[str, StoredRecord]" = {}
+    copies = 0
+    for entry in entries:
+        for record in read_partition(store.directory, entry.path):
+            copies += 1
+            merged[record.key] = record  # dict keeps first-seen position
+    return list(merged.values()), copies - len(merged)
+
+
+def _cell_needs_compaction(entries: "list[PartitionEntry]") -> bool:
+    if len(entries) > 1:
+        return True
+    # A single file still compacts when re-commits left shadowed copies.
+    only = entries[0]
+    return len(set(only.keys)) != only.records
+
+
+def compact(store) -> CompactionReport:
+    """Merge every fragmented cell; returns what happened.
+
+    A no-op (nothing fragmented) publishes no snapshot.
+    """
+    outcome = {"cells": 0, "before": 0, "after": 0, "records": 0, "shadowed": 0}
+
+    def plan(current: "list[PartitionEntry]"):
+        outcome.update({"cells": 0, "before": 0, "after": 0, "records": 0, "shadowed": 0})
+        cells: "dict[tuple, list[PartitionEntry]]" = {}
+        for entry in current:
+            cells.setdefault((entry.workload, entry.paradigm, entry.model), []).append(entry)
+        added, removed = [], []
+        for cell, entries in sorted(cells.items()):
+            if not _cell_needs_compaction(entries):
+                continue
+            merged, shadowed = _merge_cell(store, entries)
+            visible = {
+                record.key
+                for entry in entries
+                for record in read_partition(store.directory, entry.path)
+            }
+            if {record.key for record in merged} != visible:
+                raise StoreError(
+                    f"compaction of cell {cell} would change the record set; aborting"
+                )
+            replacement = write_partition(store.directory, cell, merged)
+            old_paths = [entry.path for entry in entries]
+            if [replacement.path] == old_paths:
+                continue  # content-identical rewrite; nothing to commit
+            added.append(replacement)
+            removed.extend(old_paths)
+            outcome["cells"] += 1
+            outcome["before"] += len(entries)
+            outcome["after"] += 1
+            outcome["records"] += len(merged)
+            outcome["shadowed"] += shadowed
+        return tuple(added), tuple(removed)
+
+    snapshot = store.rewrite("compact", plan, {"kind": "compaction"})
+    return CompactionReport(
+        snapshot=None if snapshot is None else snapshot.snapshot_id,
+        cells_compacted=outcome["cells"],
+        files_before=outcome["before"],
+        files_after=outcome["after"],
+        records=outcome["records"],
+        shadowed_dropped=outcome["shadowed"],
+    )

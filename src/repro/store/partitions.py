@@ -1,0 +1,142 @@
+"""Content-addressed partition files: where result payloads actually live.
+
+A partition groups the results of one ``workload x paradigm x model
+version`` cell — the axes every figure slices on, so queries prune whole
+files without opening them. Partition files are immutable and named by the
+SHA-256 of their canonical content: rewriting identical records is a no-op,
+and two writers racing on the same content converge on one file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from .format import STORE_VERSION, StoreError, canonical_json, content_digest, read_json
+
+#: Subdirectory (under the store root) holding partition files.
+PARTITIONS_DIR = "partitions"
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """One result as the store keeps it: fingerprint + job meta + payload.
+
+    ``result`` is the *exact* ``SimulationResult.to_dict()`` dict; the store
+    never re-interprets it, which is what keeps the verify differential's
+    byte-identity guarantee trivially true through this layer.
+    """
+
+    key: str
+    meta: dict
+    result: dict
+    model: str = "?"
+
+    def partition_key(self) -> "tuple[str, str, str]":
+        return (
+            str(self.meta.get("workload", "?")),
+            str(self.meta.get("paradigm", "?")),
+            self.model,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "meta": self.meta,
+            "result": self.result,
+            "model": self.model,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StoredRecord":
+        return cls(
+            key=payload["key"],
+            meta=payload["meta"],
+            result=payload["result"],
+            model=payload.get("model", "?"),
+        )
+
+
+@dataclass(frozen=True)
+class PartitionEntry:
+    """What a snapshot manifest knows about one partition, without opening it."""
+
+    path: str
+    workload: str
+    paradigm: str
+    model: str
+    records: int
+    bytes: int
+    keys: "tuple[str, ...]"
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["keys"] = list(self.keys)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PartitionEntry":
+        return cls(
+            path=payload["path"],
+            workload=payload["workload"],
+            paradigm=payload["paradigm"],
+            model=payload["model"],
+            records=payload["records"],
+            bytes=payload["bytes"],
+            keys=tuple(payload["keys"]),
+        )
+
+    def matches(self, workloads=None, paradigms=None, models=None) -> bool:
+        """Partition pruning: can this file contain a matching record?"""
+        if workloads is not None and self.workload not in workloads:
+            return False
+        if paradigms is not None and self.paradigm not in paradigms:
+            return False
+        return not (models is not None and self.model not in models)
+
+
+def group_records(records: "Iterable[StoredRecord]") -> "dict[tuple, list[StoredRecord]]":
+    """Split a commit's records into partition cells, preserving order."""
+    groups: "dict[tuple, list[StoredRecord]]" = {}
+    for record in records:
+        groups.setdefault(record.partition_key(), []).append(record)
+    return groups
+
+
+def partition_payload(cell: tuple, records: "list[StoredRecord]") -> dict:
+    workload, paradigm, model = cell
+    return {
+        "store_version": STORE_VERSION,
+        "partition_key": {"workload": workload, "paradigm": paradigm, "model": model},
+        "records": [record.to_dict() for record in records],
+    }
+
+
+def write_partition(root: Path, cell: tuple, records: "list[StoredRecord]") -> PartitionEntry:
+    """Write one content-addressed partition file; idempotent by content."""
+    from .format import publish_object
+
+    payload = partition_payload(cell, records)
+    digest = content_digest(payload)
+    name = f"{digest}.json"
+    publish_object(root / PARTITIONS_DIR / name, payload, exclusive=False)
+    workload, paradigm, model = cell
+    return PartitionEntry(
+        path=name,
+        workload=workload,
+        paradigm=paradigm,
+        model=model,
+        records=len(records),
+        bytes=len(canonical_json(payload)),
+        keys=tuple(record.key for record in records),
+    )
+
+
+def read_partition(root: Path, path: str) -> "list[StoredRecord]":
+    """Load every record of one partition file, in commit order."""
+    payload = read_json(root / PARTITIONS_DIR / path)
+    if not isinstance(payload, dict) or "records" not in payload:
+        raise StoreError(f"partition {path} is not a record file")
+    return [StoredRecord.from_dict(entry) for entry in payload["records"]]

@@ -1,0 +1,210 @@
+"""Attribute-filtered queries over stored results.
+
+A query is a conjunction of :class:`Filter`\\ s over the flat *row*
+namespace of a record — its job meta (``workload``, ``paradigm``,
+``num_gpus``, ``link``, ``scale``, ``iterations``, ``model``) plus scalar
+metrics projected out of the result payload (``total_time``,
+``interconnect_bytes``, ``fault_count``, ``pages_migrated``). Filters on
+the partition axes (``workload``/``paradigm``/``model``) prune whole
+partition files before any record is read.
+
+Output is dataframe-shaped without a dataframe dependency:
+:meth:`QueryResult.rows` is records-of-dicts, :meth:`QueryResult.columns`
+is columns-of-lists — either drops straight into ``pandas.DataFrame`` when
+one is available.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from .format import StoreError
+from .partitions import StoredRecord
+
+#: Columns every row carries, in display order.
+ROW_FIELDS = (
+    "key",
+    "workload",
+    "paradigm",
+    "num_gpus",
+    "link",
+    "scale",
+    "iterations",
+    "model",
+    "total_time",
+    "interconnect_bytes",
+    "fault_count",
+    "pages_migrated",
+)
+
+_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    ">=": operator.ge,
+    "<=": operator.le,
+    ">": operator.gt,
+    "<": operator.lt,
+    "in": lambda value, options: value in options,
+}
+
+#: Longest operators first so ``>=`` never parses as ``>``.
+_OP_TOKENS = ("==", "!=", ">=", "<=", "=", ">", "<")
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One predicate: ``field <op> value``."""
+
+    field: str
+    op: str
+    value: Any
+
+    def matches(self, row: dict) -> bool:
+        if self.field not in row:
+            return False
+        actual = row[self.field]
+        try:
+            return bool(_OPS[self.op](actual, self.value))
+        except TypeError:
+            return False
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse a CLI filter token, e.g. ``workload=jacobi`` or ``num_gpus>=4``.
+
+    Values are coerced numerically when they look numeric; ``=`` accepts a
+    comma-separated list and becomes an ``in`` filter.
+    """
+    for token in _OP_TOKENS:
+        field, found, raw = text.partition(token)
+        if found:
+            field = field.strip()
+            if not field:
+                break
+            op = "==" if token == "=" else token
+            if op == "==" and "," in raw:
+                return Filter(field, "in", tuple(_coerce(v) for v in raw.split(",")))
+            return Filter(field, op, _coerce(raw.strip()))
+    raise StoreError(f"unparseable filter {text!r} (expected field<op>value)")
+
+
+def _coerce(raw: str) -> Any:
+    raw = raw.strip()
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+
+def record_row(record: StoredRecord) -> dict:
+    """Flatten one stored record into the query row namespace."""
+    meta = record.meta
+    result = record.result
+    traffic = result.get("traffic", [])
+    row = {
+        "key": record.key,
+        "workload": meta.get("workload", result.get("program_name", "?")),
+        "paradigm": meta.get("paradigm", result.get("paradigm", "?")),
+        "num_gpus": meta.get("num_gpus", result.get("num_gpus")),
+        "link": meta.get("link", "?"),
+        "scale": meta.get("scale"),
+        "iterations": meta.get("iterations"),
+        "model": record.model,
+        "total_time": result.get("total_time"),
+        "interconnect_bytes": sum(sum(r) for r in traffic),
+        "fault_count": result.get("fault_count", 0),
+        "pages_migrated": result.get("pages_migrated", 0),
+    }
+    return row
+
+
+class QueryResult:
+    """Filtered rows with dataframe-shaped accessors."""
+
+    def __init__(self, rows: "list[dict]", columns: "tuple[str, ...]") -> None:
+        self._rows = rows
+        self._columns = columns
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def rows(self) -> "list[dict]":
+        """Records orientation: one dict per result."""
+        return [
+            {field: row.get(field) for field in self._columns} for row in self._rows
+        ]
+
+    def columns(self) -> "dict[str, list]":
+        """Columnar orientation: ``{column: [values]}`` (dataframe-shaped)."""
+        return {
+            field: [row.get(field) for row in self._rows] for field in self._columns
+        }
+
+    def column_names(self) -> "tuple[str, ...]":
+        return self._columns
+
+    def table(self) -> "tuple[list[str], list[list]]":
+        """(headers, rows) for :func:`repro.harness.report.format_table`."""
+        headers = list(self._columns)
+        return headers, [[row.get(field) for field in headers] for row in self._rows]
+
+
+def _partition_prune_values(filters: "list[Filter]", field: str):
+    """Equality/in constraints usable for partition pruning, else ``None``."""
+    for item in filters:
+        if item.field != field:
+            continue
+        if item.op == "==":
+            return (item.value,)
+        if item.op == "in":
+            return tuple(item.value)
+    return None
+
+
+def run_query(
+    reader,
+    where: "Iterable[Filter | str] | None" = None,
+    columns: "Iterable[str] | None" = None,
+    order_by: "str | None" = None,
+    limit: "int | None" = None,
+) -> QueryResult:
+    """Execute one query against a :class:`~repro.store.catalog.StoreReader`.
+
+    ``where`` accepts :class:`Filter` objects or CLI filter strings. Rows
+    come back in deterministic partition order unless ``order_by`` names a
+    column (descending via a ``-`` prefix).
+    """
+    filters = [
+        item if isinstance(item, Filter) else parse_filter(item)
+        for item in (where or [])
+    ]
+    chosen = tuple(columns) if columns else ROW_FIELDS
+    unknown = [c for c in chosen if c not in ROW_FIELDS and not c.startswith("key")]
+    if unknown:
+        raise StoreError(f"unknown columns {unknown}; known: {list(ROW_FIELDS)}")
+    rows = []
+    for record in reader.iter_records(
+        workloads=_partition_prune_values(filters, "workload"),
+        paradigms=_partition_prune_values(filters, "paradigm"),
+        models=_partition_prune_values(filters, "model"),
+    ):
+        row = record_row(record)
+        if all(item.matches(row) for item in filters):
+            rows.append(row)
+    if order_by:
+        reverse = order_by.startswith("-")
+        field = order_by.lstrip("-")
+        if field not in ROW_FIELDS:
+            raise StoreError(f"unknown order_by column {field!r}")
+        rows.sort(key=lambda row: (row.get(field) is None, row.get(field)), reverse=reverse)
+    if limit is not None:
+        rows = rows[: max(0, limit)]
+    return QueryResult(rows, chosen)

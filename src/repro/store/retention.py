@@ -1,0 +1,180 @@
+"""Retention policies and ``vacuum``: bounding history and reclaiming disk.
+
+Retention and garbage collection are deliberately two separate steps with
+one safety property between them:
+
+* :func:`expire_snapshots` applies a :class:`RetentionPolicy` — keep the
+  newest ``keep_last`` snapshots, every tagged snapshot, and every manifest
+  any retained snapshot's delta chain resolves through — and deletes only
+  snapshot *manifests* (plus their materialized-view states). Partition
+  bytes are untouched.
+* :func:`vacuum` recomputes the set of partition files reachable from
+  **every manifest still on disk** and unlinks the rest (plus torn
+  ``*.tmp.*`` files crashed writers left behind). Because reachability is
+  computed from the surviving manifests — not from the policy — vacuum can
+  never delete a partition reachable from any tagged snapshot: tags are
+  GC roots the expiry step refuses to drop.
+
+Orphaned partitions (written by a commit that crashed before publishing
+its manifest) are unreachable by construction and get collected here. The
+``min_age_s`` knob protects a *live* concurrent committer that is between
+writing its partition files and publishing its manifest: files younger
+than the threshold are left alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .format import StoreError
+from .incremental import VIEWS_DIR, prune_states
+from .partitions import PARTITIONS_DIR
+from .snapshots import SNAPSHOTS_DIR, live_partitions
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How much history a store keeps.
+
+    ``keep_last`` newest snapshots always survive; with ``keep_tags`` (the
+    default, and the safe choice) every tagged snapshot survives too, no
+    matter how old. The current snapshot is always retained.
+    """
+
+    keep_last: int = 8
+    keep_tags: bool = True
+
+    def __post_init__(self) -> None:
+        if self.keep_last < 1:
+            raise StoreError("retention must keep at least the current snapshot")
+
+
+@dataclass(frozen=True)
+class ExpireReport:
+    """What one expiry pass removed and kept."""
+
+    expired: "tuple[int, ...]"
+    kept: "tuple[int, ...]"
+    view_states_pruned: int
+
+
+@dataclass(frozen=True)
+class VacuumReport:
+    """What one vacuum pass reclaimed."""
+
+    expired_snapshots: "tuple[int, ...]"
+    live_partitions: int
+    removed_partitions: int
+    removed_bytes: int
+    removed_temp_files: int
+    view_states_pruned: int
+
+
+def retained_snapshots(store, policy: "RetentionPolicy | None" = None) -> "set[int]":
+    """Snapshot ids the policy keeps, closed over their delta chains.
+
+    A retained snapshot's partition list resolves by walking parents down
+    to the nearest checkpoint, so every manifest on that walk must survive
+    with it — deleting a mid-chain delta would corrupt time-travel reads.
+    """
+    policy = policy if policy is not None else RetentionPolicy()
+    ids = store.log.ids()
+    roots: "set[int]" = set(ids[-policy.keep_last:])
+    current = store.current_snapshot_id()
+    if current is not None:
+        roots.add(current)
+    if policy.keep_tags:
+        roots.update(store.tags().values())
+    closure: "set[int]" = set()
+    for snapshot_id in roots:
+        cursor: "int | None" = snapshot_id
+        while cursor is not None and cursor not in closure:
+            try:
+                snapshot = store.log.load(cursor)
+            except StoreError:
+                break
+            closure.add(cursor)
+            if snapshot.is_checkpoint:
+                break
+            cursor = snapshot.parent
+    return closure
+
+
+def expire_snapshots(store, policy: "RetentionPolicy | None" = None) -> ExpireReport:
+    """Delete snapshot manifests (and view states) outside the policy."""
+    keep = retained_snapshots(store, policy)
+    expired = tuple(i for i in store.log.ids() if i not in keep)
+    for snapshot_id in expired:
+        store.log.delete(snapshot_id)
+        store._index.pop(snapshot_id, None)
+    pruned = prune_states(store, keep)
+    return ExpireReport(expired, tuple(sorted(keep)), pruned)
+
+
+def _collect_temps(directory: Path, cutoff: float) -> int:
+    """Unlink torn ``*.tmp.*`` files older than ``cutoff`` under one dir."""
+    removed = 0
+    if not directory.is_dir():
+        return 0
+    for path in directory.rglob("*.tmp.*"):
+        try:
+            if path.stat().st_mtime > cutoff:
+                continue
+            path.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+def vacuum(
+    store,
+    policy: "RetentionPolicy | None" = None,
+    *,
+    min_age_s: float = 0.0,
+    expire: bool = True,
+) -> VacuumReport:
+    """Expire old snapshots (optional) and drop unreachable partition files.
+
+    Reachability is computed against *every manifest still on disk* after
+    expiry — not against the policy — so a partition referenced by any
+    surviving snapshot (tagged ones included) is never touched. Files
+    younger than ``min_age_s`` are spared: they may belong to a commit that
+    has written its partitions but not yet published its manifest.
+    """
+    expired: "tuple[int, ...]" = ()
+    pruned = 0
+    if expire:
+        report = expire_snapshots(store, policy)
+        expired, pruned = report.expired, report.view_states_pruned
+    live = live_partitions(store.log, store.log.ids())
+    cutoff = time.time() - min_age_s
+    partitions_dir = store.directory / PARTITIONS_DIR
+    removed = removed_bytes = 0
+    if partitions_dir.is_dir():
+        for path in sorted(partitions_dir.iterdir()):
+            if path.name in live or not path.name.endswith(".json"):
+                continue
+            try:
+                stat = path.stat()
+                if stat.st_mtime > cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            removed_bytes += stat.st_size
+    removed_temp = sum(
+        _collect_temps(store.directory / sub, cutoff)
+        for sub in (PARTITIONS_DIR, SNAPSHOTS_DIR, VIEWS_DIR)
+    )
+    return VacuumReport(
+        expired_snapshots=expired,
+        live_partitions=len(live),
+        removed_partitions=removed,
+        removed_bytes=removed_bytes,
+        removed_temp_files=removed_temp,
+        view_states_pruned=pruned,
+    )

@@ -1,0 +1,271 @@
+"""Snapshot manifests, the commit log, and named refs (tags/clones).
+
+Every commit publishes ``snapshots/<id>.json`` where ``<id>`` is a
+monotonically increasing, zero-padded integer. Publishing is *exclusive*
+(``os.link``), so the snapshot id doubles as the commit lock: two writers
+racing on id N produce exactly one winner, and the loser rebases onto N
+and retries as N+1 — commits serialize without a daemon or a lock file.
+
+Manifests are **deltas** (``added`` / ``removed`` partition entries against
+``parent``) so a commit costs O(changed partitions), with a full partition
+list embedded every :data:`CHECKPOINT_EVERY` commits — and always for
+whole-catalog rewrites (compaction, truncate, import) — so resolving any
+snapshot's partition set walks a bounded chain.
+
+Tags are named pointers to snapshot ids kept in ``refs.json``. A *clone*
+is just a tag: partitions are immutable and content-addressed, so cloning
+a result set is O(1) and shares every byte with its source. Retention
+treats tagged snapshots as GC roots — ``vacuum`` can never collect a
+partition reachable from one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .format import (
+    STORE_VERSION,
+    StoreError,
+    publish_object,
+    read_json,
+    write_pointer,
+)
+from .partitions import PartitionEntry
+
+#: Subdirectory (under the store root) holding snapshot manifests.
+SNAPSHOTS_DIR = "snapshots"
+
+#: Mutable pointer file holding tags.
+REFS_FILE = "refs.json"
+
+#: A full partition list is embedded at least this often so delta chains
+#: stay short; compaction and truncation always checkpoint.
+CHECKPOINT_EVERY = 32
+
+#: Width of zero-padded snapshot ids (sorts lexicographically = numerically).
+_ID_WIDTH = 8
+
+
+def snapshot_name(snapshot_id: int) -> str:
+    return f"{snapshot_id:0{_ID_WIDTH}d}.json"
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One committed store state (immutable once published)."""
+
+    snapshot_id: int
+    parent: "int | None"
+    operation: str
+    added: "tuple[PartitionEntry, ...]" = ()
+    removed: "tuple[str, ...]" = ()
+    #: Full partition list; ``None`` for delta-only manifests.
+    partitions: "tuple[PartitionEntry, ...] | None" = None
+    summary: dict = field(default_factory=dict)
+
+    @property
+    def is_checkpoint(self) -> bool:
+        return self.partitions is not None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "store_version": STORE_VERSION,
+            "snapshot": self.snapshot_id,
+            "parent": self.parent,
+            "operation": self.operation,
+            "added": [entry.to_dict() for entry in self.added],
+            "removed": list(self.removed),
+            "summary": self.summary,
+        }
+        if self.partitions is not None:
+            payload["partitions"] = [entry.to_dict() for entry in self.partitions]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Snapshot":
+        partitions = payload.get("partitions")
+        return cls(
+            snapshot_id=payload["snapshot"],
+            parent=payload["parent"],
+            operation=payload["operation"],
+            added=tuple(PartitionEntry.from_dict(e) for e in payload["added"]),
+            removed=tuple(payload["removed"]),
+            partitions=(
+                None
+                if partitions is None
+                else tuple(PartitionEntry.from_dict(e) for e in partitions)
+            ),
+            summary=payload.get("summary", {}),
+        )
+
+
+class SnapshotLog:
+    """The append-only commit log under ``<root>/snapshots/``."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self._dir = root / SNAPSHOTS_DIR
+        self._cache: "dict[int, Snapshot]" = {}
+
+    # -- reading ------------------------------------------------------------
+
+    def ids(self) -> "list[int]":
+        """Every published snapshot id, ascending (torn names ignored)."""
+        if not self._dir.is_dir():
+            return []
+        found = []
+        for path in self._dir.iterdir():
+            stem, _, suffix = path.name.partition(".")
+            if suffix == "json" and len(stem) == _ID_WIDTH and stem.isdigit():
+                found.append(int(stem))
+        return sorted(found)
+
+    def current_id(self) -> "int | None":
+        """The newest *readable* snapshot — a crashed writer's claim never
+
+        wins: publishing is atomic, so every name that exists is complete;
+        this walks down only if a manifest was damaged out-of-band.
+        """
+        for snapshot_id in reversed(self.ids()):
+            try:
+                self.load(snapshot_id)
+            except StoreError:
+                continue
+            return snapshot_id
+        return None
+
+    def load(self, snapshot_id: int) -> Snapshot:
+        cached = self._cache.get(snapshot_id)
+        if cached is not None:
+            return cached
+        try:
+            payload = read_json(self._dir / snapshot_name(snapshot_id))
+        except FileNotFoundError:
+            raise StoreError(f"snapshot {snapshot_id} does not exist") from None
+        if not isinstance(payload, dict) or "snapshot" not in payload:
+            raise StoreError(f"snapshot {snapshot_id} manifest is malformed")
+        snapshot = Snapshot.from_dict(payload)
+        self._cache[snapshot_id] = snapshot
+        return snapshot
+
+    def partitions_at(self, snapshot_id: int) -> "list[PartitionEntry]":
+        """Resolve a snapshot's full partition list through the delta chain."""
+        chain: "list[Snapshot]" = []
+        cursor: "int | None" = snapshot_id
+        while cursor is not None:
+            snapshot = self.load(cursor)
+            chain.append(snapshot)
+            if snapshot.is_checkpoint:
+                break
+            cursor = snapshot.parent
+        else:
+            # Chain ended at the root (parent None) without a checkpoint:
+            # the root itself acts as an empty base.
+            pass
+        entries: "dict[str, PartitionEntry]" = {}
+        order: "list[str]" = []
+        for snapshot in reversed(chain):
+            base = (
+                list(snapshot.partitions)
+                if snapshot.is_checkpoint
+                else None
+            )
+            if base is not None:
+                entries = {entry.path: entry for entry in base}
+                order = [entry.path for entry in base]
+                continue
+            for path in snapshot.removed:
+                if path in entries:
+                    del entries[path]
+                    order.remove(path)
+            for entry in snapshot.added:
+                if entry.path not in entries:
+                    order.append(entry.path)
+                entries[entry.path] = entry
+        return [entries[path] for path in order]
+
+    def chain_depth(self, snapshot_id: int) -> int:
+        """Delta links between ``snapshot_id`` and its nearest checkpoint."""
+        depth = 0
+        cursor: "int | None" = snapshot_id
+        while cursor is not None:
+            snapshot = self.load(cursor)
+            if snapshot.is_checkpoint:
+                break
+            depth += 1
+            cursor = snapshot.parent
+        return depth
+
+    # -- writing ------------------------------------------------------------
+
+    def publish(self, snapshot: Snapshot) -> None:
+        """Atomically claim + publish one manifest.
+
+        Raises :class:`repro.store.format.CommitConflict` when the id is
+        already taken — the caller rebases and retries with a fresh id.
+        """
+        publish_object(
+            self._dir / snapshot_name(snapshot.snapshot_id),
+            snapshot.to_dict(),
+            exclusive=True,
+        )
+        self._cache[snapshot.snapshot_id] = snapshot
+
+    def delete(self, snapshot_id: int) -> bool:
+        """Remove one expired manifest (retention only ever calls this)."""
+        self._cache.pop(snapshot_id, None)
+        try:
+            (self._dir / snapshot_name(snapshot_id)).unlink()
+        except OSError:
+            return False
+        return True
+
+
+class Refs:
+    """Named snapshot pointers (tags), persisted in ``refs.json``."""
+
+    def __init__(self, root: Path) -> None:
+        self._path = root / REFS_FILE
+
+    def tags(self) -> "dict[str, int]":
+        try:
+            payload = read_json(self._path)
+        except (FileNotFoundError, StoreError):
+            return {}
+        tags = payload.get("tags", {}) if isinstance(payload, dict) else {}
+        return {str(name): int(ref) for name, ref in tags.items()}
+
+    def set_tag(self, name: str, snapshot_id: int) -> None:
+        if not name or "/" in name or name.strip() != name:
+            raise StoreError(f"invalid tag name {name!r}")
+        tags = self.tags()
+        tags[name] = snapshot_id
+        self._write(tags)
+
+    def delete_tag(self, name: str) -> bool:
+        tags = self.tags()
+        if name not in tags:
+            return False
+        del tags[name]
+        self._write(tags)
+        return True
+
+    def _write(self, tags: "dict[str, int]") -> None:
+        write_pointer(
+            self._path, {"store_version": STORE_VERSION, "tags": tags}
+        )
+
+
+def live_partitions(
+    log: SnapshotLog, snapshot_ids: "Iterable[int]"
+) -> "set[str]":
+    """Every partition path reachable from any of ``snapshot_ids``."""
+    reachable: "set[str]" = set()
+    for snapshot_id in snapshot_ids:
+        try:
+            reachable.update(e.path for e in log.partitions_at(snapshot_id))
+        except StoreError:
+            continue
+    return reachable

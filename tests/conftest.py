@@ -36,7 +36,8 @@ os.environ.setdefault("REPRO_NO_CACHE", "1")
 # The service, e2e, and verify suites toggle process-global knobs
 # (``REPRO_NO_CACHE``, ``REPRO_CACHE_DIR``, ``REPRO_MAX_WORKERS``, ...)
 # around live servers and process pools. A knob left set — or a stray
-# ``.repro-cache/`` materialised in the working directory — silently changes
+# ``.repro-cache/`` or ``.repro-store/`` materialised in the working
+# directory — silently changes
 # the behaviour of every later test in the run, which is exactly the
 # order-dependence this suite must never have. A fixture can't police this
 # (its teardown runs *before* monkeypatch's restore), so the check brackets
@@ -49,10 +50,16 @@ def _repro_env() -> "dict[str, str]":
     return {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
 
 
+#: Working-directory litter the teardown guard polices.
+_STRAY_DIRS = (".repro-cache", ".repro-store")
+
+
 @pytest.hookimpl(wrapper=True)
 def pytest_runtest_setup(item):
     item.stash[_ENV_KEY] = _repro_env()
-    item.stash[_CACHE_KEY] = (Path.cwd() / ".repro-cache").exists()
+    item.stash[_CACHE_KEY] = {
+        name: (Path.cwd() / name).exists() for name in _STRAY_DIRS
+    }
     return (yield)
 
 
@@ -75,12 +82,14 @@ def pytest_runtest_teardown(item, nextitem):
                 os.environ[key] = before[key]
             else:
                 os.environ.pop(key, None)
-    stray_cache = Path.cwd() / ".repro-cache"
-    if not item.stash.get(_CACHE_KEY, True) and stray_cache.exists():
-        import shutil
+    existed = item.stash.get(_CACHE_KEY, {})
+    for name in _STRAY_DIRS:
+        stray = Path.cwd() / name
+        if not existed.get(name, True) and stray.exists():
+            import shutil
 
-        shutil.rmtree(stray_cache, ignore_errors=True)
-        leaks.append(f"created {stray_cache}")
+            shutil.rmtree(stray, ignore_errors=True)
+            leaks.append(f"created {stray}")
     if leaks:
         pytest.fail(
             f"{item.nodeid} leaked process-global state: " + "; ".join(leaks),

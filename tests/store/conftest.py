@@ -1,0 +1,71 @@
+"""Fixtures for the result-store suite: synthetic records and tmp stores.
+
+Store-level tests run on synthetic :class:`StoredRecord` payloads — the
+store treats results as opaque JSON, so nothing here needs to simulate.
+The payloads still carry every field ``SimulationResult.from_dict``
+requires, so point lookups (``store.get``) deserialise for real.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.store import ResultStore, StoredRecord
+
+
+def make_record(
+    workload: str = "jacobi",
+    paradigm: str = "gps",
+    num_gpus: int = 4,
+    link: str = "PCIe 6.0",
+    scale: float = 0.5,
+    iterations: int = 8,
+    total_time: float = 1.0,
+    traffic_bytes: int = 4096,
+    model: str = "repro-model/test",
+) -> StoredRecord:
+    """One synthetic stored record, fingerprinted by its config identity."""
+    meta = {
+        "workload": workload,
+        "paradigm": paradigm,
+        "num_gpus": num_gpus,
+        "link": link,
+        "scale": scale,
+        "iterations": iterations,
+    }
+    key = hashlib.sha256(
+        "|".join(str(meta[k]) for k in sorted(meta)).encode() + model.encode()
+    ).hexdigest()
+    row = [0] * num_gpus
+    traffic = [list(row) for _ in range(num_gpus)]
+    if num_gpus > 1:
+        traffic[0][1] = traffic_bytes
+    result = {
+        "program_name": workload,
+        "paradigm": paradigm,
+        "num_gpus": num_gpus,
+        "total_time": total_time,
+        "traffic": traffic,
+        "phases": [],
+        "write_queue_stats": [],
+        "gps_tlb_stats": [],
+        "subscriber_histogram": {},
+        "fault_count": 0,
+        "pages_migrated": 0,
+        "counters": {},
+        "extras": {},
+    }
+    return StoredRecord(key=key, meta=meta, result=result, model=model)
+
+
+@pytest.fixture
+def record_factory():
+    return make_record
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    """A fresh store with legacy import and auto-refresh off (fast)."""
+    return ResultStore.open(tmp_path / "store", legacy=False, auto_refresh=False)

@@ -1,0 +1,115 @@
+"""Runner-integration tests: the store as the persistent result backend.
+
+``REPRO_RESULT_BACKEND=store`` swaps the runner's flat
+:class:`DiskCache` for :class:`StoreCache`, which persists through
+:class:`repro.store.ResultStore` — cold runs commit snapshots, warm runs
+deserialise from partition files, and the legacy flat cache is imported
+on the store's first open.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.runner import (
+    StoreCache,
+    cache_stats,
+    clear_disk_cache,
+    clear_run_cache,
+    disk_cache_info,
+    run_simulation,
+)
+from repro.store import ResultStore
+
+FAST = dict(scale=0.1, iterations=2)
+
+
+@pytest.fixture
+def store_backend(tmp_path, monkeypatch):
+    """Route the runner's persistent layer into a temp lakehouse."""
+    monkeypatch.setenv("REPRO_NO_CACHE", "")
+    monkeypatch.setenv("REPRO_RESULT_BACKEND", "store")
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    monkeypatch.delenv("REPRO_STORE_AUTO_REFRESH", raising=False)
+    clear_run_cache()
+    yield tmp_path / "store"
+    clear_run_cache()
+
+
+class TestStoreBackend:
+    def test_info_reports_store_backend(self, store_backend):
+        info = disk_cache_info()
+        assert info["enabled"]
+        assert info["backend"] == "store"
+        assert info["directory"] == str(store_backend)
+
+    def test_cold_run_commits_a_snapshot(self, store_backend):
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        store = ResultStore.open(store_backend, legacy=False, auto_refresh=False)
+        assert store.current_snapshot_id() == 1
+        (record,) = store.at().records()
+        assert record.meta["workload"] == "jacobi"
+        assert record.model.startswith("repro-model/")
+
+    def test_warm_read_is_byte_identical(self, store_backend):
+        a = run_simulation("ct", "gps", 4, **FAST)
+        clear_run_cache()  # drop the memo, keep the store
+        b = run_simulation("ct", "gps", 4, **FAST)
+        assert a is not b
+        assert cache_stats().disk_hits == 1
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+    def test_clear_truncates_but_keeps_history(self, store_backend):
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        run_simulation("jacobi", "gps", 2, **FAST)
+        assert clear_disk_cache() == 2
+        assert disk_cache_info()["entries"] == 0
+        store = ResultStore.open(store_backend, legacy=False, auto_refresh=False)
+        assert store.history()[-1].operation == "truncate"
+        assert len(store.at(2).records()) == 2  # pre-truncate still readable
+
+    def test_entries_surface_matches_flat_cache_shape(self, store_backend):
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        info = disk_cache_info()
+        assert info["entries"] == 1
+        assert info["size_bytes"] > 0
+        cache = StoreCache(store_backend)
+        (row,) = cache.entries()
+        assert row["workload"] == "jacobi"
+        assert len(row["key"]) == 12
+
+    def test_legacy_flat_cache_imported_on_first_open(
+        self, tmp_path, monkeypatch
+    ):
+        # 1) populate a flat cache the classic way ...
+        flat = tmp_path / "flat"
+        monkeypatch.setenv("REPRO_NO_CACHE", "")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(flat))
+        clear_run_cache()
+        flat_result = run_simulation("jacobi", "memcpy", 2, **FAST)
+        clear_run_cache()
+
+        # 2) ... then point a store at it: first open imports the records.
+        store = ResultStore.open(
+            tmp_path / "store", legacy=flat, auto_refresh=False
+        )
+        assert store.current_snapshot_id() == 1
+        assert store.history()[0].operation == "import"
+        (record,) = store.at().records()
+        assert record.result == flat_result.to_dict()
+
+    def test_store_failure_counts_not_raises(self, store_backend, monkeypatch):
+        run_simulation("jacobi", "memcpy", 2, **FAST)
+        clear_run_cache()
+        cache = StoreCache(store_backend)
+
+        def boom():
+            raise OSError("store is sick")
+
+        monkeypatch.setattr(cache, "_open", boom)
+        assert cache.get("any-key") is None
+        assert cache.stats.disk_errors == 1

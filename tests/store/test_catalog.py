@@ -1,0 +1,233 @@
+"""Catalog tests: commits, snapshots, time travel, tags, legacy import."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store import (
+    CATALOG_FILE,
+    ResultStore,
+    StoreError,
+    canonical_json,
+    open_store,
+)
+from repro.store.snapshots import CHECKPOINT_EVERY
+
+from .conftest import make_record
+
+
+class TestOpen:
+    def test_fresh_store_is_empty(self, store):
+        assert store.current_snapshot_id() is None
+        assert store.at().records() == []
+        assert store.stats()["records"] == 0
+
+    def test_reopen_sees_committed_state(self, tmp_path, record_factory):
+        directory = tmp_path / "store"
+        first = ResultStore.open(directory, legacy=False, auto_refresh=False)
+        first.append([record_factory()])
+        second = ResultStore.open(directory, legacy=False, auto_refresh=False)
+        assert second.current_snapshot_id() == 1
+        assert len(second.at().records()) == 1
+
+    def test_open_store_convenience(self, tmp_path):
+        store = open_store(tmp_path / "s", legacy=False)
+        assert store.current_snapshot_id() is None
+
+
+class TestAppend:
+    def test_append_publishes_one_snapshot(self, store, record_factory):
+        snapshot = store.append([record_factory(paradigm="gps")])
+        assert snapshot.snapshot_id == 1
+        assert snapshot.operation == "append"
+        assert snapshot.summary == {"records": 1, "partitions": 1}
+
+    def test_empty_append_is_a_noop(self, store):
+        assert store.append([]) is None
+        assert store.current_snapshot_id() is None
+
+    def test_records_group_into_cells(self, store, record_factory):
+        snapshot = store.append(
+            [
+                record_factory(workload="jacobi", paradigm="gps"),
+                record_factory(workload="jacobi", paradigm="gps", num_gpus=8),
+                record_factory(workload="jacobi", paradigm="memcpy"),
+                record_factory(workload="ct", paradigm="gps"),
+            ]
+        )
+        # 3 cells: (jacobi,gps) holds two records, the others one each.
+        assert snapshot.summary == {"records": 4, "partitions": 3}
+        entries = store.at().partitions()
+        assert sum(e.records for e in entries) == 4
+
+    def test_recommit_shadows_older_copy(self, store, record_factory):
+        store.append([record_factory(total_time=1.0)])
+        newer = record_factory(total_time=2.0)
+        store.append([newer])
+        record = store.record(newer.key)
+        assert record.result["total_time"] == 2.0
+        # Both copies exist physically until compaction.
+        assert len(store.at().partitions()) == 2
+        # But reads see each fingerprint exactly once.
+        assert len(store.at().records()) == 1
+
+    def test_get_deserialises_result(self, store, record_factory):
+        record = record_factory(total_time=3.5)
+        store.append([record])
+        result = store.get(record.key)
+        assert result.total_time == 3.5
+        assert result.program_name == "jacobi"
+
+    def test_canonical_payload_matches_committed_result(self, store, record_factory):
+        record = record_factory()
+        store.append([record])
+        assert store.at().canonical_payload(record.key) == canonical_json(record.result)
+
+    def test_missing_key_reads_none(self, store):
+        assert store.get("no-such-fingerprint") is None
+        assert store.record("no-such-fingerprint") is None
+        assert store.at().canonical_payload("no-such-fingerprint") is None
+
+
+class TestTimeTravel:
+    def test_at_pins_an_old_snapshot(self, store, record_factory):
+        old = record_factory(workload="jacobi", total_time=1.0)
+        store.append([old])
+        store.append([record_factory(workload="ct")])
+        newer = make_record(workload="jacobi", total_time=9.0)
+        store.append([newer])
+
+        assert len(store.at(1).records()) == 1
+        assert store.at(1).record(old.key).result["total_time"] == 1.0
+        assert store.at(3).record(old.key).result["total_time"] == 9.0
+        assert len(store.at().records()) == 2
+
+    def test_truncate_keeps_history_readable(self, store, record_factory):
+        record = record_factory()
+        store.append([record])
+        snapshot = store.truncate()
+        assert snapshot.operation == "truncate"
+        assert store.at().records() == []
+        assert store.at(1).record(record.key) is not None
+
+    def test_truncate_empty_store_is_noop(self, store):
+        assert store.truncate() is None
+
+    def test_resolve_rejects_unknown_ref(self, store, record_factory):
+        store.append([record_factory()])
+        with pytest.raises(StoreError):
+            store.at("no-such-tag")
+
+
+class TestTags:
+    def test_tag_and_read_through_tag(self, store, record_factory):
+        record = record_factory()
+        store.append([record])
+        store.tag("baseline")
+        store.append([make_record(workload="ct")])
+        assert store.tags() == {"baseline": 1}
+        assert len(store.at("baseline").records()) == 1
+
+    def test_clone_is_a_tag(self, store, record_factory):
+        store.append([record_factory()])
+        assert store.clone("experiment") == 1
+        assert store.tags()["experiment"] == 1
+
+    def test_drop_tag(self, store, record_factory):
+        store.append([record_factory()])
+        store.tag("t")
+        assert store.drop_tag("t")
+        assert not store.drop_tag("t")
+        assert store.tags() == {}
+
+    def test_tag_empty_store_fails(self, store):
+        with pytest.raises(StoreError):
+            store.tag("nothing-yet")
+
+
+class TestCheckpoints:
+    def test_chain_checkpoints_bound_resolution_depth(self, store, record_factory):
+        for i in range(CHECKPOINT_EVERY + 2):
+            store.append([make_record(scale=float(i + 1))])
+        head = store.current_snapshot_id()
+        assert head == CHECKPOINT_EVERY + 2
+        # At least one non-root manifest must carry a full partition list.
+        checkpoints = [
+            s.snapshot_id for s in store.history() if s.partitions is not None
+        ]
+        assert checkpoints
+        assert store.log.chain_depth(head) < CHECKPOINT_EVERY
+        assert len(store.at().records()) == CHECKPOINT_EVERY + 2
+
+    def test_truncate_forces_checkpoint(self, store, record_factory):
+        store.append([record_factory()])
+        snapshot = store.truncate()
+        assert snapshot.partitions == ()
+
+
+class TestLegacyImport:
+    def _legacy_record(self, legacy_dir, record):
+        legacy_dir.mkdir(parents=True, exist_ok=True)
+        (legacy_dir / f"{record.key}.json").write_text(
+            json.dumps(
+                {
+                    "record_version": 1,
+                    "model": record.model,
+                    "key": record.key,
+                    "job": record.meta,
+                    "result": record.result,
+                }
+            )
+        )
+
+    def test_first_open_imports_flat_cache(self, tmp_path, record_factory):
+        legacy = tmp_path / ".repro-cache"
+        record = record_factory()
+        self._legacy_record(legacy, record)
+        (legacy / "torn.json").write_text("{not json")
+
+        store = ResultStore.open(
+            tmp_path / "store", legacy=legacy, auto_refresh=False
+        )
+        assert store.current_snapshot_id() == 1
+        snapshot = store.history()[0]
+        assert snapshot.operation == "import"
+        imported = store.record(record.key)
+        assert imported.meta == record.meta
+        assert imported.result == record.result
+        assert imported.model == record.model
+
+    def test_import_happens_once(self, tmp_path, record_factory):
+        legacy = tmp_path / ".repro-cache"
+        self._legacy_record(legacy, record_factory())
+        ResultStore.open(tmp_path / "store", legacy=legacy, auto_refresh=False)
+        again = ResultStore.open(tmp_path / "store", legacy=legacy, auto_refresh=False)
+        assert again.current_snapshot_id() == 1  # no second import commit
+
+    def test_missing_legacy_dir_imports_nothing(self, tmp_path):
+        store = ResultStore.open(
+            tmp_path / "store", legacy=tmp_path / "nope", auto_refresh=False
+        )
+        assert store.current_snapshot_id() is None
+
+
+class TestStatsAndPointer:
+    def test_stats_shape(self, store, record_factory):
+        store.append([record_factory()])
+        store.tag("v1")
+        stats = store.stats()
+        assert stats["current_snapshot"] == 1
+        assert stats["snapshots"] == 1
+        assert stats["records"] == 1
+        assert stats["partitions"] == 1
+        assert stats["partition_files"] == 1
+        assert stats["bytes"] > 0
+        assert stats["tags"] == {"v1": 1}
+        assert set(stats["views"]) == {"fig08", "fig10", "fig11", "fig12"}
+
+    def test_catalog_pointer_tracks_current(self, store, record_factory):
+        store.append([record_factory()])
+        pointer = json.loads((store.directory / CATALOG_FILE).read_text())
+        assert pointer["current_snapshot"] == 1

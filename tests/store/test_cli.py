@@ -1,0 +1,144 @@
+"""Tests for the ``repro store`` CLI verbs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.store import ResultStore
+
+from .conftest import make_record
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    """A populated store with four snapshots and a tag."""
+    directory = tmp_path / "store"
+    store = ResultStore.open(directory, legacy=False, auto_refresh=False)
+    store.append(
+        [
+            make_record(paradigm="memcpy", num_gpus=1, total_time=8.0),
+            make_record(paradigm="gps", num_gpus=4, total_time=2.0),
+        ]
+    )
+    store.tag("baseline")
+    store.append([make_record(paradigm="um", num_gpus=4, total_time=16.0)])
+    store.append([make_record(workload="ct", paradigm="gps", total_time=1.0)])
+    # Fragment the (jacobi, gps) cell so compaction has work to do.
+    store.append([make_record(paradigm="gps", num_gpus=4, scale=2.0, total_time=1.5)])
+    return directory
+
+
+def run(store_dir, *argv):
+    return main(["store", *argv, "--dir", str(store_dir)])
+
+
+class TestShow:
+    def test_summary_rows(self, store_dir, capsys):
+        assert run(store_dir, "show") == 0
+        out = capsys.readouterr().out
+        assert "current snapshot" in out
+        assert ": 4" in out  # four snapshots
+        assert "baseline@1" in out
+        assert "records" in out
+
+    def test_time_travel(self, store_dir, capsys):
+        assert run(store_dir, "show", "--at", "baseline") == 0
+        assert "reading at" in capsys.readouterr().out
+
+    def test_store_error_exits_one(self, store_dir, capsys):
+        assert run(store_dir, "show", "--at", "no-such-tag") == 1
+        assert "store error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_table_output(self, store_dir, capsys):
+        assert run(store_dir, "query") == 0
+        out = capsys.readouterr().out
+        assert "5 results" in out
+        assert "workload" in out
+        assert "jacobi" in out
+
+    def test_filters_and_projection(self, store_dir, capsys):
+        assert (
+            run(
+                store_dir,
+                "query",
+                "--where",
+                "paradigm=gps",
+                "--columns",
+                "workload,total_time",
+                "--json",
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 3
+        assert all(set(row) == {"workload", "total_time"} for row in rows)
+
+    def test_order_and_limit(self, store_dir, capsys):
+        assert (
+            run(
+                store_dir,
+                "query",
+                "--order-by=-total_time",
+                "--limit",
+                "1",
+                "--json",
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["total_time"] == 16.0
+
+    def test_query_at_tag(self, store_dir, capsys):
+        assert run(store_dir, "query", "--at", "baseline", "--json") == 0
+        assert len(json.loads(capsys.readouterr().out)) == 2
+
+    def test_unknown_column_is_a_store_error(self, store_dir, capsys):
+        assert run(store_dir, "query", "--columns", "bogus") == 1
+        assert "store error" in capsys.readouterr().err
+
+
+class TestTags:
+    def test_list(self, store_dir, capsys):
+        assert run(store_dir, "tags") == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_add_and_drop(self, store_dir, capsys):
+        assert run(store_dir, "tags", "release", "--at", "2") == 0
+        assert "tagged snapshot 2" in capsys.readouterr().out
+        assert run(store_dir, "tags", "release", "--drop") == 0
+        assert run(store_dir, "tags", "release", "--drop") == 1
+        assert "no such tag" in capsys.readouterr().err
+
+
+class TestMaintenance:
+    def test_compact_then_noop(self, store_dir, capsys):
+        assert run(store_dir, "compact") == 0
+        assert "compacted" in capsys.readouterr().out
+        assert run(store_dir, "compact") == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+    def test_vacuum_reports(self, store_dir, capsys):
+        run(store_dir, "compact")
+        capsys.readouterr()
+        assert run(store_dir, "vacuum", "--keep-last", "1") == 0
+        out = capsys.readouterr().out
+        assert "expired" in out
+        assert "partitions live" in out
+
+
+class TestHistory:
+    def test_walks_the_chain(self, store_dir, capsys):
+        assert run(store_dir, "history") == 0
+        out = capsys.readouterr().out
+        assert "append" in out
+        assert "<baseline>" in out
+
+    def test_limit_notes_continuation(self, store_dir, capsys):
+        assert run(store_dir, "history", "--limit", "1") == 0
+        assert "history continues at snapshot 3" in capsys.readouterr().out

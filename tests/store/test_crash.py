@@ -1,0 +1,198 @@
+"""Crash-recovery and concurrency tests for the commit protocol.
+
+The properties pinned here are the store's whole reason to exist:
+
+* a writer killed at *any* point mid-commit leaves the previous snapshot
+  fully readable — a fresh open never sees a torn state;
+* vacuum collects the debris such a crash leaves (orphan partitions,
+  torn temp files) without touching anything reachable — in particular
+  anything reachable from a tagged snapshot;
+* two writers committing concurrently serialize through the exclusive
+  snapshot-id claim without losing either commit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.store import CommitConflict, ResultStore, StoreError, vacuum
+from repro.store.snapshots import SnapshotLog, snapshot_name
+
+from .conftest import make_record
+
+
+def reopen(store) -> ResultStore:
+    """A cold open of the same directory (fresh caches, like a new process)."""
+    return ResultStore.open(store.directory, legacy=False, auto_refresh=False)
+
+
+class TestCrashMidCommit:
+    def test_crash_before_manifest_publish(self, store, monkeypatch):
+        """Partitions written, manifest never published: nothing changed."""
+        store.append([make_record(scale=1.0)])
+
+        def crash(self, snapshot):
+            raise OSError("injected crash before manifest publish")
+
+        with monkeypatch.context() as patched:
+            patched.setattr(SnapshotLog, "publish", crash)
+            with pytest.raises(OSError):
+                store.append([make_record(scale=2.0)])
+
+        survivor = reopen(store)
+        assert survivor.current_snapshot_id() == 1
+        assert len(survivor.at().records()) == 1
+        # The crashed commit's partition file is orphaned on disk ...
+        partitions = list((store.directory / "partitions").glob("*.json"))
+        assert len(partitions) == 2
+        # ... and a later append is entirely unaffected.
+        survivor.append([make_record(scale=3.0)])
+        assert survivor.current_snapshot_id() == 2
+
+    def test_crash_between_manifest_and_pointer(self, store, monkeypatch):
+        """Manifest published, catalog pointer never advanced: the log is
+        the source of truth, so the commit IS durable."""
+        store.append([make_record(scale=1.0)])
+
+        from repro.store import catalog as catalog_module
+
+        def crash(path, payload):
+            raise OSError("injected crash before pointer write")
+
+        with monkeypatch.context() as patched:
+            patched.setattr(catalog_module, "write_pointer", crash)
+            with pytest.raises(OSError):
+                store.append([make_record(scale=2.0)])
+
+        survivor = reopen(store)
+        assert survivor.current_snapshot_id() == 2
+        assert len(survivor.at().records()) == 2
+
+    def test_torn_manifest_temp_is_invisible_and_collected(self, store):
+        store.append([make_record(scale=1.0)])
+        torn = store.directory / "snapshots" / f"{snapshot_name(2)}.tmp.999"
+        torn.write_text('{"snapshot": 2, "par')
+
+        survivor = reopen(store)
+        assert survivor.current_snapshot_id() == 1
+        assert survivor.log.ids() == [1]
+        report = vacuum(survivor)
+        assert report.removed_temp_files == 1
+        assert not torn.exists()
+
+    def test_out_of_band_damaged_head_is_walked_over(self, store):
+        store.append([make_record(scale=1.0)])
+        store.append([make_record(scale=2.0)])
+        # Damage the head manifest out-of-band (disk corruption, not a
+        # torn write — publishes are atomic).
+        (store.directory / "snapshots" / snapshot_name(2)).write_text("{caput")
+
+        survivor = reopen(store)
+        assert survivor.current_snapshot_id() == 1
+        assert len(survivor.at().records()) == 1
+
+    def test_vacuum_after_crash_respects_tags(self, store, monkeypatch):
+        """The crash-orphan is collected; the tagged snapshot's bytes are not."""
+        pinned = make_record(scale=1.0)
+        store.append([pinned])
+        store.tag("keep")
+
+        with monkeypatch.context() as patched:
+            patched.setattr(
+                SnapshotLog, "publish",
+                lambda self, s: (_ for _ in ()).throw(OSError("crash")),
+            )
+            with pytest.raises(OSError):
+                store.append([make_record(scale=2.0)])
+
+        survivor = reopen(store)
+        report = vacuum(survivor)
+        assert report.removed_partitions == 1  # the orphan
+        assert survivor.at("keep").canonical_payload(pinned.key) is not None
+
+
+class TestConcurrentWriters:
+    def test_two_writers_serialize_without_loss(self, tmp_path):
+        """Both sides of an id race land; the loser rebases and retries."""
+        directory = tmp_path / "shared"
+        a = ResultStore.open(directory, legacy=False, auto_refresh=False)
+        b = ResultStore.open(directory, legacy=False, auto_refresh=False)
+
+        barrier = threading.Barrier(2)
+        outcomes: "dict[str, object]" = {}
+
+        def writer(name, handle, scale):
+            barrier.wait()
+            outcomes[name] = handle.append([make_record(scale=scale)])
+
+        threads = [
+            threading.Thread(target=writer, args=("a", a, 10.0)),
+            threading.Thread(target=writer, args=("b", b, 20.0)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert {outcomes["a"].snapshot_id, outcomes["b"].snapshot_id} == {1, 2}
+        survivor = reopen(a)
+        assert survivor.current_snapshot_id() == 2
+        keys = {record.key for record in survivor.at().records()}
+        assert keys == {make_record(scale=10.0).key, make_record(scale=20.0).key}
+
+    def test_many_threads_many_commits(self, tmp_path):
+        directory = tmp_path / "shared"
+        stores = [
+            ResultStore.open(directory, legacy=False, auto_refresh=False)
+            for _ in range(4)
+        ]
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def writer(index, handle):
+            try:
+                barrier.wait()
+                for j in range(3):
+                    handle.append([make_record(scale=float(index * 10 + j + 1))])
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i, s))
+            for i, s in enumerate(stores)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        survivor = ResultStore.open(directory, legacy=False, auto_refresh=False)
+        assert survivor.current_snapshot_id() == 12
+        assert len(survivor.at().records()) == 12
+
+    def test_losing_an_exclusive_claim_is_a_conflict_not_corruption(self, store):
+        store.append([make_record(scale=1.0)])
+        stale = store.log.load(1)
+        with pytest.raises(CommitConflict):
+            store.log.publish(stale)
+        # The original manifest is untouched by the failed claim.
+        payload = json.loads(
+            (store.directory / "snapshots" / snapshot_name(1)).read_text()
+        )
+        assert payload["snapshot"] == 1
+
+    def test_commit_gives_up_after_max_races(self, store, monkeypatch):
+        """A writer that always loses eventually raises instead of spinning."""
+        store.append([make_record(scale=1.0)])
+
+        def always_conflict(self, snapshot):
+            raise CommitConflict("someone else every time")
+
+        with monkeypatch.context() as patched:
+            patched.setattr(SnapshotLog, "publish", always_conflict)
+            with pytest.raises(StoreError, match="lost"):
+                store.append([make_record(scale=2.0)])

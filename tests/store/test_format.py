@@ -1,0 +1,76 @@
+"""Unit tests for the store's durable-object primitives."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store import CommitConflict, StoreError, canonical_json
+from repro.store.format import content_digest, publish_object, read_json, write_pointer
+
+
+class TestCanonicalJson:
+    def test_key_order_is_canonical(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_compact_separators(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_digest_tracks_content_not_layout(self):
+        assert content_digest({"x": 1}) == content_digest({"x": 1})
+        assert content_digest({"x": 1}) != content_digest({"x": 2})
+
+
+class TestWritePointer:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "ptr.json"
+        write_pointer(path, {"current": 7})
+        assert read_json(path) == {"current": 7}
+
+    def test_replace_is_atomic_no_temp_left(self, tmp_path):
+        path = tmp_path / "ptr.json"
+        write_pointer(path, {"current": 1})
+        write_pointer(path, {"current": 2})
+        assert read_json(path) == {"current": 2}
+        assert [p.name for p in tmp_path.iterdir()] == ["ptr.json"]
+
+
+class TestPublishObject:
+    def test_exclusive_claim_conflicts(self, tmp_path):
+        path = tmp_path / "00000001.json"
+        assert publish_object(path, {"snapshot": 1}, exclusive=True)
+        with pytest.raises(CommitConflict):
+            publish_object(path, {"snapshot": 99}, exclusive=True)
+        # The loser must not have clobbered the winner.
+        assert read_json(path) == {"snapshot": 1}
+
+    def test_content_addressed_publish_is_idempotent(self, tmp_path):
+        path = tmp_path / "abcd.json"
+        assert publish_object(path, {"v": 1}, exclusive=False)
+        assert not publish_object(path, {"v": 1}, exclusive=False)
+        assert read_json(path) == {"v": 1}
+
+    def test_no_temp_files_survive(self, tmp_path):
+        path = tmp_path / "obj.json"
+        publish_object(path, {"v": 1}, exclusive=False)
+        publish_object(path, {"v": 1}, exclusive=False)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["obj.json"]
+
+    def test_published_bytes_are_canonical(self, tmp_path):
+        path = tmp_path / "obj.json"
+        publish_object(path, {"b": 1, "a": [1, 2]}, exclusive=False)
+        assert path.read_text() == '{"a":[1,2],"b":1}'
+        assert json.loads(path.read_text()) == {"a": [1, 2], "b": 1}
+
+
+class TestReadJson:
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_json(tmp_path / "nope.json")
+
+    def test_torn_file_raises_store_error(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"partial": ')
+        with pytest.raises(StoreError):
+            read_json(path)

@@ -1,0 +1,78 @@
+"""Compaction tests: dedup, visibility preservation, time-travel safety."""
+
+from __future__ import annotations
+
+from repro.store import compact
+
+from .conftest import make_record
+
+
+class TestCompact:
+    def test_noop_on_unfragmented_store(self, store):
+        store.append([make_record()])
+        report = compact(store)
+        assert report.snapshot is None
+        assert report.cells_compacted == 0
+        assert store.current_snapshot_id() == 1  # no snapshot published
+
+    def test_merges_fragmented_cell(self, store):
+        for scale in (0.1, 0.2, 0.3):
+            store.append([make_record(scale=scale)])
+        assert len(store.at().partitions()) == 3
+
+        report = compact(store)
+        assert report.cells_compacted == 1
+        assert report.files_before == 3
+        assert report.files_after == 1
+        assert report.records == 3
+        assert report.shadowed_dropped == 0
+        assert len(store.at().partitions()) == 1
+        assert len(store.at().records()) == 3
+
+    def test_drops_shadowed_copies(self, store):
+        store.append([make_record(total_time=1.0)])
+        store.append([make_record(total_time=2.0)])  # same fingerprint, shadows
+
+        report = compact(store)
+        assert report.shadowed_dropped == 1
+        assert report.records == 1
+        (record,) = store.at().records()
+        assert record.result["total_time"] == 2.0
+
+    def test_untouched_cells_stay_put(self, store):
+        record = make_record(workload="ct", paradigm="memcpy")
+        store.append([record])
+        for scale in (0.1, 0.2):
+            store.append([make_record(scale=scale)])
+        before = {e.path for e in store.at().partitions() if e.workload == "ct"}
+
+        compact(store)
+        after = {e.path for e in store.at().partitions() if e.workload == "ct"}
+        assert after == before
+
+    def test_time_travel_sees_precompaction_files(self, store):
+        for scale in (0.1, 0.2):
+            store.append([make_record(scale=scale)])
+        compact(store)
+        assert len(store.at(2).partitions()) == 2
+        assert len(store.at(2).records()) == 2
+
+    def test_compaction_is_idempotent(self, store):
+        for scale in (0.1, 0.2):
+            store.append([make_record(scale=scale)])
+        compact(store)
+        again = compact(store)
+        assert again.snapshot is None
+        assert again.cells_compacted == 0
+
+    def test_reads_identical_before_and_after(self, store):
+        records = [make_record(scale=s) for s in (0.1, 0.2, 0.3)]
+        for record in records:
+            store.append([record])
+        store.append([make_record(scale=0.2, total_time=42.0)])  # shadow one
+        before = {r.key: r.result for r in store.at().records()}
+
+        compact(store)
+        after = {r.key: r.result for r in store.at().records()}
+        assert after == before
+        assert after[make_record(scale=0.2).key]["total_time"] == 42.0

@@ -1,0 +1,196 @@
+"""Materialized-view tests: shape, upsert reduce, rendering, refresh modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import FIGURE_VIEWS, VIEWS_BY_NAME, render_view
+from repro.store.incremental import (
+    latest_state_id,
+    load_state,
+    refresh_all_views,
+    refresh_view,
+    state_ids,
+    view_figure,
+)
+from repro.store.matviews import apply_records
+from repro.store.query import record_row
+
+from .conftest import make_record
+
+
+def fig11_family(total_gps=1.0, total_nosub=2.0, workload="jacobi"):
+    """Baseline + the two GPS variants fig11 plots, one (link,scale,iter)."""
+    return [
+        make_record(workload=workload, paradigm="memcpy", num_gpus=1, total_time=8.0),
+        make_record(workload=workload, paradigm="gps", num_gpus=4, total_time=total_gps),
+        make_record(
+            workload=workload, paradigm="gps_nosub", num_gpus=4, total_time=total_nosub
+        ),
+    ]
+
+
+class TestViewShape:
+    def test_catalogue_names(self):
+        assert [v.name for v in FIGURE_VIEWS] == ["fig08", "fig10", "fig11", "fig12"]
+        assert set(VIEWS_BY_NAME) == {"fig08", "fig10", "fig11", "fig12"}
+
+    def test_wants_matches_paradigm_and_gpu_count(self):
+        fig11 = VIEWS_BY_NAME["fig11"]
+        assert fig11.wants(record_row(make_record(paradigm="gps", num_gpus=4)))
+        assert not fig11.wants(record_row(make_record(paradigm="gps", num_gpus=8)))
+        assert not fig11.wants(record_row(make_record(paradigm="um", num_gpus=4)))
+        # Baseline rows (memcpy @ 1 GPU) belong to every baselined view.
+        assert fig11.wants(record_row(make_record(paradigm="memcpy", num_gpus=1)))
+
+    def test_fig12_evaluates_sixteen_gpus(self):
+        fig12 = VIEWS_BY_NAME["fig12"]
+        assert fig12.wants(record_row(make_record(paradigm="gps", num_gpus=16)))
+        assert not fig12.wants(record_row(make_record(paradigm="gps", num_gpus=4)))
+
+
+class TestUpsertReduce:
+    def test_apply_is_keyed_by_config_identity(self):
+        view = VIEWS_BY_NAME["fig11"]
+        rows = {}
+        applied = apply_records(view, rows, fig11_family())
+        assert applied == 3
+        assert len(rows) == 3
+
+    def test_reapplying_newer_copy_overwrites(self):
+        view = VIEWS_BY_NAME["fig11"]
+        rows = {}
+        apply_records(view, rows, fig11_family(total_gps=1.0))
+        apply_records(view, rows, fig11_family(total_gps=0.5))
+        assert len(rows) == 3
+        gps_rows = [r for k, r in rows.items() if "|gps|" in k]
+        assert [r["total_time"] for r in gps_rows] == [0.5]
+
+
+class TestRender:
+    def test_fig11_speedups_and_geomean(self):
+        view = VIEWS_BY_NAME["fig11"]
+        rows = {}
+        apply_records(view, rows, fig11_family(total_gps=1.0, total_nosub=2.0))
+        rendered = render_view(view, rows)
+        (combo,) = rendered.values()
+        assert combo["figure"] == "fig11"
+        assert combo["speedups"]["jacobi"] == {"gps": 8.0, "gps_nosub": 4.0}
+        assert combo["geomean"]["gps"] == pytest.approx(8.0)
+        assert combo["geomean"]["gps_nosub"] == pytest.approx(4.0)
+
+    def test_incomplete_combo_renders_nothing(self):
+        view = VIEWS_BY_NAME["fig11"]
+        rows = {}
+        # Multi-GPU rows with no baseline: nothing to normalise against.
+        apply_records(view, rows, fig11_family()[1:])
+        assert render_view(view, rows) == {}
+
+    def test_fig10_normalises_traffic_to_memcpy(self):
+        view = VIEWS_BY_NAME["fig10"]
+        rows = {}
+        apply_records(
+            view,
+            rows,
+            [
+                make_record(paradigm="memcpy", num_gpus=4, traffic_bytes=1000),
+                make_record(paradigm="gps", num_gpus=4, traffic_bytes=250),
+                make_record(paradigm="um", num_gpus=4, traffic_bytes=2000),
+            ],
+        )
+        (combo,) = render_view(view, rows).values()
+        assert combo["normalized_to_memcpy"]["jacobi"]["gps"] == 0.25
+        assert combo["normalized_to_memcpy"]["jacobi"]["um"] == 2.0
+        assert combo["raw_bytes"]["jacobi"]["memcpy"] == 1000
+
+
+class TestRefresh:
+    def test_empty_store_is_fresh(self, store):
+        state, stats = refresh_view(store, "fig11")
+        assert stats.mode == "fresh"
+        assert state["rows"] == {}
+
+    def test_full_then_current(self, store):
+        store.append(fig11_family())
+        _, stats = refresh_view(store, "fig11")
+        assert stats.mode == "full"
+        assert stats.rows == 3
+        _, again = refresh_view(store, "fig11")
+        assert again.mode == "current"
+        assert again.partitions_read == 0
+
+    def test_incremental_refresh_reads_only_the_delta(self, store):
+        store.append(fig11_family())
+        refresh_view(store, "fig11")
+        store.append(fig11_family(workload="ct"))
+        _, stats = refresh_view(store, "fig11")
+        assert stats.mode == "incremental"
+        assert stats.base == 1
+        # Only the 3 new records were scanned, not all 6.
+        assert stats.records_scanned == 3
+        assert stats.rows == 6
+
+    def test_incremental_equals_full_rescan(self, store, tmp_path):
+        store.append(fig11_family())
+        refresh_view(store, "fig11")
+        store.append(fig11_family(workload="ct", total_gps=0.25))
+        incremental_state, stats = refresh_view(store, "fig11")
+        assert stats.mode == "incremental"
+
+        # An independent store opened cold has no ancestor state: full scan.
+        from repro.store import ResultStore
+
+        cold = ResultStore.open(store.directory, legacy=False, auto_refresh=False)
+        import shutil
+
+        shutil.rmtree(cold.directory / "views")
+        full_state, full_stats = refresh_view(cold, "fig11")
+        assert full_stats.mode == "full"
+        assert full_state["rows"] == incremental_state["rows"]
+
+    def test_truncate_invalidates_incremental_base(self, store):
+        store.append(fig11_family())
+        refresh_view(store, "fig11")
+        store.truncate()
+        store.append(fig11_family(workload="ct"))
+        state, stats = refresh_view(store, "fig11")
+        # An upsert cannot un-apply the truncated rows: must fall back to
+        # a full scan of the target's partitions.
+        assert stats.mode == "full"
+        assert stats.rows == 3
+        assert all("|ct|" in key or "ct|" in key for key in state["rows"])
+
+    def test_unknown_view_rejected(self, store):
+        from repro.store import StoreError
+
+        with pytest.raises(StoreError):
+            refresh_view(store, "fig99")
+
+    def test_refresh_all_views_covers_catalogue(self, store):
+        store.append(fig11_family())
+        stats = refresh_all_views(store)
+        assert [s.view for s in stats] == ["fig08", "fig10", "fig11", "fig12"]
+
+    def test_view_states_are_per_snapshot_objects(self, store):
+        store.append(fig11_family())
+        refresh_view(store, "fig11")
+        store.append(fig11_family(workload="ct"))
+        refresh_view(store, "fig11")
+        assert state_ids(store, "fig11") == [1, 2]
+        assert latest_state_id(store, "fig11") == 2
+        assert len(load_state(store, "fig11", 1)["rows"]) == 3
+
+    def test_view_figure_renders_through_refresh(self, store):
+        store.append(fig11_family(total_gps=2.0))
+        (combo,) = view_figure(store, "fig11").values()
+        assert combo["speedups"]["jacobi"]["gps"] == 4.0
+
+    def test_auto_refresh_on_commit(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore.open(tmp_path / "s", legacy=False, auto_refresh=True)
+        store.append(fig11_family())
+        # The commit itself refreshed every view: reading is mode=current.
+        _, stats = refresh_view(store, "fig11")
+        assert stats.mode == "current"
+        assert stats.rows == 3

@@ -1,0 +1,124 @@
+"""Query-layer tests: filter parsing, predicates, projection, pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import Filter, ROW_FIELDS, StoreError, parse_filter, record_row, run_query
+
+from .conftest import make_record
+
+
+@pytest.fixture
+def populated(store):
+    store.append(
+        [
+            make_record(workload="jacobi", paradigm="gps", total_time=1.0),
+            make_record(workload="jacobi", paradigm="memcpy", total_time=4.0),
+            make_record(workload="ct", paradigm="gps", total_time=2.0),
+            make_record(workload="ct", paradigm="gps", num_gpus=16, total_time=0.5),
+        ]
+    )
+    return store
+
+
+class TestParseFilter:
+    def test_equality(self):
+        assert parse_filter("workload=jacobi") == Filter("workload", "==", "jacobi")
+
+    def test_numeric_coercion(self):
+        assert parse_filter("num_gpus>=4") == Filter("num_gpus", ">=", 4)
+        assert parse_filter("scale<0.5") == Filter("scale", "<", 0.5)
+
+    def test_comma_list_becomes_membership(self):
+        parsed = parse_filter("paradigm=gps,memcpy")
+        assert parsed.op == "in"
+        assert parsed.value == ("gps", "memcpy")
+
+    def test_explicit_operators(self):
+        assert parse_filter("total_time!=1").op == "!="
+        assert parse_filter("total_time==1").op == "=="
+        assert parse_filter("total_time<=1").op == "<="
+        assert parse_filter("total_time>1").op == ">"
+
+    def test_unparseable_raises(self):
+        with pytest.raises(StoreError):
+            parse_filter("nonsense")
+        with pytest.raises(StoreError):
+            parse_filter("=value")
+
+
+class TestRecordRow:
+    def test_flattens_meta_and_metrics(self):
+        row = record_row(make_record(total_time=2.5, traffic_bytes=100))
+        assert row["workload"] == "jacobi"
+        assert row["paradigm"] == "gps"
+        assert row["total_time"] == 2.5
+        assert row["interconnect_bytes"] == 100
+        assert set(ROW_FIELDS) <= set(row)
+
+
+class TestRunQuery:
+    def test_unfiltered_scan_returns_everything(self, populated):
+        result = populated.query()
+        assert len(result) == 4
+        assert result.column_names() == ROW_FIELDS
+
+    def test_string_filters_are_parsed(self, populated):
+        result = populated.query(where=["workload=jacobi", "paradigm=gps"])
+        assert [row["total_time"] for row in result.rows()] == [1.0]
+
+    def test_membership_and_comparison(self, populated):
+        result = populated.query(where=["paradigm=gps,memcpy", "total_time>=2"])
+        assert sorted(row["total_time"] for row in result.rows()) == [2.0, 4.0]
+
+    def test_order_by_descending_with_limit(self, populated):
+        result = populated.query(order_by="-total_time", limit=2)
+        assert [row["total_time"] for row in result.rows()] == [4.0, 2.0]
+
+    def test_projection(self, populated):
+        result = populated.query(columns=("workload", "total_time"))
+        assert result.column_names() == ("workload", "total_time")
+        assert set(result.rows()[0]) == {"workload", "total_time"}
+
+    def test_columnar_orientation(self, populated):
+        cols = populated.query(
+            where=["workload=ct"], columns=("paradigm", "total_time"),
+            order_by="total_time",
+        ).columns()
+        assert cols == {"paradigm": ["gps", "gps"], "total_time": [0.5, 2.0]}
+
+    def test_table_shape(self, populated):
+        headers, rows = populated.query(columns=("workload",), limit=1).table()
+        assert headers == ["workload"]
+        assert len(rows) == 1
+
+    def test_time_travel_query(self, populated):
+        populated.append([make_record(workload="fft", total_time=7.0)])
+        assert len(populated.query()) == 5
+        assert len(populated.query(at=1)) == 4
+
+    def test_unknown_column_rejected(self, populated):
+        with pytest.raises(StoreError):
+            populated.query(columns=("not_a_column",))
+        with pytest.raises(StoreError):
+            populated.query(order_by="not_a_column")
+
+    def test_equality_filters_prune_partitions(self, populated, monkeypatch):
+        from repro.store import partitions as partitions_module
+
+        read = []
+        real = partitions_module.read_partition
+
+        def counting(directory, path):
+            read.append(path)
+            return real(directory, path)
+
+        # run_query reads through reader.iter_records -> catalog's import.
+        from repro.store import catalog as catalog_module
+
+        monkeypatch.setattr(catalog_module, "read_partition", counting)
+        result = populated.query(where=["workload=jacobi", "paradigm=memcpy"])
+        assert len(result) == 1
+        # 4 records live in 3 cells; only the (jacobi, memcpy) cell is read.
+        assert len(read) == 1

@@ -1,0 +1,148 @@
+"""Retention/vacuum tests: expiry closure, tag safety, space reclamation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import (
+    RetentionPolicy,
+    StoreError,
+    compact,
+    expire_snapshots,
+    retained_snapshots,
+    vacuum,
+)
+from repro.store.incremental import refresh_view, state_ids
+
+from .conftest import make_record
+
+
+def populate(store, n=5, start=0):
+    """``n`` commits, one new fingerprint each."""
+    for i in range(n):
+        store.append([make_record(scale=float(start + i + 1))])
+
+
+class TestPolicy:
+    def test_must_keep_at_least_one(self):
+        with pytest.raises(StoreError):
+            RetentionPolicy(keep_last=0)
+
+    def test_delta_chains_are_never_broken(self, store):
+        # Five delta commits, no checkpoint: retaining the newest forces
+        # retaining the whole chain it resolves through — expiring a
+        # mid-chain manifest would corrupt every later read.
+        populate(store, 5)
+        keep = retained_snapshots(store, RetentionPolicy(keep_last=1))
+        assert keep == {1, 2, 3, 4, 5}
+
+    def test_closure_stops_at_checkpoints(self, store):
+        populate(store, 3)          # 1..3: delta appends
+        compact(store)              # 4: checkpoint (full partition list)
+        populate(store, 2, start=3)  # 5, 6: deltas on top
+        keep = retained_snapshots(store, RetentionPolicy(keep_last=2))
+        # Roots {5, 6} resolve through the checkpoint at 4 and stop there.
+        assert keep == {4, 5, 6}
+
+    def test_retained_set_includes_tag_roots(self, store):
+        populate(store, 3)
+        compact(store)
+        populate(store, 2, start=3)
+        store.tag("old", 1)
+        keep = retained_snapshots(store, RetentionPolicy(keep_last=2))
+        assert 1 in keep
+
+    def test_keep_tags_false_drops_tag_roots(self, store):
+        populate(store, 3)
+        compact(store)
+        populate(store, 2, start=3)
+        store.tag("old", 1)
+        keep = retained_snapshots(
+            store, RetentionPolicy(keep_last=2, keep_tags=False)
+        )
+        assert 1 not in keep
+
+
+class TestExpire:
+    def test_expire_deletes_manifests_outside_policy(self, store):
+        populate(store, 3)           # 1..3
+        compact(store)               # 4: checkpoint
+        populate(store, 1, start=3)  # 5
+        report = expire_snapshots(store, RetentionPolicy(keep_last=1))
+        assert report.expired == (1, 2, 3)
+        assert store.log.ids() == [4, 5]
+        # Current state still fully readable (chain resolves at 4).
+        assert len(store.at().records()) == 4
+
+    def test_expire_prunes_matching_view_states(self, store):
+        populate(store, 2)
+        compact(store)  # 3: checkpoint
+        for snapshot_id in (1, 2, 3):
+            refresh_view(store, "fig08", snapshot_id)
+        report = expire_snapshots(store, RetentionPolicy(keep_last=1))
+        assert report.view_states_pruned == 2
+        assert state_ids(store, "fig08") == [3]
+
+    def test_time_travel_to_expired_snapshot_fails_cleanly(self, store):
+        populate(store, 2)
+        compact(store)  # 3: checkpoint
+        expire_snapshots(store, RetentionPolicy(keep_last=1))
+        with pytest.raises(StoreError):
+            store.at(1).records()
+
+
+class TestVacuum:
+    def test_vacuum_reclaims_unreachable_partitions(self, store):
+        populate(store, 4)
+        compact(store)  # old fragments now only reachable via history
+        before = len(list((store.directory / "partitions").glob("*.json")))
+        report = vacuum(store, RetentionPolicy(keep_last=1))
+        after = len(list((store.directory / "partitions").glob("*.json")))
+        assert report.removed_partitions == 4
+        assert report.removed_bytes > 0
+        assert before - after == 4
+        assert len(store.at().records()) == 4
+
+    def test_vacuum_never_deletes_tagged_partitions(self, store):
+        populate(store, 3)
+        store.tag("pinned", 1)
+        store.truncate()
+        report = vacuum(store, RetentionPolicy(keep_last=1))
+        # Everything reachable from the tag survives and stays readable.
+        assert 1 not in report.expired_snapshots
+        assert len(store.at("pinned").records()) == 1
+        payload = store.at("pinned").canonical_payload(make_record(scale=1.0).key)
+        assert payload is not None
+
+    def test_vacuum_collects_orphans_from_crashed_commits(self, store):
+        populate(store, 1)
+        # A commit that died after writing its partition but before
+        # publishing a manifest leaves an unreachable file behind.
+        orphan = store.directory / "partitions" / ("f" * 64 + ".json")
+        orphan.write_text("[]")
+        report = vacuum(store)
+        assert report.removed_partitions == 1
+        assert not orphan.exists()
+
+    def test_vacuum_collects_torn_temp_files(self, store):
+        populate(store, 1)
+        torn = store.directory / "partitions" / f"abc.json.tmp.{12345}"
+        torn.write_text('{"partial"')
+        report = vacuum(store)
+        assert report.removed_temp_files == 1
+        assert not torn.exists()
+
+    def test_min_age_spares_recent_files(self, store):
+        populate(store, 1)
+        orphan = store.directory / "partitions" / ("e" * 64 + ".json")
+        orphan.write_text("[]")
+        report = vacuum(store, min_age_s=3600.0)
+        assert report.removed_partitions == 0
+        assert orphan.exists()
+
+    def test_no_expire_only_collects_garbage(self, store):
+        populate(store, 4)
+        report = vacuum(store, RetentionPolicy(keep_last=1), expire=False)
+        assert report.expired_snapshots == ()
+        assert store.log.ids() == [1, 2, 3, 4]
+        assert report.removed_partitions == 0  # everything still reachable

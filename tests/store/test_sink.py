@@ -1,0 +1,114 @@
+"""Service-sink tests: completed batches become append snapshots."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.config import PCIE6
+from repro.harness.runner import SimJob
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import Job
+from repro.service.store_sink import StoreSink
+from repro.store import ResultStore
+
+
+@pytest.fixture(scope="module")
+def completion():
+    """One real (job, result) completion pair."""
+    sim = SimJob("jacobi", "memcpy", 2, "pcie6", 0.1, 2)
+    program = repro.get_workload("jacobi").build(2, scale=0.1, iterations=2)
+    config = repro.default_system(2, PCIE6)
+    result = repro.PARADIGMS["memcpy"](program, config).run()
+    return Job(id="job-1", sim=sim, key=sim.key()), result
+
+
+class TestStoreSink:
+    def test_batch_becomes_one_snapshot(self, tmp_path, completion):
+        sink = StoreSink(str(tmp_path / "store"))
+        job, result = completion
+        assert sink.persist([(job, result)]) == 1
+        assert sink.persisted == 1
+
+        store = ResultStore.open(
+            tmp_path / "store", legacy=False, auto_refresh=False
+        )
+        assert store.current_snapshot_id() == 1
+        record = store.record(job.key)
+        assert record.meta == job.sim.meta()
+        assert record.result == result.to_dict()
+        assert record.model.startswith("repro-model/")
+
+    def test_empty_batch_is_free(self, tmp_path):
+        sink = StoreSink(str(tmp_path / "store"))
+        assert sink.persist([]) == 0
+        assert not (tmp_path / "store").exists()  # not even opened
+
+    def test_metrics_counters_flow(self, tmp_path, completion):
+        metrics = ServiceMetrics()
+        sink = StoreSink(str(tmp_path / "store"), metrics)
+        sink.persist([completion])
+        snapshot = metrics.snapshot()
+        assert snapshot["service.store.persisted"] == 1
+        assert snapshot["service.store.errors"] == 0
+
+    def test_store_failure_never_raises(self, tmp_path, completion, monkeypatch):
+        metrics = ServiceMetrics()
+        sink = StoreSink(str(tmp_path / "store"), metrics)
+
+        def sick():
+            raise OSError("disk full")
+
+        monkeypatch.setattr(sink, "_open", sick)
+        assert sink.persist([completion]) == 0
+        assert sink.errors == 1
+        assert metrics.snapshot()["service.store.errors"] == 1
+
+    def test_scheduler_hands_completions_to_sink(self, tmp_path, completion):
+        """The scheduler's sink hook fires after futures settle."""
+        from repro.service.queue import JobQueue
+        from repro.service.scheduler import BatchScheduler
+
+        job, result = completion
+
+        class FakeSink:
+            def __init__(self):
+                self.batches = []
+
+            def persist(self, completions):
+                self.batches.append(list(completions))
+                return len(completions)
+
+        async def drive():
+            metrics = ServiceMetrics()
+            queue = JobQueue(metrics)
+            sink = FakeSink()
+            scheduler = BatchScheduler(
+                queue,
+                metrics,
+                batch_size=1,
+                max_wait_s=0.0,
+                runner=lambda sims, workers: [result for _ in sims],
+                traced=False,
+                sink=sink,
+            )
+            ticket = queue.submit(job.sim)
+            scheduler.start()
+            outcome = await asyncio.wait_for(ticket.future, timeout=5.0)
+            # The sink fires *after* futures settle; give it its turn.
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while not sink.batches:
+                if asyncio.get_running_loop().time() > deadline:
+                    raise AssertionError("sink never saw the batch")
+                await asyncio.sleep(0.01)
+            await scheduler.stop()
+            return sink, outcome
+
+        sink, outcome = asyncio.run(drive())
+        assert outcome is result
+        assert len(sink.batches) == 1
+        (persisted,) = sink.batches[0]
+        assert persisted[0].key == job.key
+        assert persisted[1] is result

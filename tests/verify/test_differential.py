@@ -74,19 +74,19 @@ class TestCompareLocalisation:
 
 
 class TestRunDifferential:
-    def test_three_paths_agree(self):
+    def test_four_paths_agree(self):
         # Service path is exercised by the service/e2e suites and the CLI
-        # smoke; keep this core test on the three cheap paths.
+        # smoke; keep this core test on the four cheap paths.
         report = run_differential(
             range(2), num_gpus=2, scale=0.25, iterations=2,
             paradigms=("gps", "gps_nosub", "memcpy", "infinite"),
             use_service=False,
         )
         assert report.ok, [str(v) for _, v in report.violations]
-        assert report.paths == ("direct", "cache", "pool")
+        assert report.paths == ("direct", "cache", "store", "pool")
         for case in report.cases:
             for paradigm, payloads in case.payloads.items():
-                assert set(payloads) == {"direct", "cache", "pool"}
+                assert set(payloads) == {"direct", "cache", "store", "pool"}
                 assert len(set(payloads.values())) == 1, paradigm
 
     def test_rejects_unknown_paradigm(self):
@@ -106,7 +106,7 @@ class TestRunDifferential:
 
 @pytest.mark.slow
 class TestRunDifferentialService:
-    def test_all_four_paths_agree(self):
+    def test_all_five_paths_agree(self):
         report = run_differential(
             range(1), num_gpus=2, scale=0.25, iterations=2,
             paradigms=("gps", "memcpy"), use_service=True,
@@ -114,5 +114,7 @@ class TestRunDifferentialService:
         assert report.ok, [str(v) for _, v in report.violations]
         for case in report.cases:
             for payloads in case.payloads.values():
-                assert set(payloads) == {"direct", "cache", "pool", "service"}
+                assert set(payloads) == {
+                    "direct", "cache", "store", "pool", "service"
+                }
                 assert len(set(payloads.values())) == 1
