@@ -14,13 +14,26 @@ three workload phases through the blocking client SDK:
   in-flight execution (or, if the first already finished, hits the cache —
   either way it never re-simulates).
 
+A fourth phase load-proves the scheduler shard pool:
+
+* **sharded burst** — 48 distinct-fingerprint jobs submitted as one open
+  burst against a 4-shard service and again against a 1-shard service.
+  Both runs replace the engine with a fixed-service-time stub runner
+  (sleeps release the GIL, so shard schedulers genuinely overlap even on
+  a 1-CPU host) — the phase measures *scheduler-level* concurrency, which
+  is exactly what sharding claims to add, independent of how many cores
+  the engine itself gets. The gated quantity is the throughput ratio
+  ``makespan(1 shard) / makespan(4 shards)``, with a hard floor of
+  ``SHARDED_FLOOR``x on top of the usual baseline-ratio tolerance.
+
 Reported per phase: submit-to-result p50/p99 and, for cold jobs, the
 server-side queue-wait vs run-time split. Raw latencies are
-machine-dependent, so the committed ``BENCH_service.json`` gates two
+machine-dependent, so the committed ``BENCH_service.json`` gates three
 machine-independent quantities instead: the warm/cold p50 speedup ratio
-(a cache hit answered at HTTP round-trip speed vs a full engine run) and
-the dedup rate ``(coalesced + cache_hits) / submitted``, which is exactly
-determined by the phase script above.
+(a cache hit answered at HTTP round-trip speed vs a full engine run), the
+dedup rate ``(coalesced + cache_hits) / submitted``, which is exactly
+determined by the phase script above, and the sharded-burst throughput
+ratio (batch counts per shard are fixed by the stable fingerprint hash).
 
 Usage:
     python benchmarks/bench_service.py --out BENCH_service.json
@@ -48,11 +61,26 @@ BURST_PAIRS = 4
 #: any drift at all means the coalescing/cache behaviour changed.
 DEDUP_TOLERANCE = 1e-9
 
+#: Sharded-burst phase shape: 8 workloads x 6 iteration values = 48
+#: distinct fingerprints, whose shard assignment is fixed by the stable
+#: hash (14/12/9/13 across 4 shards for this grid).
+SHARDED_SHARDS = 4
+SHARDED_ITERATIONS = range(11, 17)  # disjoint from the cold/burst phases
+STUB_JOB_S = 0.025  # fixed per-job service time inside the stub runner
+#: Hard CI floor: a 4-shard pool must move the burst at >= 2x the 1-shard
+#: throughput (the hash distribution above predicts ~3x).
+SHARDED_FLOOR = 2.0
+
 
 class _LiveService:
-    """A service running in a background thread (mirrors the test fixture)."""
+    """A service running in a background thread (mirrors the test fixture).
 
-    def __init__(self, settings) -> None:
+    ``prepare`` runs against the constructed :class:`SimulationService`
+    before it starts serving — the sharded phase uses it to swap each
+    shard scheduler's runner for the fixed-service-time stub.
+    """
+
+    def __init__(self, settings, prepare=None) -> None:
         import asyncio
 
         from repro.service import SimulationService
@@ -63,6 +91,8 @@ class _LiveService:
         def _run() -> None:
             async def _main() -> None:
                 self.service = SimulationService(settings)
+                if prepare is not None:
+                    prepare(self.service)
                 await self.service.start()
                 self._started.set()
                 await self.service.serve_forever()
@@ -211,6 +241,98 @@ def run_load() -> "tuple[list[dict], dict]":
     return results, summary
 
 
+def _stub_result():
+    """One real SimulationResult for the stub runner to hand every job."""
+    import repro
+    from repro.config import PCIE6
+
+    program = repro.get_workload("jacobi").build(2, scale=0.1, iterations=1)
+    config = repro.default_system(2, PCIE6)
+    return repro.PARADIGMS["gps"](program, config).run()
+
+
+def _drive_sharded_burst(shards: int, result) -> "tuple[float, list[float]]":
+    """One open-burst run against an N-shard service with the stub runner.
+
+    Returns ``(makespan_seconds, per_job_latencies)``. The stub runner
+    sleeps ``STUB_JOB_S`` per job in the batch — a serial worker with a
+    fixed service time whose sleeps release the GIL, so shard schedulers
+    overlap for real even on a single-core host.
+    """
+    from repro.service import ServiceClient, ServiceSettings
+    from repro.workloads.registry import WORKLOADS
+
+    settings = ServiceSettings(
+        host="127.0.0.1",
+        port=0,
+        queue_depth=256,
+        batch_size=4,
+        max_wait_s=0.01,
+        max_retries=0,
+        retry_backoff_s=0.01,
+        max_workers=1,
+        trace=False,  # the untraced path is the one the stub runner replaces
+        shards=shards,
+    )
+    stub = _stub_result()
+
+    def runner(sims, max_workers=None):
+        time.sleep(STUB_JOB_S * len(sims))
+        return [stub for _ in sims]
+
+    def prepare(service) -> None:
+        for shard in service.shards:
+            shard.scheduler._runner = runner
+
+    live = _LiveService(settings, prepare=prepare)
+    client = ServiceClient(live.url, timeout=120.0)
+    workloads = sorted(WORKLOADS)
+    try:
+        t0 = time.perf_counter()
+        pending = []
+        for iterations in SHARDED_ITERATIONS:
+            for name in workloads:
+                job = client.submit(
+                    name, paradigm="gps", gpus=GPUS, link=LINK,
+                    scale=SCALE, iterations=iterations, trace=False,
+                )
+                pending.append((job["id"], time.perf_counter()))
+        latencies = []
+        for job_id, submitted in pending:
+            client.wait(job_id, timeout=600.0)
+            latencies.append(time.perf_counter() - submitted)
+        makespan = time.perf_counter() - t0
+    finally:
+        live.stop()
+    return makespan, latencies
+
+
+def run_sharded_burst() -> "tuple[list[dict], dict]":
+    single_makespan, _ = _drive_sharded_burst(1, None)
+    sharded_makespan, sharded_lat = _drive_sharded_burst(SHARDED_SHARDS, None)
+    jobs = len(sharded_lat)
+    ratio = single_makespan / sharded_makespan
+    results = [
+        {
+            "structure": "service", "op": "sharded_burst",
+            "p50_ms": _ms(sharded_lat, 50.0), "p99_ms": _ms(sharded_lat, 99.0),
+            "jobs": jobs,
+        },
+        {
+            "structure": "service", "op": "sharded_vs_single",
+            "speedup": round(ratio, 2),
+        },
+    ]
+    summary = {
+        "sharded_shards": SHARDED_SHARDS,
+        "sharded_jobs": jobs,
+        "single_shard_makespan_ms": round(single_makespan * 1e3, 3),
+        "sharded_makespan_ms": round(sharded_makespan * 1e3, 3),
+        "sharded_vs_single_speedup": round(ratio, 2),
+    }
+    return results, summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=None, help="write BENCH_service.json here")
@@ -226,6 +348,10 @@ def main(argv=None) -> int:
         clear_run_cache()
         results, summary = run_load()
         clear_run_cache()
+        sharded_results, sharded_summary = run_sharded_burst()
+        results += sharded_results
+        summary.update(sharded_summary)
+        clear_run_cache()
 
     for row in results:
         if "p50_ms" in row:
@@ -233,17 +359,25 @@ def main(argv=None) -> int:
             if "wait_ms_p50" in row:
                 extra = (f"  (wait {row['wait_ms_p50']:.1f} ms / "
                          f"run {row['run_ms_p50']:.1f} ms)")
-            print(f"{row['op']:>14}  p50 {row['p50_ms']:>9.3f} ms  "
+            print(f"{row['op']:>16}  p50 {row['p50_ms']:>9.3f} ms  "
                   f"p99 {row['p99_ms']:>9.3f} ms  ({row['jobs']} jobs){extra}")
-    print(f"{'warm_vs_cold':>14}  {summary['warm_vs_cold_speedup']:.1f}x speedup, "
+    print(f"{'warm_vs_cold':>16}  {summary['warm_vs_cold_speedup']:.1f}x speedup, "
           f"dedup rate {summary['dedup_rate']:.3f} "
           f"({summary['coalesced']} coalesced + {summary['cache_hits']} cache hits "
           f"/ {summary['jobs_submitted']} submitted)")
+    print(f"{'sharded_burst':>16}  {summary['sharded_vs_single_speedup']:.2f}x "
+          f"throughput at {SHARDED_SHARDS} shards "
+          f"({summary['single_shard_makespan_ms']:.0f} ms -> "
+          f"{summary['sharded_makespan_ms']:.0f} ms over "
+          f"{summary['sharded_jobs']} jobs)")
 
     config = {
         "gpus": GPUS, "link": LINK, "scale": SCALE,
         "cold_iterations": COLD_ITERATIONS, "burst_iterations": BURST_ITERATIONS,
         "burst_pairs": BURST_PAIRS,
+        "sharded_shards": SHARDED_SHARDS,
+        "sharded_iterations": [SHARDED_ITERATIONS[0], SHARDED_ITERATIONS[-1]],
+        "stub_job_ms": round(STUB_JOB_S * 1e3, 3),
     }
     if args.out:
         write_report(args.out, "service", results, summary, config)
@@ -263,6 +397,15 @@ def main(argv=None) -> int:
         print(f"  dedup rate {summary['dedup_rate']:.6f} "
               f"(baseline {base_dedup:.6f}) {status}")
         if status != "ok":
+            regressions += 1
+        # The shard pool carries a hard absolute floor on top of the
+        # baseline-ratio tolerance: whatever the baseline says, 4 shards
+        # must beat 1 shard by at least SHARDED_FLOOR x.
+        ratio = summary["sharded_vs_single_speedup"]
+        floor_status = "ok" if ratio >= SHARDED_FLOOR else "BELOW FLOOR"
+        print(f"  sharded throughput {ratio:.2f}x "
+              f"(hard floor {SHARDED_FLOOR:.1f}x) {floor_status}")
+        if floor_status != "ok":
             regressions += 1
         if regressions:
             print(f"FAIL: {regressions} gate(s) failed vs baseline")

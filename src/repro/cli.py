@@ -351,6 +351,29 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable distributed request tracing (also: REPRO_SERVICE_TRACE=0)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        help="queue+scheduler shards, partitioned by config fingerprint (default 1)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        help="per-client submissions/second token-bucket refill (default: off)",
+    )
+    serve.add_argument(
+        "--rate-burst", type=float, help="per-client token-bucket burst capacity"
+    )
+    serve.add_argument(
+        "--drain-policy",
+        choices=("reroute", "reject"),
+        help="what happens to a draining shard's new jobs (default: reroute)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persist completed jobs to this result store and enable GET /query",
+    )
 
     def _add_client_args(p) -> None:
         p.add_argument(
@@ -410,6 +433,46 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_client_args(slo)
+
+    query = sub.add_parser(
+        "query",
+        help="query a running service's result store (analytics SDK)",
+        description=(
+            "Read through GET /query: attribute-filtered, column-projected "
+            "rows out of the service's attached result lakehouse, or "
+            "server-side metric buckets via GET /query/buckets. Filters use "
+            "the 'repro store query' grammar (field<op>value, comma lists "
+            "for 'in'). See docs/SERVICE.md."
+        ),
+    )
+    query.add_argument(
+        "--where",
+        action="append",
+        metavar="EXPR",
+        help="filter clause, e.g. workload=stencil or num_gpus>=4 (repeatable)",
+    )
+    query.add_argument(
+        "--columns", metavar="A,B,C", help="project these columns, in order"
+    )
+    query.add_argument(
+        "--order-by", metavar="FIELD", help="sort field; prefix with - for descending"
+    )
+    query.add_argument("--limit", type=int, help="return at most this many rows")
+    query.add_argument(
+        "--at", metavar="SNAPSHOT", help="time-travel: read at this snapshot id or tag"
+    )
+    query.add_argument(
+        "--bucket",
+        metavar="SERIES",
+        help="instead of rows, bucket this metric series (e.g. jobs.run_s)",
+    )
+    query.add_argument(
+        "--bucket-s",
+        type=float,
+        default=60.0,
+        help="bucket width in seconds for --bucket (default 60)",
+    )
+    _add_client_args(query)
 
     verify = sub.add_parser(
         "verify",
@@ -971,6 +1034,11 @@ def _cmd_serve(args) -> int:
         max_retries=args.max_retries,
         max_workers=args.workers,
         trace=False if args.no_trace else None,
+        shards=args.shards,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        drain_policy=args.drain_policy,
+        store_dir=args.store,
     )
     return serve(settings)
 
@@ -1121,6 +1189,58 @@ def _cmd_slo(args) -> int:
     return 0 if all(item["ok"] for item in slos) else 1
 
 
+def _cmd_query(args) -> int:
+    import json as _json
+
+    from .service import ClientError, QueryClient
+
+    client = QueryClient(args.url)
+    try:
+        if args.bucket:
+            payload = client.buckets(args.bucket, bucket_s=args.bucket_s)
+            if args.json:
+                print(_json.dumps(payload, indent=2, sort_keys=True))
+                return 0
+            headers = ["bucket start", "n", "min", "max", "avg", "p50", "p99"]
+            rows = [
+                [
+                    f"{bucket['t']:.3f}",
+                    bucket["count"],
+                    *(f"{bucket[k]:.6g}" for k in ("min", "max", "avg", "p50", "p99")),
+                ]
+                for bucket in payload.get("buckets", [])
+            ]
+            print(format_table(
+                headers, rows,
+                title=f"{payload.get('name', args.bucket)} "
+                      f"({payload.get('bucket_s', args.bucket_s):g}s buckets)",
+            ))
+            return 0
+        frame = client.query(
+            where=args.where,
+            columns=args.columns.split(",") if args.columns else None,
+            order_by=args.order_by,
+            limit=args.limit,
+            at=args.at,
+        )
+    except ClientError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(frame.rows(), indent=2, sort_keys=True))
+        return 0
+    headers, rows = frame.table()
+    shown = [
+        [f"{v:.6g}" if isinstance(v, float) else ("-" if v is None else v) for v in row]
+        for row in rows
+    ]
+    title = f"{len(frame)} result{'s' if len(frame) != 1 else ''}"
+    if frame.snapshot is not None:
+        title += f" @ {frame.snapshot}"
+    print(format_table(headers, shown, title=title))
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from .verify import (
         build_artifact,
@@ -1261,6 +1381,7 @@ def main(argv=None) -> int:
         "result": _cmd_result,
         "events": _cmd_events,
         "slo": _cmd_slo,
+        "query": _cmd_query,
         "verify": _cmd_verify,
     }
     return handlers[args.command](args)

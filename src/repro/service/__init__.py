@@ -7,13 +7,21 @@ process pool, and clients submit jobs over a JSON/HTTP API
 the full reference):
 
 * :class:`JobQueue` (``queue.py``) — bounded priority queue with
-  backpressure and request coalescing on config fingerprints;
+  backpressure, request coalescing on config fingerprints, and weighted
+  fair queueing across clients;
 * :class:`BatchScheduler` (``scheduler.py``) — drains the queue on a
   size/age window into :func:`repro.harness.runner.run_many_settled`
   batches, with bounded per-job retry and graceful drain;
+* sharding (``sharding.py``) — the service partitions jobs across N
+  queue+scheduler shards by config fingerprint (:func:`shard_for_key`),
+  rate-limits clients with per-client token buckets
+  (:class:`RateLimiter`), and supports rolling per-shard drain
+  (``POST /drain?shard=i``);
 * :class:`SimulationService` (``server.py``) + the client SDKs
-  (``client.py``) — the asyncio HTTP frontend and its blocking/async
-  consumers;
+  (``client.py`` / ``query_client.py``) — the asyncio HTTP frontend, its
+  blocking/async consumers, and the :class:`QueryClient` analytics SDK
+  over the attached result store (``GET /query``,
+  ``GET /query/buckets``);
 * :class:`ServiceMetrics` (``metrics.py``) — queue depth, latency
   histograms, coalescing/retry/rejection counters, published through
   :class:`repro.obs.CounterRegistry` and served at ``GET /metrics`` (JSON
@@ -31,13 +39,16 @@ run through the existing cached, analyzed, process-pooled harness runner.
 
 from .client import AsyncServiceClient, ClientError, JobFailed, ServiceClient, service_url
 from .metrics import LATENCY_BUCKETS_S, ServiceMetrics
+from .query_client import AsyncQueryClient, QueryClient, QueryPayload
 from .queue import Job, JobQueue, JobState, QueueFull, ServiceClosed
 from .scheduler import BatchScheduler
 from .server import ServiceSettings, SimulationService, parse_job_payload, serve
+from .sharding import RateLimiter, TokenBucket, shard_for_key
 from .slo import DEFAULT_SLOS, SLO, evaluate_slo, evaluate_slos, slos_from_env
 from .timeseries import DEFAULT_SERIES_SAMPLES, SeriesStore, percentile
 
 __all__ = [
+    "AsyncQueryClient",
     "AsyncServiceClient",
     "BatchScheduler",
     "ClientError",
@@ -48,7 +59,10 @@ __all__ = [
     "JobQueue",
     "JobState",
     "LATENCY_BUCKETS_S",
+    "QueryClient",
+    "QueryPayload",
     "QueueFull",
+    "RateLimiter",
     "SLO",
     "SeriesStore",
     "ServiceClosed",
@@ -56,11 +70,13 @@ __all__ = [
     "ServiceMetrics",
     "ServiceSettings",
     "SimulationService",
+    "TokenBucket",
     "evaluate_slo",
     "evaluate_slos",
     "parse_job_payload",
     "percentile",
     "serve",
     "service_url",
+    "shard_for_key",
     "slos_from_env",
 ]

@@ -57,9 +57,16 @@ class ClientError(ServiceError):
     failures (connection refused, timeout).
     """
 
-    def __init__(self, message: str, status: "int | None" = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        status: "int | None" = None,
+        retry_after_s: "float | None" = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        #: Server-suggested backoff for 429s (token-bucket rate limiting).
+        self.retry_after_s = retry_after_s
 
 
 class JobFailed(ServiceError):
@@ -88,21 +95,39 @@ def _job_body(
 
 def _check(status: int, payload: dict, accept: "tuple[int, ...]") -> dict:
     if status not in accept:
-        message = payload.get("error") if isinstance(payload, dict) else None
-        raise ClientError(message or f"service returned HTTP {status}", status=status)
+        message = retry_after = None
+        if isinstance(payload, dict):
+            message = payload.get("error")
+            retry_after = payload.get("retry_after_s")
+        raise ClientError(
+            message or f"service returned HTTP {status}",
+            status=status,
+            retry_after_s=retry_after,
+        )
     return payload
 
 
 class ServiceClient:
-    """Blocking SDK over :mod:`http.client`."""
+    """Blocking SDK over :mod:`http.client`.
 
-    def __init__(self, url: "str | None" = None, timeout: float = 30.0) -> None:
+    ``client`` is this caller's identity for the server's weighted fair
+    queueing and per-client rate limiting; it travels as the
+    ``x-repro-client`` header on submissions.
+    """
+
+    def __init__(
+        self,
+        url: "str | None" = None,
+        timeout: float = 30.0,
+        client: "str | None" = None,
+    ) -> None:
         parsed = urllib.parse.urlsplit(service_url(url))
         if parsed.scheme != "http" or not parsed.hostname:
             raise ClientError(f"unsupported service URL: {service_url(url)!r}")
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        self.client = client
 
     def _request(
         self,
@@ -178,6 +203,8 @@ class ServiceClient:
         """
         body = _job_body(workload, paradigm, gpus, link, scale, iterations, priority)
         headers = {}
+        if self.client:
+            headers["x-repro-client"] = self.client
         context = None
         if trace:
             context = TraceContext.mint()
@@ -289,6 +316,10 @@ class ServiceClient:
         job = self.submit(workload, **kwargs)
         return self.wait(job["id"], timeout=timeout)
 
+    def drain(self, shard: int) -> dict:
+        """Quiesce one scheduler shard (``POST /drain?shard=i``)."""
+        return _check(*self._request("POST", f"/drain?shard={shard}"), accept=(202,))
+
     def shutdown(self, drain: bool = True) -> dict:
         """Ask the service to shut down (draining by default)."""
         return _check(
@@ -299,13 +330,19 @@ class ServiceClient:
 class AsyncServiceClient:
     """Asyncio SDK speaking HTTP/1.1 over raw streams (mirrors the server)."""
 
-    def __init__(self, url: "str | None" = None, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: "str | None" = None,
+        timeout: float = 30.0,
+        client: "str | None" = None,
+    ) -> None:
         parsed = urllib.parse.urlsplit(service_url(url))
         if parsed.scheme != "http" or not parsed.hostname:
             raise ClientError(f"unsupported service URL: {service_url(url)!r}")
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        self.client = client
 
     async def _request(
         self,
@@ -376,6 +413,8 @@ class AsyncServiceClient:
         """Submit one simulation; returns the job status payload."""
         body = _job_body(workload, paradigm, gpus, link, scale, iterations, priority)
         headers = {}
+        if self.client:
+            headers["x-repro-client"] = self.client
         context = None
         if trace:
             context = TraceContext.mint()
@@ -437,6 +476,12 @@ class AsyncServiceClient:
         """Submit + wait in one call; returns the result payload."""
         job = await self.submit(workload, **kwargs)
         return await self.wait(job["id"], timeout=timeout)
+
+    async def drain(self, shard: int) -> dict:
+        """Quiesce one scheduler shard (``POST /drain?shard=i``)."""
+        return _check(
+            *await self._request("POST", f"/drain?shard={shard}"), accept=(202,)
+        )
 
     async def shutdown(self, drain: bool = True) -> dict:
         """Ask the service to shut down (draining by default)."""

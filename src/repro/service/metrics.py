@@ -50,10 +50,29 @@ _COUNTERS = (
     "jobs.retried",
     "scheduler.batches",
     "scheduler.batched_jobs",
+    "ratelimit.allowed",
+    "ratelimit.throttled",
     "trace.spans_attached",
     "trace.evicted_spans",
     "store.persisted",
     "store.errors",
+)
+
+#: The subset of :data:`_COUNTERS` mirrored per shard (``service.shard{i}.*``)
+#: by :meth:`ServiceMetrics.shard_view`. Trace/store/ratelimit counters stay
+#: global: span attachment and lakehouse commits are service-wide concerns,
+#: and admission control happens before a submission is routed to a shard.
+_SHARD_COUNTERS = (
+    "queue.submitted",
+    "queue.accepted",
+    "queue.coalesced",
+    "queue.cache_hits",
+    "queue.rejected",
+    "jobs.completed",
+    "jobs.failed",
+    "jobs.retried",
+    "scheduler.batches",
+    "scheduler.batched_jobs",
 )
 
 
@@ -91,6 +110,14 @@ class ServiceMetrics:
         self.run_latency = scope.histogram("latency.run_s", LATENCY_BUCKETS_S)
         scope.provide("runner", _runner_bridge)
         self.series = SeriesStore(series_samples)
+        # Per-shard queue gauges, keyed by shard index. The *global*
+        # ``service.queue.depth``/``inflight`` gauges and the ``queue.depth``
+        # series are always the SUM over shards — each shard reports its own
+        # numbers through its view and the aggregate is recomputed here, so
+        # sharding never double-counts a queue sample (the SLO burn-rate
+        # series ``jobs.ok``/``jobs.total_s`` likewise receive exactly one
+        # sample per job, recorded by the one shard that owns it).
+        self._shard_gauges: "dict[int, tuple[int, int]]" = {}
 
     # -- submission outcomes -------------------------------------------------
 
@@ -119,6 +146,21 @@ class ServiceMetrics:
         self._scope.gauge("queue.depth", depth)
         self._scope.gauge("queue.inflight", inflight)
         self.series.record("queue.depth", depth)
+
+    def _set_shard_queue_gauges(self, shard: int, depth: int, inflight: int) -> None:
+        """One shard's queue changed: refresh the cross-shard aggregate."""
+        self._shard_gauges[shard] = (depth, inflight)
+        total_depth = sum(d for d, _ in self._shard_gauges.values())
+        total_inflight = sum(n for _, n in self._shard_gauges.values())
+        self.set_queue_gauges(total_depth, total_inflight)
+
+    def rate_limit_allowed(self) -> None:
+        """A submission passed the per-client token-bucket admission gate."""
+        self._scope.add("ratelimit.allowed")
+
+    def rate_limit_throttled(self) -> None:
+        """A submission was bounced with ``429`` by the token bucket."""
+        self._scope.add("ratelimit.throttled")
 
     # -- execution outcomes --------------------------------------------------
 
@@ -176,3 +218,107 @@ class ServiceMetrics:
     def prometheus(self) -> str:
         """Text exposition 0.0.4 rendering (``GET /metrics?format=prometheus``)."""
         return prometheus_text(self.registry)
+
+    # -- sharding ------------------------------------------------------------
+
+    def shard_view(self, shard: int, total_shards: int) -> "ServiceMetrics":
+        """A per-shard facade over this surface for shard ``shard``.
+
+        With one shard the service's metrics are exactly the historical
+        single-scheduler surface, so the view is *this object* — no
+        ``shard0.*`` scope ever appears and every committed golden stays
+        byte-stable. With multiple shards each view dual-writes: global
+        ``service.*`` counters/series exactly once per event (the roll-up),
+        plus a ``service.shard{i}.*`` scope and ``shard{i}.*`` series for
+        per-shard visibility. Queue gauges aggregate by summation through
+        :meth:`_set_shard_queue_gauges`.
+        """
+        if total_shards <= 1:
+            return self
+        return _ShardMetrics(self, shard)  # type: ignore[return-value]
+
+
+class _ShardMetrics:
+    """One shard's dual-writing view of a shared :class:`ServiceMetrics`.
+
+    Duck-typed to the subset of the parent surface that :class:`JobQueue`
+    and :class:`BatchScheduler` call. Every event lands on the parent's
+    global scope exactly once (a job belongs to exactly one shard, so the
+    global counters, latency histograms, and SLO series never double-count)
+    and on this shard's ``service.shard{i}.*`` scope for per-shard
+    dashboards.
+    """
+
+    def __init__(self, parent: ServiceMetrics, shard: int) -> None:
+        self.parent = parent
+        self.shard = shard
+        self.series = parent.series
+        self._prefix = f"shard{shard}"
+        scope = parent.registry.scope(f"service.{self._prefix}")
+        self._scope = scope
+        for name in _SHARD_COUNTERS:
+            scope.counter(name)
+        scope.gauge("queue.depth", 0)
+        scope.gauge("queue.inflight", 0)
+
+    # -- submission outcomes -------------------------------------------------
+
+    def job_submitted(self) -> None:
+        self.parent.job_submitted()
+        self._scope.add("queue.submitted")
+
+    def job_accepted(self) -> None:
+        self.parent.job_accepted()
+        self._scope.add("queue.accepted")
+
+    def job_coalesced(self) -> None:
+        self.parent.job_coalesced()
+        self._scope.add("queue.coalesced")
+
+    def job_cache_hit(self) -> None:
+        self.parent.job_cache_hit()
+        self._scope.add("queue.cache_hits")
+
+    def job_rejected(self) -> None:
+        self.parent.job_rejected()
+        self._scope.add("queue.rejected")
+
+    def set_queue_gauges(self, depth: int, inflight: int) -> None:
+        self._scope.gauge("queue.depth", depth)
+        self._scope.gauge("queue.inflight", inflight)
+        self.series.record(f"{self._prefix}.queue.depth", depth)
+        self.parent._set_shard_queue_gauges(self.shard, depth, inflight)
+
+    # -- execution outcomes --------------------------------------------------
+
+    def batch_started(self, jobs: int) -> None:
+        self.parent.batch_started(jobs)
+        self._scope.add("scheduler.batches")
+        self._scope.add("scheduler.batched_jobs", jobs)
+
+    def job_completed(self, wait_s: float, run_s: float) -> None:
+        self.parent.job_completed(wait_s, run_s)
+        self._scope.add("jobs.completed")
+        self.series.record(f"{self._prefix}.jobs.total_s", wait_s + run_s)
+
+    def job_failed(self) -> None:
+        self.parent.job_failed()
+        self._scope.add("jobs.failed")
+
+    def job_retried(self) -> None:
+        self.parent.job_retried()
+        self._scope.add("jobs.retried")
+
+    # -- pass-throughs (service-wide concerns) --------------------------------
+
+    def store_persisted(self, count: int) -> None:
+        self.parent.store_persisted(count)
+
+    def store_error(self) -> None:
+        self.parent.store_error()
+
+    def spans_attached(self, count: int) -> None:
+        self.parent.spans_attached(count)
+
+    def spans_evicted(self, count: int) -> None:
+        self.parent.spans_evicted(count)

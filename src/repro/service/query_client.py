@@ -1,0 +1,302 @@
+"""The analytics SDK: filtered, bucketed, concurrent reads over the store.
+
+Where :class:`~repro.service.client.ServiceClient` drives the *write* side
+of the service (submit, wait, drain), :class:`QueryClient` and
+:class:`AsyncQueryClient` drive the *read* side: ``GET /query`` serves
+attribute-filtered, column-projected rows out of the service's attached
+result lakehouse, and ``GET /query/buckets`` serves floor-aligned
+min/max/avg/p50/p99 buckets over the service's metric time-series. Both
+clients return :class:`QueryPayload` — dataframe-shaped without a dataframe
+dependency (records-of-dicts *and* columns-of-lists orientations; either
+drops straight into ``pandas.DataFrame`` when one is available).
+
+Composed fetches fan out: :meth:`QueryClient.fetch` runs one query per
+filter set concurrently (a thread pool here, ``asyncio.gather`` behind a
+semaphore in the async client) and merges the answers into one payload,
+deduplicating rows by fingerprint — the idiom for "give me stencil *and*
+jacobi at 4 GPUs, as one frame" without N round-trip latencies stacking.
+
+Typical use::
+
+    q = QueryClient("http://127.0.0.1:8787")
+    frame = q.query(where=["workload=stencil", "paradigm=gps", "num_gpus>=4"],
+                    columns=["key", "total_time"], order_by="-total_time")
+    frame.rows()       # [{"key": ..., "total_time": ...}, ...]
+    frame.columns()    # {"key": [...], "total_time": [...]}
+
+    buckets = q.buckets("jobs.run_s", bucket_s=60)
+    merged = q.fetch([["workload=stencil"], ["workload=jacobi"]])
+
+Filter strings use the ``repro store query`` grammar
+(``field<op>value`` with ``==``/``=``/``!=``/``>=``/``<=``/``>``/``<`` and
+comma lists for ``in``), parsed server-side by
+:func:`repro.store.query.parse_filter`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import urllib.parse
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from .client import AsyncServiceClient, ServiceClient, _check
+
+
+class QueryPayload:
+    """One ``GET /query`` answer (or a merge of several), dataframe-shaped."""
+
+    def __init__(
+        self,
+        column_names: "list[str]",
+        rows: "list[dict]",
+        snapshot: "int | None" = None,
+    ) -> None:
+        self._column_names = list(column_names)
+        self._rows = rows
+        #: The store snapshot the rows were read at (``None`` for merges of
+        #: payloads that disagree — time-travel reads pin it via ``at=``).
+        self.snapshot = snapshot
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QueryPayload":
+        return cls(
+            payload.get("column_names") or list(payload.get("columns", {})),
+            payload.get("rows", []),
+            payload.get("snapshot"),
+        )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def column_names(self) -> "list[str]":
+        return list(self._column_names)
+
+    def rows(self) -> "list[dict]":
+        """Records orientation: one dict per stored result."""
+        return [dict(row) for row in self._rows]
+
+    def columns(self) -> "dict[str, list]":
+        """Columnar orientation: ``{column: [values]}`` (dataframe-shaped)."""
+        return {
+            name: [row.get(name) for row in self._rows] for name in self._column_names
+        }
+
+    def table(self) -> "tuple[list[str], list[list]]":
+        """(headers, rows) for :func:`repro.harness.report.format_table`."""
+        headers = self.column_names()
+        return headers, [[row.get(name) for name in headers] for row in self._rows]
+
+    @classmethod
+    def merge(
+        cls, payloads: "Sequence[QueryPayload]", dedupe: "str | None" = "key"
+    ) -> "QueryPayload":
+        """Union several payloads into one frame.
+
+        Rows concatenate in payload order; when ``dedupe`` names a column
+        present in the frame, the first row per value wins (fan-out queries
+        with overlapping filters return each result once). Column order is
+        the first payload's, with unseen columns appended as encountered.
+        """
+        names: "list[str]" = []
+        for payload in payloads:
+            for name in payload._column_names:
+                if name not in names:
+                    names.append(name)
+        rows: "list[dict]" = []
+        seen: "set" = set()
+        for payload in payloads:
+            for row in payload._rows:
+                if dedupe is not None and dedupe in row:
+                    marker = row[dedupe]
+                    if marker in seen:
+                        continue
+                    seen.add(marker)
+                rows.append(dict(row))
+        snapshots = {payload.snapshot for payload in payloads}
+        snapshot = snapshots.pop() if len(snapshots) == 1 else None
+        return cls(names, rows, snapshot)
+
+
+def _query_path(
+    where: "Iterable[str] | None",
+    columns: "Iterable[str] | None",
+    order_by: "str | None",
+    limit: "int | None",
+    at: "int | str | None",
+) -> str:
+    params: "list[tuple[str, str]]" = [("where", clause) for clause in (where or [])]
+    if columns:
+        params.append(("columns", ",".join(columns)))
+    if order_by:
+        params.append(("order_by", order_by))
+    if limit is not None:
+        params.append(("limit", str(limit)))
+    if at is not None:
+        params.append(("at", str(at)))
+    query = urllib.parse.urlencode(params)
+    return "/query" + (f"?{query}" if query else "")
+
+
+def _buckets_path(
+    name: "str | None",
+    bucket_s: float,
+    start: "float | None",
+    end: "float | None",
+) -> str:
+    if name is None:
+        return "/query/buckets"
+    params = [("name", name), ("bucket", str(bucket_s))]
+    if start is not None:
+        params.append(("start", str(start)))
+    if end is not None:
+        params.append(("end", str(end)))
+    return "/query/buckets?" + urllib.parse.urlencode(params)
+
+
+class QueryClient:
+    """Blocking analytics client; fans composed fetches over a thread pool."""
+
+    def __init__(
+        self, url: "str | None" = None, timeout: float = 30.0, pool_size: int = 4
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool size must be at least 1")
+        self._client = ServiceClient(url, timeout=timeout)
+        self.pool_size = pool_size
+
+    def query(
+        self,
+        where: "Iterable[str] | None" = None,
+        columns: "Iterable[str] | None" = None,
+        order_by: "str | None" = None,
+        limit: "int | None" = None,
+        at: "int | str | None" = None,
+    ) -> QueryPayload:
+        """One filtered/projected read over the service's result store."""
+        path = _query_path(where, columns, order_by, limit, at)
+        payload = _check(*self._client._request("GET", path), accept=(200,))
+        return QueryPayload.from_payload(payload)
+
+    def buckets(
+        self,
+        name: str,
+        bucket_s: float = 60.0,
+        start: "float | None" = None,
+        end: "float | None" = None,
+    ) -> dict:
+        """Server-side floor-aligned buckets over one metric series."""
+        path = _buckets_path(name, bucket_s, start, end)
+        return _check(*self._client._request("GET", path), accept=(200,))
+
+    def series_names(self) -> "list[str]":
+        """The metric series available to :meth:`buckets`."""
+        payload = _check(
+            *self._client._request("GET", "/query/buckets"), accept=(200,)
+        )
+        return payload.get("series", [])
+
+    def fetch(
+        self,
+        filter_sets: "Sequence[Iterable[str]]",
+        columns: "Iterable[str] | None" = None,
+        order_by: "str | None" = None,
+        limit: "int | None" = None,
+        at: "int | str | None" = None,
+        dedupe: "str | None" = "key",
+    ) -> QueryPayload:
+        """Fan out one query per filter set concurrently; merge the answers.
+
+        ``columns``/``order_by``/``limit``/``at`` apply to every leg. The
+        merged frame deduplicates rows by the ``dedupe`` column (default:
+        the config fingerprint), so overlapping filters stay a union, not
+        a multiset.
+        """
+        if not filter_sets:
+            return QueryPayload([], [])
+        columns = list(columns) if columns else None
+        workers = min(self.pool_size, len(filter_sets))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            payloads = list(
+                pool.map(
+                    lambda clauses: self.query(
+                        where=clauses,
+                        columns=columns,
+                        order_by=order_by,
+                        limit=limit,
+                        at=at,
+                    ),
+                    filter_sets,
+                )
+            )
+        return QueryPayload.merge(payloads, dedupe=dedupe)
+
+
+class AsyncQueryClient:
+    """Asyncio analytics client; composed fetches gather under a semaphore."""
+
+    def __init__(
+        self, url: "str | None" = None, timeout: float = 30.0, pool_size: int = 4
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool size must be at least 1")
+        self._client = AsyncServiceClient(url, timeout=timeout)
+        self.pool_size = pool_size
+
+    async def query(
+        self,
+        where: "Iterable[str] | None" = None,
+        columns: "Iterable[str] | None" = None,
+        order_by: "str | None" = None,
+        limit: "int | None" = None,
+        at: "int | str | None" = None,
+    ) -> QueryPayload:
+        """One filtered/projected read over the service's result store."""
+        path = _query_path(where, columns, order_by, limit, at)
+        payload = _check(*await self._client._request("GET", path), accept=(200,))
+        return QueryPayload.from_payload(payload)
+
+    async def buckets(
+        self,
+        name: str,
+        bucket_s: float = 60.0,
+        start: "float | None" = None,
+        end: "float | None" = None,
+    ) -> dict:
+        """Server-side floor-aligned buckets over one metric series."""
+        path = _buckets_path(name, bucket_s, start, end)
+        return _check(*await self._client._request("GET", path), accept=(200,))
+
+    async def series_names(self) -> "list[str]":
+        """The metric series available to :meth:`buckets`."""
+        payload = _check(
+            *await self._client._request("GET", "/query/buckets"), accept=(200,)
+        )
+        return payload.get("series", [])
+
+    async def fetch(
+        self,
+        filter_sets: "Sequence[Iterable[str]]",
+        columns: "Iterable[str] | None" = None,
+        order_by: "str | None" = None,
+        limit: "int | None" = None,
+        at: "int | str | None" = None,
+        dedupe: "str | None" = "key",
+    ) -> QueryPayload:
+        """Concurrent composed fetch (bounded by ``pool_size``), merged."""
+        if not filter_sets:
+            return QueryPayload([], [])
+        columns = list(columns) if columns else None
+        gate = asyncio.Semaphore(self.pool_size)
+
+        async def _one(clauses: "Iterable[str]") -> QueryPayload:
+            async with gate:
+                return await self.query(
+                    where=clauses, columns=columns, order_by=order_by, limit=limit, at=at
+                )
+
+        payloads = await asyncio.gather(*(_one(clauses) for clauses in filter_sets))
+        return QueryPayload.merge(list(payloads), dedupe=dedupe)

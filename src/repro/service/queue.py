@@ -17,7 +17,21 @@ coroutine), so it needs no locks. Three properties drive its design:
 * **cached-result short-circuit** — a submission whose key is already in
   the runner's memo cache completes immediately without touching the queue.
 
-Priorities are integers, higher first; ties dispatch in submission order.
+Priorities are integers, higher first. Within a priority level, dispatch
+order is **weighted fair queueing** across client ids rather than plain
+FIFO: each new group is stamped with its client's *virtual finish time*
+(``max(queue virtual time, client's last stamp) + 1/weight``), and the
+heap orders groups by ``(-priority, virtual_finish, seq)``. With a single
+client (or all-anonymous submissions) every stamp increments by one and
+the order degenerates to exact FIFO — the pre-WFQ behaviour — but when a
+greedy client floods the queue, a slow client's occasional jobs carry
+*earlier* virtual stamps and dispatch ahead of the flood's backlog, so
+nobody starves and long-run dispatch share converges to the configured
+weight ratio (see ``tests/service/test_fairness.py``).
+
+In a sharded service (``docs/SERVICE.md``), one ``JobQueue`` exists per
+shard: ``shard`` tags the queue's index and ``ids`` shares one job-id
+counter across the pool so ids stay globally unique.
 
 Beyond queueing, every job carries two observability channels (see
 ``docs/OBSERVABILITY.md``):
@@ -83,6 +97,8 @@ class Job:
     sim: SimJob
     key: str
     priority: int = 0
+    client: str = ""
+    shard: int = 0
     state: JobState = JobState.QUEUED
     coalesced: bool = False
     cache_hit: bool = False
@@ -102,6 +118,7 @@ class Job:
     exec_span_id: "str | None" = field(default=None, repr=False)  # primary only
     exec_span: "DistSpan | None" = field(default=None, repr=False)  # primary only
     run_span: "DistSpan | None" = field(default=None, repr=False)  # primary only
+    vft: float = field(default=0.0, repr=False)  # WFQ virtual finish (primary only)
     _event_flag: "asyncio.Event | None" = field(default=None, repr=False)
 
     def add_event(self, event: str, **fields) -> None:
@@ -155,6 +172,8 @@ class Job:
             "key": self.key,
             "state": self.state.value,
             "priority": self.priority,
+            "client": self.client,
+            "shard": self.shard,
             "coalesced": self.coalesced,
             "cache_hit": self.cache_hit,
             "attempts": self.attempts,
@@ -177,19 +196,26 @@ class JobQueue:
         metrics: ServiceMetrics,
         max_depth: int = 256,
         tracer: "TraceStore | None" = None,
+        shard: int = 0,
+        ids: "itertools.count | None" = None,
     ) -> None:
         if max_depth < 1:
             raise ValueError("queue depth must be at least 1")
         self.metrics = metrics
         self.max_depth = max_depth
         self.tracer = tracer
+        self.shard = shard
         self._jobs: "dict[str, Job]" = {}  # every job ever submitted, by id
         self._groups: "dict[str, list[Job]]" = {}  # fingerprint -> active group
-        self._heap: "list[tuple[int, int, str]]" = []  # (-priority, seq, key)
+        # (-priority, virtual_finish, seq, key) — see the module docstring's
+        # weighted-fair-queueing notes.
+        self._heap: "list[tuple[int, float, int, str]]" = []
         self._queued: "set[str]" = set()  # keys currently in the heap
         self._running: "set[str]" = set()  # keys dispatched to the runner
         self._seq = itertools.count()
-        self._ids = itertools.count(1)
+        self._ids = ids if ids is not None else itertools.count(1)
+        self._vtime = 0.0  # WFQ virtual time: advances to each popped stamp
+        self._client_vft: "dict[str, float]" = {}  # client -> last stamp handed out
         self._nonempty = asyncio.Event()
         self._idle = asyncio.Event()
         self._idle.set()
@@ -253,13 +279,23 @@ class JobQueue:
         )
 
     def submit(
-        self, sim: SimJob, priority: int = 0, trace: "TraceContext | None" = None
+        self,
+        sim: SimJob,
+        priority: int = 0,
+        trace: "TraceContext | None" = None,
+        client: str = "",
+        weight: float = 1.0,
     ) -> Job:
         """Submit one simulation; returns the (possibly coalesced) job.
 
         ``trace`` is the client's parsed ``traceparent`` context, if any.
-        Raises :class:`ServiceClosed` when draining and :class:`QueueFull`
-        when the submission needs a queue slot and none is free.
+        ``client``/``weight`` feed the weighted-fair-queueing order: jobs
+        from heavier clients accrue virtual time more slowly and therefore
+        win a proportionally larger dispatch share under contention.
+        Coalesced and cache-hit submissions consume no WFQ credit — they
+        occupy no queue slot. Raises :class:`ServiceClosed` when draining
+        and :class:`QueueFull` when the submission needs a queue slot and
+        none is free.
         """
         if self._closed:
             raise ServiceClosed("service is draining; not accepting new jobs")
@@ -275,6 +311,8 @@ class JobQueue:
                 sim=sim,
                 key=key,
                 priority=priority,
+                client=client,
+                shard=self.shard,
                 state=primary.state,
                 coalesced=True,
                 attempts=primary.attempts,
@@ -308,6 +346,8 @@ class JobQueue:
                 sim=sim,
                 key=key,
                 priority=priority,
+                client=client,
+                shard=self.shard,
                 state=JobState.DONE,
                 cache_hit=True,
                 future=future,
@@ -340,11 +380,19 @@ class JobQueue:
             sim=sim,
             key=key,
             priority=priority,
+            client=client,
+            shard=self.shard,
             future=asyncio.get_running_loop().create_future(),
         )
+        # WFQ stamp: the client's virtual finish time. Starting from
+        # max(queue virtual time, client's last stamp) means an idle client
+        # re-enters *now* rather than banking credit for its quiet period.
+        start = max(self._vtime, self._client_vft.get(client, 0.0))
+        job.vft = start + 1.0 / max(weight, 1e-9)
+        self._client_vft[client] = job.vft
         self._jobs[job_id] = job
         self._groups[key] = [job]
-        self._push(key, priority)
+        self._push(key, priority, job.vft)
         self.metrics.job_accepted()
         self._open_request(job, trace)
         if job.request_span is not None:
@@ -364,8 +412,8 @@ class JobQueue:
         self._gauges()
         return job
 
-    def _push(self, key: str, priority: int) -> None:
-        heapq.heappush(self._heap, (-priority, next(self._seq), key))
+    def _push(self, key: str, priority: int, vft: float) -> None:
+        heapq.heappush(self._heap, (-priority, vft, next(self._seq), key))
         self._queued.add(key)
         self._nonempty.set()
 
@@ -383,10 +431,11 @@ class JobQueue:
         """Dequeue up to ``limit`` primary jobs, highest priority first."""
         batch: "list[Job]" = []
         while self._heap and len(batch) < limit:
-            _, _, key = heapq.heappop(self._heap)
+            _, vft, _, key = heapq.heappop(self._heap)
             if key not in self._queued:
                 continue
             self._queued.discard(key)
+            self._vtime = max(self._vtime, vft)
             batch.append(self._groups[key][0])
         if not self._heap:
             self._nonempty.clear()
@@ -485,7 +534,9 @@ class JobQueue:
         group = self._groups[key]
         for job in group:
             job.state = JobState.QUEUED
-        self._push(key, group[0].priority)
+        # Retries keep their original WFQ stamp: a failed attempt re-enters
+        # ahead of work submitted after it, rather than paying fresh credit.
+        self._push(key, group[0].priority, group[0].vft)
         self.metrics.job_retried()
         self._gauges()
 

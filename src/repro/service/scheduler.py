@@ -55,6 +55,7 @@ class BatchScheduler:
         traced_runner=run_many_traced_settled,
         traced: "bool | None" = None,
         sink=None,
+        name: "str | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
@@ -72,6 +73,7 @@ class BatchScheduler:
         #: as one append snapshot, after their futures settle.
         self.sink = sink
         self.traced = (queue.tracer is not None) if traced is None else traced
+        self.name = name
         self._batch_seq = itertools.count(1)
         self._task: "asyncio.Task | None" = None
 
@@ -81,9 +83,8 @@ class BatchScheduler:
         """Spawn the scheduling loop on the running event loop."""
         if self._task is not None:
             raise RuntimeError("scheduler already started")
-        self._task = asyncio.get_running_loop().create_task(
-            self._run(), name="repro-service-scheduler"
-        )
+        label = "repro-service-scheduler" + (f"-{self.name}" if self.name else "")
+        self._task = asyncio.get_running_loop().create_task(self._run(), name=label)
 
     async def stop(self, drain: bool = True) -> None:
         """Stop the loop; with ``drain`` wait for in-flight work first.
@@ -95,13 +96,15 @@ class BatchScheduler:
             await self.queue.wait_idle()
         else:
             self.queue.abort_queued()
-        if self._task is not None:
-            self._task.cancel()
+        # Claim the task before awaiting so concurrent stop() calls (a
+        # rolling /drain racing a full /shutdown) are harmless no-ops.
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
             try:
-                await self._task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._task = None
 
     # -- the loop ------------------------------------------------------------
 

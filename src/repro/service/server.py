@@ -1,30 +1,42 @@
 """The simulation service: a stdlib-only JSON-over-HTTP asyncio server.
 
-One process hosts the whole serving stack — HTTP frontend, priority queue,
-batching scheduler — in a single event loop; simulations run off-loop via
-the harness runner's process pool. The API surface:
+One process hosts the whole serving stack — HTTP frontend, a pool of
+``shards`` independent (priority queue, batching scheduler) pairs
+partitioned by config fingerprint — in a single event loop; simulations
+run off-loop via the harness runner's process pool. The API surface:
 
 ==========================  ==================================================
 ``POST /jobs``              submit a simulation; ``202`` + job status payload
                             (``200`` when answered from cache), ``400`` on a
-                            bad request, ``429`` on backpressure, ``503``
-                            while draining; honours a W3C ``traceparent``
-                            request header
+                            bad request, ``429`` on backpressure or rate
+                            limiting (with ``Retry-After``), ``503`` while
+                            draining; honours W3C ``traceparent`` and
+                            ``x-repro-client`` request headers
 ``GET /jobs/{id}``          job status (state, latencies, attempts, coalesced,
-                            trace id)
+                            shard, trace id)
 ``GET /jobs/{id}/events``   the job's lifecycle event log as streamed JSON
                             lines (chunked); ``?follow=0`` dumps and closes
 ``GET /results/{id}``       ``200`` + full result once done, ``202`` while
                             pending, ``500`` once failed
-``GET /healthz``            liveness + queue gauges + live SLO evaluation
+``GET /healthz``            liveness + per-shard queue gauges + live SLO
+                            evaluation
 ``GET /metrics``            the service's ``obs.CounterRegistry`` snapshot;
                             ``?format=prometheus`` serves text exposition
 ``GET /metrics/series``     ring-buffered time-series, bucketed server-side
                             (``?name=jobs.total_s&bucket=60``)
+``GET /query``              attribute-filtered rows over the attached result
+                            store (repeatable ``?where=``, ``columns``,
+                            ``order_by``, ``limit``, ``at``); dataframe-shaped
+``GET /query/buckets``      floor-aligned min/max/avg/p50/p99 buckets over one
+                            metric series (the analytics alias of
+                            ``/metrics/series``)
 ``GET /traces/{id}``        one distributed trace's span closure;
                             ``?format=perfetto`` serves Chrome-trace JSON
-``POST /shutdown``          graceful drain (``{"drain": false}`` aborts the
-                            queue instead)
+``POST /drain``             ``?shard=i`` quiesces one shard (in-flight work
+                            completes; new jobs reroute or 503 per policy)
+                            while the others keep serving
+``POST /shutdown``          graceful drain of every shard in sequence
+                            (``{"drain": false}`` aborts the queues instead)
 ==========================  ==================================================
 
 Submission body: ``{"workload": "jacobi", "paradigm": "gps", "gpus": 4,
@@ -40,7 +52,9 @@ keeping it stdlib-only is a hard constraint of this repo.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import math
 import os
 from dataclasses import dataclass
 from urllib.parse import parse_qs
@@ -58,6 +72,7 @@ from ..workloads.registry import (
 from .metrics import ServiceMetrics
 from .queue import Job, JobQueue, JobState, QueueFull, ServiceClosed
 from .scheduler import BatchScheduler
+from .sharding import RateLimiter, shard_for_key
 from .slo import evaluate_slos, slos_from_env
 from .store_sink import StoreSink
 from .timeseries import DEFAULT_SERIES_SAMPLES
@@ -77,6 +92,12 @@ _STATUS_PHRASES = {
 MAX_BODY_BYTES = 1 << 20
 
 
+def _qlast(query: "dict[str, list[str]]", name: str, default: "str | None" = None):
+    """Last value of a (multi-valued) query parameter, or ``default``."""
+    values = query.get(name)
+    return values[-1] if values else default
+
+
 def _env_int(name: str, default: int) -> int:
     raw = os.environ.get(name, "")
     return int(raw) if raw else default
@@ -87,12 +108,29 @@ def _env_float(name: str, default: float) -> float:
     return float(raw) if raw else default
 
 
+def _env_weights(name: str) -> "tuple[tuple[str, float], ...]":
+    """Client WFQ weights from a JSON object, e.g. ``{"sweeper": 4}``."""
+    raw = os.environ.get(name, "")
+    if not raw:
+        return ()
+    try:
+        decoded = json.loads(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be a JSON object of client: weight") from exc
+    if not isinstance(decoded, dict):
+        raise ValueError(f"{name} must be a JSON object of client: weight")
+    return tuple(sorted((str(k), float(v)) for k, v in decoded.items()))
+
+
 @dataclass(frozen=True)
 class ServiceSettings:
     """Tunable knobs of one service instance (see ``docs/SERVICE.md``)."""
 
     host: str = "127.0.0.1"
     port: int = 8787
+    #: Scheduler shards: independent (queue, scheduler) pairs partitioned
+    #: by config fingerprint. ``queue_depth`` applies **per shard**.
+    shards: int = 1
     queue_depth: int = 256
     batch_size: int = 8
     max_wait_s: float = 0.05
@@ -103,8 +141,21 @@ class ServiceSettings:
     max_traces: int = 256
     series_samples: int = DEFAULT_SERIES_SAMPLES
     #: When set, completed jobs are committed to the result lakehouse at
-    #: this directory (one append snapshot per batch); ``None`` disables.
+    #: this directory (one append snapshot per batch) and ``GET /query``
+    #: serves attribute-filtered reads over it; ``None`` disables both.
     store_dir: "str | None" = None
+    #: Per-client token-bucket admission: sustained submissions/second per
+    #: client id (``0`` disables rate limiting) and the burst allowance.
+    rate_limit: float = 0.0
+    rate_burst: float = 8.0
+    #: What happens to a submission whose home shard is draining:
+    #: ``"reroute"`` sends it to the next live shard, ``"reject"`` answers
+    #: ``503`` until the shard is back.
+    drain_policy: str = "reroute"
+    #: WFQ weights by client id as ``((client, weight), ...)`` pairs
+    #: (tuple-of-pairs keeps the settings dataclass hashable); unlisted
+    #: clients weigh ``1.0``.
+    client_weights: "tuple[tuple[str, float], ...]" = ()
 
     @classmethod
     def from_env(cls, **overrides) -> "ServiceSettings":
@@ -117,6 +168,7 @@ class ServiceSettings:
         values = {
             "host": os.environ.get("REPRO_SERVICE_HOST") or cls.host,
             "port": _env_int("REPRO_SERVICE_PORT", cls.port),
+            "shards": _env_int("REPRO_SERVICE_SHARDS", cls.shards),
             "queue_depth": _env_int("REPRO_SERVICE_QUEUE_DEPTH", cls.queue_depth),
             "batch_size": _env_int("REPRO_SERVICE_BATCH_SIZE", cls.batch_size),
             "max_wait_s": _env_float("REPRO_SERVICE_MAX_WAIT_MS", cls.max_wait_s * 1000.0)
@@ -131,8 +183,16 @@ class ServiceSettings:
             "max_traces": _env_int("REPRO_SERVICE_MAX_TRACES", cls.max_traces),
             "series_samples": _env_int("REPRO_SERVICE_SERIES_SAMPLES", cls.series_samples),
             "store_dir": os.environ.get("REPRO_SERVICE_STORE_DIR") or None,
+            "rate_limit": _env_float("REPRO_SERVICE_RATE_LIMIT", cls.rate_limit),
+            "rate_burst": _env_float("REPRO_SERVICE_RATE_BURST", cls.rate_burst),
+            "drain_policy": os.environ.get("REPRO_SERVICE_DRAIN_POLICY")
+            or cls.drain_policy,
+            "client_weights": _env_weights("REPRO_SERVICE_CLIENT_WEIGHTS"),
         }
         values.update({k: v for k, v in overrides.items() if v is not None})
+        weights = values.get("client_weights")
+        if isinstance(weights, dict):  # allow dict overrides from the CLI/tests
+            values["client_weights"] = tuple(sorted(weights.items()))
         return cls(**values)
 
 
@@ -179,8 +239,22 @@ def parse_job_payload(payload) -> "tuple[SimJob, int]":
     return sim, priority
 
 
+class _Shard:
+    """One scheduler shard: an independent (queue, scheduler) pair."""
+
+    __slots__ = ("index", "queue", "scheduler", "draining")
+
+    def __init__(self, index: int, queue: JobQueue, scheduler: BatchScheduler) -> None:
+        self.index = index
+        self.queue = queue
+        self.scheduler = scheduler
+        #: Set by ``POST /drain``: the shard finishes its backlog but the
+        #: router stops sending it new work (reroute or 503 per policy).
+        self.draining = False
+
+
 class SimulationService:
-    """Queue + scheduler + HTTP frontend, wired to one event loop."""
+    """Shard pool (queues + schedulers) + HTTP frontend on one event loop."""
 
     def __init__(
         self,
@@ -188,29 +262,57 @@ class SimulationService:
         registry=None,
     ) -> None:
         self.settings = settings if settings is not None else ServiceSettings.from_env()
+        if self.settings.shards < 1:
+            raise ValueError("shard count must be at least 1")
+        if self.settings.drain_policy not in ("reroute", "reject"):
+            raise ValueError("drain_policy must be 'reroute' or 'reject'")
         self.metrics = ServiceMetrics(registry, series_samples=self.settings.series_samples)
         self.tracer = (
             TraceStore(max_traces=self.settings.max_traces) if self.settings.trace else None
         )
         self.slos = slos_from_env()
-        self.queue = JobQueue(
-            self.metrics, max_depth=self.settings.queue_depth, tracer=self.tracer
+        self.limiter = (
+            RateLimiter(self.settings.rate_limit, self.settings.rate_burst)
+            if self.settings.rate_limit > 0
+            else None
         )
+        self._weights = dict(self.settings.client_weights)
         self.store_sink = (
             StoreSink(self.settings.store_dir, self.metrics)
             if self.settings.store_dir
             else None
         )
-        self.scheduler = BatchScheduler(
-            self.queue,
-            self.metrics,
-            batch_size=self.settings.batch_size,
-            max_wait_s=self.settings.max_wait_s,
-            max_retries=self.settings.max_retries,
-            retry_backoff_s=self.settings.retry_backoff_s,
-            max_workers=self.settings.max_workers,
-            sink=self.store_sink,
-        )
+        # One (queue, scheduler) pair per shard, sharing the job-id counter
+        # (ids stay globally unique) and, through per-shard metric views,
+        # one metrics surface. ``queue_depth`` bounds each shard's queue.
+        ids = itertools.count(1)
+        self.shards: "list[_Shard]" = []
+        for index in range(self.settings.shards):
+            view = self.metrics.shard_view(index, self.settings.shards)
+            queue = JobQueue(
+                view,
+                max_depth=self.settings.queue_depth,
+                tracer=self.tracer,
+                shard=index,
+                ids=ids,
+            )
+            scheduler = BatchScheduler(
+                queue,
+                view,
+                batch_size=self.settings.batch_size,
+                max_wait_s=self.settings.max_wait_s,
+                max_retries=self.settings.max_retries,
+                retry_backoff_s=self.settings.retry_backoff_s,
+                max_workers=self.settings.max_workers,
+                sink=self.store_sink,
+                name=f"shard{index}" if self.settings.shards > 1 else None,
+            )
+            self.shards.append(_Shard(index, queue, scheduler))
+        #: Shard 0's pair, kept as attributes for single-shard callers and
+        #: backward compatibility (the historical single-scheduler layout).
+        self.queue = self.shards[0].queue
+        self.scheduler = self.shards[0].scheduler
+        self._query_store = None  # lazily opened ResultStore for GET /query
         self._server: "asyncio.Server | None" = None
         self._stopped: "asyncio.Event | None" = None
         self.host = self.settings.host
@@ -227,7 +329,8 @@ class SimulationService:
         if self._server is not None:
             raise RuntimeError("service already started")
         self._stopped = asyncio.Event()
-        self.scheduler.start()
+        for shard in self.shards:
+            shard.scheduler.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.settings.host, self.settings.port
         )
@@ -240,11 +343,19 @@ class SimulationService:
         await self._stopped.wait()
 
     async def shutdown(self, drain: bool = True) -> None:
-        """Stop accepting work, settle (or abort) the backlog, close up."""
+        """Stop accepting work, settle (or abort) the backlog, close up.
+
+        Every shard's queue closes first (no shard can pick up rerouted
+        work mid-shutdown), then the shards drain **in sequence** — the
+        rolling-drain story applied to the whole pool.
+        """
         if self._server is None:
             return
-        self.queue.close()
-        await self.scheduler.stop(drain=drain)
+        for shard in self.shards:
+            shard.draining = True
+            shard.queue.close()
+        for shard in self.shards:
+            await shard.scheduler.stop(drain=drain)
         self._server.close()
         await self._server.wait_closed()
         self._server = None
@@ -261,14 +372,17 @@ class SimulationService:
             if request is None:
                 return
             method, path, query, headers, body = request
-            status, payload = await self._route(method, path, query, headers, body)
+            response = await self._route(method, path, query, headers, body)
+            # Handlers return (status, payload) or (status, payload, headers).
+            status, payload = response[0], response[1]
+            extra_headers = response[2] if len(response) > 2 else None
             if isinstance(payload, _EventStream):
                 await self._stream_events(writer, payload)
             elif isinstance(payload, _TextResponse):
                 writer.write(_render_text(status, payload))
                 await writer.drain()
             else:
-                writer.write(_render_response(status, payload))
+                writer.write(_render_response(status, payload, extra_headers))
                 await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
@@ -302,28 +416,44 @@ class SimulationService:
             content_length = 0
         body = await reader.readexactly(content_length) if content_length else b""
         path, _, raw_query = target.partition("?")
-        query = {name: values[-1] for name, values in parse_qs(raw_query).items()}
+        # Multi-valued: ``GET /query?where=a&where=b`` keeps every clause.
+        query = parse_qs(raw_query)
         return method.upper(), path, query, headers, body
 
     async def _route(
         self, method: str, path: str, query: dict, headers: dict, body: bytes
-    ) -> "tuple[int, object]":
+    ) -> "tuple[int, object] | tuple[int, object, dict]":
         if path == "/healthz" and method == "GET":
             return 200, {
                 "status": "ok",
-                "queued": self.queue.depth,
-                "inflight": self.queue.inflight,
-                "draining": self.queue.closed,
+                "queued": sum(s.queue.depth for s in self.shards),
+                "inflight": sum(s.queue.inflight for s in self.shards),
+                "draining": all(s.queue.closed for s in self.shards),
+                "shards": [
+                    {
+                        "shard": s.index,
+                        "queued": s.queue.depth,
+                        "inflight": s.queue.inflight,
+                        "draining": s.draining or s.queue.closed,
+                    }
+                    for s in self.shards
+                ],
                 "trace": self.tracer is not None,
                 "slo": evaluate_slos(self.slos, self.metrics.series),
             }
         if path == "/metrics" and method == "GET":
-            if query.get("format") == "prometheus":
+            if _qlast(query, "format") == "prometheus":
                 return 200, _TextResponse(
                     self.metrics.prometheus(), "text/plain; version=0.0.4; charset=utf-8"
                 )
             return 200, {"metrics": self.metrics.snapshot()}
         if path == "/metrics/series" and method == "GET":
+            return self._series(query)
+        if path == "/query" and method == "GET":
+            return await self._query(query)
+        if path == "/query/buckets" and method == "GET":
+            # The analytics alias: identical bucketing, under the query
+            # surface so the QueryClient speaks to one prefix.
             return self._series(query)
         if path == "/jobs" and method == "POST":
             return self._submit(headers, body)
@@ -335,17 +465,44 @@ class SimulationService:
             return self._job_result(path[len("/results/"):])
         if path.startswith("/traces/") and method == "GET":
             return self._trace(path[len("/traces/"):], query)
+        if path == "/drain" and method == "POST":
+            return self._drain_request(query)
         if path == "/shutdown" and method == "POST":
             return self._shutdown_request(body)
-        if path in ("/jobs", "/shutdown", "/metrics/series") or path.startswith(
-            ("/jobs/", "/results/", "/traces/")
-        ):
+        if path in (
+            "/jobs",
+            "/shutdown",
+            "/drain",
+            "/metrics/series",
+            "/query",
+            "/query/buckets",
+        ) or path.startswith(("/jobs/", "/results/", "/traces/")):
             return 405, {"error": f"method {method} not allowed on {path}"}
         return 404, {"error": f"no such route: {method} {path}"}
 
     # -- route handlers ------------------------------------------------------
 
-    def _submit(self, headers: dict, body: bytes) -> "tuple[int, dict]":
+    def _shard_for(self, key: str) -> "_Shard | None":
+        """Route a fingerprint to its home shard, honouring the drain policy.
+
+        Returns ``None`` when the submission must be refused (home shard
+        draining under ``reject``, or every shard draining).
+        """
+        home = shard_for_key(key, len(self.shards))
+        shard = self.shards[home]
+        if not shard.draining:
+            return shard
+        if self.settings.drain_policy == "reject":
+            return None
+        for offset in range(1, len(self.shards)):
+            candidate = self.shards[(home + offset) % len(self.shards)]
+            if not candidate.draining:
+                return candidate
+        return None
+
+    def _submit(
+        self, headers: dict, body: bytes
+    ) -> "tuple[int, dict] | tuple[int, dict, dict]":
         try:
             payload = json.loads(body or b"{}")
         except ValueError:
@@ -354,36 +511,147 @@ class SimulationService:
             sim, priority = parse_job_payload(payload)
         except ValueError as exc:
             return 400, {"error": str(exc)}
+        client = headers.get("x-repro-client", "")
+        if self.limiter is not None:
+            retry_after = self.limiter.check(client)
+            if retry_after > 0:
+                self.metrics.rate_limit_throttled()
+                label = client or "anonymous"
+                return (
+                    429,
+                    {
+                        "error": f"client {label!r} exceeded "
+                        f"{self.settings.rate_limit:g} jobs/s; retry later",
+                        "retry_after_s": round(retry_after, 3),
+                    },
+                    {"Retry-After": str(max(1, math.ceil(retry_after)))},
+                )
+            self.metrics.rate_limit_allowed()
         trace = parse_traceparent(headers.get("traceparent"))
+        shard = self._shard_for(sim.key())
+        if shard is None:
+            return 503, {"error": "the target shard is draining; retry later"}
         try:
-            job = self.queue.submit(sim, priority, trace=trace)
+            job = shard.queue.submit(
+                sim,
+                priority,
+                trace=trace,
+                client=client,
+                weight=self._weights.get(client, 1.0),
+            )
         except QueueFull as exc:
-            return 429, {"error": str(exc)}
+            return 429, {"error": str(exc)}, {"Retry-After": "1"}
         except ServiceClosed as exc:
             return 503, {"error": str(exc)}
         return (200 if job.cache_hit else 202), job.as_dict()
 
+    def _drain_request(self, query: dict) -> "tuple[int, dict]":
+        """``POST /drain?shard=i``: quiesce one shard, keep the rest serving."""
+        raw = _qlast(query, "shard")
+        if raw is None:
+            return 400, {"error": "missing ?shard=<index> query parameter"}
+        try:
+            index = int(raw)
+        except ValueError:
+            return 400, {"error": f"shard index must be an integer, got {raw!r}"}
+        if not 0 <= index < len(self.shards):
+            return 404, {
+                "error": f"no shard {index}; this service has {len(self.shards)}"
+            }
+        shard = self.shards[index]
+        if not shard.draining:
+            shard.draining = True
+            shard.queue.close()
+            # Drain in the background: in-flight and queued work completes,
+            # then the shard's scheduler task exits. The 202 returns now.
+            asyncio.get_running_loop().create_task(
+                shard.scheduler.stop(drain=True),
+                name=f"repro-service-drain-shard{index}",
+            )
+        return 202, {
+            "status": "draining",
+            "shard": index,
+            "policy": self.settings.drain_policy,
+            "live_shards": [s.index for s in self.shards if not s.draining],
+        }
+
+    def _open_query_store(self):
+        if self._query_store is None and self.settings.store_dir:
+            from ..store import ResultStore
+
+            # A separate read instance from the sink's: queries must never
+            # contend with commit-side state. Snapshot discovery re-lists
+            # the log directory, so sink commits are visible immediately.
+            self._query_store = ResultStore.open(self.settings.store_dir)
+        return self._query_store
+
+    async def _query(self, query: dict) -> "tuple[int, dict]":
+        """``GET /query``: attribute-filtered rows over the attached store."""
+        from ..store import StoreError
+        from ..store.query import run_query
+
+        store = self._open_query_store()
+        if store is None:
+            return 404, {
+                "error": "no result store attached; start the service with "
+                "REPRO_SERVICE_STORE_DIR (or repro serve --store)"
+            }
+        where = query.get("where", [])
+        columns = _qlast(query, "columns")
+        order_by = _qlast(query, "order_by")
+        raw_limit = _qlast(query, "limit")
+        at: "int | str | None" = _qlast(query, "at")
+        try:
+            limit = int(raw_limit) if raw_limit is not None else None
+        except ValueError:
+            return 400, {"error": f"limit must be an integer, got {raw_limit!r}"}
+        if isinstance(at, str) and at.lstrip("-").isdigit():
+            at = int(at)
+
+        def _run() -> "tuple[int, dict]":
+            try:
+                reader = store.at(at)
+                result = run_query(
+                    reader,
+                    where=where,
+                    columns=columns.split(",") if columns else None,
+                    order_by=order_by,
+                    limit=limit,
+                )
+            except StoreError as exc:
+                return 400, {"error": str(exc)}
+            return 200, {
+                "column_names": list(result.column_names()),
+                "columns": result.columns(),
+                "count": len(result),
+                "rows": result.rows(),
+                "snapshot": reader.snapshot_id,
+            }
+
+        # Partition scans are blocking disk I/O: run off-loop.
+        return await asyncio.to_thread(_run)
+
     def _series(self, query: dict) -> "tuple[int, dict]":
         series = self.metrics.series
-        name = query.get("name")
+        name = _qlast(query, "name")
         if not name:
             return 200, {"series": series.names()}
         if name not in series.names():
             return 404, {"error": f"unknown series {name!r}", "series": series.names()}
         try:
-            bucket_s = float(query.get("bucket", "60"))
-            start = float(query["start"]) if "start" in query else None
-            end = float(query["end"]) if "end" in query else None
+            bucket_s = float(_qlast(query, "bucket", "60"))
+            start = float(_qlast(query, "start")) if "start" in query else None
+            end = float(_qlast(query, "end")) if "end" in query else None
             buckets = series.bucketed(name, bucket_s, start, end)
         except ValueError as exc:
             return 400, {"error": str(exc)}
         return 200, {"name": name, "bucket_s": bucket_s, "buckets": buckets}
 
     def _job_events(self, job_id: str, query: dict) -> "tuple[int, object]":
-        job = self.queue.get(job_id)
+        job = self._find_job(job_id)
         if job is None:
             return 404, {"error": f"unknown job id {job_id!r}"}
-        follow = query.get("follow", "1") not in ("0", "false")
+        follow = _qlast(query, "follow", "1") not in ("0", "false")
         return 200, _EventStream(job, follow)
 
     def _trace(self, trace_id: str, query: dict) -> "tuple[int, dict]":
@@ -392,7 +660,7 @@ class SimulationService:
         spans = self.tracer.closure(trace_id)
         if not spans:
             return 404, {"error": f"unknown trace id {trace_id!r}"}
-        if query.get("format") == "perfetto":
+        if _qlast(query, "format") == "perfetto":
             return 200, distributed_chrome_trace(trace_id, spans)
         return 200, {
             "trace_id": trace_id,
@@ -422,14 +690,22 @@ class SimulationService:
         writer.write(b"0\r\n\r\n")
         await writer.drain()
 
+    def _find_job(self, job_id: str) -> "Job | None":
+        """Look one job id up across every shard (ids are pool-unique)."""
+        for shard in self.shards:
+            job = shard.queue.get(job_id)
+            if job is not None:
+                return job
+        return None
+
     def _job_status(self, job_id: str) -> "tuple[int, dict]":
-        job = self.queue.get(job_id)
+        job = self._find_job(job_id)
         if job is None:
             return 404, {"error": f"unknown job id {job_id!r}"}
         return 200, job.as_dict()
 
     def _job_result(self, job_id: str) -> "tuple[int, dict]":
-        job = self.queue.get(job_id)
+        job = self._find_job(job_id)
         if job is None:
             return 404, {"error": f"unknown job id {job_id!r}"}
         if job.state is JobState.FAILED:
@@ -488,13 +764,17 @@ def _render_text(status: int, payload: _TextResponse) -> bytes:
     return head.encode("latin-1") + body
 
 
-def _render_response(status: int, payload) -> bytes:
+def _render_response(status: int, payload, extra_headers: "dict | None" = None) -> bytes:
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
     phrase = _STATUS_PHRASES.get(status, "Unknown")
+    extras = "".join(
+        f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {phrase}\r\n"
         "Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extras}"
         "Connection: close\r\n"
         "\r\n"
     )

@@ -1,0 +1,110 @@
+"""Shard routing and per-client rate limiting for the sharded service.
+
+Two small, independently testable pieces back the scheduler shard pool
+(``docs/SERVICE.md`` has the operational story):
+
+* :func:`shard_for_key` — a **stable** hash from config fingerprints to
+  shard indices. Stability matters twice over: a resubmitted simulation
+  must land on the same shard so fingerprint-level request coalescing
+  keeps working (a group can only dedup against jobs in its own queue),
+  and the mapping must not depend on process state (``hash()`` is
+  randomized per interpreter) so multi-process deployments agree.
+* :class:`TokenBucket` / :class:`RateLimiter` — continuous-refill token
+  buckets, one per client id, behind the ``429 Too Many Requests`` +
+  ``Retry-After`` admission gate on ``POST /jobs``.
+
+Both are pure data structures with injectable clocks; the HTTP layer in
+``server.py`` owns all policy (which header names the client, what the
+rejection body looks like).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+
+
+def shard_for_key(key: str, shards: int) -> int:
+    """Map one config fingerprint onto a shard index, stably and totally.
+
+    ``key`` is normally the canonical SHA-256 hex fingerprint from
+    :meth:`repro.harness.runner.SimJob.key`, whose leading 64 bits are
+    already uniformly distributed; arbitrary strings fall back to CRC-32.
+    The mapping depends only on ``(key, shards)`` — never on interpreter
+    hash randomization or submission order.
+    """
+    if shards < 1:
+        raise ValueError("shard count must be at least 1")
+    if shards == 1:
+        return 0
+    try:
+        value = int(key[:16], 16)
+    except ValueError:
+        value = zlib.crc32(key.encode("utf-8"))
+    return value % shards
+
+
+class TokenBucket:
+    """One client's continuous-refill token bucket.
+
+    Holds at most ``burst`` tokens, refilling at ``rate`` tokens/second.
+    :meth:`try_take` either consumes a token (returning ``0.0``) or
+    returns the seconds until one will have accrued — the number the HTTP
+    layer surfaces as ``Retry-After``.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("token rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refills as a side effect)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_take(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens if available; else seconds until possible."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        return (cost - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client admission control: one :class:`TokenBucket` per client id.
+
+    Clients identify themselves with the ``x-repro-client`` request header;
+    anonymous submissions share the ``""`` bucket. Buckets are created
+    lazily on first sight and live for the service's lifetime (client
+    cardinality is operator-bounded, not attacker-controlled, on the
+    trusted networks this service fronts).
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: "dict[str, TokenBucket]" = {}
+
+    def check(self, client: str) -> float:
+        """Admit one submission for ``client``: ``0.0``, or retry-after seconds."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, clock=self._clock
+            )
+        return bucket.try_take()

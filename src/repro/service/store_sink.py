@@ -15,6 +15,7 @@ durable in the runner's own persistent layer when that is enabled.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Sequence
 
 from ..harness.runner import MODEL_FINGERPRINT
@@ -34,6 +35,13 @@ class StoreSink:
         self.persisted = 0
         self.errors = 0
         self._store: Any = None
+        # One sink is shared by every scheduler shard, each persisting from
+        # its own ``asyncio.to_thread`` worker. The lock serializes both the
+        # lazy open and the appends: within one process there is nothing to
+        # gain from concurrent commits (they'd just rebase against each
+        # other), while the store's own rebase-and-retry path still covers
+        # *cross-process* writers racing this one.
+        self._lock = threading.Lock()
 
     def _open(self) -> Any:
         if self._store is None:
@@ -63,7 +71,8 @@ class StoreSink:
             for job, result in completions
         ]
         try:
-            self._open().append(records)
+            with self._lock:
+                self._open().append(records)
         except (OSError, StoreError):
             self.errors += 1
             if self.metrics is not None:

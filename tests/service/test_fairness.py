@@ -1,0 +1,312 @@
+"""Fairness and rate-limit battery: WFQ, token buckets, 429 semantics.
+
+The queue's weighted fair queueing must hold three promises:
+
+* **weight ratio** — clients draining a contended queue are served in
+  proportion to their configured weights (a 3:1 weight split yields a 9:3
+  split over the first 12 dispatches);
+* **no starvation** — a greedy client with a deep backlog cannot push a
+  slow client's fresh submission behind its whole queue; WFQ bounds the
+  slow client's wait to ~one virtual slot;
+* **FIFO degeneration** — with a single (or anonymous) client, dispatch
+  order is exactly the old priority-then-FIFO order, so sharding+WFQ is
+  invisible to existing consumers.
+
+The rate limiter's promises are mechanical and tested with a fake clock:
+burst capacity, refill rate, and the retry-after arithmetic the HTTP 429
+path surfaces via ``Retry-After`` (header) and ``retry_after_s`` (body).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+import pytest
+
+from repro.harness.runner import SimJob, clear_run_cache
+from repro.service import (
+    ClientError,
+    JobQueue,
+    RateLimiter,
+    ServiceClient,
+    ServiceMetrics,
+    ServiceSettings,
+    TokenBucket,
+)
+
+from .conftest import LiveService
+
+FAST = dict(scale=0.1, iterations=2)
+
+
+def sim(workload: str = "jacobi", iterations: int = 2) -> SimJob:
+    return SimJob(workload, "gps", 2, scale=0.1, iterations=iterations)
+
+
+def in_loop(coro_fn):
+    return asyncio.run(coro_fn())
+
+
+@pytest.fixture
+def queue():
+    clear_run_cache()
+    return JobQueue(ServiceMetrics(), max_depth=128)
+
+
+class TestWeightedFairQueueing:
+    def test_weight_ratio_over_contended_queue(self, queue):
+        """Weight 3 vs weight 1 → 9:3 across the first 12 dispatches."""
+
+        async def body():
+            heavy = [
+                queue.submit(sim("jacobi", iterations=i + 1), client="heavy", weight=3.0)
+                for i in range(12)
+            ]
+            light = [
+                queue.submit(sim("pagerank", iterations=i + 1), client="light", weight=1.0)
+                for i in range(12)
+            ]
+            batch = queue.pop_ready(12)
+            heavy_ids = {job.id for job in heavy}
+            light_ids = {job.id for job in light}
+            served_heavy = sum(1 for job in batch if job.id in heavy_ids)
+            served_light = sum(1 for job in batch if job.id in light_ids)
+            assert (served_heavy, served_light) == (9, 3)
+
+        in_loop(body)
+
+    def test_greedy_client_never_starves_a_slow_one(self, queue):
+        """A fresh submission lands within ~one slot, not behind the backlog."""
+
+        async def body():
+            for i in range(20):
+                queue.submit(sim("jacobi", iterations=i + 1), client="greedy")
+            # Serve a few greedy jobs first so the queue's virtual time has
+            # advanced past the greedy client's head-of-line stamps.
+            queue.pop_ready(4)
+            slow = queue.submit(sim("pagerank"), client="slow")
+            next_two = queue.pop_ready(2)
+            assert slow.id in {job.id for job in next_two}
+
+        in_loop(body)
+
+    def test_ten_to_one_submit_rates_interleave(self, queue):
+        """30 greedy jobs queued ahead of 3 slow ones: equal weights mean
+        the slow client finishes within the first 6 dispatches, not at the
+        tail of the greedy backlog."""
+
+        async def body():
+            for i in range(30):
+                queue.submit(sim("jacobi", iterations=i + 1), client="fast")
+            slow = [
+                queue.submit(sim("pagerank", iterations=i + 1), client="slow")
+                for i in range(3)
+            ]
+            first_six = queue.pop_ready(6)
+            served = {job.id for job in first_six}
+            assert all(job.id in served for job in slow)
+
+        in_loop(body)
+
+    def test_single_client_degenerates_to_fifo(self, queue):
+        """Anonymous submissions keep the exact historical dispatch order."""
+
+        async def body():
+            jobs = [queue.submit(sim("jacobi", iterations=i + 1)) for i in range(6)]
+            batch = queue.pop_ready(6)
+            assert [job.id for job in batch] == [job.id for job in jobs]
+
+        in_loop(body)
+
+    def test_priority_still_dominates_weights(self, queue):
+        """Priority classes outrank fairness: WFQ only orders within one."""
+
+        async def body():
+            low = queue.submit(sim("jacobi"), priority=0, client="heavy", weight=100.0)
+            high = queue.submit(sim("pagerank"), priority=5, client="light", weight=0.01)
+            batch = queue.pop_ready(2)
+            assert [job.id for job in batch] == [high.id, low.id]
+
+        in_loop(body)
+
+    def test_retry_keeps_original_stamp(self, queue):
+        """A retried job re-enters at its original virtual finish time, so
+        a retry never jumps ahead of jobs admitted before the failure."""
+
+        async def body():
+            first = queue.submit(sim("jacobi"), client="a")
+            second = queue.submit(sim("pagerank"), client="a")
+            (popped,) = queue.pop_ready(1)
+            assert popped.id == first.id
+            queue.mark_running(popped.key)
+            queue.record_attempt(popped.key)
+            queue.requeue(popped.key)
+            replay = queue.pop_ready(2)
+            assert [job.id for job in replay] == [first.id, second.id]
+
+        in_loop(body)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_take() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = bucket.try_take()
+        assert retry == pytest.approx(1.0)
+
+    def test_refill_restores_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_take()
+        bucket.try_take()
+        assert bucket.try_take() > 0
+        clock.advance(0.5)  # 2/s for 0.5s = one token back
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == pytest.approx(0.5)
+
+    def test_bucket_never_overfills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(3600.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+    def test_limiter_isolates_clients(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.check("a") == 0.0
+        assert limiter.check("a") > 0.0  # a is throttled...
+        assert limiter.check("b") == 0.0  # ...but b has its own bucket
+
+
+class TestHTTPRateLimiting:
+    def test_429_with_retry_after(self, fast_settings):
+        clear_run_cache()
+        settings = ServiceSettings(
+            **{**fast_settings.__dict__, "rate_limit": 0.5, "rate_burst": 2}
+        )
+        service = LiveService(settings)
+        try:
+            client = ServiceClient(service.url, client="bursty")
+            jobs = [client.submit("jacobi", gpus=2, **FAST)]
+            jobs.append(client.submit("pagerank", gpus=2, **FAST))
+            with pytest.raises(ClientError) as excinfo:
+                client.submit("sssp", gpus=2, **FAST)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s is not None
+            assert excinfo.value.retry_after_s > 0
+            for job in jobs:
+                client.wait(job["id"], timeout=300)
+            metrics = client.metrics()
+            assert metrics["service.ratelimit.allowed"] == 2
+            assert metrics["service.ratelimit.throttled"] == 1
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()
+
+    def test_retry_after_header_is_set(self, fast_settings):
+        clear_run_cache()
+        settings = ServiceSettings(
+            **{**fast_settings.__dict__, "rate_limit": 0.01, "rate_burst": 1}
+        )
+        service = LiveService(settings)
+        try:
+            client = ServiceClient(service.url, client="one-shot")
+            first = client.submit("jacobi", gpus=2, **FAST)
+            # Second submission over raw http.client so the header itself
+            # (not just the body field) is observable.
+            conn = http.client.HTTPConnection(
+                service.service.host, service.service.port, timeout=10
+            )
+            try:
+                body = json.dumps(
+                    {"workload": "pagerank", "gpus": 2, **FAST}
+                )
+                conn.request(
+                    "POST",
+                    "/jobs",
+                    body=body,
+                    headers={
+                        "Content-Type": "application/json",
+                        "x-repro-client": "one-shot",
+                    },
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                assert response.status == 429
+                header = response.getheader("Retry-After")
+                assert header is not None and int(header) >= 1
+                assert payload["retry_after_s"] > 0
+            finally:
+                conn.close()
+            client.wait(first["id"], timeout=300)
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()
+
+    def test_anonymous_and_distinct_clients_have_own_buckets(self, fast_settings):
+        clear_run_cache()
+        settings = ServiceSettings(
+            **{**fast_settings.__dict__, "rate_limit": 0.01, "rate_burst": 1}
+        )
+        service = LiveService(settings)
+        try:
+            a = ServiceClient(service.url, client="alpha")
+            b = ServiceClient(service.url, client="beta")
+            first = a.submit("jacobi", gpus=2, **FAST)
+            with pytest.raises(ClientError):
+                a.submit("pagerank", gpus=2, **FAST)
+            # beta is untouched by alpha exhausting its bucket.
+            second = b.submit("sssp", gpus=2, **FAST)
+            for job in (first, second):
+                assert ServiceClient(service.url).wait(job["id"], timeout=300)
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()
+
+    def test_rate_limiting_off_by_default(self, live_service):
+        client = live_service.client()
+        for name in ("jacobi", "pagerank", "sssp", "ct"):
+            client.submit(name, gpus=2, **FAST)
+        assert "service.ratelimit.allowed" in client.metrics()
+
+
+class TestClientWeightsEndToEnd:
+    def test_weights_flow_from_settings_to_queue(self, fast_settings):
+        """Configured client weights shape dispatch order on a live service."""
+        clear_run_cache()
+        settings = ServiceSettings(
+            **{
+                **fast_settings.__dict__,
+                "client_weights": {"heavy": 3.0, "light": 1.0},
+            }
+        )
+        service = LiveService(settings)
+        try:
+            assert service.service is not None
+            assert service.service._weights == {"heavy": 3.0, "light": 1.0}
+            heavy = ServiceClient(service.url, client="heavy")
+            job = heavy.submit("jacobi", gpus=2, **FAST)
+            assert heavy.wait(job["id"], timeout=300)["state"] == "done"
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()

